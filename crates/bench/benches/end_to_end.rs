@@ -1,0 +1,46 @@
+//! End-to-end simulation throughput: one loaded experiment cell per
+//! scheduler, reported as simulation events per second.
+//!
+//! This is the quantity that bounds the wall-clock cost of regenerating
+//! the paper's figures (Figure 5 alone is 18 paper-scale cells).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hawk_core::{run_experiment, ExperimentConfig, SchedulerConfig};
+use hawk_workload::google::GoogleTraceConfig;
+
+fn bench_schedulers(c: &mut Criterion) {
+    // A 100×-scaled high-load cell: 150 nodes ≈ the 15,000-node point.
+    let trace = GoogleTraceConfig::with_scale(100, 600).generate(7);
+    let events = {
+        let cfg = ExperimentConfig {
+            nodes: 150,
+            scheduler: SchedulerConfig::hawk(0.17),
+            ..ExperimentConfig::default()
+        };
+        run_experiment(&trace, &cfg).events
+    };
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    for scheduler in [
+        SchedulerConfig::hawk(0.17),
+        SchedulerConfig::sparrow(),
+        SchedulerConfig::centralized(),
+        SchedulerConfig::split_cluster(0.17),
+        SchedulerConfig::hawk_without_stealing(0.17),
+    ] {
+        group.bench_function(scheduler.name, |b| {
+            let cfg = ExperimentConfig {
+                nodes: 150,
+                scheduler,
+                ..ExperimentConfig::default()
+            };
+            b.iter(|| run_experiment(&trace, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

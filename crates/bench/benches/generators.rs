@@ -1,0 +1,36 @@
+//! Microbenchmark: synthetic trace generation throughput.
+//!
+//! Paper-scale experiments regenerate half-million-job traces; generation
+//! must stay a small fraction of simulation time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hawk_workload::google::GoogleTraceConfig;
+use hawk_workload::kmeans::KmeansTraceConfig;
+use hawk_workload::motivation::MotivationConfig;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    for &jobs in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(jobs as u64));
+        group.bench_with_input(BenchmarkId::new("google", jobs), &jobs, |b, &jobs| {
+            let cfg = GoogleTraceConfig::with_scale(1, jobs);
+            b.iter(|| cfg.generate(42));
+        });
+        group.bench_with_input(BenchmarkId::new("facebook", jobs), &jobs, |b, &jobs| {
+            let cfg = KmeansTraceConfig::facebook(jobs);
+            b.iter(|| cfg.generate(42));
+        });
+        group.bench_with_input(BenchmarkId::new("yahoo", jobs), &jobs, |b, &jobs| {
+            let cfg = KmeansTraceConfig::yahoo(jobs);
+            b.iter(|| cfg.generate(42));
+        });
+    }
+    group.bench_function("motivation_1000", |b| {
+        let cfg = MotivationConfig::default();
+        b.iter(|| cfg.generate(42));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

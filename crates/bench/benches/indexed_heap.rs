@@ -1,0 +1,60 @@
+//! Microbenchmark: the centralized scheduler's waiting-time priority
+//! queue (§3.7) at realistic cluster sizes.
+//!
+//! Every long-job task assignment is one `min_id` + `add`; every
+//! completion is one `sub`. At 50,000 servers and hundreds of thousands of
+//! long tasks this structure must stay O(log n).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hawk_core::CentralScheduler;
+use hawk_simcore::{IndexedMinHeap, SimDuration, SimRng};
+
+fn bench_heap_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexed_heap");
+    for &servers in &[1_500usize, 15_000, 50_000] {
+        let ops = 10_000u64;
+        group.throughput(Throughput::Elements(ops));
+        group.bench_with_input(
+            BenchmarkId::new("assign_complete_cycle", servers),
+            &servers,
+            |b, &servers| {
+                let mut rng = SimRng::seed_from_u64(3);
+                b.iter(|| {
+                    let mut heap = IndexedMinHeap::new(servers, 0);
+                    // Assign phase: always load the least-loaded server.
+                    let mut assigned = Vec::with_capacity(ops as usize);
+                    for _ in 0..ops {
+                        let id = heap.min_id();
+                        let est = rng.gen_range(1_000, 1_000_000);
+                        heap.add(id, est);
+                        assigned.push((id, est));
+                    }
+                    // Completion phase, in random order.
+                    rng.shuffle(&mut assigned);
+                    for (id, est) in assigned {
+                        heap.sub(id, est);
+                    }
+                    heap.min_key()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_central_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("central_scheduler");
+    // One paper-sized long job: 1,000 tasks placed on the general
+    // partition of a 15,000-node cluster (83 % general).
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("assign_1000_task_job_12450_servers", |b| {
+        b.iter(|| {
+            let mut sched = CentralScheduler::new(12_450);
+            sched.assign_job(1_000, SimDuration::from_secs(20_000))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heap_cycle, bench_central_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmark: the Figure 3 victim-queue steal scan (§3.6).
+//!
+//! Every idle transition in Hawk triggers up to `cap` victim scans, so the
+//! scan must be cheap both when it succeeds and (especially) when the
+//! fast-path rejects an ineligible victim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hawk_cluster::steal::eligible_group;
+use hawk_cluster::{QueueEntry, Server, ServerId, TaskSpec};
+use hawk_simcore::{SimDuration, SimRng};
+use hawk_workload::{JobClass, JobId};
+
+fn entry(long: bool, id: u32) -> QueueEntry {
+    if long {
+        QueueEntry::Task(TaskSpec {
+            job: JobId(id),
+            duration: SimDuration::from_secs(20_000),
+            estimate: SimDuration::from_secs(20_000),
+            class: JobClass::Long,
+        })
+    } else {
+        QueueEntry::Probe {
+            job: JobId(id),
+            class: JobClass::Short,
+        }
+    }
+}
+
+/// Builds a busy server with `len` queued entries, `long_frac` of them
+/// long, in random order.
+fn victim(len: usize, long_frac: f64, seed: u64) -> Server {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut s = Server::new(ServerId(0));
+    s.enqueue(entry(true, 0)); // occupies the slot (a long task)
+    for i in 0..len {
+        s.enqueue(entry(rng.chance(long_frac), i as u32 + 1));
+    }
+    s
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steal_scan");
+    for &len in &[8usize, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("mixed_queue", len), &len, |b, &len| {
+            let s = victim(len, 0.3, 7);
+            b.iter(|| eligible_group(&s));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("all_short_fast_path", len),
+            &len,
+            |b, &len| {
+                // Short slot + all-short queue: the queued-long counter
+                // rejects in O(1).
+                let mut s = Server::new(ServerId(0));
+                s.enqueue(entry(false, 0));
+                // Bind the probe so the slot is Running(short).
+                s.on_bind_response(Some(TaskSpec {
+                    job: JobId(0),
+                    duration: SimDuration::from_secs(1),
+                    estimate: SimDuration::from_secs(1),
+                    class: JobClass::Short,
+                }));
+                for i in 0..len {
+                    s.enqueue(entry(false, i as u32 + 1));
+                }
+                b.iter(|| eligible_group(&s));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation: arrival burstiness.
+//!
+//! The paper's simulator submits jobs through a smooth Poisson process;
+//! real cluster traces arrive in bursts (retries, cron fan-outs, diurnal
+//! waves). Burstiness is precisely what stresses a statically-sized short
+//! partition: a clump of short jobs overflows it, and only a scheduler
+//! that lets shorts spill into the general partition absorbs the wave.
+//!
+//! This bench rewrites the Google-like trace's arrivals with a two-state
+//! bursty process of identical average rate and compares Hawk against
+//! Sparrow and against the split cluster (§4.6) under both arrival
+//! models. Expectation: the split cluster's short-job penalty grows
+//! sharply under bursts, while Hawk degrades gracefully.
+
+use hawk_bench::{
+    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+};
+use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_simcore::SimRng;
+use hawk_workload::arrivals::with_bursty_arrivals;
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+use hawk_workload::JobClass;
+
+fn main() {
+    let opts = parse_args("ablation_burstiness", "arrival-burstiness ablation");
+    let (poisson_trace, _) = google_setup(&opts);
+    let nodes = google_sensitivity_nodes(&opts);
+    let mut rng = SimRng::seed_from_u64(opts.seed ^ 0xB00B5);
+    // Bursts submit jobs 10× faster, ~1 job in 5 arrives inside a burst.
+    let bursty_trace = with_bursty_arrivals(&poisson_trace, 10.0, 80.0, 20.0, &mut rng);
+    let base = ExperimentConfig {
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    tsv_header(&[
+        "arrivals",
+        "scheduler",
+        "p50_short_vs_hawk",
+        "p90_short_vs_hawk",
+        "p90_long_vs_hawk",
+        "median_util",
+    ]);
+    for (label, trace) in [("poisson", &poisson_trace), ("bursty", &bursty_trace)] {
+        eprintln!("ablation_burstiness: {label} arrivals at {nodes} nodes...");
+        let hawk = run_cell(
+            trace,
+            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+            nodes,
+            &base,
+        );
+        for scheduler in [
+            SchedulerConfig::sparrow(),
+            SchedulerConfig::split_cluster(GOOGLE_SHORT_PARTITION),
+        ] {
+            let other = run_cell(trace, scheduler, nodes, &base);
+            let short = compare(&other, &hawk, JobClass::Short);
+            let long = compare(&other, &hawk, JobClass::Long);
+            tsv_row(&[
+                fmt(label),
+                fmt(scheduler.name),
+                fmt4(short.p50_ratio),
+                fmt4(short.p90_ratio),
+                fmt4(long.p90_ratio),
+                fmt4(other.median_utilization),
+            ]);
+        }
+    }
+    eprintln!("ablation_burstiness: done (>1 means worse than Hawk on the same arrivals)");
+}

@@ -1,0 +1,76 @@
+//! Ablation: centralized-scheduler decision cost.
+//!
+//! The paper's §1 motivation for hybrid scheduling is that "the very large
+//! number of scheduling decisions … can overwhelm centralized schedulers"
+//! — yet its simulator gives the fully-centralized baseline free
+//! decisions (§4.1). This bench makes the cost explicit: the centralized
+//! scheduler processes jobs serially at a configurable per-task decision
+//! cost, and we sweep that cost.
+//!
+//! Expectation: the fully-centralized baseline's short-job latency
+//! explodes once the decision pipeline saturates (its arrival rate ×
+//! processing cost approaches 1), while Hawk — whose centralized
+//! component only sees the few long jobs — is barely affected. This
+//! quantifies the paper's core scalability argument.
+
+use hawk_bench::{
+    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+};
+use hawk_core::{CentralOverhead, ExperimentConfig, SchedulerConfig};
+use hawk_simcore::SimDuration;
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+use hawk_workload::JobClass;
+
+/// Per-task decision costs to sweep, in milliseconds.
+///
+/// With the default truncated trace, jobs arrive every ≈1.46 s and average
+/// ≈20 tasks, so the serial decision pipeline of the fully-centralized
+/// baseline saturates near 70 ms per task; the sweep brackets that point.
+const PER_TASK_MS: [u64; 6] = [0, 10, 30, 70, 100, 150];
+
+fn main() {
+    let opts = parse_args(
+        "ablation_central_latency",
+        "centralized decision-cost ablation (§1 motivation)",
+    );
+    let (trace, _) = google_setup(&opts);
+    let nodes = google_sensitivity_nodes(&opts);
+
+    tsv_header(&[
+        "per_task_decision_ms",
+        "centralized_p50_short_s",
+        "centralized_p90_short_s",
+        "hawk_p50_short_s",
+        "hawk_p90_short_s",
+        "centralized_p90_long_s",
+        "hawk_p90_long_s",
+    ]);
+    for ms in PER_TASK_MS {
+        let base = ExperimentConfig {
+            seed: opts.seed,
+            central_overhead: CentralOverhead {
+                per_job: SimDuration::from_millis(2 * ms),
+                per_task: SimDuration::from_millis(ms),
+            },
+            ..ExperimentConfig::default()
+        };
+        eprintln!("ablation_central_latency: per-task cost {ms} ms at {nodes} nodes...");
+        let central = run_cell(&trace, SchedulerConfig::centralized(), nodes, &base);
+        let hawk = run_cell(
+            &trace,
+            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+            nodes,
+            &base,
+        );
+        tsv_row(&[
+            fmt(ms),
+            fmt4(central.runtime_percentile(JobClass::Short, 50.0)),
+            fmt4(central.runtime_percentile(JobClass::Short, 90.0)),
+            fmt4(hawk.runtime_percentile(JobClass::Short, 50.0)),
+            fmt4(hawk.runtime_percentile(JobClass::Short, 90.0)),
+            fmt4(central.runtime_percentile(JobClass::Long, 90.0)),
+            fmt4(hawk.runtime_percentile(JobClass::Long, 90.0)),
+        ]);
+    }
+    eprintln!("ablation_central_latency: done (absolute runtimes in seconds)");
+}

@@ -1,0 +1,55 @@
+//! Ablation: short-partition sizing.
+//!
+//! Hawk sizes the reserved short partition from the workload's long-job
+//! task-seconds share (§3.4) — 17 % for the Google trace. This bench
+//! sweeps the fraction to show the trade-off the rule balances: too small
+//! and short jobs lose their refuge (and stealing thieves); too large and
+//! long jobs are squeezed into a cramped general partition.
+
+use hawk_bench::{
+    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+};
+use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_workload::JobClass;
+
+/// Short-partition fractions to sweep (the paper's rule picks 0.17).
+const FRACTIONS: [f64; 7] = [0.0, 0.05, 0.10, 0.17, 0.25, 0.35, 0.50];
+
+fn main() {
+    let opts = parse_args(
+        "ablation_partition_size",
+        "short-partition sizing sweep (§3.4)",
+    );
+    let (trace, _) = google_setup(&opts);
+    let nodes = google_sensitivity_nodes(&opts);
+    let base = ExperimentConfig {
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    eprintln!("ablation_partition_size: Sparrow baseline at {nodes} nodes...");
+    let sparrow = run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base);
+
+    tsv_header(&[
+        "short_partition_fraction",
+        "p50_short_vs_sparrow",
+        "p90_short_vs_sparrow",
+        "p50_long_vs_sparrow",
+        "p90_long_vs_sparrow",
+        "steals",
+    ]);
+    for fraction in FRACTIONS {
+        let hawk = run_cell(&trace, SchedulerConfig::hawk(fraction), nodes, &base);
+        let short = compare(&hawk, &sparrow, JobClass::Short);
+        let long = compare(&hawk, &sparrow, JobClass::Long);
+        tsv_row(&[
+            fmt4(fraction),
+            fmt4(short.p50_ratio),
+            fmt4(short.p90_ratio),
+            fmt4(long.p50_ratio),
+            fmt4(long.p90_ratio),
+            fmt(hawk.steals),
+        ]);
+    }
+    eprintln!("ablation_partition_size: done (the paper's task-seconds rule gives 0.17)");
+}

@@ -1,0 +1,65 @@
+//! Ablation: probe ratio.
+//!
+//! Sparrow found a probe ratio of 2 to be best and the Hawk paper adopts
+//! it ("we compare against Sparrow configured to send two probes per task
+//! because the authors of Sparrow have found two to be the best probe
+//! ratio", §4.1). This bench sweeps the ratio for both schedulers. Note
+//! the simulator charges network delay but no server-side messaging CPU,
+//! so very high ratios are kinder here than on a real cluster — the
+//! interesting regime is how little ratios above 2 buy.
+
+use hawk_bench::{
+    fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+};
+use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+use hawk_workload::JobClass;
+
+const RATIOS: [f64; 5] = [1.0, 1.5, 2.0, 3.0, 4.0];
+
+fn main() {
+    let opts = parse_args("ablation_probe_ratio", "probe-ratio sweep (§4.1 parameter)");
+    let (trace, _) = google_setup(&opts);
+    let nodes = google_sensitivity_nodes(&opts);
+    let base = ExperimentConfig {
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    tsv_header(&[
+        "probe_ratio",
+        "sparrow_p50_short_s",
+        "sparrow_p90_short_s",
+        "hawk_p50_short_s",
+        "hawk_p90_short_s",
+    ]);
+    for ratio in RATIOS {
+        eprintln!("ablation_probe_ratio: ratio {ratio} at {nodes} nodes...");
+        let sparrow = run_cell(
+            &trace,
+            SchedulerConfig {
+                probe_ratio: ratio,
+                ..SchedulerConfig::sparrow()
+            },
+            nodes,
+            &base,
+        );
+        let hawk = run_cell(
+            &trace,
+            SchedulerConfig {
+                probe_ratio: ratio,
+                ..SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION)
+            },
+            nodes,
+            &base,
+        );
+        tsv_row(&[
+            fmt4(ratio),
+            fmt4(sparrow.runtime_percentile(JobClass::Short, 50.0)),
+            fmt4(sparrow.runtime_percentile(JobClass::Short, 90.0)),
+            fmt4(hawk.runtime_percentile(JobClass::Short, 50.0)),
+            fmt4(hawk.runtime_percentile(JobClass::Short, 90.0)),
+        ]);
+    }
+    eprintln!("ablation_probe_ratio: done (absolute short-job runtimes, seconds)");
+}

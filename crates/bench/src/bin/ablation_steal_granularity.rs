@@ -1,0 +1,74 @@
+//! Ablation: steal granularity (§3.6's design rationale).
+//!
+//! The paper steals "the first consecutive group of short tasks that come
+//! after a long task", arguing that stealing from random positions "would
+//! likely end up focusing on too many jobs at the same time while failing
+//! to improve most", and that a bounded group keeps the benefit on a few
+//! jobs so their *job* runtimes improve. This bench pits the paper's
+//! policy against that strawman (one random blocked entry per steal) and
+//! against the maximally aggressive variant (every blocked short), all
+//! normalized to the paper's policy.
+
+use hawk_bench::{
+    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, ratio_quad, run_cell,
+    tsv_header, tsv_row,
+};
+use hawk_cluster::StealGranularity;
+use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+
+fn main() {
+    let opts = parse_args(
+        "ablation_steal_granularity",
+        "steal-granularity design-choice ablation (§3.6)",
+    );
+    let (trace, _) = google_setup(&opts);
+    let nodes = google_sensitivity_nodes(&opts);
+    let base = ExperimentConfig {
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    eprintln!("ablation_steal_granularity: baseline (first blocked group) at {nodes} nodes...");
+    let paper = run_cell(
+        &trace,
+        SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+        nodes,
+        &base,
+    );
+
+    tsv_header(&[
+        "granularity",
+        "p50_short",
+        "p90_short",
+        "p50_long",
+        "p90_long",
+        "steals",
+    ]);
+    tsv_row(&[
+        fmt("first-blocked-group(paper)"),
+        fmt4(1.0),
+        fmt4(1.0),
+        fmt4(1.0),
+        fmt4(1.0),
+        fmt(paper.steals),
+    ]);
+    for granularity in [
+        StealGranularity::RandomBlockedEntry,
+        StealGranularity::AllBlockedShorts,
+    ] {
+        let scheduler = SchedulerConfig::hawk_with_granularity(GOOGLE_SHORT_PARTITION, granularity);
+        eprintln!("ablation_steal_granularity: running {}...", scheduler.name);
+        let variant = run_cell(&trace, scheduler, nodes, &base);
+        let (p50l, p90l, p50s, p90s) = ratio_quad(&variant, &paper);
+        tsv_row(&[
+            fmt(scheduler.name),
+            fmt4(p50s),
+            fmt4(p90s),
+            fmt4(p50l),
+            fmt4(p90l),
+            fmt(variant.steals),
+        ]);
+    }
+    eprintln!("ablation_steal_granularity: done (>1 means worse than the paper's policy)");
+}

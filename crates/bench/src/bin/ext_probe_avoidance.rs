@@ -1,0 +1,80 @@
+//! Extension: long-aware probe bouncing (after Eagle, Hawk's successor).
+//!
+//! Hawk's distributed schedulers place probes blindly; stealing repairs
+//! the bad placements afterwards. Eagle instead prevents them: node
+//! monitors know which servers hold long work and short tasks avoid
+//! queueing there. This bench evaluates a bounce-based variant of that
+//! idea on top of Hawk — a short probe landing on a server with long work
+//! retries elsewhere, up to a hop limit — and reports it against plain
+//! Hawk and Sparrow.
+
+use hawk_bench::{
+    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+};
+use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+use hawk_workload::JobClass;
+
+const BOUNCE_LIMITS: [u8; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let opts = parse_args(
+        "ext_probe_avoidance",
+        "Eagle-style probe-avoidance extension on top of Hawk",
+    );
+    let (trace, _) = google_setup(&opts);
+    let nodes = google_sensitivity_nodes(&opts);
+    let base = ExperimentConfig {
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    eprintln!("ext_probe_avoidance: plain Hawk and Sparrow baselines at {nodes} nodes...");
+    let hawk = run_cell(
+        &trace,
+        SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+        nodes,
+        &base,
+    );
+    let sparrow = run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base);
+    let sparrow_short = compare(&hawk, &sparrow, JobClass::Short);
+
+    tsv_header(&[
+        "variant",
+        "p50_short_vs_hawk",
+        "p90_short_vs_hawk",
+        "p90_long_vs_hawk",
+        "steals",
+    ]);
+    tsv_row(&[
+        fmt("hawk(plain)"),
+        fmt4(1.0),
+        fmt4(1.0),
+        fmt4(1.0),
+        fmt(hawk.steals),
+    ]);
+    for limit in BOUNCE_LIMITS {
+        let scheduler = SchedulerConfig::hawk_with_probe_avoidance(GOOGLE_SHORT_PARTITION, limit);
+        eprintln!("ext_probe_avoidance: bounce limit {limit}...");
+        let variant = run_cell(&trace, scheduler, nodes, &base);
+        let short = compare(&variant, &hawk, JobClass::Short);
+        let long = compare(&variant, &hawk, JobClass::Long);
+        tsv_row(&[
+            format!("hawk+bounce({limit})"),
+            fmt4(short.p50_ratio),
+            fmt4(short.p90_ratio),
+            fmt4(long.p90_ratio),
+            fmt(variant.steals),
+        ]);
+    }
+    eprintln!(
+        "ext_probe_avoidance: reference — Hawk/Sparrow short ratios p50 {} p90 {}",
+        sparrow_short
+            .p50_ratio
+            .map_or("-".into(), |r| format!("{r:.4}")),
+        sparrow_short
+            .p90_ratio
+            .map_or("-".into(), |r| format!("{r:.4}")),
+    );
+    eprintln!("ext_probe_avoidance: done (<1 means the extension beats plain Hawk)");
+}

@@ -1,0 +1,90 @@
+//! Figure 4: workload-property CDFs — average task duration per job
+//! (4a long, 4b short) and number of tasks per job (4c long, 4d short)
+//! for the Cloudera, Facebook, Yahoo and Google traces.
+//!
+//! Output: one row per decile per (trace, class, metric) series.
+
+use hawk_bench::{fmt, fmt4, parse_args, tsv_header, tsv_row};
+use hawk_simcore::stats::percentile_of_sorted;
+use hawk_workload::classify::Cutoff;
+use hawk_workload::google::GoogleTraceConfig;
+use hawk_workload::kmeans::KmeansTraceConfig;
+use hawk_workload::{JobClass, Trace};
+
+fn series(trace: &Trace, class: JobClass, cutoff: Cutoff) -> (Vec<f64>, Vec<f64>) {
+    let mut durations = Vec::new();
+    let mut counts = Vec::new();
+    for job in trace.jobs() {
+        let c = job
+            .generated_class
+            .unwrap_or_else(|| cutoff.classify(job.mean_task_duration()));
+        if c == class {
+            durations.push(job.mean_task_duration().as_secs_f64());
+            counts.push(job.num_tasks() as f64);
+        }
+    }
+    durations.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    counts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (durations, counts)
+}
+
+fn main() {
+    let opts = parse_args("fig04", "workload property CDFs (Figure 4)");
+    let jobs = opts.jobs.unwrap_or(40_000);
+
+    let traces: Vec<(&str, Trace, Cutoff)> = vec![
+        (
+            "cloudera",
+            KmeansTraceConfig::cloudera_c(jobs).generate(opts.seed),
+            Cutoff::from_secs(KmeansTraceConfig::cloudera_c(jobs).default_cutoff_secs),
+        ),
+        (
+            "facebook",
+            KmeansTraceConfig::facebook(jobs).generate(opts.seed),
+            Cutoff::from_secs(KmeansTraceConfig::facebook(jobs).default_cutoff_secs),
+        ),
+        (
+            "yahoo",
+            KmeansTraceConfig::yahoo(jobs).generate(opts.seed),
+            Cutoff::from_secs(KmeansTraceConfig::yahoo(jobs).default_cutoff_secs),
+        ),
+        (
+            "google",
+            GoogleTraceConfig::with_scale(1, jobs).generate(opts.seed),
+            Cutoff::GOOGLE_DEFAULT,
+        ),
+    ];
+
+    tsv_header(&["panel", "trace", "class", "cdf_pct", "value"]);
+    for (name, trace, cutoff) in &traces {
+        for class in [JobClass::Long, JobClass::Short] {
+            let (durations, counts) = series(trace, class, *cutoff);
+            if durations.is_empty() {
+                continue;
+            }
+            let (dur_panel, cnt_panel) = match class {
+                JobClass::Long => ("4a_task_duration", "4c_tasks_per_job"),
+                JobClass::Short => ("4b_task_duration", "4d_tasks_per_job"),
+            };
+            for pct in (10..=100).step_by(10) {
+                tsv_row(&[
+                    fmt(dur_panel),
+                    fmt(*name),
+                    fmt(class),
+                    fmt(pct),
+                    fmt4(percentile_of_sorted(&durations, pct as f64)),
+                ]);
+            }
+            for pct in (10..=100).step_by(10) {
+                tsv_row(&[
+                    fmt(cnt_panel),
+                    fmt(*name),
+                    fmt(class),
+                    fmt(pct),
+                    fmt4(percentile_of_sorted(&counts, pct as f64)),
+                ]);
+            }
+        }
+    }
+    eprintln!("fig04: done ({jobs} jobs per trace)");
+}

@@ -1,0 +1,71 @@
+//! Figure 5: Hawk normalized to Sparrow on the Google trace, sweeping
+//! cluster size (paper: 10,000–50,000 nodes).
+//!
+//! * Fig 5a — 50th/90th percentile runtime ratios for **long** jobs, plus
+//!   Sparrow's median cluster utilization.
+//! * Fig 5b — the same ratios for **short** jobs.
+//! * Fig 5c — fraction of jobs Hawk improves-or-equals and the average
+//!   runtime ratio, per class.
+//!
+//! Paper reference points (best cases, 15,000–25,000 nodes): Hawk improves
+//! short jobs by 80 % (p50) and 90 % (p90) — ratios 0.2 and 0.1 — and long
+//! jobs by 35 % (p50) and 10 % (p90) — ratios 0.65 and 0.90. At 15,000
+//! nodes Hawk improves 68 % of short jobs and is ≥ Sparrow for 86 % (72 %
+//! for long jobs); the short-job average runtime ratio dips to ≈1/7.
+
+use hawk_bench::{fmt, fmt4, google_setup, parse_args, ratio_quad, run_cell, tsv_header, tsv_row};
+use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+use hawk_workload::JobClass;
+
+fn main() {
+    let opts = parse_args("fig05", "Hawk vs Sparrow on the Google trace (Figure 5)");
+    let (trace, sweep) = google_setup(&opts);
+    let base = ExperimentConfig {
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    tsv_header(&[
+        "nodes",
+        "p50_long",
+        "p90_long",
+        "p50_short",
+        "p90_short",
+        "sparrow_median_util",
+        "hawk_median_util",
+        "frac_improved_or_eq_long",
+        "frac_improved_or_eq_short",
+        "mean_ratio_long",
+        "mean_ratio_short",
+        "hawk_steals",
+    ]);
+
+    for nodes in sweep {
+        let hawk = run_cell(
+            &trace,
+            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+            nodes,
+            &base,
+        );
+        let sparrow = run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base);
+        let (p50l, p90l, p50s, p90s) = ratio_quad(&hawk, &sparrow);
+        let long = compare(&hawk, &sparrow, JobClass::Long);
+        let short = compare(&hawk, &sparrow, JobClass::Short);
+        tsv_row(&[
+            fmt(nodes),
+            fmt4(p50l),
+            fmt4(p90l),
+            fmt4(p50s),
+            fmt4(p90s),
+            fmt4(sparrow.median_utilization),
+            fmt4(hawk.median_utilization),
+            fmt4(long.fraction_improved_or_equal),
+            fmt4(short.fraction_improved_or_equal),
+            fmt4(long.mean_ratio),
+            fmt4(short.mean_ratio),
+            fmt(hawk.steals),
+        ]);
+    }
+    eprintln!("fig05: done");
+}

@@ -1,0 +1,95 @@
+//! Figure 6: Hawk normalized to Sparrow on the Cloudera (6a), Facebook
+//! (6b) and Yahoo (6c) traces — 90th percentile runtimes for long and
+//! short jobs, plus Sparrow's median utilization, sweeping cluster size.
+//!
+//! Paper sweeps: Cloudera 15k–50k nodes (9 % short partition), Facebook
+//! 70k–170k (2 %), Yahoo 5k–19k (2 %). The paper's headline: Hawk's
+//! benefits hold across all traces, with *larger* short-job improvements
+//! than on Google because the short partitions are less utilized, leaving
+//! more stealing opportunities.
+
+use hawk_bench::{fmt, fmt4, parse_args, run_cell, tsv_header, tsv_row, RunMode};
+use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_workload::classify::Cutoff;
+use hawk_workload::kmeans::KmeansTraceConfig;
+use hawk_workload::JobClass;
+
+fn sweep(base: &[usize], scale: u64) -> Vec<usize> {
+    base.iter().map(|&n| n / scale as usize).collect()
+}
+
+fn main() {
+    let opts = parse_args("fig06", "Hawk vs Sparrow on derived traces (Figure 6)");
+    let scale = opts.cluster_scale();
+
+    // (config, paper cluster sweep, default job count)
+    let cases: Vec<(KmeansTraceConfig, Vec<usize>, usize)> = vec![
+        (
+            KmeansTraceConfig::cloudera_c(0),
+            vec![
+                15_000, 20_000, 25_000, 30_000, 35_000, 40_000, 45_000, 50_000,
+            ],
+            21_030,
+        ),
+        (
+            KmeansTraceConfig::facebook(0),
+            vec![70_000, 90_000, 110_000, 130_000, 150_000, 170_000],
+            60_000,
+        ),
+        (
+            KmeansTraceConfig::yahoo(0),
+            vec![5_000, 7_000, 9_000, 11_000, 13_000, 15_000, 17_000, 19_000],
+            24_262,
+        ),
+    ];
+
+    tsv_header(&[
+        "trace",
+        "nodes",
+        "p90_long",
+        "p90_short",
+        "p50_long",
+        "p50_short",
+        "sparrow_median_util",
+    ]);
+
+    for (mut cfg, paper_sweep, default_jobs) in cases {
+        cfg.jobs = opts.jobs.unwrap_or(match opts.mode {
+            RunMode::Quick => default_jobs.min(6_000),
+            RunMode::Paper => default_jobs,
+            RunMode::FullTrace => cfg.paper_job_count().unwrap_or(default_jobs),
+        });
+        if scale != 1 {
+            // Preserve offered load on scaled-down clusters.
+            cfg.mean_interarrival = cfg.mean_interarrival * scale;
+        }
+        eprintln!("fig06: generating {} ({} jobs)...", cfg.name, cfg.jobs);
+        let trace = cfg.generate(opts.seed);
+        let base = ExperimentConfig {
+            cutoff: Cutoff::from_secs(cfg.default_cutoff_secs),
+            seed: opts.seed,
+            ..ExperimentConfig::default()
+        };
+        for nodes in sweep(&paper_sweep, scale) {
+            let hawk = run_cell(
+                &trace,
+                SchedulerConfig::hawk(cfg.short_partition_fraction),
+                nodes,
+                &base,
+            );
+            let sparrow = run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base);
+            let long = compare(&hawk, &sparrow, JobClass::Long);
+            let short = compare(&hawk, &sparrow, JobClass::Short);
+            tsv_row(&[
+                fmt(cfg.name),
+                fmt(nodes),
+                fmt4(long.p90_ratio),
+                fmt4(short.p90_ratio),
+                fmt4(long.p50_ratio),
+                fmt4(short.p50_ratio),
+                fmt4(sparrow.median_utilization),
+            ]);
+        }
+    }
+    eprintln!("fig06: done");
+}

@@ -1,0 +1,54 @@
+//! Figure 7: break-down of Hawk's benefits — each component disabled in
+//! turn, normalized to full Hawk. Google trace, 15,000 nodes.
+//!
+//! Paper findings: without centralized scheduling, long jobs take a
+//! significant hit (and short jobs improve slightly); without the
+//! partition, short jobs suffer; without stealing, short jobs are greatly
+//! penalized and long jobs also degrade (they share queues with more
+//! short tasks).
+
+use hawk_bench::{
+    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, ratio_quad, run_cell,
+    tsv_header, tsv_row,
+};
+use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+
+fn main() {
+    let opts = parse_args("fig07", "Hawk component ablations (Figure 7)");
+    let (trace, _) = google_setup(&opts);
+    let nodes = google_sensitivity_nodes(&opts);
+    let base = ExperimentConfig {
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    eprintln!("fig07: running full Hawk at {nodes} nodes...");
+    let hawk = run_cell(
+        &trace,
+        SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+        nodes,
+        &base,
+    );
+
+    let ablations = [
+        SchedulerConfig::hawk_without_centralized(GOOGLE_SHORT_PARTITION),
+        SchedulerConfig::hawk_without_partition(),
+        SchedulerConfig::hawk_without_stealing(GOOGLE_SHORT_PARTITION),
+    ];
+
+    tsv_header(&["variant", "p50_short", "p90_short", "p50_long", "p90_long"]);
+    for scheduler in ablations {
+        eprintln!("fig07: running {}...", scheduler.name);
+        let variant = run_cell(&trace, scheduler, nodes, &base);
+        let (p50l, p90l, p50s, p90s) = ratio_quad(&variant, &hawk);
+        tsv_row(&[
+            fmt(scheduler.name),
+            fmt4(p50s),
+            fmt4(p90s),
+            fmt4(p50l),
+            fmt4(p90l),
+        ]);
+    }
+    eprintln!("fig07: done (values are variant/Hawk; >1 means the variant is worse)");
+}

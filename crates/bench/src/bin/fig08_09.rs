@@ -1,0 +1,51 @@
+//! Figures 8 and 9: Hawk normalized to the fully centralized scheduler,
+//! Google trace, sweeping cluster size — short jobs (Fig 8) and long jobs
+//! (Fig 9).
+//!
+//! Paper findings: under heavy load (10k–15k nodes) the centralized
+//! scheduler penalizes short jobs (Hawk's ratios ≪ 1) because it has no
+//! idle options and queues shorts behind longs; as load drops the two
+//! converge. For long jobs the centralized approach is slightly better
+//! (ratios a bit above 1): it can use the entire cluster, Hawk only the
+//! general partition.
+
+use hawk_bench::{fmt, fmt4, google_setup, parse_args, ratio_quad, run_cell, tsv_header, tsv_row};
+use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+
+fn main() {
+    let opts = parse_args("fig08_09", "Hawk vs fully centralized (Figures 8 and 9)");
+    let (trace, sweep) = google_setup(&opts);
+    let base = ExperimentConfig {
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    tsv_header(&[
+        "nodes",
+        "p50_short",
+        "p90_short",
+        "p50_long",
+        "p90_long",
+        "centralized_median_util",
+    ]);
+    for nodes in sweep {
+        let hawk = run_cell(
+            &trace,
+            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+            nodes,
+            &base,
+        );
+        let central = run_cell(&trace, SchedulerConfig::centralized(), nodes, &base);
+        let (p50l, p90l, p50s, p90s) = ratio_quad(&hawk, &central);
+        tsv_row(&[
+            fmt(nodes),
+            fmt4(p50s),
+            fmt4(p90s),
+            fmt4(p50l),
+            fmt4(p90l),
+            fmt4(central.median_utilization),
+        ]);
+    }
+    eprintln!("fig08_09: done (Fig 8 = short columns, Fig 9 = long columns)");
+}

@@ -1,0 +1,40 @@
+//! Figures 10 and 11: Hawk normalized to a split cluster, Google trace,
+//! sweeping cluster size — short jobs (Fig 10) and long jobs (Fig 11).
+//!
+//! The split cluster reserves 17 % for short jobs and 83 % exclusively for
+//! long jobs (no shared general partition, no stealing). Paper findings:
+//! the split cluster is slightly better for long jobs (shorts never take
+//! its space) but dramatically worse for short jobs at intermediate sizes,
+//! where shorts cannot overflow into the rest of the cluster.
+
+use hawk_bench::{fmt, fmt4, google_setup, parse_args, ratio_quad, run_cell, tsv_header, tsv_row};
+use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+
+fn main() {
+    let opts = parse_args("fig10_11", "Hawk vs split cluster (Figures 10 and 11)");
+    let (trace, sweep) = google_setup(&opts);
+    let base = ExperimentConfig {
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    tsv_header(&["nodes", "p50_short", "p90_short", "p50_long", "p90_long"]);
+    for nodes in sweep {
+        let hawk = run_cell(
+            &trace,
+            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+            nodes,
+            &base,
+        );
+        let split = run_cell(
+            &trace,
+            SchedulerConfig::split_cluster(GOOGLE_SHORT_PARTITION),
+            nodes,
+            &base,
+        );
+        let (p50l, p90l, p50s, p90s) = ratio_quad(&hawk, &split);
+        tsv_row(&[fmt(nodes), fmt4(p50s), fmt4(p90s), fmt4(p50l), fmt4(p90l)]);
+    }
+    eprintln!("fig10_11: done (Fig 10 = short columns, Fig 11 = long columns)");
+}

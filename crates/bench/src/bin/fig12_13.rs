@@ -1,0 +1,65 @@
+//! Figures 12 and 13: sensitivity to the short/long cutoff. Hawk
+//! normalized to Sparrow at 15,000 nodes on the Google trace, sweeping the
+//! cutoff over 750–2000 s — long jobs (Fig 12) and short jobs (Fig 13).
+//!
+//! Paper findings: Hawk's benefits hold across the whole range. Smaller
+//! cutoffs improve short jobs the most (more jobs count as long, the short
+//! partition is underloaded, stealing is easier) but hurt the long-job
+//! 90th percentile (Sparrow can spread long jobs over the whole cluster).
+
+use hawk_bench::{
+    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, ratio_quad, run_cell,
+    tsv_header, tsv_row,
+};
+use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_workload::classify::Cutoff;
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+
+/// The paper's cutoff sweep, seconds (1129 s is the default cutoff).
+const CUTOFFS: [u64; 6] = [750, 1_000, 1_129, 1_300, 1_500, 2_000];
+
+fn main() {
+    let opts = parse_args("fig12_13", "cutoff sensitivity (Figures 12 and 13)");
+    let (trace, _) = google_setup(&opts);
+    let nodes = google_sensitivity_nodes(&opts);
+
+    tsv_header(&[
+        "cutoff_s",
+        "p50_long",
+        "p90_long",
+        "p50_short",
+        "p90_short",
+        "long_jobs_pct",
+    ]);
+    for cutoff_secs in CUTOFFS {
+        let base = ExperimentConfig {
+            cutoff: Cutoff::from_secs(cutoff_secs),
+            seed: opts.seed,
+            ..ExperimentConfig::default()
+        };
+        let hawk = run_cell(
+            &trace,
+            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+            nodes,
+            &base,
+        );
+        let sparrow = run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base);
+        let (p50l, p90l, p50s, p90s) = ratio_quad(&hawk, &sparrow);
+        let long_pct = 100.0
+            * hawk
+                .results
+                .iter()
+                .filter(|r| r.true_class.is_long())
+                .count() as f64
+            / hawk.results.len() as f64;
+        tsv_row(&[
+            fmt(cutoff_secs),
+            fmt4(p50l),
+            fmt4(p90l),
+            fmt4(p50s),
+            fmt4(p90s),
+            fmt4(long_pct),
+        ]);
+    }
+    eprintln!("fig12_13: done (Fig 12 = long columns, Fig 13 = short columns) at {nodes} nodes");
+}

@@ -1,0 +1,77 @@
+//! Figure 14: sensitivity to task-runtime misestimation. Hawk with
+//! misestimated task runtimes normalized to Sparrow, long jobs, 15,000
+//! nodes, Google trace, averaged over ten runs.
+//!
+//! Each job's correct estimate is multiplied by a uniform factor from the
+//! range on the x-axis (0.1–1.9 is the widest, 0.7–1.3 the narrowest).
+//! Jobs are grouped by the class they'd have *without* misestimation.
+//! Paper finding: Hawk is robust — opposing misclassifications cancel, and
+//! at 15,000 nodes long jobs misclassified as short actually benefit from
+//! the less-loaded short partition, so the p90 improves slightly as the
+//! range widens.
+
+use hawk_bench::{
+    fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+    RunMode,
+};
+use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_workload::classify::MisestimateRange;
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+use hawk_workload::JobClass;
+
+/// The paper's misestimation ranges: symmetric deltas 0.9 down to 0.3.
+const DELTAS: [f64; 7] = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3];
+
+fn main() {
+    let opts = parse_args("fig14", "misestimation sensitivity (Figure 14)");
+    let (trace, _) = google_setup(&opts);
+    let nodes = google_sensitivity_nodes(&opts);
+    let runs = if opts.mode == RunMode::Quick { 3 } else { 10 };
+
+    // Sparrow ignores estimates; one run per seed is shared by all ranges.
+    eprintln!("fig14: {runs} Sparrow baseline runs at {nodes} nodes...");
+    let sparrows: Vec<_> = (0..runs)
+        .map(|i| {
+            let base = ExperimentConfig {
+                seed: opts.seed + i,
+                ..ExperimentConfig::default()
+            };
+            run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base)
+        })
+        .collect();
+
+    tsv_header(&["range", "p50_long", "p90_long", "p50_short", "p90_short"]);
+    for delta in DELTAS {
+        let range = MisestimateRange::symmetric(delta);
+        let mut sums = [0.0f64; 4];
+        for (i, sparrow) in sparrows.iter().enumerate() {
+            let base = ExperimentConfig {
+                seed: opts.seed + i as u64,
+                misestimate: Some(range),
+                ..ExperimentConfig::default()
+            };
+            let hawk = run_cell(
+                &trace,
+                SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+                nodes,
+                &base,
+            );
+            let long = compare(&hawk, sparrow, JobClass::Long);
+            let short = compare(&hawk, sparrow, JobClass::Short);
+            sums[0] += long.p50_ratio.unwrap_or(f64::NAN);
+            sums[1] += long.p90_ratio.unwrap_or(f64::NAN);
+            sums[2] += short.p50_ratio.unwrap_or(f64::NAN);
+            sums[3] += short.p90_ratio.unwrap_or(f64::NAN);
+        }
+        let n = runs as f64;
+        tsv_row(&[
+            format!("{:.1}-{:.1}", range.lo, range.hi),
+            fmt4(sums[0] / n),
+            fmt4(sums[1] / n),
+            fmt4(sums[2] / n),
+            fmt4(sums[3] / n),
+        ]);
+        eprintln!("fig14: range {:.1}-{:.1} done", range.lo, range.hi);
+    }
+    eprintln!("fig14: done (long columns are Figure 14; short columns show the paper's \"minute variations\")");
+}

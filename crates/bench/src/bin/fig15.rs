@@ -1,0 +1,57 @@
+//! Figure 15: sensitivity to the number of stealing attempts. Hawk with a
+//! varying cap on the random nodes contacted per steal attempt, normalized
+//! to Hawk with cap 1 — short jobs, 15,000 nodes, Google trace.
+//!
+//! Paper finding: performance improves with the cap, but even a low value
+//! (10, the default) captures most of the benefit.
+
+use hawk_bench::{
+    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+};
+use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+use hawk_workload::JobClass;
+
+/// The paper's cap sweep.
+const CAPS: [usize; 13] = [1, 2, 3, 4, 5, 10, 15, 20, 25, 50, 75, 100, 250];
+
+fn main() {
+    let opts = parse_args("fig15", "steal-attempt cap sensitivity (Figure 15)");
+    let (trace, _) = google_setup(&opts);
+    let nodes = google_sensitivity_nodes(&opts);
+    let base = ExperimentConfig {
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    eprintln!("fig15: baseline Hawk with cap 1 at {nodes} nodes...");
+    let cap1 = run_cell(
+        &trace,
+        SchedulerConfig::hawk_with_steal_cap(GOOGLE_SHORT_PARTITION, 1),
+        nodes,
+        &base,
+    );
+
+    tsv_header(&["cap", "p50_short", "p90_short", "steals", "steal_attempts"]);
+    for cap in CAPS {
+        let hawk = if cap == 1 {
+            cap1.clone()
+        } else {
+            run_cell(
+                &trace,
+                SchedulerConfig::hawk_with_steal_cap(GOOGLE_SHORT_PARTITION, cap),
+                nodes,
+                &base,
+            )
+        };
+        let short = compare(&hawk, &cap1, JobClass::Short);
+        tsv_row(&[
+            fmt(cap),
+            fmt4(short.p50_ratio),
+            fmt4(short.p90_ratio),
+            fmt(hawk.steals),
+            fmt(hawk.steal_attempts),
+        ]);
+    }
+    eprintln!("fig15: done");
+}

@@ -1,0 +1,56 @@
+//! Runs every table/figure regeneration binary in sequence, capturing each
+//! TSV into `results/<name>.tsv`.
+//!
+//! Flags are passed through to every binary, so
+//! `repro_all --quick` smoke-runs the whole evaluation and
+//! `repro_all --full-trace` reproduces the paper's full configuration.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+/// Regeneration binaries, in paper order.
+const BINARIES: [&str; 13] = [
+    "table1", "table2", "fig01", "fig04", "fig05", "fig06", "fig07", "fig08_09", "fig10_11",
+    "fig12_13", "fig14", "fig15", "fig16_17",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("current executable path");
+    let bin_dir = exe.parent().expect("executable directory").to_path_buf();
+    let out_dir = PathBuf::from("results");
+    fs::create_dir_all(&out_dir).expect("create results/");
+
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        let bin = bin_dir.join(name);
+        if !bin.exists() {
+            eprintln!(
+                "repro_all: skipping {name} (binary not built: {})",
+                bin.display()
+            );
+            failures.push(name);
+            continue;
+        }
+        let out_path = out_dir.join(format!("{name}.tsv"));
+        eprintln!("repro_all: running {name} -> {}", out_path.display());
+        let out_file = fs::File::create(&out_path).expect("create output file");
+        let status = Command::new(&bin)
+            .args(&args)
+            .stdout(Stdio::from(out_file))
+            .status()
+            .expect("spawn figure binary");
+        if !status.success() {
+            eprintln!("repro_all: {name} FAILED ({status})");
+            failures.push(name);
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!("repro_all: all outputs written to {}", out_dir.display());
+    } else {
+        eprintln!("repro_all: failures: {failures:?}");
+        std::process::exit(1);
+    }
+}

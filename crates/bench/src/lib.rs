@@ -1,0 +1,213 @@
+//! Shared harness utilities for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the Hawk
+//! paper and prints a TSV series to stdout (plus commentary on stderr).
+//! They share a tiny CLI convention:
+//!
+//! * default — the paper's cluster sizes with a truncated job count
+//!   (tens of thousands of jobs; seconds to a few minutes per figure);
+//! * `--quick` — clusters and task counts scaled down 10× for smoke runs;
+//! * `--full-trace` (alias `--paper-scale`) — the full published job count
+//!   (506,460 jobs for the Google trace; minutes to tens of minutes);
+//! * `--jobs N` / `--seed S` — explicit overrides.
+//!
+//! Truncating the job count shortens the simulated horizon but preserves
+//! the arrival rate, and therefore the offered load at every sweep point —
+//! the quantity the paper's figures are parameterized by.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+use hawk_core::{compare, ExperimentConfig, MetricsReport, SchedulerConfig};
+use hawk_workload::google::GoogleTraceConfig;
+use hawk_workload::{JobClass, Trace};
+
+/// How much of the paper's configuration to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// 10×-scaled clusters, small trace: CI-speed smoke runs.
+    Quick,
+    /// Paper cluster sizes, truncated trace (the default).
+    Paper,
+    /// Paper cluster sizes, full published job count.
+    FullTrace,
+}
+
+/// Parsed harness options.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOpts {
+    /// Scale mode.
+    pub mode: RunMode,
+    /// Job-count override.
+    pub jobs: Option<usize>,
+    /// Seed override.
+    pub seed: u64,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            mode: RunMode::Paper,
+            jobs: None,
+            seed: hawk_core::DEFAULT_SEED,
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Job count for this run: the override if given, else per mode.
+    pub fn job_count(&self, default_jobs: usize, full_jobs: usize) -> usize {
+        self.jobs.unwrap_or(match self.mode {
+            RunMode::Quick => (default_jobs / 6).max(500),
+            RunMode::Paper => default_jobs,
+            RunMode::FullTrace => full_jobs,
+        })
+    }
+
+    /// Cluster scale divisor: 10 in quick mode, 1 otherwise.
+    pub fn cluster_scale(&self) -> u64 {
+        match self.mode {
+            RunMode::Quick => 10,
+            _ => 1,
+        }
+    }
+}
+
+/// Parses `std::env::args()` under the shared convention; exits with a
+/// usage message on unknown flags.
+pub fn parse_args(binary: &str, description: &str) -> HarnessOpts {
+    let mut opts = HarnessOpts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.mode = RunMode::Quick,
+            "--full-trace" | "--paper-scale" => opts.mode = RunMode::FullTrace,
+            "--jobs" => {
+                let v = args.next().unwrap_or_default();
+                opts.jobs = Some(v.parse().unwrap_or_else(|_| usage(binary, description)));
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_default();
+                opts.seed = v.parse().unwrap_or_else(|_| usage(binary, description));
+            }
+            "--help" | "-h" => usage(binary, description),
+            _ => usage(binary, description),
+        }
+    }
+    opts
+}
+
+fn usage(binary: &str, description: &str) -> ! {
+    eprintln!("{binary}: {description}");
+    eprintln!("usage: {binary} [--quick | --full-trace] [--jobs N] [--seed S]");
+    std::process::exit(2);
+}
+
+/// The Google trace job count the paper uses after cleaning.
+pub const GOOGLE_FULL_JOBS: usize = 506_460;
+
+/// Default truncated Google job count for paper-size clusters.
+pub const GOOGLE_DEFAULT_JOBS: usize = 30_000;
+
+/// Generates the Google-like trace and its cluster-size sweep for `opts`.
+pub fn google_setup(opts: &HarnessOpts) -> (Trace, Vec<usize>) {
+    let scale = opts.cluster_scale();
+    let jobs = opts.job_count(GOOGLE_DEFAULT_JOBS, GOOGLE_FULL_JOBS);
+    eprintln!("generating Google-like trace: {jobs} jobs, cluster scale 1/{scale}");
+    let trace = GoogleTraceConfig::with_scale(scale, jobs).generate(opts.seed);
+    (trace, GoogleTraceConfig::scaled_node_sweep(scale))
+}
+
+/// The Google-trace cluster size the sensitivity studies fix (15,000 nodes
+/// in the paper; scaled in quick mode).
+pub fn google_sensitivity_nodes(opts: &HarnessOpts) -> usize {
+    15_000 / opts.cluster_scale() as usize
+}
+
+/// Prints a TSV header row to stdout.
+pub fn tsv_header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Prints one TSV row of preformatted values.
+pub fn tsv_row(values: &[String]) {
+    println!("{}", values.join("\t"));
+}
+
+/// Formats an optional float with 4 decimals for TSV output.
+pub fn fmt4(x: impl Into<Option<f64>>) -> String {
+    match x.into() {
+        Some(v) => format!("{v:.4}"),
+        None => "-".into(),
+    }
+}
+
+/// Formats any displayable value.
+pub fn fmt<T: Display>(x: T) -> String {
+    x.to_string()
+}
+
+/// Runs one scheduler on a trace at one cluster size.
+pub fn run_cell(
+    trace: &Trace,
+    scheduler: SchedulerConfig,
+    nodes: usize,
+    base: &ExperimentConfig,
+) -> MetricsReport {
+    let cfg = ExperimentConfig {
+        nodes,
+        scheduler,
+        ..base.clone()
+    };
+    hawk_core::run_experiment(trace, &cfg)
+}
+
+/// The four normalized ratios most figures report: (p50 long, p90 long,
+/// p50 short, p90 short) of `subject` over `baseline`.
+pub fn ratio_quad(
+    subject: &MetricsReport,
+    baseline: &MetricsReport,
+) -> (Option<f64>, Option<f64>, Option<f64>, Option<f64>) {
+    let long = compare(subject, baseline, JobClass::Long);
+    let short = compare(subject, baseline, JobClass::Short);
+    (
+        long.p50_ratio,
+        long.p90_ratio,
+        short.p50_ratio,
+        short.p90_ratio,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt4_formats() {
+        assert_eq!(fmt4(1.23456), "1.2346");
+        assert_eq!(fmt4(None), "-");
+        assert_eq!(fmt4(Some(0.5)), "0.5000");
+    }
+
+    #[test]
+    fn job_count_per_mode() {
+        let mut opts = HarnessOpts::default();
+        assert_eq!(opts.job_count(30_000, 506_460), 30_000);
+        opts.mode = RunMode::FullTrace;
+        assert_eq!(opts.job_count(30_000, 506_460), 506_460);
+        opts.mode = RunMode::Quick;
+        assert_eq!(opts.job_count(30_000, 506_460), 5_000);
+        opts.jobs = Some(42);
+        assert_eq!(opts.job_count(30_000, 506_460), 42);
+    }
+
+    #[test]
+    fn cluster_scale_per_mode() {
+        let mut opts = HarnessOpts::default();
+        assert_eq!(opts.cluster_scale(), 1);
+        opts.mode = RunMode::Quick;
+        assert_eq!(opts.cluster_scale(), 10);
+    }
+}

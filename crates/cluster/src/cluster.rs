@@ -1,0 +1,330 @@
+//! The cluster: a server table with partition map and utilization tracking.
+
+use hawk_simcore::stats::{median, percentile};
+use hawk_simcore::SimDuration;
+
+use crate::entry::{QueueEntry, TaskSpec};
+use crate::partition::Partition;
+use crate::server::{Server, ServerAction, ServerId};
+use crate::steal;
+
+/// A simulated cluster of single-slot FIFO servers.
+///
+/// Wraps the per-server state machines and keeps the running-server count
+/// current so utilization snapshots are O(1).
+///
+/// # Examples
+///
+/// ```
+/// use hawk_cluster::{Cluster, QueueEntry, ServerAction, ServerId, TaskSpec};
+/// use hawk_simcore::SimDuration;
+/// use hawk_workload::{JobClass, JobId};
+///
+/// let mut cluster = Cluster::new(4, 0.25); // 3 general + 1 short-reserved
+/// let spec = TaskSpec {
+///     job: JobId(0),
+///     duration: SimDuration::from_secs(60),
+///     estimate: SimDuration::from_secs(60),
+///     class: JobClass::Long,
+/// };
+/// let action = cluster.enqueue(ServerId(0), QueueEntry::Task(spec));
+/// assert_eq!(action, Some(ServerAction::StartTask(spec)));
+/// assert_eq!(cluster.running_count(), 1);
+/// assert!((cluster.utilization() - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    servers: Vec<Server>,
+    partition: Partition,
+    running: usize,
+}
+
+impl Cluster {
+    /// Creates `total` idle servers with a `short_fraction` reservation
+    /// (§3.4). Use `0.0` for unpartitioned baselines.
+    pub fn new(total: usize, short_fraction: f64) -> Self {
+        Cluster {
+            servers: (0..total)
+                .map(|i| Server::new(ServerId(i as u32)))
+                .collect(),
+            partition: Partition::new(total, short_fraction),
+            running: 0,
+        }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True if the cluster has no servers (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The partition map.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Read access to one server.
+    pub fn server(&self, id: ServerId) -> &Server {
+        &self.servers[id.index()]
+    }
+
+    /// Number of servers currently executing a task.
+    pub fn running_count(&self) -> usize {
+        self.running
+    }
+
+    /// Fraction of servers executing a task — the paper's cluster
+    /// utilization metric (§2.3: "percentage of used servers").
+    pub fn utilization(&self) -> f64 {
+        self.running as f64 / self.servers.len() as f64
+    }
+
+    /// Enqueues an entry on `id`, updating the running count.
+    pub fn enqueue(&mut self, id: ServerId, entry: QueueEntry) -> Option<ServerAction> {
+        let action = self.servers[id.index()].enqueue(entry);
+        if let Some(ServerAction::StartTask(_)) = action {
+            self.running += 1;
+        }
+        action
+    }
+
+    /// Delivers a bind response to `id`.
+    pub fn on_bind_response(&mut self, id: ServerId, task: Option<TaskSpec>) -> ServerAction {
+        let action = self.servers[id.index()].on_bind_response(task);
+        if let ServerAction::StartTask(_) = action {
+            self.running += 1;
+        }
+        action
+    }
+
+    /// Completes the running task on `id`.
+    pub fn on_task_finish(&mut self, id: ServerId) -> (TaskSpec, ServerAction) {
+        let (spec, action) = self.servers[id.index()].on_task_finish();
+        self.running -= 1;
+        if let ServerAction::StartTask(_) = action {
+            self.running += 1;
+        }
+        (spec, action)
+    }
+
+    /// Attempts to steal from `victim` (§3.6): removes and returns its
+    /// eligible group, empty when there is none.
+    pub fn steal_from(&mut self, victim: ServerId) -> Vec<QueueEntry> {
+        steal::steal_from(&mut self.servers[victim.index()])
+    }
+
+    /// Like [`Cluster::steal_from`], with an explicit granularity policy
+    /// (the `ablation_steal_granularity` bench compares them).
+    pub fn steal_from_with(
+        &mut self,
+        victim: ServerId,
+        granularity: steal::StealGranularity,
+        rng: &mut hawk_simcore::SimRng,
+    ) -> Vec<QueueEntry> {
+        steal::steal_from_with(&mut self.servers[victim.index()], granularity, rng)
+    }
+
+    /// True if `victim` currently has a non-empty eligible steal group.
+    pub fn has_stealable(&self, victim: ServerId) -> bool {
+        steal::eligible_group(&self.servers[victim.index()]).is_some()
+    }
+
+    /// Hands stolen entries to `thief`, returning the action if the thief
+    /// started processing (it is idle by construction, so it will).
+    pub fn give_stolen(
+        &mut self,
+        thief: ServerId,
+        entries: Vec<QueueEntry>,
+    ) -> Option<ServerAction> {
+        let action = self.servers[thief.index()].enqueue_all(entries);
+        if let Some(ServerAction::StartTask(_)) = action {
+            self.running += 1;
+        }
+        action
+    }
+
+    /// Checks every server's invariants plus the running count.
+    pub fn check_invariants(&self) -> bool {
+        let running = self.servers.iter().filter(|s| s.is_running()).count();
+        running == self.running && self.servers.iter().all(Server::check_invariants)
+    }
+}
+
+/// Periodic utilization snapshots (the paper samples every 100 s and
+/// reports the median; §2.3 also quotes the maximum).
+#[derive(Debug, Clone)]
+pub struct UtilizationTracker {
+    interval: SimDuration,
+    samples: Vec<f64>,
+}
+
+impl UtilizationTracker {
+    /// The paper's sampling interval.
+    pub const PAPER_INTERVAL: SimDuration = SimDuration::from_secs(100);
+
+    /// Creates a tracker sampling at `interval` (drivers schedule the
+    /// sampling events; the tracker only stores values).
+    pub fn new(interval: SimDuration) -> Self {
+        UtilizationTracker {
+            interval,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Records one utilization sample.
+    pub fn record(&mut self, utilization: f64) {
+        self.samples.push(utilization);
+    }
+
+    /// All samples, in time order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Median utilization, or `None` with no samples.
+    pub fn median(&self) -> Option<f64> {
+        median(&self.samples)
+    }
+
+    /// Maximum utilization, or `None` with no samples.
+    pub fn max(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, x| {
+                Some(acc.map_or(x, |a| a.max(x)))
+            })
+    }
+
+    /// An arbitrary percentile of the samples.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        percentile(&self.samples, p)
+    }
+}
+
+impl Default for UtilizationTracker {
+    fn default() -> Self {
+        Self::new(Self::PAPER_INTERVAL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawk_workload::{JobClass, JobId};
+
+    fn spec(job: u32, secs: u64, class: JobClass) -> TaskSpec {
+        TaskSpec {
+            job: JobId(job),
+            duration: SimDuration::from_secs(secs),
+            estimate: SimDuration::from_secs(secs),
+            class,
+        }
+    }
+
+    #[test]
+    fn running_count_tracks_lifecycle() {
+        let mut c = Cluster::new(3, 0.0);
+        assert_eq!(c.running_count(), 0);
+        c.enqueue(ServerId(0), QueueEntry::Task(spec(0, 10, JobClass::Long)));
+        c.enqueue(ServerId(0), QueueEntry::Task(spec(1, 10, JobClass::Short)));
+        c.enqueue(ServerId(1), QueueEntry::Task(spec(2, 10, JobClass::Short)));
+        assert_eq!(c.running_count(), 2);
+        assert!((c.utilization() - 2.0 / 3.0).abs() < 1e-12);
+
+        // Finishing server 0's task starts the queued one: still running.
+        let (done, action) = c.on_task_finish(ServerId(0));
+        assert_eq!(done.job, JobId(0));
+        assert!(matches!(action, ServerAction::StartTask(_)));
+        assert_eq!(c.running_count(), 2);
+
+        let (_, action) = c.on_task_finish(ServerId(0));
+        assert_eq!(action, ServerAction::BecameIdle);
+        assert_eq!(c.running_count(), 1);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn bind_response_updates_running() {
+        let mut c = Cluster::new(2, 0.0);
+        let action = c.enqueue(
+            ServerId(0),
+            QueueEntry::Probe {
+                job: JobId(5),
+                class: JobClass::Short,
+            },
+        );
+        assert_eq!(action, Some(ServerAction::RequestBind { job: JobId(5) }));
+        assert_eq!(c.running_count(), 0, "awaiting bind is not running");
+        c.on_bind_response(ServerId(0), Some(spec(5, 100, JobClass::Short)));
+        assert_eq!(c.running_count(), 1);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn steal_moves_entries_between_servers() {
+        let mut c = Cluster::new(4, 0.25);
+        // Server 0: long running, two short probes queued behind it.
+        c.enqueue(
+            ServerId(0),
+            QueueEntry::Task(spec(0, 1_000, JobClass::Long)),
+        );
+        c.enqueue(
+            ServerId(0),
+            QueueEntry::Probe {
+                job: JobId(1),
+                class: JobClass::Short,
+            },
+        );
+        c.enqueue(
+            ServerId(0),
+            QueueEntry::Probe {
+                job: JobId(2),
+                class: JobClass::Short,
+            },
+        );
+        assert!(c.has_stealable(ServerId(0)));
+
+        let stolen = c.steal_from(ServerId(0));
+        assert_eq!(stolen.len(), 2);
+        assert!(!c.has_stealable(ServerId(0)));
+
+        // Idle server 3 (short partition) receives them and starts binding.
+        let action = c.give_stolen(ServerId(3), stolen);
+        assert_eq!(action, Some(ServerAction::RequestBind { job: JobId(1) }));
+        assert_eq!(c.server(ServerId(3)).queue_len(), 1);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn utilization_tracker_median_max() {
+        let mut t = UtilizationTracker::default();
+        assert_eq!(t.median(), None);
+        assert_eq!(t.max(), None);
+        for u in [0.5, 0.9, 0.7, 1.0, 0.6] {
+            t.record(u);
+        }
+        assert!((t.median().unwrap() - 0.7).abs() < 1e-12);
+        assert_eq!(t.max().unwrap(), 1.0);
+        assert_eq!(t.samples().len(), 5);
+        assert_eq!(t.interval(), SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn partition_is_exposed() {
+        let c = Cluster::new(100, 0.17);
+        assert_eq!(c.partition().short_count(), 17);
+        assert_eq!(c.partition().general_count(), 83);
+        assert_eq!(c.len(), 100);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! The simulated cluster substrate of the Hawk reproduction.
+//!
+//! Implements the system model of paper §3.1 plus the node-monitor
+//! behaviour the schedulers rely on:
+//!
+//! * every server (worker) has **one FIFO queue** and one execution slot
+//!   ("each simulated cluster node has 1 slot", §4.1);
+//! * queue entries are either **probes** (late-binding reservations placed
+//!   by distributed schedulers, §3.5) or **tasks** (placed directly by the
+//!   centralized scheduler, §3.7);
+//! * when a probe reaches the head of the queue the server requests a task
+//!   from the job's scheduler and blocks for the round trip;
+//! * idle servers may **steal** the first consecutive group of short
+//!   entries queued behind a long task on a victim server (§3.6, Figure 3);
+//! * the cluster is split into a **general partition** and a reserved
+//!   **short partition** (§3.4).
+//!
+//! The crate is scheduler-agnostic: server methods return [`ServerAction`]s
+//! that the driver in `hawk-core` turns into simulation events.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod entry;
+mod network;
+mod partition;
+mod server;
+pub mod steal;
+
+pub use cluster::{Cluster, UtilizationTracker};
+pub use entry::{QueueEntry, TaskSpec};
+pub use network::NetworkModel;
+pub use partition::Partition;
+pub use server::{Server, ServerAction, ServerId, Slot};
+pub use steal::StealGranularity;

@@ -1,0 +1,81 @@
+//! The network model.
+//!
+//! The paper's simulator assumes a constant 0.5 ms network delay for every
+//! message (probes, task requests/responses, task placements), with
+//! scheduling decisions and steal transfers themselves free (§4.1). This
+//! module centralizes those constants so experiments can vary them.
+
+use hawk_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Constant-delay network parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// One-way message delay (paper default: 0.5 ms).
+    pub delay: SimDuration,
+    /// Delay applied to transferring stolen entries between queues (paper
+    /// default: zero — "the task stealing \[does\] not incur additional
+    /// costs").
+    pub steal_transfer_delay: SimDuration,
+}
+
+impl NetworkModel {
+    /// The paper's configuration: 0.5 ms messages, free stealing.
+    pub fn paper_default() -> Self {
+        NetworkModel {
+            delay: SimDuration::from_micros(500),
+            steal_transfer_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// An idealized zero-delay network (useful in unit tests, where it
+    /// makes event timing exact).
+    pub fn zero() -> Self {
+        NetworkModel {
+            delay: SimDuration::ZERO,
+            steal_transfer_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// One-way delay.
+    pub fn one_way(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// A full request/response round trip (the late-binding cost a server
+    /// pays when a probe reaches its queue head).
+    pub fn round_trip(&self) -> SimDuration {
+        self.delay + self.delay
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_half_millisecond() {
+        let n = NetworkModel::paper_default();
+        assert_eq!(n.one_way(), SimDuration::from_micros(500));
+        assert_eq!(n.round_trip(), SimDuration::from_millis(1));
+        assert_eq!(n.steal_transfer_delay, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn zero_network() {
+        let n = NetworkModel::zero();
+        assert_eq!(n.one_way(), SimDuration::ZERO);
+        assert_eq!(n.round_trip(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(NetworkModel::default(), NetworkModel::paper_default());
+    }
+}

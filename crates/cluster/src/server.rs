@@ -1,0 +1,410 @@
+//! The server (node monitor) state machine.
+//!
+//! A server owns one FIFO queue and one execution slot (§3.1, §4.1). The
+//! state machine has three slot states:
+//!
+//! * `Free` — no work; the queue is empty (invariant).
+//! * `AwaitingBind` — a probe reached the head of the queue; the server has
+//!   asked the job's scheduler for a task and is blocked for the round trip
+//!   (Sparrow late binding, §3.5).
+//! * `Running` — executing a task until its duration elapses.
+//!
+//! Methods return a [`ServerAction`] that the simulation driver converts
+//! into events (task-finish timers, bind-request messages, steal attempts).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use hawk_workload::{JobClass, JobId};
+use serde::{Deserialize, Serialize};
+
+use crate::entry::{QueueEntry, TaskSpec};
+
+/// Identifies a server within a cluster (dense, `0..cluster.len()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// The server's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ServerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "server#{}", self.0)
+    }
+}
+
+/// The execution-slot state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// Idle; the queue is empty.
+    Free,
+    /// Blocked on a bind round trip for a probe of `job`.
+    AwaitingBind {
+        /// Job whose scheduler was asked for a task.
+        job: JobId,
+        /// Class of the probe being bound.
+        class: JobClass,
+    },
+    /// Executing a bound task.
+    Running(TaskSpec),
+}
+
+/// What the driver must do after a server state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerAction {
+    /// A task entered the slot: schedule its completion after
+    /// `spec.duration`.
+    StartTask(TaskSpec),
+    /// A probe reached the head of the queue: send a task request to the
+    /// scheduler of `job` (the response arrives via
+    /// [`Server::on_bind_response`]).
+    RequestBind {
+        /// Job whose scheduler must be asked for a task.
+        job: JobId,
+    },
+    /// The server ran out of work: in Hawk, attempt a steal (§3.6).
+    BecameIdle,
+}
+
+/// A single-slot, FIFO-queued worker.
+///
+/// # Examples
+///
+/// ```
+/// use hawk_cluster::{QueueEntry, Server, ServerAction, ServerId};
+/// use hawk_workload::{JobClass, JobId};
+///
+/// let mut s = Server::new(ServerId(0));
+/// let action = s.enqueue(QueueEntry::Probe { job: JobId(1), class: JobClass::Short });
+/// // The probe hit the head of an idle queue: the server asks for a task.
+/// assert_eq!(action, Some(ServerAction::RequestBind { job: JobId(1) }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Server {
+    id: ServerId,
+    queue: VecDeque<QueueEntry>,
+    slot: Slot,
+    /// Number of long entries currently queued; lets the steal scan skip
+    /// ineligible victims in O(1).
+    queued_long: usize,
+}
+
+impl Server {
+    /// Creates an idle server.
+    pub fn new(id: ServerId) -> Self {
+        Server {
+            id,
+            queue: VecDeque::new(),
+            slot: Slot::Free,
+            queued_long: 0,
+        }
+    }
+
+    /// The server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The current slot state.
+    pub fn slot(&self) -> Slot {
+        self.slot
+    }
+
+    /// True when executing a task (the paper's utilization counts these
+    /// servers as used).
+    pub fn is_running(&self) -> bool {
+        matches!(self.slot, Slot::Running(_))
+    }
+
+    /// True when blocked on a bind round trip.
+    pub fn is_awaiting_bind(&self) -> bool {
+        matches!(self.slot, Slot::AwaitingBind { .. })
+    }
+
+    /// True when completely idle.
+    pub fn is_free(&self) -> bool {
+        matches!(self.slot, Slot::Free)
+    }
+
+    /// Queue length (excluding the slot).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of long entries in the queue.
+    pub fn queued_long(&self) -> usize {
+        self.queued_long
+    }
+
+    /// Read-only view of the queue, head first.
+    pub fn queue(&self) -> impl Iterator<Item = &QueueEntry> {
+        self.queue.iter()
+    }
+
+    /// Appends an entry to the queue tail (§3.1: "when a new task is
+    /// scheduled on a server that is already running a task, the task is
+    /// added to the end of the queue").
+    ///
+    /// Returns the follow-up action if the server was idle and immediately
+    /// started processing the entry, `None` otherwise.
+    pub fn enqueue(&mut self, entry: QueueEntry) -> Option<ServerAction> {
+        if entry.is_long() {
+            self.queued_long += 1;
+        }
+        self.queue.push_back(entry);
+        if self.is_free() {
+            Some(self.advance())
+        } else {
+            None
+        }
+    }
+
+    /// Appends several entries (a stolen group), returning the action if
+    /// processing started.
+    pub fn enqueue_all(
+        &mut self,
+        entries: impl IntoIterator<Item = QueueEntry>,
+    ) -> Option<ServerAction> {
+        let mut first_action = None;
+        for entry in entries {
+            let action = self.enqueue(entry);
+            if first_action.is_none() {
+                first_action = action;
+            }
+        }
+        first_action
+    }
+
+    /// Pops and processes the next queue entry.
+    ///
+    /// Callers must only invoke this through the state-transition methods;
+    /// it is public for the driver's steal path, which needs to restart a
+    /// thief after handing it stolen entries.
+    fn advance(&mut self) -> ServerAction {
+        match self.queue.pop_front() {
+            None => {
+                self.slot = Slot::Free;
+                ServerAction::BecameIdle
+            }
+            Some(QueueEntry::Task(spec)) => {
+                if spec.class.is_long() {
+                    self.queued_long -= 1;
+                }
+                self.slot = Slot::Running(spec);
+                ServerAction::StartTask(spec)
+            }
+            Some(QueueEntry::Probe { job, class }) => {
+                if class.is_long() {
+                    self.queued_long -= 1;
+                }
+                self.slot = Slot::AwaitingBind { job, class };
+                ServerAction::RequestBind { job }
+            }
+        }
+    }
+
+    /// Delivers the scheduler's response to a bind request: `Some(spec)`
+    /// launches the task, `None` is a cancel ("if the scheduler has not
+    /// given out the t tasks … it responds with a task. Otherwise, a cancel
+    /// is sent", §3.5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not awaiting a bind.
+    pub fn on_bind_response(&mut self, task: Option<TaskSpec>) -> ServerAction {
+        assert!(
+            self.is_awaiting_bind(),
+            "{} got a bind response while {:?}",
+            self.id,
+            self.slot
+        );
+        match task {
+            Some(spec) => {
+                self.slot = Slot::Running(spec);
+                ServerAction::StartTask(spec)
+            }
+            None => {
+                self.slot = Slot::Free;
+                self.advance()
+            }
+        }
+    }
+
+    /// Completes the running task, returning its spec and the follow-up
+    /// action for the freed slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no task is running.
+    pub fn on_task_finish(&mut self) -> (TaskSpec, ServerAction) {
+        let Slot::Running(spec) = self.slot else {
+            panic!("{} finished a task while {:?}", self.id, self.slot);
+        };
+        self.slot = Slot::Free;
+        (spec, self.advance())
+    }
+
+    /// Removes the queue entries at `range` (used by the steal scan),
+    /// keeping the long-entry counter consistent.
+    pub(crate) fn drain_queue(&mut self, start: usize, count: usize) -> Vec<QueueEntry> {
+        let taken: Vec<QueueEntry> = self.queue.drain(start..start + count).collect();
+        let long_taken = taken.iter().filter(|e| e.is_long()).count();
+        self.queued_long -= long_taken;
+        taken
+    }
+
+    /// Checks internal invariants; used by tests and property tests.
+    pub fn check_invariants(&self) -> bool {
+        let long_count = self.queue.iter().filter(|e| e.is_long()).count();
+        if long_count != self.queued_long {
+            return false;
+        }
+        // A free server must have an empty queue.
+        !self.is_free() || self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawk_simcore::SimDuration;
+
+    fn task(job: u32, class: JobClass) -> TaskSpec {
+        TaskSpec {
+            job: JobId(job),
+            duration: SimDuration::from_secs(5),
+            estimate: SimDuration::from_secs(5),
+            class,
+        }
+    }
+
+    #[test]
+    fn idle_server_starts_task_immediately() {
+        let mut s = Server::new(ServerId(0));
+        let spec = task(1, JobClass::Long);
+        let action = s.enqueue(QueueEntry::Task(spec));
+        assert_eq!(action, Some(ServerAction::StartTask(spec)));
+        assert!(s.is_running());
+        assert_eq!(s.queue_len(), 0);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut s = Server::new(ServerId(0));
+        s.enqueue(QueueEntry::Task(task(1, JobClass::Long)));
+        assert_eq!(s.enqueue(QueueEntry::Task(task(2, JobClass::Short))), None);
+        assert_eq!(s.enqueue(QueueEntry::Task(task(3, JobClass::Short))), None);
+        assert_eq!(s.queue_len(), 2);
+
+        let (done, action) = s.on_task_finish();
+        assert_eq!(done.job, JobId(1));
+        assert_eq!(action, ServerAction::StartTask(task(2, JobClass::Short)));
+        let (done, action) = s.on_task_finish();
+        assert_eq!(done.job, JobId(2));
+        assert_eq!(action, ServerAction::StartTask(task(3, JobClass::Short)));
+        let (_, action) = s.on_task_finish();
+        assert_eq!(action, ServerAction::BecameIdle);
+        assert!(s.is_free());
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn probe_binds_then_runs() {
+        let mut s = Server::new(ServerId(0));
+        let action = s.enqueue(QueueEntry::Probe {
+            job: JobId(9),
+            class: JobClass::Short,
+        });
+        assert_eq!(action, Some(ServerAction::RequestBind { job: JobId(9) }));
+        assert!(s.is_awaiting_bind());
+        // While awaiting, new entries just queue.
+        assert_eq!(s.enqueue(QueueEntry::Task(task(2, JobClass::Long))), None);
+
+        let spec = task(9, JobClass::Short);
+        let action = s.on_bind_response(Some(spec));
+        assert_eq!(action, ServerAction::StartTask(spec));
+        assert!(s.is_running());
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn cancelled_probe_moves_to_next_entry() {
+        let mut s = Server::new(ServerId(0));
+        s.enqueue(QueueEntry::Probe {
+            job: JobId(1),
+            class: JobClass::Short,
+        });
+        let next = task(2, JobClass::Long);
+        s.enqueue(QueueEntry::Task(next));
+        let action = s.on_bind_response(None);
+        assert_eq!(action, ServerAction::StartTask(next));
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn cancelled_probe_on_empty_queue_idles() {
+        let mut s = Server::new(ServerId(0));
+        s.enqueue(QueueEntry::Probe {
+            job: JobId(1),
+            class: JobClass::Short,
+        });
+        assert_eq!(s.on_bind_response(None), ServerAction::BecameIdle);
+        assert!(s.is_free());
+    }
+
+    #[test]
+    fn queued_long_counter_tracks() {
+        let mut s = Server::new(ServerId(0));
+        s.enqueue(QueueEntry::Task(task(1, JobClass::Short)));
+        s.enqueue(QueueEntry::Task(task(2, JobClass::Long)));
+        s.enqueue(QueueEntry::Probe {
+            job: JobId(3),
+            class: JobClass::Long,
+        });
+        s.enqueue(QueueEntry::Probe {
+            job: JobId(4),
+            class: JobClass::Short,
+        });
+        assert_eq!(s.queued_long(), 2);
+        s.on_task_finish(); // starts the long task
+        assert_eq!(s.queued_long(), 1);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "bind response")]
+    fn bind_response_without_request_panics() {
+        let mut s = Server::new(ServerId(0));
+        s.on_bind_response(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished a task")]
+    fn finish_without_running_panics() {
+        let mut s = Server::new(ServerId(0));
+        s.on_task_finish();
+    }
+
+    #[test]
+    fn enqueue_all_reports_first_action() {
+        let mut s = Server::new(ServerId(0));
+        let entries = vec![
+            QueueEntry::Probe {
+                job: JobId(1),
+                class: JobClass::Short,
+            },
+            QueueEntry::Probe {
+                job: JobId(2),
+                class: JobClass::Short,
+            },
+        ];
+        let action = s.enqueue_all(entries);
+        assert_eq!(action, Some(ServerAction::RequestBind { job: JobId(1) }));
+        assert_eq!(s.queue_len(), 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! Randomized work stealing: the victim-queue scan of §3.6 / Figure 3.
+//!
+//! "The first consecutive group of short tasks that come after a long task
+//! is stolen." Concretely, considering the sequence formed by the victim's
+//! occupied slot followed by its queue:
+//!
+//! * if the victim is executing (or binding) a **long** task, the stolen
+//!   group is the first run of consecutive short entries in its queue
+//!   (Figure 3, cases b1/b2) — the running long task will delay them even
+//!   though it has already made progress;
+//! * otherwise the stolen group is the first run of consecutive short
+//!   entries *after* the first long entry in the queue (cases a1/a2) —
+//!   short tasks ahead of any long task will run soon and are not stolen;
+//! * if no long task is involved anywhere, nothing is eligible: stealing
+//!   exists to rescue short tasks from head-of-line blocking behind long
+//!   ones.
+//!
+//! Stealing a *limited, head-adjacent* group focuses the benefit on a few
+//! jobs so their overall job runtime improves, rather than trimming one
+//! task from many jobs (§3.6).
+
+use crate::entry::QueueEntry;
+use crate::server::{Server, Slot};
+
+/// The eligible steal group in a victim's queue: `(start index, length)`.
+///
+/// Returns `None` when nothing is eligible. Does not modify the victim;
+/// [`steal_from`] performs the removal.
+pub fn eligible_group(victim: &Server) -> Option<(usize, usize)> {
+    let slot_is_long = match victim.slot() {
+        Slot::Running(spec) => spec.class.is_long(),
+        Slot::AwaitingBind { class, .. } => class.is_long(),
+        Slot::Free => false,
+    };
+    // Fast path: no long task anywhere on this server.
+    if !slot_is_long && victim.queued_long() == 0 {
+        return None;
+    }
+
+    let mut seen_long = slot_is_long;
+    let mut start = None;
+    let mut len = 0usize;
+    for (i, entry) in victim.queue().enumerate() {
+        if entry.is_long() {
+            if start.is_some() {
+                break; // end of the first short run after a long task
+            }
+            seen_long = true;
+        } else if seen_long {
+            if start.is_none() {
+                start = Some(i);
+            }
+            len += 1;
+        }
+        // Short entries before any long task are not eligible; skip.
+    }
+    start.map(|s| (s, len))
+}
+
+/// Removes and returns the eligible group from `victim` (empty if none).
+pub fn steal_from(victim: &mut Server) -> Vec<QueueEntry> {
+    match eligible_group(victim) {
+        Some((start, len)) => victim.drain_queue(start, len),
+        None => Vec::new(),
+    }
+}
+
+/// What an idle thief takes from a victim's queue.
+///
+/// §3.6 argues for [`StealGranularity::FirstBlockedGroup`]: stealing a
+/// limited, head-adjacent group focuses on a few jobs so their *job*
+/// runtimes actually improve. The alternatives exist to test that design
+/// rationale (see the `ablation_steal_granularity` bench):
+///
+/// * [`StealGranularity::RandomBlockedEntry`] is the strawman the paper
+///   rejects — "if short tasks were stolen from random positions in server
+///   queues that would likely end up focusing on too many jobs at the same
+///   time while failing to improve most";
+/// * [`StealGranularity::AllBlockedShorts`] is maximally aggressive and
+///   trades steal-message efficiency for queue churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum StealGranularity {
+    /// The paper's policy: the first consecutive group of short entries
+    /// after the first long element (Figure 3).
+    FirstBlockedGroup,
+    /// One uniformly random short entry positioned behind a long element.
+    RandomBlockedEntry,
+    /// Every short entry positioned behind the first long element.
+    AllBlockedShorts,
+}
+
+/// Indices of every short entry located after the first long element of
+/// the (slot, queue) sequence; empty when nothing is blocked.
+fn blocked_short_indices(victim: &Server) -> Vec<usize> {
+    let slot_is_long = match victim.slot() {
+        Slot::Running(spec) => spec.class.is_long(),
+        Slot::AwaitingBind { class, .. } => class.is_long(),
+        Slot::Free => false,
+    };
+    if !slot_is_long && victim.queued_long() == 0 {
+        return Vec::new();
+    }
+    let mut seen_long = slot_is_long;
+    let mut out = Vec::new();
+    for (i, entry) in victim.queue().enumerate() {
+        if entry.is_long() {
+            seen_long = true;
+        } else if seen_long {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Removes entries from `victim` according to `granularity`.
+///
+/// `rng` is used only by [`StealGranularity::RandomBlockedEntry`].
+pub fn steal_from_with(
+    victim: &mut Server,
+    granularity: StealGranularity,
+    rng: &mut hawk_simcore::SimRng,
+) -> Vec<QueueEntry> {
+    match granularity {
+        StealGranularity::FirstBlockedGroup => steal_from(victim),
+        StealGranularity::RandomBlockedEntry => {
+            let blocked = blocked_short_indices(victim);
+            if blocked.is_empty() {
+                return Vec::new();
+            }
+            let pick = blocked[rng.index(blocked.len())];
+            victim.drain_queue(pick, 1)
+        }
+        StealGranularity::AllBlockedShorts => {
+            let blocked = blocked_short_indices(victim);
+            // Remove back-to-front so earlier indices stay valid, then
+            // restore queue order.
+            let mut out: Vec<QueueEntry> = blocked
+                .iter()
+                .rev()
+                .flat_map(|&i| victim.drain_queue(i, 1))
+                .collect();
+            out.reverse();
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::TaskSpec;
+    use crate::server::ServerId;
+    use hawk_simcore::SimDuration;
+    use hawk_workload::{JobClass, JobId};
+
+    fn long_task(job: u32) -> QueueEntry {
+        QueueEntry::Task(TaskSpec {
+            job: JobId(job),
+            duration: SimDuration::from_secs(1_000),
+            estimate: SimDuration::from_secs(1_000),
+            class: JobClass::Long,
+        })
+    }
+
+    fn short_probe(job: u32) -> QueueEntry {
+        QueueEntry::Probe {
+            job: JobId(job),
+            class: JobClass::Short,
+        }
+    }
+
+    fn long_probe(job: u32) -> QueueEntry {
+        QueueEntry::Probe {
+            job: JobId(job),
+            class: JobClass::Long,
+        }
+    }
+
+    /// Builds a server executing `first` with `rest` queued behind it.
+    fn server_with(first: QueueEntry, rest: &[QueueEntry]) -> Server {
+        let mut s = Server::new(ServerId(0));
+        s.enqueue(first);
+        // A probe head leaves the server awaiting bind; bind it so the
+        // server is Running for the Figure 3 "executing" cases.
+        if s.is_awaiting_bind() {
+            let class = match first {
+                QueueEntry::Probe { class, .. } => class,
+                _ => unreachable!(),
+            };
+            s.on_bind_response(Some(TaskSpec {
+                job: first.job(),
+                duration: SimDuration::from_secs(10),
+                estimate: SimDuration::from_secs(10),
+                class,
+            }));
+        }
+        for &e in rest {
+            s.enqueue(e);
+        }
+        s
+    }
+
+    fn jobs(entries: &[QueueEntry]) -> Vec<u32> {
+        entries.iter().map(|e| e.job().0).collect()
+    }
+
+    #[test]
+    fn case_a_executing_short_steals_after_first_long() {
+        // Figure 3 a1: executing S; queue = [S, L, S, S, L, S].
+        // Stolen: the S, S after the first long.
+        let mut s = server_with(
+            short_probe(0),
+            &[
+                short_probe(1),
+                long_task(2),
+                short_probe(3),
+                short_probe(4),
+                long_task(5),
+                short_probe(6),
+            ],
+        );
+        let stolen = steal_from(&mut s);
+        assert_eq!(jobs(&stolen), vec![3, 4]);
+        assert_eq!(s.queue_len(), 4);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn case_b_executing_long_steals_from_queue_head() {
+        // Figure 3 b1: executing L; queue = [S, S, L, S].
+        // Stolen: the two head shorts.
+        let mut s = server_with(
+            long_task(0),
+            &[short_probe(1), short_probe(2), long_task(3), short_probe(4)],
+        );
+        let stolen = steal_from(&mut s);
+        assert_eq!(jobs(&stolen), vec![1, 2]);
+        assert_eq!(s.queue_len(), 2);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn no_long_anywhere_nothing_stolen() {
+        let mut s = server_with(short_probe(0), &[short_probe(1), short_probe(2)]);
+        assert_eq!(eligible_group(&s), None);
+        assert!(steal_from(&mut s).is_empty());
+        assert_eq!(s.queue_len(), 2);
+    }
+
+    #[test]
+    fn shorts_ahead_of_long_not_stolen_when_executing_short() {
+        // Executing S; queue = [S, S, L]: nothing after the long → no steal.
+        let mut s = server_with(
+            short_probe(0),
+            &[short_probe(1), short_probe(2), long_task(3)],
+        );
+        assert_eq!(eligible_group(&s), None);
+        assert!(steal_from(&mut s).is_empty());
+    }
+
+    #[test]
+    fn executing_long_with_long_queue_head_skips_to_first_short_run() {
+        // Executing L; queue = [L, S, S, L]: the S, S are still blocked
+        // behind a long task; steal them.
+        let mut s = server_with(
+            long_task(0),
+            &[long_task(1), short_probe(2), short_probe(3), long_task(4)],
+        );
+        let stolen = steal_from(&mut s);
+        assert_eq!(jobs(&stolen), vec![2, 3]);
+    }
+
+    #[test]
+    fn awaiting_bind_on_long_probe_counts_as_long_slot() {
+        // Hawk-w/o-centralized ablation: a long probe is mid-bind; the
+        // queued shorts behind it are eligible.
+        let mut s = Server::new(ServerId(0));
+        s.enqueue(long_probe(0));
+        assert!(s.is_awaiting_bind());
+        s.enqueue(short_probe(1));
+        s.enqueue(short_probe(2));
+        let stolen = steal_from(&mut s);
+        assert_eq!(jobs(&stolen), vec![1, 2]);
+    }
+
+    #[test]
+    fn awaiting_bind_on_short_probe_is_a_short_slot() {
+        let mut s = Server::new(ServerId(0));
+        s.enqueue(short_probe(0));
+        s.enqueue(short_probe(1));
+        s.enqueue(long_task(2));
+        s.enqueue(short_probe(3));
+        let stolen = steal_from(&mut s);
+        assert_eq!(jobs(&stolen), vec![3]);
+    }
+
+    #[test]
+    fn whole_tail_stolen_when_all_short_after_long() {
+        let mut s = server_with(
+            long_task(0),
+            &[short_probe(1), short_probe(2), short_probe(3)],
+        );
+        let stolen = steal_from(&mut s);
+        assert_eq!(jobs(&stolen), vec![1, 2, 3]);
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn empty_queue_nothing_stolen() {
+        let mut s = server_with(long_task(0), &[]);
+        assert_eq!(eligible_group(&s), None);
+        assert!(steal_from(&mut s).is_empty());
+    }
+
+    #[test]
+    fn idle_server_nothing_stolen() {
+        let mut s = Server::new(ServerId(0));
+        assert_eq!(eligible_group(&s), None);
+        assert!(steal_from(&mut s).is_empty());
+    }
+
+    #[test]
+    fn steal_preserves_relative_order() {
+        let mut s = server_with(
+            long_task(0),
+            &[short_probe(5), short_probe(3), short_probe(9)],
+        );
+        let stolen = steal_from(&mut s);
+        assert_eq!(jobs(&stolen), vec![5, 3, 9]);
+    }
+
+    #[test]
+    fn all_blocked_shorts_takes_everything_behind_the_long() {
+        use hawk_simcore::SimRng;
+        // Executing S; queue = [S, L, S, S, L, S]: all three shorts after
+        // the first long are blocked.
+        let mut s = server_with(
+            short_probe(0),
+            &[
+                short_probe(1),
+                long_task(2),
+                short_probe(3),
+                short_probe(4),
+                long_task(5),
+                short_probe(6),
+            ],
+        );
+        let mut rng = SimRng::seed_from_u64(1);
+        let stolen = steal_from_with(&mut s, StealGranularity::AllBlockedShorts, &mut rng);
+        assert_eq!(jobs(&stolen), vec![3, 4, 6]);
+        assert_eq!(s.queue_len(), 3); // S1, L2, L5 remain
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn random_blocked_entry_takes_exactly_one_eligible() {
+        use hawk_simcore::SimRng;
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let mut s = server_with(
+                long_task(0),
+                &[short_probe(1), short_probe(2), long_task(3), short_probe(4)],
+            );
+            let stolen = steal_from_with(&mut s, StealGranularity::RandomBlockedEntry, &mut rng);
+            assert_eq!(stolen.len(), 1);
+            let id = stolen[0].job().0;
+            assert!([1, 2, 4].contains(&id), "stole ineligible entry {id}");
+            seen.insert(id);
+            assert!(s.check_invariants());
+        }
+        // All three blocked entries are reachable.
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn granularities_agree_on_empty_eligibility() {
+        use hawk_simcore::SimRng;
+        let mut rng = SimRng::seed_from_u64(3);
+        for granularity in [
+            StealGranularity::FirstBlockedGroup,
+            StealGranularity::RandomBlockedEntry,
+            StealGranularity::AllBlockedShorts,
+        ] {
+            let mut s = server_with(short_probe(0), &[short_probe(1)]);
+            assert!(steal_from_with(&mut s, granularity, &mut rng).is_empty());
+            assert_eq!(s.queue_len(), 1);
+        }
+    }
+
+    #[test]
+    fn first_group_via_steal_from_with_matches_steal_from() {
+        use hawk_simcore::SimRng;
+        let build = || {
+            server_with(
+                long_task(0),
+                &[short_probe(1), short_probe(2), long_task(3), short_probe(4)],
+            )
+        };
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut a = build();
+        let mut b = build();
+        assert_eq!(
+            steal_from(&mut a),
+            steal_from_with(&mut b, StealGranularity::FirstBlockedGroup, &mut rng)
+        );
+    }
+}

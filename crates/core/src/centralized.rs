@@ -1,0 +1,169 @@
+//! The centralized waiting-time scheduler (§3.7).
+//!
+//! "The centralized component keeps a priority queue of tuples of the form
+//! ⟨server, waiting time⟩ … When a new job is scheduled, for every task,
+//! the centralized allocation algorithm puts the task on the node that is
+//! at the head of the priority queue (the one with the smallest waiting
+//! time). After every task assignment, the priority queue is updated."
+//!
+//! The waiting time tracked here is the sum of *estimated* runtimes of
+//! every centrally-placed task assigned to the server and not yet reported
+//! complete. This matches the paper's definition up to one refinement: the
+//! paper subtracts the elapsed part of the currently-executing long task,
+//! which requires task-start notifications the paper does not describe;
+//! we subtract the whole estimate at completion instead (bounded error of
+//! one task estimate per server; see DESIGN.md).
+
+use hawk_cluster::ServerId;
+use hawk_simcore::{IndexedMinHeap, SimDuration};
+
+/// The centralized scheduler's per-server estimated-work bookkeeping.
+///
+/// The scheduler owns a contiguous scope of servers `[0, scope)` — the
+/// general partition in Hawk, the whole cluster in the fully-centralized
+/// baseline.
+///
+/// # Examples
+///
+/// ```
+/// use hawk_core::CentralScheduler;
+/// use hawk_simcore::SimDuration;
+///
+/// let mut sched = CentralScheduler::new(3);
+/// // A 2-task job with a 100 s estimate: balanced over the least-loaded.
+/// let placement = sched.assign_job(2, SimDuration::from_secs(100));
+/// assert_eq!(placement.len(), 2);
+/// assert_ne!(placement[0], placement[1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CentralScheduler {
+    /// Estimated unfinished centrally-placed work per server, microseconds.
+    work: IndexedMinHeap,
+}
+
+impl CentralScheduler {
+    /// Creates a scheduler over servers `[0, scope)`, all initially idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scope` is zero: a centralized route needs at least one
+    /// eligible server.
+    pub fn new(scope: usize) -> Self {
+        assert!(scope > 0, "centralized scheduler needs a non-empty scope");
+        CentralScheduler {
+            work: IndexedMinHeap::new(scope, 0),
+        }
+    }
+
+    /// Number of servers in scope.
+    pub fn scope(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Places every task of a job: each goes to the server with the
+    /// smallest estimated waiting time, updating the queue after every
+    /// assignment (§3.7).
+    pub fn assign_job(&mut self, tasks: usize, estimate: SimDuration) -> Vec<ServerId> {
+        let mut placement = Vec::with_capacity(tasks);
+        for _ in 0..tasks {
+            let id = self.work.min_id();
+            self.work.add(id, estimate.as_micros());
+            placement.push(ServerId(id as u32));
+        }
+        placement
+    }
+
+    /// Records the completion of a centrally-placed task: the server's
+    /// estimated work shrinks by the task's estimate.
+    pub fn on_task_complete(&mut self, server: ServerId, estimate: SimDuration) {
+        self.work.sub(server.index(), estimate.as_micros());
+    }
+
+    /// The current estimated waiting time of `server`.
+    pub fn estimated_wait(&self, server: ServerId) -> SimDuration {
+        SimDuration::from_micros(self.work.key_of(server.index()))
+    }
+
+    /// The smallest estimated waiting time across the scope.
+    pub fn min_wait(&self) -> SimDuration {
+        SimDuration::from_micros(self.work.min_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balances_equal_estimates() {
+        let mut s = CentralScheduler::new(4);
+        let placement = s.assign_job(8, SimDuration::from_secs(10));
+        // Every server gets exactly two tasks.
+        let mut counts = [0usize; 4];
+        for id in placement {
+            counts[id.index()] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2]);
+        for i in 0..4 {
+            assert_eq!(
+                s.estimated_wait(ServerId(i as u32)),
+                SimDuration::from_secs(20)
+            );
+        }
+    }
+
+    #[test]
+    fn prefers_least_loaded() {
+        let mut s = CentralScheduler::new(2);
+        s.assign_job(1, SimDuration::from_secs(100)); // server 0 loaded
+        let placement = s.assign_job(1, SimDuration::from_secs(10));
+        assert_eq!(placement, vec![ServerId(1)]);
+    }
+
+    #[test]
+    fn completions_free_capacity() {
+        let mut s = CentralScheduler::new(2);
+        s.assign_job(2, SimDuration::from_secs(100)); // one task each
+        s.on_task_complete(ServerId(0), SimDuration::from_secs(100));
+        assert_eq!(s.estimated_wait(ServerId(0)), SimDuration::ZERO);
+        assert_eq!(s.min_wait(), SimDuration::ZERO);
+        let placement = s.assign_job(1, SimDuration::from_secs(5));
+        assert_eq!(placement, vec![ServerId(0)]);
+    }
+
+    #[test]
+    fn more_tasks_than_servers_queue_up() {
+        let mut s = CentralScheduler::new(3);
+        let placement = s.assign_job(10, SimDuration::from_secs(1));
+        assert_eq!(placement.len(), 10);
+        let total: u64 = (0..3)
+            .map(|i| s.estimated_wait(ServerId(i)).as_micros())
+            .sum();
+        assert_eq!(total, SimDuration::from_secs(10).as_micros());
+        // Max imbalance is one task.
+        let waits: Vec<u64> = (0..3)
+            .map(|i| s.estimated_wait(ServerId(i)).as_micros())
+            .collect();
+        let spread = waits.iter().max().unwrap() - waits.iter().min().unwrap();
+        assert!(spread <= SimDuration::from_secs(1).as_micros());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty scope")]
+    fn zero_scope_rejected() {
+        CentralScheduler::new(0);
+    }
+
+    #[test]
+    fn interleaved_jobs_see_each_others_load() {
+        // §3.7's point: the central view covers all long work. Job B's
+        // placement must avoid servers loaded by job A.
+        let mut s = CentralScheduler::new(4);
+        let a = s.assign_job(2, SimDuration::from_secs(1_000));
+        let b = s.assign_job(2, SimDuration::from_secs(1));
+        let a_set: std::collections::HashSet<_> = a.into_iter().collect();
+        for id in b {
+            assert!(!a_set.contains(&id), "job B placed behind job A");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Distributed batch probing (§3.5, after Sparrow [14]).
+//!
+//! "To schedule a job with *t* tasks, a distributed scheduler sends probes
+//! to *2t* servers. When a probe comes to the head of a server's queue, the
+//! server requests a task from the scheduler. If the scheduler has not
+//! given out the *t* tasks to other servers, it responds to the server with
+//! a task. Otherwise, a cancel is sent."
+//!
+//! The per-job late-binding state (which tasks are still unlaunched) lives
+//! in the driver; this module computes probe *placements*: how many probes
+//! and which servers, uniformly at random within the route's scope.
+
+use hawk_cluster::ServerId;
+use hawk_simcore::SimRng;
+
+/// Plans probe counts and targets for one distributed scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbePlanner {
+    /// Probes per task (paper: 2).
+    pub probe_ratio: f64,
+}
+
+impl ProbePlanner {
+    /// Creates a planner with the given probe ratio.
+    pub fn new(probe_ratio: f64) -> Self {
+        assert!(
+            probe_ratio >= 1.0,
+            "probe ratio below 1 cannot bind all tasks"
+        );
+        ProbePlanner { probe_ratio }
+    }
+
+    /// Number of probes for a job with `tasks` tasks: `⌈ratio·t⌉`.
+    pub fn probes_for(&self, tasks: usize) -> usize {
+        (self.probe_ratio * tasks as f64).ceil() as usize
+    }
+
+    /// Picks probe targets within the contiguous server range
+    /// `[start, start+len)`.
+    ///
+    /// Targets are distinct while the range allows it. When a job needs
+    /// more probes than the scope has servers (possible only in scaled-down
+    /// clusters), every server receives `⌊probes/len⌋` probes and the
+    /// remainder is placed on a distinct random subset — guaranteeing at
+    /// least `t` probes exist so late binding can launch every task.
+    pub fn targets(&self, tasks: usize, start: u32, len: usize, rng: &mut SimRng) -> Vec<ServerId> {
+        assert!(len > 0, "probe scope is empty");
+        let probes = self.probes_for(tasks);
+        let mut out = Vec::with_capacity(probes);
+        let full_rounds = probes / len;
+        let remainder = probes % len;
+        for _ in 0..full_rounds {
+            out.extend((0..len as u32).map(|i| ServerId(start + i)));
+        }
+        out.extend(
+            rng.sample_distinct(len, remainder)
+                .into_iter()
+                .map(|i| ServerId(start + i as u32)),
+        );
+        out
+    }
+}
+
+impl Default for ProbePlanner {
+    /// The paper's probe ratio of 2.
+    fn default() -> Self {
+        ProbePlanner::new(2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn probe_count_is_twice_tasks() {
+        let p = ProbePlanner::default();
+        assert_eq!(p.probes_for(100), 200);
+        assert_eq!(p.probes_for(1), 2);
+    }
+
+    #[test]
+    fn fractional_ratio_rounds_up() {
+        let p = ProbePlanner::new(1.5);
+        assert_eq!(p.probes_for(3), 5);
+    }
+
+    #[test]
+    fn targets_distinct_when_room() {
+        let p = ProbePlanner::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        let targets = p.targets(10, 0, 1_000, &mut rng);
+        assert_eq!(targets.len(), 20);
+        let set: HashSet<_> = targets.iter().collect();
+        assert_eq!(set.len(), 20, "targets must be distinct");
+        assert!(targets.iter().all(|s| s.0 < 1_000));
+    }
+
+    #[test]
+    fn targets_respect_range_offset() {
+        let p = ProbePlanner::default();
+        let mut rng = SimRng::seed_from_u64(2);
+        let targets = p.targets(5, 500, 100, &mut rng);
+        assert!(targets.iter().all(|s| (500..600).contains(&s.0)));
+    }
+
+    #[test]
+    fn oversubscribed_range_tops_up_with_repeats() {
+        // 2t = 50 probes into 20 servers: every server gets 2, 10 get 3.
+        let p = ProbePlanner::default();
+        let mut rng = SimRng::seed_from_u64(3);
+        let targets = p.targets(25, 0, 20, &mut rng);
+        assert_eq!(targets.len(), 50);
+        let mut counts = [0usize; 20];
+        for t in &targets {
+            counts[t.0 as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 2 || c == 3));
+        assert_eq!(counts.iter().filter(|&&c| c == 3).count(), 10);
+    }
+
+    #[test]
+    fn probes_always_cover_tasks() {
+        // The late-binding liveness condition: probes ≥ tasks even in tiny
+        // scopes.
+        let p = ProbePlanner::default();
+        let mut rng = SimRng::seed_from_u64(4);
+        for (tasks, len) in [(100, 7), (3, 1), (64, 64), (1, 1)] {
+            let targets = p.targets(tasks, 0, len, &mut rng);
+            assert!(
+                targets.len() >= tasks,
+                "{} probes for {tasks} tasks in scope {len}",
+                targets.len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probe ratio below 1")]
+    fn ratio_below_one_rejected() {
+        ProbePlanner::new(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe scope is empty")]
+    fn empty_scope_rejected() {
+        let p = ProbePlanner::default();
+        let mut rng = SimRng::seed_from_u64(5);
+        p.targets(1, 0, 0, &mut rng);
+    }
+}

@@ -1,0 +1,169 @@
+//! Experiment entry points.
+
+use hawk_workload::classify::JobEstimates;
+use hawk_workload::Trace;
+
+use crate::config::ExperimentConfig;
+use crate::driver::Driver;
+use crate::metrics::MetricsReport;
+
+/// Runs one experiment cell: `trace` under `cfg`, to completion.
+///
+/// Deterministic: the same inputs produce bit-identical reports.
+///
+/// # Examples
+///
+/// ```
+/// use hawk_core::{run_experiment, ExperimentConfig, SchedulerConfig, compare};
+/// use hawk_workload::motivation::MotivationConfig;
+/// use hawk_workload::JobClass;
+///
+/// let trace = MotivationConfig {
+///     jobs: 30,
+///     short_tasks: 4,
+///     long_tasks: 16,
+///     ..Default::default()
+/// }
+/// .generate(7);
+///
+/// let base = ExperimentConfig { nodes: 64, ..ExperimentConfig::default() };
+/// let hawk = run_experiment(
+///     &trace,
+///     &ExperimentConfig { scheduler: SchedulerConfig::hawk(0.17), ..base.clone() },
+/// );
+/// let sparrow = run_experiment(
+///     &trace,
+///     &ExperimentConfig { scheduler: SchedulerConfig::sparrow(), ..base },
+/// );
+/// let cmp = compare(&hawk, &sparrow, JobClass::Short);
+/// assert!(cmp.p50_ratio.is_some());
+/// ```
+pub fn run_experiment(trace: &Trace, cfg: &ExperimentConfig) -> MetricsReport {
+    Driver::new(trace, cfg).run()
+}
+
+/// Like [`run_experiment`], but also returns the (possibly misestimated)
+/// per-job estimates the scheduler used — handy for analyses that need to
+/// know how jobs were classified during the run (§4.8).
+pub fn run_experiment_with_estimates(
+    trace: &Trace,
+    cfg: &ExperimentConfig,
+) -> (MetricsReport, JobEstimates) {
+    use hawk_simcore::SimRng;
+    // Reproduce the driver's estimate derivation (same seed stream).
+    let mut root = SimRng::seed_from_u64(cfg.seed);
+    let mut estimate_rng = root.split();
+    let estimates = match cfg.misestimate {
+        Some(range) => JobEstimates::misestimated(trace, range, &mut estimate_rng),
+        None => JobEstimates::exact(trace),
+    };
+    (run_experiment(trace, cfg), estimates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SchedulerConfig;
+    use crate::metrics::compare;
+    use hawk_workload::classify::MisestimateRange;
+    use hawk_workload::motivation::MotivationConfig;
+    use hawk_workload::JobClass;
+
+    fn small_motivation() -> Trace {
+        MotivationConfig {
+            jobs: 60,
+            short_tasks: 8,
+            long_tasks: 30,
+            ..Default::default()
+        }
+        .generate(3)
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = small_motivation();
+        let cfg = ExperimentConfig {
+            nodes: 128,
+            scheduler: SchedulerConfig::hawk(0.17),
+            ..ExperimentConfig::default()
+        };
+        let a = run_experiment(&trace, &cfg);
+        let b = run_experiment(&trace, &cfg);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.steals, b.steals);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let trace = small_motivation();
+        let base = ExperimentConfig {
+            nodes: 128,
+            scheduler: SchedulerConfig::sparrow(),
+            ..ExperimentConfig::default()
+        };
+        let a = run_experiment(&trace, &base);
+        let b = run_experiment(
+            &trace,
+            &ExperimentConfig {
+                seed: base.seed + 1,
+                ..base.clone()
+            },
+        );
+        // Probe placement differs, so at least one runtime should differ.
+        assert_ne!(a.results, b.results);
+    }
+
+    #[test]
+    fn estimates_returned_match_run() {
+        let trace = small_motivation();
+        let cfg = ExperimentConfig {
+            nodes: 128,
+            scheduler: SchedulerConfig::hawk(0.17),
+            misestimate: Some(MisestimateRange::symmetric(0.5)),
+            ..ExperimentConfig::default()
+        };
+        let (report, estimates) = run_experiment_with_estimates(&trace, &cfg);
+        for r in &report.results {
+            assert_eq!(r.scheduled_class, estimates.class(r.job, cfg.cutoff));
+        }
+    }
+
+    #[test]
+    fn loaded_cluster_hawk_beats_sparrow_for_shorts() {
+        // The paper's core claim, at miniature scale: a loaded
+        // heterogeneous cluster where Sparrow's shorts queue behind longs.
+        let trace = MotivationConfig {
+            jobs: 150,
+            short_tasks: 6,
+            long_tasks: 40,
+            mean_interarrival: hawk_simcore::SimDuration::from_secs(25),
+            ..Default::default()
+        }
+        .generate(11);
+        let base = ExperimentConfig {
+            nodes: 150,
+            ..ExperimentConfig::default()
+        };
+        let hawk = run_experiment(
+            &trace,
+            &ExperimentConfig {
+                scheduler: SchedulerConfig::hawk(0.17),
+                ..base.clone()
+            },
+        );
+        let sparrow = run_experiment(
+            &trace,
+            &ExperimentConfig {
+                scheduler: SchedulerConfig::sparrow(),
+                ..base
+            },
+        );
+        let cmp = compare(&hawk, &sparrow, JobClass::Short);
+        let p90 = cmp.p90_ratio.expect("short jobs exist");
+        assert!(
+            p90 < 1.0,
+            "Hawk should beat Sparrow for short jobs under load: p90 ratio {p90}"
+        );
+    }
+}

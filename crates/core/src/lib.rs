@@ -1,0 +1,65 @@
+//! The Hawk hybrid scheduler and the baselines it is evaluated against.
+//!
+//! This crate implements the paper's primary contribution — the hybrid
+//! centralized/distributed scheduler of §3 — together with every scheduler
+//! the evaluation compares it to, all running on the simulated cluster
+//! substrate from [`hawk_cluster`]:
+//!
+//! * **Hawk** (§3): long jobs scheduled by a centralized waiting-time
+//!   scheduler restricted to the general partition; short jobs scheduled
+//!   Sparrow-style over the whole cluster; randomized work stealing
+//!   rescues short tasks blocked behind long ones. Ablation switches
+//!   disable each component individually (Figure 7).
+//! * **Sparrow** (§2.3, \[14\]): fully distributed batch probing with late
+//!   binding, probe ratio 2.
+//! * **Fully centralized** (§4.5): the §3.7 algorithm applied to every job
+//!   over the whole cluster.
+//! * **Split cluster** (§4.6): disjoint partitions; long jobs centralized
+//!   on the long partition, short jobs probed only at the short partition.
+//!
+//! [`run_experiment`] executes one `(trace, scheduler, cluster size)` cell
+//! and returns a [`MetricsReport`] with per-job runtimes and utilization
+//! series; [`compare`] computes the paper's normalized metrics.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hawk_core::{run_experiment, ExperimentConfig, SchedulerConfig};
+//! use hawk_workload::motivation::MotivationConfig;
+//!
+//! // A small §2.3-style workload on a small cluster.
+//! let trace = MotivationConfig {
+//!     jobs: 40,
+//!     short_tasks: 10,
+//!     long_tasks: 40,
+//!     ..Default::default()
+//! }
+//! .generate(1);
+//!
+//! let cfg = ExperimentConfig {
+//!     nodes: 100,
+//!     scheduler: SchedulerConfig::hawk(0.17),
+//!     ..ExperimentConfig::default()
+//! };
+//! let report = run_experiment(&trace, &cfg);
+//! assert_eq!(report.results.len(), trace.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod centralized;
+mod config;
+mod distributed;
+mod driver;
+mod experiment;
+pub mod metrics;
+mod steal_policy;
+
+pub use centralized::CentralScheduler;
+pub use config::{CentralOverhead, ExperimentConfig, Route, SchedulerConfig, Scope, DEFAULT_SEED};
+pub use distributed::ProbePlanner;
+pub use driver::{Driver, Event};
+pub use experiment::{run_experiment, run_experiment_with_estimates};
+pub use metrics::{compare, ClassSummary, Comparison, JobResult, MetricsReport};
+pub use steal_policy::StealPolicy;

@@ -1,0 +1,298 @@
+//! Experiment metrics: per-job runtimes, percentiles, and the paper's
+//! normalized comparisons.
+//!
+//! The paper's primary metric is the ratio of the 50th (or 90th) percentile
+//! job runtime between Hawk and a baseline, computed separately for short
+//! and long jobs (§4.1 "Metrics"). Figure 5c adds the fraction of jobs for
+//! which Hawk is better than or equal to the baseline, and the average
+//! job runtime ratio.
+
+use hawk_simcore::stats::{mean, percentile};
+use hawk_simcore::{SimDuration, SimTime};
+use hawk_workload::{JobClass, JobId};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one job in one experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// The job.
+    pub job: JobId,
+    /// Class under *exact* estimates — the grouping every figure reports
+    /// ("the set of jobs classified as long when no mis-estimations are
+    /// present", §4.8).
+    pub true_class: JobClass,
+    /// Class the scheduler actually used (differs from `true_class` only
+    /// under misestimation).
+    pub scheduled_class: JobClass,
+    /// Submission time.
+    pub submission: SimTime,
+    /// Completion time of the job's last task.
+    pub completion: SimTime,
+    /// Number of tasks.
+    pub num_tasks: usize,
+}
+
+impl JobResult {
+    /// Job runtime: completion − submission (includes every scheduling and
+    /// queueing delay).
+    pub fn runtime(&self) -> SimDuration {
+        self.completion - self.submission
+    }
+}
+
+/// Everything measured in one experiment run.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsReport {
+    /// Scheduler name (from the config).
+    pub scheduler: &'static str,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Per-job outcomes, indexed by job id.
+    pub results: Vec<JobResult>,
+    /// Median of the 100 s utilization snapshots.
+    pub median_utilization: f64,
+    /// Maximum utilization snapshot.
+    pub max_utilization: f64,
+    /// Raw utilization samples (Figure 1 quotes median and max; kept for
+    /// inspection).
+    pub utilization_samples: Vec<f64>,
+    /// Simulated time at which the last job completed.
+    pub makespan: SimTime,
+    /// Simulation events processed (throughput accounting).
+    pub events: u64,
+    /// Number of successful steal operations (entries moved > 0).
+    pub steals: u64,
+    /// Number of steal attempts (idle transitions that contacted victims).
+    pub steal_attempts: u64,
+}
+
+impl MetricsReport {
+    /// Runtimes, in seconds, of all jobs of `class` (by true class).
+    pub fn runtimes(&self, class: JobClass) -> Vec<f64> {
+        self.results
+            .iter()
+            .filter(|r| r.true_class == class)
+            .map(|r| r.runtime().as_secs_f64())
+            .collect()
+    }
+
+    /// The `p`-th percentile runtime of `class` jobs, seconds.
+    pub fn runtime_percentile(&self, class: JobClass, p: f64) -> Option<f64> {
+        percentile(&self.runtimes(class), p)
+    }
+
+    /// Mean runtime of `class` jobs, seconds.
+    pub fn mean_runtime(&self, class: JobClass) -> Option<f64> {
+        mean(&self.runtimes(class))
+    }
+
+    /// Per-class summary (50th/90th percentiles and mean).
+    pub fn summary(&self, class: JobClass) -> ClassSummary {
+        ClassSummary {
+            class,
+            jobs: self
+                .results
+                .iter()
+                .filter(|r| r.true_class == class)
+                .count(),
+            p50: self.runtime_percentile(class, 50.0),
+            p90: self.runtime_percentile(class, 90.0),
+            mean: self.mean_runtime(class),
+        }
+    }
+}
+
+/// Percentile summary for one job class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// The class summarized.
+    pub class: JobClass,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// 50th percentile runtime, seconds.
+    pub p50: Option<f64>,
+    /// 90th percentile runtime, seconds.
+    pub p90: Option<f64>,
+    /// Mean runtime, seconds.
+    pub mean: Option<f64>,
+}
+
+/// The paper's normalized comparison of a scheduler against a baseline for
+/// one job class ("Hawk normalized to Sparrow": values < 1 favour the
+/// subject).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Class compared.
+    pub class: JobClass,
+    /// subject p50 / baseline p50.
+    pub p50_ratio: Option<f64>,
+    /// subject p90 / baseline p90.
+    pub p90_ratio: Option<f64>,
+    /// subject mean / baseline mean (Figure 5c).
+    pub mean_ratio: Option<f64>,
+    /// Fraction of jobs where the subject's runtime ≤ the baseline's
+    /// (Figure 5c, "fraction of jobs Hawk improves [or equals]").
+    pub fraction_improved_or_equal: Option<f64>,
+    /// Fraction of jobs where the subject is strictly better.
+    pub fraction_improved: Option<f64>,
+}
+
+/// Compares `subject` against `baseline` for `class`, pairing jobs by id.
+///
+/// Both reports must come from the same trace.
+///
+/// # Panics
+///
+/// Panics if the reports cover different numbers of jobs.
+pub fn compare(subject: &MetricsReport, baseline: &MetricsReport, class: JobClass) -> Comparison {
+    assert_eq!(
+        subject.results.len(),
+        baseline.results.len(),
+        "comparing reports from different traces"
+    );
+    let ratio = |a: Option<f64>, b: Option<f64>| match (a, b) {
+        (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+        _ => None,
+    };
+    let p50_ratio = ratio(
+        subject.runtime_percentile(class, 50.0),
+        baseline.runtime_percentile(class, 50.0),
+    );
+    let p90_ratio = ratio(
+        subject.runtime_percentile(class, 90.0),
+        baseline.runtime_percentile(class, 90.0),
+    );
+    let mean_ratio = ratio(subject.mean_runtime(class), baseline.mean_runtime(class));
+
+    let mut improved = 0usize;
+    let mut improved_or_equal = 0usize;
+    let mut total = 0usize;
+    for (s, b) in subject.results.iter().zip(&baseline.results) {
+        debug_assert_eq!(s.job, b.job);
+        if s.true_class != class {
+            continue;
+        }
+        total += 1;
+        if s.runtime() < b.runtime() {
+            improved += 1;
+            improved_or_equal += 1;
+        } else if s.runtime() == b.runtime() {
+            improved_or_equal += 1;
+        }
+    }
+    let frac = |n: usize| (total > 0).then(|| n as f64 / total as f64);
+    Comparison {
+        class,
+        p50_ratio,
+        p90_ratio,
+        mean_ratio,
+        fraction_improved_or_equal: frac(improved_or_equal),
+        fraction_improved: frac(improved),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(job: u32, class: JobClass, runtime_secs: u64) -> JobResult {
+        JobResult {
+            job: JobId(job),
+            true_class: class,
+            scheduled_class: class,
+            submission: SimTime::from_secs(0),
+            completion: SimTime::from_secs(runtime_secs),
+            num_tasks: 1,
+        }
+    }
+
+    fn report(results: Vec<JobResult>) -> MetricsReport {
+        MetricsReport {
+            scheduler: "test",
+            nodes: 10,
+            results,
+            median_utilization: 0.5,
+            max_utilization: 0.9,
+            utilization_samples: vec![0.5],
+            makespan: SimTime::from_secs(100),
+            events: 0,
+            steals: 0,
+            steal_attempts: 0,
+        }
+    }
+
+    #[test]
+    fn runtime_is_completion_minus_submission() {
+        let mut r = result(0, JobClass::Short, 50);
+        r.submission = SimTime::from_secs(10);
+        assert_eq!(r.runtime(), SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn percentiles_split_by_class() {
+        let rep = report(vec![
+            result(0, JobClass::Short, 10),
+            result(1, JobClass::Short, 20),
+            result(2, JobClass::Short, 30),
+            result(3, JobClass::Long, 1_000),
+        ]);
+        assert_eq!(rep.runtime_percentile(JobClass::Short, 50.0), Some(20.0));
+        assert_eq!(rep.runtime_percentile(JobClass::Long, 50.0), Some(1_000.0));
+        assert_eq!(rep.mean_runtime(JobClass::Short), Some(20.0));
+        let summary = rep.summary(JobClass::Short);
+        assert_eq!(summary.jobs, 3);
+        assert_eq!(summary.p50, Some(20.0));
+    }
+
+    #[test]
+    fn empty_class_yields_none() {
+        let rep = report(vec![result(0, JobClass::Short, 10)]);
+        assert_eq!(rep.runtime_percentile(JobClass::Long, 50.0), None);
+        assert_eq!(rep.mean_runtime(JobClass::Long), None);
+        let s = rep.summary(JobClass::Long);
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.p50, None);
+    }
+
+    #[test]
+    fn comparison_ratios_and_fractions() {
+        let subject = report(vec![
+            result(0, JobClass::Short, 10), // better
+            result(1, JobClass::Short, 20), // equal
+            result(2, JobClass::Short, 40), // worse
+            result(3, JobClass::Long, 500),
+        ]);
+        let baseline = report(vec![
+            result(0, JobClass::Short, 20),
+            result(1, JobClass::Short, 20),
+            result(2, JobClass::Short, 30),
+            result(3, JobClass::Long, 1_000),
+        ]);
+        let c = compare(&subject, &baseline, JobClass::Short);
+        // p50: 20 / 20.
+        assert_eq!(c.p50_ratio, Some(1.0));
+        assert!((c.fraction_improved.unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.fraction_improved_or_equal.unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        let l = compare(&subject, &baseline, JobClass::Long);
+        assert_eq!(l.p50_ratio, Some(0.5));
+        assert_eq!(l.mean_ratio, Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "different traces")]
+    fn mismatched_reports_rejected() {
+        let a = report(vec![result(0, JobClass::Short, 1)]);
+        let b = report(vec![]);
+        compare(&a, &b, JobClass::Short);
+    }
+
+    #[test]
+    fn misestimation_grouping_uses_true_class() {
+        // A job scheduled as short but truly long groups with long jobs.
+        let mut r = result(0, JobClass::Long, 100);
+        r.scheduled_class = JobClass::Short;
+        let rep = report(vec![r]);
+        assert_eq!(rep.runtimes(JobClass::Long).len(), 1);
+        assert!(rep.runtimes(JobClass::Short).is_empty());
+    }
+}

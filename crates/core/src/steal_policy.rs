@@ -1,0 +1,162 @@
+//! The driver-side stealing policy (§3.6).
+//!
+//! "Whenever a server is out of tasks to execute, it randomly contacts a
+//! number of other servers to select one from which to steal short tasks.
+//! Both the servers from the general partition and the servers from the
+//! short partition can steal, but they can only steal from servers in the
+//! general partition."
+//!
+//! The victim-queue scan itself lives in [`hawk_cluster::steal`]; this
+//! module decides *which* victims an idle thief contacts: up to `cap`
+//! distinct uniformly random general-partition servers (paper default 10,
+//! swept 1–250 in Figure 15), excluding the thief itself.
+
+use hawk_cluster::{Partition, ServerId};
+use hawk_simcore::SimRng;
+
+/// Victim selection for randomized work stealing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StealPolicy {
+    /// Maximum servers contacted per attempt.
+    pub cap: usize,
+}
+
+impl StealPolicy {
+    /// Creates a policy contacting up to `cap` servers (min 1).
+    pub fn new(cap: usize) -> Self {
+        StealPolicy { cap: cap.max(1) }
+    }
+
+    /// Picks the victims one idle `thief` contacts, in contact order:
+    /// up to `cap` distinct general-partition servers, never the thief.
+    ///
+    /// Returns an empty list when the general partition has no other
+    /// servers to contact.
+    pub fn pick_victims(
+        &self,
+        partition: &Partition,
+        thief: ServerId,
+        rng: &mut SimRng,
+    ) -> Vec<ServerId> {
+        let general = partition.general_count();
+        if general == 0 {
+            return Vec::new();
+        }
+        let thief_in_general = partition.in_general(thief);
+        let candidates = if thief_in_general {
+            general - 1
+        } else {
+            general
+        };
+        if candidates == 0 {
+            return Vec::new();
+        }
+        let count = self.cap.min(candidates);
+        // Sample from a virtual range that skips the thief: indices at or
+        // above the thief's map one position right.
+        rng.sample_distinct(candidates, count)
+            .into_iter()
+            .map(|i| {
+                let i = i as u32;
+                if thief_in_general && i >= thief.0 {
+                    ServerId(i + 1)
+                } else {
+                    ServerId(i)
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for StealPolicy {
+    /// The paper's default cap of 10.
+    fn default() -> Self {
+        StealPolicy::new(10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn victims_are_general_distinct_and_not_thief() {
+        let partition = Partition::new(100, 0.2); // 80 general
+        let policy = StealPolicy::default();
+        let mut rng = SimRng::seed_from_u64(1);
+        for thief_raw in [0u32, 40, 79, 80, 99] {
+            let thief = ServerId(thief_raw);
+            for _ in 0..200 {
+                let victims = policy.pick_victims(&partition, thief, &mut rng);
+                assert_eq!(victims.len(), 10);
+                let set: HashSet<_> = victims.iter().collect();
+                assert_eq!(set.len(), victims.len(), "victims must be distinct");
+                for v in &victims {
+                    assert!(partition.in_general(*v), "victim {v} not general");
+                    assert_ne!(*v, thief, "thief contacted itself");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cap_limits_contacts() {
+        let partition = Partition::new(1_000, 0.1);
+        let mut rng = SimRng::seed_from_u64(2);
+        for cap in [1usize, 5, 10, 250] {
+            let victims = StealPolicy::new(cap).pick_victims(&partition, ServerId(950), &mut rng);
+            assert_eq!(victims.len(), cap.min(900));
+        }
+    }
+
+    #[test]
+    fn small_general_partition_caps_at_available() {
+        let partition = Partition::new(5, 0.6); // 2 general
+        let mut rng = SimRng::seed_from_u64(3);
+        let victims = StealPolicy::new(10).pick_victims(&partition, ServerId(0), &mut rng);
+        // Thief is general server 0; only server 1 remains.
+        assert_eq!(victims, vec![ServerId(1)]);
+    }
+
+    #[test]
+    fn empty_general_partition_yields_nothing() {
+        let partition = Partition::new(4, 1.0);
+        let mut rng = SimRng::seed_from_u64(4);
+        assert!(StealPolicy::default()
+            .pick_victims(&partition, ServerId(2), &mut rng)
+            .is_empty());
+    }
+
+    #[test]
+    fn lone_general_server_cannot_steal_from_itself() {
+        let partition = Partition::new(3, 0.66); // 1 general
+        let mut rng = SimRng::seed_from_u64(5);
+        let victims = StealPolicy::default().pick_victims(&partition, ServerId(0), &mut rng);
+        assert!(victims.is_empty());
+        // But a short-partition thief can contact the lone general server.
+        let victims = StealPolicy::default().pick_victims(&partition, ServerId(1), &mut rng);
+        assert_eq!(victims, vec![ServerId(0)]);
+    }
+
+    #[test]
+    fn cap_zero_becomes_one() {
+        assert_eq!(StealPolicy::new(0).cap, 1);
+    }
+
+    #[test]
+    fn all_general_servers_reachable() {
+        // Over many draws every non-thief general server should appear.
+        let partition = Partition::new(20, 0.0);
+        let policy = StealPolicy::new(5);
+        let mut rng = SimRng::seed_from_u64(6);
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            for v in policy.pick_victims(&partition, ServerId(7), &mut rng) {
+                seen.insert(v.0);
+            }
+        }
+        let expected: HashSet<u32> = (0..20).filter(|&i| i != 7).collect();
+        assert_eq!(seen, expected);
+    }
+}

@@ -1,0 +1,58 @@
+//! A real-time, multi-threaded Hawk prototype (§3.8, §4.10).
+//!
+//! The paper implements Hawk as a Spark scheduler plug-in — Sparrow's node
+//! monitors augmented with a centralized scheduler and work stealing over
+//! Thrift RPC — and validates the simulator against a 100-node cluster run
+//! where scaled-down trace tasks execute as *sleeps*. This crate is the
+//! equivalent in-process system:
+//!
+//! * every **node monitor** is an OS thread owning a FIFO queue; task
+//!   execution is a real-time deadline (the thread stays responsive to
+//!   probes, bind replies and steal requests while "executing", exactly
+//!   like a node monitor hosting a sleep task);
+//! * **distributed schedulers** (10 by default) are threads implementing
+//!   Sparrow batch probing with late binding;
+//! * the **centralized scheduler** is a thread running the §3.7
+//!   waiting-time algorithm;
+//! * all parties exchange messages over channels (the Thrift-RPC stand-in).
+//!
+//! Because it runs on the wall clock, results are *not* bit-deterministic —
+//! the same sources of noise the paper observes (message latency, sleep
+//! inaccuracy, scheduling jitter) apply (§4.10).
+//!
+//! # Examples
+//!
+//! ```
+//! use hawk_proto::{ProtoConfig, ProtoMode, run_prototype};
+//! use hawk_workload::sample::PrototypeSampleConfig;
+//!
+//! // A tiny sample so the doc test finishes in milliseconds.
+//! let sample = PrototypeSampleConfig {
+//!     short_jobs: 20,
+//!     long_jobs: 2,
+//!     cluster_size: 8,
+//!     duration_divisor: 100_000,
+//! };
+//! let trace = sample.generate(1);
+//! let cfg = ProtoConfig {
+//!     workers: 8,
+//!     mode: ProtoMode::Hawk,
+//!     cutoff: sample.cutoff(),
+//!     ..ProtoConfig::default()
+//! };
+//! let report = run_prototype(&trace, &cfg);
+//! assert_eq!(report.jobs.len(), trace.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod msg;
+mod report;
+mod runtime;
+mod scheduler;
+mod worker;
+
+pub use msg::{Entry, ProtoTask, TaskOrigin};
+pub use report::{ProtoJobResult, ProtoReport};
+pub use runtime::{run_prototype, ProtoConfig, ProtoMode};

@@ -1,0 +1,180 @@
+//! Message and queue-entry types exchanged between prototype threads.
+
+use std::time::Duration;
+
+use hawk_workload::{JobClass, JobId};
+
+/// Who placed a task (determines where its completion is reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOrigin {
+    /// Placed by the centralized scheduler.
+    Central,
+    /// Bound through a probe of distributed scheduler `index`.
+    Distributed {
+        /// The owning distributed scheduler.
+        index: usize,
+    },
+}
+
+/// A concrete task bound to a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtoTask {
+    /// The owning job.
+    pub job: JobId,
+    /// Real-time execution duration (the "sleep").
+    pub duration: Duration,
+    /// Job-level estimated task runtime in microseconds (for the central
+    /// scheduler's waiting-time bookkeeping).
+    pub estimate_us: u64,
+    /// The job's scheduling class.
+    pub class: JobClass,
+    /// Placement origin.
+    pub origin: TaskOrigin,
+}
+
+/// One entry in a worker's FIFO queue (the prototype analogue of
+/// `hawk_cluster::QueueEntry`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entry {
+    /// A late-binding reservation for a job owned by distributed scheduler
+    /// `sched`.
+    Probe {
+        /// The job.
+        job: JobId,
+        /// Owning distributed scheduler index.
+        sched: usize,
+        /// The job's scheduling class.
+        class: JobClass,
+    },
+    /// A directly-placed task.
+    Task(ProtoTask),
+}
+
+impl Entry {
+    /// True if the entry belongs to a long job.
+    pub fn is_long(&self) -> bool {
+        match self {
+            Entry::Probe { class, .. } => class.is_long(),
+            Entry::Task(t) => t.class.is_long(),
+        }
+    }
+
+    /// True if the entry belongs to a short job.
+    pub fn is_short(&self) -> bool {
+        !self.is_long()
+    }
+}
+
+/// Messages delivered to a worker (node monitor).
+#[derive(Debug)]
+pub enum WorkerMsg {
+    /// A probe from a distributed scheduler.
+    Probe {
+        /// The job probed for.
+        job: JobId,
+        /// Owning distributed scheduler.
+        sched: usize,
+        /// The job's class.
+        class: JobClass,
+    },
+    /// A direct task placement from the centralized scheduler.
+    Assign(ProtoTask),
+    /// Response to this worker's task request: a task or a cancel.
+    BindReply {
+        /// `Some` launches, `None` cancels.
+        task: Option<ProtoTask>,
+    },
+    /// Another worker asks to steal from us.
+    StealRequest {
+        /// Index of the thief, for the reply.
+        thief: usize,
+    },
+    /// Stolen entries arriving at the thief.
+    StealReply {
+        /// The stolen group (possibly empty = steal failed).
+        entries: Vec<Entry>,
+    },
+    /// Terminate the worker thread.
+    Shutdown,
+}
+
+/// Messages delivered to a distributed scheduler.
+#[derive(Debug)]
+pub enum DistMsg {
+    /// A job to schedule (Sparrow batch probing).
+    Submit {
+        /// The job.
+        job: JobId,
+        /// Per-task durations, already real-time scaled.
+        tasks: Vec<Duration>,
+        /// Job-level estimate, microseconds.
+        estimate_us: u64,
+        /// The job's class.
+        class: JobClass,
+    },
+    /// A worker whose probe reached its queue head requests a task.
+    TaskRequest {
+        /// The job.
+        job: JobId,
+        /// The requesting worker.
+        worker: usize,
+    },
+    /// A worker finished one of this scheduler's tasks.
+    TaskDone {
+        /// The job.
+        job: JobId,
+    },
+    /// Terminate the scheduler thread.
+    Shutdown,
+}
+
+/// Messages delivered to the centralized scheduler.
+#[derive(Debug)]
+pub enum CentralMsg {
+    /// A long job to place on the general partition.
+    Submit {
+        /// The job.
+        job: JobId,
+        /// Per-task durations, already real-time scaled.
+        tasks: Vec<Duration>,
+        /// Job-level estimate, microseconds.
+        estimate_us: u64,
+        /// The job's class.
+        class: JobClass,
+    },
+    /// A worker finished a centrally-placed task.
+    TaskDone {
+        /// The job.
+        job: JobId,
+        /// The worker that ran it.
+        worker: usize,
+        /// The estimate charged at assignment, microseconds.
+        estimate_us: u64,
+    },
+    /// Terminate the scheduler thread.
+    Shutdown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_class_helpers() {
+        let p = Entry::Probe {
+            job: JobId(1),
+            sched: 0,
+            class: JobClass::Short,
+        };
+        assert!(p.is_short());
+        let t = Entry::Task(ProtoTask {
+            job: JobId(2),
+            duration: Duration::from_millis(5),
+            estimate_us: 5_000,
+            class: JobClass::Long,
+            origin: TaskOrigin::Central,
+        });
+        assert!(t.is_long());
+        assert!(!t.is_short());
+    }
+}

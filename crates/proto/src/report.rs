@@ -1,0 +1,106 @@
+//! Prototype run results.
+
+use std::time::Duration;
+
+use hawk_simcore::stats::{mean, median, percentile};
+use hawk_workload::{JobClass, JobId};
+
+/// One job's outcome in a prototype run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProtoJobResult {
+    /// The job.
+    pub job: JobId,
+    /// Class under the configured cutoff (exact estimates).
+    pub class: JobClass,
+    /// When the job was submitted, relative to run start.
+    pub submit_offset: Duration,
+    /// Wall-clock runtime: completion − submission.
+    pub runtime: Duration,
+}
+
+/// Everything measured in one prototype run.
+#[derive(Debug, Clone)]
+pub struct ProtoReport {
+    /// Per-job outcomes, indexed by job id.
+    pub jobs: Vec<ProtoJobResult>,
+    /// Periodic utilization samples (fraction of workers executing).
+    pub utilization_samples: Vec<f64>,
+}
+
+impl ProtoReport {
+    /// Runtimes in seconds of all jobs of `class`.
+    pub fn runtimes(&self, class: JobClass) -> Vec<f64> {
+        self.jobs
+            .iter()
+            .filter(|j| j.class == class)
+            .map(|j| j.runtime.as_secs_f64())
+            .collect()
+    }
+
+    /// The `p`-th percentile runtime of `class` jobs, seconds.
+    pub fn runtime_percentile(&self, class: JobClass, p: f64) -> Option<f64> {
+        percentile(&self.runtimes(class), p)
+    }
+
+    /// Mean runtime of `class` jobs, seconds.
+    pub fn mean_runtime(&self, class: JobClass) -> Option<f64> {
+        mean(&self.runtimes(class))
+    }
+
+    /// Median utilization sample.
+    pub fn median_utilization(&self) -> Option<f64> {
+        median(&self.utilization_samples)
+    }
+
+    /// Maximum utilization sample.
+    pub fn max_utilization(&self) -> Option<f64> {
+        self.utilization_samples
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f64>, x| {
+                Some(acc.map_or(x, |a| a.max(x)))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(job: u32, class: JobClass, millis: u64) -> ProtoJobResult {
+        ProtoJobResult {
+            job: JobId(job),
+            class,
+            submit_offset: Duration::ZERO,
+            runtime: Duration::from_millis(millis),
+        }
+    }
+
+    #[test]
+    fn percentiles_by_class() {
+        let report = ProtoReport {
+            jobs: vec![
+                result(0, JobClass::Short, 100),
+                result(1, JobClass::Short, 300),
+                result(2, JobClass::Long, 5_000),
+            ],
+            utilization_samples: vec![0.2, 0.8, 0.5],
+        };
+        assert_eq!(report.runtime_percentile(JobClass::Short, 50.0), Some(0.2));
+        assert_eq!(report.runtime_percentile(JobClass::Long, 90.0), Some(5.0));
+        assert_eq!(report.mean_runtime(JobClass::Short), Some(0.2));
+        assert_eq!(report.median_utilization(), Some(0.5));
+        assert_eq!(report.max_utilization(), Some(0.8));
+    }
+
+    #[test]
+    fn empty_class_is_none() {
+        let report = ProtoReport {
+            jobs: vec![],
+            utilization_samples: vec![],
+        };
+        assert_eq!(report.runtime_percentile(JobClass::Short, 50.0), None);
+        assert_eq!(report.median_utilization(), None);
+        assert_eq!(report.max_utilization(), None);
+    }
+}

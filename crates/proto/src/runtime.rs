@@ -1,0 +1,384 @@
+//! Cluster bring-up, trace feeding and result collection.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use hawk_workload::classify::Cutoff;
+use hawk_workload::{JobClass, JobId, Trace};
+use parking_lot::Mutex;
+
+use crate::msg::{CentralMsg, DistMsg, WorkerMsg};
+use crate::report::{ProtoJobResult, ProtoReport};
+use crate::scheduler::{CentralScheduler, DistScheduler};
+use crate::worker::Worker;
+
+/// Which scheduler the prototype cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoMode {
+    /// Hawk: centralized long jobs, distributed short jobs, stealing.
+    Hawk,
+    /// Hawk with stealing disabled (prototype ablation).
+    HawkNoSteal,
+    /// Sparrow: everything distributed, no partition, no stealing.
+    Sparrow,
+}
+
+/// Prototype cluster configuration (paper defaults: 100 nodes, 10
+/// distributed schedulers, 1 centralized scheduler, §4.1).
+#[derive(Debug, Clone, Copy)]
+pub struct ProtoConfig {
+    /// Number of worker (node monitor) threads.
+    pub workers: usize,
+    /// Number of distributed scheduler threads.
+    pub dist_schedulers: usize,
+    /// Scheduling mode.
+    pub mode: ProtoMode,
+    /// Short/long cutoff on the (already scaled) estimated task runtime.
+    pub cutoff: Cutoff,
+    /// Fraction of workers reserved for short tasks (§3.4).
+    pub short_partition_fraction: f64,
+    /// Steal-attempt cap (§3.6); ignored outside Hawk mode.
+    pub steal_cap: usize,
+    /// Probes per task.
+    pub probe_ratio: f64,
+    /// Utilization sampling period.
+    pub util_interval: Duration,
+    /// Seed for probe and steal randomness.
+    pub seed: u64,
+}
+
+impl Default for ProtoConfig {
+    fn default() -> Self {
+        ProtoConfig {
+            workers: 100,
+            dist_schedulers: 10,
+            mode: ProtoMode::Hawk,
+            // The Google cutoff under the paper's 1000× time scale-down.
+            cutoff: Cutoff(hawk_simcore::SimDuration::from_micros(1_129_000)),
+            short_partition_fraction: 0.17,
+            steal_cap: 10,
+            probe_ratio: 2.0,
+            util_interval: Duration::from_millis(50),
+            seed: 0x4a77_2015,
+        }
+    }
+}
+
+/// Shared routing table handed to every thread.
+#[derive(Clone)]
+pub(crate) struct Topology {
+    pub workers: Arc<Vec<Sender<WorkerMsg>>>,
+    pub dscheds: Arc<Vec<Sender<DistMsg>>>,
+    pub central: Sender<CentralMsg>,
+    pub running_count: Arc<AtomicUsize>,
+}
+
+/// Runs `trace` on a freshly built prototype cluster and reports per-job
+/// wall-clock runtimes.
+///
+/// Blocks until every job completes (the trace's submission times are
+/// interpreted as wall-clock offsets from run start, so total wall time is
+/// roughly the trace span plus drain).
+///
+/// # Panics
+///
+/// Panics if the cluster stops making progress (no completion for 60 s),
+/// which indicates a protocol-liveness bug.
+pub fn run_prototype(trace: &Trace, cfg: &ProtoConfig) -> ProtoReport {
+    assert!(cfg.workers > 0 && cfg.dist_schedulers > 0);
+    let general_count = match cfg.mode {
+        ProtoMode::Sparrow => cfg.workers,
+        _ => cfg.workers - (cfg.workers as f64 * cfg.short_partition_fraction).round() as usize,
+    }
+    .max(1);
+
+    // Channels first, so every thread starts with the full routing table.
+    let (worker_txs, worker_rxs): (Vec<_>, Vec<_>) =
+        (0..cfg.workers).map(|_| unbounded::<WorkerMsg>()).unzip();
+    let (dsched_txs, dsched_rxs): (Vec<_>, Vec<_>) = (0..cfg.dist_schedulers)
+        .map(|_| unbounded::<DistMsg>())
+        .unzip();
+    let (central_tx, central_rx) = unbounded::<CentralMsg>();
+    let (done_tx, done_rx) = unbounded::<(JobId, Instant)>();
+
+    let topo = Topology {
+        workers: Arc::new(worker_txs),
+        dscheds: Arc::new(dsched_txs),
+        central: central_tx,
+        running_count: Arc::new(AtomicUsize::new(0)),
+    };
+
+    let steal_cap = match cfg.mode {
+        ProtoMode::Hawk => Some(cfg.steal_cap),
+        _ => None,
+    };
+
+    let mut handles = Vec::new();
+    for (i, rx) in worker_rxs.into_iter().enumerate() {
+        let worker = Worker::new(i, rx, topo.clone(), steal_cap, general_count, cfg.seed);
+        handles.push(thread::spawn(move || worker.run()));
+    }
+    for (i, rx) in dsched_rxs.into_iter().enumerate() {
+        let sched = DistScheduler::new(
+            i,
+            rx,
+            topo.clone(),
+            done_tx.clone(),
+            cfg.probe_ratio,
+            (0, cfg.workers), // shorts probe the whole cluster (§3.5)
+            cfg.seed,
+        );
+        handles.push(thread::spawn(move || sched.run()));
+    }
+    {
+        let central = CentralScheduler::new(central_rx, topo.clone(), done_tx, general_count);
+        handles.push(thread::spawn(move || central.run()));
+    }
+
+    // Utilization sampler.
+    let samples = Arc::new(Mutex::new(Vec::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let samples = Arc::clone(&samples);
+        let stop = Arc::clone(&stop);
+        let running = Arc::clone(&topo.running_count);
+        let interval = cfg.util_interval;
+        let workers = cfg.workers as f64;
+        thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                thread::sleep(interval);
+                let u = running.load(Ordering::Relaxed) as f64 / workers;
+                samples.lock().push(u);
+            }
+        })
+    };
+
+    // Feed the trace on the wall clock.
+    let start = Instant::now();
+    let mut submit_instants = vec![start; trace.len()];
+    let mut classes = vec![JobClass::Short; trace.len()];
+    for job in trace.jobs() {
+        let target = start + Duration::from_micros(job.submission.as_micros());
+        let now = Instant::now();
+        if target > now {
+            thread::sleep(target - now);
+        }
+        let class = cfg.cutoff.classify(job.mean_task_duration());
+        classes[job.id.index()] = class;
+        let tasks: Vec<Duration> = job
+            .tasks
+            .iter()
+            .map(|d| Duration::from_micros(d.as_micros()))
+            .collect();
+        let estimate_us = job.mean_task_duration().as_micros();
+        submit_instants[job.id.index()] = Instant::now();
+        let central_route =
+            matches!(cfg.mode, ProtoMode::Hawk | ProtoMode::HawkNoSteal) && class == JobClass::Long;
+        if central_route {
+            let _ = topo.central.send(CentralMsg::Submit {
+                job: job.id,
+                tasks,
+                estimate_us,
+                class,
+            });
+        } else {
+            let sched = job.id.index() % cfg.dist_schedulers;
+            let _ = topo.dscheds[sched].send(DistMsg::Submit {
+                job: job.id,
+                tasks,
+                estimate_us,
+                class,
+            });
+        }
+    }
+
+    // Collect completions.
+    let mut completions = vec![None; trace.len()];
+    let mut received = 0usize;
+    while received < trace.len() {
+        let (job, at) = done_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("prototype made no progress for 60 s");
+        completions[job.index()] = Some(at);
+        received += 1;
+    }
+
+    // Tear down.
+    stop.store(true, Ordering::Relaxed);
+    for tx in topo.workers.iter() {
+        let _ = tx.send(WorkerMsg::Shutdown);
+    }
+    for tx in topo.dscheds.iter() {
+        let _ = tx.send(DistMsg::Shutdown);
+    }
+    let _ = topo.central.send(CentralMsg::Shutdown);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let _ = sampler.join();
+
+    let jobs = trace
+        .jobs()
+        .iter()
+        .map(|job| {
+            let i = job.id.index();
+            let done = completions[i].expect("all jobs completed");
+            ProtoJobResult {
+                job: job.id,
+                class: classes[i],
+                submit_offset: submit_instants[i] - start,
+                runtime: done.saturating_duration_since(submit_instants[i]),
+            }
+        })
+        .collect();
+    let samples = samples.lock().clone();
+    ProtoReport {
+        jobs,
+        utilization_samples: samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawk_simcore::{SimDuration, SimTime};
+    use hawk_workload::Job;
+
+    /// A fast trace: durations in single-digit milliseconds.
+    fn fast_trace(jobs: Vec<(u64, Vec<u64>)>) -> Trace {
+        let jobs = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (at_ms, task_ms))| Job {
+                id: JobId(i as u32),
+                submission: SimTime::from_micros(at_ms * 1_000),
+                tasks: task_ms
+                    .into_iter()
+                    .map(|ms| SimDuration::from_millis(ms))
+                    .collect(),
+                generated_class: None,
+            })
+            .collect();
+        Trace::new(jobs).unwrap()
+    }
+
+    fn fast_cfg(mode: ProtoMode) -> ProtoConfig {
+        ProtoConfig {
+            workers: 8,
+            dist_schedulers: 2,
+            mode,
+            // 50 ms cutoff: tasks ≥ 50 ms are long.
+            cutoff: Cutoff(SimDuration::from_millis(50)),
+            short_partition_fraction: 0.25,
+            util_interval: Duration::from_millis(5),
+            ..ProtoConfig::default()
+        }
+    }
+
+    #[test]
+    fn hawk_mode_completes_all_jobs() {
+        let trace = fast_trace(vec![
+            (0, vec![100, 100]), // long
+            (1, vec![5, 5, 5]),  // short
+            (2, vec![120]),      // long
+            (3, vec![2; 6]),     // short
+        ]);
+        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Hawk));
+        assert_eq!(report.jobs.len(), 4);
+        assert_eq!(report.jobs[0].class, JobClass::Long);
+        assert_eq!(report.jobs[1].class, JobClass::Short);
+        for j in &report.jobs {
+            // Every runtime at least covers the longest task.
+            assert!(j.runtime >= Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn sparrow_mode_completes_all_jobs() {
+        let trace = fast_trace(vec![(0, vec![60, 60]), (2, vec![3, 3, 3, 3])]);
+        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Sparrow));
+        assert_eq!(report.jobs.len(), 2);
+    }
+
+    #[test]
+    fn no_steal_mode_completes_all_jobs() {
+        let trace = fast_trace(vec![(0, vec![80; 4]), (1, vec![4; 4])]);
+        let report = run_prototype(&trace, &fast_cfg(ProtoMode::HawkNoSteal));
+        assert_eq!(report.jobs.len(), 2);
+    }
+
+    #[test]
+    fn runtimes_reflect_task_durations() {
+        // A single 100 ms task on an idle cluster should take ≈100 ms (plus
+        // small messaging overhead, well under 50 ms on any machine).
+        let trace = fast_trace(vec![(0, vec![100])]);
+        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Hawk));
+        let rt = report.jobs[0].runtime;
+        assert!(rt >= Duration::from_millis(100), "runtime {rt:?}");
+        assert!(rt < Duration::from_millis(500), "runtime {rt:?}");
+    }
+
+    #[test]
+    fn utilization_sampler_records() {
+        let trace = fast_trace(vec![(0, vec![50; 8])]);
+        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Hawk));
+        assert!(!report.utilization_samples.is_empty());
+        assert!(report.max_utilization().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn stealing_rescues_blocked_shorts_in_real_time() {
+        // 8 workers, 25 % short partition (6 general + 2 reserved). A
+        // 6-task 600 ms long job fills the general partition; five 2-task
+        // 5 ms short jobs then probe the whole cluster. Without stealing,
+        // shorts whose probes all landed on general workers wait out the
+        // long tasks; with stealing the reserved workers rescue them.
+        let mut jobs = vec![(0u64, vec![600u64; 6])];
+        for i in 0..5 {
+            jobs.push((20 + i, vec![5u64, 5]));
+        }
+        let trace = fast_trace(jobs);
+        let steal = run_prototype(&trace, &fast_cfg(ProtoMode::Hawk));
+        let no_steal = run_prototype(&trace, &fast_cfg(ProtoMode::HawkNoSteal));
+        let worst_short = |r: &crate::report::ProtoReport| {
+            r.jobs[1..]
+                .iter()
+                .map(|j| j.runtime.as_secs_f64())
+                .fold(0.0f64, f64::max)
+        };
+        let blocked = worst_short(&no_steal);
+        let rescued = worst_short(&steal);
+        // Same seed → same probe placement; at least one short job blocks
+        // behind a 600 ms task without stealing.
+        assert!(
+            blocked > 0.3,
+            "expected blocking without stealing, worst short {blocked}s"
+        );
+        assert!(
+            rescued < blocked,
+            "stealing did not help: {rescued}s vs {blocked}s"
+        );
+    }
+
+    #[test]
+    fn report_is_indexed_by_job_id() {
+        let trace = fast_trace(vec![(0, vec![10]), (1, vec![10]), (2, vec![10])]);
+        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Hawk));
+        for (i, j) in report.jobs.iter().enumerate() {
+            assert_eq!(j.job, JobId(i as u32));
+        }
+    }
+
+    #[test]
+    fn submissions_respect_trace_offsets() {
+        // Jobs 0 and 1 are 150 ms apart; measured submit offsets must be
+        // at least that far apart (sleep never wakes early).
+        let trace = fast_trace(vec![(0, vec![5]), (150, vec![5])]);
+        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Sparrow));
+        let gap = report.jobs[1].submit_offset - report.jobs[0].submit_offset;
+        assert!(gap >= Duration::from_millis(145), "gap {gap:?}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Distributed and centralized scheduler threads.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use hawk_simcore::{IndexedMinHeap, SimRng};
+use hawk_workload::{JobClass, JobId};
+
+use crate::msg::{CentralMsg, DistMsg, ProtoTask, TaskOrigin, WorkerMsg};
+use crate::runtime::Topology;
+
+/// Per-job state held by a distributed scheduler.
+struct DistJob {
+    tasks: Vec<Duration>,
+    estimate_us: u64,
+    class: JobClass,
+    next_task: usize,
+    remaining: usize,
+}
+
+/// A distributed scheduler thread: Sparrow batch probing with late binding
+/// (§3.5). Each instance owns the jobs submitted to it and answers task
+/// requests from workers whose probes reached their queue heads.
+pub(crate) struct DistScheduler {
+    index: usize,
+    rx: Receiver<DistMsg>,
+    topo: Topology,
+    jobs: HashMap<JobId, DistJob>,
+    done_tx: Sender<(JobId, Instant)>,
+    probe_ratio: f64,
+    /// Contiguous probe scope `[start, start+len)`.
+    scope: (usize, usize),
+    rng: SimRng,
+}
+
+impl DistScheduler {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        index: usize,
+        rx: Receiver<DistMsg>,
+        topo: Topology,
+        done_tx: Sender<(JobId, Instant)>,
+        probe_ratio: f64,
+        scope: (usize, usize),
+        seed: u64,
+    ) -> Self {
+        DistScheduler {
+            index,
+            rx,
+            topo,
+            jobs: HashMap::new(),
+            done_tx,
+            probe_ratio,
+            scope,
+            rng: SimRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0xC2B2_AE35)),
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                DistMsg::Submit {
+                    job,
+                    tasks,
+                    estimate_us,
+                    class,
+                } => self.submit(job, tasks, estimate_us, class),
+                DistMsg::TaskRequest { job, worker } => self.bind(job, worker),
+                DistMsg::TaskDone { job } => self.complete(job),
+                DistMsg::Shutdown => return,
+            }
+        }
+    }
+
+    fn submit(&mut self, job: JobId, tasks: Vec<Duration>, estimate_us: u64, class: JobClass) {
+        let t = tasks.len();
+        self.jobs.insert(
+            job,
+            DistJob {
+                tasks,
+                estimate_us,
+                class,
+                next_task: 0,
+                remaining: t,
+            },
+        );
+        // ⌈ratio·t⌉ probes, distinct while the scope allows, topping up
+        // with repeats otherwise (scaled-down clusters only).
+        let probes = (self.probe_ratio * t as f64).ceil() as usize;
+        let (start, len) = self.scope;
+        let mut targets = Vec::with_capacity(probes);
+        for _ in 0..probes / len {
+            targets.extend(start..start + len);
+        }
+        targets.extend(
+            self.rng
+                .sample_distinct(len, probes % len)
+                .into_iter()
+                .map(|i| start + i),
+        );
+        for worker in targets {
+            let _ = self.topo.workers[worker].send(WorkerMsg::Probe {
+                job,
+                sched: self.index,
+                class,
+            });
+        }
+    }
+
+    fn bind(&mut self, job: JobId, worker: usize) {
+        let reply = match self.jobs.get_mut(&job) {
+            Some(state) if state.next_task < state.tasks.len() => {
+                let duration = state.tasks[state.next_task];
+                state.next_task += 1;
+                Some(ProtoTask {
+                    job,
+                    duration,
+                    estimate_us: state.estimate_us,
+                    class: state.class,
+                    origin: TaskOrigin::Distributed { index: self.index },
+                })
+            }
+            // All tasks given out (or unknown job after completion): cancel.
+            _ => None,
+        };
+        let _ = self.topo.workers[worker].send(WorkerMsg::BindReply { task: reply });
+    }
+
+    fn complete(&mut self, job: JobId) {
+        let state = self.jobs.get_mut(&job).expect("completion for known job");
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            let _ = self.done_tx.send((job, Instant::now()));
+            // Keep the entry so late probes still get cancels; mark drained.
+            state.next_task = state.tasks.len();
+        }
+    }
+}
+
+/// The centralized scheduler thread: the §3.7 waiting-time algorithm over
+/// the general partition.
+pub(crate) struct CentralScheduler {
+    rx: Receiver<CentralMsg>,
+    topo: Topology,
+    done_tx: Sender<(JobId, Instant)>,
+    /// Estimated unfinished work per general-partition worker, µs.
+    work: IndexedMinHeap,
+    remaining: HashMap<JobId, usize>,
+}
+
+impl CentralScheduler {
+    pub(crate) fn new(
+        rx: Receiver<CentralMsg>,
+        topo: Topology,
+        done_tx: Sender<(JobId, Instant)>,
+        general_count: usize,
+    ) -> Self {
+        CentralScheduler {
+            rx,
+            topo,
+            done_tx,
+            work: IndexedMinHeap::new(general_count.max(1), 0),
+            remaining: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        while let Ok(msg) = self.rx.recv() {
+            match msg {
+                CentralMsg::Submit {
+                    job,
+                    tasks,
+                    estimate_us,
+                    class,
+                } => {
+                    self.remaining.insert(job, tasks.len());
+                    for duration in tasks {
+                        let worker = self.work.min_id();
+                        self.work.add(worker, estimate_us);
+                        let _ = self.topo.workers[worker].send(WorkerMsg::Assign(ProtoTask {
+                            job,
+                            duration,
+                            estimate_us,
+                            class,
+                            origin: TaskOrigin::Central,
+                        }));
+                    }
+                }
+                CentralMsg::TaskDone {
+                    job,
+                    worker,
+                    estimate_us,
+                } => {
+                    self.work.sub(worker, estimate_us);
+                    let left = self
+                        .remaining
+                        .get_mut(&job)
+                        .expect("completion for known job");
+                    *left -= 1;
+                    if *left == 0 {
+                        self.remaining.remove(&job);
+                        let _ = self.done_tx.send((job, Instant::now()));
+                    }
+                }
+                CentralMsg::Shutdown => return,
+            }
+        }
+    }
+}

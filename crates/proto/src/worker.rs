@@ -1,0 +1,253 @@
+//! The worker (node monitor) thread.
+//!
+//! One thread per simulated node. The worker owns a FIFO queue of probes
+//! and tasks; "executing" a task means holding a real-time deadline while
+//! continuing to service messages — just like a Sparrow node monitor whose
+//! slot is occupied by a sleep task. This keeps the worker responsive to
+//! steal requests mid-execution, which the stealing protocol requires.
+//!
+//! Stealing is a non-blocking state machine: an idle worker sends a steal
+//! request to one victim at a time and keeps processing messages; an empty
+//! reply advances to the next victim, a non-empty one enqueues the loot.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use hawk_simcore::SimRng;
+
+use crate::msg::{CentralMsg, DistMsg, Entry, ProtoTask, TaskOrigin, WorkerMsg};
+use crate::runtime::Topology;
+
+/// In-flight steal attempt: the remaining victims to contact.
+struct StealAttempt {
+    victims: Vec<usize>,
+    next: usize,
+}
+
+pub(crate) struct Worker {
+    index: usize,
+    rx: Receiver<WorkerMsg>,
+    topo: Topology,
+    queue: VecDeque<Entry>,
+    /// Deadline of the currently executing task, with its spec.
+    running: Option<(Instant, ProtoTask)>,
+    /// True while blocked on a bind round trip for the queue head.
+    awaiting_bind: bool,
+    steal: Option<StealAttempt>,
+    steal_cap: Option<usize>,
+    general_count: usize,
+    rng: SimRng,
+}
+
+impl Worker {
+    pub(crate) fn new(
+        index: usize,
+        rx: Receiver<WorkerMsg>,
+        topo: Topology,
+        steal_cap: Option<usize>,
+        general_count: usize,
+        seed: u64,
+    ) -> Self {
+        Worker {
+            index,
+            rx,
+            topo,
+            queue: VecDeque::new(),
+            running: None,
+            awaiting_bind: false,
+            steal: None,
+            steal_cap,
+            general_count,
+            rng: SimRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9)),
+        }
+    }
+
+    /// The thread body: service messages and execution deadlines until
+    /// shutdown.
+    pub(crate) fn run(mut self) {
+        loop {
+            if let Some((deadline, _)) = self.running {
+                let now = Instant::now();
+                if now >= deadline {
+                    self.finish_running();
+                    continue;
+                }
+                match self.rx.recv_timeout(deadline - now) {
+                    Ok(msg) => {
+                        if self.handle(msg) {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            } else {
+                match self.rx.recv() {
+                    Ok(msg) => {
+                        if self.handle(msg) {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
+                }
+            }
+        }
+    }
+
+    /// Handles one message; returns true on shutdown.
+    fn handle(&mut self, msg: WorkerMsg) -> bool {
+        match msg {
+            WorkerMsg::Probe { job, sched, class } => {
+                self.queue.push_back(Entry::Probe { job, sched, class });
+                self.maybe_advance();
+            }
+            WorkerMsg::Assign(task) => {
+                self.queue.push_back(Entry::Task(task));
+                self.maybe_advance();
+            }
+            WorkerMsg::BindReply { task } => {
+                self.awaiting_bind = false;
+                match task {
+                    Some(task) => self.start(task),
+                    None => self.maybe_advance(),
+                }
+            }
+            WorkerMsg::StealRequest { thief } => {
+                let entries = self.scan_steal_group();
+                // Losing the reply (thief already gone) is harmless only if
+                // nothing was stolen; entries must never be dropped.
+                let _ = self.topo.workers[thief].send(WorkerMsg::StealReply { entries });
+            }
+            WorkerMsg::StealReply { entries } => {
+                if entries.is_empty() {
+                    self.continue_steal();
+                } else {
+                    self.steal = None;
+                    self.queue.extend(entries);
+                    self.maybe_advance();
+                }
+            }
+            WorkerMsg::Shutdown => return true,
+        }
+        false
+    }
+
+    /// Starts processing the queue head if the slot is free.
+    fn maybe_advance(&mut self) {
+        if self.running.is_some() || self.awaiting_bind {
+            return;
+        }
+        match self.queue.pop_front() {
+            Some(Entry::Task(task)) => self.start(task),
+            Some(Entry::Probe { job, sched, .. }) => {
+                self.awaiting_bind = true;
+                let _ = self.topo.dscheds[sched].send(DistMsg::TaskRequest {
+                    job,
+                    worker: self.index,
+                });
+            }
+            None => self.begin_steal(),
+        }
+    }
+
+    fn start(&mut self, task: ProtoTask) {
+        self.topo.running_count.fetch_add(1, Ordering::Relaxed);
+        self.running = Some((Instant::now() + task.duration, task));
+    }
+
+    fn finish_running(&mut self) {
+        let (_, task) = self.running.take().expect("a task is running");
+        self.topo.running_count.fetch_sub(1, Ordering::Relaxed);
+        match task.origin {
+            TaskOrigin::Central => {
+                let _ = self.topo.central.send(CentralMsg::TaskDone {
+                    job: task.job,
+                    worker: self.index,
+                    estimate_us: task.estimate_us,
+                });
+            }
+            TaskOrigin::Distributed { index } => {
+                let _ = self.topo.dscheds[index].send(DistMsg::TaskDone { job: task.job });
+            }
+        }
+        self.maybe_advance();
+    }
+
+    /// Begins a steal attempt if stealing is enabled and none is running.
+    fn begin_steal(&mut self) {
+        let Some(cap) = self.steal_cap else { return };
+        if self.steal.is_some() || self.general_count == 0 {
+            return;
+        }
+        // Distinct victims from the general partition, excluding self.
+        let candidates = if self.index < self.general_count {
+            self.general_count - 1
+        } else {
+            self.general_count
+        };
+        if candidates == 0 {
+            return;
+        }
+        let count = cap.min(candidates);
+        let victims: Vec<usize> = self
+            .rng
+            .sample_distinct(candidates, count)
+            .into_iter()
+            .map(|i| {
+                if self.index < self.general_count && i >= self.index {
+                    i + 1
+                } else {
+                    i
+                }
+            })
+            .collect();
+        self.steal = Some(StealAttempt { victims, next: 0 });
+        self.continue_steal();
+    }
+
+    /// Contacts the next victim of the in-flight steal attempt, if any.
+    fn continue_steal(&mut self) {
+        let Some(attempt) = &mut self.steal else {
+            return;
+        };
+        if attempt.next >= attempt.victims.len() {
+            self.steal = None;
+            return;
+        }
+        let victim = attempt.victims[attempt.next];
+        attempt.next += 1;
+        let _ = self.topo.workers[victim].send(WorkerMsg::StealRequest { thief: self.index });
+    }
+
+    /// The Figure 3 victim scan, over (slot, queue): the first run of
+    /// consecutive short entries after the first long element. Mirrors
+    /// `hawk_cluster::steal::eligible_group`.
+    fn scan_steal_group(&mut self) -> Vec<Entry> {
+        let slot_is_long = self
+            .running
+            .map(|(_, t)| t.class.is_long())
+            .unwrap_or(false);
+        let mut seen_long = slot_is_long;
+        let mut start = None;
+        let mut len = 0usize;
+        for (i, entry) in self.queue.iter().enumerate() {
+            if entry.is_long() {
+                if start.is_some() {
+                    break;
+                }
+                seen_long = true;
+            } else if seen_long {
+                if start.is_none() {
+                    start = Some(i);
+                }
+                len += 1;
+            }
+        }
+        match start {
+            Some(s) => self.queue.drain(s..s + len).collect(),
+            None => Vec::new(),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The simulation engine: a clock plus a future event list.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event simulation engine.
+///
+/// `Engine` owns the simulation clock and the future event list. Drivers
+/// (such as the scheduler drivers in `hawk-core`) call [`Engine::schedule`]
+/// to enqueue work and run a `while let Some((t, ev)) = engine.pop()` loop;
+/// popping an event advances the clock to its firing time.
+///
+/// The clock never moves backwards: scheduling an event in the past is a
+/// logic error and panics in debug builds (it is clamped to `now` in release
+/// builds so long experiment sweeps fail soft).
+///
+/// # Examples
+///
+/// ```
+/// use hawk_simcore::{Engine, SimDuration, SimTime};
+///
+/// let mut engine: Engine<&'static str> = Engine::new();
+/// engine.schedule(SimDuration::from_secs(1), "tick");
+/// engine.schedule(SimDuration::from_secs(2), "tock");
+///
+/// let mut seen = Vec::new();
+/// while let Some((t, ev)) = engine.pop() {
+///     seen.push((t, ev));
+///     assert_eq!(engine.now(), t);
+/// }
+/// assert_eq!(seen.len(), 2);
+/// assert_eq!(engine.now(), SimTime::from_secs(2));
+/// ```
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Creates an engine with an event queue pre-sized for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Engine {
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulation time (the firing time of the last popped
+    /// event, or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    ///
+    /// `at` must not precede the current clock; see the type-level docs.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {at} < {}",
+            self.now
+        );
+        let at = at.max(self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Removes the earliest event, advances the clock to its firing time and
+    /// returns it, or returns `None` when the simulation has drained.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (t, ev) = self.queue.pop()?;
+        self.now = t;
+        self.processed += 1;
+        Some((t, ev))
+    }
+
+    /// The firing time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimDuration::from_secs(5), 1);
+        e.schedule(SimDuration::from_secs(1), 2);
+        assert_eq!(e.now(), SimTime::ZERO);
+        let (t, ev) = e.pop().unwrap();
+        assert_eq!((t, ev), (SimTime::from_secs(1), 2));
+        assert_eq!(e.now(), SimTime::from_secs(1));
+        // A delay scheduled now is relative to the advanced clock.
+        e.schedule(SimDuration::from_secs(1), 3);
+        assert_eq!(e.pop().unwrap(), (SimTime::from_secs(2), 3));
+        assert_eq!(e.pop().unwrap(), (SimTime::from_secs(5), 1));
+        assert!(e.pop().is_none());
+        assert_eq!(e.processed(), 3);
+    }
+
+    #[test]
+    fn schedule_at_absolute() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule_at(SimTime::from_secs(3), "x");
+        assert_eq!(e.peek_time(), Some(SimTime::from_secs(3)));
+        assert_eq!(e.pending(), 1);
+        assert_eq!(e.pop().unwrap().1, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    #[cfg(debug_assertions)]
+    fn schedule_in_past_panics_in_debug() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule(SimDuration::from_secs(10), "a");
+        e.pop();
+        e.schedule_at(SimTime::from_secs(1), "too-late");
+    }
+
+    #[test]
+    fn zero_delay_event_fires_at_now() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule(SimDuration::from_secs(1), "first");
+        e.pop();
+        e.schedule(SimDuration::ZERO, "second");
+        let (t, ev) = e.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+        assert_eq!(ev, "second");
+    }
+}

@@ -1,0 +1,281 @@
+//! Summary statistics for the evaluation harness.
+//!
+//! The paper reports 50th/90th percentile job runtimes, medians of
+//! utilization snapshots, CDFs (Figures 1 and 4) and averages. These helpers
+//! implement those reductions with a fixed, documented percentile method so
+//! results are reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// Returns the `p`-th percentile (0.0–100.0) of `values` using linear
+/// interpolation between closest ranks (the same method as `numpy.percentile`
+/// default).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use hawk_simcore::stats::percentile;
+///
+/// let v = vec![1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&v, 50.0), Some(2.5));
+/// assert_eq!(percentile(&v, 100.0), Some(4.0));
+/// assert_eq!(percentile(&v, 0.0), Some(1.0));
+/// assert_eq!(percentile(&[][..].to_vec(), 50.0), None);
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in input"));
+    Some(percentile_of_sorted(&sorted, p))
+}
+
+/// Percentile of an already ascending-sorted slice (no copy, no sort).
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Returns the median of `values`, or `None` if empty.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Returns the arithmetic mean, or `None` if empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// One point of an empirical CDF: `fraction` of values are `<= value`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CdfPoint {
+    /// The sample value.
+    pub value: f64,
+    /// Cumulative fraction in `(0, 1]`.
+    pub fraction: f64,
+}
+
+/// Builds the empirical CDF of `values` as ascending points.
+///
+/// Duplicate values are merged into a single point carrying the highest
+/// cumulative fraction, which is how the paper's CDF plots render.
+///
+/// # Examples
+///
+/// ```
+/// use hawk_simcore::stats::cdf;
+///
+/// let points = cdf(&[3.0, 1.0, 3.0, 2.0]);
+/// assert_eq!(points.len(), 3);
+/// assert_eq!(points[0].value, 1.0);
+/// assert!((points[0].fraction - 0.25).abs() < 1e-12);
+/// assert_eq!(points[2].value, 3.0);
+/// assert!((points[2].fraction - 1.0).abs() < 1e-12);
+/// ```
+pub fn cdf(values: &[f64]) -> Vec<CdfPoint> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("cdf: NaN in input"));
+    let n = sorted.len() as f64;
+    let mut out: Vec<CdfPoint> = Vec::new();
+    for (i, &v) in sorted.iter().enumerate() {
+        let fraction = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.value == v => last.fraction = fraction,
+            _ => out.push(CdfPoint { value: v, fraction }),
+        }
+    }
+    out
+}
+
+/// Evaluates an empirical CDF at `x`: the fraction of samples `<= x`.
+pub fn cdf_at(points: &[CdfPoint], x: f64) -> f64 {
+    let mut frac = 0.0;
+    for p in points {
+        if p.value <= x {
+            frac = p.fraction;
+        } else {
+            break;
+        }
+    }
+    frac
+}
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used for utilization snapshots and other per-run series where storing
+/// every sample would be wasteful.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance, or `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Standard deviation, or `None` if empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Minimum observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 50.0), Some(5.5));
+        assert_eq!(percentile(&v, 90.0), Some(9.1));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 100.0), Some(10.0));
+    }
+
+    #[test]
+    fn percentile_single_value() {
+        assert_eq!(percentile(&[42.0], 90.0), Some(42.0));
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let v = vec![9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&v, 50.0), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(percentile(&v, -5.0), Some(1.0));
+        assert_eq!(percentile(&v, 150.0), Some(2.0));
+    }
+
+    #[test]
+    fn median_and_mean() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn cdf_monotone_and_ends_at_one() {
+        let v = vec![5.0, 1.0, 1.0, 3.0, 5.0, 5.0];
+        let points = cdf(&v);
+        assert_eq!(points.len(), 3);
+        for w in points.windows(2) {
+            assert!(w[0].value < w[1].value);
+            assert!(w[0].fraction < w[1].fraction);
+        }
+        assert!((points.last().unwrap().fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_at_steps() {
+        let points = cdf(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf_at(&points, 0.5), 0.0);
+        assert!((cdf_at(&points, 2.0) - 0.5).abs() < 1e-12);
+        assert!((cdf_at(&points, 2.5) - 0.5).abs() < 1e-12);
+        assert!((cdf_at(&points, 10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        assert!(cdf(&[]).is_empty());
+        assert_eq!(cdf_at(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn online_stats_matches_batch() {
+        let v: Vec<f64> = (0..100).map(|x| (x as f64) * 0.7 - 3.0).collect();
+        let mut s = OnlineStats::new();
+        for &x in &v {
+            s.push(x);
+        }
+        let batch_mean = mean(&v).unwrap();
+        assert!((s.mean().unwrap() - batch_mean).abs() < 1e-9);
+        let batch_var = v.iter().map(|x| (x - batch_mean).powi(2)).sum::<f64>() / v.len() as f64;
+        assert!((s.variance().unwrap() - batch_var).abs() < 1e-9);
+        assert_eq!(s.min().unwrap(), -3.0);
+        assert_eq!(s.max().unwrap(), 99.0 * 0.7 - 3.0);
+        assert_eq!(s.count(), 100);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+
+use hawk_simcore::stats::{cdf, cdf_at, percentile};
+use hawk_simcore::{EventQueue, IndexedMinHeap, SimRng, SimTime};
+
+proptest! {
+    /// Events pop in non-decreasing time order, FIFO among equal times.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(
+        times in proptest::collection::vec(0u64..1_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at, SimTime::from_micros(t));
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO violated for equal times");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// The indexed heap agrees with a naive argmin after any op sequence.
+    #[test]
+    fn indexed_heap_matches_naive(
+        n in 1usize..40,
+        ops in proptest::collection::vec((0usize..40, 0u64..10_000, 0u8..3), 1..200),
+    ) {
+        let mut heap = IndexedMinHeap::new(n, 0);
+        let mut naive = vec![0u64; n];
+        for (id, value, kind) in ops {
+            let id = id % n;
+            match kind {
+                0 => {
+                    heap.add(id, value);
+                    naive[id] += value;
+                }
+                1 => {
+                    heap.sub(id, value);
+                    naive[id] = naive[id].saturating_sub(value);
+                }
+                _ => {
+                    heap.set(id, value);
+                    naive[id] = value;
+                }
+            }
+            let expect = (0..n).min_by_key(|&i| (naive[i], i)).unwrap();
+            prop_assert_eq!(heap.min_id(), expect);
+            prop_assert_eq!(heap.min_key(), naive[expect]);
+            prop_assert!(heap.check_invariants());
+        }
+    }
+
+    /// `gen_range` respects bounds for arbitrary non-empty ranges.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), lo in 0u64..1_000_000, span in 1u64..1_000_000) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let x = rng.gen_range(lo, lo + span);
+            prop_assert!(x >= lo && x < lo + span);
+        }
+    }
+
+    /// `sample_distinct` returns exactly `k` distinct in-bounds indices.
+    #[test]
+    fn rng_sample_distinct_props(seed in any::<u64>(), n in 1usize..500, k_frac in 0.0f64..1.0) {
+        let k = ((n as f64) * k_frac) as usize;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let s = rng.sample_distinct(n, k);
+        prop_assert_eq!(s.len(), k);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        prop_assert_eq!(set.len(), k);
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// The empirical CDF is a valid distribution function.
+    #[test]
+    fn cdf_is_monotone_distribution(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+    ) {
+        let points = cdf(&values);
+        prop_assert!(!points.is_empty());
+        for w in points.windows(2) {
+            prop_assert!(w[0].value < w[1].value);
+            prop_assert!(w[0].fraction < w[1].fraction);
+        }
+        let last = points.last().unwrap();
+        prop_assert!((last.fraction - 1.0).abs() < 1e-9);
+        // Evaluating at any sample returns its cumulative fraction > 0.
+        for &v in values.iter().take(10) {
+            prop_assert!(cdf_at(&points, v) > 0.0);
+        }
+    }
+
+    /// The median lies between the 25th and 75th percentiles.
+    #[test]
+    fn percentile_ordering(values in proptest::collection::vec(0.0f64..1e9, 1..100)) {
+        let p25 = percentile(&values, 25.0).unwrap();
+        let p50 = percentile(&values, 50.0).unwrap();
+        let p75 = percentile(&values, 75.0).unwrap();
+        prop_assert!(p25 <= p50 + 1e-9);
+        prop_assert!(p50 <= p75 + 1e-9);
+    }
+
+    /// Identical seeds generate identical streams; the stream is unchanged
+    /// by interleaved splits (split consumes exactly one draw).
+    #[test]
+    fn rng_streams_reproducible(seed in any::<u64>()) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        let _ = a.split();
+        let _ = b.next_u64();
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

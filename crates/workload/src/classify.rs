@@ -1,0 +1,326 @@
+//! Job classification: estimated task runtime vs. a cutoff (§3.3), and the
+//! misestimation model of §4.8.
+//!
+//! Hawk computes a per-job *estimated task runtime* — the mean task duration
+//! — and compares it against a cutoff threshold: smaller means short
+//! (scheduled distributed), otherwise long (scheduled centrally). §4.8
+//! studies robustness to estimation error by multiplying the correct
+//! estimate by a uniform random factor in a configurable range.
+
+use hawk_simcore::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobClass, JobId, Trace};
+
+/// The short/long cutoff threshold on estimated task runtime.
+///
+/// The paper's default for the Google trace is 1129 s; Figures 12/13 sweep
+/// 750–2000 s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cutoff(pub SimDuration);
+
+impl Cutoff {
+    /// The paper's default Google-trace cutoff (1129 seconds).
+    pub const GOOGLE_DEFAULT: Cutoff = Cutoff(SimDuration::from_secs(1129));
+
+    /// Creates a cutoff from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Cutoff(SimDuration::from_secs(secs))
+    }
+
+    /// Derives a cutoff from the statistics of past jobs (§3.3: "the value
+    /// of the cutoff is based on statistics about past jobs because the
+    /// relative proportion of short and long jobs … is expected to remain
+    /// stable over time").
+    ///
+    /// Returns the `percentile`-th percentile of the trace's estimated
+    /// task runtimes, so that `100 − percentile` percent of (similar
+    /// future) jobs classify as long. The paper's Google cutoff of 1129 s
+    /// is the 90th percentile of that trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is empty.
+    pub fn from_history(history: &Trace, percentile: f64) -> Self {
+        assert!(!history.is_empty(), "cutoff derivation needs past jobs");
+        let estimates: Vec<f64> = history
+            .jobs()
+            .iter()
+            .map(|j| j.mean_task_duration().as_secs_f64())
+            .collect();
+        let value =
+            hawk_simcore::stats::percentile(&estimates, percentile).expect("non-empty history");
+        Cutoff(SimDuration::from_secs_f64(value))
+    }
+
+    /// Classifies an estimated task runtime: `< cutoff` is short (§3.3).
+    pub fn classify(self, estimate: SimDuration) -> JobClass {
+        if estimate < self.0 {
+            JobClass::Short
+        } else {
+            JobClass::Long
+        }
+    }
+}
+
+/// The misestimation magnitude of §4.8: the correct estimate is multiplied
+/// by a factor drawn uniformly from `[lo, hi]` per job.
+///
+/// The paper sweeps symmetric ranges 0.1–1.9 through 0.7–1.3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MisestimateRange {
+    /// Lower bound of the multiplicative factor.
+    pub lo: f64,
+    /// Upper bound of the multiplicative factor.
+    pub hi: f64,
+}
+
+impl MisestimateRange {
+    /// A symmetric range `[1-delta, 1+delta]`, as swept in Figure 14.
+    pub fn symmetric(delta: f64) -> Self {
+        MisestimateRange {
+            lo: 1.0 - delta,
+            hi: 1.0 + delta,
+        }
+    }
+
+    /// The exact-estimation range `[1, 1]`.
+    pub fn exact() -> Self {
+        MisestimateRange { lo: 1.0, hi: 1.0 }
+    }
+
+    /// Draws one factor.
+    fn draw(&self, rng: &mut SimRng) -> f64 {
+        if self.lo == self.hi {
+            self.lo
+        } else {
+            rng.uniform(self.lo, self.hi)
+        }
+    }
+}
+
+/// Per-job task-runtime estimates, the input to Hawk's classification and to
+/// the centralized scheduler's waiting-time bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use hawk_simcore::{SimDuration, SimTime};
+/// use hawk_workload::{Job, JobClass, JobId, Trace};
+/// use hawk_workload::classify::{Cutoff, JobEstimates};
+///
+/// let trace = Trace::new(vec![Job {
+///     id: JobId(0),
+///     submission: SimTime::ZERO,
+///     tasks: vec![SimDuration::from_secs(100), SimDuration::from_secs(300)],
+///     generated_class: None,
+/// }])
+/// .unwrap();
+///
+/// let est = JobEstimates::exact(&trace);
+/// assert_eq!(est.estimate(JobId(0)), SimDuration::from_secs(200));
+/// let cutoff = Cutoff::from_secs(250);
+/// assert_eq!(est.class(JobId(0), cutoff), JobClass::Short);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobEstimates {
+    estimates: Vec<SimDuration>,
+}
+
+impl JobEstimates {
+    /// Exact estimates: the true mean task duration of every job.
+    pub fn exact(trace: &Trace) -> Self {
+        JobEstimates {
+            estimates: trace
+                .jobs()
+                .iter()
+                .map(|j| j.mean_task_duration())
+                .collect(),
+        }
+    }
+
+    /// Misestimated estimates: each job's correct estimate multiplied by an
+    /// independent uniform factor from `range` (§4.8).
+    pub fn misestimated(trace: &Trace, range: MisestimateRange, rng: &mut SimRng) -> Self {
+        JobEstimates {
+            estimates: trace
+                .jobs()
+                .iter()
+                .map(|j| {
+                    let factor = range.draw(rng);
+                    SimDuration::from_secs_f64(j.mean_task_duration().as_secs_f64() * factor)
+                })
+                .collect(),
+        }
+    }
+
+    /// The estimate for `job`.
+    pub fn estimate(&self, job: JobId) -> SimDuration {
+        self.estimates[job.index()]
+    }
+
+    /// Classifies `job` under `cutoff` using this estimate set.
+    pub fn class(&self, job: JobId, cutoff: Cutoff) -> JobClass {
+        cutoff.classify(self.estimate(job))
+    }
+
+    /// Number of jobs covered.
+    pub fn len(&self) -> usize {
+        self.estimates.len()
+    }
+
+    /// True if no jobs are covered.
+    pub fn is_empty(&self) -> bool {
+        self.estimates.is_empty()
+    }
+
+    /// The fraction of jobs classified long under `cutoff`.
+    pub fn long_fraction(&self, cutoff: Cutoff) -> f64 {
+        if self.estimates.is_empty() {
+            return 0.0;
+        }
+        let long = self
+            .estimates
+            .iter()
+            .filter(|&&e| cutoff.classify(e).is_long())
+            .count();
+        long as f64 / self.estimates.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use hawk_simcore::SimTime;
+
+    fn mk_trace(mean_secs: &[u64]) -> Trace {
+        let jobs = mean_secs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Job {
+                id: JobId(i as u32),
+                submission: SimTime::from_secs(i as u64),
+                tasks: vec![SimDuration::from_secs(s); 2],
+                generated_class: None,
+            })
+            .collect();
+        Trace::new(jobs).unwrap()
+    }
+
+    #[test]
+    fn cutoff_boundary_is_long() {
+        let c = Cutoff::from_secs(100);
+        assert_eq!(c.classify(SimDuration::from_secs(99)), JobClass::Short);
+        // The paper says "smaller than the cutoff" is short, so equality is long.
+        assert_eq!(c.classify(SimDuration::from_secs(100)), JobClass::Long);
+        assert_eq!(c.classify(SimDuration::from_secs(101)), JobClass::Long);
+    }
+
+    #[test]
+    fn exact_estimates_are_means() {
+        let t = mk_trace(&[50, 2000]);
+        let e = JobEstimates::exact(&t);
+        assert_eq!(e.estimate(JobId(0)), SimDuration::from_secs(50));
+        assert_eq!(e.estimate(JobId(1)), SimDuration::from_secs(2000));
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn long_fraction_counts() {
+        let t = mk_trace(&[50, 2000, 3000, 10]);
+        let e = JobEstimates::exact(&t);
+        assert_eq!(e.long_fraction(Cutoff::from_secs(1129)), 0.5);
+        assert_eq!(e.long_fraction(Cutoff::from_secs(1)), 1.0);
+        assert_eq!(e.long_fraction(Cutoff::from_secs(100_000)), 0.0);
+    }
+
+    #[test]
+    fn misestimation_respects_range() {
+        let t = mk_trace(&[1000; 200]);
+        let mut rng = SimRng::seed_from_u64(1);
+        let range = MisestimateRange { lo: 0.5, hi: 1.5 };
+        let e = JobEstimates::misestimated(&t, range, &mut rng);
+        let mut below = 0;
+        let mut above = 0;
+        for i in 0..200 {
+            let est = e.estimate(JobId(i)).as_secs_f64();
+            assert!(
+                (499.0..=1501.0).contains(&est),
+                "estimate {est} out of range"
+            );
+            if est < 1000.0 {
+                below += 1;
+            } else {
+                above += 1;
+            }
+        }
+        // Roughly symmetric around the truth.
+        assert!(below > 50 && above > 50, "below={below} above={above}");
+    }
+
+    #[test]
+    fn exact_misestimation_range_is_identity() {
+        let t = mk_trace(&[123, 456]);
+        let mut rng = SimRng::seed_from_u64(2);
+        let e = JobEstimates::misestimated(&t, MisestimateRange::exact(), &mut rng);
+        let exact = JobEstimates::exact(&t);
+        for i in 0..2 {
+            assert_eq!(e.estimate(JobId(i)), exact.estimate(JobId(i)));
+        }
+    }
+
+    #[test]
+    fn symmetric_range_constructor() {
+        let r = MisestimateRange::symmetric(0.9);
+        assert!((r.lo - 0.1).abs() < 1e-12);
+        assert!((r.hi - 1.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cutoff_from_history_tracks_percentile() {
+        // 90 jobs at 100 s, 10 jobs at 5000 s: the 90th percentile sits
+        // between the populations, classifying exactly the slow ones long.
+        let mut means = vec![100u64; 90];
+        means.extend(vec![5_000u64; 10]);
+        let history = mk_trace(&means);
+        let cutoff = Cutoff::from_history(&history, 90.0);
+        let est = JobEstimates::exact(&history);
+        let long = (0..100)
+            .filter(|&i| est.class(JobId(i), cutoff).is_long())
+            .count();
+        assert_eq!(long, 10);
+    }
+
+    #[test]
+    fn cutoff_from_history_on_google_like_trace_near_default() {
+        // The synthetic Google trace is calibrated so its 90th-percentile
+        // estimate lands near the paper's 1129 s cutoff.
+        let trace = crate::google::GoogleTraceConfig::with_scale(10, 5_000).generate(13);
+        let derived = Cutoff::from_history(&trace, 90.0);
+        let secs = derived.0.as_secs_f64();
+        assert!(
+            (700.0..=1_700.0).contains(&secs),
+            "derived cutoff {secs}s too far from 1129s"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs past jobs")]
+    fn cutoff_from_empty_history_panics() {
+        Cutoff::from_history(&Trace::new(vec![]).unwrap(), 90.0);
+    }
+
+    #[test]
+    fn misclassification_flows_from_misestimation() {
+        // A job right at the cutoff flips class when underestimated.
+        let t = mk_trace(&[1200]);
+        let cutoff = Cutoff::from_secs(1129);
+        let exact = JobEstimates::exact(&t);
+        assert_eq!(exact.class(JobId(0), cutoff), JobClass::Long);
+        let mut rng = SimRng::seed_from_u64(3);
+        let low = JobEstimates::misestimated(&t, MisestimateRange { lo: 0.5, hi: 0.5 }, &mut rng);
+        assert_eq!(low.class(JobId(0), cutoff), JobClass::Short);
+    }
+}

@@ -1,0 +1,413 @@
+//! The trace model: jobs, tasks, and whole traces.
+//!
+//! A trace is exactly what the paper's simulator consumes (§4.1): a list of
+//! tuples `(jobID, job submission time, number of tasks, duration of each
+//! task)`. Durations vary within a job; the *estimated task runtime* used by
+//! Hawk is the per-job mean (§3.3).
+
+use std::fmt;
+
+use hawk_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifies a job within a trace (dense, `0..trace.len()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The job's dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Short/long job classification (paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobClass {
+    /// Latency-sensitive job, scheduled in a distributed fashion.
+    Short,
+    /// Resource-heavy job, scheduled by the centralized component.
+    Long,
+}
+
+impl JobClass {
+    /// Returns true for [`JobClass::Long`].
+    pub fn is_long(self) -> bool {
+        matches!(self, JobClass::Long)
+    }
+
+    /// Returns true for [`JobClass::Short`].
+    pub fn is_short(self) -> bool {
+        matches!(self, JobClass::Short)
+    }
+}
+
+impl fmt::Display for JobClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobClass::Short => write!(f, "short"),
+            JobClass::Long => write!(f, "long"),
+        }
+    }
+}
+
+/// One job: a submission time plus the durations of its parallel tasks.
+///
+/// A job completes only after all of its tasks finish (§3.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Dense trace-local identifier.
+    pub id: JobId,
+    /// Submission (arrival) time.
+    pub submission: SimTime,
+    /// Duration of each task. Length is the degree of parallelism.
+    pub tasks: Vec<SimDuration>,
+    /// Ground-truth class assigned by a synthetic generator, when the
+    /// generator draws jobs from an explicitly short or long population
+    /// (k-means-derived traces, §4.1). `None` for traces where class is
+    /// defined only by the runtime-estimate cutoff.
+    pub generated_class: Option<JobClass>,
+}
+
+impl Job {
+    /// Number of tasks (`t` in the paper's probing discussion).
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The paper's *estimated task runtime*: the mean task duration (§3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job has no tasks; [`Trace::new`] rejects such jobs.
+    pub fn mean_task_duration(&self) -> SimDuration {
+        assert!(!self.tasks.is_empty(), "job with zero tasks");
+        let sum: u64 = self.tasks.iter().map(|d| d.as_micros()).sum();
+        SimDuration::from_micros(sum / self.tasks.len() as u64)
+    }
+
+    /// Total work: the sum of task durations ("task-seconds", §2.1).
+    pub fn task_seconds(&self) -> SimDuration {
+        SimDuration::from_micros(self.tasks.iter().map(|d| d.as_micros()).sum())
+    }
+
+    /// An ideal lower bound on runtime: the longest single task.
+    pub fn critical_task(&self) -> SimDuration {
+        self.tasks
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Errors from [`Trace::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Jobs must be ordered by non-decreasing submission time.
+    UnsortedSubmissions {
+        /// Index of the first out-of-order job.
+        at: usize,
+    },
+    /// Every job must have at least one task.
+    EmptyJob {
+        /// Index of the offending job.
+        at: usize,
+    },
+    /// Job ids must be dense: `jobs[i].id == i`.
+    NonDenseIds {
+        /// Index of the offending job.
+        at: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnsortedSubmissions { at } => {
+                write!(f, "job at index {at} submitted before its predecessor")
+            }
+            TraceError::EmptyJob { at } => write!(f, "job at index {at} has zero tasks"),
+            TraceError::NonDenseIds { at } => {
+                write!(f, "job at index {at} has a non-dense id")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// An ordered collection of jobs — the unit every experiment runs on.
+///
+/// Invariants (enforced by [`Trace::new`]):
+/// * jobs are sorted by non-decreasing submission time,
+/// * every job has at least one task,
+/// * job ids are dense (`jobs[i].id.index() == i`).
+///
+/// # Examples
+///
+/// ```
+/// use hawk_simcore::{SimDuration, SimTime};
+/// use hawk_workload::{Job, JobId, Trace};
+///
+/// let jobs = vec![Job {
+///     id: JobId(0),
+///     submission: SimTime::ZERO,
+///     tasks: vec![SimDuration::from_secs(10), SimDuration::from_secs(20)],
+///     generated_class: None,
+/// }];
+/// let trace = Trace::new(jobs).unwrap();
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.total_tasks(), 2);
+/// assert_eq!(trace.job(JobId(0)).mean_task_duration(), SimDuration::from_secs(15));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Validates the invariants and builds a trace.
+    pub fn new(jobs: Vec<Job>) -> Result<Self, TraceError> {
+        for (i, job) in jobs.iter().enumerate() {
+            if job.tasks.is_empty() {
+                return Err(TraceError::EmptyJob { at: i });
+            }
+            if job.id.index() != i {
+                return Err(TraceError::NonDenseIds { at: i });
+            }
+            if i > 0 && job.submission < jobs[i - 1].submission {
+                return Err(TraceError::UnsortedSubmissions { at: i });
+            }
+        }
+        Ok(Trace { jobs })
+    }
+
+    /// Builds a trace from unordered jobs by sorting and re-numbering them.
+    pub fn from_unordered(mut jobs: Vec<Job>) -> Result<Self, TraceError> {
+        jobs.sort_by_key(|j| j.submission);
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.id = JobId(i as u32);
+        }
+        Trace::new(jobs)
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs, in submission order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Looks up a job by id.
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.index()]
+    }
+
+    /// Total number of tasks across all jobs.
+    pub fn total_tasks(&self) -> u64 {
+        self.jobs.iter().map(|j| j.num_tasks() as u64).sum()
+    }
+
+    /// Total task-seconds across all jobs.
+    pub fn total_task_seconds(&self) -> SimDuration {
+        SimDuration::from_micros(self.jobs.iter().map(|j| j.task_seconds().as_micros()).sum())
+    }
+
+    /// The largest task count of any job (used by the prototype scale-down,
+    /// §4.1 "Real cluster run").
+    pub fn max_tasks_per_job(&self) -> usize {
+        self.jobs.iter().map(Job::num_tasks).max().unwrap_or(0)
+    }
+
+    /// The mean task runtime over all tasks in the trace.
+    pub fn mean_task_runtime(&self) -> SimDuration {
+        let total = self.total_tasks();
+        if total == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(self.total_task_seconds().as_micros() / total)
+    }
+
+    /// Submission time of the last job.
+    pub fn span(&self) -> SimDuration {
+        match (self.jobs.first(), self.jobs.last()) {
+            (Some(first), Some(last)) => last.submission - first.submission,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Serializes to JSON Lines, one job per line.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for job in &self.jobs {
+            out.push_str(&serde_json::to_string(job).expect("job serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a trace from JSON Lines produced by [`Trace::to_json_lines`].
+    pub fn from_json_lines(text: &str) -> Result<Self, Box<dyn std::error::Error>> {
+        let mut jobs = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            jobs.push(serde_json::from_str::<Job>(line)?);
+        }
+        Ok(Trace::new(jobs)?)
+    }
+
+    /// Returns the trace restricted to its first `n` jobs.
+    pub fn take(&self, n: usize) -> Trace {
+        Trace {
+            jobs: self.jobs.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Writes the trace to `path` as JSON Lines.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_lines())
+    }
+
+    /// Loads a trace previously written by [`Trace::save`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json_lines(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, at: u64, tasks: &[u64]) -> Job {
+        Job {
+            id: JobId(id),
+            submission: SimTime::from_secs(at),
+            tasks: tasks.iter().map(|&s| SimDuration::from_secs(s)).collect(),
+            generated_class: None,
+        }
+    }
+
+    use hawk_simcore::SimTime;
+
+    #[test]
+    fn trace_new_validates_order() {
+        let err = Trace::new(vec![job(0, 10, &[1]), job(1, 5, &[1])]).unwrap_err();
+        assert_eq!(err, TraceError::UnsortedSubmissions { at: 1 });
+    }
+
+    #[test]
+    fn trace_new_rejects_empty_jobs() {
+        let err = Trace::new(vec![job(0, 0, &[])]).unwrap_err();
+        assert_eq!(err, TraceError::EmptyJob { at: 0 });
+    }
+
+    #[test]
+    fn trace_new_rejects_non_dense_ids() {
+        let err = Trace::new(vec![job(5, 0, &[1])]).unwrap_err();
+        assert_eq!(err, TraceError::NonDenseIds { at: 0 });
+    }
+
+    #[test]
+    fn from_unordered_sorts_and_renumbers() {
+        let t = Trace::from_unordered(vec![job(9, 10, &[1]), job(3, 5, &[2])]).unwrap();
+        assert_eq!(t.job(JobId(0)).submission, SimTime::from_secs(5));
+        assert_eq!(t.job(JobId(1)).submission, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn job_statistics() {
+        let j = job(0, 0, &[10, 20, 30]);
+        assert_eq!(j.num_tasks(), 3);
+        assert_eq!(j.mean_task_duration(), SimDuration::from_secs(20));
+        assert_eq!(j.task_seconds(), SimDuration::from_secs(60));
+        assert_eq!(j.critical_task(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let t = Trace::new(vec![job(0, 0, &[10, 20]), job(1, 100, &[5, 5, 5])]).unwrap();
+        assert_eq!(t.total_tasks(), 5);
+        assert_eq!(t.total_task_seconds(), SimDuration::from_secs(45));
+        assert_eq!(t.max_tasks_per_job(), 3);
+        assert_eq!(t.mean_task_runtime(), SimDuration::from_secs(9));
+        assert_eq!(t.span(), SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn json_lines_round_trip() {
+        let t = Trace::new(vec![job(0, 0, &[10, 20]), job(1, 50, &[7])]).unwrap();
+        let text = t.to_json_lines();
+        let back = Trace::from_json_lines(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_lines_skips_blank_lines() {
+        let t = Trace::new(vec![job(0, 0, &[1])]).unwrap();
+        let text = format!("\n{}\n\n", t.to_json_lines());
+        assert_eq!(Trace::from_json_lines(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let t = Trace::new(vec![job(0, 0, &[10, 20]), job(1, 50, &[7])]).unwrap();
+        let dir = std::env::temp_dir().join("hawk-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(Trace::load("/nonexistent/hawk/trace.jsonl").is_err());
+    }
+
+    #[test]
+    fn take_prefix() {
+        let t = Trace::new(vec![job(0, 0, &[1]), job(1, 1, &[2]), job(2, 2, &[3])]).unwrap();
+        let head = t.take(2);
+        assert_eq!(head.len(), 2);
+        assert_eq!(head.job(JobId(1)).submission, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn class_helpers() {
+        assert!(JobClass::Long.is_long());
+        assert!(!JobClass::Long.is_short());
+        assert!(JobClass::Short.is_short());
+        assert_eq!(JobClass::Short.to_string(), "short");
+        assert_eq!(JobClass::Long.to_string(), "long");
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let t = Trace::new(vec![]).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.total_tasks(), 0);
+        assert_eq!(t.mean_task_runtime(), SimDuration::ZERO);
+        assert_eq!(t.span(), SimDuration::ZERO);
+        assert_eq!(t.max_tasks_per_job(), 0);
+    }
+}

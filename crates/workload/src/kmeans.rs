@@ -1,0 +1,458 @@
+//! Synthetic traces derived from k-means workload descriptions (§4.1).
+//!
+//! The paper creates the Cloudera-b/c/d, Facebook 2010 and Yahoo 2011
+//! traces from the published k-means clusterings of those workloads
+//! ([Chen et al., VLDB 2012] and [Chen et al., MASCOTS 2011]): the first
+//! cluster is the short jobs, the rest are long. Per cluster, the centroid
+//! values for tasks-per-job and mean task duration are used as the *scale*
+//! of an exponential distribution to draw each job's task count and mean
+//! task duration; per-task runtimes are then Gaussian with σ = 2·mean,
+//! truncated positive. This module implements exactly that procedure.
+//!
+//! The centroid tables below are calibrated so the generated traces match
+//! the paper's Table 1 (long-job fraction and task-seconds share) and
+//! Table 2 (job counts); the derivation is in `DESIGN.md`.
+
+use hawk_simcore::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::PoissonArrivals;
+use crate::job::{Job, JobClass, JobId, Trace};
+
+/// One k-means cluster of the source workload description.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Fraction of all jobs drawn from this cluster.
+    pub weight: f64,
+    /// Centroid (exponential scale) for the number of tasks per job.
+    pub tasks_centroid: f64,
+    /// Centroid (exponential scale) for the mean task duration, seconds.
+    pub duration_centroid_secs: f64,
+    /// Whether this is the short-jobs cluster ("the first cluster", §4.1).
+    pub class: JobClass,
+}
+
+/// Configuration for a k-means-derived synthetic trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KmeansTraceConfig {
+    /// Workload name, e.g. `"facebook-2010"`.
+    pub name: &'static str,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Mean Poisson inter-arrival time.
+    pub mean_interarrival: SimDuration,
+    /// The cluster mixture; weights must sum to 1.
+    pub clusters: Vec<ClusterSpec>,
+    /// Short-partition fraction Hawk uses for this workload (§4.1).
+    pub short_partition_fraction: f64,
+    /// Default short/long cutoff for scheduling experiments, seconds.
+    pub default_cutoff_secs: u64,
+}
+
+/// Expected task-seconds per job of the mixture (product of exponential
+/// means, independence).
+fn expected_task_seconds(clusters: &[ClusterSpec]) -> f64 {
+    clusters
+        .iter()
+        .map(|c| c.weight * c.tasks_centroid * c.duration_centroid_secs)
+        .sum()
+}
+
+impl KmeansTraceConfig {
+    /// Mean inter-arrival so that `nodes` servers see ≈`load` offered load.
+    fn interarrival_for(clusters: &[ClusterSpec], nodes: f64, load: f64) -> SimDuration {
+        SimDuration::from_secs_f64(expected_task_seconds(clusters) / (load * nodes))
+    }
+
+    /// Cloudera-b 2011: 7.67 % long jobs carrying 99.65 % of task-seconds
+    /// (Table 1; job count not used in the paper's simulations).
+    pub fn cloudera_b(jobs: usize) -> Self {
+        let clusters = vec![
+            ClusterSpec {
+                weight: 0.9233,
+                tasks_centroid: 10.0,
+                duration_centroid_secs: 30.0,
+                class: JobClass::Short,
+            },
+            ClusterSpec {
+                weight: 0.0460,
+                tasks_centroid: 300.0,
+                duration_centroid_secs: 600.0,
+                class: JobClass::Long,
+            },
+            ClusterSpec {
+                weight: 0.0230,
+                tasks_centroid: 800.0,
+                duration_centroid_secs: 1_500.0,
+                class: JobClass::Long,
+            },
+            ClusterSpec {
+                weight: 0.0077,
+                tasks_centroid: 2_200.0,
+                duration_centroid_secs: 2_400.0,
+                class: JobClass::Long,
+            },
+        ];
+        let mean_interarrival = Self::interarrival_for(&clusters, 17_500.0, 0.9);
+        KmeansTraceConfig {
+            name: "cloudera-b-2011",
+            jobs,
+            mean_interarrival,
+            clusters,
+            short_partition_fraction: 0.02,
+            default_cutoff_secs: 150,
+        }
+    }
+
+    /// Cloudera-c 2011: 5.02 % long jobs, 92.79 % of task-seconds, 21,030
+    /// jobs (Tables 1 and 2); short partition 9 % (§4.1).
+    pub fn cloudera_c(jobs: usize) -> Self {
+        let clusters = vec![
+            ClusterSpec {
+                weight: 0.9498,
+                tasks_centroid: 15.0,
+                duration_centroid_secs: 50.0,
+                class: JobClass::Short,
+            },
+            ClusterSpec {
+                weight: 0.0351,
+                tasks_centroid: 120.0,
+                duration_centroid_secs: 250.0,
+                class: JobClass::Long,
+            },
+            ClusterSpec {
+                weight: 0.0126,
+                tasks_centroid: 450.0,
+                duration_centroid_secs: 700.0,
+                class: JobClass::Long,
+            },
+            ClusterSpec {
+                weight: 0.0025,
+                tasks_centroid: 1_400.0,
+                duration_centroid_secs: 1_100.0,
+                class: JobClass::Long,
+            },
+        ];
+        let mean_interarrival = Self::interarrival_for(&clusters, 17_500.0, 0.9);
+        KmeansTraceConfig {
+            name: "cloudera-c-2011",
+            jobs,
+            mean_interarrival,
+            clusters,
+            short_partition_fraction: 0.09,
+            default_cutoff_secs: 250,
+        }
+    }
+
+    /// Cloudera-d 2011: 4.12 % long jobs, 89.72 % of task-seconds (Table 1).
+    pub fn cloudera_d(jobs: usize) -> Self {
+        let clusters = vec![
+            ClusterSpec {
+                weight: 0.9588,
+                tasks_centroid: 12.0,
+                duration_centroid_secs: 40.0,
+                class: JobClass::Short,
+            },
+            ClusterSpec {
+                weight: 0.0288,
+                tasks_centroid: 100.0,
+                duration_centroid_secs: 280.0,
+                class: JobClass::Long,
+            },
+            ClusterSpec {
+                weight: 0.0103,
+                tasks_centroid: 400.0,
+                duration_centroid_secs: 550.0,
+                class: JobClass::Long,
+            },
+            ClusterSpec {
+                weight: 0.0021,
+                tasks_centroid: 900.0,
+                duration_centroid_secs: 500.0,
+                class: JobClass::Long,
+            },
+        ];
+        let mean_interarrival = Self::interarrival_for(&clusters, 17_500.0, 0.9);
+        KmeansTraceConfig {
+            name: "cloudera-d-2011",
+            jobs,
+            mean_interarrival,
+            clusters,
+            short_partition_fraction: 0.10,
+            default_cutoff_secs: 220,
+        }
+    }
+
+    /// Facebook 2010: 2.01 % long jobs, 99.79 % of task-seconds, 1,169,184
+    /// jobs (Tables 1 and 2); short partition 2 % (§4.1).
+    pub fn facebook(jobs: usize) -> Self {
+        let clusters = vec![
+            ClusterSpec {
+                weight: 0.9799,
+                tasks_centroid: 5.0,
+                duration_centroid_secs: 20.0,
+                class: JobClass::Short,
+            },
+            ClusterSpec {
+                weight: 0.0121,
+                tasks_centroid: 400.0,
+                duration_centroid_secs: 1_000.0,
+                class: JobClass::Long,
+            },
+            ClusterSpec {
+                weight: 0.0060,
+                tasks_centroid: 2_000.0,
+                duration_centroid_secs: 2_000.0,
+                class: JobClass::Long,
+            },
+            ClusterSpec {
+                weight: 0.0020,
+                tasks_centroid: 5_000.0,
+                duration_centroid_secs: 1_800.0,
+                class: JobClass::Long,
+            },
+        ];
+        let mean_interarrival = Self::interarrival_for(&clusters, 85_000.0, 0.9);
+        KmeansTraceConfig {
+            name: "facebook-2010",
+            jobs,
+            mean_interarrival,
+            clusters,
+            short_partition_fraction: 0.02,
+            default_cutoff_secs: 100,
+        }
+    }
+
+    /// Yahoo 2011: 9.41 % long jobs, 98.31 % of task-seconds, 24,262 jobs
+    /// (Tables 1 and 2); short partition 2 % (§4.1).
+    pub fn yahoo(jobs: usize) -> Self {
+        let clusters = vec![
+            ClusterSpec {
+                weight: 0.9059,
+                tasks_centroid: 20.0,
+                duration_centroid_secs: 40.0,
+                class: JobClass::Short,
+            },
+            ClusterSpec {
+                weight: 0.0565,
+                tasks_centroid: 300.0,
+                duration_centroid_secs: 700.0,
+                class: JobClass::Long,
+            },
+            ClusterSpec {
+                weight: 0.0282,
+                tasks_centroid: 800.0,
+                duration_centroid_secs: 1_200.0,
+                class: JobClass::Long,
+            },
+            ClusterSpec {
+                weight: 0.0094,
+                tasks_centroid: 250.0,
+                duration_centroid_secs: 1_400.0,
+                class: JobClass::Long,
+            },
+        ];
+        let mean_interarrival = Self::interarrival_for(&clusters, 7_000.0, 0.9);
+        KmeansTraceConfig {
+            name: "yahoo-2011",
+            jobs,
+            mean_interarrival,
+            clusters,
+            short_partition_fraction: 0.02,
+            default_cutoff_secs: 200,
+        }
+    }
+
+    /// The paper's Table 2 job count for this workload's source trace.
+    pub fn paper_job_count(&self) -> Option<usize> {
+        match self.name {
+            "cloudera-c-2011" => Some(21_030),
+            "facebook-2010" => Some(1_169_184),
+            "yahoo-2011" => Some(24_262),
+            _ => None,
+        }
+    }
+
+    /// Generates the trace deterministically from `seed`.
+    ///
+    /// Implements §4.1 verbatim: cluster choice by weight, exponential
+    /// task-count and mean-duration draws from the centroid scales, and
+    /// per-task Gaussian durations with σ = 2·mean truncated positive.
+    pub fn generate(&self, seed: u64) -> Trace {
+        assert!(
+            (self.total_weight() - 1.0).abs() < 1e-6,
+            "cluster weights must sum to 1"
+        );
+        let mut root = SimRng::seed_from_u64(seed);
+        let mut pick_rng = root.split();
+        let mut shape_rng = root.split();
+        let mut task_rng = root.split();
+        let mut arrival_rng = root.split();
+
+        let mut arrivals = PoissonArrivals::new(self.mean_interarrival);
+        let mut jobs = Vec::with_capacity(self.jobs);
+        for i in 0..self.jobs {
+            let submission = arrivals.next_arrival(&mut arrival_rng);
+            let cluster = self.pick_cluster(&mut pick_rng);
+            let num_tasks = (shape_rng.exponential(cluster.tasks_centroid).round() as usize).max(1);
+            let mean_dur = shape_rng
+                .exponential(cluster.duration_centroid_secs)
+                .max(MIN_MEAN_TASK_SECS);
+            // σ = 2·mean, truncated positive (§4.1).
+            let tasks: Vec<SimDuration> = (0..num_tasks)
+                .map(|_| {
+                    SimDuration::from_secs_f64(task_rng.positive_normal(mean_dur, 2.0 * mean_dur))
+                })
+                .collect();
+            jobs.push(Job {
+                id: JobId(i as u32),
+                submission,
+                tasks,
+                generated_class: Some(cluster.class),
+            });
+        }
+        Trace::new(jobs).expect("generator emits a valid trace")
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.clusters.iter().map(|c| c.weight).sum()
+    }
+
+    fn pick_cluster(&self, rng: &mut SimRng) -> &ClusterSpec {
+        let mut x = rng.next_f64();
+        for cluster in &self.clusters {
+            if x < cluster.weight {
+                return cluster;
+            }
+            x -= cluster.weight;
+        }
+        self.clusters.last().expect("at least one cluster")
+    }
+}
+
+/// Floor on a job's drawn mean task duration, seconds.
+///
+/// The exponential draw can return arbitrarily small values; sub-second
+/// means produce microsecond tasks that exist only to stress the simulator.
+/// One second is well below every cutoff, so the floor cannot change any
+/// job's class.
+const MIN_MEAN_TASK_SECS: f64 = 1.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::Cutoff;
+    use crate::stats::WorkloadStats;
+
+    fn check_table1(cfg: &KmeansTraceConfig, want_long: f64, want_ts: f64, seed: u64) {
+        let trace = cfg.generate(seed);
+        let stats =
+            WorkloadStats::by_provenance(&trace, Cutoff::from_secs(cfg.default_cutoff_secs));
+        assert!(
+            (stats.long_job_fraction - want_long).abs() < 0.01,
+            "{}: long fraction {} want {want_long}",
+            cfg.name,
+            stats.long_job_fraction
+        );
+        assert!(
+            (stats.long_task_seconds_share - want_ts).abs() < 0.03,
+            "{}: ts share {} want {want_ts}",
+            cfg.name,
+            stats.long_task_seconds_share
+        );
+    }
+
+    #[test]
+    fn cloudera_b_matches_table1() {
+        check_table1(&KmeansTraceConfig::cloudera_b(20_000), 0.0767, 0.9965, 1);
+    }
+
+    #[test]
+    fn cloudera_c_matches_table1() {
+        check_table1(&KmeansTraceConfig::cloudera_c(21_030), 0.0502, 0.9279, 2);
+    }
+
+    #[test]
+    fn cloudera_d_matches_table1() {
+        check_table1(&KmeansTraceConfig::cloudera_d(20_000), 0.0412, 0.8972, 3);
+    }
+
+    #[test]
+    fn facebook_matches_table1() {
+        check_table1(&KmeansTraceConfig::facebook(50_000), 0.0201, 0.9979, 4);
+    }
+
+    #[test]
+    fn yahoo_matches_table1() {
+        check_table1(&KmeansTraceConfig::yahoo(24_262), 0.0941, 0.9831, 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = KmeansTraceConfig::yahoo(500);
+        assert_eq!(cfg.generate(9), cfg.generate(9));
+    }
+
+    #[test]
+    fn all_jobs_have_positive_tasks() {
+        let cfg = KmeansTraceConfig::facebook(2_000);
+        let t = cfg.generate(7);
+        for j in t.jobs() {
+            assert!(j.num_tasks() >= 1);
+            for &d in &j.tasks {
+                assert!(d > SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        for cfg in [
+            KmeansTraceConfig::cloudera_b(1),
+            KmeansTraceConfig::cloudera_c(1),
+            KmeansTraceConfig::cloudera_d(1),
+            KmeansTraceConfig::facebook(1),
+            KmeansTraceConfig::yahoo(1),
+        ] {
+            assert!(
+                (cfg.total_weight() - 1.0).abs() < 1e-9,
+                "{} weights sum to {}",
+                cfg.name,
+                cfg.total_weight()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_job_counts() {
+        assert_eq!(
+            KmeansTraceConfig::cloudera_c(1).paper_job_count(),
+            Some(21_030)
+        );
+        assert_eq!(
+            KmeansTraceConfig::facebook(1).paper_job_count(),
+            Some(1_169_184)
+        );
+        assert_eq!(KmeansTraceConfig::yahoo(1).paper_job_count(), Some(24_262));
+        assert_eq!(KmeansTraceConfig::cloudera_b(1).paper_job_count(), None);
+    }
+
+    #[test]
+    fn gaussian_task_durations_have_wide_spread() {
+        // σ = 2·mean with positive truncation: the realized per-task spread
+        // within a job must be substantial (coefficient of variation > 0.5).
+        let cfg = KmeansTraceConfig::yahoo(300);
+        let t = cfg.generate(11);
+        let big_job = t
+            .jobs()
+            .iter()
+            .filter(|j| j.num_tasks() >= 50)
+            .max_by_key(|j| j.num_tasks())
+            .expect("some job with many tasks");
+        let durs: Vec<f64> = big_job.tasks.iter().map(|d| d.as_secs_f64()).collect();
+        let mean = durs.iter().sum::<f64>() / durs.len() as f64;
+        let var = durs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / durs.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 0.5, "coefficient of variation {cv}");
+    }
+}

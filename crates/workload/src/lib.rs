@@ -1,0 +1,36 @@
+//! Workload traces and synthetic generators for the Hawk reproduction.
+//!
+//! The Hawk paper (§4.1) evaluates on the Google 2011 cluster trace and on
+//! synthetic traces derived from published Cloudera, Facebook and Yahoo
+//! workload statistics. The real Google trace is not redistributable, so
+//! this crate provides:
+//!
+//! * [`Job`] / [`Trace`] — the trace model every experiment consumes:
+//!   `(job id, submission time, per-task durations)`, exactly the tuple
+//!   format the paper's simulator takes as input.
+//! * [`google`] — a calibrated synthetic generator reproducing the Google
+//!   trace's published heterogeneity statistics (Table 1 / §2.1): ~10 % long
+//!   jobs carrying ~83.65 % of task-seconds and ~28 % of tasks.
+//! * [`kmeans`] — the paper's own derivation of the Cloudera-b/c/d,
+//!   Facebook 2010 and Yahoo 2011 traces from k-means cluster centroids
+//!   (exponential per-job draws, Gaussian per-task durations with σ=2·mean).
+//! * [`motivation`] — the §2.3 scenario that motivates Hawk (Figure 1).
+//! * [`sample`] — the 3,300-job, 1000×-scaled sample used by the prototype
+//!   experiments (Figures 16/17).
+//! * [`classify`] — estimated task runtime, the short/long cutoff, and the
+//!   misestimation model of §4.8.
+//! * [`stats`] — the Table 1 / Table 2 / Figure 4 workload statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod classify;
+pub mod google;
+mod job;
+pub mod kmeans;
+pub mod motivation;
+pub mod sample;
+pub mod stats;
+
+pub use job::{Job, JobClass, JobId, Trace, TraceError};

@@ -1,0 +1,136 @@
+//! The §2.3 motivating scenario behind Figure 1.
+//!
+//! "1000 jobs need to be scheduled in a cluster of 15000 servers. 95 % of
+//! the jobs are considered short. Each short job has 100 tasks, and each
+//! task takes 100 s to complete. 5 % of the jobs are long. Each has 1000
+//! tasks, and each task takes 20000 s. The job submission times are derived
+//! from a Poisson distribution with a mean of 50 s."
+//!
+//! Running Sparrow on this trace shows severe head-of-line blocking: the
+//! paper reports median cluster utilization 86 %, maximum 97.8 %, and a
+//! short-job runtime CDF with a tail beyond 15,000 s even though an
+//! omniscient scheduler would finish most short jobs in ≈100 s.
+
+use hawk_simcore::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+use crate::arrivals::PoissonArrivals;
+use crate::job::{Job, JobClass, JobId, Trace};
+
+/// Parameters of the §2.3 scenario, defaulting to the paper's values.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MotivationConfig {
+    /// Total jobs (paper: 1000).
+    pub jobs: usize,
+    /// Probability a job is short (paper: 0.95).
+    pub short_fraction: f64,
+    /// Tasks per short job (paper: 100).
+    pub short_tasks: usize,
+    /// Duration of each short task (paper: 100 s).
+    pub short_task_duration: SimDuration,
+    /// Tasks per long job (paper: 1000).
+    pub long_tasks: usize,
+    /// Duration of each long task (paper: 20,000 s).
+    pub long_task_duration: SimDuration,
+    /// Mean Poisson inter-arrival time (paper: 50 s).
+    pub mean_interarrival: SimDuration,
+}
+
+impl MotivationConfig {
+    /// The cluster size the paper pairs with this workload.
+    pub const PAPER_NODES: usize = 15_000;
+
+    /// Generates the trace deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> Trace {
+        let mut root = SimRng::seed_from_u64(seed);
+        let mut class_rng = root.split();
+        let mut arrival_rng = root.split();
+        let mut arrivals = PoissonArrivals::new(self.mean_interarrival);
+        let mut jobs = Vec::with_capacity(self.jobs);
+        for i in 0..self.jobs {
+            let submission = arrivals.next_arrival(&mut arrival_rng);
+            let (class, count, dur) = if class_rng.chance(self.short_fraction) {
+                (JobClass::Short, self.short_tasks, self.short_task_duration)
+            } else {
+                (JobClass::Long, self.long_tasks, self.long_task_duration)
+            };
+            jobs.push(Job {
+                id: JobId(i as u32),
+                submission,
+                tasks: vec![dur; count],
+                generated_class: Some(class),
+            });
+        }
+        Trace::new(jobs).expect("generator emits a valid trace")
+    }
+}
+
+impl Default for MotivationConfig {
+    fn default() -> Self {
+        MotivationConfig {
+            jobs: 1_000,
+            short_fraction: 0.95,
+            short_tasks: 100,
+            short_task_duration: SimDuration::from_secs(100),
+            long_tasks: 1_000,
+            long_task_duration: SimDuration::from_secs(20_000),
+            mean_interarrival: SimDuration::from_secs(50),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let cfg = MotivationConfig::default();
+        assert_eq!(cfg.jobs, 1_000);
+        assert_eq!(cfg.short_tasks, 100);
+        assert_eq!(cfg.long_tasks, 1_000);
+        assert_eq!(cfg.short_task_duration, SimDuration::from_secs(100));
+        assert_eq!(cfg.long_task_duration, SimDuration::from_secs(20_000));
+        assert_eq!(MotivationConfig::PAPER_NODES, 15_000);
+    }
+
+    #[test]
+    fn class_mix_close_to_95_5() {
+        let t = MotivationConfig::default().generate(1);
+        let short = t
+            .jobs()
+            .iter()
+            .filter(|j| j.generated_class == Some(JobClass::Short))
+            .count();
+        assert!((920..=975).contains(&short), "short jobs: {short}");
+    }
+
+    #[test]
+    fn task_shapes_are_exact() {
+        let t = MotivationConfig::default().generate(2);
+        for j in t.jobs() {
+            match j.generated_class.unwrap() {
+                JobClass::Short => {
+                    assert_eq!(j.num_tasks(), 100);
+                    assert!(j.tasks.iter().all(|&d| d == SimDuration::from_secs(100)));
+                }
+                JobClass::Long => {
+                    assert_eq!(j.num_tasks(), 1_000);
+                    assert!(j.tasks.iter().all(|&d| d == SimDuration::from_secs(20_000)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_jobs_dominate_task_seconds() {
+        // 5 % of jobs × 1000 tasks × 20,000 s ≫ 95 % × 100 × 100 s: the
+        // defining heterogeneity of the motivation (≈99 % of task-seconds).
+        let t = MotivationConfig::default().generate(3);
+        let stats = crate::stats::WorkloadStats::by_provenance(
+            &t,
+            crate::classify::Cutoff::from_secs(1_000),
+        );
+        assert!(stats.long_task_seconds_share > 0.95);
+    }
+}

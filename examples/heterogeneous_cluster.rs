@@ -1,0 +1,63 @@
+//! The paper's motivating experiment (§2.3 / Figure 1): in a loaded
+//! cluster running a heterogeneous workload, a fully distributed scheduler
+//! leaves short jobs queued behind long ones even though idle servers
+//! exist — and Hawk fixes it.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+
+use hawk::prelude::*;
+use hawk::simcore::stats::percentile;
+use hawk::workload::motivation::MotivationConfig;
+
+fn main() {
+    // The §2.3 scenario, shrunk 10×: 95 % short jobs (100 tasks × 100 s),
+    // 5 % long jobs (1,000 tasks × 20,000 s), Poisson arrivals slowed 10×
+    // to keep offered load on the 10×-smaller cluster.
+    let scenario = MotivationConfig {
+        jobs: 200,
+        mean_interarrival: SimDuration::from_secs(250),
+        ..Default::default()
+    };
+    let trace = scenario.generate(7);
+    let nodes = 1_500;
+
+    println!("§2.3 scenario on {nodes} nodes: ideal short-job runtime is ~100 s\n");
+
+    for scheduler in [
+        SchedulerConfig::sparrow(),
+        SchedulerConfig::hawk(0.17),
+        SchedulerConfig::centralized(),
+    ] {
+        let report = run_experiment(
+            &trace,
+            &ExperimentConfig {
+                nodes,
+                scheduler,
+                ..ExperimentConfig::default()
+            },
+        );
+        let runtimes = report.runtimes(JobClass::Short);
+        let p50 = percentile(&runtimes, 50.0).unwrap_or(f64::NAN);
+        let p90 = percentile(&runtimes, 90.0).unwrap_or(f64::NAN);
+        let blocked = runtimes.iter().filter(|&&r| r > 1_000.0).count();
+        println!(
+            "{:<12} short jobs: p50 {:>9.1}s  p90 {:>9.1}s  {:>3}/{} blocked >1000s  (median util {:.0}%)",
+            scheduler.name,
+            p50,
+            p90,
+            blocked,
+            runtimes.len(),
+            report.median_utilization * 100.0,
+        );
+    }
+
+    println!(
+        "\nSparrow's 2t probes rarely find the idle servers at high load, so short\n\
+         tasks queue behind 20,000 s tasks (Figure 1's heavy tail). Hawk's reserved\n\
+         partition and work stealing keep short jobs near their ideal runtime."
+    );
+}

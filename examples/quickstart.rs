@@ -1,0 +1,75 @@
+//! Quickstart: generate a heterogeneous trace, run Hawk and Sparrow on the
+//! same cluster, and print the paper's headline comparison.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hawk::prelude::*;
+use hawk::workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
+
+fn main() {
+    // A Google-2011-like synthetic workload: ~10 % long jobs holding ~84 %
+    // of the task-seconds. Scale 10 shrinks the paper's clusters 10× while
+    // preserving offered load, so this runs in about a second.
+    let trace = GoogleTraceConfig::with_scale(10, 3_000).generate(42);
+    println!(
+        "trace: {} jobs, {} tasks, {:.0} task-seconds",
+        trace.len(),
+        trace.total_tasks(),
+        trace.total_task_seconds().as_secs_f64(),
+    );
+
+    // 1,500 nodes is the scaled version of the paper's high-load sweet
+    // spot (15,000 nodes in Figure 5).
+    let base = ExperimentConfig {
+        nodes: 1_500,
+        ..ExperimentConfig::default()
+    };
+
+    let hawk = run_experiment(
+        &trace,
+        &ExperimentConfig {
+            scheduler: SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+            ..base.clone()
+        },
+    );
+    let sparrow = run_experiment(
+        &trace,
+        &ExperimentConfig {
+            scheduler: SchedulerConfig::sparrow(),
+            ..base
+        },
+    );
+
+    for class in [JobClass::Short, JobClass::Long] {
+        let h = hawk.summary(class);
+        let s = sparrow.summary(class);
+        let cmp = compare(&hawk, &sparrow, class);
+        println!("\n{class} jobs ({}):", h.jobs);
+        println!(
+            "  Hawk    p50 {:>10.1}s   p90 {:>10.1}s",
+            h.p50.unwrap_or(f64::NAN),
+            h.p90.unwrap_or(f64::NAN)
+        );
+        println!(
+            "  Sparrow p50 {:>10.1}s   p90 {:>10.1}s",
+            s.p50.unwrap_or(f64::NAN),
+            s.p90.unwrap_or(f64::NAN)
+        );
+        println!(
+            "  Hawk/Sparrow ratios: p50 {:.3}, p90 {:.3} (lower favours Hawk)",
+            cmp.p50_ratio.unwrap_or(f64::NAN),
+            cmp.p90_ratio.unwrap_or(f64::NAN)
+        );
+    }
+
+    println!(
+        "\ncluster utilization (median): Hawk {:.1}%, Sparrow {:.1}%",
+        hawk.median_utilization * 100.0,
+        sparrow.median_utilization * 100.0
+    );
+    println!("successful steals in the Hawk run: {}", hawk.steals);
+}

@@ -1,0 +1,75 @@
+//! # Hawk: Hybrid Datacenter Scheduling
+//!
+//! A from-scratch Rust reproduction of *Hawk: Hybrid Datacenter
+//! Scheduling* (Delgado, Dinu, Kermarrec, Zwaenepoel — USENIX ATC 2015):
+//! a hybrid scheduler for heterogeneous cluster workloads that schedules
+//! the few resource-heavy **long jobs** with a centralized waiting-time
+//! scheduler and the many latency-sensitive **short jobs** with
+//! Sparrow-style distributed probing, reserving a small cluster partition
+//! for short tasks and rescuing stragglers with **randomized work
+//! stealing**.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`simcore`] — deterministic discrete-event simulation substrate
+//!   (clock, event queue, RNG, indexed heap, statistics).
+//! * [`workload`] — the trace model plus synthetic generators for every
+//!   workload in the paper's evaluation (Google 2011, Cloudera-b/c/d,
+//!   Facebook 2010, Yahoo 2011, and the §2.3 motivating scenario).
+//! * [`cluster`] — the simulated cluster: single-slot FIFO servers, late
+//!   binding, partitions, and the Figure 3 steal scan.
+//! * [`core`] — the Hawk scheduler, the Sparrow / fully-centralized /
+//!   split-cluster baselines, the simulation driver and metrics.
+//! * [`proto`] — a real-time multi-threaded prototype (threads + channels
+//!   + sleep tasks), the stand-in for the paper's Spark deployment.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hawk::core::{compare, run_experiment, ExperimentConfig, SchedulerConfig};
+//! use hawk::workload::google::GoogleTraceConfig;
+//! use hawk::workload::JobClass;
+//!
+//! // A small Google-like trace on a 10×-scaled cluster.
+//! let trace = GoogleTraceConfig::with_scale(10, 400).generate(42);
+//!
+//! let base = ExperimentConfig { nodes: 1_500, ..ExperimentConfig::default() };
+//! let hawk = run_experiment(
+//!     &trace,
+//!     &ExperimentConfig { scheduler: SchedulerConfig::hawk(0.17), ..base.clone() },
+//! );
+//! let sparrow = run_experiment(
+//!     &trace,
+//!     &ExperimentConfig { scheduler: SchedulerConfig::sparrow(), ..base },
+//! );
+//!
+//! let short = compare(&hawk, &sparrow, JobClass::Short);
+//! println!("short-job p90 ratio (Hawk/Sparrow): {:?}", short.p90_ratio);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
+//! the binaries regenerating every table and figure in the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hawk_cluster as cluster;
+pub use hawk_core as core;
+pub use hawk_proto as proto;
+pub use hawk_simcore as simcore;
+pub use hawk_workload as workload;
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use hawk_cluster::{
+        Cluster, NetworkModel, Partition, QueueEntry, ServerId, StealGranularity, TaskSpec,
+    };
+    pub use hawk_core::{
+        compare, run_experiment, CentralOverhead, CentralScheduler, Comparison, ExperimentConfig,
+        JobResult, MetricsReport, SchedulerConfig,
+    };
+    pub use hawk_proto::{run_prototype, ProtoConfig, ProtoMode, ProtoReport};
+    pub use hawk_simcore::{SimDuration, SimRng, SimTime};
+    pub use hawk_workload::classify::{Cutoff, JobEstimates, MisestimateRange};
+    pub use hawk_workload::{Job, JobClass, JobId, Trace};
+}

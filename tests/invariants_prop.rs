@@ -1,0 +1,256 @@
+//! Property-based tests over randomly generated workloads and
+//! configurations: the simulator must uphold its invariants for *every*
+//! input, not just the paper's.
+
+use proptest::prelude::*;
+
+use hawk::prelude::*;
+
+/// Strategy: a small random trace (jobs with random arrival gaps and task
+/// durations), kept small enough that a case simulates in milliseconds.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let job = (0u64..200, proptest::collection::vec(1u64..3_000, 1..12));
+    proptest::collection::vec(job, 1..25).prop_map(|jobs| {
+        let mut at = 0u64;
+        let jobs = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (gap, tasks))| {
+                at += gap;
+                Job {
+                    id: JobId(i as u32),
+                    submission: SimTime::from_secs(at),
+                    tasks: tasks.into_iter().map(SimDuration::from_secs).collect(),
+                    generated_class: None,
+                }
+            })
+            .collect();
+        Trace::new(jobs).expect("generated jobs are valid")
+    })
+}
+
+/// Strategy: any of the scheduler configurations.
+fn arb_scheduler() -> impl Strategy<Value = SchedulerConfig> {
+    prop_oneof![
+        (0.05f64..0.5).prop_map(SchedulerConfig::hawk),
+        Just(SchedulerConfig::sparrow()),
+        Just(SchedulerConfig::centralized()),
+        (0.1f64..0.5).prop_map(SchedulerConfig::split_cluster),
+        (0.05f64..0.5).prop_map(SchedulerConfig::hawk_without_centralized),
+        Just(SchedulerConfig::hawk_without_partition()),
+        (0.05f64..0.5).prop_map(SchedulerConfig::hawk_without_stealing),
+        (1usize..30).prop_map(|cap| SchedulerConfig::hawk_with_steal_cap(0.2, cap)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Liveness and sanity: every job completes, no job finishes before
+    /// its submission plus its longest task, and the makespan covers the
+    /// serial bound.
+    #[test]
+    fn every_job_completes_with_sane_runtimes(
+        trace in arb_trace(),
+        scheduler in arb_scheduler(),
+        nodes in 2usize..40,
+        seed in 0u64..1_000,
+        cutoff_secs in 50u64..2_500,
+    ) {
+        let cfg = ExperimentConfig {
+            nodes,
+            scheduler,
+            cutoff: Cutoff::from_secs(cutoff_secs),
+            seed,
+            ..ExperimentConfig::default()
+        };
+        let report = run_experiment(&trace, &cfg);
+        prop_assert_eq!(report.results.len(), trace.len());
+        for (job, result) in trace.jobs().iter().zip(&report.results) {
+            prop_assert_eq!(result.job, job.id);
+            prop_assert!(result.completion >= result.submission);
+            // A job can never beat its longest task.
+            let runtime = result.runtime().as_secs_f64();
+            let critical = job.critical_task().as_secs_f64();
+            prop_assert!(
+                runtime + 1e-9 >= critical,
+                "job {} ran {runtime}s < critical task {critical}s",
+                job.id
+            );
+        }
+        // Work conservation: nodes × makespan ≥ total task-seconds.
+        let capacity = report.makespan.as_secs_f64() * nodes as f64;
+        prop_assert!(capacity + 1e-6 >= trace.total_task_seconds().as_secs_f64());
+    }
+
+    /// Bit-level determinism for arbitrary configurations.
+    #[test]
+    fn identical_seeds_reproduce_identical_reports(
+        trace in arb_trace(),
+        scheduler in arb_scheduler(),
+        nodes in 2usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = ExperimentConfig {
+            nodes,
+            scheduler,
+            seed,
+            ..ExperimentConfig::default()
+        };
+        let a = run_experiment(&trace, &cfg);
+        let b = run_experiment(&trace, &cfg);
+        prop_assert_eq!(a.results, b.results);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.steals, b.steals);
+        prop_assert_eq!(a.utilization_samples, b.utilization_samples);
+    }
+
+    /// Misestimation never breaks liveness and never changes true classes.
+    #[test]
+    fn misestimation_is_safe(
+        trace in arb_trace(),
+        nodes in 2usize..32,
+        delta in 0.1f64..0.95,
+        seed in 0u64..500,
+    ) {
+        let base = ExperimentConfig {
+            nodes,
+            scheduler: SchedulerConfig::hawk(0.2),
+            seed,
+            ..ExperimentConfig::default()
+        };
+        let exact = run_experiment(&trace, &base);
+        let fuzzy = run_experiment(&trace, &ExperimentConfig {
+            misestimate: Some(MisestimateRange::symmetric(delta)),
+            ..base
+        });
+        prop_assert_eq!(exact.results.len(), fuzzy.results.len());
+        for (a, b) in exact.results.iter().zip(&fuzzy.results) {
+            prop_assert_eq!(a.true_class, b.true_class);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The steal scan only ever takes short entries, takes them as one
+    /// consecutive group positioned after a long element, and preserves
+    /// everything else in order.
+    #[test]
+    fn steal_scan_takes_a_consecutive_short_group(
+        entries in proptest::collection::vec(any::<bool>(), 0..20),
+        running_long in any::<bool>(),
+    ) {
+        use hawk::cluster::{QueueEntry, Server, TaskSpec};
+        use hawk::cluster::steal::steal_from;
+
+        let mk = |long: bool, id: u32| -> QueueEntry {
+            QueueEntry::Task(TaskSpec {
+                job: JobId(id),
+                duration: SimDuration::from_secs(10),
+                estimate: SimDuration::from_secs(10),
+                class: if long { JobClass::Long } else { JobClass::Short },
+            })
+        };
+
+        let mut server = Server::new(hawk::cluster::ServerId(0));
+        // Occupy the slot first so later entries queue.
+        server.enqueue(mk(running_long, 9_999));
+        let before: Vec<bool> = entries.clone();
+        for (i, long) in entries.iter().enumerate() {
+            server.enqueue(mk(*long, i as u32));
+        }
+
+        let stolen = steal_from(&mut server);
+        prop_assert!(server.check_invariants());
+
+        // 1. Only short entries are stolen.
+        for e in &stolen {
+            prop_assert!(e.is_short());
+        }
+        // 2. The stolen ids form a consecutive index range.
+        let ids: Vec<u32> = stolen.iter().map(|e| e.job().0).collect();
+        for w in ids.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1);
+        }
+        // 3. The element preceding the group (or the slot) is long.
+        if let Some(&first) = ids.first() {
+            if first == 0 {
+                prop_assert!(running_long);
+            } else {
+                prop_assert!(before[first as usize - 1]);
+            }
+            // 4. The group is maximal: the entry after the last stolen one
+            // is long or absent.
+            let last = *ids.last().unwrap() as usize;
+            if last + 1 < before.len() {
+                prop_assert!(before[last + 1]);
+            }
+        } else {
+            // Nothing stolen: either no long anywhere, or no short after
+            // the first long element.
+            let first_long = if running_long {
+                Some(0)
+            } else {
+                before.iter().position(|&l| l).map(|p| p + 1)
+            };
+            match first_long {
+                None => {}
+                Some(start) => {
+                    // All entries from `start` (queue positions) onwards,
+                    // until the next long, must not contain shorts... i.e.
+                    // no short exists after a long anywhere before another
+                    // long would terminate an empty group. Simplest check:
+                    // no short entry follows the first long element.
+                    let from = if running_long { 0 } else { start };
+                    prop_assert!(
+                        before[from..].iter().all(|&l| l),
+                        "shorts remained after a long: {:?}",
+                        before
+                    );
+                }
+            }
+        }
+        // 5. Queue length is conserved.
+        prop_assert_eq!(server.queue_len() + stolen.len(), before.len());
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0.0f64..1e6, 1..100),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        use hawk::simcore::stats::percentile;
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let a = percentile(&values, lo).unwrap();
+        let b = percentile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    /// The centralized scheduler balances any assignment pattern: after
+    /// assigning jobs with equal estimates, per-server load differs by at
+    /// most one task estimate.
+    #[test]
+    fn central_scheduler_balances(
+        scope in 1usize..50,
+        jobs in proptest::collection::vec(1usize..40, 1..20),
+        est in 1u64..10_000,
+    ) {
+        let mut sched = CentralScheduler::new(scope);
+        let est = SimDuration::from_secs(est);
+        for t in jobs {
+            sched.assign_job(t, est);
+        }
+        let waits: Vec<u64> = (0..scope)
+            .map(|i| sched.estimated_wait(hawk::cluster::ServerId(i as u32)).as_micros())
+            .collect();
+        let spread = waits.iter().max().unwrap() - waits.iter().min().unwrap();
+        prop_assert!(spread <= est.as_micros());
+    }
+}

@@ -1,0 +1,192 @@
+//! Shape checks: miniature versions of the paper's figures, asserted.
+//!
+//! Each test runs a 100×-scaled experiment cell and asserts the figure's
+//! qualitative claim — who wins, and on which side of 1.0 the normalized
+//! ratios fall. The bench binaries regenerate the full curves; these tests
+//! keep the claims from regressing.
+
+use hawk::prelude::*;
+use hawk::workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
+
+/// The 100×-scaled high-load cell (≈ the paper's 15,000-node point).
+fn loaded_cell() -> (Trace, ExperimentConfig) {
+    let trace = GoogleTraceConfig::with_scale(100, 900).generate(21);
+    let cfg = ExperimentConfig {
+        nodes: 150,
+        ..ExperimentConfig::default()
+    };
+    (trace, cfg)
+}
+
+fn run(trace: &Trace, base: &ExperimentConfig, scheduler: SchedulerConfig) -> MetricsReport {
+    run_experiment(
+        trace,
+        &ExperimentConfig {
+            scheduler,
+            ..base.clone()
+        },
+    )
+}
+
+#[test]
+fn fig08_shape_centralized_penalizes_short_jobs_under_load() {
+    let (trace, base) = loaded_cell();
+    let hawk = run(&trace, &base, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
+    let central = run(&trace, &base, SchedulerConfig::centralized());
+    let short = compare(&hawk, &central, JobClass::Short);
+    assert!(
+        short.p90_ratio.unwrap() < 1.0,
+        "Hawk should beat centralized for short p90 under load: {:?}",
+        short.p90_ratio
+    );
+}
+
+#[test]
+fn fig09_shape_centralized_slightly_better_for_long_jobs() {
+    let (trace, base) = loaded_cell();
+    let hawk = run(&trace, &base, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
+    let central = run(&trace, &base, SchedulerConfig::centralized());
+    let long = compare(&hawk, &central, JobClass::Long);
+    // Centralized can use the whole cluster for long jobs; Hawk only the
+    // general partition. Hawk's ratio sits at or above 1, but not wildly.
+    let p50 = long.p50_ratio.unwrap();
+    assert!(
+        p50 > 0.9 && p50 < 2.0,
+        "long p50 Hawk/centralized out of band: {p50}"
+    );
+}
+
+#[test]
+fn fig10_shape_split_cluster_hurts_short_jobs() {
+    let (trace, base) = loaded_cell();
+    let hawk = run(&trace, &base, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
+    let split = run(
+        &trace,
+        &base,
+        SchedulerConfig::split_cluster(GOOGLE_SHORT_PARTITION),
+    );
+    let short = compare(&hawk, &split, JobClass::Short);
+    assert!(
+        short.p50_ratio.unwrap() < 1.0,
+        "Hawk should beat the split cluster for shorts: {:?}",
+        short.p50_ratio
+    );
+}
+
+#[test]
+fn fig12_13_shape_benefits_hold_across_cutoffs() {
+    let (trace, base) = loaded_cell();
+    for cutoff_secs in [750u64, 1_129, 2_000] {
+        let cfg = ExperimentConfig {
+            cutoff: Cutoff::from_secs(cutoff_secs),
+            ..base.clone()
+        };
+        let hawk = run(&trace, &cfg, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
+        let sparrow = run(&trace, &cfg, SchedulerConfig::sparrow());
+        let short = compare(&hawk, &sparrow, JobClass::Short);
+        assert!(
+            short.p90_ratio.unwrap() < 0.9,
+            "cutoff {cutoff_secs}s: short p90 ratio {:?}",
+            short.p90_ratio
+        );
+    }
+}
+
+#[test]
+fn fig15_shape_higher_steal_cap_helps() {
+    let (trace, base) = loaded_cell();
+    let cap1 = run(
+        &trace,
+        &base,
+        SchedulerConfig::hawk_with_steal_cap(GOOGLE_SHORT_PARTITION, 1),
+    );
+    let cap10 = run(
+        &trace,
+        &base,
+        SchedulerConfig::hawk_with_steal_cap(GOOGLE_SHORT_PARTITION, 10),
+    );
+    let short = compare(&cap10, &cap1, JobClass::Short);
+    assert!(
+        short.p90_ratio.unwrap() < 1.0,
+        "cap 10 should beat cap 1 for short p90: {:?}",
+        short.p90_ratio
+    );
+    assert!(cap10.steals >= cap1.steals);
+}
+
+#[test]
+fn steal_granularity_shape_paper_policy_beats_random_single() {
+    // §3.6's rationale: the paper's group steal should not lose to the
+    // random-single-entry strawman on short-job p50.
+    let (trace, base) = loaded_cell();
+    let paper = run(&trace, &base, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
+    let random = run(
+        &trace,
+        &base,
+        SchedulerConfig::hawk_with_granularity(
+            GOOGLE_SHORT_PARTITION,
+            hawk::cluster::StealGranularity::RandomBlockedEntry,
+        ),
+    );
+    let cmp = compare(&random, &paper, JobClass::Short);
+    assert!(
+        cmp.p50_ratio.unwrap() > 0.85,
+        "random-entry stealing unexpectedly dominant: {:?}",
+        cmp.p50_ratio
+    );
+}
+
+#[test]
+fn central_latency_shape_decision_cost_hits_centralized_not_hawk() {
+    let (trace, base) = loaded_cell();
+    // At 100× scale jobs arrive every ≈146 s, so the decision pipeline
+    // saturates near 7 s per task (≈20 tasks/job). The centralized
+    // baseline schedules every task of every job serially; Hawk's central
+    // component only sees the ~10 % long jobs and stays far from
+    // saturation.
+    let overhead = CentralOverhead {
+        per_job: SimDuration::from_secs(10),
+        per_task: SimDuration::from_secs(7),
+    };
+    let cfg = ExperimentConfig {
+        central_overhead: overhead,
+        ..base
+    };
+    let central_free = run(
+        &trace,
+        &ExperimentConfig {
+            central_overhead: CentralOverhead::FREE,
+            ..cfg.clone()
+        },
+        SchedulerConfig::centralized(),
+    );
+    let central_costly = run(&trace, &cfg, SchedulerConfig::centralized());
+    let hawk_costly = run(&trace, &cfg, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
+    let hawk_free = run(
+        &trace,
+        &ExperimentConfig {
+            central_overhead: CentralOverhead::FREE,
+            ..cfg
+        },
+        SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
+    );
+
+    let central_hit = central_costly
+        .runtime_percentile(JobClass::Short, 50.0)
+        .unwrap()
+        / central_free
+            .runtime_percentile(JobClass::Short, 50.0)
+            .unwrap();
+    let hawk_hit = hawk_costly
+        .runtime_percentile(JobClass::Short, 50.0)
+        .unwrap()
+        / hawk_free.runtime_percentile(JobClass::Short, 50.0).unwrap();
+    assert!(
+        central_hit > 1.5,
+        "decision cost should back up the centralized scheduler: {central_hit}"
+    );
+    assert!(
+        hawk_hit < central_hit,
+        "Hawk shorts bypass the central queue: hawk {hawk_hit} vs central {central_hit}"
+    );
+}
