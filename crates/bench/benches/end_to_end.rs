@@ -4,39 +4,36 @@
 //! This is the quantity that bounds the wall-clock cost of regenerating
 //! the paper's figures (Figure 5 alone is 18 paper-scale cells).
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use hawk_core::{run_experiment, ExperimentConfig, SchedulerConfig};
+use hawk_core::scheduler::{Centralized, Hawk, Scheduler, Sparrow, SplitCluster};
+use hawk_core::Experiment;
 use hawk_workload::google::GoogleTraceConfig;
 
 fn bench_schedulers(c: &mut Criterion) {
     // A 100×-scaled high-load cell: 150 nodes ≈ the 15,000-node point.
-    let trace = GoogleTraceConfig::with_scale(100, 600).generate(7);
-    let events = {
-        let cfg = ExperimentConfig {
-            nodes: 150,
-            scheduler: SchedulerConfig::hawk(0.17),
-            ..ExperimentConfig::default()
-        };
-        run_experiment(&trace, &cfg).events
-    };
+    let trace = Arc::new(GoogleTraceConfig::with_scale(100, 600).generate(7));
+    let base = Experiment::builder().nodes(150).trace(&trace);
+    let events = base.clone().scheduler(Hawk::new(0.17)).run().events;
 
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
     group.throughput(Throughput::Elements(events));
-    for scheduler in [
-        SchedulerConfig::hawk(0.17),
-        SchedulerConfig::sparrow(),
-        SchedulerConfig::centralized(),
-        SchedulerConfig::split_cluster(0.17),
-        SchedulerConfig::hawk_without_stealing(0.17),
-    ] {
-        group.bench_function(scheduler.name, |b| {
-            let cfg = ExperimentConfig {
-                nodes: 150,
-                scheduler,
-                ..ExperimentConfig::default()
-            };
-            b.iter(|| run_experiment(&trace, &cfg));
+    let schedulers: Vec<Arc<dyn Scheduler>> = vec![
+        Arc::new(Hawk::new(0.17)),
+        Arc::new(Sparrow::new()),
+        Arc::new(Centralized::new()),
+        Arc::new(SplitCluster::new(0.17)),
+        Arc::new(Hawk::new(0.17).without_stealing()),
+    ];
+    for scheduler in schedulers {
+        let cell = base
+            .clone()
+            .scheduler_shared(Arc::clone(&scheduler))
+            .build();
+        group.bench_function(scheduler.name(), |b| {
+            b.iter(|| cell.run());
         });
     }
     group.finish();

@@ -12,10 +12,13 @@
 //! models. Expectation: the split cluster's short-job penalty grows
 //! sharply under bursts, while Hawk degrades gracefully.
 
+use std::sync::Arc;
+
 use hawk_bench::{
-    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+    base, fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, tsv_header, tsv_row,
 };
-use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_core::compare;
+use hawk_core::scheduler::{Hawk, Sparrow, SplitCluster};
 use hawk_simcore::SimRng;
 use hawk_workload::arrivals::with_bursty_arrivals;
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
@@ -27,11 +30,13 @@ fn main() {
     let nodes = google_sensitivity_nodes(&opts);
     let mut rng = SimRng::seed_from_u64(opts.seed ^ 0xB00B5);
     // Bursts submit jobs 10× faster, ~1 job in 5 arrives inside a burst.
-    let bursty_trace = with_bursty_arrivals(&poisson_trace, 10.0, 80.0, 20.0, &mut rng);
-    let base = ExperimentConfig {
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
+    let bursty_trace = Arc::new(with_bursty_arrivals(
+        &poisson_trace,
+        10.0,
+        80.0,
+        20.0,
+        &mut rng,
+    ));
 
     tsv_header(&[
         "arrivals",
@@ -42,23 +47,23 @@ fn main() {
         "median_util",
     ]);
     for (label, trace) in [("poisson", &poisson_trace), ("bursty", &bursty_trace)] {
-        eprintln!("ablation_burstiness: {label} arrivals at {nodes} nodes...");
-        let hawk = run_cell(
-            trace,
-            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            nodes,
-            &base,
-        );
-        for scheduler in [
-            SchedulerConfig::sparrow(),
-            SchedulerConfig::split_cluster(GOOGLE_SHORT_PARTITION),
-        ] {
-            let other = run_cell(trace, scheduler, nodes, &base);
-            let short = compare(&other, &hawk, JobClass::Short);
-            let long = compare(&other, &hawk, JobClass::Long);
+        eprintln!("ablation_burstiness: {label} arrivals, 3 schedulers at {nodes} nodes...");
+        let results = base(&opts)
+            .nodes(nodes)
+            .trace(trace)
+            .sweep()
+            .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+            .scheduler(Sparrow::new())
+            .scheduler(SplitCluster::new(GOOGLE_SHORT_PARTITION))
+            .run_all();
+        let hawk = results.get("hawk", nodes).expect("hawk cell ran");
+        for name in ["sparrow", "split-cluster"] {
+            let other = results.get(name, nodes).expect("baseline cell ran");
+            let short = compare(other, hawk, JobClass::Short);
+            let long = compare(other, hawk, JobClass::Long);
             tsv_row(&[
                 fmt(label),
-                fmt(scheduler.name),
+                fmt(name),
                 fmt4(short.p50_ratio),
                 fmt4(short.p90_ratio),
                 fmt4(long.p90_ratio),

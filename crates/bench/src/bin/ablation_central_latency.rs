@@ -14,9 +14,11 @@
 //! quantifies the paper's core scalability argument.
 
 use hawk_bench::{
-    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+    base, fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cells, tsv_header,
+    tsv_row,
 };
-use hawk_core::{CentralOverhead, ExperimentConfig, SchedulerConfig};
+use hawk_core::scheduler::{Centralized, Hawk};
+use hawk_core::CentralOverhead;
 use hawk_simcore::SimDuration;
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 use hawk_workload::JobClass;
@@ -36,6 +38,26 @@ fn main() {
     let (trace, _) = google_setup(&opts);
     let nodes = google_sensitivity_nodes(&opts);
 
+    // The overhead axis is not a fluent sweep dimension; build the 2 cells
+    // per cost point explicitly and run the whole list in parallel.
+    let mut cells = Vec::new();
+    for ms in PER_TASK_MS {
+        let env = base(&opts)
+            .nodes(nodes)
+            .trace(&trace)
+            .central_overhead(CentralOverhead {
+                per_job: SimDuration::from_millis(2 * ms),
+                per_task: SimDuration::from_millis(ms),
+            });
+        cells.push(env.clone().scheduler(Centralized::new()).build());
+        cells.push(env.scheduler(Hawk::new(GOOGLE_SHORT_PARTITION)).build());
+    }
+    eprintln!(
+        "ablation_central_latency: running {} cells at {nodes} nodes in parallel...",
+        cells.len()
+    );
+    let results = run_cells(cells);
+
     tsv_header(&[
         "per_task_decision_ms",
         "centralized_p50_short_s",
@@ -45,23 +67,13 @@ fn main() {
         "centralized_p90_long_s",
         "hawk_p90_long_s",
     ]);
-    for ms in PER_TASK_MS {
-        let base = ExperimentConfig {
-            seed: opts.seed,
-            central_overhead: CentralOverhead {
-                per_job: SimDuration::from_millis(2 * ms),
-                per_task: SimDuration::from_millis(ms),
-            },
-            ..ExperimentConfig::default()
-        };
-        eprintln!("ablation_central_latency: per-task cost {ms} ms at {nodes} nodes...");
-        let central = run_cell(&trace, SchedulerConfig::centralized(), nodes, &base);
-        let hawk = run_cell(
-            &trace,
-            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            nodes,
-            &base,
-        );
+    assert_eq!(results.cells.len(), 2 * PER_TASK_MS.len());
+    for (i, ms) in PER_TASK_MS.iter().enumerate() {
+        let central = &results.cells[2 * i].report;
+        let hawk = &results.cells[2 * i + 1].report;
+        // Guard the index pairing against any future cell-order change.
+        assert_eq!(central.scheduler, "centralized");
+        assert_eq!(hawk.scheduler, "hawk");
         tsv_row(&[
             fmt(ms),
             fmt4(central.runtime_percentile(JobClass::Short, 50.0)),

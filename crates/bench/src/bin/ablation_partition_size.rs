@@ -7,9 +7,10 @@
 //! long jobs are squeezed into a cramped general partition.
 
 use hawk_bench::{
-    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+    base, fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, tsv_header, tsv_row,
 };
-use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_core::compare;
+use hawk_core::scheduler::{Hawk, Sparrow};
 use hawk_workload::JobClass;
 
 /// Short-partition fractions to sweep (the paper's rule picks 0.17).
@@ -22,13 +23,30 @@ fn main() {
     );
     let (trace, _) = google_setup(&opts);
     let nodes = google_sensitivity_nodes(&opts);
-    let base = ExperimentConfig {
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
 
-    eprintln!("ablation_partition_size: Sparrow baseline at {nodes} nodes...");
-    let sparrow = run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base);
+    eprintln!(
+        "ablation_partition_size: Sparrow + {} Hawk fractions at {nodes} nodes in parallel...",
+        FRACTIONS.len()
+    );
+    // Scheduler axis order: Sparrow first, then one Hawk per fraction —
+    // rows pair with FRACTIONS by grid order.
+    let mut sweep = base(&opts)
+        .nodes(nodes)
+        .trace(&trace)
+        .sweep()
+        .scheduler(Sparrow::new());
+    for fraction in FRACTIONS {
+        sweep = sweep.scheduler(Hawk::new(fraction));
+    }
+    let results = sweep.run_all();
+    assert_eq!(results.cells.len(), 1 + FRACTIONS.len());
+    let sparrow = &results.cells[0].report;
+    // Guard the index pairing against any future grid-order change
+    // (fraction 0.0 names itself "hawk-wout-partition").
+    assert_eq!(sparrow.scheduler, "sparrow");
+    for cell in results.iter().skip(1) {
+        assert!(cell.scheduler.starts_with("hawk"), "{}", cell.scheduler);
+    }
 
     tsv_header(&[
         "short_partition_fraction",
@@ -38,12 +56,12 @@ fn main() {
         "p90_long_vs_sparrow",
         "steals",
     ]);
-    for fraction in FRACTIONS {
-        let hawk = run_cell(&trace, SchedulerConfig::hawk(fraction), nodes, &base);
-        let short = compare(&hawk, &sparrow, JobClass::Short);
-        let long = compare(&hawk, &sparrow, JobClass::Long);
+    for (fraction, cell) in FRACTIONS.iter().zip(results.iter().skip(1)) {
+        let hawk = &cell.report;
+        let short = compare(hawk, sparrow, JobClass::Short);
+        let long = compare(hawk, sparrow, JobClass::Long);
         tsv_row(&[
-            fmt4(fraction),
+            fmt4(*fraction),
             fmt4(short.p50_ratio),
             fmt4(short.p90_ratio),
             fmt4(long.p50_ratio),

@@ -9,9 +9,9 @@
 //! interesting regime is how little ratios above 2 buy.
 
 use hawk_bench::{
-    fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+    base, fmt4, google_sensitivity_nodes, google_setup, parse_args, tsv_header, tsv_row,
 };
-use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_core::scheduler::{Hawk, Sparrow};
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 use hawk_workload::JobClass;
 
@@ -21,10 +21,20 @@ fn main() {
     let opts = parse_args("ablation_probe_ratio", "probe-ratio sweep (§4.1 parameter)");
     let (trace, _) = google_setup(&opts);
     let nodes = google_sensitivity_nodes(&opts);
-    let base = ExperimentConfig {
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
+
+    eprintln!(
+        "ablation_probe_ratio: running {} cells at {nodes} nodes in parallel...",
+        2 * RATIOS.len()
+    );
+    // Scheduler axis order: (sparrow, hawk) per ratio — rows pair with
+    // RATIOS by grid order.
+    let mut sweep = base(&opts).nodes(nodes).trace(&trace).sweep();
+    for ratio in RATIOS {
+        sweep = sweep
+            .scheduler(Sparrow::new().probe_ratio(ratio))
+            .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION).probe_ratio(ratio));
+    }
+    let results = sweep.run_all();
 
     tsv_header(&[
         "probe_ratio",
@@ -33,28 +43,15 @@ fn main() {
         "hawk_p50_short_s",
         "hawk_p90_short_s",
     ]);
-    for ratio in RATIOS {
-        eprintln!("ablation_probe_ratio: ratio {ratio} at {nodes} nodes...");
-        let sparrow = run_cell(
-            &trace,
-            SchedulerConfig {
-                probe_ratio: ratio,
-                ..SchedulerConfig::sparrow()
-            },
-            nodes,
-            &base,
-        );
-        let hawk = run_cell(
-            &trace,
-            SchedulerConfig {
-                probe_ratio: ratio,
-                ..SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION)
-            },
-            nodes,
-            &base,
-        );
+    assert_eq!(results.cells.len(), 2 * RATIOS.len());
+    for (i, ratio) in RATIOS.iter().enumerate() {
+        let sparrow = &results.cells[2 * i].report;
+        let hawk = &results.cells[2 * i + 1].report;
+        // Guard the index pairing against any future grid-order change.
+        assert_eq!(sparrow.scheduler, "sparrow");
+        assert_eq!(hawk.scheduler, "hawk");
         tsv_row(&[
-            fmt4(ratio),
+            fmt4(*ratio),
             fmt4(sparrow.runtime_percentile(JobClass::Short, 50.0)),
             fmt4(sparrow.runtime_percentile(JobClass::Short, 90.0)),
             fmt4(hawk.runtime_percentile(JobClass::Short, 50.0)),

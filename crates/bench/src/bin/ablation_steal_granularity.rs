@@ -10,11 +10,11 @@
 //! normalized to the paper's policy.
 
 use hawk_bench::{
-    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, ratio_quad, run_cell,
-    tsv_header, tsv_row,
+    base, fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, ratio_quad, tsv_header,
+    tsv_row,
 };
 use hawk_cluster::StealGranularity;
-use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_core::scheduler::Hawk;
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 
 fn main() {
@@ -24,18 +24,22 @@ fn main() {
     );
     let (trace, _) = google_setup(&opts);
     let nodes = google_sensitivity_nodes(&opts);
-    let base = ExperimentConfig {
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
 
-    eprintln!("ablation_steal_granularity: baseline (first blocked group) at {nodes} nodes...");
-    let paper = run_cell(
-        &trace,
-        SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-        nodes,
-        &base,
-    );
+    eprintln!("ablation_steal_granularity: 3 granularities at {nodes} nodes in parallel...");
+    let results = base(&opts)
+        .nodes(nodes)
+        .trace(&trace)
+        .sweep()
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+        .scheduler(
+            Hawk::new(GOOGLE_SHORT_PARTITION)
+                .steal_granularity(StealGranularity::RandomBlockedEntry),
+        )
+        .scheduler(
+            Hawk::new(GOOGLE_SHORT_PARTITION).steal_granularity(StealGranularity::AllBlockedShorts),
+        )
+        .run_all();
+    let paper = results.get("hawk", nodes).expect("paper-policy cell ran");
 
     tsv_header(&[
         "granularity",
@@ -53,21 +57,15 @@ fn main() {
         fmt4(1.0),
         fmt(paper.steals),
     ]);
-    for granularity in [
-        StealGranularity::RandomBlockedEntry,
-        StealGranularity::AllBlockedShorts,
-    ] {
-        let scheduler = SchedulerConfig::hawk_with_granularity(GOOGLE_SHORT_PARTITION, granularity);
-        eprintln!("ablation_steal_granularity: running {}...", scheduler.name);
-        let variant = run_cell(&trace, scheduler, nodes, &base);
-        let (p50l, p90l, p50s, p90s) = ratio_quad(&variant, &paper);
+    for cell in results.iter().skip(1) {
+        let (p50l, p90l, p50s, p90s) = ratio_quad(&cell.report, paper);
         tsv_row(&[
-            fmt(scheduler.name),
+            fmt(&cell.scheduler),
             fmt4(p50s),
             fmt4(p90s),
             fmt4(p50l),
             fmt4(p90l),
-            fmt(variant.steals),
+            fmt(cell.report.steals),
         ]);
     }
     eprintln!("ablation_steal_granularity: done (>1 means worse than the paper's policy)");

@@ -9,9 +9,10 @@
 //! Hawk and Sparrow.
 
 use hawk_bench::{
-    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+    base, fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, tsv_header, tsv_row,
 };
-use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_core::compare;
+use hawk_core::scheduler::{Hawk, Sparrow};
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 use hawk_workload::JobClass;
 
@@ -24,20 +25,33 @@ fn main() {
     );
     let (trace, _) = google_setup(&opts);
     let nodes = google_sensitivity_nodes(&opts);
-    let base = ExperimentConfig {
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
 
-    eprintln!("ext_probe_avoidance: plain Hawk and Sparrow baselines at {nodes} nodes...");
-    let hawk = run_cell(
-        &trace,
-        SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-        nodes,
-        &base,
+    eprintln!(
+        "ext_probe_avoidance: baselines + {} bounce variants at {nodes} nodes in parallel...",
+        BOUNCE_LIMITS.len()
     );
-    let sparrow = run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base);
-    let sparrow_short = compare(&hawk, &sparrow, JobClass::Short);
+    // Scheduler axis order: hawk, sparrow, then one variant per bounce
+    // limit — rows pair with BOUNCE_LIMITS by grid order.
+    let mut sweep = base(&opts)
+        .nodes(nodes)
+        .trace(&trace)
+        .sweep()
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+        .scheduler(Sparrow::new());
+    for limit in BOUNCE_LIMITS {
+        sweep = sweep.scheduler(Hawk::new(GOOGLE_SHORT_PARTITION).probe_avoidance(limit));
+    }
+    let results = sweep.run_all();
+    assert_eq!(results.cells.len(), 2 + BOUNCE_LIMITS.len());
+    let hawk = &results.cells[0].report;
+    let sparrow = &results.cells[1].report;
+    // Guard the index pairing against any future grid-order change.
+    assert_eq!(hawk.scheduler, "hawk");
+    assert_eq!(sparrow.scheduler, "sparrow");
+    for cell in results.iter().skip(2) {
+        assert_eq!(cell.scheduler, "hawk-probe-avoidance");
+    }
+    let sparrow_short = compare(hawk, sparrow, JobClass::Short);
 
     tsv_header(&[
         "variant",
@@ -53,12 +67,10 @@ fn main() {
         fmt4(1.0),
         fmt(hawk.steals),
     ]);
-    for limit in BOUNCE_LIMITS {
-        let scheduler = SchedulerConfig::hawk_with_probe_avoidance(GOOGLE_SHORT_PARTITION, limit);
-        eprintln!("ext_probe_avoidance: bounce limit {limit}...");
-        let variant = run_cell(&trace, scheduler, nodes, &base);
-        let short = compare(&variant, &hawk, JobClass::Short);
-        let long = compare(&variant, &hawk, JobClass::Long);
+    for (limit, cell) in BOUNCE_LIMITS.iter().zip(results.iter().skip(2)) {
+        let variant = &cell.report;
+        let short = compare(variant, hawk, JobClass::Short);
+        let long = compare(variant, hawk, JobClass::Long);
         tsv_row(&[
             format!("hawk+bounce({limit})"),
             fmt4(short.p50_ratio),

@@ -11,8 +11,8 @@
 //! Output: the short-job runtime CDF (one row per 2 % of jobs), then the
 //! utilization summary.
 
-use hawk_bench::{fmt, fmt4, parse_args, tsv_header, tsv_row};
-use hawk_core::{run_experiment, ExperimentConfig, SchedulerConfig};
+use hawk_bench::{base, fmt, fmt4, parse_args, tsv_header, tsv_row};
+use hawk_core::scheduler::Sparrow;
 use hawk_simcore::stats::percentile_of_sorted;
 use hawk_workload::classify::Cutoff;
 use hawk_workload::motivation::MotivationConfig;
@@ -38,16 +38,14 @@ fn main() {
         scenario.jobs, nodes
     );
     let trace = scenario.generate(opts.seed);
-    let cfg = ExperimentConfig {
-        nodes,
-        scheduler: SchedulerConfig::sparrow(),
+    let report = base(&opts)
+        .nodes(nodes)
+        .scheduler(Sparrow::new())
         // Any cutoff between 100 s and 20,000 s classifies this synthetic
         // mix exactly; use the Google default.
-        cutoff: Cutoff::GOOGLE_DEFAULT,
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
-    let report = run_experiment(&trace, &cfg);
+        .cutoff(Cutoff::GOOGLE_DEFAULT)
+        .trace(trace)
+        .run();
 
     let mut runtimes = report.runtimes(JobClass::Short);
     runtimes.sort_by(|a, b| a.partial_cmp(b).expect("runtimes are finite"));

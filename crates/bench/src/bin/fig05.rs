@@ -13,18 +13,18 @@
 //! nodes Hawk improves 68 % of short jobs and is ≥ Sparrow for 86 % (72 %
 //! for long jobs); the short-job average runtime ratio dips to ≈1/7.
 
-use hawk_bench::{fmt, fmt4, google_setup, parse_args, ratio_quad, run_cell, tsv_header, tsv_row};
-use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_bench::{
+    base, fmt, fmt4, google_setup, parse_args, ratio_quad, sweep_pair, tsv_header, tsv_row,
+};
+use hawk_core::compare;
+use hawk_core::scheduler::{Hawk, Sparrow};
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 use hawk_workload::JobClass;
 
 fn main() {
     let opts = parse_args("fig05", "Hawk vs Sparrow on the Google trace (Figure 5)");
     let (trace, sweep) = google_setup(&opts);
-    let base = ExperimentConfig {
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
+    let base = base(&opts);
 
     tsv_header(&[
         "nodes",
@@ -41,14 +41,15 @@ fn main() {
         "hawk_steals",
     ]);
 
-    for nodes in sweep {
-        let hawk = run_cell(
-            &trace,
-            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            nodes,
-            &base,
-        );
-        let sparrow = run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base);
+    eprintln!("fig05: running {} cells in parallel...", 2 * sweep.len());
+    let rows = sweep_pair(
+        &trace,
+        Hawk::new(GOOGLE_SHORT_PARTITION),
+        Sparrow::new(),
+        &sweep,
+        &base,
+    );
+    for (nodes, hawk, sparrow) in rows {
         let (p50l, p90l, p50s, p90s) = ratio_quad(&hawk, &sparrow);
         let long = compare(&hawk, &sparrow, JobClass::Long);
         let short = compare(&hawk, &sparrow, JobClass::Short);

@@ -8,11 +8,13 @@
 //! than on Google because the short partitions are less utilized, leaving
 //! more stealing opportunities.
 
-use hawk_bench::{fmt, fmt4, parse_args, run_cell, tsv_header, tsv_row, RunMode};
-use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_bench::{base, fmt, fmt4, parse_args, sweep_pair, tsv_header, tsv_row, RunMode};
+use hawk_core::compare;
+use hawk_core::scheduler::{Hawk, Sparrow};
 use hawk_workload::classify::Cutoff;
 use hawk_workload::kmeans::KmeansTraceConfig;
 use hawk_workload::JobClass;
+use std::sync::Arc;
 
 fn sweep(base: &[usize], scale: u64) -> Vec<usize> {
     base.iter().map(|&n| n / scale as usize).collect()
@@ -64,20 +66,22 @@ fn main() {
             cfg.mean_interarrival = cfg.mean_interarrival * scale;
         }
         eprintln!("fig06: generating {} ({} jobs)...", cfg.name, cfg.jobs);
-        let trace = cfg.generate(opts.seed);
-        let base = ExperimentConfig {
-            cutoff: Cutoff::from_secs(cfg.default_cutoff_secs),
-            seed: opts.seed,
-            ..ExperimentConfig::default()
-        };
-        for nodes in sweep(&paper_sweep, scale) {
-            let hawk = run_cell(
-                &trace,
-                SchedulerConfig::hawk(cfg.short_partition_fraction),
-                nodes,
-                &base,
-            );
-            let sparrow = run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base);
+        let trace = Arc::new(cfg.generate(opts.seed));
+        let env = base(&opts).cutoff(Cutoff::from_secs(cfg.default_cutoff_secs));
+        let nodes_sweep = sweep(&paper_sweep, scale);
+        eprintln!(
+            "fig06: {}: running {} cells in parallel...",
+            cfg.name,
+            2 * nodes_sweep.len()
+        );
+        let rows = sweep_pair(
+            &trace,
+            Hawk::new(cfg.short_partition_fraction),
+            Sparrow::new(),
+            &nodes_sweep,
+            &env,
+        );
+        for (nodes, hawk, sparrow) in rows {
             let long = compare(&hawk, &sparrow, JobClass::Long);
             let short = compare(&hawk, &sparrow, JobClass::Short);
             tsv_row(&[

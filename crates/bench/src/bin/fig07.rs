@@ -8,42 +8,34 @@
 //! short tasks).
 
 use hawk_bench::{
-    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, ratio_quad, run_cell,
-    tsv_header, tsv_row,
+    base, fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, ratio_quad, tsv_header,
+    tsv_row,
 };
-use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_core::scheduler::Hawk;
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 
 fn main() {
     let opts = parse_args("fig07", "Hawk component ablations (Figure 7)");
     let (trace, _) = google_setup(&opts);
     let nodes = google_sensitivity_nodes(&opts);
-    let base = ExperimentConfig {
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
 
-    eprintln!("fig07: running full Hawk at {nodes} nodes...");
-    let hawk = run_cell(
-        &trace,
-        SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-        nodes,
-        &base,
-    );
-
-    let ablations = [
-        SchedulerConfig::hawk_without_centralized(GOOGLE_SHORT_PARTITION),
-        SchedulerConfig::hawk_without_partition(),
-        SchedulerConfig::hawk_without_stealing(GOOGLE_SHORT_PARTITION),
-    ];
+    eprintln!("fig07: running full Hawk and 3 ablations at {nodes} nodes in parallel...");
+    let results = base(&opts)
+        .nodes(nodes)
+        .trace(&trace)
+        .sweep()
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION).without_centralized())
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION).without_partition())
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION).without_stealing())
+        .run_all();
+    let hawk = results.get("hawk", nodes).expect("full Hawk cell ran");
 
     tsv_header(&["variant", "p50_short", "p90_short", "p50_long", "p90_long"]);
-    for scheduler in ablations {
-        eprintln!("fig07: running {}...", scheduler.name);
-        let variant = run_cell(&trace, scheduler, nodes, &base);
-        let (p50l, p90l, p50s, p90s) = ratio_quad(&variant, &hawk);
+    for cell in results.iter().skip(1) {
+        let (p50l, p90l, p50s, p90s) = ratio_quad(&cell.report, hawk);
         tsv_row(&[
-            fmt(scheduler.name),
+            fmt(&cell.scheduler),
             fmt4(p50s),
             fmt4(p90s),
             fmt4(p50l),

@@ -9,17 +9,16 @@
 //! (ratios a bit above 1): it can use the entire cluster, Hawk only the
 //! general partition.
 
-use hawk_bench::{fmt, fmt4, google_setup, parse_args, ratio_quad, run_cell, tsv_header, tsv_row};
-use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_bench::{
+    base, fmt, fmt4, google_setup, parse_args, ratio_quad, sweep_pair, tsv_header, tsv_row,
+};
+use hawk_core::scheduler::{Centralized, Hawk};
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 
 fn main() {
     let opts = parse_args("fig08_09", "Hawk vs fully centralized (Figures 8 and 9)");
     let (trace, sweep) = google_setup(&opts);
-    let base = ExperimentConfig {
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
+    let base = base(&opts);
 
     tsv_header(&[
         "nodes",
@@ -29,14 +28,15 @@ fn main() {
         "p90_long",
         "centralized_median_util",
     ]);
-    for nodes in sweep {
-        let hawk = run_cell(
-            &trace,
-            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            nodes,
-            &base,
-        );
-        let central = run_cell(&trace, SchedulerConfig::centralized(), nodes, &base);
+    eprintln!("fig08_09: running {} cells in parallel...", 2 * sweep.len());
+    let rows = sweep_pair(
+        &trace,
+        Hawk::new(GOOGLE_SHORT_PARTITION),
+        Centralized::new(),
+        &sweep,
+        &base,
+    );
+    for (nodes, hawk, central) in rows {
         let (p50l, p90l, p50s, p90s) = ratio_quad(&hawk, &central);
         tsv_row(&[
             fmt(nodes),

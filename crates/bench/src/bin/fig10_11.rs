@@ -7,32 +7,27 @@
 //! its space) but dramatically worse for short jobs at intermediate sizes,
 //! where shorts cannot overflow into the rest of the cluster.
 
-use hawk_bench::{fmt, fmt4, google_setup, parse_args, ratio_quad, run_cell, tsv_header, tsv_row};
-use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_bench::{
+    base, fmt, fmt4, google_setup, parse_args, ratio_quad, sweep_pair, tsv_header, tsv_row,
+};
+use hawk_core::scheduler::{Hawk, SplitCluster};
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 
 fn main() {
     let opts = parse_args("fig10_11", "Hawk vs split cluster (Figures 10 and 11)");
     let (trace, sweep) = google_setup(&opts);
-    let base = ExperimentConfig {
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
+    let base = base(&opts);
 
     tsv_header(&["nodes", "p50_short", "p90_short", "p50_long", "p90_long"]);
-    for nodes in sweep {
-        let hawk = run_cell(
-            &trace,
-            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            nodes,
-            &base,
-        );
-        let split = run_cell(
-            &trace,
-            SchedulerConfig::split_cluster(GOOGLE_SHORT_PARTITION),
-            nodes,
-            &base,
-        );
+    eprintln!("fig10_11: running {} cells in parallel...", 2 * sweep.len());
+    let rows = sweep_pair(
+        &trace,
+        Hawk::new(GOOGLE_SHORT_PARTITION),
+        SplitCluster::new(GOOGLE_SHORT_PARTITION),
+        &sweep,
+        &base,
+    );
+    for (nodes, hawk, split) in rows {
         let (p50l, p90l, p50s, p90s) = ratio_quad(&hawk, &split);
         tsv_row(&[fmt(nodes), fmt4(p50s), fmt4(p90s), fmt4(p50l), fmt4(p90l)]);
     }

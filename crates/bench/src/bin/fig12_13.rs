@@ -8,10 +8,10 @@
 //! 90th percentile (Sparrow can spread long jobs over the whole cluster).
 
 use hawk_bench::{
-    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, ratio_quad, run_cell,
-    tsv_header, tsv_row,
+    base, fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, ratio_quad, tsv_header,
+    tsv_row,
 };
-use hawk_core::{ExperimentConfig, SchedulerConfig};
+use hawk_core::scheduler::{Hawk, Sparrow};
 use hawk_workload::classify::Cutoff;
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 
@@ -23,6 +23,19 @@ fn main() {
     let (trace, _) = google_setup(&opts);
     let nodes = google_sensitivity_nodes(&opts);
 
+    eprintln!(
+        "fig12_13: running {} cells at {nodes} nodes in parallel...",
+        2 * CUTOFFS.len()
+    );
+    let results = base(&opts)
+        .nodes(nodes)
+        .trace(&trace)
+        .sweep()
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+        .scheduler(Sparrow::new())
+        .cutoffs(CUTOFFS.iter().map(|&s| Cutoff::from_secs(s)))
+        .run_all();
+
     tsv_header(&[
         "cutoff_s",
         "p50_long",
@@ -32,19 +45,15 @@ fn main() {
         "long_jobs_pct",
     ]);
     for cutoff_secs in CUTOFFS {
-        let base = ExperimentConfig {
-            cutoff: Cutoff::from_secs(cutoff_secs),
-            seed: opts.seed,
-            ..ExperimentConfig::default()
+        let cutoff = Cutoff::from_secs(cutoff_secs);
+        let cell = |name: &str| {
+            &results
+                .find(|c| c.scheduler == name && c.cutoff == cutoff)
+                .expect("cell ran")
+                .report
         };
-        let hawk = run_cell(
-            &trace,
-            SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            nodes,
-            &base,
-        );
-        let sparrow = run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base);
-        let (p50l, p90l, p50s, p90s) = ratio_quad(&hawk, &sparrow);
+        let (hawk, sparrow) = (cell("hawk"), cell("sparrow"));
+        let (p50l, p90l, p50s, p90s) = ratio_quad(hawk, sparrow);
         let long_pct = 100.0
             * hawk
                 .results

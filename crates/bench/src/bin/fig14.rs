@@ -11,10 +11,10 @@
 //! range widens.
 
 use hawk_bench::{
-    fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
-    RunMode,
+    base, fmt4, google_sensitivity_nodes, google_setup, parse_args, tsv_header, tsv_row, RunMode,
 };
-use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_core::compare;
+use hawk_core::scheduler::{Hawk, Sparrow};
 use hawk_workload::classify::MisestimateRange;
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 use hawk_workload::JobClass;
@@ -27,37 +27,44 @@ fn main() {
     let (trace, _) = google_setup(&opts);
     let nodes = google_sensitivity_nodes(&opts);
     let runs = if opts.mode == RunMode::Quick { 3 } else { 10 };
+    let seeds: Vec<u64> = (0..runs).map(|i| opts.seed + i).collect();
+    let env = base(&opts).nodes(nodes).trace(&trace);
 
     // Sparrow ignores estimates; one run per seed is shared by all ranges.
-    eprintln!("fig14: {runs} Sparrow baseline runs at {nodes} nodes...");
-    let sparrows: Vec<_> = (0..runs)
-        .map(|i| {
-            let base = ExperimentConfig {
-                seed: opts.seed + i,
-                ..ExperimentConfig::default()
-            };
-            run_cell(&trace, SchedulerConfig::sparrow(), nodes, &base)
-        })
-        .collect();
+    eprintln!("fig14: {runs} Sparrow baseline runs at {nodes} nodes in parallel...");
+    let sparrows = env
+        .clone()
+        .sweep()
+        .scheduler(Sparrow::new())
+        .seeds(seeds.iter().copied())
+        .run_all();
+
+    eprintln!(
+        "fig14: {} misestimated Hawk runs in parallel...",
+        DELTAS.len() * runs as usize
+    );
+    let hawks = env
+        .sweep()
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+        .misestimates(DELTAS.iter().map(|&d| MisestimateRange::symmetric(d)))
+        .seeds(seeds.iter().copied())
+        .run_all();
 
     tsv_header(&["range", "p50_long", "p90_long", "p50_short", "p90_short"]);
     for delta in DELTAS {
         let range = MisestimateRange::symmetric(delta);
         let mut sums = [0.0f64; 4];
-        for (i, sparrow) in sparrows.iter().enumerate() {
-            let base = ExperimentConfig {
-                seed: opts.seed + i as u64,
-                misestimate: Some(range),
-                ..ExperimentConfig::default()
-            };
-            let hawk = run_cell(
-                &trace,
-                SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-                nodes,
-                &base,
-            );
-            let long = compare(&hawk, sparrow, JobClass::Long);
-            let short = compare(&hawk, sparrow, JobClass::Short);
+        for &seed in &seeds {
+            let sparrow = &sparrows
+                .find(|c| c.seed == seed)
+                .expect("baseline cell ran")
+                .report;
+            let hawk = &hawks
+                .find(|c| c.seed == seed && c.misestimate == Some(range))
+                .expect("hawk cell ran")
+                .report;
+            let long = compare(hawk, sparrow, JobClass::Long);
+            let short = compare(hawk, sparrow, JobClass::Short);
             sums[0] += long.p50_ratio.unwrap_or(f64::NAN);
             sums[1] += long.p90_ratio.unwrap_or(f64::NAN);
             sums[2] += short.p50_ratio.unwrap_or(f64::NAN);

@@ -6,9 +6,10 @@
 //! (10, the default) captures most of the benefit.
 
 use hawk_bench::{
-    fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, run_cell, tsv_header, tsv_row,
+    base, fmt, fmt4, google_sensitivity_nodes, google_setup, parse_args, tsv_header, tsv_row,
 };
-use hawk_core::{compare, ExperimentConfig, SchedulerConfig};
+use hawk_core::compare;
+use hawk_core::scheduler::Hawk;
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 use hawk_workload::JobClass;
 
@@ -19,32 +20,25 @@ fn main() {
     let opts = parse_args("fig15", "steal-attempt cap sensitivity (Figure 15)");
     let (trace, _) = google_setup(&opts);
     let nodes = google_sensitivity_nodes(&opts);
-    let base = ExperimentConfig {
-        seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
 
-    eprintln!("fig15: baseline Hawk with cap 1 at {nodes} nodes...");
-    let cap1 = run_cell(
-        &trace,
-        SchedulerConfig::hawk_with_steal_cap(GOOGLE_SHORT_PARTITION, 1),
-        nodes,
-        &base,
+    eprintln!(
+        "fig15: running {} Hawk cap variants at {nodes} nodes in parallel...",
+        CAPS.len()
     );
+    let mut sweep = base(&opts).nodes(nodes).trace(&trace).sweep();
+    for cap in CAPS {
+        sweep = sweep.scheduler(Hawk::new(GOOGLE_SHORT_PARTITION).steal_cap(cap));
+    }
+    // Every variant is named "hawk": rows pair with CAPS by grid order
+    // (insertion order of the scheduler axis, the only populated axis).
+    let results = sweep.run_all();
+    assert_eq!(results.cells.len(), CAPS.len());
+    let cap1 = &results.cells[0].report;
 
     tsv_header(&["cap", "p50_short", "p90_short", "steals", "steal_attempts"]);
-    for cap in CAPS {
-        let hawk = if cap == 1 {
-            cap1.clone()
-        } else {
-            run_cell(
-                &trace,
-                SchedulerConfig::hawk_with_steal_cap(GOOGLE_SHORT_PARTITION, cap),
-                nodes,
-                &base,
-            )
-        };
-        let short = compare(&hawk, &cap1, JobClass::Short);
+    for (cap, cell) in CAPS.iter().zip(results.iter()) {
+        let hawk = &cell.report;
+        let short = compare(hawk, cap1, JobClass::Short);
         tsv_row(&[
             fmt(cap),
             fmt4(short.p50_ratio),

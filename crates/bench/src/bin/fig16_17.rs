@@ -14,8 +14,9 @@
 //! so the wall-clock run stays in minutes; `--full-trace` runs the paper's
 //! exact 3,300 jobs at 1000× (hours of wall time).
 
-use hawk_bench::{fmt, fmt4, parse_args, tsv_header, tsv_row, RunMode};
-use hawk_core::{compare, run_experiment, ExperimentConfig, SchedulerConfig};
+use hawk_bench::{base, fmt, fmt4, parse_args, tsv_header, tsv_row, RunMode};
+use hawk_core::compare;
+use hawk_core::scheduler::{Hawk, Sparrow};
 use hawk_proto::{run_prototype, ProtoConfig, ProtoMode};
 use hawk_simcore::SimRng;
 use hawk_workload::sample::{arrivals_for_load_multiplier, PrototypeSampleConfig};
@@ -113,28 +114,14 @@ fn main() {
         );
 
         // --- Simulator runs on the identical trace ---
-        let sim_base = ExperimentConfig {
-            nodes: 100,
-            cutoff,
-            seed: opts.seed,
+        let sim_base = base(&opts)
+            .nodes(100)
+            .cutoff(cutoff)
             // Sample utilization on the scaled clock.
-            util_interval: hawk_simcore::SimDuration::from_millis(50),
-            ..ExperimentConfig::default()
-        };
-        let sim_hawk = run_experiment(
-            &trace,
-            &ExperimentConfig {
-                scheduler: SchedulerConfig::hawk(0.17),
-                ..sim_base.clone()
-            },
-        );
-        let sim_sparrow = run_experiment(
-            &trace,
-            &ExperimentConfig {
-                scheduler: SchedulerConfig::sparrow(),
-                ..sim_base
-            },
-        );
+            .util_interval(hawk_simcore::SimDuration::from_millis(50))
+            .trace(&trace);
+        let sim_hawk = sim_base.clone().scheduler(Hawk::new(0.17)).run();
+        let sim_sparrow = sim_base.scheduler(Sparrow::new()).run();
 
         let ip50s = ratio(
             proto_hawk.runtime_percentile(JobClass::Short, 50.0),

@@ -19,8 +19,9 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Arc;
 
-use hawk_core::{compare, ExperimentConfig, MetricsReport, SchedulerConfig};
+use hawk_core::{compare, Experiment, ExperimentBuilder, MetricsReport, Scheduler, SweepResults};
 use hawk_workload::google::GoogleTraceConfig;
 use hawk_workload::{JobClass, Trace};
 
@@ -112,12 +113,12 @@ pub const GOOGLE_FULL_JOBS: usize = 506_460;
 pub const GOOGLE_DEFAULT_JOBS: usize = 30_000;
 
 /// Generates the Google-like trace and its cluster-size sweep for `opts`.
-pub fn google_setup(opts: &HarnessOpts) -> (Trace, Vec<usize>) {
+pub fn google_setup(opts: &HarnessOpts) -> (Arc<Trace>, Vec<usize>) {
     let scale = opts.cluster_scale();
     let jobs = opts.job_count(GOOGLE_DEFAULT_JOBS, GOOGLE_FULL_JOBS);
     eprintln!("generating Google-like trace: {jobs} jobs, cluster scale 1/{scale}");
     let trace = GoogleTraceConfig::with_scale(scale, jobs).generate(opts.seed);
-    (trace, GoogleTraceConfig::scaled_node_sweep(scale))
+    (Arc::new(trace), GoogleTraceConfig::scaled_node_sweep(scale))
 }
 
 /// The Google-trace cluster size the sensitivity studies fix (15,000 nodes
@@ -149,19 +150,89 @@ pub fn fmt<T: Display>(x: T) -> String {
     x.to_string()
 }
 
+/// The base experiment description for a harness run: the paper's
+/// defaults with the run's seed. Binaries refine it with `.cutoff(..)`,
+/// `.central_overhead(..)` etc. before fanning out cells.
+pub fn base(opts: &HarnessOpts) -> ExperimentBuilder {
+    Experiment::builder().seed(opts.seed)
+}
+
 /// Runs one scheduler on a trace at one cluster size.
 pub fn run_cell(
-    trace: &Trace,
-    scheduler: SchedulerConfig,
+    trace: &Arc<Trace>,
+    scheduler: impl Scheduler + 'static,
     nodes: usize,
-    base: &ExperimentConfig,
+    base: &ExperimentBuilder,
 ) -> MetricsReport {
-    let cfg = ExperimentConfig {
-        nodes,
-        scheduler,
-        ..base.clone()
-    };
-    hawk_core::run_experiment(trace, &cfg)
+    base.clone()
+        .trace(trace)
+        .scheduler(scheduler)
+        .nodes(nodes)
+        .run()
+}
+
+/// Runs `subject` and `baseline` across a cluster-size sweep — every cell
+/// in parallel — and returns `(nodes, subject report, baseline report)`
+/// rows in sweep order. The boilerplate loop of most paper figures.
+///
+/// # Panics
+///
+/// Panics if the two schedulers share a name (the rows could not be
+/// paired).
+pub fn sweep_pair(
+    trace: &Arc<Trace>,
+    subject: impl Scheduler + 'static,
+    baseline: impl Scheduler + 'static,
+    nodes: &[usize],
+    base: &ExperimentBuilder,
+) -> Vec<(usize, MetricsReport, MetricsReport)> {
+    let subject_name = subject.name();
+    let baseline_name = baseline.name();
+    assert_ne!(
+        subject_name, baseline_name,
+        "schedulers must be nameable apart"
+    );
+    let results = base
+        .clone()
+        .trace(trace)
+        .sweep()
+        .scheduler(subject)
+        .scheduler(baseline)
+        .nodes(nodes.iter().copied())
+        .run_all();
+    // Grid order is schedulers × nodes: the first half of the cells is the
+    // subject's node sweep, the second half the baseline's. Move the
+    // reports out instead of cloning them (at --full-trace scale a report
+    // holds one JobResult per job), with name/nodes asserts guarding the
+    // pairing against any future grid-order change.
+    let mut subject_cells = results.cells;
+    assert_eq!(subject_cells.len(), 2 * nodes.len());
+    let baseline_cells = subject_cells.split_off(nodes.len());
+    nodes
+        .iter()
+        .zip(subject_cells)
+        .zip(baseline_cells)
+        .map(|((&n, s), b)| {
+            assert!(
+                s.scheduler == subject_name && s.nodes == n,
+                "subject cell order"
+            );
+            assert!(
+                b.scheduler == baseline_name && b.nodes == n,
+                "baseline cell order"
+            );
+            (n, s.report, b.report)
+        })
+        .collect()
+}
+
+/// Runs a list of fully built cells in parallel, preserving order.
+pub fn run_cells(cells: Vec<Experiment>) -> SweepResults {
+    let mut sweep = Experiment::builder().sweep();
+    for cell in cells {
+        sweep = sweep.cell(cell);
+    }
+    sweep.run_all()
 }
 
 /// The four normalized ratios most figures report: (p50 long, p90 long,

@@ -80,6 +80,10 @@ impl SchedulerConfig {
 
     /// Hawk with an alternative steal granularity (the §3.6 design-choice
     /// ablation; see [`StealGranularity`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `scheduler::Hawk::new(f).steal_granularity(g)`"
+    )]
     pub fn hawk_with_granularity(
         short_partition_fraction: f64,
         granularity: StealGranularity,
@@ -97,6 +101,7 @@ impl SchedulerConfig {
     }
 
     /// Hawk with a custom steal cap (Figure 15).
+    #[deprecated(since = "0.2.0", note = "use `scheduler::Hawk::new(f).steal_cap(cap)`")]
     pub fn hawk_with_steal_cap(short_partition_fraction: f64, cap: usize) -> Self {
         SchedulerConfig {
             steal_cap: Some(cap.max(1)),
@@ -109,6 +114,10 @@ impl SchedulerConfig {
     /// fresh random server (up to `limit` hops) instead of queueing behind
     /// it — the avoidance idea of Hawk's successor, Eagle, discovered by
     /// bouncing instead of gossiped state. See `ext_probe_avoidance`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `scheduler::Hawk::new(f).probe_avoidance(limit)`"
+    )]
     pub fn hawk_with_probe_avoidance(short_partition_fraction: f64, limit: u8) -> Self {
         SchedulerConfig {
             name: "hawk-probe-avoidance",
@@ -120,6 +129,10 @@ impl SchedulerConfig {
     /// Ablation: Hawk without the centralized component (Figure 7) — long
     /// jobs are probed like short ones, but still only within the general
     /// partition.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `scheduler::Hawk::new(f).without_centralized()`"
+    )]
     pub fn hawk_without_centralized(short_partition_fraction: f64) -> Self {
         SchedulerConfig {
             name: "hawk-wout-centralized",
@@ -129,6 +142,10 @@ impl SchedulerConfig {
     }
 
     /// Ablation: Hawk without the reserved short partition (Figure 7).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `scheduler::Hawk::new(0.0)` or `Hawk::new(f).without_partition()`"
+    )]
     pub fn hawk_without_partition() -> Self {
         SchedulerConfig {
             name: "hawk-wout-partition",
@@ -137,6 +154,10 @@ impl SchedulerConfig {
     }
 
     /// Ablation: Hawk without work stealing (Figure 7).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `scheduler::Hawk::new(f).without_stealing()`"
+    )]
     pub fn hawk_without_stealing(short_partition_fraction: f64) -> Self {
         SchedulerConfig {
             name: "hawk-wout-stealing",
@@ -234,8 +255,46 @@ impl CentralOverhead {
     }
 }
 
-/// One experiment cell: a scheduler on a cluster, with classification and
-/// estimation settings.
+/// The policy-independent parameters of one simulation run: cluster size,
+/// classification/estimation settings, network model and seed — everything
+/// an experiment cell needs besides the scheduler and the trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimConfig {
+    /// Cluster size in servers.
+    pub nodes: usize,
+    /// Short/long cutoff on estimated task runtime (§3.3).
+    pub cutoff: Cutoff,
+    /// Estimation error model (§4.8); `None` for exact estimates.
+    pub misestimate: Option<MisestimateRange>,
+    /// Network delays.
+    pub network: NetworkModel,
+    /// Centralized-scheduler decision cost (default: free, as in the
+    /// paper's simulator).
+    pub central_overhead: CentralOverhead,
+    /// Utilization sampling interval (paper: 100 s).
+    pub util_interval: SimDuration,
+    /// RNG seed for probe placement, stealing and misestimation.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nodes: 1_500,
+            cutoff: Cutoff::GOOGLE_DEFAULT,
+            misestimate: None,
+            network: NetworkModel::paper_default(),
+            central_overhead: CentralOverhead::FREE,
+            util_interval: SimDuration::from_secs(100),
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// One legacy experiment cell: a [`SchedulerConfig`] plus the simulation
+/// parameters. Kept for [`run_experiment`](crate::run_experiment)-era
+/// code; new code describes cells with
+/// [`Experiment::builder`](crate::Experiment::builder).
 #[derive(Debug, Clone, Serialize)]
 pub struct ExperimentConfig {
     /// Cluster size in servers.
@@ -257,17 +316,33 @@ pub struct ExperimentConfig {
     pub seed: u64,
 }
 
+impl ExperimentConfig {
+    /// The policy-independent part of this configuration.
+    pub fn sim(&self) -> SimConfig {
+        SimConfig {
+            nodes: self.nodes,
+            cutoff: self.cutoff,
+            misestimate: self.misestimate,
+            network: self.network,
+            central_overhead: self.central_overhead,
+            util_interval: self.util_interval,
+            seed: self.seed,
+        }
+    }
+}
+
 impl Default for ExperimentConfig {
     fn default() -> Self {
+        let sim = SimConfig::default();
         ExperimentConfig {
-            nodes: 1_500,
+            nodes: sim.nodes,
             scheduler: SchedulerConfig::hawk(0.17),
-            cutoff: Cutoff::GOOGLE_DEFAULT,
-            misestimate: None,
-            network: NetworkModel::paper_default(),
-            central_overhead: CentralOverhead::FREE,
-            util_interval: SimDuration::from_secs(100),
-            seed: DEFAULT_SEED,
+            cutoff: sim.cutoff,
+            misestimate: sim.misestimate,
+            network: sim.network,
+            central_overhead: sim.central_overhead,
+            util_interval: sim.util_interval,
+            seed: sim.seed,
         }
     }
 }
@@ -277,6 +352,8 @@ pub const DEFAULT_SEED: u64 = 0x4a77_2015;
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy shims are exactly what these tests cover
+
     use super::*;
 
     #[test]

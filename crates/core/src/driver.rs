@@ -1,19 +1,25 @@
-//! The simulation driver: turns a trace plus a scheduling policy into a
-//! discrete-event run over the cluster substrate.
+//! The simulation driver: a policy-agnostic discrete-event loop that runs
+//! any [`Scheduler`] over the cluster substrate.
 //!
-//! The driver owns the event loop and all scheduler-side state:
+//! The driver owns the event loop and all per-run state:
 //!
 //! * per-job late-binding state (which tasks are still unlaunched) for the
 //!   distributed schedulers (§3.5) — each job conceptually has its own
 //!   scheduler, so there is no shared state between jobs;
 //! * the centralized waiting-time scheduler (§3.7) when the policy routes
 //!   a class centrally;
-//! * the stealing policy (§3.6), invoked whenever a server reports it ran
-//!   out of work.
+//! * the RNG streams every policy hook draws from, so runs stay
+//!   bit-deterministic for a given seed regardless of the policy.
+//!
+//! Everything *policy* — routing, probe placement, steal capability and
+//! victim choice, probe bouncing — is delegated to the [`Scheduler`]
+//! trait; adding a new scheduling policy requires no driver changes.
 //!
 //! Messages (probes, placements, bind requests/responses) incur the
 //! configured one-way network delay; scheduling decisions and steal
 //! transfers are free by default, matching §4.1.
+
+use std::sync::Arc;
 
 use hawk_cluster::{
     Cluster, NetworkModel, QueueEntry, ServerAction, ServerId, TaskSpec, UtilizationTracker,
@@ -23,10 +29,9 @@ use hawk_workload::classify::JobEstimates;
 use hawk_workload::{JobClass, JobId, Trace};
 
 use crate::centralized::CentralScheduler;
-use crate::config::{ExperimentConfig, Route, Scope};
-use crate::distributed::ProbePlanner;
+use crate::config::{ExperimentConfig, Route, Scope, SimConfig};
 use crate::metrics::{JobResult, MetricsReport};
-use crate::steal_policy::StealPolicy;
+use crate::scheduler::{PlacementView, Scheduler, StealSpec};
 
 /// A simulation event.
 #[derive(Debug, Clone)]
@@ -103,18 +108,19 @@ struct JobRun {
     completion: Option<SimTime>,
 }
 
-/// The simulation driver. Construct with [`Driver::new`], consume with
+/// The simulation driver. Construct with [`Driver::new`] (legacy config)
+/// or [`Driver::with_scheduler`] (any policy), consume with
 /// [`Driver::run`].
 pub struct Driver<'t> {
     trace: &'t Trace,
-    cfg: ExperimentConfig,
+    scheduler: Arc<dyn Scheduler>,
+    sim: SimConfig,
     estimates: JobEstimates,
     engine: Engine<Event>,
     cluster: Cluster,
     jobs: Vec<JobRun>,
     central: Option<CentralScheduler>,
-    planner: ProbePlanner,
-    steal: Option<StealPolicy>,
+    steal_spec: Option<StealSpec>,
     probe_rng: SimRng,
     steal_rng: SimRng,
     util: UtilizationTracker,
@@ -127,28 +133,45 @@ pub struct Driver<'t> {
 }
 
 impl<'t> Driver<'t> {
-    /// Builds a driver for one experiment cell.
+    /// Builds a driver for one legacy experiment cell. Equivalent to
+    /// [`Driver::with_scheduler`] with the cell's [`SchedulerConfig`]
+    /// (which implements [`Scheduler`]).
+    ///
+    /// [`SchedulerConfig`]: crate::SchedulerConfig
+    pub fn new(trace: &'t Trace, cfg: &ExperimentConfig) -> Self {
+        Self::with_scheduler(trace, Arc::new(cfg.scheduler), &cfg.sim())
+    }
+
+    /// Builds a driver running `scheduler` under the policy-independent
+    /// parameters `sim`.
     ///
     /// # Panics
     ///
     /// Panics on inconsistent configuration: a centralized route over an
     /// empty scope, or a short-reserved route with no reserved servers.
-    pub fn new(trace: &'t Trace, cfg: &ExperimentConfig) -> Self {
-        let mut root = SimRng::seed_from_u64(cfg.seed);
+    pub fn with_scheduler(
+        trace: &'t Trace,
+        scheduler: Arc<dyn Scheduler>,
+        sim: &SimConfig,
+    ) -> Self {
+        let mut root = SimRng::seed_from_u64(sim.seed);
         let mut estimate_rng = root.split();
         let probe_rng = root.split();
         let steal_rng = root.split();
 
-        let estimates = match cfg.misestimate {
+        let estimates = match sim.misestimate {
             Some(range) => JobEstimates::misestimated(trace, range, &mut estimate_rng),
             None => JobEstimates::exact(trace),
         };
 
-        let cluster = Cluster::new(cfg.nodes, cfg.scheduler.short_partition_fraction);
+        let cluster = Cluster::new(sim.nodes, scheduler.short_partition_fraction());
         let partition = cluster.partition();
 
+        let long_route = scheduler.route(JobClass::Long);
+        let short_route = scheduler.route(JobClass::Short);
+
         // Validate scopes against the partition.
-        for route in [cfg.scheduler.long_route, cfg.scheduler.short_route] {
+        for route in [long_route, short_route] {
             if let Route::Distributed(Scope::ShortReserved) | Route::Central(Scope::ShortReserved) =
                 route
             {
@@ -158,25 +181,24 @@ impl<'t> Driver<'t> {
                 );
             }
         }
-        let central = Self::central_scope(&cfg.scheduler.long_route, &cfg.scheduler.short_route)
-            .map(|scope| {
-                let len = match scope {
-                    Scope::Whole => partition.total(),
-                    Scope::General => partition.general_count(),
-                    Scope::ShortReserved => {
-                        unreachable!("central routes never target the short partition")
-                    }
-                };
-                assert!(len > 0, "centralized route over an empty scope");
-                CentralScheduler::new(len)
-            });
+        let central = Self::central_scope(&long_route, &short_route).map(|scope| {
+            let len = match scope {
+                Scope::Whole => partition.total(),
+                Scope::General => partition.general_count(),
+                Scope::ShortReserved => {
+                    unreachable!("central routes never target the short partition")
+                }
+            };
+            assert!(len > 0, "centralized route over an empty scope");
+            CentralScheduler::new(len)
+        });
 
         let mut engine = Engine::with_capacity(trace.len() * 2);
         for job in trace.jobs() {
             engine.schedule_at(job.submission, Event::JobArrival(job.id));
         }
-        let util = UtilizationTracker::new(cfg.util_interval);
-        engine.schedule(cfg.util_interval, Event::UtilSample);
+        let util = UtilizationTracker::new(sim.util_interval);
+        engine.schedule(sim.util_interval, Event::UtilSample);
 
         let jobs = trace
             .jobs()
@@ -192,14 +214,14 @@ impl<'t> Driver<'t> {
 
         Driver {
             trace,
-            cfg: cfg.clone(),
+            steal_spec: scheduler.steal(),
+            scheduler,
+            sim: sim.clone(),
             estimates,
             engine,
             cluster,
             jobs,
             central,
-            planner: ProbePlanner::new(cfg.scheduler.probe_ratio),
-            steal: cfg.scheduler.steal_cap.map(StealPolicy::new),
             probe_rng,
             steal_rng,
             util,
@@ -239,7 +261,19 @@ impl<'t> Driver<'t> {
     ///
     /// Panics if the event queue drains before every job completes, which
     /// indicates a scheduling-liveness bug.
-    pub fn run(mut self) -> MetricsReport {
+    pub fn run(self) -> MetricsReport {
+        self.run_with_estimates().0
+    }
+
+    /// Like [`Driver::run`], but also returns the (possibly misestimated)
+    /// per-job estimates the scheduler actually used — the source of truth
+    /// for analyses that need to know how jobs were classified (§4.8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue drains before every job completes, which
+    /// indicates a scheduling-liveness bug.
+    pub fn run_with_estimates(mut self) -> (MetricsReport, JobEstimates) {
         while self.unfinished > 0 {
             let Some((_, event)) = self.engine.pop() else {
                 panic!(
@@ -261,12 +295,15 @@ impl<'t> Driver<'t> {
                 class,
                 bounces,
             } => {
-                if self.should_bounce(server, class, bounces) {
+                if self
+                    .scheduler
+                    .bounce_probe(self.cluster.server(server), class, bounces)
+                {
                     // Long-aware probe avoidance (extension): retry on a
                     // fresh random server at the cost of one network hop.
-                    let scope = match self.cfg.scheduler.short_route {
+                    let scope = match self.scheduler.route(class) {
                         Route::Distributed(scope) => scope,
-                        Route::Central(_) => unreachable!("short probes imply a distributed route"),
+                        Route::Central(_) => unreachable!("probes imply a distributed route"),
                     };
                     let (start, len) = self.scope_range(scope);
                     let retry = ServerId(start + self.probe_rng.index(len) as u32);
@@ -310,24 +347,21 @@ impl<'t> Driver<'t> {
             Event::UtilSample => {
                 self.util.record(self.cluster.utilization());
                 self.engine
-                    .schedule(self.cfg.util_interval, Event::UtilSample);
+                    .schedule(self.sim.util_interval, Event::UtilSample);
             }
         }
     }
 
     fn on_job_arrival(&mut self, job: JobId) {
         let spec = self.trace.job(job);
-        let class = self.estimates.class(job, self.cfg.cutoff);
+        let class = self.estimates.class(job, self.sim.cutoff);
         self.jobs[job.index()].class = class;
-        let route = match class {
-            JobClass::Long => self.cfg.scheduler.long_route,
-            JobClass::Short => self.cfg.scheduler.short_route,
-        };
+        let route = self.scheduler.route(class);
         let delay = self.network().one_way();
         match route {
             Route::Central(_) => {
                 self.jobs[job.index()].central = true;
-                let overhead = self.cfg.central_overhead;
+                let overhead = self.sim.central_overhead;
                 if overhead.is_free() {
                     self.place_centrally(job);
                 } else {
@@ -341,9 +375,10 @@ impl<'t> Driver<'t> {
             }
             Route::Distributed(scope) => {
                 let (start, len) = self.scope_range(scope);
+                let view = PlacementView::new(&self.cluster, start, len);
                 let targets =
-                    self.planner
-                        .targets(spec.num_tasks(), start, len, &mut self.probe_rng);
+                    self.scheduler
+                        .probe_targets(&view, spec.num_tasks(), &mut self.probe_rng);
                 for server in targets {
                     self.engine.schedule(
                         delay,
@@ -357,22 +392,6 @@ impl<'t> Driver<'t> {
                 }
             }
         }
-    }
-
-    /// True when a probe should bounce off `server` instead of queueing:
-    /// the avoidance extension is on, the probe is short, it has bounces
-    /// left, and the server currently holds long work.
-    fn should_bounce(&self, server: ServerId, class: JobClass, bounces: u8) -> bool {
-        if class.is_long() || bounces >= self.cfg.scheduler.probe_bounce_limit {
-            return false;
-        }
-        let s = self.cluster.server(server);
-        let slot_long = match s.slot() {
-            hawk_cluster::Slot::Running(spec) => spec.class.is_long(),
-            hawk_cluster::Slot::AwaitingBind { class, .. } => class.is_long(),
-            hawk_cluster::Slot::Free => false,
-        };
-        slot_long || s.queued_long() > 0
     }
 
     /// Runs the §3.7 placement for `job` and sends its tasks out.
@@ -452,15 +471,16 @@ impl<'t> Driver<'t> {
         }
     }
 
-    /// One steal attempt for an idle thief (§3.6): contact up to `cap`
-    /// random general-partition servers and steal from the first with an
-    /// eligible group.
+    /// One steal attempt for an idle thief (§3.6): contact the victims the
+    /// policy picks and steal from the first with an eligible group.
     fn try_steal(&mut self, thief: ServerId) {
-        let Some(policy) = self.steal else { return };
+        let Some(spec) = self.steal_spec else { return };
         self.steal_attempts += 1;
         let partition = self.cluster.partition();
-        let granularity = self.cfg.scheduler.steal_granularity;
-        let victims = policy.pick_victims(&partition, thief, &mut self.steal_rng);
+        let granularity = spec.granularity;
+        let victims = self
+            .scheduler
+            .pick_victims(&partition, thief, &mut self.steal_rng);
         for victim in victims {
             let entries = self
                 .cluster
@@ -488,11 +508,11 @@ impl<'t> Driver<'t> {
     }
 
     fn network(&self) -> NetworkModel {
-        self.cfg.network
+        self.sim.network
     }
 
-    fn report(self) -> MetricsReport {
-        let cutoff = self.cfg.cutoff;
+    fn report(self) -> (MetricsReport, JobEstimates) {
+        let cutoff = self.sim.cutoff;
         let mut makespan = SimTime::ZERO;
         let results: Vec<JobResult> = self
             .trace
@@ -512,9 +532,9 @@ impl<'t> Driver<'t> {
                 }
             })
             .collect();
-        MetricsReport {
-            scheduler: self.cfg.scheduler.name,
-            nodes: self.cfg.nodes,
+        let report = MetricsReport {
+            scheduler: self.scheduler.name(),
+            nodes: self.sim.nodes,
             results,
             median_utilization: self.util.median().unwrap_or(0.0),
             max_utilization: self.util.max().unwrap_or(0.0),
@@ -523,14 +543,15 @@ impl<'t> Driver<'t> {
             events: self.engine.processed(),
             steals: self.steals,
             steal_attempts: self.steal_attempts,
-        }
+        };
+        (report, self.estimates)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SchedulerConfig;
+    use crate::scheduler::{Centralized, Hawk, Sparrow, SplitCluster};
     use hawk_simcore::SimDuration;
     use hawk_workload::Job;
 
@@ -549,13 +570,16 @@ mod tests {
         Trace::new(jobs).unwrap()
     }
 
-    fn run(trace: &Trace, scheduler: SchedulerConfig, nodes: usize) -> MetricsReport {
-        let cfg = ExperimentConfig {
+    fn run_arc(trace: &Trace, scheduler: Arc<dyn Scheduler>, nodes: usize) -> MetricsReport {
+        let sim = SimConfig {
             nodes,
-            scheduler,
-            ..ExperimentConfig::default()
+            ..SimConfig::default()
         };
-        Driver::new(trace, &cfg).run()
+        Driver::with_scheduler(trace, scheduler, &sim).run()
+    }
+
+    fn run(trace: &Trace, scheduler: impl Scheduler + 'static, nodes: usize) -> MetricsReport {
+        run_arc(trace, Arc::new(scheduler), nodes)
     }
 
     #[test]
@@ -563,7 +587,7 @@ mod tests {
         // One 2-task job on 4 idle nodes under Sparrow: runtime is the task
         // duration plus probe (0.5 ms) + bind round trip (1 ms).
         let trace = tiny_trace(vec![(0, vec![10, 10])]);
-        let report = run(&trace, SchedulerConfig::sparrow(), 4);
+        let report = run(&trace, Sparrow::new(), 4);
         let r = report.results[0];
         let runtime = r.runtime().as_secs_f64();
         assert!(
@@ -577,7 +601,7 @@ mod tests {
         // A long job placed centrally: placement message (0.5 ms), no bind
         // round trip.
         let trace = tiny_trace(vec![(0, vec![2000, 2000])]);
-        let report = run(&trace, SchedulerConfig::hawk(0.25), 4);
+        let report = run(&trace, Hawk::new(0.25), 4);
         let r = report.results[0];
         assert_eq!(r.true_class, JobClass::Long);
         let runtime = r.runtime().as_secs_f64();
@@ -596,17 +620,19 @@ mod tests {
             (4, vec![1500, 1600]),
             (6, vec![1; 10]),
         ]);
-        for scheduler in [
-            SchedulerConfig::hawk(0.25),
-            SchedulerConfig::sparrow(),
-            SchedulerConfig::centralized(),
-            SchedulerConfig::split_cluster(0.25),
-            SchedulerConfig::hawk_without_centralized(0.25),
-            SchedulerConfig::hawk_without_partition(),
-            SchedulerConfig::hawk_without_stealing(0.25),
-        ] {
-            let report = run(&trace, scheduler, 8);
-            assert_eq!(report.results.len(), 5, "{}", scheduler.name);
+        let schedulers: Vec<Arc<dyn Scheduler>> = vec![
+            Arc::new(Hawk::new(0.25)),
+            Arc::new(Sparrow::new()),
+            Arc::new(Centralized::new()),
+            Arc::new(SplitCluster::new(0.25)),
+            Arc::new(Hawk::new(0.25).without_centralized()),
+            Arc::new(Hawk::new(0.25).without_partition()),
+            Arc::new(Hawk::new(0.25).without_stealing()),
+        ];
+        for scheduler in schedulers {
+            let name = scheduler.name();
+            let report = run_arc(&trace, scheduler, 8);
+            assert_eq!(report.results.len(), 5, "{name}");
             for r in &report.results {
                 assert!(r.completion >= r.submission);
             }
@@ -619,7 +645,7 @@ mod tests {
         // on its own server (waiting-time queue balances), so each job's
         // runtime is its task duration + placement delay.
         let trace = tiny_trace(vec![(0, vec![2000; 4]), (0, vec![3000; 4])]);
-        let report = run(&trace, SchedulerConfig::centralized(), 8);
+        let report = run(&trace, Centralized::new(), 8);
         let r0 = report.results[0].runtime().as_secs_f64();
         let r1 = report.results[1].runtime().as_secs_f64();
         assert!((r0 - 2000.0005).abs() < 1e-9, "job0 runtime {r0}");
@@ -639,7 +665,7 @@ mod tests {
         // 2 nodes, probes go to both servers, and the idle one binds
         // immediately. So instead verify end-to-end: the short job finishes
         // quickly under Hawk.
-        let report = run(&trace, SchedulerConfig::hawk(0.5), 2);
+        let report = run(&trace, Hawk::new(0.5), 2);
         let short = report.results[1];
         assert!(short.runtime().as_secs_f64() < 100.0);
     }
@@ -659,8 +685,8 @@ mod tests {
             jobs.push((1 + i, vec![20u64; 4]));
         }
         let trace = tiny_trace(jobs);
-        let with_steal = run(&trace, SchedulerConfig::hawk(0.2), 10);
-        let without = run(&trace, SchedulerConfig::hawk_without_stealing(0.2), 10);
+        let with_steal = run(&trace, Hawk::new(0.2), 10);
+        let without = run(&trace, Hawk::new(0.2).without_stealing(), 10);
         let max_short = |r: &MetricsReport| {
             r.results[1..]
                 .iter()
@@ -686,7 +712,7 @@ mod tests {
         // Short jobs probe only the reserved partition: with a huge long
         // job hogging the general partition, shorts still finish fast.
         let trace = tiny_trace(vec![(0, vec![5000; 4]), (0, vec![10, 10])]);
-        let report = run(&trace, SchedulerConfig::split_cluster(0.5), 8);
+        let report = run(&trace, SplitCluster::new(0.5), 8);
         let short = report.results[1];
         assert!(short.runtime().as_secs_f64() < 50.0);
     }
@@ -694,7 +720,7 @@ mod tests {
     #[test]
     fn utilization_sampled_and_bounded() {
         let trace = tiny_trace(vec![(0, vec![200; 4]), (50, vec![200; 4])]);
-        let report = run(&trace, SchedulerConfig::sparrow(), 4);
+        let report = run(&trace, Sparrow::new(), 4);
         assert!(!report.utilization_samples.is_empty());
         for &u in &report.utilization_samples {
             assert!((0.0..=1.0).contains(&u));
@@ -708,13 +734,12 @@ mod tests {
         // A job right above the cutoff: underestimated 0.5× it schedules
         // as short but reports as long.
         let trace = tiny_trace(vec![(0, vec![1200, 1200])]);
-        let cfg = ExperimentConfig {
+        let sim = SimConfig {
             nodes: 4,
-            scheduler: SchedulerConfig::hawk(0.25),
             misestimate: Some(MisestimateRange { lo: 0.5, hi: 0.5 }),
-            ..ExperimentConfig::default()
+            ..SimConfig::default()
         };
-        let report = Driver::new(&trace, &cfg).run();
+        let report = Driver::with_scheduler(&trace, Arc::new(Hawk::new(0.25)), &sim).run();
         let r = report.results[0];
         assert_eq!(r.true_class, JobClass::Long);
         assert_eq!(r.scheduled_class, JobClass::Short);
@@ -723,7 +748,7 @@ mod tests {
     #[test]
     fn events_counted() {
         let trace = tiny_trace(vec![(0, vec![10, 10])]);
-        let report = run(&trace, SchedulerConfig::sparrow(), 4);
+        let report = run(&trace, Sparrow::new(), 4);
         // 1 arrival + 4 probes + binds + finishes + util samples.
         assert!(report.events >= 10, "events {}", report.events);
     }
@@ -733,7 +758,7 @@ mod tests {
         // One server: every task queues FIFO; total makespan equals total
         // work plus binding overheads.
         let trace = tiny_trace(vec![(0, vec![10]), (0, vec![20]), (0, vec![30])]);
-        let report = run(&trace, SchedulerConfig::sparrow(), 1);
+        let report = run(&trace, Sparrow::new(), 1);
         assert_eq!(report.results.len(), 3);
         let makespan = report.makespan.as_secs_f64();
         assert!(makespan >= 60.0, "makespan {makespan} below serial bound");
@@ -744,13 +769,15 @@ mod tests {
     fn zero_duration_tasks_complete() {
         // Degenerate durations must not wedge the event loop.
         let trace = tiny_trace(vec![(0, vec![0, 0, 0]), (1, vec![0])]);
-        for scheduler in [
-            SchedulerConfig::sparrow(),
-            SchedulerConfig::hawk(0.25),
-            SchedulerConfig::centralized(),
-        ] {
-            let report = run(&trace, scheduler, 4);
-            assert_eq!(report.results.len(), 2, "{}", scheduler.name);
+        let schedulers: Vec<Arc<dyn Scheduler>> = vec![
+            Arc::new(Sparrow::new()),
+            Arc::new(Hawk::new(0.25)),
+            Arc::new(Centralized::new()),
+        ];
+        for scheduler in schedulers {
+            let name = scheduler.name();
+            let report = run_arc(&trace, scheduler, 4);
+            assert_eq!(report.results.len(), 2, "{name}");
         }
     }
 
@@ -762,7 +789,7 @@ mod tests {
             (5, vec![7]),
             (5, vec![2_500, 2_500]),
         ]);
-        let report = run(&trace, SchedulerConfig::hawk(0.25), 8);
+        let report = run(&trace, Hawk::new(0.25), 8);
         assert_eq!(report.results.len(), 4);
         for r in &report.results {
             assert_eq!(r.submission, SimTime::from_secs(5));
@@ -774,11 +801,7 @@ mod tests {
         // Exactly t probes: no slack, every probe must bind (no cancels
         // for a lone job) and the job completes.
         let trace = tiny_trace(vec![(0, vec![10; 6])]);
-        let scheduler = SchedulerConfig {
-            probe_ratio: 1.0,
-            ..SchedulerConfig::sparrow()
-        };
-        let report = run(&trace, scheduler, 12);
+        let report = run(&trace, Sparrow::new().probe_ratio(1.0), 12);
         assert_eq!(report.results.len(), 1);
         assert!(report.results[0].runtime().as_secs_f64() < 11.0);
     }
@@ -787,10 +810,13 @@ mod tests {
     fn more_tasks_than_cluster_completes_in_waves() {
         // 10 tasks of 10 s on 2 nodes: ≥ 5 serial waves.
         let trace = tiny_trace(vec![(0, vec![10; 10])]);
-        for scheduler in [SchedulerConfig::sparrow(), SchedulerConfig::centralized()] {
-            let report = run(&trace, scheduler, 2);
+        let schedulers: Vec<Arc<dyn Scheduler>> =
+            vec![Arc::new(Sparrow::new()), Arc::new(Centralized::new())];
+        for scheduler in schedulers {
+            let name = scheduler.name();
+            let report = run_arc(&trace, scheduler, 2);
             let rt = report.results[0].runtime().as_secs_f64();
-            assert!(rt >= 50.0, "{}: runtime {rt}", scheduler.name);
+            assert!(rt >= 50.0, "{name}: runtime {rt}");
         }
     }
 
@@ -808,13 +834,12 @@ mod tests {
             steal_transfer_delay: SimDuration::from_millis(1),
             ..NetworkModel::paper_default()
         };
-        let cfg = ExperimentConfig {
+        let sim = SimConfig {
             nodes: 10,
-            scheduler: SchedulerConfig::hawk(0.2),
             network,
-            ..ExperimentConfig::default()
+            ..SimConfig::default()
         };
-        let report = Driver::new(&trace, &cfg).run();
+        let report = Driver::with_scheduler(&trace, Arc::new(Hawk::new(0.2)), &sim).run();
         assert!(report.steals > 0);
         let worst_short = report.results[1..]
             .iter()
@@ -831,13 +856,12 @@ mod tests {
         // During the 1 ms bind round trip a server is not "running"; a
         // cluster of probing-only jobs shows bounded utilization samples.
         let trace = tiny_trace(vec![(0, vec![500; 4])]);
-        let cfg = ExperimentConfig {
+        let sim = SimConfig {
             nodes: 4,
-            scheduler: SchedulerConfig::sparrow(),
             util_interval: SimDuration::from_secs(100),
-            ..ExperimentConfig::default()
+            ..SimConfig::default()
         };
-        let report = Driver::new(&trace, &cfg).run();
+        let report = Driver::with_scheduler(&trace, Arc::new(Sparrow::new()), &sim).run();
         assert!(report.max_utilization <= 1.0);
         assert!(report.max_utilization >= 0.9, "4 busy servers expected");
     }
@@ -850,11 +874,7 @@ mod tests {
         // first land on long-occupied servers; the bounce limit guarantees
         // completion regardless.
         let trace = tiny_trace(vec![(0, vec![5_000, 5_000, 5_000]), (1, vec![10])]);
-        let avoid = run(
-            &trace,
-            SchedulerConfig::hawk_with_probe_avoidance(0.0, 4),
-            4,
-        );
+        let avoid = run(&trace, Hawk::new(0.0).probe_avoidance(4), 4);
         let short = avoid.results[1];
         assert!(
             short.runtime().as_secs_f64() < 100.0,
@@ -870,12 +890,8 @@ mod tests {
             (1, vec![10, 10]),
             (2, vec![5; 3]),
         ]);
-        let plain = run(&trace, SchedulerConfig::hawk(0.25), 8);
-        let zero_limit = run(
-            &trace,
-            SchedulerConfig::hawk_with_probe_avoidance(0.25, 0),
-            8,
-        );
+        let plain = run(&trace, Hawk::new(0.25), 8);
+        let zero_limit = run(&trace, Hawk::new(0.25).probe_avoidance(0), 8);
         assert_eq!(plain.results, zero_limit.results);
     }
 
@@ -884,11 +900,7 @@ mod tests {
         // Every server holds long work: probes exhaust their bounce budget
         // and must queue anyway (liveness).
         let trace = tiny_trace(vec![(0, vec![3_000; 8]), (1, vec![10, 10])]);
-        let report = run(
-            &trace,
-            SchedulerConfig::hawk_with_probe_avoidance(0.0, 3),
-            4,
-        );
+        let report = run(&trace, Hawk::new(0.0).probe_avoidance(3), 4);
         assert_eq!(report.results.len(), 2);
     }
 
@@ -903,32 +915,32 @@ mod tests {
             per_job: SimDuration::from_secs(1),
             per_task: SimDuration::ZERO,
         };
-        let cfg = ExperimentConfig {
+        let sim = SimConfig {
             nodes: 4,
-            scheduler: SchedulerConfig::centralized(),
             central_overhead: overhead,
-            ..ExperimentConfig::default()
+            ..SimConfig::default()
         };
-        let report = Driver::new(&trace, &cfg).run();
+        let report = Driver::with_scheduler(&trace, Arc::new(Centralized::new()), &sim).run();
         let r0 = report.results[0].runtime().as_secs_f64();
         let r1 = report.results[1].runtime().as_secs_f64();
-        assert!((r0 - 2_001.0005).abs() < 1e-9, "job 0 runtime {r0}");
-        assert!((r1 - 2_002.0005).abs() < 1e-9, "job 1 runtime {r1}");
+        assert!((r0 - 2001.0005).abs() < 1e-9, "job 0 runtime {r0}");
+        assert!((r1 - 2002.0005).abs() < 1e-9, "job 1 runtime {r1}");
     }
 
     #[test]
     fn free_central_overhead_matches_paper_model() {
         use crate::config::CentralOverhead;
         let trace = tiny_trace(vec![(0, vec![2_000, 2_000]), (1, vec![1_500])]);
-        let base = ExperimentConfig {
+        let base = SimConfig {
             nodes: 4,
-            scheduler: SchedulerConfig::hawk(0.25),
-            ..ExperimentConfig::default()
+            ..SimConfig::default()
         };
-        let paper = Driver::new(&trace, &base).run();
-        let explicit_free = Driver::new(
+        let hawk: Arc<dyn Scheduler> = Arc::new(Hawk::new(0.25));
+        let paper = Driver::with_scheduler(&trace, hawk.clone(), &base).run();
+        let explicit_free = Driver::with_scheduler(
             &trace,
-            &ExperimentConfig {
+            hawk,
+            &SimConfig {
                 central_overhead: CentralOverhead::FREE,
                 ..base
             },
@@ -952,11 +964,7 @@ mod tests {
             StealGranularity::RandomBlockedEntry,
             StealGranularity::AllBlockedShorts,
         ] {
-            let report = run(
-                &trace,
-                SchedulerConfig::hawk_with_granularity(0.2, granularity),
-                10,
-            );
+            let report = run(&trace, Hawk::new(0.2).steal_granularity(granularity), 10);
             assert_eq!(report.results.len(), trace.len());
             // Short jobs must still be rescued under every policy.
             let worst_short = report.results[1..]

@@ -1,71 +1,282 @@
-//! Experiment entry points.
+//! The fluent experiment API: one cell = a trace + a scheduler + the
+//! simulation parameters.
+//!
+//! [`Experiment::builder`] is the primary entry point for running a
+//! single cell; [`Sweep`](crate::Sweep) multiplies a builder over axes of
+//! schedulers, cluster sizes, seeds and more, and runs the grid in
+//! parallel. The pre-0.2 free functions [`run_experiment`] and
+//! [`run_experiment_with_estimates`] remain as thin deprecated shims.
+//!
+//! # Examples
+//!
+//! ```
+//! use hawk_core::{compare, Experiment};
+//! use hawk_core::scheduler::{Hawk, Sparrow};
+//! use hawk_workload::motivation::MotivationConfig;
+//! use hawk_workload::JobClass;
+//!
+//! let trace = MotivationConfig {
+//!     jobs: 30,
+//!     short_tasks: 4,
+//!     long_tasks: 16,
+//!     ..Default::default()
+//! }
+//! .generate(7);
+//!
+//! let base = Experiment::builder().nodes(64).trace(trace);
+//! let hawk = base.clone().scheduler(Hawk::new(0.17)).run();
+//! let sparrow = base.scheduler(Sparrow::new()).run();
+//! let cmp = compare(&hawk, &sparrow, JobClass::Short);
+//! assert!(cmp.p50_ratio.is_some());
+//! ```
 
-use hawk_workload::classify::JobEstimates;
-use hawk_workload::Trace;
+use std::sync::Arc;
 
-use crate::config::ExperimentConfig;
+use hawk_cluster::NetworkModel;
+use hawk_simcore::SimDuration;
+use hawk_workload::classify::{Cutoff, JobEstimates, MisestimateRange};
+use hawk_workload::{Trace, TraceSource};
+
+use crate::config::{CentralOverhead, ExperimentConfig, SimConfig};
 use crate::driver::Driver;
 use crate::metrics::MetricsReport;
+use crate::scheduler::Scheduler;
 
-/// Runs one experiment cell: `trace` under `cfg`, to completion.
+/// Anything an [`ExperimentBuilder`] accepts as a trace: an owned or
+/// shared [`Trace`] (borrowed traces are cloned once).
+pub trait IntoTrace {
+    /// Converts into a shared trace.
+    fn into_trace(self) -> Arc<Trace>;
+}
+
+impl IntoTrace for Trace {
+    fn into_trace(self) -> Arc<Trace> {
+        Arc::new(self)
+    }
+}
+
+impl IntoTrace for &Trace {
+    fn into_trace(self) -> Arc<Trace> {
+        Arc::new(self.clone())
+    }
+}
+
+impl IntoTrace for Arc<Trace> {
+    fn into_trace(self) -> Arc<Trace> {
+        self
+    }
+}
+
+impl IntoTrace for &Arc<Trace> {
+    fn into_trace(self) -> Arc<Trace> {
+        Arc::clone(self)
+    }
+}
+
+/// One fully specified experiment cell, ready to run (or to be multiplied
+/// into a [`Sweep`](crate::Sweep)).
+#[derive(Clone)]
+pub struct Experiment {
+    trace: Arc<Trace>,
+    scheduler: Arc<dyn Scheduler>,
+    sim: SimConfig,
+}
+
+impl Experiment {
+    /// Starts describing an experiment. The builder begins from the
+    /// paper's defaults (1,500 nodes, Google cutoff, exact estimates,
+    /// paper network model, free central decisions).
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// The trace this cell runs.
+    pub fn trace(&self) -> &Arc<Trace> {
+        &self.trace
+    }
+
+    /// The scheduling policy.
+    pub fn scheduler(&self) -> &Arc<dyn Scheduler> {
+        &self.scheduler
+    }
+
+    /// The policy-independent simulation parameters.
+    pub fn sim(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// This cell with a different seed (cheap: trace and scheduler are
+    /// shared).
+    pub fn with_seed(&self, seed: u64) -> Experiment {
+        let mut cell = self.clone();
+        cell.sim.seed = seed;
+        cell
+    }
+
+    /// Runs the cell to completion. Deterministic: the same cell produces
+    /// bit-identical reports.
+    pub fn run(&self) -> MetricsReport {
+        Driver::with_scheduler(&self.trace, Arc::clone(&self.scheduler), &self.sim).run()
+    }
+
+    /// Like [`Experiment::run`], but also returns the (possibly
+    /// misestimated) per-job estimates the driver actually used (§4.8).
+    pub fn run_with_estimates(&self) -> (MetricsReport, JobEstimates) {
+        Driver::with_scheduler(&self.trace, Arc::clone(&self.scheduler), &self.sim)
+            .run_with_estimates()
+    }
+}
+
+/// Fluent description of an experiment cell; see [`Experiment::builder`].
 ///
-/// Deterministic: the same inputs produce bit-identical reports.
-///
-/// # Examples
-///
-/// ```
-/// use hawk_core::{run_experiment, ExperimentConfig, SchedulerConfig, compare};
-/// use hawk_workload::motivation::MotivationConfig;
-/// use hawk_workload::JobClass;
-///
-/// let trace = MotivationConfig {
-///     jobs: 30,
-///     short_tasks: 4,
-///     long_tasks: 16,
-///     ..Default::default()
-/// }
-/// .generate(7);
-///
-/// let base = ExperimentConfig { nodes: 64, ..ExperimentConfig::default() };
-/// let hawk = run_experiment(
-///     &trace,
-///     &ExperimentConfig { scheduler: SchedulerConfig::hawk(0.17), ..base.clone() },
-/// );
-/// let sparrow = run_experiment(
-///     &trace,
-///     &ExperimentConfig { scheduler: SchedulerConfig::sparrow(), ..base },
-/// );
-/// let cmp = compare(&hawk, &sparrow, JobClass::Short);
-/// assert!(cmp.p50_ratio.is_some());
-/// ```
+/// Cloning a builder is cheap (the trace and scheduler are shared), which
+/// is how one base configuration fans out into many cells.
+#[derive(Clone, Default)]
+pub struct ExperimentBuilder {
+    trace: Option<Arc<Trace>>,
+    scheduler: Option<Arc<dyn Scheduler>>,
+    sim: SimConfig,
+}
+
+impl ExperimentBuilder {
+    /// Sets the cluster size in servers.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.sim.nodes = nodes;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn scheduler(mut self, scheduler: impl Scheduler + 'static) -> Self {
+        self.scheduler = Some(Arc::new(scheduler));
+        self
+    }
+
+    /// Sets an already-shared scheduling policy (no re-wrapping).
+    pub fn scheduler_shared(mut self, scheduler: Arc<dyn Scheduler>) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Sets the trace.
+    pub fn trace(mut self, trace: impl IntoTrace) -> Self {
+        self.trace = Some(trace.into_trace());
+        self
+    }
+
+    /// Generates the trace from a [`TraceSource`] with `trace_seed`.
+    pub fn trace_from(mut self, source: &impl TraceSource, trace_seed: u64) -> Self {
+        self.trace = Some(Arc::new(source.generate_trace(trace_seed)));
+        self
+    }
+
+    /// Sets the short/long cutoff on estimated task runtime (§3.3).
+    pub fn cutoff(mut self, cutoff: Cutoff) -> Self {
+        self.sim.cutoff = cutoff;
+        self
+    }
+
+    /// Enables the §4.8 estimation-error model.
+    pub fn misestimate(mut self, range: MisestimateRange) -> Self {
+        self.sim.misestimate = Some(range);
+        self
+    }
+
+    /// Sets or clears the estimation-error model.
+    pub fn misestimate_opt(mut self, range: Option<MisestimateRange>) -> Self {
+        self.sim.misestimate = range;
+        self
+    }
+
+    /// Sets the network delay model.
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.sim.network = network;
+        self
+    }
+
+    /// Sets the centralized-scheduler decision cost (default: free, as in
+    /// the paper's simulator).
+    pub fn central_overhead(mut self, overhead: CentralOverhead) -> Self {
+        self.sim.central_overhead = overhead;
+        self
+    }
+
+    /// Sets the utilization sampling interval (paper: 100 s).
+    pub fn util_interval(mut self, interval: SimDuration) -> Self {
+        self.sim.util_interval = interval;
+        self
+    }
+
+    /// Sets the RNG seed for probe placement, stealing and misestimation.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim.seed = seed;
+        self
+    }
+
+    /// The simulation parameters accumulated so far.
+    pub fn sim(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// The trace, if one was set.
+    pub fn trace_ref(&self) -> Option<&Arc<Trace>> {
+        self.trace.as_ref()
+    }
+
+    /// The scheduler, if one was set.
+    pub fn scheduler_ref(&self) -> Option<&Arc<dyn Scheduler>> {
+        self.scheduler.as_ref()
+    }
+
+    /// Finalizes the cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no trace or no scheduler was provided.
+    pub fn build(self) -> Experiment {
+        Experiment {
+            trace: self.trace.expect("Experiment::builder() needs .trace(..)"),
+            scheduler: self
+                .scheduler
+                .expect("Experiment::builder() needs .scheduler(..)"),
+            sim: self.sim,
+        }
+    }
+
+    /// Builds and runs the cell in one call.
+    pub fn run(self) -> MetricsReport {
+        self.build().run()
+    }
+
+    /// Starts a [`Sweep`](crate::Sweep) from this base configuration.
+    pub fn sweep(self) -> crate::Sweep {
+        crate::Sweep::over(self)
+    }
+}
+
+/// Runs one experiment cell under the legacy configuration record.
+#[deprecated(since = "0.2.0", note = "use `Experiment::builder()`")]
 pub fn run_experiment(trace: &Trace, cfg: &ExperimentConfig) -> MetricsReport {
     Driver::new(trace, cfg).run()
 }
 
-/// Like [`run_experiment`], but also returns the (possibly misestimated)
-/// per-job estimates the scheduler used — handy for analyses that need to
-/// know how jobs were classified during the run (§4.8).
+/// Like `run_experiment`, but also returns the per-job estimates the
+/// driver used (§4.8).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Experiment::builder()` and `Experiment::run_with_estimates`"
+)]
 pub fn run_experiment_with_estimates(
     trace: &Trace,
     cfg: &ExperimentConfig,
 ) -> (MetricsReport, JobEstimates) {
-    use hawk_simcore::SimRng;
-    // Reproduce the driver's estimate derivation (same seed stream).
-    let mut root = SimRng::seed_from_u64(cfg.seed);
-    let mut estimate_rng = root.split();
-    let estimates = match cfg.misestimate {
-        Some(range) => JobEstimates::misestimated(trace, range, &mut estimate_rng),
-        None => JobEstimates::exact(trace),
-    };
-    (run_experiment(trace, cfg), estimates)
+    Driver::new(trace, cfg).run_with_estimates()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SchedulerConfig;
     use crate::metrics::compare;
-    use hawk_workload::classify::MisestimateRange;
+    use crate::scheduler::{Hawk, Sparrow};
     use hawk_workload::motivation::MotivationConfig;
     use hawk_workload::JobClass;
 
@@ -81,14 +292,13 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let trace = small_motivation();
-        let cfg = ExperimentConfig {
-            nodes: 128,
-            scheduler: SchedulerConfig::hawk(0.17),
-            ..ExperimentConfig::default()
-        };
-        let a = run_experiment(&trace, &cfg);
-        let b = run_experiment(&trace, &cfg);
+        let cell = Experiment::builder()
+            .nodes(128)
+            .scheduler(Hawk::new(0.17))
+            .trace(small_motivation())
+            .build();
+        let a = cell.run();
+        let b = cell.run();
         assert_eq!(a.results, b.results);
         assert_eq!(a.steals, b.steals);
         assert_eq!(a.events, b.events);
@@ -96,37 +306,55 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let trace = small_motivation();
-        let base = ExperimentConfig {
-            nodes: 128,
-            scheduler: SchedulerConfig::sparrow(),
-            ..ExperimentConfig::default()
-        };
-        let a = run_experiment(&trace, &base);
-        let b = run_experiment(
-            &trace,
-            &ExperimentConfig {
-                seed: base.seed + 1,
-                ..base.clone()
-            },
-        );
+        let base = Experiment::builder()
+            .nodes(128)
+            .scheduler(Sparrow::new())
+            .trace(small_motivation())
+            .build();
+        let a = base.run();
+        let b = base.with_seed(base.sim().seed + 1).run();
         // Probe placement differs, so at least one runtime should differ.
         assert_ne!(a.results, b.results);
     }
 
     #[test]
     fn estimates_returned_match_run() {
+        let cell = Experiment::builder()
+            .nodes(128)
+            .scheduler(Hawk::new(0.17))
+            .trace(small_motivation())
+            .misestimate(MisestimateRange::symmetric(0.5))
+            .build();
+        let (report, estimates) = cell.run_with_estimates();
+        for r in &report.results {
+            assert_eq!(r.scheduled_class, estimates.class(r.job, cell.sim().cutoff));
+        }
+    }
+
+    #[test]
+    fn legacy_shim_matches_builder() {
+        #![allow(deprecated)]
+        use crate::config::SchedulerConfig;
         let trace = small_motivation();
         let cfg = ExperimentConfig {
             nodes: 128,
             scheduler: SchedulerConfig::hawk(0.17),
-            misestimate: Some(MisestimateRange::symmetric(0.5)),
             ..ExperimentConfig::default()
         };
-        let (report, estimates) = run_experiment_with_estimates(&trace, &cfg);
-        for r in &report.results {
-            assert_eq!(r.scheduled_class, estimates.class(r.job, cfg.cutoff));
+        let legacy = run_experiment(&trace, &cfg);
+        let (with_est, estimates) = run_experiment_with_estimates(&trace, &cfg);
+        assert_eq!(legacy.results, with_est.results);
+        // Exact estimates: every job estimate equals its mean duration.
+        for job in trace.jobs() {
+            assert_eq!(estimates.estimate(job.id), job.mean_task_duration());
         }
+
+        let builder = Experiment::builder()
+            .nodes(128)
+            .scheduler(Hawk::new(0.17))
+            .trace(&trace)
+            .run();
+        assert_eq!(legacy.results, builder.results);
     }
 
     #[test]
@@ -141,29 +369,43 @@ mod tests {
             ..Default::default()
         }
         .generate(11);
-        let base = ExperimentConfig {
-            nodes: 150,
-            ..ExperimentConfig::default()
-        };
-        let hawk = run_experiment(
-            &trace,
-            &ExperimentConfig {
-                scheduler: SchedulerConfig::hawk(0.17),
-                ..base.clone()
-            },
-        );
-        let sparrow = run_experiment(
-            &trace,
-            &ExperimentConfig {
-                scheduler: SchedulerConfig::sparrow(),
-                ..base
-            },
-        );
+        let base = Experiment::builder().nodes(150).trace(trace);
+        let hawk = base.clone().scheduler(Hawk::new(0.17)).run();
+        let sparrow = base.scheduler(Sparrow::new()).run();
         let cmp = compare(&hawk, &sparrow, JobClass::Short);
         let p90 = cmp.p90_ratio.expect("short jobs exist");
         assert!(
             p90 < 1.0,
             "Hawk should beat Sparrow for short jobs under load: p90 ratio {p90}"
         );
+    }
+
+    #[test]
+    fn trace_from_source_generates() {
+        let source = MotivationConfig {
+            jobs: 10,
+            short_tasks: 2,
+            long_tasks: 4,
+            ..Default::default()
+        };
+        let cell = Experiment::builder()
+            .trace_from(&source, 5)
+            .nodes(16)
+            .scheduler(Sparrow::new())
+            .build();
+        assert_eq!(cell.trace().len(), 10);
+        assert_eq!(cell.run().results.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs .trace")]
+    fn builder_requires_a_trace() {
+        let _ = Experiment::builder().scheduler(Sparrow::new()).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs .scheduler")]
+    fn builder_requires_a_scheduler() {
+        let _ = Experiment::builder().trace(small_motivation()).build();
     }
 }

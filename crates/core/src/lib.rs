@@ -1,31 +1,38 @@
-//! The Hawk hybrid scheduler and the baselines it is evaluated against.
+//! The Hawk hybrid scheduler, its baselines, and the experiment API that
+//! runs them.
 //!
 //! This crate implements the paper's primary contribution — the hybrid
 //! centralized/distributed scheduler of §3 — together with every scheduler
 //! the evaluation compares it to, all running on the simulated cluster
-//! substrate from [`hawk_cluster`]:
+//! substrate from [`hawk_cluster`]. It is organized around two
+//! abstractions:
 //!
-//! * **Hawk** (§3): long jobs scheduled by a centralized waiting-time
-//!   scheduler restricted to the general partition; short jobs scheduled
-//!   Sparrow-style over the whole cluster; randomized work stealing
-//!   rescues short tasks blocked behind long ones. Ablation switches
-//!   disable each component individually (Figure 7).
-//! * **Sparrow** (§2.3, \[14\]): fully distributed batch probing with late
-//!   binding, probe ratio 2.
-//! * **Fully centralized** (§4.5): the §3.7 algorithm applied to every job
-//!   over the whole cluster.
-//! * **Split cluster** (§4.6): disjoint partitions; long jobs centralized
-//!   on the long partition, short jobs probed only at the short partition.
+//! * **The [`Scheduler`] trait** ([`scheduler`] module) — a pluggable
+//!   policy description: routing per job class, probe placement, steal
+//!   capability and victim choice, probe bouncing. The paper's policies
+//!   are trait impls composed from reusable parts:
+//!   [`Hawk`](scheduler::Hawk) (with its Figure 7 ablations as one-liner
+//!   variants), [`Sparrow`](scheduler::Sparrow),
+//!   [`Centralized`](scheduler::Centralized) and
+//!   [`SplitCluster`](scheduler::SplitCluster). The [`Driver`] is a
+//!   policy-agnostic event loop: new schedulers plug in without driver
+//!   changes (see `examples/power_of_d.rs`).
+//! * **The [`Experiment`] builder and [`Sweep`] runner** — a fluent API
+//!   describing one evaluation cell (trace + scheduler + cluster size +
+//!   settings) or a whole grid of them. [`Sweep::run_all`] executes
+//!   independent cells in parallel and returns a typed result grid;
+//!   results are bit-identical to sequential runs.
 //!
-//! [`run_experiment`] executes one `(trace, scheduler, cluster size)` cell
-//! and returns a [`MetricsReport`] with per-job runtimes and utilization
-//! series; [`compare`] computes the paper's normalized metrics.
+//! [`compare`] computes the paper's normalized metrics from two
+//! [`MetricsReport`]s.
 //!
 //! # Quick start
 //!
 //! ```
-//! use hawk_core::{run_experiment, ExperimentConfig, SchedulerConfig};
+//! use hawk_core::{compare, Experiment};
+//! use hawk_core::scheduler::{Hawk, Sparrow};
 //! use hawk_workload::motivation::MotivationConfig;
+//! use hawk_workload::JobClass;
 //!
 //! // A small §2.3-style workload on a small cluster.
 //! let trace = MotivationConfig {
@@ -36,13 +43,19 @@
 //! }
 //! .generate(1);
 //!
-//! let cfg = ExperimentConfig {
-//!     nodes: 100,
-//!     scheduler: SchedulerConfig::hawk(0.17),
-//!     ..ExperimentConfig::default()
-//! };
-//! let report = run_experiment(&trace, &cfg);
-//! assert_eq!(report.results.len(), trace.len());
+//! // One builder, two cells, run in parallel.
+//! let results = Experiment::builder()
+//!     .nodes(100)
+//!     .trace(trace)
+//!     .sweep()
+//!     .scheduler(Hawk::new(0.17))
+//!     .scheduler(Sparrow::new())
+//!     .run_all();
+//!
+//! let hawk = results.get("hawk", 100).unwrap();
+//! let sparrow = results.get("sparrow", 100).unwrap();
+//! let cmp = compare(hawk, sparrow, JobClass::Short);
+//! assert!(cmp.p50_ratio.is_some());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -54,12 +67,21 @@ mod distributed;
 mod driver;
 mod experiment;
 pub mod metrics;
+pub mod scheduler;
 mod steal_policy;
+mod sweep;
 
 pub use centralized::CentralScheduler;
-pub use config::{CentralOverhead, ExperimentConfig, Route, SchedulerConfig, Scope, DEFAULT_SEED};
+pub use config::{
+    CentralOverhead, ExperimentConfig, Route, SchedulerConfig, Scope, SimConfig, DEFAULT_SEED,
+};
 pub use distributed::ProbePlanner;
 pub use driver::{Driver, Event};
-pub use experiment::{run_experiment, run_experiment_with_estimates};
+pub use experiment::{Experiment, ExperimentBuilder, IntoTrace};
 pub use metrics::{compare, ClassSummary, Comparison, JobResult, MetricsReport};
+pub use scheduler::{PlacementView, Scheduler, StealSpec};
 pub use steal_policy::StealPolicy;
+pub use sweep::{CellResult, Sweep, SweepResults};
+
+#[allow(deprecated)]
+pub use experiment::{run_experiment, run_experiment_with_estimates};

@@ -43,8 +43,8 @@ impl JobResult {
 /// Everything measured in one experiment run.
 #[derive(Debug, Clone, Serialize)]
 pub struct MetricsReport {
-    /// Scheduler name (from the config).
-    pub scheduler: &'static str,
+    /// Scheduler name (from [`Scheduler::name`](crate::Scheduler::name)).
+    pub scheduler: String,
     /// Cluster size.
     pub nodes: usize,
     /// Per-job outcomes, indexed by job id.
@@ -208,7 +208,7 @@ mod tests {
 
     fn report(results: Vec<JobResult>) -> MetricsReport {
         MetricsReport {
-            scheduler: "test",
+            scheduler: "test".to_string(),
             nodes: 10,
             results,
             median_utilization: 0.5,

@@ -5,10 +5,10 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
 use hawk_workload::classify::Cutoff;
 use hawk_workload::{JobClass, JobId, Trace};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Mutex;
 
 use crate::msg::{CentralMsg, DistMsg, WorkerMsg};
 use crate::report::{ProtoJobResult, ProtoReport};
@@ -97,12 +97,12 @@ pub fn run_prototype(trace: &Trace, cfg: &ProtoConfig) -> ProtoReport {
 
     // Channels first, so every thread starts with the full routing table.
     let (worker_txs, worker_rxs): (Vec<_>, Vec<_>) =
-        (0..cfg.workers).map(|_| unbounded::<WorkerMsg>()).unzip();
+        (0..cfg.workers).map(|_| channel::<WorkerMsg>()).unzip();
     let (dsched_txs, dsched_rxs): (Vec<_>, Vec<_>) = (0..cfg.dist_schedulers)
-        .map(|_| unbounded::<DistMsg>())
+        .map(|_| channel::<DistMsg>())
         .unzip();
-    let (central_tx, central_rx) = unbounded::<CentralMsg>();
-    let (done_tx, done_rx) = unbounded::<(JobId, Instant)>();
+    let (central_tx, central_rx) = channel::<CentralMsg>();
+    let (done_tx, done_rx) = channel::<(JobId, Instant)>();
 
     let topo = Topology {
         workers: Arc::new(worker_txs),
@@ -151,7 +151,7 @@ pub fn run_prototype(trace: &Trace, cfg: &ProtoConfig) -> ProtoReport {
             while !stop.load(Ordering::Relaxed) {
                 thread::sleep(interval);
                 let u = running.load(Ordering::Relaxed) as f64 / workers;
-                samples.lock().push(u);
+                samples.lock().expect("sampler lock").push(u);
             }
         })
     };
@@ -234,7 +234,7 @@ pub fn run_prototype(trace: &Trace, cfg: &ProtoConfig) -> ProtoReport {
             }
         })
         .collect();
-    let samples = samples.lock().clone();
+    let samples = samples.lock().expect("sampler lock").clone();
     ProtoReport {
         jobs,
         utilization_samples: samples,
@@ -255,10 +255,7 @@ mod tests {
             .map(|(i, (at_ms, task_ms))| Job {
                 id: JobId(i as u32),
                 submission: SimTime::from_micros(at_ms * 1_000),
-                tasks: task_ms
-                    .into_iter()
-                    .map(|ms| SimDuration::from_millis(ms))
-                    .collect(),
+                tasks: task_ms.into_iter().map(SimDuration::from_millis).collect(),
                 generated_class: None,
             })
             .collect();

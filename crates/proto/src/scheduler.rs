@@ -3,9 +3,9 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
 use hawk_simcore::{IndexedMinHeap, SimRng};
 use hawk_workload::{JobClass, JobId};
+use std::sync::mpsc::{Receiver, Sender};
 
 use crate::msg::{CentralMsg, DistMsg, ProtoTask, TaskOrigin, WorkerMsg};
 use crate::runtime::Topology;

@@ -14,8 +14,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError};
 use hawk_simcore::SimRng;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 
 use crate::msg::{CentralMsg, DistMsg, Entry, ProtoTask, TaskOrigin, WorkerMsg};
 use crate::runtime::Topology;

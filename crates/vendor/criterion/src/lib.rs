@@ -1,0 +1,294 @@
+//! Offline miniature stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `throughput` / `sample_size`, `bench_function` / `bench_with_input`,
+//! and `Bencher::iter`. Timing is plain wall-clock sampling with a short
+//! warm-up; each benchmark reports mean and minimum time per iteration
+//! (and throughput when configured). No statistical analysis or HTML
+//! reports — run the real criterion for those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, forwarding to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of one benchmark, reported alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs the timed closure of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    result: Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Times `f`: warms up, then takes timed samples and records the mean
+    /// and minimum per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration estimate.
+        let start = Instant::now();
+        black_box(f());
+        let mut est = start.elapsed().max(Duration::from_nanos(1));
+        // For fast bodies, batch iterations so each sample is >= ~5 ms.
+        let batch = (Duration::from_millis(5).as_nanos() / est.as_nanos()).clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed() / batch as u32;
+            total += dt;
+            min = min.min(dt);
+        }
+        est = total / self.samples as u32;
+        self.result = Some(Sample { mean: est, min });
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the declared throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        self.report(&id, b.result);
+        self
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        self.report(&id, b.result);
+        self
+    }
+
+    /// Ends the group (formatting only in this stand-in).
+    pub fn finish(self) {
+        println!();
+    }
+
+    fn report(&mut self, id: &BenchmarkId, result: Option<Sample>) {
+        let full = format!("{}/{}", self.name, id);
+        match result {
+            Some(s) => {
+                let mut line = format!(
+                    "{full:<60} mean {:>12} min {:>12}",
+                    fmt_duration(s.mean),
+                    fmt_duration(s.min)
+                );
+                if let Some(tp) = self.throughput {
+                    let per_sec = |n: u64| n as f64 / s.mean.as_secs_f64();
+                    match tp {
+                        Throughput::Elements(n) => {
+                            line.push_str(&format!("  {:>14.0} elem/s", per_sec(n)));
+                        }
+                        Throughput::Bytes(n) => {
+                            line.push_str(&format!("  {:>14.0} B/s", per_sec(n)));
+                        }
+                    }
+                }
+                println!("{line}");
+            }
+            None => println!("{full:<60} (no measurement)"),
+        }
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    benchmarks_run: usize,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            benchmarks_run: 0,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.default_sample_size;
+        println!("== group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: 3,
+            result: None,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        let s = b.result.expect("sample recorded");
+        assert!(s.min <= s.mean);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("push", 42).to_string(), "push/42");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .throughput(Throughput::Elements(10))
+            .bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("with_input", 5), &5u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert_eq!(c.benchmarks_run, 2);
+    }
+}

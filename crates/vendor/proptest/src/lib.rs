@@ -1,0 +1,418 @@
+//! Offline miniature stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! deterministic random case generation through the [`Strategy`] trait
+//! (ranges, tuples, `vec`, [`Just`](strategy::Just), `prop_map`,
+//! `prop_oneof!`), the [`proptest!`] test macro with an optional
+//! `#![proptest_config(..)]` header, and panic-based `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with its case number; cases
+//!   are generated from a seed derived deterministically from the test
+//!   name and case index, so any failure replays exactly.
+//! * Case count comes from [`ProptestConfig::with_cases`] or the
+//!   `PROPTEST_CASES` environment variable (default 256).
+
+/// The per-test configuration (case count only).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator state for one test case (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the RNG for `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be non-zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies (the mini [`Strategy`] trait and its
+    //! combinators).
+
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Generates values of an associated type from a [`TestRng`].
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy as a trait object (used by `prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`; must be non-empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.index(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+        )+};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for Range<i64> {
+        type Value = i64;
+        fn generate(&self, rng: &mut TestRng) -> i64 {
+            assert!(self.start < self.end, "empty strategy range");
+            let span = self.end.wrapping_sub(self.start) as u64;
+            self.start.wrapping_add((rng.next_u64() % span) as i64)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// A strategy generating `Vec`s with a length drawn from `len` and
+    /// elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` strategy over `element` with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Prints the failing case number when a test body panics, so the case can
+/// be replayed (generation is deterministic in the test name and index).
+pub struct CaseGuard {
+    /// Test name (for the failure report).
+    pub name: &'static str,
+    /// Case index.
+    pub case: u64,
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest (vendored mini): test `{}` failed at case {} — \
+                 cases are deterministic in (test name, case index)",
+                self.name, self.case
+            );
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual single-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{ProptestConfig, TestRng};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)+) => { assert!($($tt)+) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)+) => { assert_eq!($($tt)+) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)+) => { assert_ne!($($tt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Declares property tests: each `arg in strategy` binding is regenerated
+/// for every case and the body re-runs `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                let _guard = $crate::CaseGuard { name: stringify!($name), case };
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u64..10, y in 0.25f64..0.75, z in 1usize..4) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((1..4).contains(&z));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in crate::collection::vec((0u32..3, any::<bool>()), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (n, _b) in v {
+                prop_assert!(n < 3);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u64), (10u64..20).prop_map(|v| v * 2)]) {
+            prop_assert!(x == 1 || (20..40).contains(&x));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

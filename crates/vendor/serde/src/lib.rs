@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait and derive names so that
+//! `#[derive(Serialize, Deserialize)]` compiles without the real crate.
+//! The traits are blanket-implemented for every type and carry no methods;
+//! nothing in this workspace serializes through serde (trace JSON is
+//! hand-rolled in `hawk-workload`). See `crates/vendor/README.md`.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -252,10 +252,15 @@ impl Trace {
     }
 
     /// Serializes to JSON Lines, one job per line.
+    ///
+    /// The format is the natural serde_json encoding of [`Job`]
+    /// (`{"id":0,"submission":µs,"tasks":[µs,…],"generated_class":null}`),
+    /// but is produced by a hand-rolled encoder so the trace format works
+    /// without external crates.
     pub fn to_json_lines(&self) -> String {
         let mut out = String::new();
         for job in &self.jobs {
-            out.push_str(&serde_json::to_string(job).expect("job serializes"));
+            json::write_job(&mut out, job);
             out.push('\n');
         }
         out
@@ -264,12 +269,14 @@ impl Trace {
     /// Parses a trace from JSON Lines produced by [`Trace::to_json_lines`].
     pub fn from_json_lines(text: &str) -> Result<Self, Box<dyn std::error::Error>> {
         let mut jobs = Vec::new();
-        for line in text.lines() {
+        for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
             }
-            jobs.push(serde_json::from_str::<Job>(line)?);
+            jobs.push(
+                json::parse_job(line).map_err(|e| format!("trace line {}: {e}", lineno + 1))?,
+            );
         }
         Ok(Trace::new(jobs)?)
     }
@@ -290,6 +297,247 @@ impl Trace {
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, Box<dyn std::error::Error>> {
         let text = std::fs::read_to_string(path)?;
         Self::from_json_lines(&text)
+    }
+}
+
+mod json {
+    //! Minimal JSON encoding of [`Job`] for the JSON Lines trace format.
+    //!
+    //! The schema is fixed and flat, so a purpose-built scanner is simpler
+    //! and faster than a generic JSON parser — and it keeps the on-disk
+    //! trace format independent of external crates.
+
+    use super::{Job, JobClass, JobId};
+    use hawk_simcore::{SimDuration, SimTime};
+
+    pub(super) fn write_job(out: &mut String, job: &Job) {
+        use std::fmt::Write;
+        write!(
+            out,
+            "{{\"id\":{},\"submission\":{},\"tasks\":[",
+            job.id.0,
+            job.submission.as_micros()
+        )
+        .expect("writing to String cannot fail");
+        for (i, t) in job.tasks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "{}", t.as_micros()).expect("writing to String cannot fail");
+        }
+        let class = match job.generated_class {
+            None => "null".to_string(),
+            Some(JobClass::Short) => "\"Short\"".to_string(),
+            Some(JobClass::Long) => "\"Long\"".to_string(),
+        };
+        write!(out, "],\"generated_class\":{class}}}").expect("writing to String cannot fail");
+    }
+
+    pub(super) fn parse_job(line: &str) -> Result<Job, String> {
+        let mut p = Parser { rest: line };
+        p.expect('{')?;
+        let mut id = None;
+        let mut submission = None;
+        let mut tasks = None;
+        let mut generated_class = None;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "id" => id = Some(p.number()? as u32),
+                "submission" => submission = Some(SimTime::from_micros(p.number()?)),
+                "tasks" => {
+                    let mut v = Vec::new();
+                    p.expect('[')?;
+                    if !p.eat(']') {
+                        loop {
+                            v.push(SimDuration::from_micros(p.number()?));
+                            if p.eat(']') {
+                                break;
+                            }
+                            p.expect(',')?;
+                        }
+                    }
+                    tasks = Some(v);
+                }
+                "generated_class" => {
+                    generated_class = if p.eat_word("null") {
+                        Some(None)
+                    } else {
+                        match p.string()?.as_str() {
+                            "Short" => Some(Some(JobClass::Short)),
+                            "Long" => Some(Some(JobClass::Long)),
+                            other => return Err(format!("unknown job class {other:?}")),
+                        }
+                    };
+                }
+                // Unknown fields are skipped, as serde_json's derived
+                // deserializer did before this codec replaced it.
+                _ => p.skip_value()?,
+            }
+            if p.eat('}') {
+                break;
+            }
+            p.expect(',')?;
+        }
+        p.end()?;
+        Ok(Job {
+            id: JobId(id.ok_or("missing field `id`")?),
+            submission: submission.ok_or("missing field `submission`")?,
+            tasks: tasks.ok_or("missing field `tasks`")?,
+            generated_class: generated_class.ok_or("missing field `generated_class`")?,
+        })
+    }
+
+    struct Parser<'a> {
+        rest: &'a str,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            self.rest = self.rest.trim_start();
+        }
+
+        fn eat(&mut self, c: char) -> bool {
+            self.skip_ws();
+            if let Some(r) = self.rest.strip_prefix(c) {
+                self.rest = r;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn eat_word(&mut self, word: &str) -> bool {
+            self.skip_ws();
+            if let Some(r) = self.rest.strip_prefix(word) {
+                self.rest = r;
+                true
+            } else {
+                false
+            }
+        }
+
+        fn expect(&mut self, c: char) -> Result<(), String> {
+            if self.eat(c) {
+                Ok(())
+            } else {
+                Err(format!("expected {c:?} at {:?}", self.head()))
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect('"')?;
+            match self.rest.find('"') {
+                Some(end) => {
+                    let s = &self.rest[..end];
+                    if s.contains('\\') {
+                        return Err("escape sequences are not supported".into());
+                    }
+                    self.rest = &self.rest[end + 1..];
+                    Ok(s.to_string())
+                }
+                None => Err("unterminated string".into()),
+            }
+        }
+
+        /// Skips one string, allowing escape sequences (unlike
+        /// [`Parser::string`], which only reads the codec's own
+        /// escape-free keys and values).
+        fn skip_string(&mut self) -> Result<(), String> {
+            self.expect('"')?;
+            let mut escaped = false;
+            for (i, c) in self.rest.char_indices() {
+                match c {
+                    _ if escaped => escaped = false,
+                    '\\' => escaped = true,
+                    '"' => {
+                        self.rest = &self.rest[i + 1..];
+                        return Ok(());
+                    }
+                    _ => {}
+                }
+            }
+            Err("unterminated string".into())
+        }
+
+        /// Skips one JSON value of any shape (the payload of an unknown
+        /// field).
+        fn skip_value(&mut self) -> Result<(), String> {
+            self.skip_ws();
+            if self.rest.starts_with('"') {
+                self.skip_string()
+            } else if self.eat('[') {
+                if self.eat(']') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    if self.eat(']') {
+                        return Ok(());
+                    }
+                    self.expect(',')?;
+                }
+            } else if self.eat('{') {
+                if self.eat('}') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.skip_string()?;
+                    self.expect(':')?;
+                    self.skip_value()?;
+                    if self.eat('}') {
+                        return Ok(());
+                    }
+                    self.expect(',')?;
+                }
+            } else if self.eat_word("null") || self.eat_word("true") || self.eat_word("false") {
+                Ok(())
+            } else {
+                // Number (possibly signed/fractional/exponent).
+                let len = self.rest.len()
+                    - self
+                        .rest
+                        .trim_start_matches(|c: char| {
+                            c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                        })
+                        .len();
+                if len == 0 {
+                    return Err(format!("expected a JSON value at {:?}", self.head()));
+                }
+                self.rest = &self.rest[len..];
+                Ok(())
+            }
+        }
+
+        fn number(&mut self) -> Result<u64, String> {
+            self.skip_ws();
+            let digits = self.rest.len()
+                - self
+                    .rest
+                    .trim_start_matches(|c: char| c.is_ascii_digit())
+                    .len();
+            if digits == 0 {
+                return Err(format!("expected a number at {:?}", self.head()));
+            }
+            let (num, rest) = self.rest.split_at(digits);
+            self.rest = rest;
+            num.parse().map_err(|e| format!("bad number {num:?}: {e}"))
+        }
+
+        fn end(&mut self) -> Result<(), String> {
+            self.skip_ws();
+            if self.rest.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("trailing input: {:?}", self.head()))
+            }
+        }
+
+        fn head(&self) -> &str {
+            &self.rest[..self.rest.len().min(20)]
+        }
     }
 }
 
@@ -358,6 +606,35 @@ mod tests {
         let text = t.to_json_lines();
         let back = Trace::from_json_lines(&text).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn json_lines_ignores_unknown_fields() {
+        // serde_json's derived deserializer ignored unknown fields; the
+        // hand-rolled codec must keep accepting annotated traces,
+        // including annotations containing escape sequences.
+        let line =
+            "{\"id\":0,\"submission\":5,\"note\":\"say \\\"hi\\\"\",\"meta\":{\"a\":[1,-2.5e3,true]},\
+                    \"tasks\":[1000000],\"generated_class\":null}";
+        let t = Trace::from_json_lines(line).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.job(JobId(0)).tasks, vec![SimDuration::from_secs(1)]);
+    }
+
+    #[test]
+    fn json_lines_rejects_malformed_input() {
+        assert!(Trace::from_json_lines("{\"id\":0").is_err());
+        assert!(Trace::from_json_lines("not json").is_err());
+        assert!(Trace::from_json_lines("{\"id\":0,\"submission\":0,\"tasks\":[x]}").is_err());
+    }
+
+    #[test]
+    fn json_lines_round_trips_generated_class() {
+        let mut j = job(0, 0, &[10]);
+        j.generated_class = Some(JobClass::Long);
+        let t = Trace::new(vec![j]).unwrap();
+        let back = Trace::from_json_lines(&t.to_json_lines()).unwrap();
+        assert_eq!(back.job(JobId(0)).generated_class, Some(JobClass::Long));
     }
 
     #[test]

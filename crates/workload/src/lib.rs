@@ -31,6 +31,8 @@ mod job;
 pub mod kmeans;
 pub mod motivation;
 pub mod sample;
+mod source;
 pub mod stats;
 
 pub use job::{Job, JobClass, JobId, Trace, TraceError};
+pub use source::TraceSource;

@@ -60,33 +60,27 @@ fn main() {
     );
     let short_fraction = (1.0 - stats.long_task_seconds_share).clamp(0.02, 0.5);
 
-    let base = ExperimentConfig {
-        nodes: 220,
-        cutoff: Cutoff::from_secs(600),
-        ..ExperimentConfig::default()
-    };
     println!(
         "\n{:<16} {:>12} {:>12} {:>12} {:>12}",
         "scheduler", "short p50", "short p90", "long p50", "long p90"
     );
-    for scheduler in [
-        SchedulerConfig::hawk(short_fraction),
-        SchedulerConfig::sparrow(),
-        SchedulerConfig::centralized(),
-        SchedulerConfig::split_cluster(short_fraction),
-    ] {
-        let report = run_experiment(
-            &trace,
-            &ExperimentConfig {
-                scheduler,
-                ..base.clone()
-            },
-        );
-        let s = report.summary(JobClass::Short);
-        let l = report.summary(JobClass::Long);
+    // All four schedulers on the handmade trace, in parallel.
+    let results = Experiment::builder()
+        .nodes(220)
+        .cutoff(Cutoff::from_secs(600))
+        .trace(&trace)
+        .sweep()
+        .scheduler(Hawk::new(short_fraction))
+        .scheduler(Sparrow::new())
+        .scheduler(Centralized::new())
+        .scheduler(SplitCluster::new(short_fraction))
+        .run_all();
+    for cell in results.iter() {
+        let s = cell.report.summary(JobClass::Short);
+        let l = cell.report.summary(JobClass::Long);
         println!(
             "{:<16} {:>11.1}s {:>11.1}s {:>11.1}s {:>11.1}s",
-            scheduler.name,
+            cell.scheduler,
             s.p50.unwrap_or(f64::NAN),
             s.p90.unwrap_or(f64::NAN),
             l.p50.unwrap_or(f64::NAN),

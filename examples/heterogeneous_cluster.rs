@@ -27,26 +27,24 @@ fn main() {
 
     println!("§2.3 scenario on {nodes} nodes: ideal short-job runtime is ~100 s\n");
 
-    for scheduler in [
-        SchedulerConfig::sparrow(),
-        SchedulerConfig::hawk(0.17),
-        SchedulerConfig::centralized(),
-    ] {
-        let report = run_experiment(
-            &trace,
-            &ExperimentConfig {
-                nodes,
-                scheduler,
-                ..ExperimentConfig::default()
-            },
-        );
+    // One sweep, three schedulers, all cells in parallel.
+    let results = Experiment::builder()
+        .nodes(nodes)
+        .trace(trace)
+        .sweep()
+        .scheduler(Sparrow::new())
+        .scheduler(Hawk::new(0.17))
+        .scheduler(Centralized::new())
+        .run_all();
+    for cell in results.iter() {
+        let report = &cell.report;
         let runtimes = report.runtimes(JobClass::Short);
         let p50 = percentile(&runtimes, 50.0).unwrap_or(f64::NAN);
         let p90 = percentile(&runtimes, 90.0).unwrap_or(f64::NAN);
         let blocked = runtimes.iter().filter(|&&r| r > 1_000.0).count();
         println!(
             "{:<12} short jobs: p50 {:>9.1}s  p90 {:>9.1}s  {:>3}/{} blocked >1000s  (median util {:.0}%)",
-            scheduler.name,
+            cell.scheduler,
             p50,
             p90,
             blocked,

@@ -1,5 +1,6 @@
-//! Quickstart: generate a heterogeneous trace, run Hawk and Sparrow on the
-//! same cluster, and print the paper's headline comparison.
+//! Quickstart: generate a heterogeneous trace, describe one experiment,
+//! fan it out over Hawk and Sparrow with a parallel sweep, and print the
+//! paper's headline comparison.
 //!
 //! Run with:
 //!
@@ -22,32 +23,23 @@ fn main() {
         trace.total_task_seconds().as_secs_f64(),
     );
 
-    // 1,500 nodes is the scaled version of the paper's high-load sweet
-    // spot (15,000 nodes in Figure 5).
-    let base = ExperimentConfig {
-        nodes: 1_500,
-        ..ExperimentConfig::default()
-    };
-
-    let hawk = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            scheduler: SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            ..base.clone()
-        },
-    );
-    let sparrow = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            scheduler: SchedulerConfig::sparrow(),
-            ..base
-        },
-    );
+    // One experiment description; 1,500 nodes is the scaled version of the
+    // paper's high-load sweet spot (15,000 nodes in Figure 5). The sweep
+    // multiplies it over two schedulers and runs both cells in parallel.
+    let results = Experiment::builder()
+        .nodes(1_500)
+        .trace(trace)
+        .sweep()
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+        .scheduler(Sparrow::new())
+        .run_all();
+    let hawk = results.get("hawk", 1_500).expect("hawk cell ran");
+    let sparrow = results.get("sparrow", 1_500).expect("sparrow cell ran");
 
     for class in [JobClass::Short, JobClass::Long] {
         let h = hawk.summary(class);
         let s = sparrow.summary(class);
-        let cmp = compare(&hawk, &sparrow, class);
+        let cmp = compare(hawk, sparrow, class);
         println!("\n{class} jobs ({}):", h.jobs);
         println!(
             "  Hawk    p50 {:>10.1}s   p90 {:>10.1}s",

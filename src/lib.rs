@@ -13,42 +13,48 @@
 //!
 //! * [`simcore`] — deterministic discrete-event simulation substrate
 //!   (clock, event queue, RNG, indexed heap, statistics).
-//! * [`workload`] — the trace model plus synthetic generators for every
-//!   workload in the paper's evaluation (Google 2011, Cloudera-b/c/d,
-//!   Facebook 2010, Yahoo 2011, and the §2.3 motivating scenario).
+//! * [`workload`] — the trace model, the [`TraceSource`](workload::TraceSource)
+//!   trait, and synthetic generators for every workload in the paper's
+//!   evaluation (Google 2011, Cloudera-b/c/d, Facebook 2010, Yahoo 2011,
+//!   and the §2.3 motivating scenario).
 //! * [`cluster`] — the simulated cluster: single-slot FIFO servers, late
 //!   binding, partitions, and the Figure 3 steal scan.
-//! * [`core`] — the Hawk scheduler, the Sparrow / fully-centralized /
-//!   split-cluster baselines, the simulation driver and metrics.
+//! * [`core`] — the pluggable [`Scheduler`](core::Scheduler) trait with
+//!   Hawk and the Sparrow / fully-centralized / split-cluster baselines as
+//!   policy impls, the policy-agnostic simulation driver, the fluent
+//!   [`Experiment`](core::Experiment) builder and the parallel
+//!   [`Sweep`](core::Sweep) runner, and the paper's metrics.
 //! * [`proto`] — a real-time multi-threaded prototype (threads + channels
 //!   + sleep tasks), the stand-in for the paper's Spark deployment.
 //!
 //! # Quick start
 //!
 //! ```
-//! use hawk::core::{compare, run_experiment, ExperimentConfig, SchedulerConfig};
-//! use hawk::workload::google::GoogleTraceConfig;
-//! use hawk::workload::JobClass;
+//! use hawk::prelude::*;
+//! use hawk::workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
 //!
-//! // A small Google-like trace on a 10×-scaled cluster.
-//! let trace = GoogleTraceConfig::with_scale(10, 400).generate(42);
+//! // A small Google-like trace on a 100×-scaled cluster, and one
+//! // experiment description fanned out over two schedulers — the cells
+//! // run in parallel.
+//! let trace = GoogleTraceConfig::with_scale(100, 400).generate(42);
+//! let results = Experiment::builder()
+//!     .nodes(150)
+//!     .trace(trace)
+//!     .sweep()
+//!     .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+//!     .scheduler(Sparrow::new())
+//!     .run_all();
 //!
-//! let base = ExperimentConfig { nodes: 1_500, ..ExperimentConfig::default() };
-//! let hawk = run_experiment(
-//!     &trace,
-//!     &ExperimentConfig { scheduler: SchedulerConfig::hawk(0.17), ..base.clone() },
-//! );
-//! let sparrow = run_experiment(
-//!     &trace,
-//!     &ExperimentConfig { scheduler: SchedulerConfig::sparrow(), ..base },
-//! );
-//!
-//! let short = compare(&hawk, &sparrow, JobClass::Short);
+//! let hawk = results.get("hawk", 150).unwrap();
+//! let sparrow = results.get("sparrow", 150).unwrap();
+//! let short = compare(hawk, sparrow, JobClass::Short);
 //! println!("short-job p90 ratio (Hawk/Sparrow): {:?}", short.p90_ratio);
 //! ```
 //!
-//! See `examples/` for runnable scenarios and `crates/bench/src/bin/` for
-//! the binaries regenerating every table and figure in the paper.
+//! See `examples/` for runnable scenarios (including `power_of_d`, a
+//! custom scheduler plugged in through the trait) and
+//! `crates/bench/src/bin/` for the binaries regenerating every table and
+//! figure in the paper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,12 +70,14 @@ pub mod prelude {
     pub use hawk_cluster::{
         Cluster, NetworkModel, Partition, QueueEntry, ServerId, StealGranularity, TaskSpec,
     };
+    pub use hawk_core::scheduler::{Centralized, Hawk, Sparrow, SplitCluster};
     pub use hawk_core::{
-        compare, run_experiment, CentralOverhead, CentralScheduler, Comparison, ExperimentConfig,
-        JobResult, MetricsReport, SchedulerConfig,
+        compare, CentralOverhead, CentralScheduler, Comparison, Experiment, ExperimentBuilder,
+        ExperimentConfig, JobResult, MetricsReport, PlacementView, Scheduler, SchedulerConfig,
+        SimConfig, StealSpec, Sweep, SweepResults,
     };
     pub use hawk_proto::{run_prototype, ProtoConfig, ProtoMode, ProtoReport};
     pub use hawk_simcore::{SimDuration, SimRng, SimTime};
     pub use hawk_workload::classify::{Cutoff, JobEstimates, MisestimateRange};
-    pub use hawk_workload::{Job, JobClass, JobId, Trace};
+    pub use hawk_workload::{Job, JobClass, JobId, Trace, TraceSource};
 }

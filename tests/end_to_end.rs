@@ -8,32 +8,20 @@ use hawk::workload::motivation::MotivationConfig;
 
 /// A small but genuinely loaded Google-like configuration (scaled 100×:
 /// 150 nodes ≈ the paper's 15,000-node high-load point).
-fn loaded_google() -> (Trace, ExperimentConfig) {
-    let trace = GoogleTraceConfig::with_scale(100, 800).generate(11);
-    let cfg = ExperimentConfig {
-        nodes: 150,
-        ..ExperimentConfig::default()
-    };
-    (trace, cfg)
+fn loaded_google() -> ExperimentBuilder {
+    Experiment::builder()
+        .nodes(150)
+        .trace(GoogleTraceConfig::with_scale(100, 800).generate(11))
 }
 
 #[test]
 fn headline_result_hawk_beats_sparrow_for_short_jobs_under_load() {
-    let (trace, base) = loaded_google();
-    let hawk = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            scheduler: SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            ..base.clone()
-        },
-    );
-    let sparrow = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            scheduler: SchedulerConfig::sparrow(),
-            ..base
-        },
-    );
+    let base = loaded_google();
+    let hawk = base
+        .clone()
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+        .run();
+    let sparrow = base.scheduler(Sparrow::new()).run();
     let short = compare(&hawk, &sparrow, JobClass::Short);
     assert!(
         short.p50_ratio.unwrap() < 0.8,
@@ -55,42 +43,27 @@ fn ablations_degrade_the_component_they_remove() {
     // The no-centralized effect needs the paper's ratio of long-job task
     // count to general-partition size, which survives 10× scaling but not
     // 100×; run this one at 1,500 nodes (the scaled 15,000-node point).
-    let trace = GoogleTraceConfig::with_scale(10, 2_500).generate(11);
-    let base = ExperimentConfig {
-        nodes: 1_500,
-        ..ExperimentConfig::default()
-    };
-    let hawk = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            scheduler: SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            ..base.clone()
-        },
-    );
-    let no_steal = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            scheduler: SchedulerConfig::hawk_without_stealing(GOOGLE_SHORT_PARTITION),
-            ..base.clone()
-        },
-    );
-    let no_central = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            scheduler: SchedulerConfig::hawk_without_centralized(GOOGLE_SHORT_PARTITION),
-            ..base
-        },
-    );
+    let results = Experiment::builder()
+        .nodes(1_500)
+        .trace(GoogleTraceConfig::with_scale(10, 2_500).generate(11))
+        .sweep()
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION).without_stealing())
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION).without_centralized())
+        .run_all();
+    let hawk = results.get("hawk", 1_500).unwrap();
+    let no_steal = results.get("hawk-wout-stealing", 1_500).unwrap();
+    let no_central = results.get("hawk-wout-centralized", 1_500).unwrap();
     // Figure 7's two sharpest findings, at reduced scale: removing
     // stealing hurts short jobs; removing the centralized scheduler hurts
     // long jobs.
-    let steal_effect = compare(&no_steal, &hawk, JobClass::Short);
+    let steal_effect = compare(no_steal, hawk, JobClass::Short);
     assert!(
         steal_effect.p90_ratio.unwrap() > 1.2,
         "no-steal short p90 ratio {:?}",
         steal_effect.p90_ratio
     );
-    let central_effect = compare(&no_central, &hawk, JobClass::Long);
+    let central_effect = compare(no_central, hawk, JobClass::Long);
     assert!(
         central_effect.p50_ratio.unwrap() > 1.1,
         "no-central long p50 ratio {:?}",
@@ -108,14 +81,11 @@ fn motivation_scenario_shows_head_of_line_blocking() {
         ..Default::default()
     }
     .generate(3);
-    let report = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            nodes: 1_500,
-            scheduler: SchedulerConfig::sparrow(),
-            ..ExperimentConfig::default()
-        },
-    );
+    let report = Experiment::builder()
+        .nodes(1_500)
+        .scheduler(Sparrow::new())
+        .trace(trace)
+        .run();
     let runtimes = report.runtimes(JobClass::Short);
     let blocked = runtimes.iter().filter(|&&r| r > 1_000.0).count();
     assert!(
@@ -138,22 +108,19 @@ fn all_schedulers_complete_every_derived_workload() {
         // small cluster.
         gen.mean_interarrival = gen.mean_interarrival * 40;
         let trace = gen.generate(5);
-        for scheduler in [
-            SchedulerConfig::hawk(gen.short_partition_fraction.max(0.05)),
-            SchedulerConfig::sparrow(),
-            SchedulerConfig::centralized(),
-        ] {
-            let report = run_experiment(
-                &trace,
-                &ExperimentConfig {
-                    nodes: 400,
-                    scheduler,
-                    cutoff: Cutoff::from_secs(gen.default_cutoff_secs),
-                    ..ExperimentConfig::default()
-                },
-            );
-            assert_eq!(report.results.len(), trace.len(), "{}", scheduler.name);
-            for r in &report.results {
+        let jobs = trace.len();
+        let results = Experiment::builder()
+            .nodes(400)
+            .cutoff(Cutoff::from_secs(gen.default_cutoff_secs))
+            .trace(trace)
+            .sweep()
+            .scheduler(Hawk::new(gen.short_partition_fraction.max(0.05)))
+            .scheduler(Sparrow::new())
+            .scheduler(Centralized::new())
+            .run_all();
+        for cell in results.iter() {
+            assert_eq!(cell.report.results.len(), jobs, "{}", cell.scheduler);
+            for r in &cell.report.results {
                 assert!(r.completion >= r.submission);
             }
         }
@@ -167,12 +134,9 @@ fn trace_round_trips_through_json() {
     let back = Trace::from_json_lines(&text).unwrap();
     assert_eq!(trace, back);
     // And the round-tripped trace simulates identically.
-    let cfg = ExperimentConfig {
-        nodes: 64,
-        ..ExperimentConfig::default()
-    };
-    let a = run_experiment(&trace, &cfg);
-    let b = run_experiment(&back, &cfg);
+    let base = Experiment::builder().nodes(64).scheduler(Hawk::new(0.17));
+    let a = base.clone().trace(trace).run();
+    let b = base.trace(back).run();
     assert_eq!(a.results, b.results);
 }
 
@@ -200,15 +164,12 @@ fn prototype_and_simulator_agree_on_an_idle_cluster() {
             ..ProtoConfig::default()
         },
     );
-    let sim = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            nodes: 50,
-            cutoff: sample.cutoff(),
-            scheduler: SchedulerConfig::hawk(0.17),
-            ..ExperimentConfig::default()
-        },
-    );
+    let sim = Experiment::builder()
+        .nodes(50)
+        .cutoff(sample.cutoff())
+        .scheduler(Hawk::new(0.17))
+        .trace(&trace)
+        .run();
     // Pair per-job runtimes; the prototype should track the simulator
     // within messaging overhead for the majority of jobs.
     let mut close = 0;
@@ -227,22 +188,9 @@ fn prototype_and_simulator_agree_on_an_idle_cluster() {
 
 #[test]
 fn misestimation_preserves_true_class_grouping() {
-    let (trace, base) = loaded_google();
-    let exact = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            scheduler: SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            ..base.clone()
-        },
-    );
-    let fuzzy = run_experiment(
-        &trace,
-        &ExperimentConfig {
-            scheduler: SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-            misestimate: Some(MisestimateRange::symmetric(0.9)),
-            ..base
-        },
-    );
+    let base = loaded_google().scheduler(Hawk::new(GOOGLE_SHORT_PARTITION));
+    let exact = base.clone().run();
+    let fuzzy = base.misestimate(MisestimateRange::symmetric(0.9)).run();
     // True classes are identical across the two runs (they depend only on
     // the trace and cutoff), so the comparison groups stay aligned.
     for (a, b) in exact.results.iter().zip(&fuzzy.results) {

@@ -2,6 +2,8 @@
 //! configurations: the simulator must uphold its invariants for *every*
 //! input, not just the paper's.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use hawk::prelude::*;
@@ -29,17 +31,21 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
     })
 }
 
-/// Strategy: any of the scheduler configurations.
-fn arb_scheduler() -> impl Strategy<Value = SchedulerConfig> {
+fn arc<S: Scheduler + 'static>(s: S) -> Arc<dyn Scheduler> {
+    Arc::new(s)
+}
+
+/// Strategy: any of the scheduling policies, as trait objects.
+fn arb_scheduler() -> impl Strategy<Value = Arc<dyn Scheduler>> {
     prop_oneof![
-        (0.05f64..0.5).prop_map(SchedulerConfig::hawk),
-        Just(SchedulerConfig::sparrow()),
-        Just(SchedulerConfig::centralized()),
-        (0.1f64..0.5).prop_map(SchedulerConfig::split_cluster),
-        (0.05f64..0.5).prop_map(SchedulerConfig::hawk_without_centralized),
-        Just(SchedulerConfig::hawk_without_partition()),
-        (0.05f64..0.5).prop_map(SchedulerConfig::hawk_without_stealing),
-        (1usize..30).prop_map(|cap| SchedulerConfig::hawk_with_steal_cap(0.2, cap)),
+        (0.05f64..0.5).prop_map(|f| arc(Hawk::new(f))),
+        Just(arc(Sparrow::new())),
+        Just(arc(Centralized::new())),
+        (0.1f64..0.5).prop_map(|f| arc(SplitCluster::new(f))),
+        (0.05f64..0.5).prop_map(|f| arc(Hawk::new(f).without_centralized())),
+        Just(arc(Hawk::new(0.17).without_partition())),
+        (0.05f64..0.5).prop_map(|f| arc(Hawk::new(f).without_stealing())),
+        (1usize..30).prop_map(|cap| arc(Hawk::new(0.2).steal_cap(cap))),
     ]
 }
 
@@ -57,14 +63,13 @@ proptest! {
         seed in 0u64..1_000,
         cutoff_secs in 50u64..2_500,
     ) {
-        let cfg = ExperimentConfig {
-            nodes,
-            scheduler,
-            cutoff: Cutoff::from_secs(cutoff_secs),
-            seed,
-            ..ExperimentConfig::default()
-        };
-        let report = run_experiment(&trace, &cfg);
+        let report = Experiment::builder()
+            .nodes(nodes)
+            .scheduler_shared(scheduler)
+            .cutoff(Cutoff::from_secs(cutoff_secs))
+            .seed(seed)
+            .trace(&trace)
+            .run();
         prop_assert_eq!(report.results.len(), trace.len());
         for (job, result) in trace.jobs().iter().zip(&report.results) {
             prop_assert_eq!(result.job, job.id);
@@ -91,14 +96,14 @@ proptest! {
         nodes in 2usize..32,
         seed in 0u64..1_000,
     ) {
-        let cfg = ExperimentConfig {
-            nodes,
-            scheduler,
-            seed,
-            ..ExperimentConfig::default()
-        };
-        let a = run_experiment(&trace, &cfg);
-        let b = run_experiment(&trace, &cfg);
+        let cell = Experiment::builder()
+            .nodes(nodes)
+            .scheduler_shared(scheduler)
+            .seed(seed)
+            .trace(trace)
+            .build();
+        let a = cell.run();
+        let b = cell.run();
         prop_assert_eq!(a.results, b.results);
         prop_assert_eq!(a.events, b.events);
         prop_assert_eq!(a.steals, b.steals);
@@ -113,17 +118,15 @@ proptest! {
         delta in 0.1f64..0.95,
         seed in 0u64..500,
     ) {
-        let base = ExperimentConfig {
-            nodes,
-            scheduler: SchedulerConfig::hawk(0.2),
-            seed,
-            ..ExperimentConfig::default()
-        };
-        let exact = run_experiment(&trace, &base);
-        let fuzzy = run_experiment(&trace, &ExperimentConfig {
-            misestimate: Some(MisestimateRange::symmetric(delta)),
-            ..base
-        });
+        let base = Experiment::builder()
+            .nodes(nodes)
+            .scheduler(Hawk::new(0.2))
+            .seed(seed)
+            .trace(trace);
+        let exact = base.clone().run();
+        let fuzzy = base
+            .misestimate(MisestimateRange::symmetric(delta))
+            .run();
         prop_assert_eq!(exact.results.len(), fuzzy.results.len());
         for (a, b) in exact.results.iter().zip(&fuzzy.results) {
             prop_assert_eq!(a.true_class, b.true_class);

@@ -9,30 +9,21 @@ use hawk::prelude::*;
 use hawk::workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
 
 /// The 100×-scaled high-load cell (≈ the paper's 15,000-node point).
-fn loaded_cell() -> (Trace, ExperimentConfig) {
-    let trace = GoogleTraceConfig::with_scale(100, 900).generate(21);
-    let cfg = ExperimentConfig {
-        nodes: 150,
-        ..ExperimentConfig::default()
-    };
-    (trace, cfg)
+fn loaded_cell() -> ExperimentBuilder {
+    Experiment::builder()
+        .nodes(150)
+        .trace(GoogleTraceConfig::with_scale(100, 900).generate(21))
 }
 
-fn run(trace: &Trace, base: &ExperimentConfig, scheduler: SchedulerConfig) -> MetricsReport {
-    run_experiment(
-        trace,
-        &ExperimentConfig {
-            scheduler,
-            ..base.clone()
-        },
-    )
+fn run(base: &ExperimentBuilder, scheduler: impl Scheduler + 'static) -> MetricsReport {
+    base.clone().scheduler(scheduler).run()
 }
 
 #[test]
 fn fig08_shape_centralized_penalizes_short_jobs_under_load() {
-    let (trace, base) = loaded_cell();
-    let hawk = run(&trace, &base, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
-    let central = run(&trace, &base, SchedulerConfig::centralized());
+    let base = loaded_cell();
+    let hawk = run(&base, Hawk::new(GOOGLE_SHORT_PARTITION));
+    let central = run(&base, Centralized::new());
     let short = compare(&hawk, &central, JobClass::Short);
     assert!(
         short.p90_ratio.unwrap() < 1.0,
@@ -43,9 +34,9 @@ fn fig08_shape_centralized_penalizes_short_jobs_under_load() {
 
 #[test]
 fn fig09_shape_centralized_slightly_better_for_long_jobs() {
-    let (trace, base) = loaded_cell();
-    let hawk = run(&trace, &base, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
-    let central = run(&trace, &base, SchedulerConfig::centralized());
+    let base = loaded_cell();
+    let hawk = run(&base, Hawk::new(GOOGLE_SHORT_PARTITION));
+    let central = run(&base, Centralized::new());
     let long = compare(&hawk, &central, JobClass::Long);
     // Centralized can use the whole cluster for long jobs; Hawk only the
     // general partition. Hawk's ratio sits at or above 1, but not wildly.
@@ -58,13 +49,9 @@ fn fig09_shape_centralized_slightly_better_for_long_jobs() {
 
 #[test]
 fn fig10_shape_split_cluster_hurts_short_jobs() {
-    let (trace, base) = loaded_cell();
-    let hawk = run(&trace, &base, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
-    let split = run(
-        &trace,
-        &base,
-        SchedulerConfig::split_cluster(GOOGLE_SHORT_PARTITION),
-    );
+    let base = loaded_cell();
+    let hawk = run(&base, Hawk::new(GOOGLE_SHORT_PARTITION));
+    let split = run(&base, SplitCluster::new(GOOGLE_SHORT_PARTITION));
     let short = compare(&hawk, &split, JobClass::Short);
     assert!(
         short.p50_ratio.unwrap() < 1.0,
@@ -75,15 +62,24 @@ fn fig10_shape_split_cluster_hurts_short_jobs() {
 
 #[test]
 fn fig12_13_shape_benefits_hold_across_cutoffs() {
-    let (trace, base) = loaded_cell();
+    // One parallel sweep over the cutoff axis for both schedulers.
+    let results = loaded_cell()
+        .sweep()
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+        .scheduler(Sparrow::new())
+        .cutoffs([750u64, 1_129, 2_000].map(Cutoff::from_secs))
+        .run_all();
     for cutoff_secs in [750u64, 1_129, 2_000] {
-        let cfg = ExperimentConfig {
-            cutoff: Cutoff::from_secs(cutoff_secs),
-            ..base.clone()
-        };
-        let hawk = run(&trace, &cfg, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
-        let sparrow = run(&trace, &cfg, SchedulerConfig::sparrow());
-        let short = compare(&hawk, &sparrow, JobClass::Short);
+        let cutoff = Cutoff::from_secs(cutoff_secs);
+        let hawk = &results
+            .find(|c| c.scheduler == "hawk" && c.cutoff == cutoff)
+            .unwrap()
+            .report;
+        let sparrow = &results
+            .find(|c| c.scheduler == "sparrow" && c.cutoff == cutoff)
+            .unwrap()
+            .report;
+        let short = compare(hawk, sparrow, JobClass::Short);
         assert!(
             short.p90_ratio.unwrap() < 0.9,
             "cutoff {cutoff_secs}s: short p90 ratio {:?}",
@@ -94,17 +90,9 @@ fn fig12_13_shape_benefits_hold_across_cutoffs() {
 
 #[test]
 fn fig15_shape_higher_steal_cap_helps() {
-    let (trace, base) = loaded_cell();
-    let cap1 = run(
-        &trace,
-        &base,
-        SchedulerConfig::hawk_with_steal_cap(GOOGLE_SHORT_PARTITION, 1),
-    );
-    let cap10 = run(
-        &trace,
-        &base,
-        SchedulerConfig::hawk_with_steal_cap(GOOGLE_SHORT_PARTITION, 10),
-    );
+    let base = loaded_cell();
+    let cap1 = run(&base, Hawk::new(GOOGLE_SHORT_PARTITION).steal_cap(1));
+    let cap10 = run(&base, Hawk::new(GOOGLE_SHORT_PARTITION).steal_cap(10));
     let short = compare(&cap10, &cap1, JobClass::Short);
     assert!(
         short.p90_ratio.unwrap() < 1.0,
@@ -118,15 +106,11 @@ fn fig15_shape_higher_steal_cap_helps() {
 fn steal_granularity_shape_paper_policy_beats_random_single() {
     // §3.6's rationale: the paper's group steal should not lose to the
     // random-single-entry strawman on short-job p50.
-    let (trace, base) = loaded_cell();
-    let paper = run(&trace, &base, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
+    let base = loaded_cell();
+    let paper = run(&base, Hawk::new(GOOGLE_SHORT_PARTITION));
     let random = run(
-        &trace,
         &base,
-        SchedulerConfig::hawk_with_granularity(
-            GOOGLE_SHORT_PARTITION,
-            hawk::cluster::StealGranularity::RandomBlockedEntry,
-        ),
+        Hawk::new(GOOGLE_SHORT_PARTITION).steal_granularity(StealGranularity::RandomBlockedEntry),
     );
     let cmp = compare(&random, &paper, JobClass::Short);
     assert!(
@@ -138,38 +122,20 @@ fn steal_granularity_shape_paper_policy_beats_random_single() {
 
 #[test]
 fn central_latency_shape_decision_cost_hits_centralized_not_hawk() {
-    let (trace, base) = loaded_cell();
+    let base = loaded_cell();
     // At 100× scale jobs arrive every ≈146 s, so the decision pipeline
     // saturates near 7 s per task (≈20 tasks/job). The centralized
     // baseline schedules every task of every job serially; Hawk's central
     // component only sees the ~10 % long jobs and stays far from
     // saturation.
-    let overhead = CentralOverhead {
+    let costly = base.clone().central_overhead(CentralOverhead {
         per_job: SimDuration::from_secs(10),
         per_task: SimDuration::from_secs(7),
-    };
-    let cfg = ExperimentConfig {
-        central_overhead: overhead,
-        ..base
-    };
-    let central_free = run(
-        &trace,
-        &ExperimentConfig {
-            central_overhead: CentralOverhead::FREE,
-            ..cfg.clone()
-        },
-        SchedulerConfig::centralized(),
-    );
-    let central_costly = run(&trace, &cfg, SchedulerConfig::centralized());
-    let hawk_costly = run(&trace, &cfg, SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION));
-    let hawk_free = run(
-        &trace,
-        &ExperimentConfig {
-            central_overhead: CentralOverhead::FREE,
-            ..cfg
-        },
-        SchedulerConfig::hawk(GOOGLE_SHORT_PARTITION),
-    );
+    });
+    let central_free = run(&base, Centralized::new());
+    let central_costly = run(&costly, Centralized::new());
+    let hawk_costly = run(&costly, Hawk::new(GOOGLE_SHORT_PARTITION));
+    let hawk_free = run(&base, Hawk::new(GOOGLE_SHORT_PARTITION));
 
     let central_hit = central_costly
         .runtime_percentile(JobClass::Short, 50.0)
