@@ -1,17 +1,57 @@
-//! The cluster: a server table with partition map and utilization tracking.
+//! The cluster: a server table with partition map, incremental indexes and
+//! utilization tracking.
+//!
+//! Beyond the per-server state machines, [`Cluster`] maintains incremental
+//! indexes (see [`crate::index`]) updated on every enqueue/dequeue/steal:
+//! a free-server list, per-partition queue-depth histograms, and a bitmap
+//! of servers holding long work. They give the scheduling hot paths O(1)
+//! answers — idle-server lookup, queue-depth reads for power-of-d
+//! placement, steal-victim eligibility — where the same questions used to
+//! require touching per-server state.
 
 use hawk_simcore::stats::{median, percentile};
 use hawk_simcore::SimDuration;
 
 use crate::entry::{QueueEntry, TaskSpec};
+use crate::index::{BitSet, DepthHistogram};
 use crate::partition::Partition;
 use crate::server::{Server, ServerAction, ServerId};
 use crate::steal;
 
+/// Index-relevant summary of one server's state, packed into one word and
+/// diffed around every mutation to keep the cluster indexes current.
+///
+/// Layout: bit 0 = holds-long, bits 1.. = queue depth (queue length plus
+/// one if the slot is occupied). A server is completely idle exactly when
+/// its depth is zero (a free server's queue is empty by invariant), so no
+/// separate "free" bit is needed and the whole diff is one XOR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ServerStat(u32);
+
+impl ServerStat {
+    #[inline]
+    fn of(server: &Server) -> Self {
+        // The server maintains the packed word incrementally inside its own
+        // transitions, so observing it is a single load.
+        ServerStat(server.stat_word())
+    }
+
+    #[inline]
+    fn depth(self) -> u32 {
+        self.0 >> 1
+    }
+
+    #[inline]
+    fn holds_long(self) -> bool {
+        self.0 & 1 != 0
+    }
+}
+
 /// A simulated cluster of single-slot FIFO servers.
 ///
 /// Wraps the per-server state machines and keeps the running-server count
-/// current so utilization snapshots are O(1).
+/// and the scheduling indexes current, so utilization snapshots, idle
+/// lookup, queue-depth reads and steal-victim eligibility are all O(1).
 ///
 /// # Examples
 ///
@@ -31,25 +71,91 @@ use crate::steal;
 /// assert_eq!(action, Some(ServerAction::StartTask(spec)));
 /// assert_eq!(cluster.running_count(), 1);
 /// assert!((cluster.utilization() - 0.25).abs() < 1e-12);
+/// assert_eq!(cluster.free_count(), 3);
+/// assert_eq!(cluster.queue_depth(ServerId(0)), 1);
+/// assert!(cluster.holds_long_work(ServerId(0)));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cluster {
     servers: Vec<Server>,
     partition: Partition,
     running: usize,
+    /// Completely idle servers (one bit per server: cache-resident).
+    free: BitSet,
+    /// Idle servers inside the general partition.
+    free_general: usize,
+    /// Servers holding long work (slot or queue) — §3.6 steal-victim
+    /// eligibility, packed so a check is one L1 load.
+    long_holders: BitSet,
+    /// Queue-depth buckets for the general partition.
+    depth_general: DepthHistogram,
+    /// Queue-depth buckets for the reserved short partition.
+    depth_short: DepthHistogram,
 }
 
 impl Cluster {
     /// Creates `total` idle servers with a `short_fraction` reservation
     /// (§3.4). Use `0.0` for unpartitioned baselines.
     pub fn new(total: usize, short_fraction: f64) -> Self {
+        let partition = Partition::new(total, short_fraction);
+        let mut free = BitSet::new(total);
+        for id in 0..total {
+            free.set(id, true);
+        }
         Cluster {
             servers: (0..total)
                 .map(|i| Server::new(ServerId(i as u32)))
                 .collect(),
-            partition: Partition::new(total, short_fraction),
+            partition,
             running: 0,
+            free,
+            free_general: partition.general_count(),
+            long_holders: BitSet::new(total),
+            depth_general: DepthHistogram::new(partition.general_count()),
+            depth_short: if partition.short_count() > 0 {
+                DepthHistogram::new(partition.short_count())
+            } else {
+                DepthHistogram::empty()
+            },
         }
+    }
+
+    /// Applies `mutate` to one server, diffing its indexed state before and
+    /// after so every index stays current. All mutation paths funnel
+    /// through here. The fast path — the mutation left depth and long-work
+    /// state unchanged — is a single XOR.
+    fn update<R>(&mut self, id: ServerId, mutate: impl FnOnce(&mut Server) -> R) -> R {
+        let server = &mut self.servers[id.index()];
+        let before = ServerStat::of(server);
+        let result = mutate(server);
+        let after = ServerStat::of(server);
+        if before != after {
+            self.apply_delta(id, before, after);
+        }
+        result
+    }
+
+    /// Index maintenance for one observed state change. Branchless where
+    /// the condition is data-dependent (idle and long-work transitions
+    /// follow the workload, so branches here would mispredict constantly on
+    /// the per-event hot path).
+    fn apply_delta(&mut self, id: ServerId, before: ServerStat, after: ServerStat) {
+        let idx = id.index();
+        let in_general = self.partition.in_general(id);
+        let (from, to) = (before.depth() as usize, after.depth() as usize);
+        let histogram = if in_general {
+            &mut self.depth_general
+        } else {
+            &mut self.depth_short
+        };
+        histogram.shift(from, to);
+        // A server is idle exactly when its depth is zero.
+        let now_free = to == 0;
+        self.free.set(idx, now_free);
+        let free_delta = now_free as isize - (from == 0) as isize;
+        self.free_general =
+            (self.free_general as isize + free_delta * in_general as isize) as usize;
+        self.long_holders.set(idx, after.holds_long());
     }
 
     /// Number of servers.
@@ -83,9 +189,9 @@ impl Cluster {
         self.running as f64 / self.servers.len() as f64
     }
 
-    /// Enqueues an entry on `id`, updating the running count.
+    /// Enqueues an entry on `id`, updating the running count and indexes.
     pub fn enqueue(&mut self, id: ServerId, entry: QueueEntry) -> Option<ServerAction> {
-        let action = self.servers[id.index()].enqueue(entry);
+        let action = self.update(id, |s| s.enqueue(entry));
         if let Some(ServerAction::StartTask(_)) = action {
             self.running += 1;
         }
@@ -94,7 +200,7 @@ impl Cluster {
 
     /// Delivers a bind response to `id`.
     pub fn on_bind_response(&mut self, id: ServerId, task: Option<TaskSpec>) -> ServerAction {
-        let action = self.servers[id.index()].on_bind_response(task);
+        let action = self.update(id, |s| s.on_bind_response(task));
         if let ServerAction::StartTask(_) = action {
             self.running += 1;
         }
@@ -103,7 +209,7 @@ impl Cluster {
 
     /// Completes the running task on `id`.
     pub fn on_task_finish(&mut self, id: ServerId) -> (TaskSpec, ServerAction) {
-        let (spec, action) = self.servers[id.index()].on_task_finish();
+        let (spec, action) = self.update(id, |s| s.on_task_finish());
         self.running -= 1;
         if let ServerAction::StartTask(_) = action {
             self.running += 1;
@@ -114,7 +220,7 @@ impl Cluster {
     /// Attempts to steal from `victim` (§3.6): removes and returns its
     /// eligible group, empty when there is none.
     pub fn steal_from(&mut self, victim: ServerId) -> Vec<QueueEntry> {
-        steal::steal_from(&mut self.servers[victim.index()])
+        self.update(victim, steal::steal_from)
     }
 
     /// Like [`Cluster::steal_from`], with an explicit granularity policy
@@ -125,7 +231,7 @@ impl Cluster {
         granularity: steal::StealGranularity,
         rng: &mut hawk_simcore::SimRng,
     ) -> Vec<QueueEntry> {
-        steal::steal_from_with(&mut self.servers[victim.index()], granularity, rng)
+        self.update(victim, |s| steal::steal_from_with(s, granularity, rng))
     }
 
     /// True if `victim` currently has a non-empty eligible steal group.
@@ -140,17 +246,116 @@ impl Cluster {
         thief: ServerId,
         entries: Vec<QueueEntry>,
     ) -> Option<ServerAction> {
-        let action = self.servers[thief.index()].enqueue_all(entries);
+        let action = self.update(thief, |s| s.enqueue_all(entries));
         if let Some(ServerAction::StartTask(_)) = action {
             self.running += 1;
         }
         action
     }
 
-    /// Checks every server's invariants plus the running count.
+    // --- Index queries: O(1) reads maintained incrementally. ---
+
+    /// Pending work at `server`: queued entries plus one if the execution
+    /// slot is occupied. Load-aware placement (power-of-d choices) ranks
+    /// candidates by this. O(1): a length read plus a slot-tag check.
+    pub fn queue_depth(&self, server: ServerId) -> usize {
+        let s = &self.servers[server.index()];
+        s.queue_len() + usize::from(!s.is_free())
+    }
+
+    /// Number of completely idle servers.
+    pub fn free_count(&self) -> usize {
+        self.free.count()
+    }
+
+    /// Number of completely idle servers in the general partition.
+    pub fn free_count_general(&self) -> usize {
+        self.free_general
+    }
+
+    /// Number of completely idle servers in the reserved short partition.
+    pub fn free_count_short(&self) -> usize {
+        self.free.count() - self.free_general
+    }
+
+    /// True if `server` is completely idle.
+    pub fn is_free(&self, server: ServerId) -> bool {
+        self.free.contains(server.index())
+    }
+
+    /// The idle servers, in increasing id order.
+    pub fn free_servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.free.iter_ones().map(|id| ServerId(id as u32))
+    }
+
+    /// True if `server` holds long work — a long task in the slot (running
+    /// or awaiting bind) or a long entry anywhere in its queue: the §3.6
+    /// steal-victim eligibility signal. One bitmap load.
+    pub fn holds_long_work(&self, server: ServerId) -> bool {
+        self.long_holders.contains(server.index())
+    }
+
+    /// Number of servers currently holding long work. Zero means no steal
+    /// attempt anywhere in the cluster can succeed.
+    pub fn long_holder_count(&self) -> usize {
+        self.long_holders.count()
+    }
+
+    /// Queue-depth histogram of the general partition.
+    pub fn depth_histogram_general(&self) -> &DepthHistogram {
+        &self.depth_general
+    }
+
+    /// Queue-depth histogram of the reserved short partition (empty when no
+    /// partition is reserved).
+    pub fn depth_histogram_short(&self) -> &DepthHistogram {
+        &self.depth_short
+    }
+
+    /// Checks every server's invariants plus the running count and every
+    /// incremental index against a from-scratch recomputation.
     pub fn check_invariants(&self) -> bool {
-        let running = self.servers.iter().filter(|s| s.is_running()).count();
-        running == self.running && self.servers.iter().all(Server::check_invariants)
+        if !self.servers.iter().all(Server::check_invariants) {
+            return false;
+        }
+        let mut expect_general = DepthHistogram::new(self.partition.general_count());
+        let mut expect_short = if self.partition.short_count() > 0 {
+            DepthHistogram::new(self.partition.short_count())
+        } else {
+            DepthHistogram::empty()
+        };
+        let mut running = 0;
+        let mut free_general = 0;
+        let mut long_holders = 0;
+        for server in &self.servers {
+            let stat = ServerStat::of(server);
+            let id = server.id();
+            let is_free = stat.depth() == 0;
+            running += usize::from(server.is_running());
+            if is_free != self.free.contains(id.index()) {
+                return false;
+            }
+            free_general += usize::from(is_free && self.partition.in_general(id));
+            if stat.depth() as usize != self.queue_depth(id) {
+                return false;
+            }
+            if stat.holds_long() != self.long_holders.contains(id.index()) {
+                return false;
+            }
+            long_holders += usize::from(stat.holds_long());
+            if self.partition.in_general(id) {
+                expect_general.shift(0, stat.depth() as usize);
+            } else {
+                expect_short.shift(0, stat.depth() as usize);
+            }
+        }
+        running == self.running
+            && free_general == self.free_general
+            && long_holders == self.long_holders.count()
+            && (0..=DepthHistogram::MAX_TRACKED).all(|d| {
+                expect_general.count_at(d) == self.depth_general.count_at(d)
+                    && expect_short.count_at(d) == self.depth_short.count_at(d)
+            })
     }
 }
 

@@ -23,6 +23,7 @@
 
 mod cluster;
 mod entry;
+pub mod index;
 mod network;
 mod partition;
 mod server;
@@ -30,6 +31,7 @@ pub mod steal;
 
 pub use cluster::{Cluster, UtilizationTracker};
 pub use entry::{QueueEntry, TaskSpec};
+pub use index::DepthHistogram;
 pub use network::NetworkModel;
 pub use partition::Partition;
 pub use server::{Server, ServerAction, ServerId, Slot};

@@ -53,6 +53,20 @@ pub enum Slot {
     Running(TaskSpec),
 }
 
+impl Slot {
+    /// True when the slot holds long work: a long task executing or a long
+    /// probe mid-bind. The single definition of the §3.6 slot-eligibility
+    /// signal — the steal scan, the long-work index and probe avoidance
+    /// all key on this.
+    pub fn holds_long(&self) -> bool {
+        match self {
+            Slot::Running(spec) => spec.class.is_long(),
+            Slot::AwaitingBind { class, .. } => class.is_long(),
+            Slot::Free => false,
+        }
+    }
+}
+
 /// What the driver must do after a server state transition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServerAction {
@@ -91,6 +105,12 @@ pub struct Server {
     /// Number of long entries currently queued; lets the steal scan skip
     /// ineligible victims in O(1).
     queued_long: usize,
+    /// Packed index summary, maintained incrementally by every transition:
+    /// bit 0 = holds-long-work, bits 1.. = queue depth (queue length plus
+    /// one if the slot is occupied). The cluster diffs this single word
+    /// around each mutation to keep its indexes current, so the per-event
+    /// bookkeeping is two loads and an XOR instead of a state recompute.
+    stat: u32,
 }
 
 impl Server {
@@ -101,7 +121,26 @@ impl Server {
             queue: VecDeque::new(),
             slot: Slot::Free,
             queued_long: 0,
+            stat: 0,
         }
+    }
+
+    /// The packed index summary: bit 0 = holds-long-work, bits 1.. = queue
+    /// depth. Kept current by every transition.
+    pub fn stat_word(&self) -> u32 {
+        self.stat
+    }
+
+    /// The stat word recomputed from scratch (the invariant checker
+    /// compares it against the incrementally maintained copy).
+    fn computed_stat(&self) -> u32 {
+        let occupied = u32::from(!matches!(self.slot, Slot::Free));
+        let depth = self.queue.len() as u32 + occupied;
+        depth << 1 | u32::from(self.slot.holds_long() || self.queued_long > 0)
+    }
+
+    fn recompute_stat(&mut self) {
+        self.stat = self.computed_stat();
     }
 
     /// The server's id.
@@ -154,8 +193,10 @@ impl Server {
     pub fn enqueue(&mut self, entry: QueueEntry) -> Option<ServerAction> {
         if entry.is_long() {
             self.queued_long += 1;
+            self.stat |= 1;
         }
         self.queue.push_back(entry);
+        self.stat += 2; // depth grew by one
         if self.is_free() {
             Some(self.advance())
         } else {
@@ -185,7 +226,7 @@ impl Server {
     /// it is public for the driver's steal path, which needs to restart a
     /// thief after handing it stolen entries.
     fn advance(&mut self) -> ServerAction {
-        match self.queue.pop_front() {
+        let action = match self.queue.pop_front() {
             None => {
                 self.slot = Slot::Free;
                 ServerAction::BecameIdle
@@ -204,7 +245,9 @@ impl Server {
                 self.slot = Slot::AwaitingBind { job, class };
                 ServerAction::RequestBind { job }
             }
-        }
+        };
+        self.recompute_stat();
+        action
     }
 
     /// Delivers the scheduler's response to a bind request: `Some(spec)`
@@ -225,6 +268,7 @@ impl Server {
         match task {
             Some(spec) => {
                 self.slot = Slot::Running(spec);
+                self.recompute_stat();
                 ServerAction::StartTask(spec)
             }
             None => {
@@ -254,6 +298,7 @@ impl Server {
         let taken: Vec<QueueEntry> = self.queue.drain(start..start + count).collect();
         let long_taken = taken.iter().filter(|e| e.is_long()).count();
         self.queued_long -= long_taken;
+        self.recompute_stat();
         taken
     }
 
@@ -261,6 +306,10 @@ impl Server {
     pub fn check_invariants(&self) -> bool {
         let long_count = self.queue.iter().filter(|e| e.is_long()).count();
         if long_count != self.queued_long {
+            return false;
+        }
+        // The incrementally maintained stat word matches a recompute.
+        if self.stat != self.computed_stat() {
             return false;
         }
         // A free server must have an empty queue.

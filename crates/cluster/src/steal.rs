@@ -20,18 +20,14 @@
 //! task from many jobs (§3.6).
 
 use crate::entry::QueueEntry;
-use crate::server::{Server, Slot};
+use crate::server::Server;
 
 /// The eligible steal group in a victim's queue: `(start index, length)`.
 ///
 /// Returns `None` when nothing is eligible. Does not modify the victim;
 /// [`steal_from`] performs the removal.
 pub fn eligible_group(victim: &Server) -> Option<(usize, usize)> {
-    let slot_is_long = match victim.slot() {
-        Slot::Running(spec) => spec.class.is_long(),
-        Slot::AwaitingBind { class, .. } => class.is_long(),
-        Slot::Free => false,
-    };
+    let slot_is_long = victim.slot().holds_long();
     // Fast path: no long task anywhere on this server.
     if !slot_is_long && victim.queued_long() == 0 {
         return None;
@@ -92,11 +88,7 @@ pub enum StealGranularity {
 /// Indices of every short entry located after the first long element of
 /// the (slot, queue) sequence; empty when nothing is blocked.
 fn blocked_short_indices(victim: &Server) -> Vec<usize> {
-    let slot_is_long = match victim.slot() {
-        Slot::Running(spec) => spec.class.is_long(),
-        Slot::AwaitingBind { class, .. } => class.is_long(),
-        Slot::Free => false,
-    };
+    let slot_is_long = victim.slot().holds_long();
     if !slot_is_long && victim.queued_long() == 0 {
         return Vec::new();
     }

@@ -127,6 +127,11 @@ pub struct Driver<'t> {
     unfinished: usize,
     steals: u64,
     steal_attempts: u64,
+    /// Reused buffers for the per-idle-transition victim selection (the
+    /// steal path runs hundreds of thousands of times per cell; reusing
+    /// the buffers keeps it allocation-free).
+    victim_scratch: Vec<usize>,
+    victim_buf: Vec<ServerId>,
     /// Time at which the centralized scheduler's serial processing queue
     /// drains (only advances under a non-free [`CentralOverhead`]).
     central_ready: SimTime,
@@ -228,6 +233,8 @@ impl<'t> Driver<'t> {
             unfinished: trace.len(),
             steals: 0,
             steal_attempts: 0,
+            victim_scratch: Vec::new(),
+            victim_buf: Vec::new(),
             central_ready: SimTime::ZERO,
         }
     }
@@ -473,37 +480,63 @@ impl<'t> Driver<'t> {
 
     /// One steal attempt for an idle thief (§3.6): contact the victims the
     /// policy picks and steal from the first with an eligible group.
+    ///
+    /// Victim selection draws from `steal_rng` exactly as before the
+    /// indexed-cluster rework; the long-work index is consulted only
+    /// *after* those draws, to skip scans that provably cannot yield an
+    /// eligible group (no long work ⇒ nothing is blocked behind a long
+    /// task). Skipped scans perform no RNG draws of their own, so the
+    /// filter is behavior-preserving — the golden-digest suite pins this.
     fn try_steal(&mut self, thief: ServerId) {
         let Some(spec) = self.steal_spec else { return };
         self.steal_attempts += 1;
         let partition = self.cluster.partition();
         let granularity = spec.granularity;
-        let victims = self
-            .scheduler
-            .pick_victims(&partition, thief, &mut self.steal_rng);
-        for victim in victims {
+        let mut victims = std::mem::take(&mut self.victim_buf);
+        self.scheduler.pick_victims_into(
+            &partition,
+            thief,
+            &mut self.steal_rng,
+            &mut self.victim_scratch,
+            &mut victims,
+        );
+        if self.cluster.long_holder_count() == 0 {
+            // No server anywhere holds long work: every victim scan would
+            // come back empty. O(1) via the index.
+            self.victim_buf = victims;
+            return;
+        }
+        let mut stolen: Option<Vec<QueueEntry>> = None;
+        for &victim in &victims {
+            if !self.cluster.holds_long_work(victim) {
+                // One bitmap load instead of a cold walk of the victim's
+                // queue state.
+                continue;
+            }
             let entries = self
                 .cluster
                 .steal_from_with(victim, granularity, &mut self.steal_rng);
-            if entries.is_empty() {
-                continue;
+            if !entries.is_empty() {
+                stolen = Some(entries);
+                break;
             }
-            self.steals += 1;
-            let transfer = self.network().steal_transfer_delay;
-            if transfer.is_zero() {
-                if let Some(action) = self.cluster.give_stolen(thief, entries) {
-                    self.on_action(thief, action);
-                }
-            } else {
-                self.engine.schedule(
-                    transfer,
-                    Event::StolenArrive {
-                        server: thief,
-                        entries,
-                    },
-                );
+        }
+        self.victim_buf = victims;
+        let Some(entries) = stolen else { return };
+        self.steals += 1;
+        let transfer = self.network().steal_transfer_delay;
+        if transfer.is_zero() {
+            if let Some(action) = self.cluster.give_stolen(thief, entries) {
+                self.on_action(thief, action);
             }
-            return;
+        } else {
+            self.engine.schedule(
+                transfer,
+                Event::StolenArrive {
+                    server: thief,
+                    entries,
+                },
+            );
         }
     }
 

@@ -18,7 +18,7 @@
 //! touching the driver; see `examples/power_of_d.rs` for a
 //! power-of-d-choices scheduler written entirely against this trait.
 
-use hawk_cluster::{Cluster, Partition, Server, ServerId, Slot, StealGranularity};
+use hawk_cluster::{Cluster, Partition, Server, ServerId, StealGranularity};
 use hawk_simcore::SimRng;
 use hawk_workload::JobClass;
 
@@ -29,20 +29,51 @@ use crate::steal_policy::StealPolicy;
 /// Read-only view of the cluster handed to [`Scheduler::probe_targets`]:
 /// the probe scope (a contiguous server range chosen by the job's
 /// [`Route`]) plus queue-state accessors for load-aware policies.
+///
+/// All aggregate queries ([`PlacementView::queue_depth`],
+/// [`PlacementView::idle_count`], [`PlacementView::min_queue_depth`], …)
+/// are backed by the cluster's incremental indexes, so a power-of-d
+/// placement pass costs O(d) regardless of the scope size.
 pub struct PlacementView<'a> {
     cluster: &'a Cluster,
     scope_start: u32,
     scope_len: usize,
+    scope_kind: ScopeKind,
+}
+
+/// Which index population a view's scope maps onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKind {
+    Whole,
+    General,
+    ShortReserved,
+    /// A range matching no partition boundary (only constructible by
+    /// callers outside the driver); aggregate queries fall back to an
+    /// O(scope) walk, per-server reads stay O(1).
+    Custom,
 }
 
 impl<'a> PlacementView<'a> {
     /// Builds a view over the scope `[start, start+len)`.
     pub fn new(cluster: &'a Cluster, scope_start: u32, scope_len: usize) -> Self {
         assert!(scope_len > 0, "probe scope is empty");
+        let partition = cluster.partition();
+        let scope_kind = if scope_start == 0 && scope_len == partition.total() {
+            ScopeKind::Whole
+        } else if scope_start == 0 && scope_len == partition.general_count() {
+            ScopeKind::General
+        } else if scope_start as usize == partition.general_count()
+            && scope_len == partition.short_count()
+        {
+            ScopeKind::ShortReserved
+        } else {
+            ScopeKind::Custom
+        };
         PlacementView {
             cluster,
             scope_start,
             scope_len,
+            scope_kind,
         }
     }
 
@@ -69,10 +100,67 @@ impl<'a> PlacementView<'a> {
 
     /// Pending work at `server`: queued entries plus one if the execution
     /// slot is occupied. Load-aware policies (e.g. power-of-d choices)
-    /// rank candidates by this.
+    /// rank candidates by this. Served from the cluster's depth cache:
+    /// one word read.
     pub fn queue_depth(&self, server: ServerId) -> usize {
-        let s = self.cluster.server(server);
-        s.queue_len() + usize::from(!matches!(s.slot(), Slot::Free))
+        self.cluster.queue_depth(server)
+    }
+
+    /// Number of completely idle servers in scope (free-list index; O(1)
+    /// for the driver's scopes).
+    pub fn idle_count(&self) -> usize {
+        match self.scope_kind {
+            ScopeKind::Whole => self.cluster.free_count(),
+            ScopeKind::General => self.cluster.free_count_general(),
+            ScopeKind::ShortReserved => self.cluster.free_count_short(),
+            ScopeKind::Custom => (0..self.scope_len)
+                .filter(|&i| self.cluster.is_free(self.server_in_scope(i)))
+                .count(),
+        }
+    }
+
+    /// True if at least one server in scope is completely idle.
+    pub fn has_idle(&self) -> bool {
+        self.idle_count() > 0
+    }
+
+    /// The smallest queue depth of any server in scope (depth-histogram
+    /// index; O(1) for the driver's scopes). `None` only for an empty
+    /// custom scope — the driver's scopes are never empty.
+    pub fn min_queue_depth(&self) -> Option<usize> {
+        let general = self.cluster.depth_histogram_general();
+        let short = self.cluster.depth_histogram_short();
+        match self.scope_kind {
+            ScopeKind::Whole => match (general.min_depth(), short.min_depth()) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+            ScopeKind::General => general.min_depth(),
+            ScopeKind::ShortReserved => short.min_depth(),
+            ScopeKind::Custom => (0..self.scope_len)
+                .map(|i| self.queue_depth(self.server_in_scope(i)))
+                .min(),
+        }
+    }
+
+    /// Number of servers in scope at queue depth ≤ `depth` (depths beyond
+    /// [`hawk_cluster::DepthHistogram::MAX_TRACKED`] pool together).
+    pub fn count_with_depth_at_most(&self, depth: usize) -> usize {
+        let general = self.cluster.depth_histogram_general();
+        let short = self.cluster.depth_histogram_short();
+        match self.scope_kind {
+            ScopeKind::Whole => general.count_at_most(depth) + short.count_at_most(depth),
+            ScopeKind::General => general.count_at_most(depth),
+            ScopeKind::ShortReserved => short.count_at_most(depth),
+            ScopeKind::Custom => (0..self.scope_len)
+                .filter(|&i| self.queue_depth(self.server_in_scope(i)) <= depth)
+                .count(),
+        }
+    }
+
+    /// True if `server` holds long work (bitmap index: one L1 load).
+    pub fn holds_long_work(&self, server: ServerId) -> bool {
+        self.cluster.holds_long_work(server)
     }
 
     /// Direct read access to a server's state.
@@ -128,12 +216,7 @@ impl Default for StealSpec {
 /// (running or awaiting bind) or a long entry anywhere in its queue. The
 /// signal long-aware policies key on.
 pub fn holds_long_work(server: &Server) -> bool {
-    let slot_long = match server.slot() {
-        Slot::Running(spec) => spec.class.is_long(),
-        Slot::AwaitingBind { class, .. } => class.is_long(),
-        Slot::Free => false,
-    };
-    slot_long || server.queued_long() > 0
+    server.slot().holds_long() || server.queued_long() > 0
 }
 
 /// A scheduling policy: placement decisions, probe/steal hooks and
@@ -184,6 +267,27 @@ pub trait Scheduler: Send + Sync {
             Some(spec) => StealPolicy::new(spec.cap).pick_victims(partition, thief, rng),
             None => Vec::new(),
         }
+    }
+
+    /// Allocation-free variant of [`Scheduler::pick_victims`]: the driver
+    /// calls this once per idle transition with reused buffers (`scratch`
+    /// is working space, `out` receives the victims; both are cleared).
+    ///
+    /// The default delegates to [`Scheduler::pick_victims`], so custom
+    /// victim policies stay correct without extra work; policies with a
+    /// hot steal path (e.g. [`Hawk`]) override this to skip the per-attempt
+    /// allocation.
+    fn pick_victims_into(
+        &self,
+        partition: &Partition,
+        thief: ServerId,
+        rng: &mut SimRng,
+        scratch: &mut Vec<usize>,
+        out: &mut Vec<ServerId>,
+    ) {
+        let _ = scratch;
+        out.clear();
+        out.append(&mut self.pick_victims(partition, thief, rng));
     }
 
     /// Whether a probe for a `class` job should bounce off `server` to a
@@ -336,6 +440,24 @@ impl Scheduler for Hawk {
 
     fn steal(&self) -> Option<StealSpec> {
         self.steal
+    }
+
+    fn pick_victims_into(
+        &self,
+        partition: &Partition,
+        thief: ServerId,
+        rng: &mut SimRng,
+        scratch: &mut Vec<usize>,
+        out: &mut Vec<ServerId>,
+    ) {
+        // Hawk's steal path runs on every idle transition; use the
+        // allocation-free paper policy directly.
+        match self.steal {
+            Some(spec) => {
+                StealPolicy::new(spec.cap).pick_victims_into(partition, thief, rng, scratch, out)
+            }
+            None => out.clear(),
+        }
     }
 
     fn bounce_probe(&self, server: &Server, class: JobClass, bounces: u8) -> bool {
@@ -512,6 +634,22 @@ impl Scheduler for SchedulerConfig {
             cap,
             granularity: self.steal_granularity,
         })
+    }
+
+    fn pick_victims_into(
+        &self,
+        partition: &Partition,
+        thief: ServerId,
+        rng: &mut SimRng,
+        scratch: &mut Vec<usize>,
+        out: &mut Vec<ServerId>,
+    ) {
+        match self.steal_cap {
+            Some(cap) => {
+                StealPolicy::new(cap).pick_victims_into(partition, thief, rng, scratch, out)
+            }
+            None => out.clear(),
+        }
     }
 
     fn bounce_probe(&self, server: &Server, class: JobClass, bounces: u8) -> bool {

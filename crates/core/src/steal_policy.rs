@@ -38,9 +38,28 @@ impl StealPolicy {
         thief: ServerId,
         rng: &mut SimRng,
     ) -> Vec<ServerId> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.pick_victims_into(partition, thief, rng, &mut scratch, &mut out);
+        out
+    }
+
+    /// Like [`StealPolicy::pick_victims`], writing into caller-provided
+    /// buffers (`scratch` for the raw sample, `out` for the victims; both
+    /// are cleared first). The driver calls this once per idle transition
+    /// with reused buffers, so the steal hot path allocates nothing.
+    pub fn pick_victims_into(
+        &self,
+        partition: &Partition,
+        thief: ServerId,
+        rng: &mut SimRng,
+        scratch: &mut Vec<usize>,
+        out: &mut Vec<ServerId>,
+    ) {
+        out.clear();
         let general = partition.general_count();
         if general == 0 {
-            return Vec::new();
+            return;
         }
         let thief_in_general = partition.in_general(thief);
         let candidates = if thief_in_general {
@@ -49,22 +68,20 @@ impl StealPolicy {
             general
         };
         if candidates == 0 {
-            return Vec::new();
+            return;
         }
         let count = self.cap.min(candidates);
         // Sample from a virtual range that skips the thief: indices at or
         // above the thief's map one position right.
-        rng.sample_distinct(candidates, count)
-            .into_iter()
-            .map(|i| {
-                let i = i as u32;
-                if thief_in_general && i >= thief.0 {
-                    ServerId(i + 1)
-                } else {
-                    ServerId(i)
-                }
-            })
-            .collect()
+        rng.sample_distinct_into(candidates, count, scratch);
+        out.extend(scratch.iter().map(|&i| {
+            let i = i as u32;
+            if thief_in_general && i >= thief.0 {
+                ServerId(i + 1)
+            } else {
+                ServerId(i)
+            }
+        }));
     }
 }
 

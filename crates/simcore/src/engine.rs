@@ -70,6 +70,18 @@ impl<E> Engine<E> {
     /// Schedules `event` at the absolute time `at`.
     ///
     /// `at` must not precede the current clock; see the type-level docs.
+    ///
+    /// # Scheduling in the past
+    ///
+    /// The divergence between build profiles is intentional and part of the
+    /// contract (pinned by unit tests in both profiles):
+    ///
+    /// * **debug builds panic** — scheduling before *now* is a logic error
+    ///   in the driver, and development runs should fail at the source;
+    /// * **release builds clamp to *now*** — the event fires at the current
+    ///   clock (after already-pending same-time events), so multi-hour
+    ///   experiment sweeps degrade by at most one event's timing instead of
+    ///   aborting.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         debug_assert!(
             at >= self.now,
@@ -87,6 +99,28 @@ impl<E> Engine<E> {
         self.now = t;
         self.processed += 1;
         Some((t, ev))
+    }
+
+    /// Removes every event firing at or before `until`, in order, advancing
+    /// the clock exactly as repeated [`Engine::pop`] calls would: to the
+    /// firing time of the last drained event (unchanged when nothing is
+    /// due).
+    ///
+    /// This is the batch-pop path for drivers that process a bounded time
+    /// window at once (e.g. sampling loops, co-simulation adapters): one
+    /// call replaces a `while let` loop of peek/pop pairs.
+    ///
+    /// Only safe when handling the drained events schedules no *new* event
+    /// at or before `until` — otherwise the batch would miss it where
+    /// repeated pops would not. Callers that schedule zero-delay follow-ups
+    /// must use [`Engine::pop`].
+    pub fn drain_until(&mut self, until: SimTime) -> Vec<(SimTime, E)> {
+        let drained = self.queue.drain_until(until);
+        if let Some(&(t, _)) = drained.last() {
+            self.now = t;
+        }
+        self.processed += drained.len() as u64;
+        drained
     }
 
     /// The firing time of the next pending event, if any.
@@ -149,6 +183,52 @@ mod tests {
         e.schedule(SimDuration::from_secs(10), "a");
         e.pop();
         e.schedule_at(SimTime::from_secs(1), "too-late");
+    }
+
+    /// The release half of the schedule-in-the-past contract: the event is
+    /// clamped to *now* and fires after pending same-time events, keeping
+    /// long sweeps alive. (The debug half panics; see the test above.)
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn schedule_in_past_clamps_to_now_in_release() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule(SimDuration::from_secs(10), "a");
+        e.pop();
+        assert_eq!(e.now(), SimTime::from_secs(10));
+        e.schedule(SimDuration::ZERO, "pending-at-now");
+        e.schedule_at(SimTime::from_secs(1), "too-late");
+        // The clamped event fires at the clock, FIFO after the event that
+        // was already pending at that time; the clock never regresses.
+        assert_eq!(e.pop().unwrap(), (SimTime::from_secs(10), "pending-at-now"));
+        assert_eq!(e.pop().unwrap(), (SimTime::from_secs(10), "too-late"));
+        assert_eq!(e.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn drain_until_matches_repeated_pops() {
+        let mut batch: Engine<u32> = Engine::new();
+        let mut single: Engine<u32> = Engine::new();
+        for e in [&mut batch, &mut single] {
+            e.schedule(SimDuration::from_secs(1), 1);
+            e.schedule(SimDuration::from_secs(2), 2);
+            e.schedule(SimDuration::from_secs(2), 3);
+            e.schedule(SimDuration::from_secs(5), 4);
+        }
+        let until = SimTime::from_secs(2);
+        let drained = batch.drain_until(until);
+        let mut reference = Vec::new();
+        while single.peek_time().is_some_and(|t| t <= until) {
+            reference.push(single.pop().unwrap());
+        }
+        assert_eq!(drained, reference);
+        assert_eq!(batch.now(), single.now());
+        assert_eq!(batch.processed(), single.processed());
+        assert_eq!(batch.pending(), 1);
+        // An empty drain leaves the clock untouched.
+        assert!(batch.drain_until(SimTime::from_secs(3)).is_empty());
+        assert_eq!(batch.now(), SimTime::from_secs(2));
+        assert_eq!(batch.drain_until(SimTime::MAX).len(), 1);
+        assert_eq!(batch.now(), SimTime::from_secs(5));
     }
 
     #[test]

@@ -32,21 +32,23 @@
 /// ```
 #[derive(Debug, Clone)]
 pub struct IndexedMinHeap {
-    /// `heap[i]` is the id stored at heap slot `i`.
-    heap: Vec<usize>,
+    /// `heap[i]` is the `(key, id)` pair at heap slot `i`. Key and id live
+    /// in the same slot so a sift touches one cache line per level instead
+    /// of chasing parallel `key`/`id` arrays (the centralized scheduler
+    /// sifts this heap twice per long task, making it a measurable part of
+    /// the Hawk hot path).
+    heap: Vec<(u64, u32)>,
     /// `pos[id]` is the heap slot currently holding `id`.
-    pos: Vec<usize>,
-    /// `key[id]` is the current key of `id`.
-    key: Vec<u64>,
+    pos: Vec<u32>,
 }
 
 impl IndexedMinHeap {
     /// Creates a heap over ids `0..len`, all with `initial` key.
     pub fn new(len: usize, initial: u64) -> Self {
+        assert!(len <= u32::MAX as usize, "id space fits u32");
         IndexedMinHeap {
-            heap: (0..len).collect(),
-            pos: (0..len).collect(),
-            key: vec![initial; len],
+            heap: (0..len).map(|id| (initial, id as u32)).collect(),
+            pos: (0..len as u32).collect(),
         }
     }
 
@@ -67,7 +69,7 @@ impl IndexedMinHeap {
     /// Panics if the heap is empty.
     pub fn min_id(&self) -> usize {
         assert!(!self.heap.is_empty(), "min_id on empty heap");
-        self.heap[0]
+        self.heap[0].1 as usize
     }
 
     /// The smallest key.
@@ -76,19 +78,20 @@ impl IndexedMinHeap {
     ///
     /// Panics if the heap is empty.
     pub fn min_key(&self) -> u64 {
-        self.key[self.min_id()]
+        assert!(!self.heap.is_empty(), "min_key on empty heap");
+        self.heap[0].0
     }
 
     /// Returns the current key of `id`.
     pub fn key_of(&self, id: usize) -> u64 {
-        self.key[id]
+        self.heap[self.pos[id] as usize].0
     }
 
     /// Sets the key of `id` to `key`, restoring the heap property.
     pub fn set(&mut self, id: usize, key: u64) {
-        let old = self.key[id];
-        self.key[id] = key;
-        let slot = self.pos[id];
+        let slot = self.pos[id] as usize;
+        let old = self.heap[slot].0;
+        self.heap[slot].0 = key;
         if key < old {
             self.sift_up(slot);
         } else {
@@ -98,26 +101,25 @@ impl IndexedMinHeap {
 
     /// Adds `delta` to the key of `id`.
     pub fn add(&mut self, id: usize, delta: u64) {
-        let k = self.key[id] + delta;
+        let k = self.key_of(id) + delta;
         self.set(id, k);
     }
 
     /// Subtracts `delta` from the key of `id`, saturating at zero.
     pub fn sub(&mut self, id: usize, delta: u64) {
-        let k = self.key[id].saturating_sub(delta);
+        let k = self.key_of(id).saturating_sub(delta);
         self.set(id, k);
     }
 
+    /// Compare `(key, id)` pairs so ordering is total and deterministic.
     fn less(&self, a: usize, b: usize) -> bool {
-        // Compare (key, id) so ordering is total and deterministic.
-        let (ida, idb) = (self.heap[a], self.heap[b]);
-        (self.key[ida], ida) < (self.key[idb], idb)
+        self.heap[a] < self.heap[b]
     }
 
     fn swap_slots(&mut self, a: usize, b: usize) {
         self.heap.swap(a, b);
-        self.pos[self.heap[a]] = a;
-        self.pos[self.heap[b]] = b;
+        self.pos[self.heap[a].1 as usize] = a as u32;
+        self.pos[self.heap[b].1 as usize] = b as u32;
     }
 
     fn sift_up(&mut self, mut slot: usize) {
@@ -161,11 +163,11 @@ impl IndexedMinHeap {
                 return false;
             }
         }
-        // `pos` must be the inverse of `heap`.
+        // `pos` must be the inverse of the heap's id column.
         self.heap
             .iter()
             .enumerate()
-            .all(|(i, &id)| self.pos[id] == i)
+            .all(|(i, &(_, id))| self.pos[id as usize] == i as u32)
     }
 }
 

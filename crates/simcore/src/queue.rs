@@ -1,11 +1,64 @@
 //! Future event list with deterministic tie-breaking.
+//!
+//! The queue is a hierarchical timing wheel (the calendar-queue family of
+//! structures used by high-throughput discrete-event simulators and kernel
+//! timer subsystems), replacing the original `BinaryHeap` implementation.
+//! The public contract is unchanged: events pop in `(time, seq)` order,
+//! where `seq` is the insertion sequence number, so simultaneous events are
+//! delivered FIFO and simulations stay bit-for-bit reproducible.
+//!
+//! # Why a wheel
+//!
+//! Popping or pushing a binary heap of `n` pending events costs `O(log n)`
+//! comparisons *and moves* of full event payloads — at simulation scale
+//! (tens of thousands of pending events, millions of total events) that is
+//! the single hottest path of the engine. The wheel makes both operations
+//! amortized `O(1)`: an event is appended to the tail of the bucket for its
+//! firing time, and the pop path reads the earliest non-empty bucket
+//! straight out of a per-level occupancy bitmap.
+//!
+//! # Structure
+//!
+//! Seven levels of 128 buckets each. A bucket at level `L` spans `128^L`
+//! microseconds; an event lands at the lowest level whose bucket span still
+//! separates it from the `cursor` (the firing time of the last event popped
+//! from the wheel). Level-0 buckets therefore hold events of one exact
+//! microsecond each, in insertion order; higher-level buckets are cascaded
+//! down — preserving insertion order — when the cursor reaches their span.
+//! Each event cascades at most six times, so the amortized cost per event
+//! is constant.
+//!
+//! Two small binary heaps catch the edges the wheel does not cover:
+//!
+//! * `past` — events pushed with a time before the cursor. [`Engine`]
+//!   (which clamps schedule times to *now*) never produces these, but a
+//!   bare `EventQueue` accepts them, exactly as the heap implementation
+//!   did.
+//! * `overflow` — events more than `128^7` µs (≈ 17 simulated years) beyond
+//!   the cursor. They re-enter the wheel when the cursor approaches.
+//!
+//! [`Engine`]: crate::Engine
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::SimTime;
 
-/// A pending event: fires at `time`; `seq` breaks ties FIFO.
+/// Bits per wheel level: 128 buckets each (occupancy fits one `u128`).
+const LEVEL_BITS: u32 = 7;
+
+/// Buckets per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+
+/// Number of levels; the wheel spans `2^(7·7)` µs ≈ 17 simulated years
+/// past the cursor before the overflow heap takes over. Wider levels keep
+/// events from cascading through as many intermediate buckets: a constant
+/// +0.5 ms network hop lands one level up, a task-finish timer at most
+/// four.
+const LEVELS: usize = 7;
+
+/// A pending event in the `past`/`overflow` heaps: fires at `time`; `seq`
+/// breaks ties FIFO.
 struct Scheduled<E> {
     time: SimTime,
     seq: u64,
@@ -38,6 +91,9 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
+/// One wheel entry: `(firing micros, insertion seq, event)`.
+type Entry<E> = (u64, u64, E);
+
 /// A min-ordered future event list.
 ///
 /// Events scheduled for the same [`SimTime`] are delivered in the order they
@@ -60,52 +116,248 @@ impl<E> Ord for Scheduled<E> {
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// `wheel[level * SLOTS + slot]`: pending entries in `seq` order.
+    wheel: Vec<VecDeque<Entry<E>>>,
+    /// Per-level bitmap of non-empty buckets.
+    occupied: [u128; LEVELS],
+    /// The wheel floor: the firing time (µs) of the last event popped from
+    /// the wheel. Every wheel entry fires at or after this time.
+    cursor: u64,
+    /// Events pushed with a firing time before the cursor.
+    past: BinaryHeap<Scheduled<E>>,
+    /// Events beyond the wheel span; strictly later than every wheel entry.
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// Recycled bucket buffer: cascading swaps a bucket out through this
+    /// scratch space so bucket allocations circulate instead of being
+    /// dropped and re-made on every cascade.
+    scratch: VecDeque<Entry<E>>,
+    len: usize,
     next_seq: u64,
+}
+
+/// The wheel level for an event at `t` µs given the cursor: the position of
+/// the highest differing bit, in `LEVEL_BITS`-wide digits. `LEVELS` or more
+/// means the event is beyond the wheel span (overflow).
+fn level_for(t: u64, cursor: u64) -> usize {
+    let diff = t ^ cursor;
+    if diff == 0 {
+        0
+    } else {
+        ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize
+    }
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            wheel: (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; LEVELS],
+            cursor: 0,
+            past: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            scratch: VecDeque::new(),
+            len: 0,
             next_seq: 0,
         }
     }
 
-    /// Creates an empty queue with space for `capacity` events.
-    pub fn with_capacity(capacity: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
-            next_seq: 0,
-        }
+    /// Creates an empty queue sized for `capacity` events.
+    ///
+    /// The wheel's footprint does not depend on the event count, so this is
+    /// equivalent to [`EventQueue::new`]; the signature is kept for
+    /// API compatibility with the heap-based implementation.
+    pub fn with_capacity(_capacity: usize) -> Self {
+        Self::new()
     }
 
     /// Schedules `event` to fire at `time`.
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        self.len += 1;
+        let t = time.as_micros();
+        if t < self.cursor {
+            self.past.push(Scheduled { time, seq, event });
+        } else {
+            self.place(t, seq, event);
+        }
+    }
+
+    /// Buckets an entry with `t >= cursor` into the wheel, or the overflow
+    /// heap when it is beyond the wheel span.
+    fn place(&mut self, t: u64, seq: u64, event: E) {
+        debug_assert!(t >= self.cursor);
+        let level = level_for(t, self.cursor);
+        if level >= LEVELS {
+            self.overflow.push(Scheduled {
+                time: SimTime::from_micros(t),
+                seq,
+                event,
+            });
+            return;
+        }
+        let slot = ((t >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let cell = &mut self.wheel[level * SLOTS + slot];
+        // Pushes and cascades arrive in increasing seq order, so appending
+        // keeps the bucket sorted; only overflow re-bucketing can arrive
+        // out of order (when an event pushed long ago re-enters the wheel)
+        // and pays for a sorted insert.
+        match cell.back() {
+            Some(&(_, back_seq, _)) if back_seq > seq => {
+                let pos = cell.partition_point(|&(_, s, _)| s < seq);
+                cell.insert(pos, (t, seq, event));
+            }
+            _ => cell.push_back((t, seq, event)),
+        }
+        self.occupied[level] |= 1 << slot;
+    }
+
+    /// Moves every overflow event now within the wheel span back into the
+    /// wheel. Called only after the cursor jumps (the overflow minimum is
+    /// strictly later than every wheel entry, so overflow events can never
+    /// become due while the wheel still holds anything).
+    fn rebucket_overflow(&mut self) {
+        while let Some(s) = self.overflow.peek() {
+            if level_for(s.time.as_micros(), self.cursor) >= LEVELS {
+                break;
+            }
+            let s = self.overflow.pop().expect("peeked entry exists");
+            self.place(s.time.as_micros(), s.seq, s.event);
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        // Past events fire strictly before the cursor, and so before every
+        // wheel or overflow entry.
+        if let Some(s) = self.past.pop() {
+            return Some((s.time, s.event));
+        }
+        loop {
+            // Fast path: a level-0 bucket holds events of one exact
+            // microsecond, already in seq order.
+            if self.occupied[0] != 0 {
+                let slot = self.occupied[0].trailing_zeros() as usize;
+                let cell = &mut self.wheel[slot];
+                let (t, _, event) = cell.pop_front().expect("occupied bucket is non-empty");
+                if cell.is_empty() {
+                    self.occupied[0] &= !(1 << slot);
+                }
+                self.cursor = t;
+                return Some((SimTime::from_micros(t), event));
+            }
+            // Cascade the earliest bucket of the lowest occupied level down
+            // to finer levels (in order, so FIFO ties are preserved).
+            if let Some(level) = (1..LEVELS).find(|&l| self.occupied[l] != 0) {
+                let slot = self.occupied[level].trailing_zeros() as usize;
+                self.occupied[level] &= !(1 << slot);
+                // Swap the bucket out through the scratch buffer so its
+                // allocation is recycled instead of freed every cascade.
+                let mut entries = std::mem::take(&mut self.scratch);
+                std::mem::swap(&mut entries, &mut self.wheel[level * SLOTS + slot]);
+                // Advance the cursor to the bucket's window start so the
+                // redistribution lands below `level`.
+                let span = 1u64 << (LEVEL_BITS * level as u32);
+                let (first_t, _, _) = entries.front().expect("occupied bucket is non-empty");
+                let window_start = first_t & !(span - 1);
+                debug_assert!(window_start >= self.cursor);
+                self.cursor = window_start;
+                for (t, seq, event) in entries.drain(..) {
+                    self.place(t, seq, event);
+                }
+                self.scratch = entries;
+                continue;
+            }
+            // Wheel drained: jump to the overflow minimum and refill.
+            let next = self
+                .overflow
+                .peek()
+                .expect("len > 0 with empty past and wheel implies overflow events")
+                .time
+                .as_micros();
+            self.cursor = next;
+            self.rebucket_overflow();
+        }
+    }
+
+    /// Removes and returns every event firing at or before `until`, in
+    /// `(time, seq)` order — exactly the events repeated [`EventQueue::pop`]
+    /// calls would yield while their firing time is `<= until`.
+    ///
+    /// Batching: after each pop, the rest of the popped event's level-0
+    /// bucket (every event at the same exact microsecond, already in FIFO
+    /// order) is taken in one sweep, so same-time bursts — the common case
+    /// in this simulator, where one job's probes all land together — skip
+    /// the per-event level scan entirely.
+    pub fn drain_until(&mut self, until: SimTime) -> Vec<(SimTime, E)> {
+        let mut out = Vec::new();
+        while self.peek_time().is_some_and(|t| t <= until) {
+            let (t, event) = self.pop().expect("peeked event exists");
+            out.push((t, event));
+            // Same-microsecond fast path. Applies only when the pop came
+            // from the wheel (`cursor == t`; past-heap pops leave the
+            // cursor ahead of `t`, where the slot index would alias a
+            // different window) and no past events remain to interleave.
+            // Then the level-0 bucket for `t` holds exactly the remaining
+            // events at `t` (the wheel invariant: level-0 buckets within
+            // the current window are single-microsecond), all due.
+            if t.as_micros() != self.cursor || !self.past.is_empty() {
+                continue;
+            }
+            let slot = (t.as_micros() & (SLOTS as u64 - 1)) as usize;
+            if self.occupied[0] & (1 << slot) != 0 {
+                let cell = &mut self.wheel[slot];
+                while let Some((bt, _, event)) = cell.pop_front() {
+                    debug_assert_eq!(bt, t.as_micros());
+                    self.len -= 1;
+                    out.push((SimTime::from_micros(bt), event));
+                }
+                self.occupied[0] &= !(1 << slot);
+            }
+        }
+        out
     }
 
     /// Returns the firing time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        if let Some(s) = self.past.peek() {
+            return Some(s.time);
+        }
+        if self.occupied[0] != 0 {
+            let slot = self.occupied[0].trailing_zeros() as usize;
+            return self.wheel[slot]
+                .front()
+                .map(|&(t, _, _)| SimTime::from_micros(t));
+        }
+        for level in 1..LEVELS {
+            if self.occupied[level] == 0 {
+                continue;
+            }
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            // Higher-level buckets are seq-ordered, not time-ordered; the
+            // earliest firing time needs a scan. Peeking is off the hot
+            // path (the engine's pop never calls it).
+            return self.wheel[level * SLOTS + slot]
+                .iter()
+                .map(|&(t, _, _)| SimTime::from_micros(t))
+                .min();
+        }
+        self.overflow.peek().map(|s| s.time)
     }
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Returns true if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -167,5 +419,131 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "d");
         assert_eq!(q.pop().unwrap().1, "c");
         assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn push_before_cursor_still_pops_first() {
+        // A bare queue accepts times before the last popped time; such
+        // events pop before everything else, as with the old binary heap.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(100), "late");
+        q.push(SimTime::from_micros(200), "later");
+        assert_eq!(q.pop().unwrap().1, "late");
+        q.push(SimTime::from_micros(50), "past-a");
+        q.push(SimTime::from_micros(60), "past-b");
+        q.push(SimTime::from_micros(50), "past-a2");
+        assert_eq!(q.pop().unwrap(), (SimTime::from_micros(50), "past-a"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_micros(50), "past-a2"));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(60)));
+        assert_eq!(q.pop().unwrap().1, "past-b");
+        assert_eq!(q.pop().unwrap().1, "later");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return() {
+        // 2^43 µs is beyond the wheel span from cursor 0: exercises the
+        // overflow heap and the cursor jump that refills the wheel.
+        let far = 1u64 << 43;
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(far + 7), "far-b");
+        q.push(SimTime::from_micros(far), "far-a");
+        q.push(SimTime::from_micros(3), "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(3)));
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap(), (SimTime::from_micros(far), "far-a"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_micros(far + 7), "far-b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cascades_preserve_fifo_within_equal_times() {
+        // Events at the same far time land in a high-level bucket together
+        // and must still pop in push order after cascading.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(1_000_000_007);
+        for i in 0..50 {
+            q.push(t, i);
+        }
+        q.push(SimTime::from_micros(5), 999);
+        assert_eq!(q.pop().unwrap().1, 999);
+        for i in 0..50 {
+            assert_eq!(q.pop().unwrap(), (t, i));
+        }
+    }
+
+    #[test]
+    fn drain_until_matches_repeated_pop() {
+        let times = [9u64, 2, 2, 7, 4, 4, 4, 30, 1];
+        let build = || {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(t), i);
+            }
+            q
+        };
+        let mut drained = build();
+        let mut popped = build();
+        let until = SimTime::from_micros(7);
+        let batch = drained.drain_until(until);
+        let mut reference = Vec::new();
+        while popped.peek_time().is_some_and(|t| t <= until) {
+            reference.push(popped.pop().unwrap());
+        }
+        assert_eq!(batch, reference);
+        assert_eq!(batch.len(), 7);
+        assert_eq!(drained.len(), 2);
+        // The remainder still pops in order.
+        assert_eq!(drained.pop().unwrap().1, 0);
+        assert_eq!(drained.pop().unwrap().1, 7);
+    }
+
+    #[test]
+    fn drain_until_on_empty_and_past_only() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.drain_until(SimTime::from_secs(1)).is_empty());
+        q.push(SimTime::from_secs(5), 1);
+        assert!(q.drain_until(SimTime::from_secs(4)).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn large_random_workload_pops_sorted() {
+        use crate::rng::SimRng;
+        let mut rng = SimRng::seed_from_u64(0xCAFE);
+        let mut q = EventQueue::new();
+        // Mixed magnitudes: same-µs bursts, near future, and overflow-range
+        // times, interleaved with pops.
+        let mut pending = 0usize;
+        let mut last: Option<(SimTime, u64)> = None;
+        for round in 0u64..10_000 {
+            let t = match rng.index(4) {
+                0 => rng.gen_range(0, 100),
+                1 => rng.gen_range(0, 1_000_000),
+                2 => rng.gen_range(0, 1 << 30),
+                _ => rng.gen_range(1 << 40, 1 << 45),
+            };
+            // Clamp to the queue's monotone regime (engine semantics).
+            let t = SimTime::from_micros(t.max(last.map_or(0, |(lt, _)| lt.as_micros())));
+            q.push(t, round);
+            pending += 1;
+            if round % 3 == 0 {
+                let (pt, seq) = q.pop().unwrap();
+                pending -= 1;
+                if let Some((lt, lseq)) = last {
+                    assert!(pt > lt || (pt == lt && seq > lseq), "order violated");
+                }
+                last = Some((pt, seq));
+            }
+        }
+        while let Some((pt, seq)) = q.pop() {
+            pending -= 1;
+            if let Some((lt, lseq)) = last {
+                assert!(pt > lt || (pt == lt && seq > lseq), "order violated");
+            }
+            last = Some((pt, seq));
+        }
+        assert_eq!(pending, 0);
+        assert_eq!(q.len(), 0);
     }
 }

@@ -28,6 +28,11 @@ pub struct SimRng {
     s: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     gauss_spare: Option<f64>,
+    /// Recycled membership bitmap for [`SimRng::sample_distinct`]: grown to
+    /// the largest population sampled and cleared after each call, so the
+    /// hot probe-placement and steal-victim paths allocate nothing in
+    /// steady state. Purely a cache — never affects the output stream.
+    sample_scratch: Vec<u64>,
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -51,6 +56,7 @@ impl SimRng {
         SimRng {
             s,
             gauss_spare: None,
+            sample_scratch: Vec::new(),
         }
     }
 
@@ -189,24 +195,48 @@ impl SimRng {
     ///
     /// Uses Floyd's algorithm, O(count) expected work, so probing a job with
     /// `2t` probes into a 50,000-server cluster does not touch all servers.
+    /// Membership during the walk is tracked in a recycled bitmap (cleared
+    /// through the output list afterwards), so the call is hash-free and
+    /// allocation-free in steady state; the draw sequence — and therefore
+    /// the result — is identical to the original `HashSet`-based version.
     ///
     /// # Panics
     ///
     /// Panics if `count > n`.
     pub fn sample_distinct(&mut self, n: usize, count: usize) -> Vec<usize> {
-        assert!(count <= n, "sample_distinct: count {count} > n {n}");
-        let mut chosen = std::collections::HashSet::with_capacity(count * 2);
         let mut out = Vec::with_capacity(count);
+        self.sample_distinct_into(n, count, &mut out);
+        out
+    }
+
+    /// Like [`SimRng::sample_distinct`], writing into a caller-provided
+    /// buffer (cleared first). The per-attempt steal-victim path calls this
+    /// with a reused buffer, making victim selection allocation-free; the
+    /// draw sequence is identical to [`SimRng::sample_distinct`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > n`.
+    pub fn sample_distinct_into(&mut self, n: usize, count: usize, out: &mut Vec<usize>) {
+        assert!(count <= n, "sample_distinct: count {count} > n {n}");
+        out.clear();
+        let words = n.div_ceil(64);
+        if self.sample_scratch.len() < words {
+            self.sample_scratch.resize(words, 0);
+        }
         for j in (n - count)..n {
             let t = self.index(j + 1);
-            let pick = if chosen.contains(&t) { j } else { t };
-            chosen.insert(pick);
+            let taken = self.sample_scratch[t / 64] >> (t % 64) & 1 != 0;
+            let pick = if taken { j } else { t };
+            self.sample_scratch[pick / 64] |= 1 << (pick % 64);
             out.push(pick);
+        }
+        for &pick in out.iter() {
+            self.sample_scratch[pick / 64] &= !(1 << (pick % 64));
         }
         // Floyd's algorithm yields a uniformly random *set*; shuffle to make
         // the order uniform too (probe order matters at queue heads).
-        self.shuffle(&mut out);
-        out
+        self.shuffle(out);
     }
 
     /// Fisher–Yates shuffle.

@@ -3,9 +3,142 @@
 use proptest::prelude::*;
 
 use hawk_simcore::stats::{cdf, cdf_at, percentile};
-use hawk_simcore::{EventQueue, IndexedMinHeap, SimRng, SimTime};
+use hawk_simcore::{Engine, EventQueue, IndexedMinHeap, SimDuration, SimRng, SimTime};
+
+/// One step of a generated queue workload.
+#[derive(Debug, Clone)]
+enum QueueOp {
+    /// Schedule an event this many µs past an era base chosen to exercise
+    /// every wheel path (same-µs buckets, near future, cascade range,
+    /// beyond-span overflow).
+    Push(u64),
+    Pop,
+}
+
+fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    let op = (0u8..4, 0u64..4, 0u64..200).prop_map(|(kind, era, fine)| {
+        if kind == 0 {
+            QueueOp::Pop
+        } else {
+            // Eras: exact-tie region, one-bucket region, cascade region,
+            // overflow region (beyond the wheel span of 2^49 µs).
+            let base = [0u64, 1 << 10, 1 << 30, 1 << 55][era as usize];
+            QueueOp::Push(base + fine)
+        }
+    });
+    proptest::collection::vec(op, 1..300)
+}
 
 proptest! {
+    /// The timing-wheel queue pops every pending event in (time, seq)
+    /// order under arbitrary interleaved schedule/pop sequences, matching
+    /// a naive sort-based model exactly. Push times are clamped to the
+    /// engine's monotone regime (never before the last pop), like
+    /// `Engine::schedule_at` guarantees.
+    #[test]
+    fn wheel_queue_matches_sorted_model(ops in queue_ops()) {
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, u64)> = Vec::new(); // (time, seq) pending
+        let mut seq = 0u64;
+        let mut floor = 0u64; // last popped time: the monotone clamp
+        let mut last: Option<(u64, u64)> = None;
+        for op in ops {
+            match op {
+                QueueOp::Push(t) => {
+                    let t = t.max(floor);
+                    q.push(SimTime::from_micros(t), seq);
+                    model.push((t, seq));
+                    seq += 1;
+                }
+                QueueOp::Pop => {
+                    let expect = model.iter().copied().min();
+                    if let Some(pair) = expect {
+                        model.retain(|&p| p != pair);
+                    }
+                    let got = q.pop().map(|(t, s)| (t.as_micros(), s));
+                    prop_assert_eq!(got, expect);
+                    if let Some((t, s)) = got {
+                        // The pop sequence is globally (time, seq) sorted:
+                        // the clock never regresses.
+                        if let Some((lt, ls)) = last {
+                            prop_assert!(t > lt || (t == lt && s > ls));
+                        }
+                        last = Some((t, s));
+                        floor = t;
+                    }
+                }
+            }
+        }
+        // Drain the remainder: still perfectly sorted and complete.
+        model.sort_unstable();
+        for pair in model {
+            prop_assert_eq!(q.pop().map(|(t, s)| (t.as_micros(), s)), Some(pair));
+        }
+        prop_assert!(q.pop().is_none());
+        prop_assert_eq!(q.len(), 0);
+    }
+
+    /// `drain_until(t)` returns exactly what repeated `pop` calls bounded
+    /// by `t` would, leaves the same remainder behind, and advances the
+    /// engine clock identically.
+    #[test]
+    fn drain_until_equals_repeated_pop(
+        times in proptest::collection::vec(0u64..5_000, 1..120),
+        cut in 0u64..5_000,
+    ) {
+        let build = |times: &[u64]| {
+            let mut e: Engine<usize> = Engine::new();
+            for (i, &t) in times.iter().enumerate() {
+                e.schedule_at(SimTime::from_micros(t), i);
+            }
+            e
+        };
+        let mut batch = build(&times);
+        let mut single = build(&times);
+        let until = SimTime::from_micros(cut);
+        let drained = batch.drain_until(until);
+        let mut expect = Vec::new();
+        while single.peek_time().is_some_and(|t| t <= until) {
+            expect.push(single.pop().expect("peeked event exists"));
+        }
+        prop_assert_eq!(&drained, &expect);
+        prop_assert_eq!(batch.now(), single.now());
+        prop_assert_eq!(batch.pending(), single.pending());
+        prop_assert_eq!(batch.processed(), single.processed());
+        // The remainders continue identically.
+        loop {
+            let (a, b) = (batch.pop(), single.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// The engine clock is monotone non-decreasing across any schedule of
+    /// delays, including zero delays and large jumps.
+    #[test]
+    fn engine_clock_never_regresses(
+        delays in proptest::collection::vec(0u64..1 << 40, 1..100),
+    ) {
+        let mut e: Engine<u32> = Engine::new();
+        let mut clock = SimTime::ZERO;
+        for (i, &d) in delays.iter().enumerate() {
+            e.schedule(SimDuration::from_micros(d), i as u32);
+            // Interleave pops with schedules to move the clock forward.
+            if i % 2 == 0 {
+                if let Some((t, _)) = e.pop() {
+                    prop_assert!(t >= clock, "clock regressed: {t} < {clock}");
+                    prop_assert_eq!(e.now(), t);
+                    clock = t;
+                }
+            }
+        }
+        while let Some((t, _)) = e.pop() {
+            prop_assert!(t >= clock);
+            clock = t;
+        }
+    }
     /// Events pop in non-decreasing time order, FIFO among equal times.
     #[test]
     fn event_queue_is_a_stable_priority_queue(

@@ -1,0 +1,138 @@
+//! Property tests for the hand-rolled JSON-lines `Job` codec.
+//!
+//! The codec replaced serde_json in the offline build; these tests pin its
+//! contract: arbitrary valid traces round-trip exactly, unknown fields are
+//! tolerated (annotated traces from external tools keep loading), and the
+//! float-to-duration conversion boundary handles the edge cases that
+//! reach the encoder (zero, subnormal, and huge runtimes).
+
+use proptest::prelude::*;
+
+use hawk_simcore::{SimDuration, SimTime};
+use hawk_workload::{Job, JobClass, JobId, Trace};
+
+/// Generator for one job's raw material: submission offset, task
+/// durations (µs), and an optional generated class tag.
+fn job_parts() -> impl Strategy<Value = (u64, Vec<u64>, u8)> {
+    (
+        0u64..1 << 40,
+        proptest::collection::vec(0u64..1 << 45, 1..12),
+        0u8..3,
+    )
+}
+
+fn build_trace(parts: Vec<(u64, Vec<u64>, u8)>) -> Trace {
+    // Make submissions non-decreasing by accumulating the offsets.
+    let mut at = 0u64;
+    let jobs = parts
+        .into_iter()
+        .enumerate()
+        .map(|(i, (offset, tasks, class))| {
+            at += offset % 1_000_000;
+            Job {
+                id: JobId(i as u32),
+                submission: SimTime::from_micros(at),
+                tasks: tasks.into_iter().map(SimDuration::from_micros).collect(),
+                generated_class: match class {
+                    0 => None,
+                    1 => Some(JobClass::Short),
+                    _ => Some(JobClass::Long),
+                },
+            }
+        })
+        .collect();
+    Trace::new(jobs).expect("generated jobs satisfy the trace invariants")
+}
+
+proptest! {
+    /// Encode → decode is the identity on arbitrary valid traces.
+    #[test]
+    fn json_lines_round_trip(parts in proptest::collection::vec(job_parts(), 0..20)) {
+        let trace = build_trace(parts);
+        let text = trace.to_json_lines();
+        let back = Trace::from_json_lines(&text).expect("codec accepts its own output");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Decoding tolerates unknown fields of every JSON shape, in any
+    /// position, exactly as serde_json's derived deserializer did.
+    #[test]
+    fn unknown_fields_are_skipped(
+        submission in 0u64..1 << 40,
+        task in 0u64..1 << 45,
+        noise_num in -1.0e9f64..1.0e9,
+        flag_bit in 0u8..2,
+    ) {
+        let flag = flag_bit == 1;
+        let line = format!(
+            "{{\"id\":0,\"zzz\":{noise_num},\"submission\":{submission},\
+             \"meta\":{{\"nested\":[1,{noise_num},\"s\",{flag}],\"n\":null}},\
+             \"tasks\":[{task}],\"note\":\"escaped \\\" quote\",\
+             \"generated_class\":null}}"
+        );
+        let trace = Trace::from_json_lines(&line).expect("unknown fields tolerated");
+        prop_assert_eq!(trace.len(), 1);
+        let job = trace.job(JobId(0));
+        prop_assert_eq!(job.submission, SimTime::from_micros(submission));
+        prop_assert_eq!(job.tasks.clone(), vec![SimDuration::from_micros(task)]);
+    }
+
+    /// The float seconds → integer micros conversion (the single entry
+    /// point for generator output into the trace format) is total and
+    /// monotone-safe on edge inputs: zero, subnormals, huge runtimes,
+    /// negatives and non-finite values.
+    #[test]
+    fn duration_from_secs_f64_edge_cases(mantissa in 0u64..1 << 52) {
+        // Zero and negative zero.
+        prop_assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+        prop_assert_eq!(SimDuration::from_secs_f64(-0.0), SimDuration::ZERO);
+        // Subnormals round to zero micros rather than wrapping.
+        let subnormal = f64::from_bits(mantissa);
+        prop_assert!(subnormal == 0.0 || subnormal.is_subnormal());
+        prop_assert_eq!(SimDuration::from_secs_f64(subnormal), SimDuration::ZERO);
+        // Large runtimes (the paper's longest tasks are ~20,000 s; allow
+        // well beyond) convert exactly in integer micros.
+        let big = 20_000.0 * 1e3; // 2e7 seconds
+        prop_assert_eq!(
+            SimDuration::from_secs_f64(big).as_micros(),
+            20_000_000_000_000u64
+        );
+        // Invalid inputs (non-finite or negative) clamp to zero instead of
+        // panicking or wrapping.
+        prop_assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        prop_assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+        prop_assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        prop_assert_eq!(SimDuration::from_secs_f64(-1.5), SimDuration::ZERO);
+    }
+
+    /// Jobs with zero-length and huge task durations survive the codec
+    /// (the encoder writes raw micros, so no float precision is involved).
+    #[test]
+    fn extreme_durations_round_trip(micros in proptest::collection::vec(0u64..u64::MAX >> 12, 1..8)) {
+        let job = Job {
+            id: JobId(0),
+            submission: SimTime::ZERO,
+            tasks: micros.iter().copied().map(SimDuration::from_micros).collect(),
+            generated_class: Some(JobClass::Long),
+        };
+        let trace = Trace::new(vec![job]).expect("valid single-job trace");
+        let back = Trace::from_json_lines(&trace.to_json_lines()).expect("round trip");
+        prop_assert_eq!(trace, back);
+    }
+}
+
+/// Non-property edge pins: the exact behavior of `from_secs_f64` at the
+/// representable extremes (documented contract, not accidents).
+#[test]
+fn duration_conversion_pinned_extremes() {
+    // Non-finite inputs clamp to zero; the smallest positive normal float
+    // is far below one microsecond and rounds to zero.
+    assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+    assert_eq!(
+        SimDuration::from_secs_f64(f64::MIN_POSITIVE),
+        SimDuration::ZERO
+    );
+    // Sub-microsecond rounds to nearest.
+    assert_eq!(SimDuration::from_secs_f64(4.9e-7).as_micros(), 0);
+    assert_eq!(SimDuration::from_secs_f64(5.1e-7).as_micros(), 1);
+}

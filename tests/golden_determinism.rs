@@ -1,0 +1,186 @@
+//! Golden determinism digests: the behavioral contract of the engine.
+//!
+//! Each test runs a small fixed-seed Google-like trace through one of the
+//! paper's four schedulers and hashes the *entire* [`MetricsReport`] —
+//! per-job results included — into a single 64-bit digest, then compares it
+//! against a pinned constant.
+//!
+//! The pinned digests were produced by the pre-rework engine (binary-heap
+//! event queue, linear cluster scans, commit d65d7bf). The indexed-engine
+//! rework (timing-wheel event queue, incremental cluster indexes) is
+//! required to be *bit-identical* in behavior: any drift — a reordered
+//! tie-break, a skipped RNG draw, a changed placement — fails these tests
+//! loudly rather than silently shifting every figure.
+//!
+//! If a future PR changes scheduler behavior *on purpose*, re-pin the
+//! constants: run with `HAWK_PRINT_DIGESTS=1 cargo test --test
+//! golden_determinism -- --nocapture` and copy the printed values, noting
+//! the behavioral change in the commit message.
+
+use std::sync::Arc;
+
+use hawk_core::scheduler::{Centralized, Hawk, Scheduler, Sparrow, SplitCluster};
+use hawk_core::{Experiment, MetricsReport};
+use hawk_workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
+use hawk_workload::Trace;
+
+/// Trace seed; arbitrary but frozen.
+const TRACE_SEED: u64 = 0xDE7E12;
+
+/// Experiment seed; arbitrary but frozen (distinct from the trace seed so
+/// the two RNG streams are visibly independent).
+const SIM_SEED: u64 = 0x5EED_601D;
+
+/// A 10x-scaled Google-like workload: large enough to exercise probing,
+/// late binding (including cancels), central placement, partitioning and
+/// stealing; small enough to run in well under a second per scheduler.
+fn golden_trace() -> Arc<Trace> {
+    Arc::new(GoogleTraceConfig::with_scale(10, 400).generate(TRACE_SEED))
+}
+
+fn run(scheduler: impl Scheduler + 'static) -> MetricsReport {
+    Experiment::builder()
+        .trace(golden_trace())
+        .scheduler(scheduler)
+        .nodes(300)
+        .seed(SIM_SEED)
+        .run()
+}
+
+/// FNV-1a over a canonical little-endian serialization of the report.
+///
+/// Not a cryptographic hash — just a stable fingerprint: any changed bit
+/// in any field changes the digest with overwhelming probability.
+fn digest_report(report: &MetricsReport) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(report.scheduler.as_bytes());
+    h.u64(report.nodes as u64);
+    h.u64(report.results.len() as u64);
+    for r in &report.results {
+        h.u64(r.job.0 as u64);
+        h.u64(r.true_class.is_long() as u64);
+        h.u64(r.scheduled_class.is_long() as u64);
+        h.u64(r.submission.as_micros());
+        h.u64(r.completion.as_micros());
+        h.u64(r.num_tasks as u64);
+    }
+    h.u64(report.median_utilization.to_bits());
+    h.u64(report.max_utilization.to_bits());
+    h.u64(report.utilization_samples.len() as u64);
+    for &u in &report.utilization_samples {
+        h.u64(u.to_bits());
+    }
+    h.u64(report.makespan.as_micros());
+    h.u64(report.events);
+    h.u64(report.steals);
+    h.u64(report.steal_attempts);
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn check(name: &str, scheduler: impl Scheduler + 'static, pinned: u64) {
+    let report = run(scheduler);
+    let digest = digest_report(&report);
+    if std::env::var_os("HAWK_PRINT_DIGESTS").is_some() {
+        println!("const {name}: u64 = {digest:#018x};");
+    }
+    assert_eq!(
+        digest, pinned,
+        "{name} drifted: got {digest:#018x}, pinned {pinned:#018x} — \
+         the engine's behavior changed (see module docs to re-pin intentionally)"
+    );
+}
+
+const HAWK_DIGEST: u64 = 0xd3c1ed8a6771bcfc;
+const SPARROW_DIGEST: u64 = 0x01255b27da1012a9;
+const CENTRALIZED_DIGEST: u64 = 0x9048234f476f81f5;
+const SPLIT_CLUSTER_DIGEST: u64 = 0x74d8c6fdcb839842;
+
+#[test]
+fn hawk_digest_pinned() {
+    check(
+        "HAWK_DIGEST",
+        Hawk::new(GOOGLE_SHORT_PARTITION),
+        HAWK_DIGEST,
+    );
+}
+
+#[test]
+fn sparrow_digest_pinned() {
+    check("SPARROW_DIGEST", Sparrow::new(), SPARROW_DIGEST);
+}
+
+#[test]
+fn centralized_digest_pinned() {
+    check("CENTRALIZED_DIGEST", Centralized::new(), CENTRALIZED_DIGEST);
+}
+
+#[test]
+fn split_cluster_digest_pinned() {
+    check(
+        "SPLIT_CLUSTER_DIGEST",
+        SplitCluster::new(GOOGLE_SHORT_PARTITION),
+        SPLIT_CLUSTER_DIGEST,
+    );
+}
+
+/// The digest function itself is part of the contract: if its
+/// serialization changes, every pinned constant silently changes meaning.
+/// Freeze it against a tiny synthetic report.
+#[test]
+fn digest_function_is_stable() {
+    use hawk_simcore::SimTime;
+    use hawk_workload::{JobClass, JobId};
+
+    let report = MetricsReport {
+        scheduler: "probe".to_string(),
+        nodes: 7,
+        results: vec![hawk_core::JobResult {
+            job: JobId(0),
+            true_class: JobClass::Short,
+            scheduled_class: JobClass::Long,
+            submission: SimTime::from_secs(1),
+            completion: SimTime::from_secs(3),
+            num_tasks: 2,
+        }],
+        median_utilization: 0.5,
+        max_utilization: 1.0,
+        utilization_samples: vec![0.5, 1.0],
+        makespan: SimTime::from_secs(3),
+        events: 11,
+        steals: 1,
+        steal_attempts: 4,
+    };
+    assert_eq!(digest_report(&report), 5542435923394299797);
+}
+
+/// Two runs of the same cell are bit-identical (the digests above pin the
+/// value; this pins the property, independent of any constant).
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let a = run(Hawk::new(GOOGLE_SHORT_PARTITION));
+    let b = run(Hawk::new(GOOGLE_SHORT_PARTITION));
+    assert_eq!(digest_report(&a), digest_report(&b));
+}
