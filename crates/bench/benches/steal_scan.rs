@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hawk_cluster::steal::eligible_group;
-use hawk_cluster::{QueueEntry, Server, ServerId, TaskSpec};
+use hawk_cluster::{QueueEntry, QueueSlab, Server, ServerId, TaskSpec};
 use hawk_simcore::{SimDuration, SimRng};
 use hawk_workload::{JobClass, JobId};
 
@@ -28,22 +28,23 @@ fn entry(long: bool, id: u32) -> QueueEntry {
 
 /// Builds a busy server with `len` queued entries, `long_frac` of them
 /// long, in random order.
-fn victim(len: usize, long_frac: f64, seed: u64) -> Server {
+fn victim(len: usize, long_frac: f64, seed: u64) -> (QueueSlab, Server) {
     let mut rng = SimRng::seed_from_u64(seed);
+    let mut q = QueueSlab::new(1);
     let mut s = Server::new(ServerId(0));
-    s.enqueue(entry(true, 0)); // occupies the slot (a long task)
+    s.enqueue(&mut q, entry(true, 0)); // occupies the slot (a long task)
     for i in 0..len {
-        s.enqueue(entry(rng.chance(long_frac), i as u32 + 1));
+        s.enqueue(&mut q, entry(rng.chance(long_frac), i as u32 + 1));
     }
-    s
+    (q, s)
 }
 
 fn bench_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("steal_scan");
     for &len in &[8usize, 64, 512] {
         group.bench_with_input(BenchmarkId::new("mixed_queue", len), &len, |b, &len| {
-            let s = victim(len, 0.3, 7);
-            b.iter(|| eligible_group(&s));
+            let (q, s) = victim(len, 0.3, 7);
+            b.iter(|| eligible_group(&s, &q));
         });
         group.bench_with_input(
             BenchmarkId::new("all_short_fast_path", len),
@@ -51,19 +52,23 @@ fn bench_scan(c: &mut Criterion) {
             |b, &len| {
                 // Short slot + all-short queue: the queued-long counter
                 // rejects in O(1).
+                let mut q = QueueSlab::new(1);
                 let mut s = Server::new(ServerId(0));
-                s.enqueue(entry(false, 0));
+                s.enqueue(&mut q, entry(false, 0));
                 // Bind the probe so the slot is Running(short).
-                s.on_bind_response(Some(TaskSpec {
-                    job: JobId(0),
-                    duration: SimDuration::from_secs(1),
-                    estimate: SimDuration::from_secs(1),
-                    class: JobClass::Short,
-                }));
+                s.on_bind_response(
+                    &mut q,
+                    Some(TaskSpec {
+                        job: JobId(0),
+                        duration: SimDuration::from_secs(1),
+                        estimate: SimDuration::from_secs(1),
+                        class: JobClass::Short,
+                    }),
+                );
                 for i in 0..len {
-                    s.enqueue(entry(false, i as u32 + 1));
+                    s.enqueue(&mut q, entry(false, i as u32 + 1));
                 }
-                b.iter(|| eligible_group(&s));
+                b.iter(|| eligible_group(&s, &q));
             },
         );
     }

@@ -3,9 +3,11 @@
 //! Unlike the figure binaries (which reproduce the paper's *results*), this
 //! binary measures how fast the simulator itself runs: it times
 //! representative end-to-end cells — the 90 %-load Google-like workload at
-//! 1k / 5k / 15k nodes under Hawk and Sparrow — and writes `BENCH_perf.json`
-//! at the repository root so the engine's throughput trajectory is tracked
-//! across PRs.
+//! 1k / 5k / 15k / 50k nodes under Hawk and Sparrow — and writes
+//! `BENCH_perf.json` at the repository root so the engine's throughput
+//! trajectory is tracked across PRs. The 50k-node pair is the paper's
+//! largest Figure 5 cluster: the slab-backed queue rework exists precisely
+//! so per-event throughput stays flat out to that scale.
 //!
 //! Each cell keeps the offered load constant (~90 % at every cluster size)
 //! by scaling the arrival rate with the node count, so the cells differ in
@@ -34,12 +36,32 @@ const DEFAULT_JOBS: usize = 30_000;
 /// Job count in `--smoke` mode (CI): exercises every cell in seconds.
 const SMOKE_JOBS: usize = 2_000;
 
-/// The cluster sizes timed, largest last (the headline cell).
-const NODE_CELLS: [usize; 3] = [1_000, 5_000, 15_000];
+/// The cluster sizes timed, largest last (the headline cell). 50,000 is
+/// the top of the paper's Figure 5 sweep.
+const NODE_CELLS: [usize; 4] = [1_000, 5_000, 15_000, 50_000];
 
 /// The arrival-rate anchor: `with_scale(1)` calibrates ~90 % load at
 /// 15,000 nodes, so `scale = ANCHOR_NODES / nodes` holds load constant.
 const ANCHOR_NODES: u64 = 15_000;
+
+/// The trace for one cell, holding offered load at ~90 % for any cluster
+/// size. Sizes that divide the anchor go through `with_scale` and produce
+/// byte-identical traces to earlier trajectory entries; larger cells
+/// (50k) scale the mean inter-arrival directly by `anchor / nodes`.
+fn trace_for(nodes: usize, jobs: usize, seed: u64) -> Trace {
+    if nodes as u64 <= ANCHOR_NODES && ANCHOR_NODES.is_multiple_of(nodes as u64) {
+        return GoogleTraceConfig::with_scale(ANCHOR_NODES / nodes as u64, jobs).generate(seed);
+    }
+    let anchor = GoogleTraceConfig::with_scale(1, jobs);
+    let ratio = ANCHOR_NODES as f64 / nodes as f64;
+    GoogleTraceConfig {
+        mean_interarrival: hawk_simcore::SimDuration::from_secs_f64(
+            anchor.mean_interarrival.as_secs_f64() * ratio,
+        ),
+        ..anchor
+    }
+    .generate(seed)
+}
 
 /// Pre-rework wall-clock seconds per `(scheduler, nodes)` cell at the
 /// default 30,000 jobs and default seed, measured on the binary-heap
@@ -158,8 +180,7 @@ fn main() {
     let mut cells: Vec<CellTiming> = Vec::new();
     for nodes in NODE_CELLS {
         // Hold offered load at ~90 % for every cluster size.
-        let scale = (ANCHOR_NODES / nodes as u64).max(1);
-        let trace = Arc::new(GoogleTraceConfig::with_scale(scale, jobs).generate(opts.seed));
+        let trace = Arc::new(trace_for(nodes, jobs, opts.seed));
         let schedulers: Vec<Arc<dyn Scheduler>> = vec![
             Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)),
             Arc::new(Sparrow::new()),

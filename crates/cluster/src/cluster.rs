@@ -15,8 +15,9 @@ use hawk_simcore::SimDuration;
 use crate::entry::{QueueEntry, TaskSpec};
 use crate::index::{BitSet, DepthHistogram};
 use crate::partition::Partition;
-use crate::server::{Server, ServerAction, ServerId};
+use crate::server::{QueueSlab, Server, ServerAction, ServerId};
 use crate::steal;
+use crate::steal::StealScratch;
 
 /// Index-relevant summary of one server's state, packed into one word and
 /// diffed around every mutation to keep the cluster indexes current.
@@ -78,6 +79,12 @@ impl ServerStat {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     servers: Vec<Server>,
+    /// The shared queue arena: one intrusive FIFO list per server. All
+    /// queue storage lives here (see [`QueueSlab`]); servers keep only
+    /// O(1) mirrors.
+    queues: QueueSlab,
+    /// Reused working space for the granularity-driven steal scans.
+    steal_scratch: StealScratch,
     partition: Partition,
     running: usize,
     /// Completely idle servers (one bit per server: cache-resident).
@@ -106,6 +113,8 @@ impl Cluster {
             servers: (0..total)
                 .map(|i| Server::new(ServerId(i as u32)))
                 .collect(),
+            queues: QueueSlab::new(total),
+            steal_scratch: StealScratch::new(),
             partition,
             running: 0,
             free,
@@ -120,14 +129,19 @@ impl Cluster {
         }
     }
 
-    /// Applies `mutate` to one server, diffing its indexed state before and
-    /// after so every index stays current. All mutation paths funnel
-    /// through here. The fast path — the mutation left depth and long-work
-    /// state unchanged — is a single XOR.
-    fn update<R>(&mut self, id: ServerId, mutate: impl FnOnce(&mut Server) -> R) -> R {
+    /// Applies `mutate` to one server (handing it the shared queue arena),
+    /// diffing its indexed state before and after so every index stays
+    /// current. All mutation paths funnel through here. The fast path —
+    /// the mutation left depth and long-work state unchanged — is a single
+    /// XOR.
+    fn update<R>(
+        &mut self,
+        id: ServerId,
+        mutate: impl FnOnce(&mut Server, &mut QueueSlab) -> R,
+    ) -> R {
         let server = &mut self.servers[id.index()];
         let before = ServerStat::of(server);
-        let result = mutate(server);
+        let result = mutate(server, &mut self.queues);
         let after = ServerStat::of(server);
         if before != after {
             self.apply_delta(id, before, after);
@@ -178,6 +192,12 @@ impl Cluster {
         &self.servers[id.index()]
     }
 
+    /// Read access to the shared queue arena (server `i`'s queue is list
+    /// `i`; pair with [`Server::queue`] to walk one queue).
+    pub fn queues(&self) -> &QueueSlab {
+        &self.queues
+    }
+
     /// Number of servers currently executing a task.
     pub fn running_count(&self) -> usize {
         self.running
@@ -191,7 +211,7 @@ impl Cluster {
 
     /// Enqueues an entry on `id`, updating the running count and indexes.
     pub fn enqueue(&mut self, id: ServerId, entry: QueueEntry) -> Option<ServerAction> {
-        let action = self.update(id, |s| s.enqueue(entry));
+        let action = self.update(id, |s, q| s.enqueue(q, entry));
         if let Some(ServerAction::StartTask(_)) = action {
             self.running += 1;
         }
@@ -200,7 +220,7 @@ impl Cluster {
 
     /// Delivers a bind response to `id`.
     pub fn on_bind_response(&mut self, id: ServerId, task: Option<TaskSpec>) -> ServerAction {
-        let action = self.update(id, |s| s.on_bind_response(task));
+        let action = self.update(id, |s, q| s.on_bind_response(q, task));
         if let ServerAction::StartTask(_) = action {
             self.running += 1;
         }
@@ -209,7 +229,7 @@ impl Cluster {
 
     /// Completes the running task on `id`.
     pub fn on_task_finish(&mut self, id: ServerId) -> (TaskSpec, ServerAction) {
-        let (spec, action) = self.update(id, |s| s.on_task_finish());
+        let (spec, action) = self.update(id, |s, q| s.on_task_finish(q));
         self.running -= 1;
         if let ServerAction::StartTask(_) = action {
             self.running += 1;
@@ -217,40 +237,81 @@ impl Cluster {
         (spec, action)
     }
 
+    /// Attempts to steal from `victim` (§3.6), appending its eligible
+    /// group to `out` in queue order (nothing appended when none is
+    /// eligible). Allocation-free once `out` has warmed up.
+    pub fn steal_from_into(&mut self, victim: ServerId, out: &mut Vec<QueueEntry>) {
+        self.update(victim, |s, q| steal::steal_from_into(s, q, out));
+    }
+
     /// Attempts to steal from `victim` (§3.6): removes and returns its
     /// eligible group, empty when there is none.
     pub fn steal_from(&mut self, victim: ServerId) -> Vec<QueueEntry> {
-        self.update(victim, steal::steal_from)
+        let mut out = Vec::new();
+        self.steal_from_into(victim, &mut out);
+        out
     }
 
-    /// Like [`Cluster::steal_from`], with an explicit granularity policy
-    /// (the `ablation_steal_granularity` bench compares them).
+    /// Like [`Cluster::steal_from_into`], with an explicit granularity
+    /// policy (the `ablation_steal_granularity` bench compares them). The
+    /// scan's working space is a buffer recycled inside the cluster, so
+    /// repeated attempts allocate nothing.
+    pub fn steal_from_with_into(
+        &mut self,
+        victim: ServerId,
+        granularity: steal::StealGranularity,
+        rng: &mut hawk_simcore::SimRng,
+        out: &mut Vec<QueueEntry>,
+    ) {
+        let mut scratch = std::mem::take(&mut self.steal_scratch);
+        self.update(victim, |s, q| {
+            steal::steal_from_with_into(s, q, granularity, rng, &mut scratch, out)
+        });
+        self.steal_scratch = scratch;
+    }
+
+    /// Like [`Cluster::steal_from`], with an explicit granularity policy.
     pub fn steal_from_with(
         &mut self,
         victim: ServerId,
         granularity: steal::StealGranularity,
         rng: &mut hawk_simcore::SimRng,
     ) -> Vec<QueueEntry> {
-        self.update(victim, |s| steal::steal_from_with(s, granularity, rng))
+        let mut out = Vec::new();
+        self.steal_from_with_into(victim, granularity, rng, &mut out);
+        out
     }
 
     /// True if `victim` currently has a non-empty eligible steal group.
     pub fn has_stealable(&self, victim: ServerId) -> bool {
-        steal::eligible_group(&self.servers[victim.index()]).is_some()
+        steal::eligible_group(&self.servers[victim.index()], &self.queues).is_some()
     }
 
-    /// Hands stolen entries to `thief`, returning the action if the thief
-    /// started processing (it is idle by construction, so it will).
+    /// Hands stolen entries to `thief` by draining `entries` (left empty,
+    /// capacity intact, so the caller can recycle it), returning the
+    /// action if the thief started processing (it is idle by construction,
+    /// so it will).
+    pub fn give_stolen_drain(
+        &mut self,
+        thief: ServerId,
+        entries: &mut Vec<QueueEntry>,
+    ) -> Option<ServerAction> {
+        let action = self.update(thief, |s, q| s.enqueue_all(q, entries.drain(..)));
+        if let Some(ServerAction::StartTask(_)) = action {
+            self.running += 1;
+        }
+        action
+    }
+
+    /// Hands stolen entries to `thief` (owned-`Vec` convenience over
+    /// [`Cluster::give_stolen_drain`]).
     pub fn give_stolen(
         &mut self,
         thief: ServerId,
         entries: Vec<QueueEntry>,
     ) -> Option<ServerAction> {
-        let action = self.update(thief, |s| s.enqueue_all(entries));
-        if let Some(ServerAction::StartTask(_)) = action {
-            self.running += 1;
-        }
-        action
+        let mut entries = entries;
+        self.give_stolen_drain(thief, &mut entries)
     }
 
     // --- Index queries: O(1) reads maintained incrementally. ---
@@ -312,10 +373,18 @@ impl Cluster {
         &self.depth_short
     }
 
-    /// Checks every server's invariants plus the running count and every
-    /// incremental index against a from-scratch recomputation.
+    /// Checks every server's invariants plus the running count, the queue
+    /// arena, and every incremental index against a from-scratch
+    /// recomputation.
     pub fn check_invariants(&self) -> bool {
-        if !self.servers.iter().all(Server::check_invariants) {
+        if !self
+            .servers
+            .iter()
+            .all(|s| s.check_invariants(&self.queues))
+        {
+            return false;
+        }
+        if !self.queues.check_invariants() {
             return false;
         }
         let mut expect_general = DepthHistogram::new(self.partition.general_count());
@@ -376,7 +445,10 @@ impl UtilizationTracker {
     pub fn new(interval: SimDuration) -> Self {
         UtilizationTracker {
             interval,
-            samples: Vec::new(),
+            // Pre-sized so early samples stay off the allocator (the
+            // zero-allocation window test measures the whole event loop);
+            // longer runs amortize growth as usual.
+            samples: Vec::with_capacity(256),
         }
     }
 

@@ -34,5 +34,5 @@ pub use entry::{QueueEntry, TaskSpec};
 pub use index::DepthHistogram;
 pub use network::NetworkModel;
 pub use partition::Partition;
-pub use server::{Server, ServerAction, ServerId, Slot};
+pub use server::{QueueSlab, Server, ServerAction, ServerId, Slot};
 pub use steal::StealGranularity;

@@ -11,14 +11,28 @@
 //!
 //! Methods return a [`ServerAction`] that the simulation driver converts
 //! into events (task-finish timers, bind-request messages, steal attempts).
+//!
+//! # Queue storage
+//!
+//! Queue entries do not live inside the server: every queue in a cluster
+//! is an intrusive list in one shared [`QueueSlab`] arena (list `i` backs
+//! server `i`), so 15k–50k queues share contiguous storage instead of
+//! 15k–50k scattered heap objects, and entry nodes are recycled through
+//! the slab's free list — the steady-state event loop allocates nothing.
+//! Every queue-touching method therefore takes the slab as a parameter;
+//! the server keeps only O(1) mirrors (queue length, queued-long count,
+//! the packed stat word) that it maintains incrementally.
 
-use std::collections::VecDeque;
 use std::fmt;
 
 use hawk_workload::{JobClass, JobId};
 use serde::{Deserialize, Serialize};
 
 use crate::entry::{QueueEntry, TaskSpec};
+
+/// The shared queue arena: one intrusive FIFO list per server, backed by
+/// a single slab of [`QueueEntry`] nodes (see [`hawk_simcore::EntrySlab`]).
+pub type QueueSlab = hawk_simcore::EntrySlab<QueueEntry>;
 
 /// Identifies a server within a cluster (dense, `0..cluster.len()`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -84,24 +98,31 @@ pub enum ServerAction {
     BecameIdle,
 }
 
-/// A single-slot, FIFO-queued worker.
+/// A single-slot, FIFO-queued worker whose queue lives in a shared
+/// [`QueueSlab`] (list `id.index()`).
 ///
 /// # Examples
 ///
 /// ```
-/// use hawk_cluster::{QueueEntry, Server, ServerAction, ServerId};
+/// use hawk_cluster::{QueueEntry, QueueSlab, Server, ServerAction, ServerId};
 /// use hawk_workload::{JobClass, JobId};
 ///
+/// let mut queues = QueueSlab::new(1);
 /// let mut s = Server::new(ServerId(0));
-/// let action = s.enqueue(QueueEntry::Probe { job: JobId(1), class: JobClass::Short });
+/// let action = s.enqueue(
+///     &mut queues,
+///     QueueEntry::Probe { job: JobId(1), class: JobClass::Short },
+/// );
 /// // The probe hit the head of an idle queue: the server asks for a task.
 /// assert_eq!(action, Some(ServerAction::RequestBind { job: JobId(1) }));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Server {
     id: ServerId,
-    queue: VecDeque<QueueEntry>,
     slot: Slot,
+    /// Queue length mirror (the slab is the storage; this keeps
+    /// depth reads a single load with no slab reference).
+    queue_len: u32,
     /// Number of long entries currently queued; lets the steal scan skip
     /// ineligible victims in O(1).
     queued_long: usize,
@@ -114,15 +135,22 @@ pub struct Server {
 }
 
 impl Server {
-    /// Creates an idle server.
+    /// Creates an idle server. Its queue is list `id.index()` of the
+    /// cluster's [`QueueSlab`].
     pub fn new(id: ServerId) -> Self {
         Server {
             id,
-            queue: VecDeque::new(),
             slot: Slot::Free,
+            queue_len: 0,
             queued_long: 0,
             stat: 0,
         }
+    }
+
+    /// The slab list backing this server's queue.
+    #[inline]
+    pub fn list(&self) -> usize {
+        self.id.index()
     }
 
     /// The packed index summary: bit 0 = holds-long-work, bits 1.. = queue
@@ -135,7 +163,7 @@ impl Server {
     /// compares it against the incrementally maintained copy).
     fn computed_stat(&self) -> u32 {
         let occupied = u32::from(!matches!(self.slot, Slot::Free));
-        let depth = self.queue.len() as u32 + occupied;
+        let depth = self.queue_len + occupied;
         depth << 1 | u32::from(self.slot.holds_long() || self.queued_long > 0)
     }
 
@@ -171,7 +199,7 @@ impl Server {
 
     /// Queue length (excluding the slot).
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.queue_len as usize
     }
 
     /// Number of long entries in the queue.
@@ -180,8 +208,8 @@ impl Server {
     }
 
     /// Read-only view of the queue, head first.
-    pub fn queue(&self) -> impl Iterator<Item = &QueueEntry> {
-        self.queue.iter()
+    pub fn queue<'s>(&self, queues: &'s QueueSlab) -> impl Iterator<Item = &'s QueueEntry> {
+        queues.iter(self.list())
     }
 
     /// Appends an entry to the queue tail (§3.1: "when a new task is
@@ -190,15 +218,16 @@ impl Server {
     ///
     /// Returns the follow-up action if the server was idle and immediately
     /// started processing the entry, `None` otherwise.
-    pub fn enqueue(&mut self, entry: QueueEntry) -> Option<ServerAction> {
+    pub fn enqueue(&mut self, queues: &mut QueueSlab, entry: QueueEntry) -> Option<ServerAction> {
         if entry.is_long() {
             self.queued_long += 1;
             self.stat |= 1;
         }
-        self.queue.push_back(entry);
+        queues.push_back(self.list(), entry);
+        self.queue_len += 1;
         self.stat += 2; // depth grew by one
         if self.is_free() {
-            Some(self.advance())
+            Some(self.advance(queues))
         } else {
             None
         }
@@ -208,11 +237,12 @@ impl Server {
     /// processing started.
     pub fn enqueue_all(
         &mut self,
+        queues: &mut QueueSlab,
         entries: impl IntoIterator<Item = QueueEntry>,
     ) -> Option<ServerAction> {
         let mut first_action = None;
         for entry in entries {
-            let action = self.enqueue(entry);
+            let action = self.enqueue(queues, entry);
             if first_action.is_none() {
                 first_action = action;
             }
@@ -221,17 +251,14 @@ impl Server {
     }
 
     /// Pops and processes the next queue entry.
-    ///
-    /// Callers must only invoke this through the state-transition methods;
-    /// it is public for the driver's steal path, which needs to restart a
-    /// thief after handing it stolen entries.
-    fn advance(&mut self) -> ServerAction {
-        let action = match self.queue.pop_front() {
+    fn advance(&mut self, queues: &mut QueueSlab) -> ServerAction {
+        let action = match queues.pop_front(self.list()) {
             None => {
                 self.slot = Slot::Free;
                 ServerAction::BecameIdle
             }
             Some(QueueEntry::Task(spec)) => {
+                self.queue_len -= 1;
                 if spec.class.is_long() {
                     self.queued_long -= 1;
                 }
@@ -239,6 +266,7 @@ impl Server {
                 ServerAction::StartTask(spec)
             }
             Some(QueueEntry::Probe { job, class }) => {
+                self.queue_len -= 1;
                 if class.is_long() {
                     self.queued_long -= 1;
                 }
@@ -258,7 +286,11 @@ impl Server {
     /// # Panics
     ///
     /// Panics if the server is not awaiting a bind.
-    pub fn on_bind_response(&mut self, task: Option<TaskSpec>) -> ServerAction {
+    pub fn on_bind_response(
+        &mut self,
+        queues: &mut QueueSlab,
+        task: Option<TaskSpec>,
+    ) -> ServerAction {
         assert!(
             self.is_awaiting_bind(),
             "{} got a bind response while {:?}",
@@ -273,7 +305,7 @@ impl Server {
             }
             None => {
                 self.slot = Slot::Free;
-                self.advance()
+                self.advance(queues)
             }
         }
     }
@@ -284,27 +316,60 @@ impl Server {
     /// # Panics
     ///
     /// Panics if no task is running.
-    pub fn on_task_finish(&mut self) -> (TaskSpec, ServerAction) {
+    pub fn on_task_finish(&mut self, queues: &mut QueueSlab) -> (TaskSpec, ServerAction) {
         let Slot::Running(spec) = self.slot else {
             panic!("{} finished a task while {:?}", self.id, self.slot);
         };
         self.slot = Slot::Free;
-        (spec, self.advance())
+        (spec, self.advance(queues))
     }
 
-    /// Removes the queue entries at `range` (used by the steal scan),
-    /// keeping the long-entry counter consistent.
-    pub(crate) fn drain_queue(&mut self, start: usize, count: usize) -> Vec<QueueEntry> {
-        let taken: Vec<QueueEntry> = self.queue.drain(start..start + count).collect();
-        let long_taken = taken.iter().filter(|e| e.is_long()).count();
-        self.queued_long -= long_taken;
+    /// Unlinks the `count`-node run starting at slab node `start` (whose
+    /// predecessor is `prev`; `None` at the head), appending the removed
+    /// entries to `out` in queue order. Used by the steal scan, which
+    /// discovers the run's node indices during its walk.
+    pub(crate) fn unlink_run_into(
+        &mut self,
+        queues: &mut QueueSlab,
+        prev: Option<u32>,
+        start: u32,
+        count: usize,
+        out: &mut Vec<QueueEntry>,
+    ) {
+        let before = out.len();
+        queues.unlink_run_into(self.list(), prev, start, count, out);
+        self.note_removed(&out[before..]);
+    }
+
+    /// Unlinks the single slab node `node` (predecessor `prev`), appending
+    /// its entry to `out`.
+    pub(crate) fn unlink_one_into(
+        &mut self,
+        queues: &mut QueueSlab,
+        prev: Option<u32>,
+        node: u32,
+        out: &mut Vec<QueueEntry>,
+    ) {
+        let entry = queues.unlink_after(self.list(), prev, node);
+        self.note_removed(std::slice::from_ref(&entry));
+        out.push(entry);
+    }
+
+    /// Fixes the length/long-count mirrors after `removed` entries left the
+    /// queue.
+    fn note_removed(&mut self, removed: &[QueueEntry]) {
+        self.queue_len -= removed.len() as u32;
+        self.queued_long -= removed.iter().filter(|e| e.is_long()).count();
         self.recompute_stat();
-        taken
     }
 
-    /// Checks internal invariants; used by tests and property tests.
-    pub fn check_invariants(&self) -> bool {
-        let long_count = self.queue.iter().filter(|e| e.is_long()).count();
+    /// Checks internal invariants against the backing slab; used by tests
+    /// and property tests.
+    pub fn check_invariants(&self, queues: &QueueSlab) -> bool {
+        if queues.len(self.list()) != self.queue_len as usize {
+            return false;
+        }
+        let long_count = self.queue(queues).filter(|e| e.is_long()).count();
         if long_count != self.queued_long {
             return false;
         }
@@ -313,7 +378,7 @@ impl Server {
             return false;
         }
         // A free server must have an empty queue.
-        !self.is_free() || self.queue.is_empty()
+        !self.is_free() || self.queue_len == 0
     }
 }
 
@@ -331,117 +396,145 @@ mod tests {
         }
     }
 
+    fn setup() -> (QueueSlab, Server) {
+        (QueueSlab::new(1), Server::new(ServerId(0)))
+    }
+
     #[test]
     fn idle_server_starts_task_immediately() {
-        let mut s = Server::new(ServerId(0));
+        let (mut q, mut s) = setup();
         let spec = task(1, JobClass::Long);
-        let action = s.enqueue(QueueEntry::Task(spec));
+        let action = s.enqueue(&mut q, QueueEntry::Task(spec));
         assert_eq!(action, Some(ServerAction::StartTask(spec)));
         assert!(s.is_running());
         assert_eq!(s.queue_len(), 0);
-        assert!(s.check_invariants());
+        assert!(s.check_invariants(&q));
     }
 
     #[test]
     fn busy_server_queues_fifo() {
-        let mut s = Server::new(ServerId(0));
-        s.enqueue(QueueEntry::Task(task(1, JobClass::Long)));
-        assert_eq!(s.enqueue(QueueEntry::Task(task(2, JobClass::Short))), None);
-        assert_eq!(s.enqueue(QueueEntry::Task(task(3, JobClass::Short))), None);
+        let (mut q, mut s) = setup();
+        s.enqueue(&mut q, QueueEntry::Task(task(1, JobClass::Long)));
+        assert_eq!(
+            s.enqueue(&mut q, QueueEntry::Task(task(2, JobClass::Short))),
+            None
+        );
+        assert_eq!(
+            s.enqueue(&mut q, QueueEntry::Task(task(3, JobClass::Short))),
+            None
+        );
         assert_eq!(s.queue_len(), 2);
 
-        let (done, action) = s.on_task_finish();
+        let (done, action) = s.on_task_finish(&mut q);
         assert_eq!(done.job, JobId(1));
         assert_eq!(action, ServerAction::StartTask(task(2, JobClass::Short)));
-        let (done, action) = s.on_task_finish();
+        let (done, action) = s.on_task_finish(&mut q);
         assert_eq!(done.job, JobId(2));
         assert_eq!(action, ServerAction::StartTask(task(3, JobClass::Short)));
-        let (_, action) = s.on_task_finish();
+        let (_, action) = s.on_task_finish(&mut q);
         assert_eq!(action, ServerAction::BecameIdle);
         assert!(s.is_free());
-        assert!(s.check_invariants());
+        assert!(s.check_invariants(&q));
     }
 
     #[test]
     fn probe_binds_then_runs() {
-        let mut s = Server::new(ServerId(0));
-        let action = s.enqueue(QueueEntry::Probe {
-            job: JobId(9),
-            class: JobClass::Short,
-        });
+        let (mut q, mut s) = setup();
+        let action = s.enqueue(
+            &mut q,
+            QueueEntry::Probe {
+                job: JobId(9),
+                class: JobClass::Short,
+            },
+        );
         assert_eq!(action, Some(ServerAction::RequestBind { job: JobId(9) }));
         assert!(s.is_awaiting_bind());
         // While awaiting, new entries just queue.
-        assert_eq!(s.enqueue(QueueEntry::Task(task(2, JobClass::Long))), None);
+        assert_eq!(
+            s.enqueue(&mut q, QueueEntry::Task(task(2, JobClass::Long))),
+            None
+        );
 
         let spec = task(9, JobClass::Short);
-        let action = s.on_bind_response(Some(spec));
+        let action = s.on_bind_response(&mut q, Some(spec));
         assert_eq!(action, ServerAction::StartTask(spec));
         assert!(s.is_running());
-        assert!(s.check_invariants());
+        assert!(s.check_invariants(&q));
     }
 
     #[test]
     fn cancelled_probe_moves_to_next_entry() {
-        let mut s = Server::new(ServerId(0));
-        s.enqueue(QueueEntry::Probe {
-            job: JobId(1),
-            class: JobClass::Short,
-        });
+        let (mut q, mut s) = setup();
+        s.enqueue(
+            &mut q,
+            QueueEntry::Probe {
+                job: JobId(1),
+                class: JobClass::Short,
+            },
+        );
         let next = task(2, JobClass::Long);
-        s.enqueue(QueueEntry::Task(next));
-        let action = s.on_bind_response(None);
+        s.enqueue(&mut q, QueueEntry::Task(next));
+        let action = s.on_bind_response(&mut q, None);
         assert_eq!(action, ServerAction::StartTask(next));
-        assert!(s.check_invariants());
+        assert!(s.check_invariants(&q));
     }
 
     #[test]
     fn cancelled_probe_on_empty_queue_idles() {
-        let mut s = Server::new(ServerId(0));
-        s.enqueue(QueueEntry::Probe {
-            job: JobId(1),
-            class: JobClass::Short,
-        });
-        assert_eq!(s.on_bind_response(None), ServerAction::BecameIdle);
+        let (mut q, mut s) = setup();
+        s.enqueue(
+            &mut q,
+            QueueEntry::Probe {
+                job: JobId(1),
+                class: JobClass::Short,
+            },
+        );
+        assert_eq!(s.on_bind_response(&mut q, None), ServerAction::BecameIdle);
         assert!(s.is_free());
     }
 
     #[test]
     fn queued_long_counter_tracks() {
-        let mut s = Server::new(ServerId(0));
-        s.enqueue(QueueEntry::Task(task(1, JobClass::Short)));
-        s.enqueue(QueueEntry::Task(task(2, JobClass::Long)));
-        s.enqueue(QueueEntry::Probe {
-            job: JobId(3),
-            class: JobClass::Long,
-        });
-        s.enqueue(QueueEntry::Probe {
-            job: JobId(4),
-            class: JobClass::Short,
-        });
+        let (mut q, mut s) = setup();
+        s.enqueue(&mut q, QueueEntry::Task(task(1, JobClass::Short)));
+        s.enqueue(&mut q, QueueEntry::Task(task(2, JobClass::Long)));
+        s.enqueue(
+            &mut q,
+            QueueEntry::Probe {
+                job: JobId(3),
+                class: JobClass::Long,
+            },
+        );
+        s.enqueue(
+            &mut q,
+            QueueEntry::Probe {
+                job: JobId(4),
+                class: JobClass::Short,
+            },
+        );
         assert_eq!(s.queued_long(), 2);
-        s.on_task_finish(); // starts the long task
+        s.on_task_finish(&mut q); // starts the long task
         assert_eq!(s.queued_long(), 1);
-        assert!(s.check_invariants());
+        assert!(s.check_invariants(&q));
     }
 
     #[test]
     #[should_panic(expected = "bind response")]
     fn bind_response_without_request_panics() {
-        let mut s = Server::new(ServerId(0));
-        s.on_bind_response(None);
+        let (mut q, mut s) = setup();
+        s.on_bind_response(&mut q, None);
     }
 
     #[test]
     #[should_panic(expected = "finished a task")]
     fn finish_without_running_panics() {
-        let mut s = Server::new(ServerId(0));
-        s.on_task_finish();
+        let (mut q, mut s) = setup();
+        s.on_task_finish(&mut q);
     }
 
     #[test]
     fn enqueue_all_reports_first_action() {
-        let mut s = Server::new(ServerId(0));
+        let (mut q, mut s) = setup();
         let entries = vec![
             QueueEntry::Probe {
                 job: JobId(1),
@@ -452,8 +545,26 @@ mod tests {
                 class: JobClass::Short,
             },
         ];
-        let action = s.enqueue_all(entries);
+        let action = s.enqueue_all(&mut q, entries);
         assert_eq!(action, Some(ServerAction::RequestBind { job: JobId(1) }));
         assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn queues_share_one_arena() {
+        // Two servers interleave through one slab; entries never cross.
+        let mut q = QueueSlab::new(2);
+        let mut a = Server::new(ServerId(0));
+        let mut b = Server::new(ServerId(1));
+        a.enqueue(&mut q, QueueEntry::Task(task(1, JobClass::Long)));
+        b.enqueue(&mut q, QueueEntry::Task(task(2, JobClass::Long)));
+        a.enqueue(&mut q, QueueEntry::Task(task(3, JobClass::Short)));
+        b.enqueue(&mut q, QueueEntry::Task(task(4, JobClass::Short)));
+        assert_eq!(a.queue(&q).map(|e| e.job().0).collect::<Vec<_>>(), [3]);
+        assert_eq!(b.queue(&q).map(|e| e.job().0).collect::<Vec<_>>(), [4]);
+        let (done, _) = a.on_task_finish(&mut q);
+        assert_eq!(done.job, JobId(1));
+        assert!(a.check_invariants(&q) && b.check_invariants(&q));
+        assert!(q.check_invariants());
     }
 }

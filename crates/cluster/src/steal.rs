@@ -18,15 +18,31 @@
 //! Stealing a *limited, head-adjacent* group focuses the benefit on a few
 //! jobs so their overall job runtime improves, rather than trimming one
 //! task from many jobs (§3.6).
+//!
+//! Queues live in the cluster's shared [`QueueSlab`], so the scan walks
+//! slab node indices and the removal unlinks the discovered run in place —
+//! no position re-walk, no intermediate `Vec`. The `_into` variants write
+//! the stolen group into a caller-recycled batch buffer; together with the
+//! slab's free-list recycling the whole steal pipeline is allocation-free
+//! in steady state.
 
 use crate::entry::QueueEntry;
-use crate::server::Server;
+use crate::server::{QueueSlab, Server};
 
-/// The eligible steal group in a victim's queue: `(start index, length)`.
-///
-/// Returns `None` when nothing is eligible. Does not modify the victim;
-/// [`steal_from`] performs the removal.
-pub fn eligible_group(victim: &Server) -> Option<(usize, usize)> {
+/// The eligible steal group discovered by a scan, identified by slab node
+/// indices: the run `[start, …]` of `len` nodes whose predecessor in the
+/// victim's list is `prev` (`None` when the run starts at the head).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    prev: Option<u32>,
+    start: u32,
+    len: usize,
+}
+
+/// Walks the victim's queue once, returning the eligible run (by slab node
+/// index) and its starting queue position, or `None` when nothing is
+/// eligible.
+fn eligible_run(victim: &Server, queues: &QueueSlab) -> Option<(Run, usize)> {
     let slot_is_long = victim.slot().holds_long();
     // Fast path: no long task anywhere on this server.
     if !slot_is_long && victim.queued_long() == 0 {
@@ -34,31 +50,62 @@ pub fn eligible_group(victim: &Server) -> Option<(usize, usize)> {
     }
 
     let mut seen_long = slot_is_long;
-    let mut start = None;
+    let mut run: Option<(Run, usize)> = None;
     let mut len = 0usize;
-    for (i, entry) in victim.queue().enumerate() {
+    let mut last: Option<u32> = None;
+    let mut cur = queues.head(victim.list());
+    let mut pos = 0usize;
+    while let Some(node) = cur {
+        let entry = queues.value(node);
         if entry.is_long() {
-            if start.is_some() {
+            if run.is_some() {
                 break; // end of the first short run after a long task
             }
             seen_long = true;
         } else if seen_long {
-            if start.is_none() {
-                start = Some(i);
+            if run.is_none() {
+                run = Some((
+                    Run {
+                        prev: last,
+                        start: node,
+                        len: 0,
+                    },
+                    pos,
+                ));
             }
             len += 1;
         }
         // Short entries before any long task are not eligible; skip.
+        last = Some(node);
+        cur = queues.next(node);
+        pos += 1;
     }
-    start.map(|s| (s, len))
+    run.map(|(r, start_pos)| (Run { len, ..r }, start_pos))
+}
+
+/// The eligible steal group in a victim's queue: `(start position, length)`
+/// in queue order.
+///
+/// Returns `None` when nothing is eligible. Does not modify the victim;
+/// [`steal_from`] performs the removal.
+pub fn eligible_group(victim: &Server, queues: &QueueSlab) -> Option<(usize, usize)> {
+    eligible_run(victim, queues).map(|(run, pos)| (pos, run.len))
+}
+
+/// Removes the eligible group from `victim`, appending it to `out` in
+/// queue order (`out` is *not* cleared; nothing is appended when no group
+/// is eligible). Allocation-free once `out` has warmed up.
+pub fn steal_from_into(victim: &mut Server, queues: &mut QueueSlab, out: &mut Vec<QueueEntry>) {
+    if let Some((run, _)) = eligible_run(victim, queues) {
+        victim.unlink_run_into(queues, run.prev, run.start, run.len, out);
+    }
 }
 
 /// Removes and returns the eligible group from `victim` (empty if none).
-pub fn steal_from(victim: &mut Server) -> Vec<QueueEntry> {
-    match eligible_group(victim) {
-        Some((start, len)) => victim.drain_queue(start, len),
-        None => Vec::new(),
-    }
+pub fn steal_from(victim: &mut Server, queues: &mut QueueSlab) -> Vec<QueueEntry> {
+    let mut out = Vec::new();
+    steal_from_into(victim, queues, &mut out);
+    out
 }
 
 /// What an idle thief takes from a victim's queue.
@@ -85,56 +132,99 @@ pub enum StealGranularity {
     AllBlockedShorts,
 }
 
-/// Indices of every short entry located after the first long element of
-/// the (slot, queue) sequence; empty when nothing is blocked.
-fn blocked_short_indices(victim: &Server) -> Vec<usize> {
+/// Scratch buffer for the blocked-entry scan: `(predecessor, node)` pairs,
+/// reused across steal attempts so the scan never allocates.
+pub type StealScratch = Vec<(Option<u32>, u32)>;
+
+/// Fills `scratch` with `(prev, node)` for every short entry located after
+/// the first long element of the (slot, queue) sequence; empty when
+/// nothing is blocked. The recorded predecessors stay valid as long as at
+/// most one of the listed nodes is removed.
+fn blocked_short_nodes_into(victim: &Server, queues: &QueueSlab, scratch: &mut StealScratch) {
+    scratch.clear();
     let slot_is_long = victim.slot().holds_long();
     if !slot_is_long && victim.queued_long() == 0 {
-        return Vec::new();
+        return;
     }
     let mut seen_long = slot_is_long;
-    let mut out = Vec::new();
-    for (i, entry) in victim.queue().enumerate() {
-        if entry.is_long() {
+    let mut last: Option<u32> = None;
+    let mut cur = queues.head(victim.list());
+    while let Some(node) = cur {
+        if queues.value(node).is_long() {
             seen_long = true;
         } else if seen_long {
-            out.push(i);
+            scratch.push((last, node));
+        }
+        last = Some(node);
+        cur = queues.next(node);
+    }
+}
+
+/// Removes entries from `victim` according to `granularity`, appending
+/// them to `out` in queue order (`out` is not cleared). `scratch` is
+/// reusable working space; `rng` is drawn from only by
+/// [`StealGranularity::RandomBlockedEntry`], exactly as often as the
+/// pre-slab implementation drew, so seeded runs are bit-identical.
+pub fn steal_from_with_into(
+    victim: &mut Server,
+    queues: &mut QueueSlab,
+    granularity: StealGranularity,
+    rng: &mut hawk_simcore::SimRng,
+    scratch: &mut StealScratch,
+    out: &mut Vec<QueueEntry>,
+) {
+    match granularity {
+        StealGranularity::FirstBlockedGroup => steal_from_into(victim, queues, out),
+        StealGranularity::RandomBlockedEntry => {
+            blocked_short_nodes_into(victim, queues, scratch);
+            if scratch.is_empty() {
+                return;
+            }
+            let (prev, node) = scratch[rng.index(scratch.len())];
+            victim.unlink_one_into(queues, prev, node, out);
+        }
+        StealGranularity::AllBlockedShorts => {
+            // One pass: unlink every short behind the first long element as
+            // the walk encounters it, preserving queue order in `out`.
+            let slot_is_long = victim.slot().holds_long();
+            if !slot_is_long && victim.queued_long() == 0 {
+                return;
+            }
+            let mut seen_long = slot_is_long;
+            let mut last: Option<u32> = None;
+            let mut cur = queues.head(victim.list());
+            while let Some(node) = cur {
+                let next = queues.next(node);
+                if queues.value(node).is_long() {
+                    seen_long = true;
+                    last = Some(node);
+                } else if seen_long {
+                    victim.unlink_one_into(queues, last, node, out);
+                    // `last` is unchanged: the removed node's predecessor
+                    // now precedes its successor.
+                } else {
+                    last = Some(node);
+                }
+                cur = next;
+            }
         }
     }
-    out
 }
 
 /// Removes entries from `victim` according to `granularity`.
 ///
-/// `rng` is used only by [`StealGranularity::RandomBlockedEntry`].
+/// Allocating wrapper over [`steal_from_with_into`]; the driver's hot path
+/// uses the `_into` variant with recycled buffers.
 pub fn steal_from_with(
     victim: &mut Server,
+    queues: &mut QueueSlab,
     granularity: StealGranularity,
     rng: &mut hawk_simcore::SimRng,
 ) -> Vec<QueueEntry> {
-    match granularity {
-        StealGranularity::FirstBlockedGroup => steal_from(victim),
-        StealGranularity::RandomBlockedEntry => {
-            let blocked = blocked_short_indices(victim);
-            if blocked.is_empty() {
-                return Vec::new();
-            }
-            let pick = blocked[rng.index(blocked.len())];
-            victim.drain_queue(pick, 1)
-        }
-        StealGranularity::AllBlockedShorts => {
-            let blocked = blocked_short_indices(victim);
-            // Remove back-to-front so earlier indices stay valid, then
-            // restore queue order.
-            let mut out: Vec<QueueEntry> = blocked
-                .iter()
-                .rev()
-                .flat_map(|&i| victim.drain_queue(i, 1))
-                .collect();
-            out.reverse();
-            out
-        }
-    }
+    let mut out = Vec::new();
+    let mut scratch = StealScratch::new();
+    steal_from_with_into(victim, queues, granularity, rng, &mut scratch, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -169,9 +259,10 @@ mod tests {
     }
 
     /// Builds a server executing `first` with `rest` queued behind it.
-    fn server_with(first: QueueEntry, rest: &[QueueEntry]) -> Server {
+    fn server_with(first: QueueEntry, rest: &[QueueEntry]) -> (QueueSlab, Server) {
+        let mut q = QueueSlab::new(1);
         let mut s = Server::new(ServerId(0));
-        s.enqueue(first);
+        s.enqueue(&mut q, first);
         // A probe head leaves the server awaiting bind; bind it so the
         // server is Running for the Figure 3 "executing" cases.
         if s.is_awaiting_bind() {
@@ -179,17 +270,20 @@ mod tests {
                 QueueEntry::Probe { class, .. } => class,
                 _ => unreachable!(),
             };
-            s.on_bind_response(Some(TaskSpec {
-                job: first.job(),
-                duration: SimDuration::from_secs(10),
-                estimate: SimDuration::from_secs(10),
-                class,
-            }));
+            s.on_bind_response(
+                &mut q,
+                Some(TaskSpec {
+                    job: first.job(),
+                    duration: SimDuration::from_secs(10),
+                    estimate: SimDuration::from_secs(10),
+                    class,
+                }),
+            );
         }
         for &e in rest {
-            s.enqueue(e);
+            s.enqueue(&mut q, e);
         }
-        s
+        (q, s)
     }
 
     fn jobs(entries: &[QueueEntry]) -> Vec<u32> {
@@ -200,7 +294,7 @@ mod tests {
     fn case_a_executing_short_steals_after_first_long() {
         // Figure 3 a1: executing S; queue = [S, L, S, S, L, S].
         // Stolen: the S, S after the first long.
-        let mut s = server_with(
+        let (mut q, mut s) = server_with(
             short_probe(0),
             &[
                 short_probe(1),
@@ -211,54 +305,54 @@ mod tests {
                 short_probe(6),
             ],
         );
-        let stolen = steal_from(&mut s);
+        let stolen = steal_from(&mut s, &mut q);
         assert_eq!(jobs(&stolen), vec![3, 4]);
         assert_eq!(s.queue_len(), 4);
-        assert!(s.check_invariants());
+        assert!(s.check_invariants(&q));
     }
 
     #[test]
     fn case_b_executing_long_steals_from_queue_head() {
         // Figure 3 b1: executing L; queue = [S, S, L, S].
         // Stolen: the two head shorts.
-        let mut s = server_with(
+        let (mut q, mut s) = server_with(
             long_task(0),
             &[short_probe(1), short_probe(2), long_task(3), short_probe(4)],
         );
-        let stolen = steal_from(&mut s);
+        let stolen = steal_from(&mut s, &mut q);
         assert_eq!(jobs(&stolen), vec![1, 2]);
         assert_eq!(s.queue_len(), 2);
-        assert!(s.check_invariants());
+        assert!(s.check_invariants(&q));
     }
 
     #[test]
     fn no_long_anywhere_nothing_stolen() {
-        let mut s = server_with(short_probe(0), &[short_probe(1), short_probe(2)]);
-        assert_eq!(eligible_group(&s), None);
-        assert!(steal_from(&mut s).is_empty());
+        let (mut q, mut s) = server_with(short_probe(0), &[short_probe(1), short_probe(2)]);
+        assert_eq!(eligible_group(&s, &q), None);
+        assert!(steal_from(&mut s, &mut q).is_empty());
         assert_eq!(s.queue_len(), 2);
     }
 
     #[test]
     fn shorts_ahead_of_long_not_stolen_when_executing_short() {
         // Executing S; queue = [S, S, L]: nothing after the long → no steal.
-        let mut s = server_with(
+        let (mut q, mut s) = server_with(
             short_probe(0),
             &[short_probe(1), short_probe(2), long_task(3)],
         );
-        assert_eq!(eligible_group(&s), None);
-        assert!(steal_from(&mut s).is_empty());
+        assert_eq!(eligible_group(&s, &q), None);
+        assert!(steal_from(&mut s, &mut q).is_empty());
     }
 
     #[test]
     fn executing_long_with_long_queue_head_skips_to_first_short_run() {
         // Executing L; queue = [L, S, S, L]: the S, S are still blocked
         // behind a long task; steal them.
-        let mut s = server_with(
+        let (mut q, mut s) = server_with(
             long_task(0),
             &[long_task(1), short_probe(2), short_probe(3), long_task(4)],
         );
-        let stolen = steal_from(&mut s);
+        let stolen = steal_from(&mut s, &mut q);
         assert_eq!(jobs(&stolen), vec![2, 3]);
     }
 
@@ -266,59 +360,71 @@ mod tests {
     fn awaiting_bind_on_long_probe_counts_as_long_slot() {
         // Hawk-w/o-centralized ablation: a long probe is mid-bind; the
         // queued shorts behind it are eligible.
+        let mut q = QueueSlab::new(1);
         let mut s = Server::new(ServerId(0));
-        s.enqueue(long_probe(0));
+        s.enqueue(&mut q, long_probe(0));
         assert!(s.is_awaiting_bind());
-        s.enqueue(short_probe(1));
-        s.enqueue(short_probe(2));
-        let stolen = steal_from(&mut s);
+        s.enqueue(&mut q, short_probe(1));
+        s.enqueue(&mut q, short_probe(2));
+        let stolen = steal_from(&mut s, &mut q);
         assert_eq!(jobs(&stolen), vec![1, 2]);
     }
 
     #[test]
     fn awaiting_bind_on_short_probe_is_a_short_slot() {
+        let mut q = QueueSlab::new(1);
         let mut s = Server::new(ServerId(0));
-        s.enqueue(short_probe(0));
-        s.enqueue(short_probe(1));
-        s.enqueue(long_task(2));
-        s.enqueue(short_probe(3));
-        let stolen = steal_from(&mut s);
+        s.enqueue(&mut q, short_probe(0));
+        s.enqueue(&mut q, short_probe(1));
+        s.enqueue(&mut q, long_task(2));
+        s.enqueue(&mut q, short_probe(3));
+        let stolen = steal_from(&mut s, &mut q);
         assert_eq!(jobs(&stolen), vec![3]);
     }
 
     #[test]
     fn whole_tail_stolen_when_all_short_after_long() {
-        let mut s = server_with(
+        let (mut q, mut s) = server_with(
             long_task(0),
             &[short_probe(1), short_probe(2), short_probe(3)],
         );
-        let stolen = steal_from(&mut s);
+        let stolen = steal_from(&mut s, &mut q);
         assert_eq!(jobs(&stolen), vec![1, 2, 3]);
         assert_eq!(s.queue_len(), 0);
     }
 
     #[test]
     fn empty_queue_nothing_stolen() {
-        let mut s = server_with(long_task(0), &[]);
-        assert_eq!(eligible_group(&s), None);
-        assert!(steal_from(&mut s).is_empty());
+        let (mut q, mut s) = server_with(long_task(0), &[]);
+        assert_eq!(eligible_group(&s, &q), None);
+        assert!(steal_from(&mut s, &mut q).is_empty());
     }
 
     #[test]
     fn idle_server_nothing_stolen() {
+        let mut q = QueueSlab::new(1);
         let mut s = Server::new(ServerId(0));
-        assert_eq!(eligible_group(&s), None);
-        assert!(steal_from(&mut s).is_empty());
+        assert_eq!(eligible_group(&s, &q), None);
+        assert!(steal_from(&mut s, &mut q).is_empty());
     }
 
     #[test]
     fn steal_preserves_relative_order() {
-        let mut s = server_with(
+        let (mut q, mut s) = server_with(
             long_task(0),
             &[short_probe(5), short_probe(3), short_probe(9)],
         );
-        let stolen = steal_from(&mut s);
+        let stolen = steal_from(&mut s, &mut q);
         assert_eq!(jobs(&stolen), vec![5, 3, 9]);
+    }
+
+    #[test]
+    fn steal_into_appends_without_clearing() {
+        let (mut q, mut s) = server_with(long_task(0), &[short_probe(1), short_probe(2)]);
+        let mut out = vec![short_probe(99)];
+        steal_from_into(&mut s, &mut q, &mut out);
+        assert_eq!(jobs(&out), vec![99, 1, 2]);
+        assert!(s.check_invariants(&q));
     }
 
     #[test]
@@ -326,7 +432,7 @@ mod tests {
         use hawk_simcore::SimRng;
         // Executing S; queue = [S, L, S, S, L, S]: all three shorts after
         // the first long are blocked.
-        let mut s = server_with(
+        let (mut q, mut s) = server_with(
             short_probe(0),
             &[
                 short_probe(1),
@@ -338,10 +444,10 @@ mod tests {
             ],
         );
         let mut rng = SimRng::seed_from_u64(1);
-        let stolen = steal_from_with(&mut s, StealGranularity::AllBlockedShorts, &mut rng);
+        let stolen = steal_from_with(&mut s, &mut q, StealGranularity::AllBlockedShorts, &mut rng);
         assert_eq!(jobs(&stolen), vec![3, 4, 6]);
         assert_eq!(s.queue_len(), 3); // S1, L2, L5 remain
-        assert!(s.check_invariants());
+        assert!(s.check_invariants(&q));
     }
 
     #[test]
@@ -350,16 +456,21 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(2);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..100 {
-            let mut s = server_with(
+            let (mut q, mut s) = server_with(
                 long_task(0),
                 &[short_probe(1), short_probe(2), long_task(3), short_probe(4)],
             );
-            let stolen = steal_from_with(&mut s, StealGranularity::RandomBlockedEntry, &mut rng);
+            let stolen = steal_from_with(
+                &mut s,
+                &mut q,
+                StealGranularity::RandomBlockedEntry,
+                &mut rng,
+            );
             assert_eq!(stolen.len(), 1);
             let id = stolen[0].job().0;
             assert!([1, 2, 4].contains(&id), "stole ineligible entry {id}");
             seen.insert(id);
-            assert!(s.check_invariants());
+            assert!(s.check_invariants(&q));
         }
         // All three blocked entries are reachable.
         assert_eq!(seen.len(), 3);
@@ -374,8 +485,8 @@ mod tests {
             StealGranularity::RandomBlockedEntry,
             StealGranularity::AllBlockedShorts,
         ] {
-            let mut s = server_with(short_probe(0), &[short_probe(1)]);
-            assert!(steal_from_with(&mut s, granularity, &mut rng).is_empty());
+            let (mut q, mut s) = server_with(short_probe(0), &[short_probe(1)]);
+            assert!(steal_from_with(&mut s, &mut q, granularity, &mut rng).is_empty());
             assert_eq!(s.queue_len(), 1);
         }
     }
@@ -390,11 +501,16 @@ mod tests {
             )
         };
         let mut rng = SimRng::seed_from_u64(4);
-        let mut a = build();
-        let mut b = build();
+        let (mut qa, mut a) = build();
+        let (mut qb, mut b) = build();
         assert_eq!(
-            steal_from(&mut a),
-            steal_from_with(&mut b, StealGranularity::FirstBlockedGroup, &mut rng)
+            steal_from(&mut a, &mut qa),
+            steal_from_with(
+                &mut b,
+                &mut qb,
+                StealGranularity::FirstBlockedGroup,
+                &mut rng
+            )
         );
     }
 }

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use hawk_cluster::{QueueEntry, Server, ServerAction, ServerId, TaskSpec};
+use hawk_cluster::{QueueEntry, QueueSlab, Server, ServerAction, ServerId, TaskSpec};
 use hawk_simcore::SimDuration;
 use hawk_workload::{JobClass, JobId};
 
@@ -65,6 +65,7 @@ proptest! {
     /// long-entry counter stays exact under arbitrary stimuli.
     #[test]
     fn server_state_machine_is_sound(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut queues = QueueSlab::new(1);
         let mut server = Server::new(ServerId(0));
         let mut next_id = 0u32;
         let mut processed = 0usize;
@@ -77,7 +78,7 @@ proptest! {
                     let e = entry(long, next_id, probe);
                     next_id += 1;
                     enqueued += 1;
-                    let action = server.enqueue(e);
+                    let action = server.enqueue(&mut queues, e);
                     // An idle server must react; a busy one must not.
                     match action {
                         Some(ServerAction::StartTask(_)) => prop_assert!(server.is_running()),
@@ -90,7 +91,7 @@ proptest! {
                 }
                 Op::Finish => {
                     if server.is_running() {
-                        let (_, action) = server.on_task_finish();
+                        let (_, action) = server.on_task_finish(&mut queues);
                         processed += 1;
                         if let ServerAction::StartTask(_) = action {
                             prop_assert!(server.is_running());
@@ -106,7 +107,7 @@ proptest! {
                             class: JobClass::Short,
                         });
                         let was_cancel = task.is_none();
-                        let action = server.on_bind_response(task);
+                        let action = server.on_bind_response(&mut queues, task);
                         if was_cancel {
                             processed += 1; // the probe is consumed
                             let _ = action;
@@ -116,14 +117,14 @@ proptest! {
                     }
                 }
                 Op::Steal => {
-                    let loot = hawk_cluster::steal::steal_from(&mut server);
+                    let loot = hawk_cluster::steal::steal_from(&mut server, &mut queues);
                     stolen_total += loot.len();
                     for e in &loot {
                         prop_assert!(e.is_short(), "stole a long entry");
                     }
                 }
             }
-            prop_assert!(server.check_invariants());
+            prop_assert!(server.check_invariants(&queues));
         }
 
         // Conservation: everything enqueued is either still queued, in the
@@ -143,15 +144,16 @@ proptest! {
     /// exactly insertion order.
     #[test]
     fn tasks_execute_in_fifo_order(longs in proptest::collection::vec(any::<bool>(), 1..60)) {
+        let mut queues = QueueSlab::new(1);
         let mut server = Server::new(ServerId(0));
         let mut order = Vec::new();
         for (i, &long) in longs.iter().enumerate() {
-            if let Some(ServerAction::StartTask(t)) = server.enqueue(entry(long, i as u32, false)) {
+            if let Some(ServerAction::StartTask(t)) = server.enqueue(&mut queues, entry(long, i as u32, false)) {
                 order.push(t.job.0);
             }
         }
         while server.is_running() {
-            let (done, action) = server.on_task_finish();
+            let (done, action) = server.on_task_finish(&mut queues);
             let _ = done;
             if let ServerAction::StartTask(t) = action {
                 order.push(t.job.0);

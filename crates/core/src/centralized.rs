@@ -65,12 +65,25 @@ impl CentralScheduler {
     /// assignment (§3.7).
     pub fn assign_job(&mut self, tasks: usize, estimate: SimDuration) -> Vec<ServerId> {
         let mut placement = Vec::with_capacity(tasks);
+        self.assign_job_into(tasks, estimate, &mut placement);
+        placement
+    }
+
+    /// Like [`CentralScheduler::assign_job`], writing into a
+    /// caller-recycled buffer (cleared first) so per-arrival placement
+    /// allocates nothing in steady state.
+    pub fn assign_job_into(
+        &mut self,
+        tasks: usize,
+        estimate: SimDuration,
+        placement: &mut Vec<ServerId>,
+    ) {
+        placement.clear();
         for _ in 0..tasks {
             let id = self.work.min_id();
             self.work.add(id, estimate.as_micros());
             placement.push(ServerId(id as u32));
         }
-        placement
     }
 
     /// Records the completion of a centrally-placed task: the server's

@@ -44,20 +44,34 @@ impl ProbePlanner {
     /// remainder is placed on a distinct random subset — guaranteeing at
     /// least `t` probes exist so late binding can launch every task.
     pub fn targets(&self, tasks: usize, start: u32, len: usize, rng: &mut SimRng) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(self.probes_for(tasks));
+        self.targets_into(tasks, start, len, rng, &mut out);
+        out
+    }
+
+    /// Like [`ProbePlanner::targets`], writing into a caller-recycled
+    /// buffer (cleared first) so the per-arrival hot path allocates
+    /// nothing in steady state. The RNG draw sequence — and therefore the
+    /// targets — is identical to [`ProbePlanner::targets`].
+    pub fn targets_into(
+        &self,
+        tasks: usize,
+        start: u32,
+        len: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<ServerId>,
+    ) {
         assert!(len > 0, "probe scope is empty");
+        out.clear();
         let probes = self.probes_for(tasks);
-        let mut out = Vec::with_capacity(probes);
         let full_rounds = probes / len;
         let remainder = probes % len;
         for _ in 0..full_rounds {
             out.extend((0..len as u32).map(|i| ServerId(start + i)));
         }
-        out.extend(
-            rng.sample_distinct(len, remainder)
-                .into_iter()
-                .map(|i| ServerId(start + i as u32)),
-        );
-        out
+        let base = out.len();
+        rng.sample_distinct_map_into(len, remainder, out, |i| ServerId(start + i as u32));
+        debug_assert_eq!(out.len(), base + remainder);
     }
 }
 

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use hawk_cluster::{
     Cluster, NetworkModel, QueueEntry, ServerAction, ServerId, TaskSpec, UtilizationTracker,
 };
-use hawk_simcore::{Engine, SimRng, SimTime};
+use hawk_simcore::{BatchHandle, BatchPool, Engine, SimRng, SimTime};
 use hawk_workload::classify::JobEstimates;
 use hawk_workload::{JobClass, JobId, Trace};
 
@@ -34,7 +34,11 @@ use crate::metrics::{JobResult, MetricsReport};
 use crate::scheduler::{PlacementView, Scheduler, StealSpec};
 
 /// A simulation event.
-#[derive(Debug, Clone)]
+///
+/// `Copy`: since the steal pipeline moved stolen groups into the driver's
+/// batch pool, every variant is a few plain words — which also lets the
+/// timing wheel store events in its recycled slab arena.
+#[derive(Debug, Clone, Copy)]
 pub enum Event {
     /// A job was submitted (at its trace submission time).
     JobArrival(JobId),
@@ -78,11 +82,17 @@ pub enum Event {
     },
     /// Stolen queue entries reached the thief (only with a non-zero steal
     /// transfer delay; transfers are instantaneous by default).
+    ///
+    /// The event carries a 4-byte handle into the driver's
+    /// [`BatchPool`], not an owned `Vec`: the stolen group waits in a
+    /// recycled pool slot while in flight, so the steal pipeline allocates
+    /// nothing in steady state.
     StolenArrive {
         /// The thief.
         server: ServerId,
-        /// The stolen group, in original queue order.
-        entries: Vec<QueueEntry>,
+        /// The in-flight stolen group (original queue order), redeemed
+        /// against the driver's batch pool on delivery.
+        batch: BatchHandle,
     },
     /// The centralized scheduler finished processing a job and emits its
     /// placements (only with a non-zero [`crate::config::CentralOverhead`];
@@ -132,6 +142,17 @@ pub struct Driver<'t> {
     /// the buffers keeps it allocation-free).
     victim_scratch: Vec<usize>,
     victim_buf: Vec<ServerId>,
+    /// Recycled batch buffer every steal scan writes into; drained into
+    /// the thief (or parked in `stolen_pool`) on success.
+    steal_buf: Vec<QueueEntry>,
+    /// In-flight stolen groups under a non-zero steal-transfer delay;
+    /// [`Event::StolenArrive`] carries handles into this pool.
+    stolen_pool: BatchPool<QueueEntry>,
+    /// Recycled probe-target buffer (one fill per distributed job
+    /// arrival).
+    probe_buf: Vec<ServerId>,
+    /// Recycled placement buffer (one fill per centrally-placed job).
+    place_buf: Vec<ServerId>,
     /// Time at which the centralized scheduler's serial processing queue
     /// drains (only advances under a non-free [`CentralOverhead`]).
     central_ready: SimTime,
@@ -217,6 +238,16 @@ impl<'t> Driver<'t> {
             })
             .collect();
 
+        // Pre-size the recycled hot-path buffers from the trace so the
+        // steady-state loop starts warm (growth would still be correct,
+        // just a one-time allocation).
+        let max_tasks = trace
+            .jobs()
+            .iter()
+            .map(|j| j.num_tasks())
+            .max()
+            .unwrap_or(0);
+
         Driver {
             trace,
             steal_spec: scheduler.steal(),
@@ -235,6 +266,10 @@ impl<'t> Driver<'t> {
             steal_attempts: 0,
             victim_scratch: Vec::new(),
             victim_buf: Vec::new(),
+            steal_buf: Vec::with_capacity(64),
+            stolen_pool: BatchPool::new(),
+            probe_buf: Vec::with_capacity(4 * max_tasks + 8),
+            place_buf: Vec::with_capacity(max_tasks),
             central_ready: SimTime::ZERO,
         }
     }
@@ -293,6 +328,31 @@ impl<'t> Driver<'t> {
         self.report()
     }
 
+    /// Processes up to `max` pending events and returns how many ran
+    /// (fewer only when every job completed or the queue drained).
+    ///
+    /// The stepping interface exists for harnesses that observe the loop
+    /// mid-run — the allocation-regression test warms a cell to steady
+    /// state and then measures an exact event window; co-simulation
+    /// adapters can interleave external work the same way. [`Driver::run`]
+    /// is the normal entry point.
+    pub fn step_events(&mut self, max: u64) -> u64 {
+        let mut processed = 0;
+        while processed < max && self.unfinished > 0 {
+            let Some((_, event)) = self.engine.pop() else {
+                break;
+            };
+            self.dispatch(event);
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Number of jobs that have not yet completed.
+    pub fn unfinished_jobs(&self) -> usize {
+        self.unfinished
+    }
+
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::JobArrival(job) => self.on_job_arrival(job),
@@ -345,8 +405,9 @@ impl<'t> Driver<'t> {
                 self.on_action(server, action);
             }
             Event::TaskFinish { server } => self.on_task_finish(server),
-            Event::StolenArrive { server, entries } => {
-                if let Some(action) = self.cluster.give_stolen(server, entries) {
+            Event::StolenArrive { server, batch } => {
+                self.stolen_pool.take_into(batch, &mut self.steal_buf);
+                if let Some(action) = self.cluster.give_stolen_drain(server, &mut self.steal_buf) {
                     self.on_action(server, action);
                 }
             }
@@ -383,10 +444,13 @@ impl<'t> Driver<'t> {
             Route::Distributed(scope) => {
                 let (start, len) = self.scope_range(scope);
                 let view = PlacementView::new(&self.cluster, start, len);
-                let targets =
-                    self.scheduler
-                        .probe_targets(&view, spec.num_tasks(), &mut self.probe_rng);
-                for server in targets {
+                self.scheduler.probe_targets_into(
+                    &view,
+                    spec.num_tasks(),
+                    &mut self.probe_rng,
+                    &mut self.probe_buf,
+                );
+                for &server in &self.probe_buf {
                     self.engine.schedule(
                         delay,
                         Event::ProbeArrive {
@@ -411,8 +475,8 @@ impl<'t> Driver<'t> {
             .central
             .as_mut()
             .expect("central route requires a central scheduler");
-        let placement = central.assign_job(spec.num_tasks(), estimate);
-        for (i, server) in placement.into_iter().enumerate() {
+        central.assign_job_into(spec.num_tasks(), estimate, &mut self.place_buf);
+        for (i, &server) in self.place_buf.iter().enumerate() {
             let task = TaskSpec {
                 job,
                 duration: spec.tasks[i],
@@ -506,35 +570,42 @@ impl<'t> Driver<'t> {
             self.victim_buf = victims;
             return;
         }
-        let mut stolen: Option<Vec<QueueEntry>> = None;
+        debug_assert!(self.steal_buf.is_empty(), "stale steal batch");
         for &victim in &victims {
             if !self.cluster.holds_long_work(victim) {
                 // One bitmap load instead of a cold walk of the victim's
                 // queue state.
                 continue;
             }
-            let entries = self
-                .cluster
-                .steal_from_with(victim, granularity, &mut self.steal_rng);
-            if !entries.is_empty() {
-                stolen = Some(entries);
+            self.cluster.steal_from_with_into(
+                victim,
+                granularity,
+                &mut self.steal_rng,
+                &mut self.steal_buf,
+            );
+            if !self.steal_buf.is_empty() {
                 break;
             }
         }
         self.victim_buf = victims;
-        let Some(entries) = stolen else { return };
+        if self.steal_buf.is_empty() {
+            return;
+        }
         self.steals += 1;
         let transfer = self.network().steal_transfer_delay;
         if transfer.is_zero() {
-            if let Some(action) = self.cluster.give_stolen(thief, entries) {
+            if let Some(action) = self.cluster.give_stolen_drain(thief, &mut self.steal_buf) {
                 self.on_action(thief, action);
             }
         } else {
+            // Park the group in a recycled pool slot while it is in
+            // flight; the event carries only the 4-byte handle.
+            let batch = self.stolen_pool.put(&mut self.steal_buf);
             self.engine.schedule(
                 transfer,
                 Event::StolenArrive {
                     server: thief,
-                    entries,
+                    batch,
                 },
             );
         }
@@ -547,24 +618,25 @@ impl<'t> Driver<'t> {
     fn report(self) -> (MetricsReport, JobEstimates) {
         let cutoff = self.sim.cutoff;
         let mut makespan = SimTime::ZERO;
-        let results: Vec<JobResult> = self
-            .trace
-            .jobs()
-            .iter()
-            .map(|job| {
-                let run = &self.jobs[job.id.index()];
-                let completion = run.completion.expect("all jobs completed");
-                makespan = makespan.max(completion);
-                JobResult {
-                    job: job.id,
-                    true_class: cutoff.classify(job.mean_task_duration()),
-                    scheduled_class: run.class,
-                    submission: job.submission,
-                    completion,
-                    num_tasks: job.num_tasks(),
-                }
-            })
-            .collect();
+        // Sized once from the trace; the per-job completion check compiles
+        // to a branch to a cold panic path instead of an `expect` in the
+        // hot map.
+        let mut results: Vec<JobResult> = Vec::with_capacity(self.trace.len());
+        for job in self.trace.jobs() {
+            let run = &self.jobs[job.id.index()];
+            let Some(completion) = run.completion else {
+                unreachable!("job {} unfinished at report time", job.id);
+            };
+            makespan = makespan.max(completion);
+            results.push(JobResult {
+                job: job.id,
+                true_class: cutoff.classify(job.mean_task_duration()),
+                scheduled_class: run.class,
+                submission: job.submission,
+                completion,
+                num_tasks: job.num_tasks(),
+            });
+        }
         let report = MetricsReport {
             scheduler: self.scheduler.name(),
             nodes: self.sim.nodes,

@@ -7,7 +7,7 @@
 //! which Hawk is better than or equal to the baseline, and the average
 //! job runtime ratio.
 
-use hawk_simcore::stats::{mean, percentile};
+use hawk_simcore::stats::{mean, percentile, percentile_of_sorted};
 use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::{JobClass, JobId};
 use serde::{Deserialize, Serialize};
@@ -86,18 +86,33 @@ impl MetricsReport {
         mean(&self.runtimes(class))
     }
 
-    /// Per-class summary (50th/90th percentiles and mean).
+    /// The per-class runtimes collected once and sorted ascending, ready
+    /// for repeated percentile reads via
+    /// [`percentile_of_sorted`](hawk_simcore::stats::percentile_of_sorted).
+    /// [`MetricsReport::summary`] and [`compare`] derive every quantile
+    /// from one of these instead of re-collecting and re-sorting per
+    /// percentile.
+    pub fn sorted_runtimes(&self, class: JobClass) -> Vec<f64> {
+        let mut runtimes = self.runtimes(class);
+        runtimes.sort_by(|a, b| a.partial_cmp(b).expect("runtimes are never NaN"));
+        runtimes
+    }
+
+    /// Per-class summary (50th/90th percentiles and mean): one collection
+    /// pass and one sort, shared by every quantile.
     pub fn summary(&self, class: JobClass) -> ClassSummary {
+        // Mean in job-id order: summation order is part of the
+        // reproducible bit-exact output (sorting first would reassociate
+        // the floating-point sum).
+        let mean = self.mean_runtime(class);
+        let sorted = self.sorted_runtimes(class);
+        let pctl = |p: f64| (!sorted.is_empty()).then(|| percentile_of_sorted(&sorted, p));
         ClassSummary {
             class,
-            jobs: self
-                .results
-                .iter()
-                .filter(|r| r.true_class == class)
-                .count(),
-            p50: self.runtime_percentile(class, 50.0),
-            p90: self.runtime_percentile(class, 90.0),
-            mean: self.mean_runtime(class),
+            jobs: sorted.len(),
+            p50: pctl(50.0),
+            p90: pctl(90.0),
+            mean,
         }
     }
 }
@@ -154,15 +169,13 @@ pub fn compare(subject: &MetricsReport, baseline: &MetricsReport, class: JobClas
         (Some(a), Some(b)) if b > 0.0 => Some(a / b),
         _ => None,
     };
-    let p50_ratio = ratio(
-        subject.runtime_percentile(class, 50.0),
-        baseline.runtime_percentile(class, 50.0),
-    );
-    let p90_ratio = ratio(
-        subject.runtime_percentile(class, 90.0),
-        baseline.runtime_percentile(class, 90.0),
-    );
-    let mean_ratio = ratio(subject.mean_runtime(class), baseline.mean_runtime(class));
+    // One collect+sort per report, shared by both percentiles (the mean
+    // stays in job-id order; see `MetricsReport::summary`).
+    let subject_summary = subject.summary(class);
+    let baseline_summary = baseline.summary(class);
+    let p50_ratio = ratio(subject_summary.p50, baseline_summary.p50);
+    let p90_ratio = ratio(subject_summary.p90, baseline_summary.p90);
+    let mean_ratio = ratio(subject_summary.mean, baseline_summary.mean);
 
     let mut improved = 0usize;
     let mut improved_or_equal = 0usize;

@@ -249,6 +249,24 @@ pub trait Scheduler: Send + Sync {
         rng: &mut SimRng,
     ) -> Vec<ServerId>;
 
+    /// Allocation-free variant of [`Scheduler::probe_targets`]: the driver
+    /// calls this once per distributed job arrival with a reused buffer
+    /// (`out` is cleared first).
+    ///
+    /// The default delegates to [`Scheduler::probe_targets`], so custom
+    /// policies stay correct without extra work; the built-in policies
+    /// override it to keep job arrivals off the allocator.
+    fn probe_targets_into(
+        &self,
+        view: &PlacementView<'_>,
+        tasks: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<ServerId>,
+    ) {
+        out.clear();
+        out.append(&mut self.probe_targets(view, tasks, rng));
+    }
+
     /// Work-stealing capability (§3.6); `None` disables stealing.
     fn steal(&self) -> Option<StealSpec> {
         None
@@ -438,6 +456,17 @@ impl Scheduler for Hawk {
             .targets(tasks, view.scope_start(), view.scope_len(), rng)
     }
 
+    fn probe_targets_into(
+        &self,
+        view: &PlacementView<'_>,
+        tasks: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<ServerId>,
+    ) {
+        self.probing
+            .targets_into(tasks, view.scope_start(), view.scope_len(), rng, out);
+    }
+
     fn steal(&self) -> Option<StealSpec> {
         self.steal
     }
@@ -510,6 +539,17 @@ impl Scheduler for Sparrow {
     ) -> Vec<ServerId> {
         self.probing
             .targets(tasks, view.scope_start(), view.scope_len(), rng)
+    }
+
+    fn probe_targets_into(
+        &self,
+        view: &PlacementView<'_>,
+        tasks: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<ServerId>,
+    ) {
+        self.probing
+            .targets_into(tasks, view.scope_start(), view.scope_len(), rng, out);
     }
 }
 
@@ -594,6 +634,17 @@ impl Scheduler for SplitCluster {
         self.probing
             .targets(tasks, view.scope_start(), view.scope_len(), rng)
     }
+
+    fn probe_targets_into(
+        &self,
+        view: &PlacementView<'_>,
+        tasks: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<ServerId>,
+    ) {
+        self.probing
+            .targets_into(tasks, view.scope_start(), view.scope_len(), rng, out);
+    }
 }
 
 /// The legacy data-driven policy record is itself a [`Scheduler`], so
@@ -627,6 +678,22 @@ impl Scheduler for SchedulerConfig {
             view.scope_len(),
             rng,
         )
+    }
+
+    fn probe_targets_into(
+        &self,
+        view: &PlacementView<'_>,
+        tasks: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<ServerId>,
+    ) {
+        ProbePlanner::new(self.probe_ratio).targets_into(
+            tasks,
+            view.scope_start(),
+            view.scope_len(),
+            rng,
+            out,
+        );
     }
 
     fn steal(&self) -> Option<StealSpec> {

@@ -37,7 +37,7 @@ pub struct Engine<E> {
     processed: u64,
 }
 
-impl<E> Engine<E> {
+impl<E: Copy> Engine<E> {
     /// Creates an engine with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         Engine {
@@ -139,7 +139,7 @@ impl<E> Engine<E> {
     }
 }
 
-impl<E> Default for Engine<E> {
+impl<E: Copy> Default for Engine<E> {
     fn default() -> Self {
         Self::new()
     }

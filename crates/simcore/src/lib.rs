@@ -13,6 +13,11 @@
 //!   reproducible from a single `u64` seed.
 //! * [`IndexedMinHeap`] — a decrease/increase-key priority queue used by the
 //!   centralized scheduler's ⟨server, waiting-time⟩ queue (paper §3.7).
+//! * [`EntrySlab`] — a slab arena of queue nodes threaded into per-owner
+//!   intrusive FIFO lists with free-list recycling: one contiguous
+//!   allocation backs every server queue of a simulated cluster.
+//! * [`BatchPool`] — recycled batch buffers addressed by `Copy` handles,
+//!   so events can carry value batches without owning a `Vec`.
 //! * [`stats`] — percentile, CDF and summary statistics used by the
 //!   evaluation harness.
 //!
@@ -25,7 +30,8 @@
 //! ```
 //! use hawk_simcore::{Engine, SimDuration};
 //!
-//! #[derive(Debug, PartialEq)]
+//! // Events are `Copy`: the queue stores them in a recycled slab arena.
+//! #[derive(Debug, Clone, Copy, PartialEq)]
 //! enum Ev {
 //!     Ping(u32),
 //! }
@@ -44,13 +50,17 @@
 
 mod engine;
 mod indexed_heap;
+mod pool;
 mod queue;
 mod rng;
+mod slab;
 pub mod stats;
 mod time;
 
 pub use engine::Engine;
 pub use indexed_heap::IndexedMinHeap;
+pub use pool::{BatchHandle, BatchPool};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use slab::EntrySlab;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,145 @@
+//! A pool of recycled batch buffers addressed by small copyable handles.
+//!
+//! [`BatchPool`] lets an event carry a *handle* to an in-flight batch of
+//! values instead of owning a `Vec`: the sender moves values into a pooled
+//! slot ([`BatchPool::put`]), the event stores the returned
+//! [`BatchHandle`] (a `Copy` u32), and the receiver drains the slot back
+//! out ([`BatchPool::take_into`]). Slot vectors are recycled, so once the
+//! pool has seen its peak of concurrently in-flight batches — and each
+//! slot its peak batch size — the put/take cycle allocates nothing.
+//!
+//! The driving use case is the steal pipeline: `StolenArrive` events under
+//! a non-zero steal-transfer delay used to own a freshly allocated
+//! `Vec<QueueEntry>` per steal; with the pool they carry a 4-byte handle.
+//!
+//! # Examples
+//!
+//! ```
+//! use hawk_simcore::BatchPool;
+//!
+//! let mut pool: BatchPool<u32> = BatchPool::new();
+//! let mut buf = vec![1, 2, 3];
+//! let handle = pool.put(&mut buf);
+//! assert!(buf.is_empty()); // moved into the pool
+//! assert_eq!(pool.in_flight(), 1);
+//!
+//! pool.take_into(handle, &mut buf);
+//! assert_eq!(buf, vec![1, 2, 3]);
+//! assert_eq!(pool.in_flight(), 0);
+//! ```
+
+/// Identifies one in-flight batch in a [`BatchPool`]. Obtained from
+/// [`BatchPool::put`]; redeemed exactly once by [`BatchPool::take_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchHandle(u32);
+
+/// A recycling store of value batches. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct BatchPool<T> {
+    slots: Vec<Vec<T>>,
+    occupied: Vec<bool>,
+    free: Vec<u32>,
+}
+
+impl<T> BatchPool<T> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BatchPool {
+            slots: Vec::new(),
+            occupied: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Moves the contents of `src` into a recycled slot (leaving `src`
+    /// empty with its capacity intact) and returns the slot's handle.
+    pub fn put(&mut self, src: &mut Vec<T>) -> BatchHandle {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Vec::new());
+                self.occupied.push(false);
+                idx
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(slot.is_empty(), "free slot holds stale values");
+        slot.append(src);
+        self.occupied[idx as usize] = true;
+        BatchHandle(idx)
+    }
+
+    /// Drains the batch behind `handle` into `dst` (cleared first) and
+    /// recycles the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` was already taken (a double-delivery bug).
+    pub fn take_into(&mut self, handle: BatchHandle, dst: &mut Vec<T>) {
+        let idx = handle.0 as usize;
+        assert!(self.occupied[idx], "batch {idx} taken twice");
+        self.occupied[idx] = false;
+        dst.clear();
+        dst.append(&mut self.slots[idx]);
+        self.free.push(handle.0);
+    }
+
+    /// Number of batches currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_take_roundtrip_preserves_order() {
+        let mut pool: BatchPool<u8> = BatchPool::new();
+        let mut a = vec![1, 2, 3];
+        let mut b = vec![9];
+        let ha = pool.put(&mut a);
+        let hb = pool.put(&mut b);
+        assert_eq!(pool.in_flight(), 2);
+        let mut out = Vec::new();
+        pool.take_into(ha, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        pool.take_into(hb, &mut out);
+        assert_eq!(out, vec![9]);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn slots_recycle_without_growth() {
+        let mut pool: BatchPool<u32> = BatchPool::new();
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        // Peak of 2 in flight; afterwards the pool never grows past 2.
+        buf.extend([1, 2]);
+        let h1 = pool.put(&mut buf);
+        buf.extend([3]);
+        let h2 = pool.put(&mut buf);
+        pool.take_into(h1, &mut out);
+        pool.take_into(h2, &mut out);
+        for round in 0..100 {
+            buf.clear();
+            buf.extend([round, round + 1]);
+            let h = pool.put(&mut buf);
+            pool.take_into(h, &mut out);
+            assert_eq!(out, vec![round, round + 1]);
+        }
+        assert_eq!(pool.slots.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn double_take_panics() {
+        let mut pool: BatchPool<u8> = BatchPool::new();
+        let mut buf = vec![1];
+        let h = pool.put(&mut buf);
+        pool.take_into(h, &mut buf);
+        pool.take_into(h, &mut buf);
+    }
+}

@@ -40,8 +40,9 @@
 //! [`Engine`]: crate::Engine
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
+use crate::slab::EntrySlab;
 use crate::time::SimTime;
 
 /// Bits per wheel level: 128 buckets each (occupancy fits one `u128`).
@@ -116,8 +117,14 @@ type Entry<E> = (u64, u64, E);
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<E> {
-    /// `wheel[level * SLOTS + slot]`: pending entries in `seq` order.
-    wheel: Vec<VecDeque<Entry<E>>>,
+    /// Bucket storage: one slab arena whose list `level * SLOTS + slot`
+    /// holds that bucket's pending entries in `seq` order. Nodes recycle
+    /// through the slab's free list, so the wheel allocates only while the
+    /// pending-event population is still reaching new peaks — the
+    /// steady-state schedule/pop/cascade cycle performs zero heap
+    /// allocations (enforced by `tests/alloc_regression.rs` at the
+    /// workspace root).
+    wheel: EntrySlab<Entry<E>>,
     /// Per-level bitmap of non-empty buckets.
     occupied: [u128; LEVELS],
     /// The wheel floor: the firing time (µs) of the last event popped from
@@ -127,10 +134,6 @@ pub struct EventQueue<E> {
     past: BinaryHeap<Scheduled<E>>,
     /// Events beyond the wheel span; strictly later than every wheel entry.
     overflow: BinaryHeap<Scheduled<E>>,
-    /// Recycled bucket buffer: cascading swaps a bucket out through this
-    /// scratch space so bucket allocations circulate instead of being
-    /// dropped and re-made on every cascade.
-    scratch: VecDeque<Entry<E>>,
     len: usize,
     next_seq: u64,
 }
@@ -147,28 +150,27 @@ fn level_for(t: u64, cursor: u64) -> usize {
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E: Copy> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            wheel: (0..LEVELS * SLOTS).map(|_| VecDeque::new()).collect(),
+            wheel: EntrySlab::new(LEVELS * SLOTS),
             occupied: [0; LEVELS],
             cursor: 0,
             past: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
-            scratch: VecDeque::new(),
             len: 0,
             next_seq: 0,
         }
     }
 
-    /// Creates an empty queue sized for `capacity` events.
-    ///
-    /// The wheel's footprint does not depend on the event count, so this is
-    /// equivalent to [`EventQueue::new`]; the signature is kept for
-    /// API compatibility with the heap-based implementation.
-    pub fn with_capacity(_capacity: usize) -> Self {
-        Self::new()
+    /// Creates an empty queue with the bucket arena pre-warmed for
+    /// `capacity` simultaneously pending events, so a simulation whose
+    /// pending population stays under it never grows the wheel.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut q = Self::new();
+        q.wheel.reserve_nodes(capacity);
+        q
     }
 
     /// Schedules `event` to fire at `time`.
@@ -198,17 +200,31 @@ impl<E> EventQueue<E> {
             return;
         }
         let slot = ((t >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
-        let cell = &mut self.wheel[level * SLOTS + slot];
+        let bucket = level * SLOTS + slot;
         // Pushes and cascades arrive in increasing seq order, so appending
         // keeps the bucket sorted; only overflow re-bucketing can arrive
         // out of order (when an event pushed long ago re-enters the wheel)
-        // and pays for a sorted insert.
-        match cell.back() {
-            Some(&(_, back_seq, _)) if back_seq > seq => {
-                let pos = cell.partition_point(|&(_, s, _)| s < seq);
-                cell.insert(pos, (t, seq, event));
+        // and pays for a list walk + sorted insert.
+        // The tail holds the bucket's largest seq (buckets are seq-sorted),
+        // so the in-order common case is one O(1) tail read.
+        let append = match self.wheel.tail(bucket) {
+            None => true,
+            Some(tail) => self.wheel.value(tail).1 <= seq,
+        };
+        if append {
+            self.wheel.push_back(bucket, (t, seq, event));
+        } else {
+            // Walk to the last node with a smaller seq and insert after it.
+            let mut prev: Option<u32> = None;
+            let mut cur = self.wheel.head(bucket);
+            while let Some(node) = cur {
+                if self.wheel.value(node).1 >= seq {
+                    break;
+                }
+                prev = Some(node);
+                cur = self.wheel.next(node);
             }
-            _ => cell.push_back((t, seq, event)),
+            self.wheel.insert_after(bucket, prev, (t, seq, event));
         }
         self.occupied[level] |= 1 << slot;
     }
@@ -243,34 +259,38 @@ impl<E> EventQueue<E> {
             // microsecond, already in seq order.
             if self.occupied[0] != 0 {
                 let slot = self.occupied[0].trailing_zeros() as usize;
-                let cell = &mut self.wheel[slot];
-                let (t, _, event) = cell.pop_front().expect("occupied bucket is non-empty");
-                if cell.is_empty() {
+                let (t, _, event) = self
+                    .wheel
+                    .pop_front(slot)
+                    .expect("occupied bucket is non-empty");
+                if self.wheel.is_empty(slot) {
                     self.occupied[0] &= !(1 << slot);
                 }
                 self.cursor = t;
                 return Some((SimTime::from_micros(t), event));
             }
             // Cascade the earliest bucket of the lowest occupied level down
-            // to finer levels (in order, so FIFO ties are preserved).
+            // to finer levels (in order, so FIFO ties are preserved): pop
+            // each node and re-place it — nodes recycle through the slab's
+            // free list, so cascading allocates nothing.
             if let Some(level) = (1..LEVELS).find(|&l| self.occupied[l] != 0) {
                 let slot = self.occupied[level].trailing_zeros() as usize;
                 self.occupied[level] &= !(1 << slot);
-                // Swap the bucket out through the scratch buffer so its
-                // allocation is recycled instead of freed every cascade.
-                let mut entries = std::mem::take(&mut self.scratch);
-                std::mem::swap(&mut entries, &mut self.wheel[level * SLOTS + slot]);
+                let bucket = level * SLOTS + slot;
                 // Advance the cursor to the bucket's window start so the
                 // redistribution lands below `level`.
                 let span = 1u64 << (LEVEL_BITS * level as u32);
-                let (first_t, _, _) = entries.front().expect("occupied bucket is non-empty");
+                let (first_t, _, _) = self
+                    .wheel
+                    .iter(bucket)
+                    .next()
+                    .expect("occupied bucket is non-empty");
                 let window_start = first_t & !(span - 1);
                 debug_assert!(window_start >= self.cursor);
                 self.cursor = window_start;
-                for (t, seq, event) in entries.drain(..) {
+                while let Some((t, seq, event)) = self.wheel.pop_front(bucket) {
                     self.place(t, seq, event);
                 }
-                self.scratch = entries;
                 continue;
             }
             // Wheel drained: jump to the overflow minimum and refill.
@@ -311,8 +331,7 @@ impl<E> EventQueue<E> {
             }
             let slot = (t.as_micros() & (SLOTS as u64 - 1)) as usize;
             if self.occupied[0] & (1 << slot) != 0 {
-                let cell = &mut self.wheel[slot];
-                while let Some((bt, _, event)) = cell.pop_front() {
+                while let Some((bt, _, event)) = self.wheel.pop_front(slot) {
                     debug_assert_eq!(bt, t.as_micros());
                     self.len -= 1;
                     out.push((SimTime::from_micros(bt), event));
@@ -330,8 +349,10 @@ impl<E> EventQueue<E> {
         }
         if self.occupied[0] != 0 {
             let slot = self.occupied[0].trailing_zeros() as usize;
-            return self.wheel[slot]
-                .front()
+            return self
+                .wheel
+                .iter(slot)
+                .next()
                 .map(|&(t, _, _)| SimTime::from_micros(t));
         }
         for level in 1..LEVELS {
@@ -342,8 +363,9 @@ impl<E> EventQueue<E> {
             // Higher-level buckets are seq-ordered, not time-ordered; the
             // earliest firing time needs a scan. Peeking is off the hot
             // path (the engine's pop never calls it).
-            return self.wheel[level * SLOTS + slot]
-                .iter()
+            return self
+                .wheel
+                .iter(level * SLOTS + slot)
                 .map(|&(t, _, _)| SimTime::from_micros(t))
                 .min();
         }
@@ -361,7 +383,7 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E: Copy> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
     }

@@ -33,6 +33,9 @@ pub struct SimRng {
     /// hot probe-placement and steal-victim paths allocate nothing in
     /// steady state. Purely a cache — never affects the output stream.
     sample_scratch: Vec<u64>,
+    /// Recycled pick buffer for [`SimRng::sample_distinct_map_into`].
+    /// Purely a cache — never affects the output stream.
+    pick_scratch: Vec<usize>,
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -57,6 +60,7 @@ impl SimRng {
             s,
             gauss_spare: None,
             sample_scratch: Vec::new(),
+            pick_scratch: Vec::new(),
         }
     }
 
@@ -239,6 +243,29 @@ impl SimRng {
         self.shuffle(out);
     }
 
+    /// Samples `count` distinct indices from `[0, n)` in random order and
+    /// *appends* `map(index)` for each to `out` (no clear), going through
+    /// a recycled internal pick buffer so mapped callers — e.g. probe
+    /// placement appending `ServerId`s after a full-round prefix — stay
+    /// allocation-free too. The draw sequence is identical to
+    /// [`SimRng::sample_distinct`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > n`.
+    pub fn sample_distinct_map_into<T>(
+        &mut self,
+        n: usize,
+        count: usize,
+        out: &mut Vec<T>,
+        mut map: impl FnMut(usize) -> T,
+    ) {
+        let mut picks = std::mem::take(&mut self.pick_scratch);
+        self.sample_distinct_into(n, count, &mut picks);
+        out.extend(picks.iter().map(|&i| map(i)));
+        self.pick_scratch = picks;
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
@@ -334,6 +361,21 @@ mod tests {
             assert_eq!(set.len(), k, "indices must be distinct");
             assert!(s.iter().all(|&i| i < n));
         }
+    }
+
+    #[test]
+    fn sample_distinct_map_into_matches_plain_sampling() {
+        let mut a = SimRng::seed_from_u64(21);
+        let mut b = SimRng::seed_from_u64(21);
+        let plain = a.sample_distinct(50, 7);
+        let mut mapped: Vec<u64> = vec![999]; // must append, not clear
+        b.sample_distinct_map_into(50, 7, &mut mapped, |i| i as u64 * 2);
+        assert_eq!(mapped.len(), 8);
+        assert_eq!(mapped[0], 999);
+        let expect: Vec<u64> = plain.iter().map(|&i| i as u64 * 2).collect();
+        assert_eq!(&mapped[1..], &expect[..]);
+        // Streams stay aligned afterwards.
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     #[test]

@@ -1,0 +1,529 @@
+//! A slab arena of queue nodes threaded into intrusive FIFO lists.
+//!
+//! [`EntrySlab`] backs every per-server queue of a simulated cluster with
+//! *one* contiguous allocation instead of one heap object per server.
+//! Each list is an intrusive singly-linked FIFO whose nodes live in the
+//! shared `nodes` vector; freed nodes are recycled through an internal
+//! free list, so a cluster that has reached its high-water mark of queued
+//! entries never allocates again.
+//!
+//! # Invariants
+//!
+//! * **One list per owner** — list ids are dense (`0..num_lists`), fixed at
+//!   construction; in `hawk-cluster` list `i` is server `i`'s queue.
+//! * **O(1) push/pop/unlink** — [`EntrySlab::push_back`],
+//!   [`EntrySlab::pop_front`] and [`EntrySlab::unlink_after`] touch a
+//!   constant number of nodes; [`EntrySlab::unlink_run_into`] is O(run
+//!   length). No operation walks a list except the iterators.
+//! * **No allocation after warm-up** — nodes are recycled LIFO through the
+//!   free list; the arena grows only when the total live population
+//!   exceeds every previous peak ([`EntrySlab::allocated_nodes`] is
+//!   monotone). [`EntrySlab::reserve_nodes`] pre-warms the arena.
+//! * **FIFO order** — per list, values come out of `pop_front`/iteration
+//!   in `push_back` order, with unlinked nodes excised in place.
+//!
+//! Values are `Copy` so a pop moves the value out by copy and the node's
+//! slot can be recycled without per-node `Option` tagging.
+//!
+//! # Examples
+//!
+//! ```
+//! use hawk_simcore::EntrySlab;
+//!
+//! let mut slab: EntrySlab<u32> = EntrySlab::new(2);
+//! slab.push_back(0, 10);
+//! slab.push_back(1, 99);
+//! slab.push_back(0, 11);
+//! assert_eq!(slab.iter(0).copied().collect::<Vec<_>>(), vec![10, 11]);
+//! assert_eq!(slab.pop_front(0), Some(10));
+//! assert_eq!(slab.pop_front(1), Some(99));
+//! assert_eq!(slab.len(0), 1);
+//! ```
+
+/// Sentinel node index: "no node".
+const NIL: u32 = u32::MAX;
+
+/// One arena node: a value plus the intrusive `next` link (also used to
+/// chain the free list).
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: T,
+    next: u32,
+}
+
+/// Head/tail/length of one intrusive FIFO list.
+#[derive(Debug, Clone, Copy)]
+struct ListEnds {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl ListEnds {
+    const EMPTY: ListEnds = ListEnds {
+        head: NIL,
+        tail: NIL,
+        len: 0,
+    };
+}
+
+/// A slab arena of entries threaded into per-owner intrusive FIFO lists
+/// with free-list recycling. See the [module docs](self) for the
+/// invariants.
+#[derive(Debug, Clone)]
+pub struct EntrySlab<T> {
+    nodes: Vec<Node<T>>,
+    lists: Vec<ListEnds>,
+    /// Head of the LIFO free list, chained through `Node::next`.
+    free_head: u32,
+    free_len: usize,
+}
+
+impl<T: Copy> EntrySlab<T> {
+    /// Creates a slab with `lists` empty lists and no nodes.
+    pub fn new(lists: usize) -> Self {
+        Self::with_node_capacity(lists, 0)
+    }
+
+    /// Creates a slab with `lists` empty lists and arena capacity for
+    /// `nodes` entries (warm-up ahead of time).
+    pub fn with_node_capacity(lists: usize, nodes: usize) -> Self {
+        EntrySlab {
+            nodes: Vec::with_capacity(nodes),
+            lists: vec![ListEnds::EMPTY; lists],
+            free_head: NIL,
+            free_len: 0,
+        }
+    }
+
+    /// Number of lists.
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of entries in `list`.
+    pub fn len(&self, list: usize) -> usize {
+        self.lists[list].len as usize
+    }
+
+    /// True if `list` holds no entries.
+    pub fn is_empty(&self, list: usize) -> bool {
+        self.lists[list].len == 0
+    }
+
+    /// Total nodes ever created (live + free). Monotone: this grows only
+    /// when the live population exceeds every previous peak, which is the
+    /// no-allocation-after-warm-up invariant in measurable form.
+    pub fn allocated_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Nodes currently on the free list.
+    pub fn free_nodes(&self) -> usize {
+        self.free_len
+    }
+
+    /// Grows the arena so at least `total` nodes exist without further
+    /// allocation (no-op if already that large).
+    pub fn reserve_nodes(&mut self, total: usize) {
+        self.nodes.reserve(total.saturating_sub(self.nodes.len()));
+    }
+
+    /// Takes a node off the free list, or grows the arena by one.
+    fn alloc_node(&mut self, value: T) -> u32 {
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let node = &mut self.nodes[idx as usize];
+            self.free_head = node.next;
+            self.free_len -= 1;
+            node.value = value;
+            node.next = NIL;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx != NIL, "EntrySlab overflow: 2^32-1 nodes");
+            self.nodes.push(Node { value, next: NIL });
+            idx
+        }
+    }
+
+    /// Returns a node to the free list.
+    fn free_node(&mut self, idx: u32) {
+        self.nodes[idx as usize].next = self.free_head;
+        self.free_head = idx;
+        self.free_len += 1;
+    }
+
+    /// Appends `value` to the tail of `list`. O(1).
+    pub fn push_back(&mut self, list: usize, value: T) {
+        let idx = self.alloc_node(value);
+        let ends = &mut self.lists[list];
+        if ends.tail == NIL {
+            ends.head = idx;
+        } else {
+            self.nodes[ends.tail as usize].next = idx;
+        }
+        ends.tail = idx;
+        ends.len += 1;
+    }
+
+    /// Inserts `value` after `prev` in `list` (`None` prepends at the
+    /// head). O(1) given the predecessor; callers that need a positional
+    /// insert walk the list to find it.
+    pub fn insert_after(&mut self, list: usize, prev: Option<u32>, value: T) {
+        let idx = self.alloc_node(value);
+        match prev {
+            None => {
+                let head = self.lists[list].head;
+                self.nodes[idx as usize].next = head;
+                let ends = &mut self.lists[list];
+                ends.head = idx;
+                if ends.tail == NIL {
+                    ends.tail = idx;
+                }
+            }
+            Some(p) => {
+                let next = self.nodes[p as usize].next;
+                self.nodes[p as usize].next = idx;
+                self.nodes[idx as usize].next = next;
+                if self.lists[list].tail == p {
+                    self.lists[list].tail = idx;
+                }
+            }
+        }
+        self.lists[list].len += 1;
+    }
+
+    /// Removes and returns the head of `list`, or `None` if empty. O(1).
+    pub fn pop_front(&mut self, list: usize) -> Option<T> {
+        let ends = &mut self.lists[list];
+        if ends.head == NIL {
+            return None;
+        }
+        let idx = ends.head;
+        let node = &self.nodes[idx as usize];
+        let value = node.value;
+        ends.head = node.next;
+        if ends.head == NIL {
+            ends.tail = NIL;
+        }
+        ends.len -= 1;
+        self.free_node(idx);
+        Some(value)
+    }
+
+    /// The head node index of `list`, or `None` if empty.
+    pub fn head(&self, list: usize) -> Option<u32> {
+        let h = self.lists[list].head;
+        (h != NIL).then_some(h)
+    }
+
+    /// The tail node index of `list`, or `None` if empty. O(1).
+    pub fn tail(&self, list: usize) -> Option<u32> {
+        let t = self.lists[list].tail;
+        (t != NIL).then_some(t)
+    }
+
+    /// The node following `node` in its list, or `None` at the tail.
+    ///
+    /// Valid only for live (linked) nodes.
+    pub fn next(&self, node: u32) -> Option<u32> {
+        let n = self.nodes[node as usize].next;
+        (n != NIL).then_some(n)
+    }
+
+    /// The value stored at a live node.
+    pub fn value(&self, node: u32) -> &T {
+        &self.nodes[node as usize].value
+    }
+
+    /// Iterates `list` head to tail.
+    pub fn iter(&self, list: usize) -> impl Iterator<Item = &T> {
+        let mut cur = self.lists[list].head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let node = &self.nodes[cur as usize];
+            cur = node.next;
+            Some(&node.value)
+        })
+    }
+
+    /// Unlinks and returns the value of `node`, whose predecessor in
+    /// `list` is `prev` (`None` when `node` is the head). O(1).
+    ///
+    /// The caller supplies the predecessor (found during its scan) because
+    /// a singly-linked node cannot name it; passing the wrong predecessor
+    /// corrupts the list, so debug builds verify the link.
+    pub fn unlink_after(&mut self, list: usize, prev: Option<u32>, node: u32) -> T {
+        let next = self.nodes[node as usize].next;
+        let value = self.nodes[node as usize].value;
+        let ends = &mut self.lists[list];
+        match prev {
+            None => {
+                debug_assert_eq!(ends.head, node, "unlink_after: bad head predecessor");
+                ends.head = next;
+            }
+            Some(p) => {
+                debug_assert_eq!(
+                    self.nodes[p as usize].next, node,
+                    "unlink_after: bad predecessor"
+                );
+                self.nodes[p as usize].next = next;
+            }
+        }
+        if next == NIL {
+            self.lists[list].tail = prev.unwrap_or(NIL);
+        }
+        self.lists[list].len -= 1;
+        self.free_node(node);
+        value
+    }
+
+    /// Unlinks the run of `count` consecutive nodes starting at `start`
+    /// (predecessor `prev`, `None` when `start` is the head), appending
+    /// their values to `out` in list order. O(count).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds via link checks, in release by index
+    /// errors) if the run walks off the end of the list.
+    pub fn unlink_run_into(
+        &mut self,
+        list: usize,
+        prev: Option<u32>,
+        start: u32,
+        count: usize,
+        out: &mut Vec<T>,
+    ) {
+        if count == 0 {
+            return;
+        }
+        let mut cur = start;
+        // Successor of the last node taken, captured before `free_node`
+        // repurposes its `next` link for the free chain.
+        let mut after = NIL;
+        for taken in 0..count {
+            let node = &self.nodes[cur as usize];
+            out.push(node.value);
+            after = node.next;
+            self.free_node(cur);
+            if taken + 1 < count {
+                debug_assert!(after != NIL, "unlink_run_into: run past the tail");
+                cur = after;
+            }
+        }
+        let ends = &mut self.lists[list];
+        match prev {
+            None => ends.head = after,
+            Some(p) => self.nodes[p as usize].next = after,
+        }
+        if after == NIL {
+            self.lists[list].tail = prev.unwrap_or(NIL);
+        }
+        self.lists[list].len -= count as u32;
+    }
+
+    /// Checks arena-wide invariants: every list's length matches a walk,
+    /// the free-list length matches, and live + free node counts cover the
+    /// arena exactly.
+    pub fn check_invariants(&self) -> bool {
+        let mut live = 0usize;
+        for (i, ends) in self.lists.iter().enumerate() {
+            let mut n = 0usize;
+            let mut cur = ends.head;
+            let mut last = NIL;
+            while cur != NIL {
+                last = cur;
+                cur = self.nodes[cur as usize].next;
+                n += 1;
+                if n > self.nodes.len() {
+                    return false; // cycle
+                }
+            }
+            if n != ends.len as usize || last != ends.tail {
+                return false;
+            }
+            let _ = i;
+            live += n;
+        }
+        let mut free = 0usize;
+        let mut cur = self.free_head;
+        while cur != NIL {
+            cur = self.nodes[cur as usize].next;
+            free += 1;
+            if free > self.nodes.len() {
+                return false;
+            }
+        }
+        free == self.free_len && live + free == self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_list_and_isolation() {
+        let mut s: EntrySlab<u32> = EntrySlab::new(3);
+        for v in 0..5 {
+            s.push_back(0, v);
+            s.push_back(2, 100 + v);
+        }
+        assert_eq!(s.len(0), 5);
+        assert_eq!(s.len(1), 0);
+        assert!(s.is_empty(1));
+        for v in 0..5 {
+            assert_eq!(s.pop_front(0), Some(v));
+        }
+        assert_eq!(s.pop_front(0), None);
+        assert_eq!(
+            s.iter(2).copied().collect::<Vec<_>>(),
+            vec![100, 101, 102, 103, 104]
+        );
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn free_list_recycles_nodes() {
+        let mut s: EntrySlab<u32> = EntrySlab::new(1);
+        for v in 0..8 {
+            s.push_back(0, v);
+        }
+        let peak = s.allocated_nodes();
+        assert_eq!(peak, 8);
+        for _ in 0..8 {
+            s.pop_front(0);
+        }
+        assert_eq!(s.free_nodes(), 8);
+        // Churn far past the original population: the arena must not grow.
+        for round in 0..100u32 {
+            for v in 0..8 {
+                s.push_back(0, round * 10 + v);
+            }
+            for _ in 0..8 {
+                s.pop_front(0);
+            }
+        }
+        assert_eq!(s.allocated_nodes(), peak);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn unlink_after_head_middle_tail() {
+        let mut s: EntrySlab<u32> = EntrySlab::new(1);
+        for v in 0..5 {
+            s.push_back(0, v);
+        }
+        // Middle: value 2, predecessor node of value 1.
+        let n0 = s.head(0).unwrap();
+        let n1 = s.next(n0).unwrap();
+        let n2 = s.next(n1).unwrap();
+        assert_eq!(s.unlink_after(0, Some(n1), n2), 2);
+        // Head.
+        assert_eq!(s.unlink_after(0, None, n0), 0);
+        // Tail: list is now [1, 3, 4]; unlink 4.
+        let h = s.head(0).unwrap();
+        let m = s.next(h).unwrap();
+        let t = s.next(m).unwrap();
+        assert_eq!(s.unlink_after(0, Some(m), t), 4);
+        assert_eq!(s.iter(0).copied().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(s.len(0), 2);
+        assert!(s.check_invariants());
+        // Pushing appends after the surviving tail.
+        s.push_back(0, 9);
+        assert_eq!(s.iter(0).copied().collect::<Vec<_>>(), vec![1, 3, 9]);
+    }
+
+    #[test]
+    fn unlink_run_excises_in_order() {
+        let mut s: EntrySlab<u32> = EntrySlab::new(1);
+        for v in 0..6 {
+            s.push_back(0, v);
+        }
+        let n0 = s.head(0).unwrap();
+        let n1 = s.next(n0).unwrap();
+        let mut out = Vec::new();
+        s.unlink_run_into(0, Some(n0), n1, 3, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(s.iter(0).copied().collect::<Vec<_>>(), vec![0, 4, 5]);
+        assert_eq!(s.len(0), 3);
+        assert!(s.check_invariants());
+        // Run reaching the tail fixes the tail pointer.
+        let h = s.head(0).unwrap();
+        let m = s.next(h).unwrap();
+        out.clear();
+        s.unlink_run_into(0, Some(h), m, 2, &mut out);
+        assert_eq!(out, vec![4, 5]);
+        s.push_back(0, 7);
+        assert_eq!(s.iter(0).copied().collect::<Vec<_>>(), vec![0, 7]);
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn unlink_whole_list_from_head() {
+        let mut s: EntrySlab<u32> = EntrySlab::new(2);
+        for v in 0..4 {
+            s.push_back(1, v);
+        }
+        let h = s.head(1).unwrap();
+        let mut out = Vec::new();
+        s.unlink_run_into(1, None, h, 4, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(s.is_empty(1));
+        assert_eq!(s.head(1), None);
+        assert!(s.check_invariants());
+        s.push_back(1, 42);
+        assert_eq!(s.pop_front(1), Some(42));
+    }
+
+    #[test]
+    fn insert_after_head_middle_tail() {
+        let mut s: EntrySlab<u32> = EntrySlab::new(1);
+        // Head insert into an empty list sets both ends.
+        s.insert_after(0, None, 5);
+        assert_eq!(s.iter(0).copied().collect::<Vec<_>>(), vec![5]);
+        s.push_back(0, 7);
+        // Head insert with entries present.
+        s.insert_after(0, None, 3);
+        // Middle insert.
+        let head = s.head(0).unwrap();
+        s.insert_after(0, Some(head), 4);
+        // Tail insert moves the tail pointer.
+        let mut tail = s.head(0).unwrap();
+        while let Some(next) = s.next(tail) {
+            tail = next;
+        }
+        s.insert_after(0, Some(tail), 9);
+        assert_eq!(s.iter(0).copied().collect::<Vec<_>>(), vec![3, 4, 5, 7, 9]);
+        s.push_back(0, 11);
+        assert_eq!(
+            s.iter(0).copied().collect::<Vec<_>>(),
+            vec![3, 4, 5, 7, 9, 11]
+        );
+        assert!(s.check_invariants());
+    }
+
+    #[test]
+    fn zero_count_run_is_a_no_op() {
+        let mut s: EntrySlab<u32> = EntrySlab::new(1);
+        s.push_back(0, 1);
+        let h = s.head(0).unwrap();
+        let mut out = Vec::new();
+        s.unlink_run_into(0, None, h, 0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(s.len(0), 1);
+    }
+
+    #[test]
+    fn reserve_prewarms_without_visible_change() {
+        let mut s: EntrySlab<u8> = EntrySlab::with_node_capacity(1, 16);
+        s.reserve_nodes(64);
+        assert_eq!(s.allocated_nodes(), 0);
+        assert_eq!(s.num_lists(), 1);
+        s.push_back(0, 1);
+        assert_eq!(s.allocated_nodes(), 1);
+    }
+}

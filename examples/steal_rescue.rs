@@ -11,7 +11,7 @@
 //! ```
 
 use hawk::cluster::steal::eligible_group;
-use hawk::cluster::{QueueEntry, Server, Slot, TaskSpec};
+use hawk::cluster::{QueueEntry, QueueSlab, Server, Slot, TaskSpec};
 use hawk::prelude::*;
 
 fn long_task(job: u32) -> QueueEntry {
@@ -39,9 +39,9 @@ fn short_probe(job: u32) -> QueueEntry {
     }
 }
 
-fn describe(server: &Server) -> String {
+fn describe(server: &Server, queues: &QueueSlab) -> String {
     server
-        .queue()
+        .queue(queues)
         .map(|e| match e {
             QueueEntry::Probe { job, .. } => format!("S{}", job.0),
             QueueEntry::Task(t) if t.class.is_long() => format!("L{}", t.job.0),
@@ -51,18 +51,21 @@ fn describe(server: &Server) -> String {
         .join(" ")
 }
 
-fn show_case(title: &str, server: &Server) {
+fn show_case(title: &str, server: &Server, queues: &QueueSlab) {
     let running = match server.slot() {
         Slot::Running(t) if t.class.is_long() => format!("L{}", t.job.0),
         Slot::Running(t) => format!("S{}", t.job.0),
         _ => "-".into(),
     };
     println!("{title}");
-    println!("  executing: [{running}]   queue: [{}]", describe(server));
-    match eligible_group(server) {
+    println!(
+        "  executing: [{running}]   queue: [{}]",
+        describe(server, queues)
+    );
+    match eligible_group(server, queues) {
         Some((start, len)) => {
             let victims: Vec<String> = server
-                .queue()
+                .queue(queues)
                 .skip(start)
                 .take(len)
                 .map(|e| format!("S{}", e.job().0))
@@ -81,10 +84,14 @@ fn show_case(title: &str, server: &Server) {
 fn main() {
     println!("Figure 3: which short tasks does an idle server steal?\n");
 
+    // One shared arena backs every queue in this walkthrough, exactly as
+    // a cluster's servers share one slab.
+    let mut queues = QueueSlab::new(3);
+
     // Case a: the victim is executing a SHORT task. The first consecutive
     // group of short entries after the first long entry is stolen.
     let mut a = Server::new(ServerId(0));
-    a.enqueue(short_task(100, 50));
+    a.enqueue(&mut queues, short_task(100, 50));
     for e in [
         short_probe(1),
         long_task(2),
@@ -93,27 +100,27 @@ fn main() {
         long_task(5),
         short_probe(6),
     ] {
-        a.enqueue(e);
+        a.enqueue(&mut queues, e);
     }
-    show_case("case a) executing a short task:", &a);
+    show_case("case a) executing a short task:", &a, &queues);
 
     // Case b: the victim is executing a LONG task. Even though it has made
     // progress, it will still delay everything queued; the head shorts are
     // stolen.
     let mut b = Server::new(ServerId(1));
-    b.enqueue(long_task(200));
+    b.enqueue(&mut queues, long_task(200));
     for e in [short_probe(1), short_probe(2), long_task(3), short_probe(4)] {
-        b.enqueue(e);
+        b.enqueue(&mut queues, e);
     }
-    show_case("case b) executing a long task:", &b);
+    show_case("case b) executing a long task:", &b, &queues);
 
     // No long task anywhere: nothing to rescue from.
     let mut c = Server::new(ServerId(2));
-    c.enqueue(short_task(300, 10));
+    c.enqueue(&mut queues, short_task(300, 10));
     for e in [short_probe(1), short_probe(2)] {
-        c.enqueue(e);
+        c.enqueue(&mut queues, e);
     }
-    show_case("all-short server (no head-of-line blocking):", &c);
+    show_case("all-short server (no head-of-line blocking):", &c, &queues);
 
     // End-to-end: a cluster where stealing moves the group to an idle
     // server and the short job escapes a 20,000 s wait.
@@ -124,14 +131,14 @@ fn main() {
     cluster.enqueue(ServerId(0), short_probe(11));
     println!(
         "  server 0 queue before steal: [{}]",
-        describe(cluster.server(ServerId(0)))
+        describe(cluster.server(ServerId(0)), cluster.queues())
     );
     let loot = cluster.steal_from(ServerId(0));
     println!("  idle server 3 steals {} entries", loot.len());
     cluster.give_stolen(ServerId(3), loot);
     println!(
         "  server 0 queue after:  [{}]   server 3 queue: [{}] (+1 probe binding)",
-        describe(cluster.server(ServerId(0))),
-        describe(cluster.server(ServerId(3))),
+        describe(cluster.server(ServerId(0)), cluster.queues()),
+        describe(cluster.server(ServerId(3)), cluster.queues()),
     );
 }

@@ -1,0 +1,127 @@
+//! Allocation-regression guard for the simulation event loop.
+//!
+//! A counting global allocator runs a real Google-like Hawk (and Sparrow)
+//! cell to steady state, then asserts that a 10,000-event window of the
+//! live event loop — job arrivals, probing, late binding, central
+//! placement, task completions and the full steal pipeline — performs
+//! **zero** heap allocations.
+//!
+//! This is the enforcement side of the slab rework: server queues live in
+//! the cluster-wide `EntrySlab` arena, steal batches ride recycled
+//! buffers/`BatchPool` slots, probe targets and central placements fill
+//! caller-owned buffers, and RNG sampling reuses its scratch — so after
+//! warm-up the loop's working set is fixed. Any future change that
+//! re-introduces per-event allocation fails here with an exact count.
+//!
+//! The test is fully deterministic (fixed seeds, single thread), so the
+//! asserted zero is stable, not flaky-by-luck. Runs in debug and release;
+//! CI exercises the release half next to the golden-digest suite.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+
+use hawk::core::scheduler::{Hawk, Scheduler, Sparrow};
+use hawk::core::{Driver, SimConfig};
+use hawk::simcore::SimDuration;
+use hawk::workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
+use hawk::workload::Trace;
+
+struct CountingAllocator;
+
+// Per-thread counter (const-init TLS: no lazy allocation on first touch),
+// so the test harness running other tests in parallel cannot leak their
+// allocations into a measured window.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    ALLOCATIONS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count_one();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count_one();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+/// Events to run before measuring: long enough for every recycled buffer,
+/// slab arena, RNG scratch and timing-wheel bucket to reach its
+/// steady-state footprint.
+const WARMUP_EVENTS: u64 = 60_000;
+
+/// The measured window.
+const WINDOW_EVENTS: u64 = 10_000;
+
+fn steady_state_window(scheduler: Arc<dyn Scheduler>, name: &str) {
+    // ~1,500 jobs ≈ 180k events: the window sits mid-run, with arrivals,
+    // completions and steals all still active.
+    let trace: Trace = GoogleTraceConfig::with_scale(10, 1_500).generate(0xA110C);
+    let sim = SimConfig {
+        nodes: 300,
+        // Keep the periodic utilization snapshots out of the measured
+        // window; sampling growth is amortized-fine but not *zero*.
+        util_interval: SimDuration::from_secs(1_000_000),
+        ..SimConfig::default()
+    };
+    let mut driver = Driver::with_scheduler(&trace, scheduler, &sim);
+
+    let warmed = driver.step_events(WARMUP_EVENTS);
+    assert_eq!(warmed, WARMUP_EVENTS, "{name}: trace too small to warm up");
+    assert!(
+        driver.unfinished_jobs() > 0,
+        "{name}: run ended during warm-up"
+    );
+
+    let before = allocations();
+    let stepped = driver.step_events(WINDOW_EVENTS);
+    let allocated = allocations() - before;
+
+    assert_eq!(stepped, WINDOW_EVENTS, "{name}: window ran out of events");
+    assert!(
+        driver.unfinished_jobs() > 0,
+        "{name}: window was not steady state"
+    );
+    assert_eq!(
+        allocated, 0,
+        "{name}: {allocated} heap allocations in a {WINDOW_EVENTS}-event steady-state window"
+    );
+}
+
+/// Hawk exercises every subsystem at once: distributed probing + late
+/// binding for shorts, centralized placement for longs, and ~10^5 steals
+/// per run through the slab/batch-pool pipeline.
+#[test]
+fn hawk_steady_state_event_loop_allocates_nothing() {
+    steady_state_window(Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)), "hawk");
+}
+
+/// Sparrow covers the pure probing/late-binding path (no partition, no
+/// stealing, no central queue).
+#[test]
+fn sparrow_steady_state_event_loop_allocates_nothing() {
+    steady_state_window(Arc::new(Sparrow::new()), "sparrow");
+}

@@ -145,7 +145,7 @@ proptest! {
         entries in proptest::collection::vec(any::<bool>(), 0..20),
         running_long in any::<bool>(),
     ) {
-        use hawk::cluster::{QueueEntry, Server, TaskSpec};
+        use hawk::cluster::{QueueEntry, QueueSlab, Server, TaskSpec};
         use hawk::cluster::steal::steal_from;
 
         let mk = |long: bool, id: u32| -> QueueEntry {
@@ -157,16 +157,17 @@ proptest! {
             })
         };
 
+        let mut queues = QueueSlab::new(1);
         let mut server = Server::new(hawk::cluster::ServerId(0));
         // Occupy the slot first so later entries queue.
-        server.enqueue(mk(running_long, 9_999));
+        server.enqueue(&mut queues, mk(running_long, 9_999));
         let before: Vec<bool> = entries.clone();
         for (i, long) in entries.iter().enumerate() {
-            server.enqueue(mk(*long, i as u32));
+            server.enqueue(&mut queues, mk(*long, i as u32));
         }
 
-        let stolen = steal_from(&mut server);
-        prop_assert!(server.check_invariants());
+        let stolen = steal_from(&mut server, &mut queues);
+        prop_assert!(server.check_invariants(&queues));
 
         // 1. Only short entries are stolen.
         for e in &stolen {
