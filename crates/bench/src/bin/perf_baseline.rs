@@ -27,7 +27,9 @@ use std::time::Instant;
 
 use hawk_core::scheduler::{Hawk, Scheduler, Sparrow};
 use hawk_core::{Experiment, MetricsReport};
+use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
+use hawk_workload::scenario::{DynamicsScript, SpeedSpec};
 use hawk_workload::Trace;
 
 /// Default job count for the timed cells.
@@ -39,6 +41,32 @@ const SMOKE_JOBS: usize = 2_000;
 /// The cluster sizes timed, largest last (the headline cell). 50,000 is
 /// the top of the paper's Figure 5 sweep.
 const NODE_CELLS: [usize; 4] = [1_000, 5_000, 15_000, 50_000];
+
+/// Cluster size of the scenario-engine churn cell.
+const CHURN_NODES: usize = 5_000;
+
+/// The churn cell's scenario: rolling failures (one of 50 spread-out
+/// servers down for 30 s every 60 s, from t = 500 s, effectively forever)
+/// on a two-tier cluster with 20 % of servers at half speed. Exercises
+/// the whole dynamics path — queue drains, task/probe migration, central
+/// fail/revive, live-map rebuilds, speed-scaled slots — under load.
+fn churn_dynamics() -> DynamicsScript {
+    let servers: Vec<u32> = (0..50).map(|i| i * 97).collect();
+    DynamicsScript::rolling(
+        &servers,
+        SimTime::from_secs(500),
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(30),
+        5_000,
+    )
+}
+
+fn churn_speeds() -> SpeedSpec {
+    SpeedSpec::TwoTier {
+        slow_fraction: 0.2,
+        slow_speed: 0.5,
+    }
+}
 
 /// The arrival-rate anchor: `with_scale(1)` calibrates ~90 % load at
 /// 15,000 nodes, so `scale = ANCHOR_NODES / nodes` holds load constant.
@@ -147,10 +175,30 @@ fn time_cell(
     nodes: usize,
     repeats: usize,
 ) -> (f64, MetricsReport) {
+    time_cell_with(
+        trace,
+        scheduler,
+        nodes,
+        repeats,
+        DynamicsScript::none(),
+        SpeedSpec::Uniform,
+    )
+}
+
+fn time_cell_with(
+    trace: &Arc<Trace>,
+    scheduler: Arc<dyn Scheduler>,
+    nodes: usize,
+    repeats: usize,
+    dynamics: DynamicsScript,
+    speeds: SpeedSpec,
+) -> (f64, MetricsReport) {
     let cell = Experiment::builder()
         .trace(trace)
         .scheduler_shared(scheduler)
         .nodes(nodes)
+        .dynamics(dynamics)
+        .speeds(speeds)
         .build();
     let mut best: Option<(f64, MetricsReport)> = None;
     for _ in 0..repeats {
@@ -173,7 +221,7 @@ fn main() {
 
     eprintln!(
         "perf_baseline: {jobs} jobs, seed {:#x}, best of {} per cell, \
-         cells {NODE_CELLS:?} x {{hawk, sparrow}}",
+         cells {NODE_CELLS:?} x {{hawk, sparrow}} + hawk-churn x {CHURN_NODES}",
         opts.seed, opts.repeats
     );
 
@@ -212,6 +260,38 @@ fn main() {
                 speedup_vs_pre_rework: speedup,
             });
         }
+    }
+
+    // The scenario-engine churn cell: same workload shape at 5k nodes,
+    // with rolling failures and a heterogeneous speed profile. Tracks the
+    // dynamics path's throughput next to the static cells.
+    {
+        let trace = Arc::new(trace_for(CHURN_NODES, jobs, opts.seed));
+        let scheduler: Arc<dyn Scheduler> = Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION));
+        let (wall_s, report) = time_cell_with(
+            &trace,
+            scheduler,
+            CHURN_NODES,
+            opts.repeats,
+            churn_dynamics(),
+            churn_speeds(),
+        );
+        let events_per_sec = report.events as f64 / wall_s.max(1e-9);
+        eprintln!(
+            "  hawk-churn x {CHURN_NODES:>6} nodes: {wall_s:8.3} s  \
+             ({events_per_sec:.2e} events/s, {} migrations, {} abandons)",
+            report.migrations, report.abandons
+        );
+        cells.push(CellTiming {
+            scheduler: "hawk-churn".to_string(),
+            nodes: CHURN_NODES,
+            jobs,
+            wall_s,
+            events: report.events,
+            events_per_sec,
+            steals: report.steals,
+            speedup_vs_pre_rework: None,
+        });
     }
 
     let json = render_json(&opts, jobs, comparable, &cells);

@@ -22,10 +22,12 @@ use crate::steal::StealScratch;
 /// Index-relevant summary of one server's state, packed into one word and
 /// diffed around every mutation to keep the cluster indexes current.
 ///
-/// Layout: bit 0 = holds-long, bits 1.. = queue depth (queue length plus
-/// one if the slot is occupied). A server is completely idle exactly when
-/// its depth is zero (a free server's queue is empty by invariant), so no
-/// separate "free" bit is needed and the whole diff is one XOR.
+/// Layout: bit 0 = holds-long, bit 1 = down, bits 2.. = queue depth (queue
+/// length plus one if the slot is occupied). A live server is completely
+/// idle exactly when its depth is zero (a free server's queue is empty by
+/// invariant), so no separate "free" bit is needed and the whole diff is
+/// one XOR. Down servers are members of *no* index — the down bit gates
+/// all index maintenance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ServerStat(u32);
 
@@ -39,12 +41,17 @@ impl ServerStat {
 
     #[inline]
     fn depth(self) -> u32 {
-        self.0 >> 1
+        self.0 >> 2
     }
 
     #[inline]
     fn holds_long(self) -> bool {
         self.0 & 1 != 0
+    }
+
+    #[inline]
+    fn is_down(self) -> bool {
+        self.0 & 2 != 0
     }
 }
 
@@ -98,6 +105,20 @@ pub struct Cluster {
     depth_general: DepthHistogram,
     /// Queue-depth buckets for the reserved short partition.
     depth_short: DepthHistogram,
+    /// Number of servers currently out of service. Zero in every static
+    /// scenario — the fast-path guard for all liveness bookkeeping.
+    down_count: usize,
+    /// Down servers still executing their draining task. Utilization
+    /// counts them as usable capacity until the slot empties.
+    down_running: usize,
+    /// Sorted ids of the in-service servers; the identity sequence while
+    /// `down_count == 0`. Rebuilt on each (rare) lifecycle event so rank →
+    /// live-server lookups stay O(1) on the placement hot path. Because
+    /// ids are sorted and the partitions are contiguous id ranges, the
+    /// first `live_general` entries are the live general partition.
+    live_ids: Vec<u32>,
+    /// Number of in-service servers in the general partition.
+    live_general: usize,
 }
 
 impl Cluster {
@@ -126,7 +147,26 @@ impl Cluster {
             } else {
                 DepthHistogram::empty()
             },
+            down_count: 0,
+            down_running: 0,
+            live_ids: (0..total as u32).collect(),
+            live_general: partition.general_count(),
         }
+    }
+
+    /// Creates a cluster with per-server execution-speed factors
+    /// (`speeds[i]` is server `i`'s factor; see [`Server::speed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speeds.len() != total` or any factor is non-positive.
+    pub fn with_speeds(total: usize, short_fraction: f64, speeds: &[f64]) -> Self {
+        assert_eq!(speeds.len(), total, "one speed factor per server");
+        let mut cluster = Self::new(total, short_fraction);
+        for (server, &speed) in cluster.servers.iter_mut().zip(speeds) {
+            server.set_speed(speed);
+        }
+        cluster
     }
 
     /// Applies `mutate` to one server (handing it the shared queue arena),
@@ -143,7 +183,13 @@ impl Cluster {
         let before = ServerStat::of(server);
         let result = mutate(server, &mut self.queues);
         let after = ServerStat::of(server);
-        if before != after {
+        if before != after && !before.is_down() {
+            // Down servers are members of no index; their residual
+            // transitions (the draining slot finishing or binding) need no
+            // maintenance. The down bit itself never flips inside a
+            // mutation — only fail_server/revive_server move it, with
+            // explicit index surgery.
+            debug_assert!(!after.is_down(), "down bit flipped inside update");
             self.apply_delta(id, before, after);
         }
         result
@@ -206,7 +252,12 @@ impl Cluster {
     /// Fraction of servers executing a task — the paper's cluster
     /// utilization metric (§2.3: "percentage of used servers").
     pub fn utilization(&self) -> f64 {
-        self.running as f64 / self.servers.len() as f64
+        // Usable capacity = in-service servers plus down servers still
+        // draining a task; on a static cluster this is exactly the paper's
+        // denominator (every server), and under churn it keeps the metric
+        // in [0, 1] without understating load while capacity is reduced.
+        let usable = self.live_count() + self.down_running;
+        self.running as f64 / usable.max(1) as f64
     }
 
     /// Enqueues an entry on `id`, updating the running count and indexes.
@@ -223,6 +274,11 @@ impl Cluster {
         let action = self.update(id, |s, q| s.on_bind_response(q, task));
         if let ServerAction::StartTask(_) = action {
             self.running += 1;
+            if self.servers[id.index()].is_down() {
+                // A bind committed before the failure launches anyway:
+                // the draining slot still counts as usable capacity.
+                self.down_running += 1;
+            }
         }
         action
     }
@@ -231,6 +287,10 @@ impl Cluster {
     pub fn on_task_finish(&mut self, id: ServerId) -> (TaskSpec, ServerAction) {
         let (spec, action) = self.update(id, |s, q| s.on_task_finish(q));
         self.running -= 1;
+        if self.servers[id.index()].is_down() {
+            // A draining server's slot emptied: its capacity is gone.
+            self.down_running -= 1;
+        }
         if let ServerAction::StartTask(_) = action {
             self.running += 1;
         }
@@ -314,6 +374,129 @@ impl Cluster {
         self.give_stolen_drain(thief, &mut entries)
     }
 
+    // --- Server lifecycle (scenario dynamics). ---
+
+    /// Takes `id` out of service: its queue is drained into `drained` (in
+    /// queue order; `drained` is not cleared) for the caller to migrate or
+    /// abandon, and the server leaves every index — placement views,
+    /// free/long bitmaps and depth histograms see only live servers from
+    /// here on. A task already executing (or a probe mid-bind) finishes on
+    /// its own; the server goes fully dark when its slot empties.
+    ///
+    /// Returns `false` (and drains nothing) if the server was already
+    /// down. Allocation-free once `drained` has warmed up.
+    pub fn fail_server(&mut self, id: ServerId, drained: &mut Vec<QueueEntry>) -> bool {
+        if self.servers[id.index()].is_down() {
+            return false;
+        }
+        // Drain through `update` so the depth/long indexes watch the queue
+        // empty while the server is still a live index member.
+        self.update(id, |s, q| s.drain_queue_into(q, drained));
+        let idx = id.index();
+        let in_general = self.partition.in_general(id);
+        let stat = ServerStat::of(&self.servers[idx]);
+        // Remove the server's remaining contributions (an occupied slot
+        // still counts one depth) from every index.
+        let histogram = if in_general {
+            &mut self.depth_general
+        } else {
+            &mut self.depth_short
+        };
+        histogram.remove(stat.depth() as usize);
+        if stat.depth() == 0 {
+            self.free.set(idx, false);
+            self.free_general -= usize::from(in_general);
+        }
+        self.long_holders.set(idx, false);
+        if self.servers[idx].is_running() {
+            self.down_running += 1;
+        }
+        self.servers[idx].set_down(true);
+        self.down_count += 1;
+        self.rebuild_live();
+        true
+    }
+
+    /// Returns `id` to service, idle (or still finishing its draining
+    /// slot) and empty-queued: it rejoins the free/long bitmaps and the
+    /// depth histograms and becomes visible to placement again.
+    ///
+    /// Returns `false` if the server was not down.
+    pub fn revive_server(&mut self, id: ServerId) -> bool {
+        let idx = id.index();
+        if !self.servers[idx].is_down() {
+            return false;
+        }
+        self.servers[idx].set_down(false);
+        let stat = ServerStat::of(&self.servers[idx]);
+        let in_general = self.partition.in_general(id);
+        let histogram = if in_general {
+            &mut self.depth_general
+        } else {
+            &mut self.depth_short
+        };
+        histogram.add(stat.depth() as usize);
+        if stat.depth() == 0 {
+            self.free.set(idx, true);
+            self.free_general += usize::from(in_general);
+        }
+        self.long_holders.set(idx, stat.holds_long());
+        if self.servers[idx].is_running() {
+            self.down_running -= 1;
+        }
+        self.down_count -= 1;
+        self.rebuild_live();
+        true
+    }
+
+    /// Rebuilds the sorted live-id map after a lifecycle event. O(n), but
+    /// lifecycle events are rare (scripted churn, not per-event traffic)
+    /// and the buffer's capacity is retained, so rebuilds allocate
+    /// nothing.
+    fn rebuild_live(&mut self) {
+        self.live_ids.clear();
+        self.live_general = 0;
+        for server in &self.servers {
+            if !server.is_down() {
+                self.live_ids.push(server.id().0);
+                self.live_general += usize::from(self.partition.in_general(server.id()));
+            }
+        }
+    }
+
+    /// True if `server` is out of service.
+    pub fn is_down(&self, server: ServerId) -> bool {
+        self.servers[server.index()].is_down()
+    }
+
+    /// Number of servers currently out of service.
+    pub fn down_count(&self) -> usize {
+        self.down_count
+    }
+
+    /// Number of in-service servers.
+    pub fn live_count(&self) -> usize {
+        self.servers.len() - self.down_count
+    }
+
+    /// Number of in-service servers in the general partition.
+    pub fn live_count_general(&self) -> usize {
+        self.live_general
+    }
+
+    /// Number of in-service servers in the reserved short partition.
+    pub fn live_count_short(&self) -> usize {
+        self.live_count() - self.live_general
+    }
+
+    /// The sorted ids of the in-service servers (the identity sequence
+    /// while nothing is down). Because partitions are contiguous id
+    /// ranges, the first [`Cluster::live_count_general`] entries are the
+    /// live general partition.
+    pub fn live_ids(&self) -> &[u32] {
+        &self.live_ids
+    }
+
     // --- Index queries: O(1) reads maintained incrementally. ---
 
     /// Pending work at `server`: queued entries plus one if the execution
@@ -393,14 +576,44 @@ impl Cluster {
         } else {
             DepthHistogram::empty()
         };
+        // The from-scratch histograms start empty and only count live
+        // servers; down servers must be absent from every index.
+        let mut expect_general_down = 0;
+        let mut expect_short_down = 0;
         let mut running = 0;
         let mut free_general = 0;
         let mut long_holders = 0;
+        let mut down_count = 0;
+        let mut down_running = 0;
+        let mut live_ids = Vec::with_capacity(self.servers.len());
+        let mut live_general = 0;
         for server in &self.servers {
             let stat = ServerStat::of(server);
             let id = server.id();
-            let is_free = stat.depth() == 0;
             running += usize::from(server.is_running());
+            if stat.is_down() != server.is_down() {
+                return false;
+            }
+            if server.is_down() {
+                // A down server was drained and sits in no index.
+                if server.queue_len() != 0
+                    || self.free.contains(id.index())
+                    || self.long_holders.contains(id.index())
+                {
+                    return false;
+                }
+                down_count += 1;
+                down_running += usize::from(server.is_running());
+                if self.partition.in_general(id) {
+                    expect_general_down += 1;
+                } else {
+                    expect_short_down += 1;
+                }
+                continue;
+            }
+            live_ids.push(id.0);
+            live_general += usize::from(self.partition.in_general(id));
+            let is_free = stat.depth() == 0;
             if is_free != self.free.contains(id.index()) {
                 return false;
             }
@@ -418,9 +631,21 @@ impl Cluster {
                 expect_short.shift(0, stat.depth() as usize);
             }
         }
+        for _ in 0..expect_general_down {
+            expect_general.remove(0);
+        }
+        for _ in 0..expect_short_down {
+            expect_short.remove(0);
+        }
         running == self.running
             && free_general == self.free_general
             && long_holders == self.long_holders.count()
+            && down_count == self.down_count
+            && down_running == self.down_running
+            && live_ids == self.live_ids
+            && live_general == self.live_general
+            && expect_general.total() == self.depth_general.total()
+            && expect_short.total() == self.depth_short.total()
             && (0..=DepthHistogram::MAX_TRACKED).all(|d| {
                 expect_general.count_at(d) == self.depth_general.count_at(d)
                     && expect_short.count_at(d) == self.depth_short.count_at(d)
@@ -594,6 +819,146 @@ mod tests {
         assert_eq!(t.max().unwrap(), 1.0);
         assert_eq!(t.samples().len(), 5);
         assert_eq!(t.interval(), SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn fail_drains_queue_and_leaves_every_index() {
+        let mut c = Cluster::new(4, 0.25);
+        // Server 0: long running, one short probe + one short task queued.
+        c.enqueue(
+            ServerId(0),
+            QueueEntry::Task(spec(0, 1_000, JobClass::Long)),
+        );
+        c.enqueue(
+            ServerId(0),
+            QueueEntry::Probe {
+                job: JobId(1),
+                class: JobClass::Short,
+            },
+        );
+        c.enqueue(ServerId(0), QueueEntry::Task(spec(2, 10, JobClass::Short)));
+        assert_eq!(c.queue_depth(ServerId(0)), 3);
+        assert!(c.holds_long_work(ServerId(0)));
+
+        let mut drained = Vec::new();
+        assert!(c.fail_server(ServerId(0), &mut drained));
+        // Queue order preserved; the running long task stays in the slot.
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].job(), JobId(1));
+        assert_eq!(drained[1].job(), JobId(2));
+        assert!(c.is_down(ServerId(0)));
+        assert_eq!(c.down_count(), 1);
+        assert_eq!(c.live_count(), 3);
+        assert_eq!(c.live_count_general(), 2);
+        assert_eq!(c.live_ids(), &[1, 2, 3]);
+        assert!(!c.holds_long_work(ServerId(0)));
+        assert!(!c.is_free(ServerId(0)));
+        assert_eq!(c.running_count(), 1, "draining slot still executes");
+        assert!(c.check_invariants());
+
+        // Double-fail is a no-op.
+        assert!(!c.fail_server(ServerId(0), &mut drained));
+        assert_eq!(drained.len(), 2);
+
+        // The draining slot finishes; the server stays dark.
+        let (done, action) = c.on_task_finish(ServerId(0));
+        assert_eq!(done.job, JobId(0));
+        assert_eq!(action, ServerAction::BecameIdle);
+        assert!(!c.is_free(ServerId(0)), "down servers are never free");
+        assert_eq!(c.running_count(), 0);
+        assert!(c.check_invariants());
+
+        // Revival restores full index membership.
+        assert!(c.revive_server(ServerId(0)));
+        assert!(!c.revive_server(ServerId(0)));
+        assert!(c.is_free(ServerId(0)));
+        assert_eq!(c.live_count(), 4);
+        assert_eq!(c.live_ids(), &[0, 1, 2, 3]);
+        assert_eq!(c.down_count(), 0);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn revive_mid_drain_rejoins_at_slot_depth() {
+        let mut c = Cluster::new(2, 0.0);
+        c.enqueue(ServerId(0), QueueEntry::Task(spec(0, 100, JobClass::Long)));
+        let mut drained = Vec::new();
+        c.fail_server(ServerId(0), &mut drained);
+        assert!(drained.is_empty());
+        // Revived while the old task still runs: visible, depth 1, not
+        // free, long-holding again.
+        assert!(c.revive_server(ServerId(0)));
+        assert!(!c.is_free(ServerId(0)));
+        assert_eq!(c.queue_depth(ServerId(0)), 1);
+        assert!(c.holds_long_work(ServerId(0)));
+        assert!(c.check_invariants());
+        let (_, action) = c.on_task_finish(ServerId(0));
+        assert_eq!(action, ServerAction::BecameIdle);
+        assert!(c.is_free(ServerId(0)));
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn utilization_tracks_usable_capacity_under_churn() {
+        let mut c = Cluster::new(4, 0.0);
+        c.enqueue(ServerId(0), QueueEntry::Task(spec(0, 100, JobClass::Long)));
+        c.enqueue(ServerId(1), QueueEntry::Task(spec(1, 100, JobClass::Long)));
+        assert!((c.utilization() - 0.5).abs() < 1e-12);
+
+        // Two idle servers fail: 2 running / 2 usable.
+        let mut drained = Vec::new();
+        c.fail_server(ServerId(2), &mut drained);
+        c.fail_server(ServerId(3), &mut drained);
+        assert!((c.utilization() - 1.0).abs() < 1e-12);
+
+        // A running server fails: its draining slot still counts as
+        // usable capacity, so utilization stays 2/2.
+        c.fail_server(ServerId(1), &mut drained);
+        assert!((c.utilization() - 1.0).abs() < 1e-12);
+        assert!(c.check_invariants());
+
+        // The draining slot empties: 1 running / 1 usable.
+        c.on_task_finish(ServerId(1));
+        assert!((c.utilization() - 1.0).abs() < 1e-12);
+        assert_eq!(c.running_count(), 1);
+        assert!(c.check_invariants());
+
+        // Revival restores the denominator: 1 running / 2 usable.
+        c.revive_server(ServerId(2));
+        assert!((c.utilization() - 0.5).abs() < 1e-12);
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn speed_factors_scale_slot_occupancy() {
+        let speeds = [1.0, 0.5, 2.0];
+        let c = Cluster::with_speeds(3, 0.0, &speeds);
+        let d = SimDuration::from_secs(100);
+        assert_eq!(c.server(ServerId(0)).scale_duration(d), d);
+        assert_eq!(
+            c.server(ServerId(1)).scale_duration(d),
+            SimDuration::from_secs(200)
+        );
+        assert_eq!(
+            c.server(ServerId(2)).scale_duration(d),
+            SimDuration::from_secs(50)
+        );
+        assert!(c.check_invariants());
+    }
+
+    #[test]
+    fn failed_short_partition_server_updates_short_indexes() {
+        let mut c = Cluster::new(4, 0.5); // servers 2, 3 short-reserved
+        let mut drained = Vec::new();
+        c.fail_server(ServerId(3), &mut drained);
+        assert_eq!(c.live_count_short(), 1);
+        assert_eq!(c.live_count_general(), 2);
+        assert_eq!(c.free_count_short(), 1);
+        assert_eq!(c.depth_histogram_short().total(), 1);
+        assert!(c.check_invariants());
+        c.revive_server(ServerId(3));
+        assert_eq!(c.depth_histogram_short().total(), 2);
+        assert!(c.check_invariants());
     }
 
     #[test]

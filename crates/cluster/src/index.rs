@@ -60,6 +60,20 @@ impl DepthHistogram {
         self.counts[Self::bucket(to)] += 1;
     }
 
+    /// Adds one server at `depth` to the tracked population (a server
+    /// rejoining after a down period).
+    pub fn add(&mut self, depth: usize) {
+        self.counts[Self::bucket(depth)] += 1;
+        self.total += 1;
+    }
+
+    /// Removes one server at `depth` from the tracked population (a server
+    /// leaving service); depth histograms cover live servers only.
+    pub fn remove(&mut self, depth: usize) {
+        self.counts[Self::bucket(depth)] -= 1;
+        self.total -= 1;
+    }
+
     /// Number of servers tracked.
     pub fn total(&self) -> usize {
         self.total as usize
@@ -174,6 +188,27 @@ mod tests {
         assert_eq!(h.count_at(DepthHistogram::MAX_TRACKED), 1);
         h.shift(2_000, 0);
         assert_eq!(h.min_depth(), Some(0));
+    }
+
+    #[test]
+    fn add_remove_track_population() {
+        let mut h = DepthHistogram::new(3);
+        h.shift(0, 2);
+        // One server leaves at depth 2, another at depth 0.
+        h.remove(2);
+        h.remove(0);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.count_at(0), 1);
+        assert_eq!(h.count_at(2), 0);
+        // A server rejoins at depth 0.
+        h.add(0);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.count_at(0), 2);
+        assert_eq!(h.min_depth(), Some(0));
+        // Deep rejoiners clamp like shifts do.
+        h.add(1_000);
+        assert_eq!(h.count_at(DepthHistogram::MAX_TRACKED), 1);
+        assert_eq!(h.total(), 3);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use std::fmt;
 
+use hawk_simcore::SimDuration;
 use hawk_workload::{JobClass, JobId};
 use serde::{Deserialize, Serialize};
 
@@ -127,16 +128,25 @@ pub struct Server {
     /// ineligible victims in O(1).
     queued_long: usize,
     /// Packed index summary, maintained incrementally by every transition:
-    /// bit 0 = holds-long-work, bits 1.. = queue depth (queue length plus
-    /// one if the slot is occupied). The cluster diffs this single word
-    /// around each mutation to keep its indexes current, so the per-event
-    /// bookkeeping is two loads and an XOR instead of a state recompute.
+    /// bit 0 = holds-long-work, bit 1 = down (out of service), bits 2.. =
+    /// queue depth (queue length plus one if the slot is occupied). The
+    /// cluster diffs this single word around each mutation to keep its
+    /// indexes current, so the per-event bookkeeping is two loads and an
+    /// XOR instead of a state recompute.
     stat: u32,
+    /// Relative execution speed (1.0 = nominal): a task of duration `d`
+    /// occupies this server's slot for `d / speed`. Heterogeneous-cluster
+    /// scenarios set it once at construction.
+    speed: f64,
+    /// True while the server is out of service (scenario node-down): it
+    /// accepts no new work, its queue has been drained, and any running
+    /// task finishes before the server goes fully dark.
+    down: bool,
 }
 
 impl Server {
-    /// Creates an idle server. Its queue is list `id.index()` of the
-    /// cluster's [`QueueSlab`].
+    /// Creates an idle server at nominal speed. Its queue is list
+    /// `id.index()` of the cluster's [`QueueSlab`].
     pub fn new(id: ServerId) -> Self {
         Server {
             id,
@@ -144,6 +154,8 @@ impl Server {
             queue_len: 0,
             queued_long: 0,
             stat: 0,
+            speed: 1.0,
+            down: false,
         }
     }
 
@@ -153,8 +165,8 @@ impl Server {
         self.id.index()
     }
 
-    /// The packed index summary: bit 0 = holds-long-work, bits 1.. = queue
-    /// depth. Kept current by every transition.
+    /// The packed index summary: bit 0 = holds-long-work, bit 1 = down,
+    /// bits 2.. = queue depth. Kept current by every transition.
     pub fn stat_word(&self) -> u32 {
         self.stat
     }
@@ -164,7 +176,9 @@ impl Server {
     fn computed_stat(&self) -> u32 {
         let occupied = u32::from(!matches!(self.slot, Slot::Free));
         let depth = self.queue_len + occupied;
-        depth << 1 | u32::from(self.slot.holds_long() || self.queued_long > 0)
+        depth << 2
+            | u32::from(self.down) << 1
+            | u32::from(self.slot.holds_long() || self.queued_long > 0)
     }
 
     fn recompute_stat(&mut self) {
@@ -197,6 +211,63 @@ impl Server {
         matches!(self.slot, Slot::Free)
     }
 
+    /// True while the server is out of service (scenario node-down).
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// The server's relative execution speed (1.0 = nominal).
+    pub fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Sets the execution-speed factor (heterogeneous-cluster scenarios
+    /// configure this once, before the run starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `speed` is not positive.
+    pub fn set_speed(&mut self, speed: f64) {
+        assert!(speed > 0.0, "{}: speed factor must be positive", self.id);
+        self.speed = speed;
+    }
+
+    /// How long a task of nominal duration `duration` occupies this
+    /// server's slot: `duration / speed`. Exactly `duration` at nominal
+    /// speed, so homogeneous runs are bit-identical to the pre-speed
+    /// engine.
+    pub fn scale_duration(&self, duration: SimDuration) -> SimDuration {
+        if self.speed == 1.0 {
+            duration
+        } else {
+            SimDuration::from_secs_f64(duration.as_secs_f64() / self.speed)
+        }
+    }
+
+    /// Marks the server down or up, keeping the stat word current. Queue
+    /// and slot state are untouched — [`Cluster::fail_server`]
+    /// (which drains the queue first) and [`Cluster::revive_server`] are
+    /// the real lifecycle entry points.
+    ///
+    /// [`Cluster::fail_server`]: crate::Cluster::fail_server
+    /// [`Cluster::revive_server`]: crate::Cluster::revive_server
+    pub(crate) fn set_down(&mut self, down: bool) {
+        self.down = down;
+        self.recompute_stat();
+    }
+
+    /// Empties the queue into `out` (queue order, `out` not cleared),
+    /// resetting the length/long mirrors. The slot is untouched: a running
+    /// task finishes on its own. Used when the server leaves service.
+    pub(crate) fn drain_queue_into(&mut self, queues: &mut QueueSlab, out: &mut Vec<QueueEntry>) {
+        while let Some(entry) = queues.pop_front(self.list()) {
+            out.push(entry);
+        }
+        self.queue_len = 0;
+        self.queued_long = 0;
+        self.recompute_stat();
+    }
+
     /// Queue length (excluding the slot).
     pub fn queue_len(&self) -> usize {
         self.queue_len as usize
@@ -225,7 +296,7 @@ impl Server {
         }
         queues.push_back(self.list(), entry);
         self.queue_len += 1;
-        self.stat += 2; // depth grew by one
+        self.stat += 4; // depth grew by one (depth lives in bits 2..)
         if self.is_free() {
             Some(self.advance(queues))
         } else {

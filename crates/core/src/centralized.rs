@@ -92,6 +92,41 @@ impl CentralScheduler {
         self.work.sub(server.index(), estimate.as_micros());
     }
 
+    /// Marks `server` out of service: a large penalty is added to its key
+    /// so the waiting-time queue places nothing there while any live
+    /// server remains. Its real accumulated work is preserved underneath
+    /// the penalty.
+    pub fn fail(&mut self, server: ServerId) {
+        self.work.add(server.index(), Self::DOWN_PENALTY);
+    }
+
+    /// Returns `server` to service, removing the [`CentralScheduler::fail`]
+    /// penalty; its pre-failure accumulated work (minus anything migrated
+    /// away via [`CentralScheduler::reassign`]) is intact.
+    pub fn revive(&mut self, server: ServerId) {
+        self.work.sub(server.index(), Self::DOWN_PENALTY);
+    }
+
+    /// The server with the smallest estimated waiting time — where the
+    /// §3.7 algorithm would place the next task. Used to migrate tasks off
+    /// a failed server deterministically.
+    pub fn least_loaded(&self) -> ServerId {
+        ServerId(self.work.min_id() as u32)
+    }
+
+    /// Moves one task's estimated work from `from` to `to` (a migration
+    /// off a failed server): the bookkeeping follows the task so later
+    /// completions on `to` balance out.
+    pub fn reassign(&mut self, from: ServerId, to: ServerId, estimate: SimDuration) {
+        self.work.sub(from.index(), estimate.as_micros());
+        self.work.add(to.index(), estimate.as_micros());
+    }
+
+    /// Key penalty for out-of-service servers: far above any plausible sum
+    /// of task estimates, far below overflow territory even stacked with
+    /// real work.
+    const DOWN_PENALTY: u64 = 1 << 60;
+
     /// The current estimated waiting time of `server`.
     pub fn estimated_wait(&self, server: ServerId) -> SimDuration {
         SimDuration::from_micros(self.work.key_of(server.index()))
@@ -165,6 +200,38 @@ mod tests {
     #[should_panic(expected = "non-empty scope")]
     fn zero_scope_rejected() {
         CentralScheduler::new(0);
+    }
+
+    #[test]
+    fn failed_servers_are_placed_last_until_revived() {
+        let mut s = CentralScheduler::new(3);
+        s.fail(ServerId(0));
+        s.fail(ServerId(2));
+        let placement = s.assign_job(4, SimDuration::from_secs(10));
+        assert!(
+            placement.iter().all(|&id| id == ServerId(1)),
+            "placements must avoid failed servers: {placement:?}"
+        );
+        s.revive(ServerId(0));
+        assert_eq!(
+            s.assign_job(1, SimDuration::from_secs(1)),
+            vec![ServerId(0)]
+        );
+    }
+
+    #[test]
+    fn reassign_moves_work_between_servers() {
+        let mut s = CentralScheduler::new(2);
+        s.assign_job(1, SimDuration::from_secs(100)); // lands on server 0
+        s.fail(ServerId(0));
+        assert_eq!(s.least_loaded(), ServerId(1));
+        s.reassign(ServerId(0), ServerId(1), SimDuration::from_secs(100));
+        s.revive(ServerId(0));
+        assert_eq!(s.estimated_wait(ServerId(0)), SimDuration::ZERO);
+        assert_eq!(s.estimated_wait(ServerId(1)), SimDuration::from_secs(100));
+        // The migrated task's completion balances on the new server.
+        s.on_task_complete(ServerId(1), SimDuration::from_secs(100));
+        assert_eq!(s.estimated_wait(ServerId(1)), SimDuration::ZERO);
     }
 
     #[test]

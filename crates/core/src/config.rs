@@ -9,6 +9,7 @@
 use hawk_cluster::{NetworkModel, StealGranularity};
 use hawk_simcore::SimDuration;
 use hawk_workload::classify::{Cutoff, MisestimateRange};
+use hawk_workload::scenario::{DynamicsScript, SpeedSpec};
 use serde::{Deserialize, Serialize};
 
 /// Which servers a placement may target.
@@ -273,6 +274,12 @@ pub struct SimConfig {
     pub central_overhead: CentralOverhead,
     /// Utilization sampling interval (paper: 100 s).
     pub util_interval: SimDuration,
+    /// Scripted cluster dynamics (node down/up events) the driver replays;
+    /// empty (the default) is the classic static cluster.
+    pub dynamics: DynamicsScript,
+    /// Per-server execution-speed profile; [`SpeedSpec::Uniform`] (the
+    /// default) is the paper's homogeneous cluster.
+    pub speeds: SpeedSpec,
     /// RNG seed for probe placement, stealing and misestimation.
     pub seed: u64,
 }
@@ -286,6 +293,8 @@ impl Default for SimConfig {
             network: NetworkModel::paper_default(),
             central_overhead: CentralOverhead::FREE,
             util_interval: SimDuration::from_secs(100),
+            dynamics: DynamicsScript::none(),
+            speeds: SpeedSpec::Uniform,
             seed: DEFAULT_SEED,
         }
     }
@@ -317,7 +326,9 @@ pub struct ExperimentConfig {
 }
 
 impl ExperimentConfig {
-    /// The policy-independent part of this configuration.
+    /// The policy-independent part of this configuration. Legacy cells
+    /// are always static and homogeneous; scenarios use
+    /// [`Experiment::builder`](crate::Experiment::builder).
     pub fn sim(&self) -> SimConfig {
         SimConfig {
             nodes: self.nodes,
@@ -326,6 +337,8 @@ impl ExperimentConfig {
             network: self.network,
             central_overhead: self.central_overhead,
             util_interval: self.util_interval,
+            dynamics: DynamicsScript::none(),
+            speeds: SpeedSpec::Uniform,
             seed: self.seed,
         }
     }

@@ -13,6 +13,8 @@
 use hawk_cluster::ServerId;
 use hawk_simcore::SimRng;
 
+use crate::scheduler::PlacementView;
+
 /// Plans probe counts and targets for one distributed scheduler.
 #[derive(Debug, Clone, Copy)]
 pub struct ProbePlanner {
@@ -61,17 +63,62 @@ impl ProbePlanner {
         rng: &mut SimRng,
         out: &mut Vec<ServerId>,
     ) {
+        self.fill_targets(tasks, len, rng, out, |i| ServerId(start + i as u32));
+    }
+
+    /// Picks probe targets among the **live** servers of a placement
+    /// view's scope: ranks are drawn exactly as [`ProbePlanner::targets_into`]
+    /// draws offsets, then mapped through
+    /// [`PlacementView::server_in_scope`]. On a static cluster the mapping
+    /// is the identity, so the RNG draw sequence *and* the targets are
+    /// bit-identical to the raw-range variant — under scenario dynamics,
+    /// failed servers are simply never probed.
+    pub fn targets_in_view_into(
+        &self,
+        view: &PlacementView<'_>,
+        tasks: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<ServerId>,
+    ) {
+        self.fill_targets(tasks, view.scope_len(), rng, out, |i| {
+            view.server_in_scope(i)
+        });
+    }
+
+    /// The one probe-selection body both variants share: `⌊probes/len⌋`
+    /// full rounds over every rank, plus a distinct random subset for the
+    /// remainder, each rank mapped to a server by `server_at`.
+    fn fill_targets(
+        &self,
+        tasks: usize,
+        len: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<ServerId>,
+        server_at: impl Fn(usize) -> ServerId + Copy,
+    ) {
         assert!(len > 0, "probe scope is empty");
         out.clear();
         let probes = self.probes_for(tasks);
         let full_rounds = probes / len;
         let remainder = probes % len;
         for _ in 0..full_rounds {
-            out.extend((0..len as u32).map(|i| ServerId(start + i)));
+            out.extend((0..len).map(server_at));
         }
         let base = out.len();
-        rng.sample_distinct_map_into(len, remainder, out, |i| ServerId(start + i as u32));
+        rng.sample_distinct_map_into(len, remainder, out, server_at);
         debug_assert_eq!(out.len(), base + remainder);
+    }
+
+    /// Allocating wrapper over [`ProbePlanner::targets_in_view_into`].
+    pub fn targets_in_view(
+        &self,
+        view: &PlacementView<'_>,
+        tasks: usize,
+        rng: &mut SimRng,
+    ) -> Vec<ServerId> {
+        let mut out = Vec::with_capacity(self.probes_for(tasks));
+        self.targets_in_view_into(view, tasks, rng, &mut out);
+        out
     }
 }
 

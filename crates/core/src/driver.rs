@@ -26,6 +26,7 @@ use hawk_cluster::{
 };
 use hawk_simcore::{BatchHandle, BatchPool, Engine, SimRng, SimTime};
 use hawk_workload::classify::JobEstimates;
+use hawk_workload::scenario::NodeChange;
 use hawk_workload::{JobClass, JobId, Trace};
 
 use crate::centralized::CentralScheduler;
@@ -98,6 +99,12 @@ pub enum Event {
     /// placements (only with a non-zero [`crate::config::CentralOverhead`];
     /// decisions are free by default, as in the paper).
     CentralPlace(JobId),
+    /// A scripted scenario event: the server leaves service. Its queue is
+    /// drained and migrated (or abandoned, for reservations whose job has
+    /// no unlaunched tasks left); a running task finishes on its own.
+    NodeDown(ServerId),
+    /// A scripted scenario event: the server rejoins, idle and empty.
+    NodeUp(ServerId),
     /// Periodic utilization snapshot.
     UtilSample,
 }
@@ -137,6 +144,18 @@ pub struct Driver<'t> {
     unfinished: usize,
     steals: u64,
     steal_attempts: u64,
+    /// Queue entries relocated off failed servers (tasks re-placed, live
+    /// probes re-probed).
+    migrations: u64,
+    /// Reservations dropped at node failure because their job had no
+    /// unlaunched tasks left (a bind would have been cancelled anyway).
+    abandons: u64,
+    /// RNG stream for scenario bookkeeping (migration re-probing). A
+    /// separate stream so dynamics-off runs draw exactly as before the
+    /// scenario layer existed — the golden digests pin this.
+    scenario_rng: SimRng,
+    /// Recycled buffer for queue drains at node failure.
+    drain_buf: Vec<QueueEntry>,
     /// Reused buffers for the per-idle-transition victim selection (the
     /// steal path runs hundreds of thousands of times per cell; reusing
     /// the buffers keeps it allocation-free).
@@ -184,13 +203,21 @@ impl<'t> Driver<'t> {
         let mut estimate_rng = root.split();
         let probe_rng = root.split();
         let steal_rng = root.split();
+        // Split *after* the pre-scenario streams so adding the scenario
+        // layer leaves every dynamics-off draw sequence untouched.
+        let scenario_rng = root.split();
 
         let estimates = match sim.misestimate {
             Some(range) => JobEstimates::misestimated(trace, range, &mut estimate_rng),
             None => JobEstimates::exact(trace),
         };
 
-        let cluster = Cluster::new(sim.nodes, scheduler.short_partition_fraction());
+        let cluster = match sim.speeds.resolve(sim.nodes) {
+            Some(speeds) => {
+                Cluster::with_speeds(sim.nodes, scheduler.short_partition_fraction(), &speeds)
+            }
+            None => Cluster::new(sim.nodes, scheduler.short_partition_fraction()),
+        };
         let partition = cluster.partition();
 
         let long_route = scheduler.route(JobClass::Long);
@@ -222,6 +249,21 @@ impl<'t> Driver<'t> {
         let mut engine = Engine::with_capacity(trace.len() * 2);
         for job in trace.jobs() {
             engine.schedule_at(job.submission, Event::JobArrival(job.id));
+        }
+        // Replay the scenario's dynamics script as ordinary events.
+        if let Some(max) = sim.dynamics.max_server() {
+            assert!(
+                (max as usize) < sim.nodes,
+                "dynamics script touches server {max} but the cluster has {} servers",
+                sim.nodes
+            );
+        }
+        for scripted in sim.dynamics.events() {
+            let event = match scripted.change {
+                NodeChange::Down(server) => Event::NodeDown(ServerId(server)),
+                NodeChange::Up(server) => Event::NodeUp(ServerId(server)),
+            };
+            engine.schedule_at(scripted.at, event);
         }
         let util = UtilizationTracker::new(sim.util_interval);
         engine.schedule(sim.util_interval, Event::UtilSample);
@@ -264,6 +306,13 @@ impl<'t> Driver<'t> {
             unfinished: trace.len(),
             steals: 0,
             steal_attempts: 0,
+            migrations: 0,
+            abandons: 0,
+            scenario_rng,
+            // Pre-sized like the probe buffer: a failing server's queue
+            // holds at most a few batches of probes/tasks, and churn
+            // windows must stay off the allocator.
+            drain_buf: Vec::with_capacity(4 * max_tasks + 64),
             victim_scratch: Vec::new(),
             victim_buf: Vec::new(),
             steal_buf: Vec::with_capacity(64),
@@ -362,6 +411,12 @@ impl<'t> Driver<'t> {
                 class,
                 bounces,
             } => {
+                if self.cluster.is_down(server) {
+                    // The server failed while the probe was in flight:
+                    // treat it like a drained queue entry.
+                    self.relocate(server, QueueEntry::Probe { job, class });
+                    return;
+                }
                 if self
                     .scheduler
                     .bounce_probe(self.cluster.server(server), class, bounces)
@@ -373,7 +428,8 @@ impl<'t> Driver<'t> {
                         Route::Central(_) => unreachable!("probes imply a distributed route"),
                     };
                     let (start, len) = self.scope_range(scope);
-                    let retry = ServerId(start + self.probe_rng.index(len) as u32);
+                    let view = PlacementView::new(&self.cluster, start, len);
+                    let retry = view.random_server(&mut self.probe_rng);
                     let delay = self.network().one_way();
                     self.engine.schedule(
                         delay,
@@ -394,6 +450,10 @@ impl<'t> Driver<'t> {
                 }
             }
             Event::TaskArrive { server, spec } => {
+                if self.cluster.is_down(server) {
+                    self.relocate(server, QueueEntry::Task(spec));
+                    return;
+                }
                 let action = self.cluster.enqueue(server, QueueEntry::Task(spec));
                 if let Some(action) = action {
                     self.on_action(server, action);
@@ -407,11 +467,31 @@ impl<'t> Driver<'t> {
             Event::TaskFinish { server } => self.on_task_finish(server),
             Event::StolenArrive { server, batch } => {
                 self.stolen_pool.take_into(batch, &mut self.steal_buf);
+                if self.cluster.is_down(server) {
+                    // The thief failed mid-transfer: relocate the group in
+                    // queue order, like a drained queue.
+                    let mut batch = std::mem::take(&mut self.steal_buf);
+                    for entry in batch.drain(..) {
+                        self.relocate(server, entry);
+                    }
+                    self.steal_buf = batch;
+                    return;
+                }
                 if let Some(action) = self.cluster.give_stolen_drain(server, &mut self.steal_buf) {
                     self.on_action(server, action);
                 }
             }
             Event::CentralPlace(job) => self.place_centrally(job),
+            Event::NodeDown(server) => self.on_node_down(server),
+            Event::NodeUp(server) => {
+                if self.cluster.revive_server(server) {
+                    if let Some(central) = &mut self.central {
+                        if server.index() < central.scope() {
+                            central.revive(server);
+                        }
+                    }
+                }
+            }
             Event::UtilSample => {
                 self.util.record(self.cluster.utilization());
                 self.engine
@@ -488,6 +568,95 @@ impl<'t> Driver<'t> {
         }
     }
 
+    /// Takes `server` out of service (§ scenario dynamics): the cluster
+    /// drains its queue, the central scheduler stops placing there, and
+    /// every drained entry is migrated to a live server or abandoned.
+    fn on_node_down(&mut self, server: ServerId) {
+        debug_assert!(self.drain_buf.is_empty(), "stale drain buffer");
+        let mut drained = std::mem::take(&mut self.drain_buf);
+        if !self.cluster.fail_server(server, &mut drained) {
+            self.drain_buf = drained;
+            return; // already down: duplicate script entry
+        }
+        if let Some(central) = &mut self.central {
+            if server.index() < central.scope() {
+                central.fail(server);
+            }
+        }
+        for entry in drained.drain(..) {
+            self.relocate(server, entry);
+        }
+        self.drain_buf = drained;
+    }
+
+    /// Migrates one queue entry off the failed server `from`, or abandons
+    /// it.
+    ///
+    /// * **Tasks** carry real committed work: they move to the live server
+    ///   the centralized scheduler would pick next, with the waiting-time
+    ///   bookkeeping following the task.
+    /// * **Probes** are late-binding reservations. If the job still has
+    ///   unlaunched tasks the probe re-probes a random live server of its
+    ///   route's scope (it may be needed for liveness); otherwise it is
+    ///   abandoned — binding it would only have produced a cancel.
+    ///
+    /// Every relocation costs one network hop, like any other message.
+    fn relocate(&mut self, from: ServerId, entry: QueueEntry) {
+        let delay = self.network().one_way();
+        match entry {
+            QueueEntry::Task(spec) => {
+                let central = self
+                    .central
+                    .as_mut()
+                    .expect("directly-placed tasks imply a central scheduler");
+                let target = central.least_loaded();
+                // The fail() penalty dwarfs any real work sum, so the
+                // minimum key is a down server only when the whole scope
+                // is down — in which case relocation would ping-pong
+                // forever. Fail loudly, like the probe path's
+                // "no live servers" guard.
+                assert!(
+                    !self.cluster.is_down(target),
+                    "central scope has no live servers to migrate a task to \
+                     (the dynamics script took down the entire scope)"
+                );
+                central.reassign(from, target, spec.estimate);
+                self.migrations += 1;
+                self.engine.schedule(
+                    delay,
+                    Event::TaskArrive {
+                        server: target,
+                        spec,
+                    },
+                );
+            }
+            QueueEntry::Probe { job, class } => {
+                let launched = self.jobs[job.index()].next_task as usize;
+                if launched >= self.trace.job(job).num_tasks() {
+                    self.abandons += 1;
+                    return;
+                }
+                self.migrations += 1;
+                let scope = match self.scheduler.route(class) {
+                    Route::Distributed(scope) => scope,
+                    Route::Central(_) => unreachable!("probes imply a distributed route"),
+                };
+                let (start, len) = self.scope_range(scope);
+                let view = PlacementView::new(&self.cluster, start, len);
+                let target = view.random_server(&mut self.scenario_rng);
+                self.engine.schedule(
+                    delay,
+                    Event::ProbeArrive {
+                        server: target,
+                        job,
+                        class,
+                        bounces: 0,
+                    },
+                );
+            }
+        }
+    }
+
     fn on_bind_request(&mut self, server: ServerId, job: JobId) {
         let delay = self.network().one_way();
         let estimate = self.estimates.estimate(job);
@@ -530,8 +699,12 @@ impl<'t> Driver<'t> {
     fn on_action(&mut self, server: ServerId, action: ServerAction) {
         match action {
             ServerAction::StartTask(spec) => {
+                // Heterogeneous scenarios: slot occupancy is the nominal
+                // duration scaled by the server's speed factor (identity
+                // at speed 1.0).
+                let occupancy = self.cluster.server(server).scale_duration(spec.duration);
                 self.engine
-                    .schedule(spec.duration, Event::TaskFinish { server });
+                    .schedule(occupancy, Event::TaskFinish { server });
             }
             ServerAction::RequestBind { job } => {
                 let delay = self.network().one_way();
@@ -553,6 +726,11 @@ impl<'t> Driver<'t> {
     /// filter is behavior-preserving — the golden-digest suite pins this.
     fn try_steal(&mut self, thief: ServerId) {
         let Some(spec) = self.steal_spec else { return };
+        if self.cluster.is_down(thief) {
+            // A draining server's slot emptied: it goes dark instead of
+            // stealing new work.
+            return;
+        }
         self.steal_attempts += 1;
         let partition = self.cluster.partition();
         let granularity = spec.granularity;
@@ -648,6 +826,8 @@ impl<'t> Driver<'t> {
             events: self.engine.processed(),
             steals: self.steals,
             steal_attempts: self.steal_attempts,
+            migrations: self.migrations,
+            abandons: self.abandons,
         };
         (report, self.estimates)
     }
@@ -1052,6 +1232,177 @@ mod tests {
         )
         .run();
         assert_eq!(paper.results, explicit_free.results);
+    }
+
+    #[test]
+    fn node_down_migrates_queued_work_and_drains_the_slot() {
+        use hawk_workload::scenario::DynamicsScript;
+        // 2 nodes, Sparrow: a 2-task job saturates both servers, a second
+        // job queues behind them. Server 1 then fails: its queued probes
+        // must migrate to server 0 and every job still completes.
+        let trace = tiny_trace(vec![(0, vec![500, 500]), (1, vec![100, 100])]);
+        let sim = SimConfig {
+            nodes: 2,
+            dynamics: DynamicsScript::none().down_at(SimTime::from_secs(10), 1),
+            ..SimConfig::default()
+        };
+        let report = Driver::with_scheduler(&trace, Arc::new(Sparrow::new()), &sim).run();
+        assert_eq!(report.results.len(), 2);
+        assert!(
+            report.migrations + report.abandons > 0,
+            "server 1's queue held probes at failure"
+        );
+    }
+
+    #[test]
+    fn node_down_then_up_restores_capacity() {
+        use hawk_workload::scenario::DynamicsScript;
+        // One server fails before any work arrives and rejoins later;
+        // jobs submitted during the outage run on the survivor.
+        let trace = tiny_trace(vec![(5, vec![10, 10]), (100, vec![10, 10])]);
+        let script = DynamicsScript::none()
+            .down_at(SimTime::from_secs(1), 1)
+            .up_at(SimTime::from_secs(50), 1);
+        let sim = SimConfig {
+            nodes: 2,
+            dynamics: script,
+            ..SimConfig::default()
+        };
+        let report = Driver::with_scheduler(&trace, Arc::new(Sparrow::new()), &sim).run();
+        assert_eq!(report.results.len(), 2);
+        for r in &report.results {
+            assert!(r.completion >= r.submission);
+        }
+    }
+
+    #[test]
+    fn central_placement_avoids_failed_servers() {
+        use hawk_workload::scenario::DynamicsScript;
+        // Centralized baseline on 4 nodes; servers 0 and 1 fail first. A
+        // 2-task long job must land on servers 2 and 3 only.
+        let trace = tiny_trace(vec![(10, vec![2_000, 2_000])]);
+        let sim = SimConfig {
+            nodes: 4,
+            dynamics: DynamicsScript::none()
+                .down_at(SimTime::from_secs(1), 0)
+                .down_at(SimTime::from_secs(1), 1),
+            ..SimConfig::default()
+        };
+        let report = Driver::with_scheduler(&trace, Arc::new(Centralized::new()), &sim).run();
+        let r = report.results[0];
+        // Two live servers, one task each: runtime = duration + one-way.
+        let runtime = r.runtime().as_secs_f64();
+        assert!(
+            (runtime - 2000.0005).abs() < 1e-9,
+            "tasks should run in parallel on the live servers: {runtime}"
+        );
+        assert_eq!(report.migrations, 0, "nothing was ever placed on 0/1");
+    }
+
+    #[test]
+    #[should_panic(expected = "central scope has no live servers")]
+    fn whole_central_scope_down_fails_loudly_instead_of_livelocking() {
+        use hawk_workload::scenario::DynamicsScript;
+        // Every server in the centralized baseline's scope fails while
+        // tasks are queued: migration has nowhere to go. Without the
+        // guard this ping-pongs TaskArrive ↔ relocate forever.
+        let trace = tiny_trace(vec![(0, vec![1_000; 4])]);
+        let sim = SimConfig {
+            nodes: 2,
+            dynamics: DynamicsScript::none()
+                .down_at(SimTime::from_secs(1), 0)
+                .down_at(SimTime::from_secs(1), 1),
+            ..SimConfig::default()
+        };
+        Driver::with_scheduler(&trace, Arc::new(Centralized::new()), &sim).run();
+    }
+
+    #[test]
+    fn dead_reservations_are_abandoned_not_migrated() {
+        use hawk_workload::scenario::DynamicsScript;
+        // Sparrow sends 2t probes; with one 1-task job on 4 nodes, one of
+        // the two probes binds and the other stays queued somewhere. If
+        // the server holding the spare reservation fails after the task
+        // ran, the reservation is dead and must be abandoned.
+        let trace = tiny_trace(vec![(0, vec![10_000])]);
+        let mut down = DynamicsScript::none();
+        for server in 0..3 {
+            down = down.down_at(SimTime::from_secs(100), server);
+        }
+        let sim = SimConfig {
+            nodes: 4,
+            dynamics: down,
+            ..SimConfig::default()
+        };
+        let report = Driver::with_scheduler(&trace, Arc::new(Sparrow::new()), &sim).run();
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.migrations, 0, "the job had no unlaunched tasks");
+    }
+
+    #[test]
+    fn heterogeneous_speeds_stretch_runtimes() {
+        use hawk_workload::scenario::SpeedSpec;
+        // One 1-task job on a 1-server cluster at half speed: the task
+        // occupies the slot twice as long.
+        let trace = tiny_trace(vec![(0, vec![100])]);
+        let sim = SimConfig {
+            nodes: 1,
+            speeds: SpeedSpec::PerServer(vec![0.5]),
+            ..SimConfig::default()
+        };
+        let report = Driver::with_scheduler(&trace, Arc::new(Sparrow::new()), &sim).run();
+        let runtime = report.results[0].runtime().as_secs_f64();
+        assert!(
+            (runtime - 200.0015).abs() < 1e-6,
+            "half-speed server should take 200 s: {runtime}"
+        );
+    }
+
+    #[test]
+    fn uniform_speed_spec_is_bit_identical_to_default() {
+        use hawk_workload::scenario::SpeedSpec;
+        let trace = tiny_trace(vec![(0, vec![5; 8]), (1, vec![2_000; 4]), (3, vec![7, 9])]);
+        let base = SimConfig {
+            nodes: 8,
+            ..SimConfig::default()
+        };
+        let explicit = SimConfig {
+            speeds: SpeedSpec::PerServer(vec![1.0; 8]),
+            ..base.clone()
+        };
+        let a = Driver::with_scheduler(&trace, Arc::new(Hawk::new(0.25)), &base).run();
+        let b = Driver::with_scheduler(&trace, Arc::new(Hawk::new(0.25)), &explicit).run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn churn_with_stealing_keeps_every_job_completing() {
+        use hawk_workload::scenario::DynamicsScript;
+        // A loaded Hawk cell with rolling churn across the general
+        // partition: liveness under failures + stealing + migration.
+        let mut jobs = vec![(0, vec![3_000u64; 6])];
+        for i in 0..6 {
+            jobs.push((1 + i, vec![20u64; 4]));
+        }
+        let trace = tiny_trace(jobs);
+        let script = DynamicsScript::rolling(
+            &[0, 1, 2],
+            SimTime::from_secs(5),
+            SimDuration::from_secs(40),
+            SimDuration::from_secs(20),
+            8,
+        );
+        let sim = SimConfig {
+            nodes: 10,
+            dynamics: script,
+            ..SimConfig::default()
+        };
+        let report = Driver::with_scheduler(&trace, Arc::new(Hawk::new(0.2)), &sim).run();
+        assert_eq!(report.results.len(), trace.len());
+        for r in &report.results {
+            assert!(r.completion >= r.submission);
+        }
     }
 
     #[test]

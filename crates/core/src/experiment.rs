@@ -35,6 +35,7 @@ use std::sync::Arc;
 use hawk_cluster::NetworkModel;
 use hawk_simcore::SimDuration;
 use hawk_workload::classify::{Cutoff, JobEstimates, MisestimateRange};
+use hawk_workload::scenario::{DynamicsScript, ScenarioSpec, SpeedSpec};
 use hawk_workload::{Trace, TraceSource};
 
 use crate::config::{CentralOverhead, ExperimentConfig, SimConfig};
@@ -166,6 +167,32 @@ impl ExperimentBuilder {
     /// Generates the trace from a [`TraceSource`] with `trace_seed`.
     pub fn trace_from(mut self, source: &impl TraceSource, trace_seed: u64) -> Self {
         self.trace = Some(Arc::new(source.generate_trace(trace_seed)));
+        self
+    }
+
+    /// Sets the scripted cluster dynamics (node down/up events) the
+    /// driver replays; the empty default is a static cluster.
+    pub fn dynamics(mut self, dynamics: DynamicsScript) -> Self {
+        self.sim.dynamics = dynamics;
+        self
+    }
+
+    /// Sets the per-server execution-speed profile
+    /// ([`SpeedSpec::Uniform`] — the default — is the paper's homogeneous
+    /// cluster).
+    pub fn speeds(mut self, speeds: SpeedSpec) -> Self {
+        self.sim.speeds = speeds;
+        self
+    }
+
+    /// Applies a whole [`ScenarioSpec`] at once: the scenario's trace
+    /// (generated with `trace_seed`), its dynamics script and its speed
+    /// profile. Scheduler, cluster size and the remaining simulation
+    /// parameters stay with the builder.
+    pub fn scenario(mut self, scenario: &ScenarioSpec, trace_seed: u64) -> Self {
+        self.trace = Some(Arc::new(scenario.trace(trace_seed)));
+        self.sim.dynamics = scenario.dynamics.clone();
+        self.sim.speeds = scenario.speeds.clone();
         self
     }
 

@@ -64,6 +64,12 @@ pub struct MetricsReport {
     pub steals: u64,
     /// Number of steal attempts (idle transitions that contacted victims).
     pub steal_attempts: u64,
+    /// Queue entries migrated off failed servers under scenario dynamics
+    /// (tasks re-placed, live probes re-probed). Zero on static clusters.
+    pub migrations: u64,
+    /// Reservations abandoned at node failure because their job had no
+    /// unlaunched tasks left. Zero on static clusters.
+    pub abandons: u64,
 }
 
 impl MetricsReport {
@@ -231,6 +237,8 @@ mod tests {
             events: 0,
             steals: 0,
             steal_attempts: 0,
+            migrations: 0,
+            abandons: 0,
         }
     }
 

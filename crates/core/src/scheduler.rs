@@ -30,6 +30,13 @@ use crate::steal_policy::StealPolicy;
 /// the probe scope (a contiguous server range chosen by the job's
 /// [`Route`]) plus queue-state accessors for load-aware policies.
 ///
+/// The view exposes only **live** servers: under scenario dynamics, failed
+/// servers vanish from [`PlacementView::scope_len`],
+/// [`PlacementView::server_in_scope`] and every aggregate query, so
+/// existing [`Scheduler`] implementations place correctly on a churning
+/// cluster without modification. On a static cluster the mapping is the
+/// identity and costs nothing.
+///
 /// All aggregate queries ([`PlacementView::queue_depth`],
 /// [`PlacementView::idle_count`], [`PlacementView::min_queue_depth`], …)
 /// are backed by the cluster's incremental indexes, so a power-of-d
@@ -37,7 +44,14 @@ use crate::steal_policy::StealPolicy;
 pub struct PlacementView<'a> {
     cluster: &'a Cluster,
     scope_start: u32,
-    scope_len: usize,
+    /// Static size of the scope's id range.
+    range_len: usize,
+    /// Live servers in scope — what [`PlacementView::scope_len`] reports.
+    live_len: usize,
+    /// Rank offset of this scope inside the cluster's sorted live-id map
+    /// (0 for whole/general scopes, the live general count for the short
+    /// partition).
+    live_offset: usize,
     scope_kind: ScopeKind,
 }
 
@@ -54,7 +68,15 @@ enum ScopeKind {
 }
 
 impl<'a> PlacementView<'a> {
-    /// Builds a view over the scope `[start, start+len)`.
+    /// Builds a view over the id range `[start, start+len)`, exposing its
+    /// live servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or — under scenario dynamics — every
+    /// server in it is down (placement needs at least one live target;
+    /// dynamics scripts must keep each scope they starve of capacity
+    /// partially alive).
     pub fn new(cluster: &'a Cluster, scope_start: u32, scope_len: usize) -> Self {
         assert!(scope_len > 0, "probe scope is empty");
         let partition = cluster.partition();
@@ -69,33 +91,75 @@ impl<'a> PlacementView<'a> {
         } else {
             ScopeKind::Custom
         };
+        let (live_len, live_offset) = if cluster.down_count() == 0 {
+            (scope_len, 0)
+        } else {
+            match scope_kind {
+                ScopeKind::Whole => (cluster.live_count(), 0),
+                ScopeKind::General => (cluster.live_count_general(), 0),
+                ScopeKind::ShortReserved => {
+                    (cluster.live_count_short(), cluster.live_count_general())
+                }
+                ScopeKind::Custom => {
+                    let live = (0..scope_len)
+                        .filter(|&i| !cluster.is_down(ServerId(scope_start + i as u32)))
+                        .count();
+                    (live, 0)
+                }
+            }
+        };
+        assert!(live_len > 0, "probe scope has no live servers");
         PlacementView {
             cluster,
             scope_start,
-            scope_len,
+            range_len: scope_len,
+            live_len,
+            live_offset,
             scope_kind,
         }
     }
 
-    /// First server id in scope.
+    /// First server id in the scope's range.
     pub fn scope_start(&self) -> u32 {
         self.scope_start
     }
 
-    /// Number of servers in scope.
+    /// Number of **live** servers in scope (equals the range size on a
+    /// static cluster).
     pub fn scope_len(&self) -> usize {
-        self.scope_len
+        self.live_len
     }
 
-    /// The `i`-th server of the scope.
+    /// The `i`-th live server of the scope, `i < scope_len()`. Identity
+    /// mapping on a static cluster; rank lookup in the cluster's live-id
+    /// map under dynamics.
     pub fn server_in_scope(&self, i: usize) -> ServerId {
-        debug_assert!(i < self.scope_len);
-        ServerId(self.scope_start + i as u32)
+        debug_assert!(i < self.live_len);
+        if self.cluster.down_count() == 0 {
+            return ServerId(self.scope_start + i as u32);
+        }
+        match self.scope_kind {
+            ScopeKind::Custom => {
+                // Rare caller-constructed ranges: walk to the i-th live id.
+                let mut remaining = i;
+                for offset in 0..self.range_len {
+                    let id = ServerId(self.scope_start + offset as u32);
+                    if !self.cluster.is_down(id) {
+                        if remaining == 0 {
+                            return id;
+                        }
+                        remaining -= 1;
+                    }
+                }
+                unreachable!("rank {i} exceeds the live population")
+            }
+            _ => ServerId(self.cluster.live_ids()[self.live_offset + i]),
+        }
     }
 
-    /// A uniformly random server of the scope.
+    /// A uniformly random live server of the scope.
     pub fn random_server(&self, rng: &mut SimRng) -> ServerId {
-        self.server_in_scope(rng.index(self.scope_len))
+        self.server_in_scope(rng.index(self.live_len))
     }
 
     /// Pending work at `server`: queued entries plus one if the execution
@@ -106,17 +170,25 @@ impl<'a> PlacementView<'a> {
         self.cluster.queue_depth(server)
     }
 
-    /// Number of completely idle servers in scope (free-list index; O(1)
-    /// for the driver's scopes).
+    /// Number of completely idle live servers in scope (free-list index;
+    /// O(1) for the driver's scopes; down servers are never free).
     pub fn idle_count(&self) -> usize {
         match self.scope_kind {
             ScopeKind::Whole => self.cluster.free_count(),
             ScopeKind::General => self.cluster.free_count_general(),
             ScopeKind::ShortReserved => self.cluster.free_count_short(),
-            ScopeKind::Custom => (0..self.scope_len)
-                .filter(|&i| self.cluster.is_free(self.server_in_scope(i)))
+            ScopeKind::Custom => self
+                .custom_range()
+                .filter(|&id| self.cluster.is_free(id))
                 .count(),
         }
+    }
+
+    /// The live servers of a caller-constructed (non-partition) range.
+    fn custom_range(&self) -> impl Iterator<Item = ServerId> + '_ {
+        (0..self.range_len)
+            .map(|i| ServerId(self.scope_start + i as u32))
+            .filter(|&id| !self.cluster.is_down(id))
     }
 
     /// True if at least one server in scope is completely idle.
@@ -137,9 +209,7 @@ impl<'a> PlacementView<'a> {
             },
             ScopeKind::General => general.min_depth(),
             ScopeKind::ShortReserved => short.min_depth(),
-            ScopeKind::Custom => (0..self.scope_len)
-                .map(|i| self.queue_depth(self.server_in_scope(i)))
-                .min(),
+            ScopeKind::Custom => self.custom_range().map(|id| self.queue_depth(id)).min(),
         }
     }
 
@@ -152,8 +222,9 @@ impl<'a> PlacementView<'a> {
             ScopeKind::Whole => general.count_at_most(depth) + short.count_at_most(depth),
             ScopeKind::General => general.count_at_most(depth),
             ScopeKind::ShortReserved => short.count_at_most(depth),
-            ScopeKind::Custom => (0..self.scope_len)
-                .filter(|&i| self.queue_depth(self.server_in_scope(i)) <= depth)
+            ScopeKind::Custom => self
+                .custom_range()
+                .filter(|&id| self.queue_depth(id) <= depth)
                 .count(),
         }
     }
@@ -452,8 +523,7 @@ impl Scheduler for Hawk {
         tasks: usize,
         rng: &mut SimRng,
     ) -> Vec<ServerId> {
-        self.probing
-            .targets(tasks, view.scope_start(), view.scope_len(), rng)
+        self.probing.targets_in_view(view, tasks, rng)
     }
 
     fn probe_targets_into(
@@ -463,8 +533,7 @@ impl Scheduler for Hawk {
         rng: &mut SimRng,
         out: &mut Vec<ServerId>,
     ) {
-        self.probing
-            .targets_into(tasks, view.scope_start(), view.scope_len(), rng, out);
+        self.probing.targets_in_view_into(view, tasks, rng, out);
     }
 
     fn steal(&self) -> Option<StealSpec> {
@@ -537,8 +606,7 @@ impl Scheduler for Sparrow {
         tasks: usize,
         rng: &mut SimRng,
     ) -> Vec<ServerId> {
-        self.probing
-            .targets(tasks, view.scope_start(), view.scope_len(), rng)
+        self.probing.targets_in_view(view, tasks, rng)
     }
 
     fn probe_targets_into(
@@ -548,8 +616,7 @@ impl Scheduler for Sparrow {
         rng: &mut SimRng,
         out: &mut Vec<ServerId>,
     ) {
-        self.probing
-            .targets_into(tasks, view.scope_start(), view.scope_len(), rng, out);
+        self.probing.targets_in_view_into(view, tasks, rng, out);
     }
 }
 
@@ -631,8 +698,7 @@ impl Scheduler for SplitCluster {
         tasks: usize,
         rng: &mut SimRng,
     ) -> Vec<ServerId> {
-        self.probing
-            .targets(tasks, view.scope_start(), view.scope_len(), rng)
+        self.probing.targets_in_view(view, tasks, rng)
     }
 
     fn probe_targets_into(
@@ -642,8 +708,7 @@ impl Scheduler for SplitCluster {
         rng: &mut SimRng,
         out: &mut Vec<ServerId>,
     ) {
-        self.probing
-            .targets_into(tasks, view.scope_start(), view.scope_len(), rng, out);
+        self.probing.targets_in_view_into(view, tasks, rng, out);
     }
 }
 
@@ -672,12 +737,7 @@ impl Scheduler for SchedulerConfig {
         tasks: usize,
         rng: &mut SimRng,
     ) -> Vec<ServerId> {
-        ProbePlanner::new(self.probe_ratio).targets(
-            tasks,
-            view.scope_start(),
-            view.scope_len(),
-            rng,
-        )
+        ProbePlanner::new(self.probe_ratio).targets_in_view(view, tasks, rng)
     }
 
     fn probe_targets_into(
@@ -687,13 +747,7 @@ impl Scheduler for SchedulerConfig {
         rng: &mut SimRng,
         out: &mut Vec<ServerId>,
     ) {
-        ProbePlanner::new(self.probe_ratio).targets_into(
-            tasks,
-            view.scope_start(),
-            view.scope_len(),
-            rng,
-            out,
-        );
+        ProbePlanner::new(self.probe_ratio).targets_in_view_into(view, tasks, rng, out);
     }
 
     fn steal(&self) -> Option<StealSpec> {

@@ -56,7 +56,19 @@ impl PoissonArrivals {
 
     /// Generates `count` arrival times.
     pub fn take(&mut self, count: usize, rng: &mut SimRng) -> Vec<SimTime> {
-        (0..count).map(|_| self.next_arrival(rng)).collect()
+        let mut out = Vec::with_capacity(count);
+        self.take_into(count, rng, &mut out);
+        out
+    }
+
+    /// Like [`PoissonArrivals::take`], writing into a caller-recycled
+    /// buffer (cleared first) so repeated draws allocate nothing once the
+    /// buffer has warmed up. Delegates to the one shared
+    /// [`ArrivalProcess::take_into`] implementation.
+    ///
+    /// [`ArrivalProcess::take_into`]: crate::scenario::ArrivalProcess::take_into
+    pub fn take_into(&mut self, count: usize, rng: &mut SimRng, out: &mut Vec<SimTime>) {
+        crate::scenario::ArrivalProcess::take_into(self, count, rng, out);
     }
 }
 
@@ -66,12 +78,7 @@ impl PoissonArrivals {
 /// 3,300-job sample at several load levels by regenerating arrivals with
 /// mean inter-arrival = `multiplier × mean task runtime` (§4.1).
 pub fn with_poisson_arrivals(trace: &Trace, mean: SimDuration, rng: &mut SimRng) -> Trace {
-    let mut process = PoissonArrivals::new(mean);
-    let mut jobs = trace.jobs().to_vec();
-    for job in &mut jobs {
-        job.submission = process.next_arrival(rng);
-    }
-    Trace::new(jobs).expect("rewritten arrivals are monotone")
+    crate::scenario::retime(trace, &mut PoissonArrivals::new(mean), rng)
 }
 
 /// A bursty (two-state Markov-modulated Poisson) arrival process.
@@ -178,11 +185,7 @@ pub fn with_bursty_arrivals(
         mean_calm_run,
         mean_burst_run,
     );
-    let mut jobs = trace.jobs().to_vec();
-    for job in &mut jobs {
-        job.submission = process.next_arrival(rng);
-    }
-    Trace::new(jobs).expect("rewritten arrivals are monotone")
+    crate::scenario::retime(trace, &mut process, rng)
 }
 
 #[cfg(test)]

@@ -17,6 +17,10 @@
 //! * [`motivation`] — the §2.3 scenario that motivates Hawk (Figure 1).
 //! * [`sample`] — the 3,300-job, 1000×-scaled sample used by the prototype
 //!   experiments (Figures 16/17).
+//! * [`scenario`] — the scenario layer: [`scenario::ScenarioSpec`] composes
+//!   a trace family, an arrival process ([`scenario::ArrivalProcess`]), a
+//!   cluster-dynamics script and a per-server speed profile into one
+//!   declarative cluster story.
 //! * [`classify`] — estimated task runtime, the short/long cutoff, and the
 //!   misestimation model of §4.8.
 //! * [`stats`] — the Table 1 / Table 2 / Figure 4 workload statistics.
@@ -31,6 +35,7 @@ mod job;
 pub mod kmeans;
 pub mod motivation;
 pub mod sample;
+pub mod scenario;
 mod source;
 pub mod stats;
 

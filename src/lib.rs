@@ -79,5 +79,8 @@ pub mod prelude {
     pub use hawk_proto::{run_prototype, ProtoConfig, ProtoMode, ProtoReport};
     pub use hawk_simcore::{SimDuration, SimRng, SimTime};
     pub use hawk_workload::classify::{Cutoff, JobEstimates, MisestimateRange};
+    pub use hawk_workload::scenario::{
+        ArrivalProcess, ArrivalSpec, DynamicsScript, ScenarioSpec, SpeedSpec, TraceFamily,
+    };
     pub use hawk_workload::{Job, JobClass, JobId, Trace, TraceSource};
 }

@@ -23,8 +23,9 @@ use std::sync::Arc;
 
 use hawk::core::scheduler::{Hawk, Scheduler, Sparrow};
 use hawk::core::{Driver, SimConfig};
-use hawk::simcore::SimDuration;
+use hawk::simcore::{SimDuration, SimTime};
 use hawk::workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
+use hawk::workload::scenario::{DynamicsScript, SpeedSpec};
 use hawk::workload::Trace;
 
 struct CountingAllocator;
@@ -77,6 +78,15 @@ const WARMUP_EVENTS: u64 = 60_000;
 const WINDOW_EVENTS: u64 = 10_000;
 
 fn steady_state_window(scheduler: Arc<dyn Scheduler>, name: &str) {
+    steady_state_window_with(scheduler, name, DynamicsScript::none(), SpeedSpec::Uniform);
+}
+
+fn steady_state_window_with(
+    scheduler: Arc<dyn Scheduler>,
+    name: &str,
+    dynamics: DynamicsScript,
+    speeds: SpeedSpec,
+) {
     // ~1,500 jobs ≈ 180k events: the window sits mid-run, with arrivals,
     // completions and steals all still active.
     let trace: Trace = GoogleTraceConfig::with_scale(10, 1_500).generate(0xA110C);
@@ -85,6 +95,8 @@ fn steady_state_window(scheduler: Arc<dyn Scheduler>, name: &str) {
         // Keep the periodic utilization snapshots out of the measured
         // window; sampling growth is amortized-fine but not *zero*.
         util_interval: SimDuration::from_secs(1_000_000),
+        dynamics,
+        speeds,
         ..SimConfig::default()
     };
     let mut driver = Driver::with_scheduler(&trace, scheduler, &sim);
@@ -124,4 +136,35 @@ fn hawk_steady_state_event_loop_allocates_nothing() {
 #[test]
 fn sparrow_steady_state_event_loop_allocates_nothing() {
     steady_state_window(Arc::new(Sparrow::new()), "sparrow");
+}
+
+/// The scenario layer at full tilt: rolling node failures every 100 s of
+/// simulated time (queue drains, task/probe migration, central
+/// fail/revive bookkeeping, live-map rebuilds) on a two-tier-speed
+/// cluster — and the steady-state window must *still* run entirely on
+/// recycled state. Failures continue through warm-up and the measured
+/// window alike.
+#[test]
+fn hawk_churn_steady_state_event_loop_allocates_nothing() {
+    // Servers across the whole id space (both partitions), cycling down
+    // for 50 s every 100 s from t=500 s; 250 cycles cover the run's whole
+    // ~22,000 s span, so the measured window sees live churn.
+    let servers: Vec<u32> = (0..10).map(|i| i * 29).collect();
+    let dynamics = DynamicsScript::rolling(
+        &servers,
+        SimTime::from_secs(500),
+        SimDuration::from_secs(100),
+        SimDuration::from_secs(50),
+        250,
+    );
+    let speeds = SpeedSpec::TwoTier {
+        slow_fraction: 0.2,
+        slow_speed: 0.5,
+    };
+    steady_state_window_with(
+        Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)),
+        "hawk-churn",
+        dynamics,
+        speeds,
+    );
 }

@@ -24,80 +24,26 @@ use hawk_core::{Experiment, MetricsReport};
 use hawk_workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
 use hawk_workload::Trace;
 
-/// Trace seed; arbitrary but frozen.
-const TRACE_SEED: u64 = 0xDE7E12;
-
-/// Experiment seed; arbitrary but frozen (distinct from the trace seed so
-/// the two RNG streams are visibly independent).
-const SIM_SEED: u64 = 0x5EED_601D;
+mod support;
+use support::{
+    digest_report, CENTRALIZED_DIGEST, GOLDEN_JOBS, GOLDEN_NODES, HAWK_DIGEST, SIM_SEED,
+    SPARROW_DIGEST, SPLIT_CLUSTER_DIGEST, TRACE_SEED,
+};
 
 /// A 10x-scaled Google-like workload: large enough to exercise probing,
 /// late binding (including cancels), central placement, partitioning and
 /// stealing; small enough to run in well under a second per scheduler.
 fn golden_trace() -> Arc<Trace> {
-    Arc::new(GoogleTraceConfig::with_scale(10, 400).generate(TRACE_SEED))
+    Arc::new(GoogleTraceConfig::with_scale(10, GOLDEN_JOBS).generate(TRACE_SEED))
 }
 
 fn run(scheduler: impl Scheduler + 'static) -> MetricsReport {
     Experiment::builder()
         .trace(golden_trace())
         .scheduler(scheduler)
-        .nodes(300)
+        .nodes(GOLDEN_NODES)
         .seed(SIM_SEED)
         .run()
-}
-
-/// FNV-1a over a canonical little-endian serialization of the report.
-///
-/// Not a cryptographic hash — just a stable fingerprint: any changed bit
-/// in any field changes the digest with overwhelming probability.
-fn digest_report(report: &MetricsReport) -> u64 {
-    let mut h = Fnv::new();
-    h.bytes(report.scheduler.as_bytes());
-    h.u64(report.nodes as u64);
-    h.u64(report.results.len() as u64);
-    for r in &report.results {
-        h.u64(r.job.0 as u64);
-        h.u64(r.true_class.is_long() as u64);
-        h.u64(r.scheduled_class.is_long() as u64);
-        h.u64(r.submission.as_micros());
-        h.u64(r.completion.as_micros());
-        h.u64(r.num_tasks as u64);
-    }
-    h.u64(report.median_utilization.to_bits());
-    h.u64(report.max_utilization.to_bits());
-    h.u64(report.utilization_samples.len() as u64);
-    for &u in &report.utilization_samples {
-        h.u64(u.to_bits());
-    }
-    h.u64(report.makespan.as_micros());
-    h.u64(report.events);
-    h.u64(report.steals);
-    h.u64(report.steal_attempts);
-    h.finish()
-}
-
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    fn u64(&mut self, x: u64) {
-        self.bytes(&x.to_le_bytes());
-    }
-
-    fn finish(&self) -> u64 {
-        self.0
-    }
 }
 
 fn check(name: &str, scheduler: impl Scheduler + 'static, pinned: u64) {
@@ -112,11 +58,6 @@ fn check(name: &str, scheduler: impl Scheduler + 'static, pinned: u64) {
          the engine's behavior changed (see module docs to re-pin intentionally)"
     );
 }
-
-const HAWK_DIGEST: u64 = 0xd3c1ed8a6771bcfc;
-const SPARROW_DIGEST: u64 = 0x01255b27da1012a9;
-const CENTRALIZED_DIGEST: u64 = 0x9048234f476f81f5;
-const SPLIT_CLUSTER_DIGEST: u64 = 0x74d8c6fdcb839842;
 
 #[test]
 fn hawk_digest_pinned() {
@@ -172,6 +113,8 @@ fn digest_function_is_stable() {
         events: 11,
         steals: 1,
         steal_attempts: 4,
+        migrations: 0,
+        abandons: 0,
     };
     assert_eq!(digest_report(&report), 5542435923394299797);
 }

@@ -1,0 +1,210 @@
+//! Scenario-layer golden contract.
+//!
+//! Two halves:
+//!
+//! 1. **Equivalence** (property test): a [`ScenarioSpec`] with dynamics
+//!    disabled and speed 1.0 everywhere — however those are spelled
+//!    (`Uniform`, an all-ones `PerServer` profile, a zero-fraction
+//!    `TwoTier`, an explicitly empty script) — must produce digests
+//!    byte-identical to the pinned `golden_determinism` constants for all
+//!    four schedulers. The scenario layer is pure plumbing until a knob
+//!    actually turns.
+//! 2. **Churn pin**: one churn + heterogeneous Hawk scenario is pinned to
+//!    its own digest, so scenario behavior (failure draining, migration,
+//!    revival, speed scaling) can never drift silently either.
+//!
+//! To re-pin after an intentional behavioral change: `HAWK_PRINT_DIGESTS=1
+//! cargo test --test scenario_golden -- --nocapture`.
+
+use std::sync::Arc;
+
+use hawk_core::scheduler::{Centralized, Hawk, Scheduler, Sparrow, SplitCluster};
+use hawk_core::{Experiment, MetricsReport};
+use hawk_simcore::{SimDuration, SimTime};
+use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+use hawk_workload::scenario::{DynamicsScript, ScenarioSpec, SpeedSpec, TraceFamily};
+use proptest::prelude::*;
+use proptest::ProptestConfig;
+
+mod support;
+use support::{
+    digest_report, CENTRALIZED_DIGEST, GOLDEN_JOBS, GOLDEN_NODES, HAWK_DIGEST, SIM_SEED,
+    SPARROW_DIGEST, SPLIT_CLUSTER_DIGEST, TRACE_SEED,
+};
+
+/// The golden cell, described through the scenario layer.
+fn golden_scenario() -> ScenarioSpec {
+    ScenarioSpec::new(TraceFamily::Google { scale: 10 }, GOLDEN_JOBS)
+}
+
+fn run_scenario(scenario: &ScenarioSpec, scheduler: Arc<dyn Scheduler>) -> MetricsReport {
+    Experiment::builder()
+        .scenario(scenario, TRACE_SEED)
+        .scheduler_shared(scheduler)
+        .nodes(GOLDEN_NODES)
+        .seed(SIM_SEED)
+        .run()
+}
+
+fn scheduler_and_pin(index: usize) -> (Arc<dyn Scheduler>, u64) {
+    match index {
+        0 => (Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)), HAWK_DIGEST),
+        1 => (Arc::new(Sparrow::new()), SPARROW_DIGEST),
+        2 => (Arc::new(Centralized::new()), CENTRALIZED_DIGEST),
+        3 => (
+            Arc::new(SplitCluster::new(GOOGLE_SHORT_PARTITION)),
+            SPLIT_CLUSTER_DIGEST,
+        ),
+        _ => unreachable!(),
+    }
+}
+
+/// The distinct spellings of "no dynamics, speed 1.0 everywhere".
+fn identity_speeds(variant: usize) -> SpeedSpec {
+    match variant {
+        0 => SpeedSpec::Uniform,
+        1 => SpeedSpec::PerServer(vec![1.0; GOLDEN_NODES]),
+        2 => SpeedSpec::TwoTier {
+            slow_fraction: 0.0,
+            slow_speed: 0.25,
+        },
+        3 => SpeedSpec::TwoTier {
+            slow_fraction: 0.5,
+            slow_speed: 1.0,
+        },
+        _ => unreachable!(),
+    }
+}
+
+/// One dynamics-off golden cell: must be byte-identical to the classic
+/// pinned digest and structurally churn-free.
+fn assert_identity_cell(scheduler_index: usize, speed_variant: usize) {
+    let (scheduler, pinned) = scheduler_and_pin(scheduler_index);
+    let scenario = golden_scenario()
+        .speeds(identity_speeds(speed_variant))
+        .dynamics(DynamicsScript::none());
+    let report = run_scenario(&scenario, scheduler);
+    assert_eq!(report.migrations, 0);
+    assert_eq!(report.abandons, 0);
+    let digest = digest_report(&report);
+    assert_eq!(
+        digest, pinned,
+        "scenario plumbing changed behavior: scheduler {scheduler_index} speeds \
+         {speed_variant} got {digest:#018x}, pinned {pinned:#018x}",
+    );
+}
+
+/// Every (scheduler × identity-speed spelling) cell, exhaustively: a
+/// regression in any single combination cannot slip through sampling.
+#[test]
+fn dynamics_off_grid_matches_pinned_digests_exhaustively() {
+    for scheduler_index in 0..4 {
+        for speed_variant in 0..4 {
+            assert_identity_cell(scheduler_index, speed_variant);
+        }
+    }
+}
+
+proptest! {
+    // The exhaustive grid test above is the coverage guarantee; the
+    // property form re-samples the same space with proptest's own seeds
+    // (and scales via PROPTEST_CASES) as required by the scenario-layer
+    // test plan.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Dynamics off + unit speeds ⇒ byte-identical to the classic pinned
+    /// digests, regardless of scheduler or how the identity is spelled.
+    #[test]
+    fn dynamics_off_scenario_matches_pinned_digests(
+        scheduler_index in 0usize..4,
+        speed_variant in 0usize..4,
+    ) {
+        assert_identity_cell(scheduler_index, speed_variant);
+    }
+}
+
+/// The pinned churn + heterogeneous scenario: rolling failures across the
+/// general partition on a two-tier-speed cluster.
+fn churn_scenario() -> ScenarioSpec {
+    golden_scenario()
+        .speeds(SpeedSpec::TwoTier {
+            slow_fraction: 0.25,
+            slow_speed: 0.5,
+        })
+        .dynamics(DynamicsScript::rolling(
+            &[0, 10, 20, 30, 40, 50],
+            SimTime::from_secs(500),
+            SimDuration::from_secs(400),
+            SimDuration::from_secs(250),
+            24,
+        ))
+}
+
+/// Pinned digest of [`churn_scenario`] under Hawk (produced by this PR's
+/// scenario engine; any later drift in failure draining, migration
+/// targeting, revival or speed scaling fails here).
+const CHURN_HETERO_HAWK_DIGEST: u64 = 0x4f3fa286a0bcca5a;
+
+#[test]
+fn churn_heterogeneous_digest_pinned() {
+    let report = run_scenario(
+        &churn_scenario(),
+        Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)),
+    );
+    assert!(
+        report.migrations > 0,
+        "rolling churn must actually relocate work"
+    );
+    let digest = digest_report(&report);
+    if std::env::var_os("HAWK_PRINT_DIGESTS").is_some() {
+        println!("const CHURN_HETERO_HAWK_DIGEST: u64 = {digest:#018x};");
+    }
+    assert_eq!(
+        digest, CHURN_HETERO_HAWK_DIGEST,
+        "churn scenario drifted: got {digest:#018x} — see module docs to re-pin intentionally"
+    );
+}
+
+/// Churn runs are themselves deterministic: the digest pin above is a
+/// value, this is the property.
+#[test]
+fn churn_runs_are_bit_identical() {
+    let scenario = churn_scenario();
+    let a = run_scenario(&scenario, Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)));
+    let b = run_scenario(&scenario, Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)));
+    assert_eq!(digest_report(&a), digest_report(&b));
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.abandons, b.abandons);
+}
+
+/// Turning a knob must actually change behavior (guards against the
+/// scenario layer silently not being wired through).
+#[test]
+fn churn_and_speeds_change_the_digest() {
+    let hawk = || -> Arc<dyn Scheduler> { Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)) };
+    let static_digest = digest_report(&run_scenario(&golden_scenario(), hawk()));
+    assert_eq!(static_digest, HAWK_DIGEST);
+
+    let slow = golden_scenario().speeds(SpeedSpec::TwoTier {
+        slow_fraction: 0.25,
+        slow_speed: 0.5,
+    });
+    assert_ne!(
+        digest_report(&run_scenario(&slow, hawk())),
+        static_digest,
+        "heterogeneous speeds must perturb the run"
+    );
+
+    let churn = golden_scenario().dynamics(DynamicsScript::rolling(
+        &[0, 10, 20],
+        SimTime::from_secs(500),
+        SimDuration::from_secs(400),
+        SimDuration::from_secs(250),
+        12,
+    ));
+    assert_ne!(
+        digest_report(&run_scenario(&churn, hawk())),
+        static_digest,
+        "churn must perturb the run"
+    );
+}

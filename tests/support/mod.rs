@@ -1,0 +1,90 @@
+//! Shared support for the determinism suites: the canonical report digest
+//! and the pinned golden constants.
+//!
+//! Both `golden_determinism` (the classic four-scheduler contract) and
+//! `scenario_golden` (the scenario-layer equivalence and churn digests)
+//! hash reports with the same function against the same constants, so the
+//! two suites can never drift apart.
+
+use hawk_core::MetricsReport;
+
+/// Trace seed; arbitrary but frozen.
+pub const TRACE_SEED: u64 = 0xDE7E12;
+
+/// Experiment seed; arbitrary but frozen (distinct from the trace seed so
+/// the two RNG streams are visibly independent).
+pub const SIM_SEED: u64 = 0x5EED_601D;
+
+/// Cluster size of the golden cells.
+pub const GOLDEN_NODES: usize = 300;
+
+/// Job count of the golden trace (10×-scaled Google-like generator).
+pub const GOLDEN_JOBS: usize = 400;
+
+/// Pinned digest: Hawk on the golden cell (pre-rework engine, commit
+/// d65d7bf; unchanged through every engine rework since).
+pub const HAWK_DIGEST: u64 = 0xd3c1ed8a6771bcfc;
+/// Pinned digest: Sparrow on the golden cell.
+pub const SPARROW_DIGEST: u64 = 0x01255b27da1012a9;
+/// Pinned digest: the centralized baseline on the golden cell.
+pub const CENTRALIZED_DIGEST: u64 = 0x9048234f476f81f5;
+/// Pinned digest: the split-cluster baseline on the golden cell.
+pub const SPLIT_CLUSTER_DIGEST: u64 = 0x74d8c6fdcb839842;
+
+/// FNV-1a over a canonical little-endian serialization of the report.
+///
+/// Not a cryptographic hash — just a stable fingerprint: any changed bit
+/// in any field changes the digest with overwhelming probability.
+///
+/// The scenario counters (`migrations`, `abandons`) are *not* part of the
+/// serialization: the pinned constants predate the scenario layer, and on
+/// static cells both counters are structurally zero (asserted by the
+/// golden tests instead).
+pub fn digest_report(report: &MetricsReport) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(report.scheduler.as_bytes());
+    h.u64(report.nodes as u64);
+    h.u64(report.results.len() as u64);
+    for r in &report.results {
+        h.u64(r.job.0 as u64);
+        h.u64(r.true_class.is_long() as u64);
+        h.u64(r.scheduled_class.is_long() as u64);
+        h.u64(r.submission.as_micros());
+        h.u64(r.completion.as_micros());
+        h.u64(r.num_tasks as u64);
+    }
+    h.u64(report.median_utilization.to_bits());
+    h.u64(report.max_utilization.to_bits());
+    h.u64(report.utilization_samples.len() as u64);
+    for &u in &report.utilization_samples {
+        h.u64(u.to_bits());
+    }
+    h.u64(report.makespan.as_micros());
+    h.u64(report.events);
+    h.u64(report.steals);
+    h.u64(report.steal_attempts);
+    h.finish()
+}
+
+pub struct Fnv(u64);
+
+impl Fnv {
+    pub fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    pub fn u64(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
