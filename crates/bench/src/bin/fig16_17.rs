@@ -14,10 +14,12 @@
 //! so the wall-clock run stays in minutes; `--full-trace` runs the paper's
 //! exact 3,300 jobs at 1000× (hours of wall time).
 
+use std::sync::Arc;
+
 use hawk_bench::{base, fmt, fmt4, parse_args, tsv_header, tsv_row, RunMode};
 use hawk_core::compare;
 use hawk_core::scheduler::{Hawk, Sparrow};
-use hawk_proto::{run_prototype, ProtoConfig, ProtoMode};
+use hawk_proto::{run_prototype, ProtoConfig};
 use hawk_simcore::SimRng;
 use hawk_workload::sample::{arrivals_for_load_multiplier, PrototypeSampleConfig};
 use hawk_workload::{JobClass, Trace};
@@ -92,26 +94,15 @@ fn main() {
             trace.span().as_secs_f64()
         );
 
-        // --- Real-time prototype runs ---
-        let proto_base = ProtoConfig {
+        // --- Real-time prototype runs: the same policy values the
+        // simulator cells below run, on live threads ---
+        let proto_cfg = ProtoConfig {
             cutoff,
             seed: opts.seed,
             ..ProtoConfig::default()
         };
-        let proto_hawk = run_prototype(
-            &trace,
-            &ProtoConfig {
-                mode: ProtoMode::Hawk,
-                ..proto_base
-            },
-        );
-        let proto_sparrow = run_prototype(
-            &trace,
-            &ProtoConfig {
-                mode: ProtoMode::Sparrow,
-                ..proto_base
-            },
-        );
+        let proto_hawk = run_prototype(&trace, Arc::new(Hawk::new(0.17)), &proto_cfg);
+        let proto_sparrow = run_prototype(&trace, Arc::new(Sparrow::new()), &proto_cfg);
 
         // --- Simulator runs on the identical trace ---
         let sim_base = base(&opts)

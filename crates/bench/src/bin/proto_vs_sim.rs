@@ -1,0 +1,106 @@
+//! One policy, two backends: the §4.4 sim-vs-implementation cross-check
+//! as a TSV grid.
+//!
+//! Runs a policy grid (Hawk, its no-stealing ablation, Sparrow) on the
+//! same high-load Google-like scenario through the discrete-event
+//! simulator and the prototype's deterministic virtual-clock backend,
+//! and prints the headline percentiles side by side plus the
+//! proto/sim conformance ratio per cell. Both backends execute the
+//! *same* `Arc<dyn Scheduler>` values; `tests/backend_conformance.rs`
+//! asserts the qualitative claims this table lets you eyeball.
+//!
+//! Columns: scheduler, backend, p50/p90 short, p50/p90 long, steals,
+//! wall-clock milliseconds, and (on proto rows) the p90-short proto/sim
+//! ratio — the Figure 16/17 agreement number.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hawk_bench::{fmt4, parse_args, tsv_header, tsv_row, RunMode};
+use hawk_core::scheduler::{Hawk, Sparrow};
+use hawk_core::{Backend, Experiment, MetricsReport, Scheduler, SimBackend};
+use hawk_proto::ProtoBackend;
+use hawk_workload::scenario::{ScenarioSpec, TraceFamily};
+use hawk_workload::JobClass;
+
+/// ~90 % offered load on a 100-node cluster (the 15,000-node ρ=0.9
+/// anchor divided by 150).
+const NODES: usize = 100;
+const SCALE: u64 = 150;
+
+fn main() {
+    let opts = parse_args(
+        "proto_vs_sim",
+        "one policy grid through the simulator and the prototype backend",
+    );
+    let jobs = opts.jobs.unwrap_or(match opts.mode {
+        RunMode::Quick => 200,
+        RunMode::Paper => 1_000,
+        RunMode::FullTrace => 5_000,
+    });
+    let scenario = ScenarioSpec::new(TraceFamily::Google { scale: SCALE }, jobs);
+    eprintln!(
+        "proto_vs_sim: {} jobs on {NODES} nodes ({})",
+        jobs,
+        scenario.label()
+    );
+    let trace = Arc::new(scenario.trace(opts.seed));
+
+    let schedulers: Vec<Arc<dyn Scheduler>> = vec![
+        Arc::new(Hawk::new(0.17)),
+        Arc::new(Hawk::new(0.17).without_stealing()),
+        Arc::new(Sparrow::new()),
+    ];
+    let sim = SimBackend;
+    let proto = ProtoBackend::deterministic();
+
+    tsv_header(&[
+        "scheduler",
+        "backend",
+        "p50_short",
+        "p90_short",
+        "p50_long",
+        "p90_long",
+        "steals",
+        "wall_ms",
+        "p90_short_vs_sim",
+    ]);
+    for scheduler in schedulers {
+        let mut sim_p90_short = None;
+        for (backend, name) in [(&sim as &dyn Backend, "sim"), (&proto, "proto")] {
+            let start = Instant::now();
+            let report: MetricsReport = Experiment::builder()
+                .nodes(NODES)
+                .trace(&trace)
+                .seed(opts.seed)
+                .scheduler_shared(Arc::clone(&scheduler))
+                .build()
+                .run_on(backend);
+            let wall = start.elapsed();
+            let short = report.summary(JobClass::Short);
+            let long = report.summary(JobClass::Long);
+            let conformance = match name {
+                "sim" => {
+                    sim_p90_short = short.p90;
+                    None
+                }
+                _ => match (short.p90, sim_p90_short) {
+                    (Some(p), Some(s)) if s > 0.0 => Some(p / s),
+                    _ => None,
+                },
+            };
+            tsv_row(&[
+                report.scheduler.clone(),
+                name.to_string(),
+                fmt4(short.p50),
+                fmt4(short.p90),
+                fmt4(long.p50),
+                fmt4(long.p90),
+                report.steals.to_string(),
+                format!("{:.1}", wall.as_secs_f64() * 1e3),
+                fmt4(conformance),
+            ]);
+        }
+    }
+    eprintln!("proto_vs_sim: done (p90_short_vs_sim ≈ 1.0 = backends agree)");
+}

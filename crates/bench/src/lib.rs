@@ -14,6 +14,22 @@
 //! Truncating the job count shortens the simulated horizon but preserves
 //! the arrival rate, and therefore the offered load at every sweep point —
 //! the quantity the paper's figures are parameterized by.
+//!
+//! # Examples
+//!
+//! ```
+//! use hawk_bench::{HarnessOpts, RunMode, GOOGLE_DEFAULT_JOBS, GOOGLE_FULL_JOBS};
+//!
+//! // The shared CLI convention resolves job counts per mode.
+//! let opts = HarnessOpts { mode: RunMode::Quick, ..Default::default() };
+//! assert_eq!(opts.cluster_scale(), 10);
+//! assert_eq!(
+//!     opts.job_count(GOOGLE_DEFAULT_JOBS, GOOGLE_FULL_JOBS),
+//!     GOOGLE_DEFAULT_JOBS / 6
+//! );
+//! let full = HarnessOpts { mode: RunMode::FullTrace, ..Default::default() };
+//! assert_eq!(full.job_count(GOOGLE_DEFAULT_JOBS, GOOGLE_FULL_JOBS), 506_460);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -15,8 +15,34 @@
 //! * the cluster is split into a **general partition** and a reserved
 //!   **short partition** (§3.4).
 //!
-//! The crate is scheduler-agnostic: server methods return [`ServerAction`]s
-//! that the driver in `hawk-core` turns into simulation events.
+//! The crate is scheduler-agnostic *and* execution-agnostic: server
+//! methods return [`ServerAction`]s that the caller turns into follow-up
+//! work. The simulation driver in `hawk-core` turns them into
+//! discrete-event timers and messages; the real-time prototype in
+//! `hawk-proto` embeds the same [`Server`] state machine in node-daemon
+//! threads and turns the actions into channel messages — so both backends
+//! run the exact same queue/steal semantics.
+//!
+//! # Examples
+//!
+//! ```
+//! use hawk_cluster::{Cluster, QueueEntry, ServerAction, ServerId};
+//! use hawk_workload::{JobClass, JobId};
+//!
+//! // A 10-server cluster reserving 20 % for short tasks (§3.4).
+//! let mut cluster = Cluster::new(10, 0.2);
+//! assert_eq!(cluster.partition().general_count(), 8);
+//!
+//! // A probe landing on an idle server immediately asks for a task
+//! // (late binding, §3.5); the indexes keep O(1) aggregate queries.
+//! let action = cluster.enqueue(
+//!     ServerId(3),
+//!     QueueEntry::Probe { job: JobId(7), class: JobClass::Short },
+//! );
+//! assert_eq!(action, Some(ServerAction::RequestBind { job: JobId(7) }));
+//! assert_eq!(cluster.free_count(), 9);
+//! assert_eq!(cluster.queue_depth(ServerId(3)), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

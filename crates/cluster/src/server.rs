@@ -245,13 +245,17 @@ impl Server {
     }
 
     /// Marks the server down or up, keeping the stat word current. Queue
-    /// and slot state are untouched — [`Cluster::fail_server`]
-    /// (which drains the queue first) and [`Cluster::revive_server`] are
-    /// the real lifecycle entry points.
+    /// and slot state are untouched — inside a [`Cluster`],
+    /// [`Cluster::fail_server`] (which drains the queue first) and
+    /// [`Cluster::revive_server`] are the real lifecycle entry points.
+    /// Standalone embeddings (the real-time prototype's node daemons own a
+    /// bare `Server` each) call this directly, pairing a down transition
+    /// with [`Server::drain_queue_into`].
     ///
+    /// [`Cluster`]: crate::Cluster
     /// [`Cluster::fail_server`]: crate::Cluster::fail_server
     /// [`Cluster::revive_server`]: crate::Cluster::revive_server
-    pub(crate) fn set_down(&mut self, down: bool) {
+    pub fn set_down(&mut self, down: bool) {
         self.down = down;
         self.recompute_stat();
     }
@@ -259,7 +263,7 @@ impl Server {
     /// Empties the queue into `out` (queue order, `out` not cleared),
     /// resetting the length/long mirrors. The slot is untouched: a running
     /// task finishes on its own. Used when the server leaves service.
-    pub(crate) fn drain_queue_into(&mut self, queues: &mut QueueSlab, out: &mut Vec<QueueEntry>) {
+    pub fn drain_queue_into(&mut self, queues: &mut QueueSlab, out: &mut Vec<QueueEntry>) {
         while let Some(entry) = queues.pop_front(self.list()) {
             out.push(entry);
         }

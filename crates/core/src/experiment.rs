@@ -126,6 +126,18 @@ impl Experiment {
         Driver::with_scheduler(&self.trace, Arc::clone(&self.scheduler), &self.sim)
             .run_with_estimates()
     }
+
+    /// Runs the cell on an explicit execution [`Backend`]. `run_on(&SimBackend)`
+    /// is exactly [`Experiment::run`]; other backends (e.g. the real-time
+    /// prototype in `hawk-proto`) execute the same policy under a
+    /// different model and report in the same [`MetricsReport`]
+    /// conventions, so the results are directly comparable.
+    ///
+    /// [`Backend`]: crate::Backend
+    /// [`SimBackend`]: crate::SimBackend
+    pub fn run_on(&self, backend: &dyn crate::Backend) -> MetricsReport {
+        backend.run_cell(&self.trace, Arc::clone(&self.scheduler), &self.sim)
+    }
 }
 
 /// Fluent description of an experiment cell; see [`Experiment::builder`].

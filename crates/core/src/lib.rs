@@ -17,6 +17,12 @@
 //!   [`SplitCluster`](scheduler::SplitCluster). The [`Driver`] is a
 //!   policy-agnostic event loop: new schedulers plug in without driver
 //!   changes (see `examples/power_of_d.rs`).
+//! * **The [`Backend`] abstraction** ([`backend`] module) — one policy,
+//!   many execution models. [`SimBackend`] wraps the driver; the
+//!   `hawk-proto` crate provides a real-time prototype backend driven by
+//!   the *same* `Arc<dyn Scheduler>` policies, and
+//!   `tests/backend_conformance.rs` cross-checks the two the way the
+//!   paper validates its simulator against its Spark prototype (§4.4).
 //! * **The [`Experiment`] builder and [`Sweep`] runner** — a fluent API
 //!   describing one evaluation cell (trace + scheduler + cluster size +
 //!   settings) or a whole grid of them. [`Sweep::run_all`] executes
@@ -61,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod centralized;
 mod config;
 mod distributed;
@@ -71,6 +78,7 @@ pub mod scheduler;
 mod steal_policy;
 mod sweep;
 
+pub use backend::{Backend, SimBackend};
 pub use centralized::CentralScheduler;
 pub use config::{
     CentralOverhead, ExperimentConfig, Route, SchedulerConfig, Scope, SimConfig, DEFAULT_SEED,

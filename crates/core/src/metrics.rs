@@ -94,7 +94,7 @@ impl MetricsReport {
 
     /// The per-class runtimes collected once and sorted ascending, ready
     /// for repeated percentile reads via
-    /// [`percentile_of_sorted`](hawk_simcore::stats::percentile_of_sorted).
+    /// [`percentile_of_sorted`].
     /// [`MetricsReport::summary`] and [`compare`] derive every quantile
     /// from one of these instead of re-collecting and re-sorting per
     /// percentile.

@@ -1,29 +1,44 @@
-//! A real-time, multi-threaded Hawk prototype (§3.8, §4.10).
+//! The real-time prototype **backend**: the same `Scheduler` policies the
+//! simulator runs, executing on live node daemons (§3.8, §4.10).
 //!
 //! The paper implements Hawk as a Spark scheduler plug-in — Sparrow's node
 //! monitors augmented with a centralized scheduler and work stealing over
 //! Thrift RPC — and validates the simulator against a 100-node cluster run
-//! where scaled-down trace tasks execute as *sleeps*. This crate is the
-//! equivalent in-process system:
+//! where scaled-down trace tasks execute as *sleeps* (§4.4). This crate is
+//! the equivalent in-process system, built so that **policy code is
+//! shared, not re-implemented**:
 //!
-//! * every **node monitor** is an OS thread owning a FIFO queue; task
-//!   execution is a real-time deadline (the thread stays responsive to
-//!   probes, bind replies and steal requests while "executing", exactly
-//!   like a node monitor hosting a sleep task);
-//! * **distributed schedulers** (10 by default) are threads implementing
-//!   Sparrow batch probing with late binding;
-//! * the **centralized scheduler** is a thread running the §3.7
-//!   waiting-time algorithm;
-//! * all parties exchange messages over channels (the Thrift-RPC stand-in).
+//! * every **node monitor** embeds the simulator's
+//!   [`hawk_cluster::Server`] state machine (same FIFO queue, same late
+//!   binding, same packed stat word, same Figure 3 steal scan);
+//! * **distributed schedulers** place probes by calling
+//!   [`Scheduler::probe_targets_into`](hawk_core::Scheduler::probe_targets_into)
+//!   over a membership-only shadow cluster;
+//! * the **centralized scheduler** wraps the simulator's
+//!   [`hawk_core::CentralScheduler`] (§3.7 waiting-time algorithm);
+//! * steal victims come from
+//!   [`Scheduler::pick_victims_into`](hawk_core::Scheduler::pick_victims_into),
+//!   probe bouncing from
+//!   [`Scheduler::bounce_probe`](hawk_core::Scheduler::bounce_probe).
 //!
-//! Because it runs on the wall clock, results are *not* bit-deterministic —
-//! the same sources of noise the paper observes (message latency, sleep
-//! inaccuracy, scheduling jitter) apply (§4.10).
+//! Two execution modes share those daemons ([`ExecutionMode`]): real OS
+//! threads exchanging channel messages on the wall clock (the paper's
+//! deployment model — noisy, non-deterministic, §4.10), and a
+//! single-threaded **virtual-clock** router whose runs are byte-identical
+//! per seed. The virtual mode is what lets `tests/backend_conformance.rs`
+//! hold the prototype and the simulator side by side on the same trace.
+//!
+//! [`ProtoBackend`] packages all of this as a
+//! [`Backend`](hawk_core::Backend), and
+//! [`ProtoReport::into_metrics`] converts results into the simulator's
+//! [`MetricsReport`](hawk_core::MetricsReport) conventions.
 //!
 //! # Examples
 //!
 //! ```
-//! use hawk_proto::{ProtoConfig, ProtoMode, run_prototype};
+//! use hawk_core::{Experiment, SimBackend};
+//! use hawk_core::scheduler::Hawk;
+//! use hawk_proto::ProtoBackend;
 //! use hawk_workload::sample::PrototypeSampleConfig;
 //!
 //! // A tiny sample so the doc test finishes in milliseconds.
@@ -34,25 +49,31 @@
 //!     duration_divisor: 100_000,
 //! };
 //! let trace = sample.generate(1);
-//! let cfg = ProtoConfig {
-//!     workers: 8,
-//!     mode: ProtoMode::Hawk,
-//!     cutoff: sample.cutoff(),
-//!     ..ProtoConfig::default()
-//! };
-//! let report = run_prototype(&trace, &cfg);
-//! assert_eq!(report.jobs.len(), trace.len());
+//! let cell = Experiment::builder()
+//!     .nodes(8)
+//!     .cutoff(sample.cutoff())
+//!     .scheduler(Hawk::new(0.25))
+//!     .trace(trace)
+//!     .build();
+//!
+//! // One policy, two backends.
+//! let sim = cell.run_on(&SimBackend);
+//! let proto = cell.run_on(&ProtoBackend::deterministic());
+//! assert_eq!(sim.results.len(), proto.results.len());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod msg;
 mod report;
 mod runtime;
 mod scheduler;
+mod virt;
 mod worker;
 
-pub use msg::{Entry, ProtoTask, TaskOrigin};
+pub use backend::ProtoBackend;
+pub use msg::{CentralMsg, DistMsg, WorkerMsg};
 pub use report::{ProtoJobResult, ProtoReport};
-pub use runtime::{run_prototype, ProtoConfig, ProtoMode};
+pub use runtime::{run_prototype, ExecutionMode, ProtoConfig};

@@ -1,88 +1,45 @@
-//! Message and queue-entry types exchanged between prototype threads.
+//! Messages exchanged between prototype daemons, and the [`Net`] surface
+//! the daemons send them through.
+//!
+//! Since the prototype became a backend for the shared
+//! [`Scheduler`](hawk_core::Scheduler) policies, its wire types are the
+//! *simulator's* types: queue entries are [`hawk_cluster::QueueEntry`],
+//! bound tasks are [`hawk_cluster::TaskSpec`], durations are
+//! [`hawk_simcore::SimDuration`]. The two backends therefore cannot drift
+//! apart structurally — a probe or a stolen group means the same thing in
+//! both.
+//!
+//! The [`Net`] trait is the transport/clock seam: daemon state machines
+//! call it to send messages, arm the task-finish timer and report
+//! completions. The threaded runtime implements it over `mpsc` channels
+//! and the wall clock; the virtual runtime over a deterministic
+//! single-threaded router and a virtual clock. Daemon code is identical
+//! under both.
 
-use std::time::Duration;
-
+use hawk_cluster::{QueueEntry, TaskSpec};
+use hawk_simcore::SimDuration;
+use hawk_workload::scenario::NodeChange;
 use hawk_workload::{JobClass, JobId};
 
-/// Who placed a task (determines where its completion is reported).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TaskOrigin {
-    /// Placed by the centralized scheduler.
-    Central,
-    /// Bound through a probe of distributed scheduler `index`.
-    Distributed {
-        /// The owning distributed scheduler.
-        index: usize,
-    },
-}
-
-/// A concrete task bound to a worker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ProtoTask {
-    /// The owning job.
-    pub job: JobId,
-    /// Real-time execution duration (the "sleep").
-    pub duration: Duration,
-    /// Job-level estimated task runtime in microseconds (for the central
-    /// scheduler's waiting-time bookkeeping).
-    pub estimate_us: u64,
-    /// The job's scheduling class.
-    pub class: JobClass,
-    /// Placement origin.
-    pub origin: TaskOrigin,
-}
-
-/// One entry in a worker's FIFO queue (the prototype analogue of
-/// `hawk_cluster::QueueEntry`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Entry {
-    /// A late-binding reservation for a job owned by distributed scheduler
-    /// `sched`.
-    Probe {
-        /// The job.
-        job: JobId,
-        /// Owning distributed scheduler index.
-        sched: usize,
-        /// The job's scheduling class.
-        class: JobClass,
-    },
-    /// A directly-placed task.
-    Task(ProtoTask),
-}
-
-impl Entry {
-    /// True if the entry belongs to a long job.
-    pub fn is_long(&self) -> bool {
-        match self {
-            Entry::Probe { class, .. } => class.is_long(),
-            Entry::Task(t) => t.class.is_long(),
-        }
-    }
-
-    /// True if the entry belongs to a short job.
-    pub fn is_short(&self) -> bool {
-        !self.is_long()
-    }
-}
-
 /// Messages delivered to a worker (node monitor).
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WorkerMsg {
-    /// A probe from a distributed scheduler.
+    /// A probe from a distributed scheduler (`bounces` counts probe-
+    /// avoidance hops already taken; 0 under the paper's policies).
     Probe {
         /// The job probed for.
         job: JobId,
-        /// Owning distributed scheduler.
-        sched: usize,
-        /// The job's class.
+        /// The job's scheduled class.
         class: JobClass,
+        /// Probe-avoidance hops taken so far.
+        bounces: u8,
     },
     /// A direct task placement from the centralized scheduler.
-    Assign(ProtoTask),
+    Assign(TaskSpec),
     /// Response to this worker's task request: a task or a cancel.
     BindReply {
         /// `Some` launches, `None` cancels.
-        task: Option<ProtoTask>,
+        task: Option<TaskSpec>,
     },
     /// Another worker asks to steal from us.
     StealRequest {
@@ -91,25 +48,30 @@ pub enum WorkerMsg {
     },
     /// Stolen entries arriving at the thief.
     StealReply {
-        /// The stolen group (possibly empty = steal failed).
-        entries: Vec<Entry>,
+        /// The stolen group (possibly empty = steal failed), in the
+        /// victim's queue order.
+        entries: Vec<QueueEntry>,
     },
-    /// Terminate the worker thread.
+    /// Scenario dynamics: the node leaves service (drains its queue) or
+    /// rejoins empty.
+    Node(NodeChange),
+    /// Terminate the worker thread (threaded runtime only).
     Shutdown,
 }
 
 /// Messages delivered to a distributed scheduler.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DistMsg {
-    /// A job to schedule (Sparrow batch probing).
+    /// A job to schedule by batch probing (§3.5). Probe targets come from
+    /// [`Scheduler::probe_targets_into`](hawk_core::Scheduler::probe_targets_into).
     Submit {
         /// The job.
         job: JobId,
-        /// Per-task durations, already real-time scaled.
-        tasks: Vec<Duration>,
-        /// Job-level estimate, microseconds.
-        estimate_us: u64,
-        /// The job's class.
+        /// Per-task durations.
+        tasks: Vec<SimDuration>,
+        /// Job-level estimated task runtime.
+        estimate: SimDuration,
+        /// The job's scheduled class.
         class: JobClass,
     },
     /// A worker whose probe reached its queue head requests a task.
@@ -124,22 +86,45 @@ pub enum DistMsg {
         /// The job.
         job: JobId,
     },
-    /// Terminate the scheduler thread.
+    /// A probe was displaced (drained off a failed worker, or arrived at a
+    /// down one): re-probe a random live server if the job still has
+    /// unlaunched tasks, abandon it otherwise.
+    ReProbe {
+        /// The job.
+        job: JobId,
+        /// The job's scheduled class.
+        class: JobClass,
+    },
+    /// A worker bounced a probe off long-held work
+    /// ([`Scheduler::bounce_probe`](hawk_core::Scheduler::bounce_probe));
+    /// retry on a fresh random server of the class's scope.
+    Bounce {
+        /// The job.
+        job: JobId,
+        /// The job's scheduled class.
+        class: JobClass,
+        /// Hops taken including the bounce that produced this message.
+        bounces: u8,
+    },
+    /// Scenario dynamics notification: keeps the scheduler's membership
+    /// view (its shadow cluster) current.
+    Node(NodeChange),
+    /// Terminate the scheduler thread (threaded runtime only).
     Shutdown,
 }
 
 /// Messages delivered to the centralized scheduler.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CentralMsg {
-    /// A long job to place on the general partition.
+    /// A job to place with the §3.7 waiting-time algorithm.
     Submit {
         /// The job.
         job: JobId,
-        /// Per-task durations, already real-time scaled.
-        tasks: Vec<Duration>,
-        /// Job-level estimate, microseconds.
-        estimate_us: u64,
-        /// The job's class.
+        /// Per-task durations.
+        tasks: Vec<SimDuration>,
+        /// Job-level estimated task runtime.
+        estimate: SimDuration,
+        /// The job's scheduled class.
         class: JobClass,
     },
     /// A worker finished a centrally-placed task.
@@ -148,33 +133,79 @@ pub enum CentralMsg {
         job: JobId,
         /// The worker that ran it.
         worker: usize,
-        /// The estimate charged at assignment, microseconds.
-        estimate_us: u64,
+        /// The estimate charged at assignment.
+        estimate: SimDuration,
     },
-    /// Terminate the scheduler thread.
+    /// A centrally-placed task was displaced off a failed worker: re-place
+    /// it on the least-loaded live server, moving the waiting-time
+    /// bookkeeping with it.
+    Relocate {
+        /// The worker the task drained off.
+        from: usize,
+        /// The displaced task.
+        spec: TaskSpec,
+    },
+    /// Scenario dynamics notification (fail/revive the server's
+    /// waiting-time key).
+    Node(NodeChange),
+    /// Terminate the scheduler thread (threaded runtime only).
     Shutdown,
+}
+
+/// The transport + clock surface a daemon state machine runs against.
+///
+/// Implementations: `ThreadNet` (mpsc channels, wall clock) and
+/// `VirtualNet` (deterministic router, virtual clock). All sends are
+/// fire-and-forget; delivery order between a fixed (sender, receiver)
+/// pair is FIFO under both implementations.
+pub(crate) trait Net {
+    /// Sends a message to worker `to`.
+    fn send_worker(&mut self, to: usize, msg: WorkerMsg);
+    /// Sends a message to distributed scheduler `to`.
+    fn send_dist(&mut self, to: usize, msg: DistMsg);
+    /// Sends a message to the centralized scheduler.
+    fn send_central(&mut self, msg: CentralMsg);
+    /// Arms worker `worker`'s task-finish timer `occupancy` from now (the
+    /// speed-scaled slot occupancy of the task it just started).
+    fn schedule_finish(&mut self, worker: usize, occupancy: SimDuration);
+    /// Reports job completion, timestamped with the harness clock.
+    fn job_done(&mut self, job: JobId);
+    /// Adjusts the cluster-wide running-task gauge (utilization samples).
+    fn add_running(&mut self, delta: i64);
+    /// Adjusts the usable-capacity gauge: in-service workers plus down
+    /// workers still draining a task — the simulator's utilization
+    /// denominator under scenario dynamics (`Cluster::utilization`).
+    fn add_capacity(&mut self, delta: i64);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hawk_simcore::SimDuration;
 
     #[test]
-    fn entry_class_helpers() {
-        let p = Entry::Probe {
-            job: JobId(1),
-            sched: 0,
-            class: JobClass::Short,
-        };
-        assert!(p.is_short());
-        let t = Entry::Task(ProtoTask {
+    fn messages_carry_cluster_types() {
+        // The prototype's wire format is the simulator's entry model.
+        let spec = TaskSpec {
             job: JobId(2),
-            duration: Duration::from_millis(5),
-            estimate_us: 5_000,
+            duration: SimDuration::from_millis(5),
+            estimate: SimDuration::from_millis(5),
             class: JobClass::Long,
-            origin: TaskOrigin::Central,
-        });
-        assert!(t.is_long());
-        assert!(!t.is_short());
+        };
+        let msg = WorkerMsg::Assign(spec);
+        match msg {
+            WorkerMsg::Assign(s) => assert!(s.class.is_long()),
+            _ => unreachable!(),
+        }
+        let steal = WorkerMsg::StealReply {
+            entries: vec![QueueEntry::Probe {
+                job: JobId(1),
+                class: JobClass::Short,
+            }],
+        };
+        match steal {
+            WorkerMsg::StealReply { entries } => assert!(entries[0].is_short()),
+            _ => unreachable!(),
+        }
     }
 }

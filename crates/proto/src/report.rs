@@ -1,8 +1,19 @@
-//! Prototype run results.
+//! Prototype run results, in the simulator's metric conventions.
+//!
+//! [`ProtoReport`] mirrors [`MetricsReport`]'s quantile discipline: one
+//! collection pass, one sort, then every percentile read through the
+//! shared [`percentile_of_sorted`] — so a prototype number and a
+//! simulator number at the same percentile are computed by the same code
+//! path and are directly comparable. [`ProtoReport::into_metrics`]
+//! finishes the job, converting a prototype run into a full
+//! [`MetricsReport`] for [`hawk_core::compare`] and the conformance
+//! harness.
 
 use std::time::Duration;
 
-use hawk_simcore::stats::{mean, median, percentile};
+use hawk_core::{ClassSummary, JobResult, MetricsReport};
+use hawk_simcore::stats::{mean, median, percentile_of_sorted};
+use hawk_simcore::SimTime;
 use hawk_workload::{JobClass, JobId};
 
 /// One job's outcome in a prototype run.
@@ -12,23 +23,39 @@ pub struct ProtoJobResult {
     pub job: JobId,
     /// Class under the configured cutoff (exact estimates).
     pub class: JobClass,
-    /// When the job was submitted, relative to run start.
+    /// Number of tasks.
+    pub num_tasks: usize,
+    /// When the job was submitted, relative to run start (wall clock in
+    /// the threaded runtime, virtual clock in the deterministic one).
     pub submit_offset: Duration,
-    /// Wall-clock runtime: completion − submission.
+    /// Runtime: completion − submission.
     pub runtime: Duration,
 }
 
 /// Everything measured in one prototype run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtoReport {
     /// Per-job outcomes, indexed by job id.
     pub jobs: Vec<ProtoJobResult>,
     /// Periodic utilization samples (fraction of workers executing).
     pub utilization_samples: Vec<f64>,
+    /// Successful steal operations (entries moved > 0).
+    pub steals: u64,
+    /// Steal attempts (idle transitions that picked victims).
+    pub steal_attempts: u64,
+    /// Entries migrated off failed workers (probes re-probed, central
+    /// tasks re-placed). Zero on static clusters.
+    pub migrations: u64,
+    /// Reservations abandoned at node failure (job had no unlaunched
+    /// tasks left). Zero on static clusters.
+    pub abandons: u64,
+    /// Messages processed across all daemons (the prototype's analogue of
+    /// the simulator's event count).
+    pub messages: u64,
 }
 
 impl ProtoReport {
-    /// Runtimes in seconds of all jobs of `class`.
+    /// Runtimes in seconds of all jobs of `class`, in job-id order.
     pub fn runtimes(&self, class: JobClass) -> Vec<f64> {
         self.jobs
             .iter()
@@ -37,14 +64,41 @@ impl ProtoReport {
             .collect()
     }
 
-    /// The `p`-th percentile runtime of `class` jobs, seconds.
+    /// The per-class runtimes collected once and sorted ascending, ready
+    /// for repeated reads through [`percentile_of_sorted`] — the same
+    /// convention as [`MetricsReport::sorted_runtimes`].
+    pub fn sorted_runtimes(&self, class: JobClass) -> Vec<f64> {
+        let mut runtimes = self.runtimes(class);
+        runtimes.sort_by(|a, b| a.partial_cmp(b).expect("runtimes are never NaN"));
+        runtimes
+    }
+
+    /// The `p`-th percentile runtime of `class` jobs, seconds, via the
+    /// shared sorted-percentile convention.
     pub fn runtime_percentile(&self, class: JobClass, p: f64) -> Option<f64> {
-        percentile(&self.runtimes(class), p)
+        let sorted = self.sorted_runtimes(class);
+        (!sorted.is_empty()).then(|| percentile_of_sorted(&sorted, p))
     }
 
     /// Mean runtime of `class` jobs, seconds.
     pub fn mean_runtime(&self, class: JobClass) -> Option<f64> {
         mean(&self.runtimes(class))
+    }
+
+    /// Per-class summary in the exact shape [`MetricsReport::summary`]
+    /// produces, so prototype and simulator classes summarize through one
+    /// type.
+    pub fn summary(&self, class: JobClass) -> ClassSummary {
+        let mean = self.mean_runtime(class);
+        let sorted = self.sorted_runtimes(class);
+        let pctl = |p: f64| (!sorted.is_empty()).then(|| percentile_of_sorted(&sorted, p));
+        ClassSummary {
+            class,
+            jobs: sorted.len(),
+            p50: pctl(50.0),
+            p90: pctl(90.0),
+            mean,
+        }
     }
 
     /// Median utilization sample.
@@ -61,6 +115,49 @@ impl ProtoReport {
                 Some(acc.map_or(x, |a| a.max(x)))
             })
     }
+
+    /// Converts the run into a [`MetricsReport`]: submissions and
+    /// completions become microsecond [`SimTime`]s on the run-relative
+    /// clock, counters map one-to-one (`messages` → `events`), and the
+    /// class recorded at submission becomes both the true and the
+    /// scheduled class (the prototype runs exact estimates). The result
+    /// plugs straight into [`hawk_core::compare`] and the digest
+    /// machinery of the determinism suites.
+    pub fn into_metrics(self, scheduler: String, nodes: usize) -> MetricsReport {
+        let mut makespan = SimTime::ZERO;
+        let results: Vec<JobResult> = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let submission = SimTime::from_micros(j.submit_offset.as_micros() as u64);
+                let completion =
+                    SimTime::from_micros((j.submit_offset + j.runtime).as_micros() as u64);
+                makespan = makespan.max(completion);
+                JobResult {
+                    job: j.job,
+                    true_class: j.class,
+                    scheduled_class: j.class,
+                    submission,
+                    completion,
+                    num_tasks: j.num_tasks,
+                }
+            })
+            .collect();
+        MetricsReport {
+            scheduler,
+            nodes,
+            results,
+            median_utilization: self.median_utilization().unwrap_or(0.0),
+            max_utilization: self.max_utilization().unwrap_or(0.0),
+            utilization_samples: self.utilization_samples,
+            makespan,
+            events: self.messages,
+            steals: self.steals,
+            steal_attempts: self.steal_attempts,
+            migrations: self.migrations,
+            abandons: self.abandons,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -71,26 +168,39 @@ mod tests {
         ProtoJobResult {
             job: JobId(job),
             class,
+            num_tasks: 1,
             submit_offset: Duration::ZERO,
             runtime: Duration::from_millis(millis),
         }
     }
 
+    fn report(jobs: Vec<ProtoJobResult>) -> ProtoReport {
+        ProtoReport {
+            jobs,
+            utilization_samples: vec![0.2, 0.8, 0.5],
+            steals: 3,
+            steal_attempts: 7,
+            migrations: 0,
+            abandons: 0,
+            messages: 100,
+        }
+    }
+
     #[test]
     fn percentiles_by_class() {
-        let report = ProtoReport {
-            jobs: vec![
-                result(0, JobClass::Short, 100),
-                result(1, JobClass::Short, 300),
-                result(2, JobClass::Long, 5_000),
-            ],
-            utilization_samples: vec![0.2, 0.8, 0.5],
-        };
+        let report = report(vec![
+            result(0, JobClass::Short, 100),
+            result(1, JobClass::Short, 300),
+            result(2, JobClass::Long, 5_000),
+        ]);
         assert_eq!(report.runtime_percentile(JobClass::Short, 50.0), Some(0.2));
         assert_eq!(report.runtime_percentile(JobClass::Long, 90.0), Some(5.0));
         assert_eq!(report.mean_runtime(JobClass::Short), Some(0.2));
         assert_eq!(report.median_utilization(), Some(0.5));
         assert_eq!(report.max_utilization(), Some(0.8));
+        let s = report.summary(JobClass::Short);
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.p50, Some(0.2));
     }
 
     #[test]
@@ -98,9 +208,90 @@ mod tests {
         let report = ProtoReport {
             jobs: vec![],
             utilization_samples: vec![],
+            steals: 0,
+            steal_attempts: 0,
+            migrations: 0,
+            abandons: 0,
+            messages: 0,
         };
         assert_eq!(report.runtime_percentile(JobClass::Short, 50.0), None);
         assert_eq!(report.median_utilization(), None);
         assert_eq!(report.max_utilization(), None);
+        assert_eq!(report.summary(JobClass::Long).p50, None);
+    }
+
+    /// The satellite fix pinned: both report types compute the same
+    /// percentile on the same sample, through the same
+    /// `percentile_of_sorted` convention.
+    #[test]
+    fn percentile_convention_matches_metrics_report() {
+        use hawk_simcore::SimTime;
+
+        let millis = [130u64, 20, 510, 90, 250, 40, 730, 610, 170, 380];
+        let proto = report(
+            millis
+                .iter()
+                .enumerate()
+                .map(|(i, &ms)| result(i as u32, JobClass::Short, ms))
+                .collect(),
+        );
+        let metrics = MetricsReport {
+            scheduler: "pin".into(),
+            nodes: 1,
+            results: millis
+                .iter()
+                .enumerate()
+                .map(|(i, &ms)| JobResult {
+                    job: JobId(i as u32),
+                    true_class: JobClass::Short,
+                    scheduled_class: JobClass::Short,
+                    submission: SimTime::ZERO,
+                    completion: SimTime::from_micros(ms * 1_000),
+                    num_tasks: 1,
+                })
+                .collect(),
+            median_utilization: 0.0,
+            max_utilization: 0.0,
+            utilization_samples: vec![],
+            makespan: SimTime::ZERO,
+            events: 0,
+            steals: 0,
+            steal_attempts: 0,
+            migrations: 0,
+            abandons: 0,
+        };
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(
+                proto.runtime_percentile(JobClass::Short, p),
+                metrics.runtime_percentile(JobClass::Short, p),
+                "percentile {p} diverged between the two report types"
+            );
+        }
+        assert_eq!(
+            proto.summary(JobClass::Short),
+            metrics.summary(JobClass::Short)
+        );
+    }
+
+    #[test]
+    fn into_metrics_preserves_runtimes_and_counters() {
+        let mut r0 = result(0, JobClass::Short, 100);
+        r0.submit_offset = Duration::from_millis(50);
+        let proto = report(vec![r0, result(1, JobClass::Long, 2_000)]);
+        let m = proto.clone().into_metrics("hawk".into(), 8);
+        assert_eq!(m.scheduler, "hawk");
+        assert_eq!(m.nodes, 8);
+        assert_eq!(m.results.len(), 2);
+        assert_eq!(m.results[0].runtime().as_secs_f64(), 0.1);
+        assert_eq!(m.results[0].submission, SimTime::from_micros(50_000));
+        assert_eq!(m.makespan, SimTime::from_micros(2_000_000));
+        assert_eq!(m.steals, 3);
+        assert_eq!(m.steal_attempts, 7);
+        assert_eq!(m.events, 100);
+        // The percentile read through MetricsReport equals the proto one.
+        assert_eq!(
+            m.runtime_percentile(JobClass::Short, 90.0),
+            proto.runtime_percentile(JobClass::Short, 90.0)
+        );
     }
 }

@@ -1,53 +1,94 @@
-//! Cluster bring-up, trace feeding and result collection.
+//! Cluster bring-up, trace feeding and result collection for both
+//! execution modes.
+//!
+//! [`run_prototype`] builds the daemon set — one [`Worker`] per node,
+//! `dist_schedulers` [`DistScheduler`]s, and a [`CentralDaemon`] iff the
+//! policy routes any class centrally — and executes it under the
+//! configured [`ExecutionMode`]:
+//!
+//! * [`ExecutionMode::RealTime`] — every daemon is an OS thread with an
+//!   mpsc mailbox; task execution is a real-time deadline (the thread
+//!   stays responsive to probes, bind replies and steal requests while
+//!   "executing", exactly like a Sparrow node monitor hosting a sleep
+//!   task, §4.10). Results carry real messaging noise and are *not*
+//!   bit-deterministic.
+//! * [`ExecutionMode::Virtual`] — the same daemons run single-threaded
+//!   under a deterministic router: messages are delivered in
+//!   `(virtual time, sequence)` order after a constant one-way delay, and
+//!   "sleeping" advances a virtual clock. Two runs with the same seed are
+//!   byte-identical, which is what lets `tests/backend_conformance.rs`
+//!   cross-check the prototype against the simulator.
+//!
+//! # RNG streams
+//!
+//! All randomness derives from `ProtoConfig::seed` by stream splitting,
+//! in a frozen order: one stream per worker (steal-victim draws), in
+//! worker-index order, then one per distributed scheduler (probe draws),
+//! in scheduler-index order. Adding streams later must append to this
+//! order, never reorder it — the virtual mode's byte-identical replay
+//! depends on it (the same rule PR 4 established for the driver's
+//! `scenario_rng`).
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use hawk_cluster::Partition;
+use hawk_core::{Route, Scheduler, Scope};
+use hawk_simcore::{SimDuration, SimRng, SimTime};
 use hawk_workload::classify::Cutoff;
+use hawk_workload::scenario::{DynamicsScript, NodeChange, SpeedSpec};
 use hawk_workload::{JobClass, JobId, Trace};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::Mutex;
 
-use crate::msg::{CentralMsg, DistMsg, WorkerMsg};
+use crate::msg::{CentralMsg, DistMsg, Net, WorkerMsg};
 use crate::report::{ProtoJobResult, ProtoReport};
-use crate::scheduler::{CentralScheduler, DistScheduler};
-use crate::worker::Worker;
+use crate::scheduler::{CentralDaemon, DistScheduler, SchedStats};
+use crate::virt::run_virtual;
+use crate::worker::{Worker, WorkerStats};
 
-/// Which scheduler the prototype cluster runs.
+/// How the prototype cluster executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ProtoMode {
-    /// Hawk: centralized long jobs, distributed short jobs, stealing.
-    Hawk,
-    /// Hawk with stealing disabled (prototype ablation).
-    HawkNoSteal,
-    /// Sparrow: everything distributed, no partition, no stealing.
-    Sparrow,
+pub enum ExecutionMode {
+    /// Live OS threads on the wall clock: real concurrency, real
+    /// messaging noise, non-deterministic results (the paper's §4.10
+    /// deployment model). Trace times are wall-clock offsets — scale the
+    /// trace down first (see `hawk_workload::sample`).
+    RealTime,
+    /// Single-threaded deterministic execution on a virtual clock:
+    /// byte-identical results per seed, no wall time spent "sleeping".
+    Virtual {
+        /// One-way message delay applied to every daemon-to-daemon
+        /// message (the simulator's network-delay analogue).
+        message_delay: SimDuration,
+    },
 }
 
 /// Prototype cluster configuration (paper defaults: 100 nodes, 10
 /// distributed schedulers, 1 centralized scheduler, §4.1).
-#[derive(Debug, Clone, Copy)]
+///
+/// The *policy* — routing, partition fraction, probe ratio, steal spec —
+/// is no longer configured here: it comes from the `Arc<dyn Scheduler>`
+/// passed to [`run_prototype`], the same value the simulator runs.
+#[derive(Debug, Clone)]
 pub struct ProtoConfig {
-    /// Number of worker (node monitor) threads.
+    /// Number of worker (node monitor) daemons.
     pub workers: usize,
-    /// Number of distributed scheduler threads.
+    /// Number of distributed scheduler daemons.
     pub dist_schedulers: usize,
-    /// Scheduling mode.
-    pub mode: ProtoMode,
     /// Short/long cutoff on the (already scaled) estimated task runtime.
     pub cutoff: Cutoff,
-    /// Fraction of workers reserved for short tasks (§3.4).
-    pub short_partition_fraction: f64,
-    /// Steal-attempt cap (§3.6); ignored outside Hawk mode.
-    pub steal_cap: usize,
-    /// Probes per task.
-    pub probe_ratio: f64,
-    /// Utilization sampling period.
-    pub util_interval: Duration,
+    /// Utilization sampling period (virtual or wall time, per mode).
+    pub util_interval: SimDuration,
     /// Seed for probe and steal randomness.
     pub seed: u64,
+    /// Execution mode.
+    pub mode: ExecutionMode,
+    /// Scripted node down/up events (scenario dynamics).
+    pub dynamics: DynamicsScript,
+    /// Per-server execution-speed profile (scenario heterogeneity).
+    pub speeds: SpeedSpec,
 }
 
 impl Default for ProtoConfig {
@@ -55,45 +96,379 @@ impl Default for ProtoConfig {
         ProtoConfig {
             workers: 100,
             dist_schedulers: 10,
-            mode: ProtoMode::Hawk,
             // The Google cutoff under the paper's 1000× time scale-down.
-            cutoff: Cutoff(hawk_simcore::SimDuration::from_micros(1_129_000)),
-            short_partition_fraction: 0.17,
-            steal_cap: 10,
-            probe_ratio: 2.0,
-            util_interval: Duration::from_millis(50),
+            cutoff: Cutoff(SimDuration::from_micros(1_129_000)),
+            util_interval: SimDuration::from_millis(50),
             seed: 0x4a77_2015,
+            mode: ExecutionMode::RealTime,
+            dynamics: DynamicsScript::none(),
+            speeds: SpeedSpec::Uniform,
         }
     }
 }
 
-/// Shared routing table handed to every thread.
-#[derive(Clone)]
-pub(crate) struct Topology {
-    pub workers: Arc<Vec<Sender<WorkerMsg>>>,
-    pub dscheds: Arc<Vec<Sender<DistMsg>>>,
-    pub central: Sender<CentralMsg>,
-    pub running_count: Arc<AtomicUsize>,
+/// The full daemon set of one prototype cluster, plus the per-job state
+/// the runtimes feed from.
+pub(crate) struct ClusterSetup {
+    pub workers: Vec<Worker>,
+    pub dists: Vec<DistScheduler>,
+    pub central: Option<CentralDaemon>,
+    /// Scheduled class per job (exact estimates under the cutoff).
+    pub classes: Vec<JobClass>,
+    /// Whether each job routes centrally.
+    pub central_route: Vec<bool>,
 }
 
-/// Runs `trace` on a freshly built prototype cluster and reports per-job
-/// wall-clock runtimes.
+/// Report-counter totals folded from every daemon's stats — one
+/// implementation for both runtimes, so a counter added to
+/// [`WorkerStats`]/[`SchedStats`] cannot be folded in one mode and
+/// silently report zero in the other.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct FoldedStats {
+    pub steals: u64,
+    pub steal_attempts: u64,
+    pub migrations: u64,
+    pub abandons: u64,
+    pub messages: u64,
+}
+
+pub(crate) fn fold_stats(
+    workers: impl IntoIterator<Item = WorkerStats>,
+    scheds: impl IntoIterator<Item = SchedStats>,
+) -> FoldedStats {
+    let mut folded = FoldedStats::default();
+    for stats in workers {
+        folded.steals += stats.steals;
+        folded.steal_attempts += stats.steal_attempts;
+        folded.messages += stats.handled;
+    }
+    for stats in scheds {
+        folded.migrations += stats.migrations;
+        folded.abandons += stats.abandons;
+        folded.messages += stats.handled;
+    }
+    folded
+}
+
+/// One item of the merged feed timeline (submissions × dynamics).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FeedItem {
+    Submit(u32),
+    Node(NodeChange),
+}
+
+/// A routed job submission — built by [`submission_for`], the single
+/// definition both runtimes feed from (so the owner mapping and the
+/// submit payload cannot drift between modes).
+pub(crate) enum Submission {
+    Central(CentralMsg),
+    Dist(usize, DistMsg),
+}
+
+/// Builds trace job `index`'s submission message, routed per the
+/// policy's class tables.
+pub(crate) fn submission_for(
+    trace: &Trace,
+    index: u32,
+    classes: &[JobClass],
+    central_route: &[bool],
+    dist_count: usize,
+) -> Submission {
+    let job = trace.job(JobId(index));
+    let i = index as usize;
+    if central_route[i] {
+        Submission::Central(CentralMsg::Submit {
+            job: job.id,
+            tasks: job.tasks.clone(),
+            estimate: job.mean_task_duration(),
+            class: classes[i],
+        })
+    } else {
+        Submission::Dist(
+            i % dist_count,
+            DistMsg::Submit {
+                job: job.id,
+                tasks: job.tasks.clone(),
+                estimate: job.mean_task_duration(),
+                class: classes[i],
+            },
+        )
+    }
+}
+
+/// Builds the daemons and the per-job routing tables shared by both
+/// runtimes.
+pub(crate) fn build_cluster(
+    trace: &Trace,
+    scheduler: &Arc<dyn Scheduler>,
+    cfg: &ProtoConfig,
+) -> ClusterSetup {
+    assert!(
+        cfg.workers > 0 && cfg.dist_schedulers > 0,
+        "prototype needs at least one worker and one distributed scheduler"
+    );
+    if let Some(max) = cfg.dynamics.max_server() {
+        assert!(
+            (max as usize) < cfg.workers,
+            "dynamics script touches worker {max} but the cluster has {} workers",
+            cfg.workers
+        );
+    }
+    let partition = Partition::new(cfg.workers, scheduler.short_partition_fraction());
+    for class in [JobClass::Long, JobClass::Short] {
+        if let Route::Distributed(Scope::ShortReserved) | Route::Central(Scope::ShortReserved) =
+            scheduler.route(class)
+        {
+            assert!(
+                partition.short_count() > 0,
+                "route targets the short partition but none is reserved"
+            );
+        }
+    }
+    let speeds = cfg
+        .speeds
+        .resolve(cfg.workers)
+        .unwrap_or_else(|| vec![1.0; cfg.workers]);
+
+    // Frozen stream order: workers first, then distributed schedulers.
+    let mut root = SimRng::seed_from_u64(cfg.seed);
+    let workers: Vec<Worker> = (0..cfg.workers)
+        .map(|i| {
+            Worker::new(
+                i,
+                Arc::clone(scheduler),
+                partition,
+                cfg.dist_schedulers,
+                speeds[i],
+                root.split(),
+            )
+        })
+        .collect();
+    let dists: Vec<DistScheduler> = (0..cfg.dist_schedulers)
+        .map(|_| DistScheduler::new(Arc::clone(scheduler), cfg.workers, root.split()))
+        .collect();
+
+    // The same central-scope rules the simulation driver enforces: both
+    // central routes must agree on a scope, and the scope must be
+    // non-empty — fail at construction, not with an opaque heap panic on
+    // the first submission.
+    let long_route = scheduler.route(JobClass::Long);
+    let short_route = scheduler.route(JobClass::Short);
+    let central_scope = match (long_route, short_route) {
+        (Route::Central(a), Route::Central(b)) => {
+            assert_eq!(a, b, "central routes must share a scope");
+            Some(a)
+        }
+        (Route::Central(a), _) => Some(a),
+        (_, Route::Central(b)) => Some(b),
+        _ => None,
+    };
+    let central = central_scope.map(|scope| {
+        let len = match scope {
+            Scope::Whole => partition.total(),
+            Scope::General => partition.general_count(),
+            Scope::ShortReserved => {
+                unreachable!("central routes never target the short partition")
+            }
+        };
+        assert!(len > 0, "centralized route over an empty scope");
+        CentralDaemon::new(len)
+    });
+
+    let classes: Vec<JobClass> = trace
+        .jobs()
+        .iter()
+        .map(|job| cfg.cutoff.classify(job.mean_task_duration()))
+        .collect();
+    let central_route = classes
+        .iter()
+        .map(|&class| matches!(scheduler.route(class), Route::Central(_)))
+        .collect();
+
+    ClusterSetup {
+        workers,
+        dists,
+        central,
+        classes,
+        central_route,
+    }
+}
+
+/// The merged, time-sorted feed timeline: job submissions and scripted
+/// dynamics events, stable within equal timestamps (submissions keep
+/// trace order, dynamics keep script order).
+pub(crate) fn feed_timeline(trace: &Trace, dynamics: &DynamicsScript) -> Vec<(SimTime, FeedItem)> {
+    let mut timeline: Vec<(SimTime, FeedItem)> = trace
+        .jobs()
+        .iter()
+        .map(|job| (job.submission, FeedItem::Submit(job.id.0)))
+        .chain(
+            dynamics
+                .events()
+                .iter()
+                .map(|ev| (ev.at, FeedItem::Node(ev.change))),
+        )
+        .collect();
+    timeline.sort_by_key(|&(at, _)| at);
+    timeline
+}
+
+/// Runs `trace` under `scheduler` on a freshly built prototype cluster
+/// and reports per-job runtimes.
 ///
-/// Blocks until every job completes (the trace's submission times are
-/// interpreted as wall-clock offsets from run start, so total wall time is
-/// roughly the trace span plus drain).
+/// In [`ExecutionMode::RealTime`] this blocks for roughly the trace span
+/// plus drain of wall time; in [`ExecutionMode::Virtual`] it returns as
+/// fast as the messages can be processed.
 ///
 /// # Panics
 ///
-/// Panics if the cluster stops making progress (no completion for 60 s),
-/// which indicates a protocol-liveness bug.
-pub fn run_prototype(trace: &Trace, cfg: &ProtoConfig) -> ProtoReport {
-    assert!(cfg.workers > 0 && cfg.dist_schedulers > 0);
-    let general_count = match cfg.mode {
-        ProtoMode::Sparrow => cfg.workers,
-        _ => cfg.workers - (cfg.workers as f64 * cfg.short_partition_fraction).round() as usize,
+/// Panics if the cluster stops making progress (no completion for 60
+/// wall-clock seconds in real-time mode; an empty or sample-only event
+/// queue in virtual mode), which indicates a protocol-liveness bug. Also
+/// panics on configuration inconsistencies (empty cluster, a
+/// short-partition route with no reserved servers, a dynamics script
+/// addressing servers beyond the cluster).
+pub fn run_prototype(
+    trace: &Trace,
+    scheduler: Arc<dyn Scheduler>,
+    cfg: &ProtoConfig,
+) -> ProtoReport {
+    let setup = build_cluster(trace, &scheduler, cfg);
+    match cfg.mode {
+        ExecutionMode::Virtual { message_delay } => run_virtual(trace, setup, cfg, message_delay),
+        ExecutionMode::RealTime => run_threaded(trace, setup, cfg),
     }
-    .max(1);
+}
+
+/// Shared routing table handed to every thread of the real-time runtime.
+#[derive(Clone)]
+pub(crate) struct Topology {
+    workers: Arc<Vec<Sender<WorkerMsg>>>,
+    dscheds: Arc<Vec<Sender<DistMsg>>>,
+    central: Option<Sender<CentralMsg>>,
+    done: Sender<(JobId, Instant)>,
+    running: Arc<AtomicI64>,
+    /// Usable capacity: in-service workers + down workers draining a
+    /// running task (the simulator's utilization denominator).
+    capacity: Arc<AtomicI64>,
+}
+
+/// [`Net`] over mpsc channels and the wall clock. `deadline` is the
+/// calling worker's task-finish deadline slot (always `None` for
+/// scheduler daemons, which never start tasks).
+struct ThreadNet<'a> {
+    topo: &'a Topology,
+    deadline: &'a mut Option<Instant>,
+}
+
+impl Net for ThreadNet<'_> {
+    fn send_worker(&mut self, to: usize, msg: WorkerMsg) {
+        let _ = self.topo.workers[to].send(msg);
+    }
+    fn send_dist(&mut self, to: usize, msg: DistMsg) {
+        let _ = self.topo.dscheds[to].send(msg);
+    }
+    fn send_central(&mut self, msg: CentralMsg) {
+        let central = self
+            .topo
+            .central
+            .as_ref()
+            .expect("policy has no central route");
+        let _ = central.send(msg);
+    }
+    fn schedule_finish(&mut self, _worker: usize, occupancy: SimDuration) {
+        debug_assert!(self.deadline.is_none(), "slot already has a deadline");
+        *self.deadline = Some(Instant::now() + Duration::from_micros(occupancy.as_micros()));
+    }
+    fn job_done(&mut self, job: JobId) {
+        let _ = self.topo.done.send((job, Instant::now()));
+    }
+    fn add_running(&mut self, delta: i64) {
+        self.topo.running.fetch_add(delta, Ordering::Relaxed);
+    }
+    fn add_capacity(&mut self, delta: i64) {
+        self.topo.capacity.fetch_add(delta, Ordering::Relaxed);
+    }
+}
+
+/// The worker thread body: service messages and execution deadlines until
+/// shutdown; returns the worker's counters.
+fn worker_thread(
+    mut worker: Worker,
+    rx: Receiver<WorkerMsg>,
+    topo: Topology,
+) -> crate::worker::WorkerStats {
+    let mut deadline: Option<Instant> = None;
+    loop {
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if now >= d {
+                deadline = None;
+                let mut net = ThreadNet {
+                    topo: &topo,
+                    deadline: &mut deadline,
+                };
+                worker.on_task_finish(&mut net);
+                continue;
+            }
+            match rx.recv_timeout(d - now) {
+                Ok(msg) => {
+                    let mut net = ThreadNet {
+                        topo: &topo,
+                        deadline: &mut deadline,
+                    };
+                    if worker.handle(msg, &mut net) {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match rx.recv() {
+                Ok(msg) => {
+                    let mut net = ThreadNet {
+                        topo: &topo,
+                        deadline: &mut deadline,
+                    };
+                    if worker.handle(msg, &mut net) {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    worker.stats
+}
+
+/// A scheduler-daemon thread body (shared by distributed and central
+/// daemons via the `handle` closure).
+fn sched_thread<M>(
+    rx: Receiver<M>,
+    topo: Topology,
+    mut handle: impl FnMut(M, &mut ThreadNet<'_>) -> bool,
+) {
+    let mut deadline = None;
+    while let Ok(msg) = rx.recv() {
+        let mut net = ThreadNet {
+            topo: &topo,
+            deadline: &mut deadline,
+        };
+        if handle(msg, &mut net) {
+            return;
+        }
+    }
+}
+
+fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoReport {
+    let ClusterSetup {
+        workers,
+        dists,
+        central,
+        classes,
+        central_route,
+    } = setup;
 
     // Channels first, so every thread starts with the full routing table.
     let (worker_txs, worker_rxs): (Vec<_>, Vec<_>) =
@@ -101,42 +476,39 @@ pub fn run_prototype(trace: &Trace, cfg: &ProtoConfig) -> ProtoReport {
     let (dsched_txs, dsched_rxs): (Vec<_>, Vec<_>) = (0..cfg.dist_schedulers)
         .map(|_| channel::<DistMsg>())
         .unzip();
-    let (central_tx, central_rx) = channel::<CentralMsg>();
+    let central_channel = central.as_ref().map(|_| channel::<CentralMsg>());
     let (done_tx, done_rx) = channel::<(JobId, Instant)>();
 
     let topo = Topology {
         workers: Arc::new(worker_txs),
         dscheds: Arc::new(dsched_txs),
-        central: central_tx,
-        running_count: Arc::new(AtomicUsize::new(0)),
+        central: central_channel.as_ref().map(|(tx, _)| tx.clone()),
+        done: done_tx,
+        running: Arc::new(AtomicI64::new(0)),
+        capacity: Arc::new(AtomicI64::new(cfg.workers as i64)),
     };
 
-    let steal_cap = match cfg.mode {
-        ProtoMode::Hawk => Some(cfg.steal_cap),
-        _ => None,
-    };
-
-    let mut handles = Vec::new();
-    for (i, rx) in worker_rxs.into_iter().enumerate() {
-        let worker = Worker::new(i, rx, topo.clone(), steal_cap, general_count, cfg.seed);
-        handles.push(thread::spawn(move || worker.run()));
+    let mut worker_handles = Vec::new();
+    for (worker, rx) in workers.into_iter().zip(worker_rxs) {
+        let topo = topo.clone();
+        worker_handles.push(thread::spawn(move || worker_thread(worker, rx, topo)));
     }
-    for (i, rx) in dsched_rxs.into_iter().enumerate() {
-        let sched = DistScheduler::new(
-            i,
-            rx,
-            topo.clone(),
-            done_tx.clone(),
-            cfg.probe_ratio,
-            (0, cfg.workers), // shorts probe the whole cluster (§3.5)
-            cfg.seed,
-        );
-        handles.push(thread::spawn(move || sched.run()));
+    let mut dist_handles = Vec::new();
+    for (mut dist, rx) in dists.into_iter().zip(dsched_rxs) {
+        let topo = topo.clone();
+        dist_handles.push(thread::spawn(move || {
+            sched_thread(rx, topo, |msg, net| dist.handle(msg, net));
+            dist.stats
+        }));
     }
-    {
-        let central = CentralScheduler::new(central_rx, topo.clone(), done_tx, general_count);
-        handles.push(thread::spawn(move || central.run()));
-    }
+    let central_handle = central.map(|mut daemon| {
+        let (_, rx) = central_channel.expect("central daemon has a channel");
+        let topo = topo.clone();
+        thread::spawn(move || {
+            sched_thread(rx, topo, |msg, net| daemon.handle(msg, net));
+            daemon.stats
+        })
+    });
 
     // Utilization sampler.
     let samples = Arc::new(Mutex::new(Vec::new()));
@@ -144,60 +516,78 @@ pub fn run_prototype(trace: &Trace, cfg: &ProtoConfig) -> ProtoReport {
     let sampler = {
         let samples = Arc::clone(&samples);
         let stop = Arc::clone(&stop);
-        let running = Arc::clone(&topo.running_count);
-        let interval = cfg.util_interval;
-        let workers = cfg.workers as f64;
+        let running = Arc::clone(&topo.running);
+        let capacity = Arc::clone(&topo.capacity);
+        let interval = Duration::from_micros(cfg.util_interval.as_micros());
         thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 thread::sleep(interval);
-                let u = running.load(Ordering::Relaxed) as f64 / workers;
+                let usable = capacity.load(Ordering::Relaxed).max(1) as f64;
+                let u = running.load(Ordering::Relaxed).max(0) as f64 / usable;
                 samples.lock().expect("sampler lock").push(u);
             }
         })
     };
 
-    // Feed the trace on the wall clock.
+    // Feed the merged submission/dynamics timeline on the wall clock,
+    // draining completions as they arrive so the feeder can stop early:
+    // a dynamics script outlasting the workload must not keep the run
+    // alive after every job has finished (remaining node events are
+    // moot by then).
     let start = Instant::now();
     let mut submit_instants = vec![start; trace.len()];
-    let mut classes = vec![JobClass::Short; trace.len()];
-    for job in trace.jobs() {
-        let target = start + Duration::from_micros(job.submission.as_micros());
-        let now = Instant::now();
-        if target > now {
-            thread::sleep(target - now);
+    let mut completions = vec![None; trace.len()];
+    let mut received = 0usize;
+    let drain_done = |completions: &mut Vec<Option<Instant>>, received: &mut usize| {
+        while let Ok((job, at)) = done_rx.try_recv() {
+            completions[job.index()] = Some(at);
+            *received += 1;
         }
-        let class = cfg.cutoff.classify(job.mean_task_duration());
-        classes[job.id.index()] = class;
-        let tasks: Vec<Duration> = job
-            .tasks
-            .iter()
-            .map(|d| Duration::from_micros(d.as_micros()))
-            .collect();
-        let estimate_us = job.mean_task_duration().as_micros();
-        submit_instants[job.id.index()] = Instant::now();
-        let central_route =
-            matches!(cfg.mode, ProtoMode::Hawk | ProtoMode::HawkNoSteal) && class == JobClass::Long;
-        if central_route {
-            let _ = topo.central.send(CentralMsg::Submit {
-                job: job.id,
-                tasks,
-                estimate_us,
-                class,
-            });
-        } else {
-            let sched = job.id.index() % cfg.dist_schedulers;
-            let _ = topo.dscheds[sched].send(DistMsg::Submit {
-                job: job.id,
-                tasks,
-                estimate_us,
-                class,
-            });
+    };
+    'feed: for (at, item) in feed_timeline(trace, &cfg.dynamics) {
+        let target = start + Duration::from_micros(at.as_micros());
+        // Sleep in bounded slices, polling completions between them, so
+        // long quiet spans in the timeline notice an early drain.
+        loop {
+            drain_done(&mut completions, &mut received);
+            if received == trace.len() {
+                break 'feed;
+            }
+            let now = Instant::now();
+            if target <= now {
+                break;
+            }
+            thread::sleep((target - now).min(Duration::from_millis(100)));
+        }
+        match item {
+            FeedItem::Submit(index) => {
+                submit_instants[index as usize] = Instant::now();
+                match submission_for(trace, index, &classes, &central_route, cfg.dist_schedulers) {
+                    Submission::Central(msg) => {
+                        let central = topo.central.as_ref().expect("central route spawned daemon");
+                        let _ = central.send(msg);
+                    }
+                    Submission::Dist(sched, msg) => {
+                        let _ = topo.dscheds[sched].send(msg);
+                    }
+                }
+            }
+            FeedItem::Node(change) => {
+                let server = match change {
+                    NodeChange::Down(s) | NodeChange::Up(s) => s as usize,
+                };
+                let _ = topo.workers[server].send(WorkerMsg::Node(change));
+                for tx in topo.dscheds.iter() {
+                    let _ = tx.send(DistMsg::Node(change));
+                }
+                if let Some(central) = &topo.central {
+                    let _ = central.send(CentralMsg::Node(change));
+                }
+            }
         }
     }
 
-    // Collect completions.
-    let mut completions = vec![None; trace.len()];
-    let mut received = 0usize;
+    // Collect the remaining completions.
     while received < trace.len() {
         let (job, at) = done_rx
             .recv_timeout(Duration::from_secs(60))
@@ -206,7 +596,7 @@ pub fn run_prototype(trace: &Trace, cfg: &ProtoConfig) -> ProtoReport {
         received += 1;
     }
 
-    // Tear down.
+    // Tear down and fold the counters.
     stop.store(true, Ordering::Relaxed);
     for tx in topo.workers.iter() {
         let _ = tx.send(WorkerMsg::Shutdown);
@@ -214,10 +604,21 @@ pub fn run_prototype(trace: &Trace, cfg: &ProtoConfig) -> ProtoReport {
     for tx in topo.dscheds.iter() {
         let _ = tx.send(DistMsg::Shutdown);
     }
-    let _ = topo.central.send(CentralMsg::Shutdown);
-    for handle in handles {
-        let _ = handle.join();
+    if let Some(central) = &topo.central {
+        let _ = central.send(CentralMsg::Shutdown);
     }
+    let worker_stats: Vec<WorkerStats> = worker_handles
+        .into_iter()
+        .map(|handle| handle.join().expect("worker thread"))
+        .collect();
+    let mut sched_stats: Vec<SchedStats> = dist_handles
+        .into_iter()
+        .map(|handle| handle.join().expect("dist scheduler thread"))
+        .collect();
+    if let Some(handle) = central_handle {
+        sched_stats.push(handle.join().expect("central scheduler thread"));
+    }
+    let totals = fold_stats(worker_stats, sched_stats);
     let _ = sampler.join();
 
     let jobs = trace
@@ -229,22 +630,28 @@ pub fn run_prototype(trace: &Trace, cfg: &ProtoConfig) -> ProtoReport {
             ProtoJobResult {
                 job: job.id,
                 class: classes[i],
+                num_tasks: job.num_tasks(),
                 submit_offset: submit_instants[i] - start,
                 runtime: done.saturating_duration_since(submit_instants[i]),
             }
         })
         .collect();
-    let samples = samples.lock().expect("sampler lock").clone();
+    let utilization_samples = samples.lock().expect("sampler lock").clone();
     ProtoReport {
         jobs,
-        utilization_samples: samples,
+        utilization_samples,
+        steals: totals.steals,
+        steal_attempts: totals.steal_attempts,
+        migrations: totals.migrations,
+        abandons: totals.abandons,
+        messages: totals.messages,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hawk_simcore::{SimDuration, SimTime};
+    use hawk_core::scheduler::{Hawk, Sparrow};
     use hawk_workload::Job;
 
     /// A fast trace: durations in single-digit milliseconds.
@@ -262,85 +669,120 @@ mod tests {
         Trace::new(jobs).unwrap()
     }
 
-    fn fast_cfg(mode: ProtoMode) -> ProtoConfig {
+    fn fast_cfg(mode: ExecutionMode) -> ProtoConfig {
         ProtoConfig {
             workers: 8,
             dist_schedulers: 2,
-            mode,
             // 50 ms cutoff: tasks ≥ 50 ms are long.
             cutoff: Cutoff(SimDuration::from_millis(50)),
-            short_partition_fraction: 0.25,
-            util_interval: Duration::from_millis(5),
+            util_interval: SimDuration::from_millis(5),
+            mode,
             ..ProtoConfig::default()
         }
     }
 
+    fn virtual_mode() -> ExecutionMode {
+        ExecutionMode::Virtual {
+            message_delay: SimDuration::from_micros(500),
+        }
+    }
+
+    fn hawk() -> Arc<dyn Scheduler> {
+        Arc::new(Hawk::new(0.25))
+    }
+
     #[test]
-    fn hawk_mode_completes_all_jobs() {
+    fn hawk_completes_all_jobs_in_both_modes() {
         let trace = fast_trace(vec![
             (0, vec![100, 100]), // long
             (1, vec![5, 5, 5]),  // short
             (2, vec![120]),      // long
             (3, vec![2; 6]),     // short
         ]);
-        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Hawk));
-        assert_eq!(report.jobs.len(), 4);
-        assert_eq!(report.jobs[0].class, JobClass::Long);
-        assert_eq!(report.jobs[1].class, JobClass::Short);
-        for j in &report.jobs {
-            // Every runtime at least covers the longest task.
-            assert!(j.runtime >= Duration::from_millis(1));
+        for mode in [virtual_mode(), ExecutionMode::RealTime] {
+            let report = run_prototype(&trace, hawk(), &fast_cfg(mode));
+            assert_eq!(report.jobs.len(), 4);
+            assert_eq!(report.jobs[0].class, JobClass::Long);
+            assert_eq!(report.jobs[1].class, JobClass::Short);
+            for j in &report.jobs {
+                assert!(j.runtime >= Duration::from_millis(1), "{mode:?}");
+            }
         }
     }
 
     #[test]
-    fn sparrow_mode_completes_all_jobs() {
+    fn sparrow_needs_no_central_daemon() {
         let trace = fast_trace(vec![(0, vec![60, 60]), (2, vec![3, 3, 3, 3])]);
-        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Sparrow));
-        assert_eq!(report.jobs.len(), 2);
+        for mode in [virtual_mode(), ExecutionMode::RealTime] {
+            let report = run_prototype(&trace, Arc::new(Sparrow::new()), &fast_cfg(mode));
+            assert_eq!(report.jobs.len(), 2, "{mode:?}");
+        }
     }
 
     #[test]
-    fn no_steal_mode_completes_all_jobs() {
-        let trace = fast_trace(vec![(0, vec![80; 4]), (1, vec![4; 4])]);
-        let report = run_prototype(&trace, &fast_cfg(ProtoMode::HawkNoSteal));
-        assert_eq!(report.jobs.len(), 2);
+    fn virtual_runs_are_byte_identical() {
+        let trace = fast_trace(vec![
+            (0, vec![300; 5]),
+            (1, vec![4, 4]),
+            (2, vec![2; 6]),
+            (5, vec![250, 250]),
+            (9, vec![3, 3, 3]),
+        ]);
+        let cfg = fast_cfg(virtual_mode());
+        let a = run_prototype(&trace, hawk(), &cfg);
+        let b = run_prototype(&trace, hawk(), &cfg);
+        assert_eq!(a, b, "same seed must replay byte-identically");
+        let c = run_prototype(
+            &trace,
+            hawk(),
+            &ProtoConfig {
+                seed: cfg.seed + 1,
+                ..cfg
+            },
+        );
+        assert_ne!(a.jobs, c.jobs, "a different seed must actually perturb");
     }
 
     #[test]
-    fn runtimes_reflect_task_durations() {
-        // A single 100 ms task on an idle cluster should take ≈100 ms (plus
-        // small messaging overhead, well under 50 ms on any machine).
+    fn virtual_runtimes_reflect_task_durations() {
+        // One 100 ms task (long under the 50 ms cutoff, so centrally
+        // placed): runtime is the placement hop (0.5 ms) + execution +
+        // the completion-report hop (0.5 ms) — exact on the virtual
+        // clock. Unlike the simulator, the prototype timestamps a
+        // completion when the owning scheduler *learns* of it, as the
+        // paper's deployment does.
         let trace = fast_trace(vec![(0, vec![100])]);
-        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Hawk));
+        let report = run_prototype(&trace, hawk(), &fast_cfg(virtual_mode()));
+        let rt = report.jobs[0].runtime;
+        assert_eq!(rt, Duration::from_micros(100_000 + 1_000));
+    }
+
+    #[test]
+    fn real_time_runtimes_reflect_task_durations() {
+        // The same check on the wall clock, with generous slack.
+        let trace = fast_trace(vec![(0, vec![100])]);
+        let report = run_prototype(&trace, hawk(), &fast_cfg(ExecutionMode::RealTime));
         let rt = report.jobs[0].runtime;
         assert!(rt >= Duration::from_millis(100), "runtime {rt:?}");
         assert!(rt < Duration::from_millis(500), "runtime {rt:?}");
     }
 
     #[test]
-    fn utilization_sampler_records() {
-        let trace = fast_trace(vec![(0, vec![50; 8])]);
-        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Hawk));
-        assert!(!report.utilization_samples.is_empty());
-        assert!(report.max_utilization().unwrap() > 0.0);
-    }
-
-    #[test]
-    fn stealing_rescues_blocked_shorts_in_real_time() {
+    fn stealing_rescues_blocked_shorts() {
         // 8 workers, 25 % short partition (6 general + 2 reserved). A
         // 6-task 600 ms long job fills the general partition; five 2-task
-        // 5 ms short jobs then probe the whole cluster. Without stealing,
-        // shorts whose probes all landed on general workers wait out the
-        // long tasks; with stealing the reserved workers rescue them.
+        // 5 ms short jobs then probe the whole cluster. Shorts whose
+        // probes land behind long tasks wait them out without stealing;
+        // with stealing the reserved workers rescue them.
         let mut jobs = vec![(0u64, vec![600u64; 6])];
         for i in 0..5 {
             jobs.push((20 + i, vec![5u64, 5]));
         }
         let trace = fast_trace(jobs);
-        let steal = run_prototype(&trace, &fast_cfg(ProtoMode::Hawk));
-        let no_steal = run_prototype(&trace, &fast_cfg(ProtoMode::HawkNoSteal));
-        let worst_short = |r: &crate::report::ProtoReport| {
+        let cfg = fast_cfg(virtual_mode());
+        let steal = run_prototype(&trace, hawk(), &cfg);
+        let no_steal = run_prototype(&trace, Arc::new(Hawk::new(0.25).without_stealing()), &cfg);
+        let worst_short = |r: &ProtoReport| {
             r.jobs[1..]
                 .iter()
                 .map(|j| j.runtime.as_secs_f64())
@@ -348,8 +790,6 @@ mod tests {
         };
         let blocked = worst_short(&no_steal);
         let rescued = worst_short(&steal);
-        // Same seed → same probe placement; at least one short job blocks
-        // behind a 600 ms task without stealing.
         assert!(
             blocked > 0.3,
             "expected blocking without stealing, worst short {blocked}s"
@@ -358,24 +798,212 @@ mod tests {
             rescued < blocked,
             "stealing did not help: {rescued}s vs {blocked}s"
         );
+        assert!(steal.steals > 0);
+        assert_eq!(no_steal.steals, 0);
+    }
+
+    #[test]
+    fn utilization_sampler_records_in_both_modes() {
+        let trace = fast_trace(vec![(0, vec![50; 8])]);
+        for mode in [virtual_mode(), ExecutionMode::RealTime] {
+            let report = run_prototype(&trace, hawk(), &fast_cfg(mode));
+            assert!(!report.utilization_samples.is_empty(), "{mode:?}");
+            assert!(report.max_utilization().unwrap() > 0.0, "{mode:?}");
+        }
     }
 
     #[test]
     fn report_is_indexed_by_job_id() {
         let trace = fast_trace(vec![(0, vec![10]), (1, vec![10]), (2, vec![10])]);
-        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Hawk));
+        let report = run_prototype(&trace, hawk(), &fast_cfg(virtual_mode()));
         for (i, j) in report.jobs.iter().enumerate() {
             assert_eq!(j.job, JobId(i as u32));
+            assert_eq!(j.num_tasks, 1);
         }
     }
 
     #[test]
     fn submissions_respect_trace_offsets() {
-        // Jobs 0 and 1 are 150 ms apart; measured submit offsets must be
-        // at least that far apart (sleep never wakes early).
         let trace = fast_trace(vec![(0, vec![5]), (150, vec![5])]);
-        let report = run_prototype(&trace, &fast_cfg(ProtoMode::Sparrow));
+        let report = run_prototype(
+            &trace,
+            Arc::new(Sparrow::new()),
+            &fast_cfg(ExecutionMode::RealTime),
+        );
         let gap = report.jobs[1].submit_offset - report.jobs[0].submit_offset;
         assert!(gap >= Duration::from_millis(145), "gap {gap:?}");
+    }
+
+    #[test]
+    fn node_churn_migrates_and_completes() {
+        // Saturate 2 of 4 workers with long work, fail one mid-run: its
+        // queue migrates and every job still completes — in both modes.
+        let trace = fast_trace(vec![
+            (0, vec![400, 400]),   // long pair
+            (1, vec![300, 300]),   // long pair queued behind
+            (2, vec![5, 5, 5, 5]), // shorts
+        ]);
+        let dynamics = DynamicsScript::none()
+            .down_at(SimTime::from_micros(50_000), 1)
+            .up_at(SimTime::from_micros(700_000), 1);
+        for mode in [virtual_mode(), ExecutionMode::RealTime] {
+            let cfg = ProtoConfig {
+                workers: 4,
+                dynamics: dynamics.clone(),
+                ..fast_cfg(mode)
+            };
+            let report = run_prototype(&trace, hawk(), &cfg);
+            assert_eq!(report.jobs.len(), 3, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_speeds_stretch_virtual_runtimes() {
+        // A half-speed single worker doubles the occupancy, exactly.
+        let trace = fast_trace(vec![(0, vec![100])]);
+        let cfg = ProtoConfig {
+            workers: 1,
+            dist_schedulers: 1,
+            speeds: SpeedSpec::PerServer(vec![0.5]),
+            ..fast_cfg(virtual_mode())
+        };
+        let report = run_prototype(&trace, Arc::new(Sparrow::new()), &cfg);
+        // Probe (0.5) + bind round trip (1.0) + doubled occupancy +
+        // completion report (0.5).
+        assert_eq!(
+            report.jobs[0].runtime,
+            Duration::from_micros(200_000 + 2_000)
+        );
+    }
+
+    #[test]
+    fn virtual_mode_counts_messages_and_attempts() {
+        let trace = fast_trace(vec![(0, vec![100, 100]), (1, vec![2, 2])]);
+        let report = run_prototype(&trace, hawk(), &fast_cfg(virtual_mode()));
+        // 2 submits, probes, binds, finishes — far more than 10 messages.
+        assert!(report.messages >= 10, "messages {}", report.messages);
+    }
+
+    #[test]
+    fn virtual_quiet_spans_outlast_the_sampler() {
+        // A single 200 s task with a 1 ms sampling interval: 200,000
+        // consecutive sampler-only deliveries while the task runs. The
+        // liveness check must key on queued work (the pending Finish
+        // event), not on sample counts, so this completes instead of
+        // panicking.
+        let trace = fast_trace(vec![(0, vec![200_000])]);
+        let cfg = ProtoConfig {
+            workers: 2,
+            dist_schedulers: 1,
+            util_interval: SimDuration::from_micros(1_000),
+            ..fast_cfg(virtual_mode())
+        };
+        let report = run_prototype(&trace, hawk(), &cfg);
+        assert_eq!(report.jobs.len(), 1);
+        assert!(report.utilization_samples.len() > 150_000);
+    }
+
+    #[test]
+    fn real_time_feeder_stops_when_the_workload_drains() {
+        // All jobs finish within ~100 ms, but the dynamics script runs
+        // for another minute. The feeder must notice the drain and
+        // return promptly instead of sleeping out the script.
+        let trace = fast_trace(vec![(0, vec![5, 5]), (1, vec![3])]);
+        let mut dynamics = DynamicsScript::none();
+        for k in 0..30 {
+            let at = SimTime::from_secs(2 + 2 * k);
+            dynamics = dynamics
+                .down_at(at, 0)
+                .up_at(at + SimDuration::from_secs(1), 0);
+        }
+        let cfg = ProtoConfig {
+            workers: 4,
+            dynamics,
+            ..fast_cfg(ExecutionMode::RealTime)
+        };
+        let started = Instant::now();
+        let report = run_prototype(&trace, hawk(), &cfg);
+        assert_eq!(report.jobs.len(), 2);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "feeder slept out a {:?} dynamics script after the drain",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn utilization_denominator_matches_the_simulators_under_dynamics() {
+        use hawk_core::scheduler::Centralized;
+        // Two workers, one 200 ms centrally-placed task (deterministically
+        // on worker 0: the waiting-time heap breaks ties by index). Worker
+        // 1 — idle — fails at 20 ms. Usable capacity drops to 1, so
+        // samples during execution must read 1.0, not 0.5: the same
+        // `live + draining` denominator `Cluster::utilization` uses.
+        let trace = fast_trace(vec![(0, vec![200])]);
+        let cfg = ProtoConfig {
+            workers: 2,
+            dist_schedulers: 1,
+            util_interval: SimDuration::from_millis(10),
+            dynamics: DynamicsScript::none().down_at(SimTime::from_micros(20_000), 1),
+            ..fast_cfg(virtual_mode())
+        };
+        let report = run_prototype(&trace, Arc::new(Centralized::new()), &cfg);
+        assert_eq!(
+            report.max_utilization(),
+            Some(1.0),
+            "a down idle worker must leave the usable-capacity denominator"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "central routes must share a scope")]
+    fn mismatched_central_scopes_rejected_like_the_driver() {
+        struct MismatchedCentral;
+        impl Scheduler for MismatchedCentral {
+            fn name(&self) -> String {
+                "mismatched".into()
+            }
+            fn route(&self, class: JobClass) -> Route {
+                match class {
+                    JobClass::Long => Route::Central(Scope::General),
+                    JobClass::Short => Route::Central(Scope::Whole),
+                }
+            }
+            fn probe_targets(
+                &self,
+                _view: &hawk_core::PlacementView<'_>,
+                _tasks: usize,
+                _rng: &mut SimRng,
+            ) -> Vec<hawk_cluster::ServerId> {
+                unreachable!("fully central policy")
+            }
+        }
+        let trace = fast_trace(vec![(0, vec![5])]);
+        let _ = run_prototype(
+            &trace,
+            Arc::new(MismatchedCentral),
+            &fast_cfg(virtual_mode()),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "centralized route over an empty scope")]
+    fn empty_central_scope_rejected_like_the_driver() {
+        // Everything reserved for shorts leaves the general partition —
+        // Hawk's central scope — empty.
+        let trace = fast_trace(vec![(0, vec![5])]);
+        let _ = run_prototype(&trace, Arc::new(Hawk::new(1.0)), &fast_cfg(virtual_mode()));
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamics script touches worker")]
+    fn dynamics_beyond_cluster_rejected() {
+        let trace = fast_trace(vec![(0, vec![5])]);
+        let cfg = ProtoConfig {
+            workers: 4,
+            dynamics: DynamicsScript::none().down_at(SimTime::from_secs(1), 9),
+            ..fast_cfg(virtual_mode())
+        };
+        let _ = run_prototype(&trace, hawk(), &cfg);
     }
 }

@@ -1,210 +1,562 @@
-//! Distributed and centralized scheduler threads.
+//! Distributed and centralized scheduler daemons.
+//!
+//! Both daemons delegate every *policy* decision to the shared
+//! abstractions from `hawk-core`:
+//!
+//! * A [`DistScheduler`] owns the jobs submitted to it (each job
+//!   conceptually has its own scheduler, §3.5) and places probes by
+//!   calling [`Scheduler::probe_targets_into`] over a [`PlacementView`] of
+//!   its **shadow cluster** — a membership-only
+//!   [`hawk_cluster::Cluster`] mirror kept current by scenario dynamics
+//!   notifications. On a static cluster the shadow is the identity; under
+//!   churn it is exactly the live-server view the simulator's driver
+//!   exposes, so failed servers are never probed. (Queue depths in the
+//!   shadow are zero: a real distributed scheduler has no global queue
+//!   state — load-aware policies see a uniform view, which is the honest
+//!   distributed-systems answer.)
+//! * The [`CentralDaemon`] *is* the simulator's §3.7 waiting-time
+//!   scheduler: it wraps [`hawk_core::CentralScheduler`] — the identical
+//!   placement, completion, failure-penalty and migration bookkeeping —
+//!   and adds only per-job completion counting and message plumbing.
 
 use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
 
-use hawk_simcore::{IndexedMinHeap, SimRng};
+use hawk_cluster::{Cluster, QueueEntry, ServerId, TaskSpec};
+use hawk_core::{CentralScheduler, PlacementView, Route, Scheduler, Scope};
+use hawk_simcore::{SimDuration, SimRng};
+use hawk_workload::scenario::NodeChange;
 use hawk_workload::{JobClass, JobId};
-use std::sync::mpsc::{Receiver, Sender};
 
-use crate::msg::{CentralMsg, DistMsg, ProtoTask, TaskOrigin, WorkerMsg};
-use crate::runtime::Topology;
+use crate::msg::{CentralMsg, DistMsg, Net, WorkerMsg};
 
-/// Per-job state held by a distributed scheduler.
+/// Per-job late-binding state held by a distributed scheduler.
 struct DistJob {
-    tasks: Vec<Duration>,
-    estimate_us: u64,
+    tasks: Vec<SimDuration>,
+    estimate: SimDuration,
     class: JobClass,
     next_task: usize,
     remaining: usize,
 }
 
-/// A distributed scheduler thread: Sparrow batch probing with late binding
-/// (§3.5). Each instance owns the jobs submitted to it and answers task
-/// requests from workers whose probes reached their queue heads.
+/// Counters a scheduler daemon folds into the
+/// [`ProtoReport`](crate::ProtoReport).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SchedStats {
+    pub migrations: u64,
+    pub abandons: u64,
+    pub handled: u64,
+}
+
+/// A distributed scheduler daemon: Sparrow batch probing with late
+/// binding (§3.5), probe placement via the shared [`Scheduler`] trait.
 pub(crate) struct DistScheduler {
-    index: usize,
-    rx: Receiver<DistMsg>,
-    topo: Topology,
+    scheduler: Arc<dyn Scheduler>,
+    /// Membership-only mirror of the cluster (see module docs).
+    shadow: Cluster,
     jobs: HashMap<JobId, DistJob>,
-    done_tx: Sender<(JobId, Instant)>,
-    probe_ratio: f64,
-    /// Contiguous probe scope `[start, start+len)`.
-    scope: (usize, usize),
     rng: SimRng,
+    probe_buf: Vec<ServerId>,
+    drain_scratch: Vec<QueueEntry>,
+    pub(crate) stats: SchedStats,
 }
 
 impl DistScheduler {
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn new(
-        index: usize,
-        rx: Receiver<DistMsg>,
-        topo: Topology,
-        done_tx: Sender<(JobId, Instant)>,
-        probe_ratio: f64,
-        scope: (usize, usize),
-        seed: u64,
-    ) -> Self {
+    pub(crate) fn new(scheduler: Arc<dyn Scheduler>, workers: usize, rng: SimRng) -> Self {
+        let shadow = Cluster::new(workers, scheduler.short_partition_fraction());
         DistScheduler {
-            index,
-            rx,
-            topo,
+            scheduler,
+            shadow,
             jobs: HashMap::new(),
-            done_tx,
-            probe_ratio,
-            scope,
-            rng: SimRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0xC2B2_AE35)),
+            rng,
+            probe_buf: Vec::new(),
+            drain_scratch: Vec::new(),
+            stats: SchedStats::default(),
         }
     }
 
-    pub(crate) fn run(mut self) {
-        while let Ok(msg) = self.rx.recv() {
-            match msg {
-                DistMsg::Submit {
-                    job,
-                    tasks,
-                    estimate_us,
-                    class,
-                } => self.submit(job, tasks, estimate_us, class),
-                DistMsg::TaskRequest { job, worker } => self.bind(job, worker),
-                DistMsg::TaskDone { job } => self.complete(job),
-                DistMsg::Shutdown => return,
+    /// The contiguous id range of `scope` on the shadow partition.
+    fn scope_range(&self, scope: Scope) -> (u32, usize) {
+        let p = self.shadow.partition();
+        match scope {
+            Scope::Whole => (0, p.total()),
+            Scope::General => (0, p.general_count()),
+            Scope::ShortReserved => (p.general_count() as u32, p.short_count()),
+        }
+    }
+
+    /// The scope `class` probes over under this policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy routes `class` centrally — such jobs are never
+    /// submitted to a distributed scheduler.
+    fn probe_scope(&self, class: JobClass) -> (u32, usize) {
+        match self.scheduler.route(class) {
+            Route::Distributed(scope) => self.scope_range(scope),
+            Route::Central(_) => unreachable!("probes imply a distributed route"),
+        }
+    }
+
+    /// Handles one message; returns `true` on shutdown.
+    pub(crate) fn handle(&mut self, msg: DistMsg, net: &mut impl Net) -> bool {
+        self.stats.handled += 1;
+        match msg {
+            DistMsg::Submit {
+                job,
+                tasks,
+                estimate,
+                class,
+            } => self.submit(job, tasks, estimate, class, net),
+            DistMsg::TaskRequest { job, worker } => self.bind(job, worker, net),
+            DistMsg::TaskDone { job } => self.complete(job, net),
+            DistMsg::ReProbe { job, class } => self.reprobe(job, class, net),
+            DistMsg::Bounce {
+                job,
+                class,
+                bounces,
+            } => {
+                // Forward the bounced probe to a fresh random live server
+                // of its scope, preserving the hop count.
+                let (start, len) = self.probe_scope(class);
+                let view = PlacementView::new(&self.shadow, start, len);
+                let target = view.random_server(&mut self.rng);
+                net.send_worker(
+                    target.index(),
+                    WorkerMsg::Probe {
+                        job,
+                        class,
+                        bounces,
+                    },
+                );
             }
+            DistMsg::Node(change) => self.on_node(change),
+            DistMsg::Shutdown => return true,
         }
+        false
     }
 
-    fn submit(&mut self, job: JobId, tasks: Vec<Duration>, estimate_us: u64, class: JobClass) {
+    fn submit(
+        &mut self,
+        job: JobId,
+        tasks: Vec<SimDuration>,
+        estimate: SimDuration,
+        class: JobClass,
+        net: &mut impl Net,
+    ) {
         let t = tasks.len();
         self.jobs.insert(
             job,
             DistJob {
                 tasks,
-                estimate_us,
+                estimate,
                 class,
                 next_task: 0,
                 remaining: t,
             },
         );
-        // ⌈ratio·t⌉ probes, distinct while the scope allows, topping up
-        // with repeats otherwise (scaled-down clusters only).
-        let probes = (self.probe_ratio * t as f64).ceil() as usize;
-        let (start, len) = self.scope;
-        let mut targets = Vec::with_capacity(probes);
-        for _ in 0..probes / len {
-            targets.extend(start..start + len);
+        // Probe placement is the policy's own hook — the same call the
+        // simulation driver makes on a job arrival.
+        let (start, len) = self.probe_scope(class);
+        let view = PlacementView::new(&self.shadow, start, len);
+        let mut probes = std::mem::take(&mut self.probe_buf);
+        self.scheduler
+            .probe_targets_into(&view, t, &mut self.rng, &mut probes);
+        for &server in &probes {
+            net.send_worker(
+                server.index(),
+                WorkerMsg::Probe {
+                    job,
+                    class,
+                    bounces: 0,
+                },
+            );
         }
-        targets.extend(
-            self.rng
-                .sample_distinct(len, probes % len)
-                .into_iter()
-                .map(|i| start + i),
-        );
-        for worker in targets {
-            let _ = self.topo.workers[worker].send(WorkerMsg::Probe {
-                job,
-                sched: self.index,
-                class,
-            });
-        }
+        self.probe_buf = probes;
     }
 
-    fn bind(&mut self, job: JobId, worker: usize) {
+    fn bind(&mut self, job: JobId, worker: usize, net: &mut impl Net) {
         let reply = match self.jobs.get_mut(&job) {
             Some(state) if state.next_task < state.tasks.len() => {
                 let duration = state.tasks[state.next_task];
                 state.next_task += 1;
-                Some(ProtoTask {
+                Some(TaskSpec {
                     job,
                     duration,
-                    estimate_us: state.estimate_us,
+                    estimate: state.estimate,
                     class: state.class,
-                    origin: TaskOrigin::Distributed { index: self.index },
                 })
             }
-            // All tasks given out (or unknown job after completion): cancel.
+            // All tasks given out (or unknown job after completion):
+            // cancel (§3.5).
             _ => None,
         };
-        let _ = self.topo.workers[worker].send(WorkerMsg::BindReply { task: reply });
+        net.send_worker(worker, WorkerMsg::BindReply { task: reply });
     }
 
-    fn complete(&mut self, job: JobId) {
+    fn complete(&mut self, job: JobId, net: &mut impl Net) {
         let state = self.jobs.get_mut(&job).expect("completion for known job");
         state.remaining -= 1;
         if state.remaining == 0 {
-            let _ = self.done_tx.send((job, Instant::now()));
-            // Keep the entry so late probes still get cancels; mark drained.
+            net.job_done(job);
+            // Keep the entry so late probes still get cancels; mark
+            // drained.
             state.next_task = state.tasks.len();
         }
     }
+
+    /// A displaced probe: re-probe a random live server if the job still
+    /// has unlaunched tasks (it may be needed for liveness), abandon it
+    /// otherwise — a bind would only have produced a cancel. Mirrors the
+    /// driver's `relocate`.
+    fn reprobe(&mut self, job: JobId, class: JobClass, net: &mut impl Net) {
+        let alive = self
+            .jobs
+            .get(&job)
+            .is_some_and(|state| state.next_task < state.tasks.len());
+        if !alive {
+            self.stats.abandons += 1;
+            return;
+        }
+        self.stats.migrations += 1;
+        let (start, len) = self.probe_scope(class);
+        let view = PlacementView::new(&self.shadow, start, len);
+        let target = view.random_server(&mut self.rng);
+        net.send_worker(
+            target.index(),
+            WorkerMsg::Probe {
+                job,
+                class,
+                bounces: 0,
+            },
+        );
+    }
+
+    fn on_node(&mut self, change: NodeChange) {
+        match change {
+            NodeChange::Down(server) => {
+                // The shadow holds no queue state; the drain is empty.
+                self.shadow
+                    .fail_server(ServerId(server), &mut self.drain_scratch);
+                debug_assert!(self.drain_scratch.is_empty());
+            }
+            NodeChange::Up(server) => {
+                self.shadow.revive_server(ServerId(server));
+            }
+        }
+    }
 }
 
-/// The centralized scheduler thread: the §3.7 waiting-time algorithm over
-/// the general partition.
-pub(crate) struct CentralScheduler {
-    rx: Receiver<CentralMsg>,
-    topo: Topology,
-    done_tx: Sender<(JobId, Instant)>,
-    /// Estimated unfinished work per general-partition worker, µs.
-    work: IndexedMinHeap,
+/// The centralized scheduler daemon: the shared §3.7 waiting-time
+/// algorithm ([`hawk_core::CentralScheduler`]) behind a mailbox.
+pub(crate) struct CentralDaemon {
+    inner: CentralScheduler,
     remaining: HashMap<JobId, usize>,
+    place_buf: Vec<ServerId>,
+    pub(crate) stats: SchedStats,
 }
 
-impl CentralScheduler {
-    pub(crate) fn new(
-        rx: Receiver<CentralMsg>,
-        topo: Topology,
-        done_tx: Sender<(JobId, Instant)>,
-        general_count: usize,
-    ) -> Self {
-        CentralScheduler {
-            rx,
-            topo,
-            done_tx,
-            work: IndexedMinHeap::new(general_count.max(1), 0),
+impl CentralDaemon {
+    pub(crate) fn new(scope: usize) -> Self {
+        CentralDaemon {
+            inner: CentralScheduler::new(scope),
             remaining: HashMap::new(),
+            place_buf: Vec::new(),
+            stats: SchedStats::default(),
         }
     }
 
-    pub(crate) fn run(mut self) {
-        while let Ok(msg) = self.rx.recv() {
-            match msg {
-                CentralMsg::Submit {
-                    job,
-                    tasks,
-                    estimate_us,
-                    class,
-                } => {
-                    self.remaining.insert(job, tasks.len());
-                    for duration in tasks {
-                        let worker = self.work.min_id();
-                        self.work.add(worker, estimate_us);
-                        let _ = self.topo.workers[worker].send(WorkerMsg::Assign(ProtoTask {
+    /// Handles one message; returns `true` on shutdown.
+    pub(crate) fn handle(&mut self, msg: CentralMsg, net: &mut impl Net) -> bool {
+        self.stats.handled += 1;
+        match msg {
+            CentralMsg::Submit {
+                job,
+                tasks,
+                estimate,
+                class,
+            } => {
+                self.remaining.insert(job, tasks.len());
+                let mut placement = std::mem::take(&mut self.place_buf);
+                self.inner
+                    .assign_job_into(tasks.len(), estimate, &mut placement);
+                for (i, &server) in placement.iter().enumerate() {
+                    net.send_worker(
+                        server.index(),
+                        WorkerMsg::Assign(TaskSpec {
                             job,
-                            duration,
-                            estimate_us,
+                            duration: tasks[i],
+                            estimate,
                             class,
-                            origin: TaskOrigin::Central,
-                        }));
-                    }
+                        }),
+                    );
                 }
-                CentralMsg::TaskDone {
-                    job,
-                    worker,
-                    estimate_us,
-                } => {
-                    self.work.sub(worker, estimate_us);
-                    let left = self
-                        .remaining
-                        .get_mut(&job)
-                        .expect("completion for known job");
-                    *left -= 1;
-                    if *left == 0 {
-                        self.remaining.remove(&job);
-                        let _ = self.done_tx.send((job, Instant::now()));
-                    }
-                }
-                CentralMsg::Shutdown => return,
+                self.place_buf = placement;
             }
+            CentralMsg::TaskDone {
+                job,
+                worker,
+                estimate,
+            } => {
+                self.inner
+                    .on_task_complete(ServerId(worker as u32), estimate);
+                let left = self
+                    .remaining
+                    .get_mut(&job)
+                    .expect("completion for known job");
+                *left -= 1;
+                if *left == 0 {
+                    self.remaining.remove(&job);
+                    net.job_done(job);
+                }
+            }
+            CentralMsg::Relocate { from, spec } => {
+                // The driver's task-migration policy: the live server the
+                // §3.7 queue would pick next, bookkeeping following the
+                // task.
+                let target = self.inner.least_loaded();
+                self.inner
+                    .reassign(ServerId(from as u32), target, spec.estimate);
+                self.stats.migrations += 1;
+                net.send_worker(target.index(), WorkerMsg::Assign(spec));
+            }
+            CentralMsg::Node(change) => match change {
+                NodeChange::Down(server) if (server as usize) < self.inner.scope() => {
+                    self.inner.fail(ServerId(server));
+                }
+                NodeChange::Up(server) if (server as usize) < self.inner.scope() => {
+                    self.inner.revive(ServerId(server));
+                }
+                _ => {}
+            },
+            CentralMsg::Shutdown => return true,
         }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawk_core::scheduler::{Hawk, Sparrow};
+
+    #[derive(Default)]
+    struct RecordingNet {
+        worker_msgs: Vec<(usize, WorkerMsg)>,
+        done: Vec<JobId>,
+    }
+
+    impl Net for RecordingNet {
+        fn send_worker(&mut self, to: usize, msg: WorkerMsg) {
+            self.worker_msgs.push((to, msg));
+        }
+        fn send_dist(&mut self, _to: usize, _msg: DistMsg) {}
+        fn send_central(&mut self, _msg: CentralMsg) {}
+        fn schedule_finish(&mut self, _worker: usize, _occupancy: SimDuration) {}
+        fn job_done(&mut self, job: JobId) {
+            self.done.push(job);
+        }
+        fn add_running(&mut self, _delta: i64) {}
+        fn add_capacity(&mut self, _delta: i64) {}
+    }
+
+    fn submit(job: u32, tasks: usize, secs: u64, class: JobClass) -> DistMsg {
+        DistMsg::Submit {
+            job: JobId(job),
+            tasks: vec![SimDuration::from_secs(secs); tasks],
+            estimate: SimDuration::from_secs(secs),
+            class,
+        }
+    }
+
+    #[test]
+    fn submit_sends_probe_ratio_times_tasks_probes() {
+        let mut sched = DistScheduler::new(Arc::new(Sparrow::new()), 50, SimRng::seed_from_u64(3));
+        let mut net = RecordingNet::default();
+        sched.handle(submit(1, 4, 10, JobClass::Short), &mut net);
+        assert_eq!(net.worker_msgs.len(), 8, "2t probes");
+        let mut targets: Vec<usize> = net.worker_msgs.iter().map(|(to, _)| *to).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets.len(), 8, "distinct while the scope allows");
+    }
+
+    #[test]
+    fn hawk_short_probes_cover_the_whole_cluster() {
+        // Hawk shorts probe Scope::Whole — including the reserved
+        // partition — which is what makes stealing able to rescue them.
+        let mut sched = DistScheduler::new(Arc::new(Hawk::new(0.5)), 10, SimRng::seed_from_u64(1));
+        let mut net = RecordingNet::default();
+        for j in 0..20 {
+            sched.handle(submit(j, 2, 1, JobClass::Short), &mut net);
+        }
+        assert!(
+            net.worker_msgs.iter().any(|(to, _)| *to >= 5),
+            "short probes must reach the reserved partition"
+        );
+    }
+
+    #[test]
+    fn late_binding_hands_out_tasks_then_cancels() {
+        let mut sched = DistScheduler::new(Arc::new(Sparrow::new()), 10, SimRng::seed_from_u64(5));
+        let mut net = RecordingNet::default();
+        sched.handle(submit(1, 1, 7, JobClass::Short), &mut net);
+        net.worker_msgs.clear();
+        sched.handle(
+            DistMsg::TaskRequest {
+                job: JobId(1),
+                worker: 4,
+            },
+            &mut net,
+        );
+        sched.handle(
+            DistMsg::TaskRequest {
+                job: JobId(1),
+                worker: 6,
+            },
+            &mut net,
+        );
+        match (&net.worker_msgs[0], &net.worker_msgs[1]) {
+            (
+                (4, WorkerMsg::BindReply { task: Some(spec) }),
+                (6, WorkerMsg::BindReply { task: None }),
+            ) => {
+                assert_eq!(spec.job, JobId(1));
+                assert_eq!(spec.duration, SimDuration::from_secs(7));
+            }
+            other => panic!("expected a task then a cancel, got {other:?}"),
+        }
+        // Completion of the single task completes the job.
+        sched.handle(DistMsg::TaskDone { job: JobId(1) }, &mut net);
+        assert_eq!(net.done, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn shadow_cluster_keeps_probes_off_failed_servers() {
+        let mut sched = DistScheduler::new(Arc::new(Sparrow::new()), 4, SimRng::seed_from_u64(9));
+        let mut net = RecordingNet::default();
+        for s in [0u32, 1] {
+            sched.handle(DistMsg::Node(NodeChange::Down(s)), &mut net);
+        }
+        for j in 0..10 {
+            sched.handle(submit(j, 2, 1, JobClass::Short), &mut net);
+        }
+        assert!(
+            net.worker_msgs.iter().all(|(to, _)| *to >= 2),
+            "probes must avoid down servers"
+        );
+        // Revival restores the full scope.
+        sched.handle(DistMsg::Node(NodeChange::Up(0)), &mut net);
+        net.worker_msgs.clear();
+        for j in 10..40 {
+            sched.handle(submit(j, 2, 1, JobClass::Short), &mut net);
+        }
+        assert!(net.worker_msgs.iter().any(|(to, _)| *to == 0));
+        assert!(net.worker_msgs.iter().all(|(to, _)| *to != 1));
+    }
+
+    #[test]
+    fn reprobe_migrates_live_jobs_and_abandons_drained_ones() {
+        let mut sched = DistScheduler::new(Arc::new(Sparrow::new()), 8, SimRng::seed_from_u64(2));
+        let mut net = RecordingNet::default();
+        sched.handle(submit(1, 1, 5, JobClass::Short), &mut net);
+        net.worker_msgs.clear();
+        // Unlaunched task left: re-probe.
+        sched.handle(
+            DistMsg::ReProbe {
+                job: JobId(1),
+                class: JobClass::Short,
+            },
+            &mut net,
+        );
+        assert_eq!(net.worker_msgs.len(), 1);
+        assert_eq!(sched.stats.migrations, 1);
+        // Launch the task; now a displaced spare reservation is dead.
+        sched.handle(
+            DistMsg::TaskRequest {
+                job: JobId(1),
+                worker: 0,
+            },
+            &mut net,
+        );
+        net.worker_msgs.clear();
+        sched.handle(
+            DistMsg::ReProbe {
+                job: JobId(1),
+                class: JobClass::Short,
+            },
+            &mut net,
+        );
+        assert!(net.worker_msgs.is_empty());
+        assert_eq!(sched.stats.abandons, 1);
+    }
+
+    #[test]
+    fn central_daemon_places_like_the_shared_scheduler() {
+        let mut daemon = CentralDaemon::new(4);
+        let mut net = RecordingNet::default();
+        daemon.handle(
+            CentralMsg::Submit {
+                job: JobId(1),
+                tasks: vec![SimDuration::from_secs(100); 4],
+                estimate: SimDuration::from_secs(100),
+                class: JobClass::Long,
+            },
+            &mut net,
+        );
+        // Waiting-time balancing: one task per server.
+        let mut targets: Vec<usize> = net.worker_msgs.iter().map(|(to, _)| *to).collect();
+        targets.sort_unstable();
+        assert_eq!(targets, vec![0, 1, 2, 3]);
+        // Completions drain the job.
+        for w in 0..4 {
+            daemon.handle(
+                CentralMsg::TaskDone {
+                    job: JobId(1),
+                    worker: w,
+                    estimate: SimDuration::from_secs(100),
+                },
+                &mut net,
+            );
+        }
+        assert_eq!(net.done, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn central_daemon_relocates_off_failed_workers() {
+        let mut daemon = CentralDaemon::new(2);
+        let mut net = RecordingNet::default();
+        daemon.handle(
+            CentralMsg::Submit {
+                job: JobId(1),
+                tasks: vec![SimDuration::from_secs(50)],
+                estimate: SimDuration::from_secs(50),
+                class: JobClass::Long,
+            },
+            &mut net,
+        );
+        let placed_on = net.worker_msgs[0].0;
+        daemon.handle(
+            CentralMsg::Node(NodeChange::Down(placed_on as u32)),
+            &mut net,
+        );
+        net.worker_msgs.clear();
+        let spec = TaskSpec {
+            job: JobId(1),
+            duration: SimDuration::from_secs(50),
+            estimate: SimDuration::from_secs(50),
+            class: JobClass::Long,
+        };
+        daemon.handle(
+            CentralMsg::Relocate {
+                from: placed_on,
+                spec,
+            },
+            &mut net,
+        );
+        let (target, msg) = &net.worker_msgs[0];
+        assert_ne!(*target, placed_on, "relocation must pick a live server");
+        assert!(matches!(msg, WorkerMsg::Assign(_)));
+        assert_eq!(daemon.stats.migrations, 1);
     }
 }

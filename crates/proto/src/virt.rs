@@ -1,0 +1,279 @@
+//! The deterministic virtual-clock runtime.
+//!
+//! Runs the *same* daemon state machines as the threaded runtime, but
+//! single-threaded under a router: every message is delivered in
+//! `(virtual time, sequence)` order after a constant one-way delay, task
+//! execution advances the virtual clock instead of sleeping, and all
+//! randomness comes from the seeded per-daemon streams. Two runs with the
+//! same trace, scheduler and seed are therefore **byte-identical** —
+//! the property `tests/backend_conformance.rs` pins, and what makes the
+//! prototype usable as a reproducible [`Backend`](hawk_core::Backend)
+//! next to the simulator.
+//!
+//! The router is intentionally *not* the simulator's engine: it delivers
+//! opaque daemon messages (which own heap data like stolen groups), not
+//! `Copy` simulation events, and it models the prototype's real hop
+//! structure — submissions land at a scheduler daemon which then probes,
+//! binds round-trip through the owning scheduler, and steals cost a
+//! request/reply exchange. The conformance harness checks the two
+//! executions agree *qualitatively*, not that they are the same program.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use hawk_simcore::{SimDuration, SimTime};
+use hawk_workload::scenario::NodeChange;
+use hawk_workload::{JobId, Trace};
+
+use crate::msg::{CentralMsg, DistMsg, Net, WorkerMsg};
+use crate::report::{ProtoJobResult, ProtoReport};
+use crate::runtime::{fold_stats, submission_for, ClusterSetup, ProtoConfig, Submission};
+
+/// A routed delivery.
+#[derive(Debug)]
+enum Dest {
+    Worker(usize, WorkerMsg),
+    Dist(usize, DistMsg),
+    Central(CentralMsg),
+    /// Worker `i`'s running task completes.
+    Finish(usize),
+    /// Job `i` of the trace arrives at its scheduler.
+    Submit(u32),
+    /// A scripted dynamics event fires (fans out to every daemon).
+    Node(NodeChange),
+    /// Periodic utilization snapshot.
+    UtilSample,
+}
+
+/// Heap entry: strict `(time, seq)` order — FIFO among equal timestamps.
+struct Timed {
+    at: SimTime,
+    seq: u64,
+    dest: Dest,
+}
+
+impl PartialEq for Timed {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Timed {}
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// [`Net`] over the router: sends enqueue deliveries at `now + delay`,
+/// timers at `now + occupancy`, completions are recorded on the virtual
+/// clock.
+struct VirtualNet {
+    queue: BinaryHeap<Timed>,
+    now: SimTime,
+    seq: u64,
+    delay: SimDuration,
+    running: i64,
+    completions: Vec<Option<SimTime>>,
+    completed: usize,
+    /// Queued deliveries other than the self-perpetuating `UtilSample` —
+    /// the liveness signal: when this hits zero with jobs unfinished,
+    /// nothing can ever complete them.
+    pending_work: usize,
+    /// Usable capacity: in-service workers + down workers draining a
+    /// running task (the simulator's utilization denominator).
+    capacity: i64,
+}
+
+impl VirtualNet {
+    fn push_at(&mut self, at: SimTime, dest: Dest) {
+        if !matches!(dest, Dest::UtilSample) {
+            self.pending_work += 1;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Timed { at, seq, dest });
+    }
+
+    fn push_delayed(&mut self, dest: Dest) {
+        let at = self.now + self.delay;
+        self.push_at(at, dest);
+    }
+}
+
+impl Net for VirtualNet {
+    fn send_worker(&mut self, to: usize, msg: WorkerMsg) {
+        self.push_delayed(Dest::Worker(to, msg));
+    }
+    fn send_dist(&mut self, to: usize, msg: DistMsg) {
+        self.push_delayed(Dest::Dist(to, msg));
+    }
+    fn send_central(&mut self, msg: CentralMsg) {
+        self.push_delayed(Dest::Central(msg));
+    }
+    fn schedule_finish(&mut self, worker: usize, occupancy: SimDuration) {
+        let at = self.now + occupancy;
+        self.push_at(at, Dest::Finish(worker));
+    }
+    fn job_done(&mut self, job: JobId) {
+        debug_assert!(self.completions[job.index()].is_none(), "double completion");
+        self.completions[job.index()] = Some(self.now);
+        self.completed += 1;
+    }
+    fn add_running(&mut self, delta: i64) {
+        self.running += delta;
+        debug_assert!(self.running >= 0, "running gauge went negative");
+    }
+    fn add_capacity(&mut self, delta: i64) {
+        self.capacity += delta;
+        debug_assert!(self.capacity >= 0, "capacity gauge went negative");
+    }
+}
+
+pub(crate) fn run_virtual(
+    trace: &Trace,
+    mut setup: ClusterSetup,
+    cfg: &ProtoConfig,
+    message_delay: SimDuration,
+) -> ProtoReport {
+    let mut net = VirtualNet {
+        queue: BinaryHeap::with_capacity(trace.len() * 4),
+        now: SimTime::ZERO,
+        seq: 0,
+        delay: message_delay,
+        running: 0,
+        completions: vec![None; trace.len()],
+        completed: 0,
+        pending_work: 0,
+        capacity: cfg.workers as i64,
+    };
+
+    // Seed the timeline: submissions, scripted dynamics, sampling.
+    for job in trace.jobs() {
+        net.push_at(job.submission, Dest::Submit(job.id.0));
+    }
+    for ev in cfg.dynamics.events() {
+        net.push_at(ev.at, Dest::Node(ev.change));
+    }
+    net.push_at(SimTime::ZERO + cfg.util_interval, Dest::UtilSample);
+
+    let mut samples = Vec::new();
+    while net.completed < trace.len() {
+        let Some(Timed { at, dest, .. }) = net.queue.pop() else {
+            panic!(
+                "virtual prototype drained its event queue with {} unfinished jobs",
+                trace.len() - net.completed
+            );
+        };
+        net.now = at;
+        if !matches!(dest, Dest::UtilSample) {
+            net.pending_work -= 1;
+        }
+        match dest {
+            Dest::UtilSample => {
+                // The sampler perpetuates itself, so it must not mask a
+                // wedged cluster: with no other delivery queued, nothing
+                // can ever finish the remaining jobs (the virtual
+                // analogue of the threaded 60 s watchdog).
+                assert!(
+                    net.pending_work > 0,
+                    "virtual prototype is wedged: only sampler events \
+                     queued with {} unfinished jobs",
+                    trace.len() - net.completed
+                );
+                samples.push(net.running.max(0) as f64 / net.capacity.max(1) as f64);
+                let next = net.now + cfg.util_interval;
+                net.push_at(next, Dest::UtilSample);
+                continue;
+            }
+            Dest::Worker(i, msg) => {
+                setup.workers[i].handle(msg, &mut net);
+            }
+            Dest::Dist(i, msg) => {
+                setup.dists[i].handle(msg, &mut net);
+            }
+            Dest::Central(msg) => {
+                let central = setup
+                    .central
+                    .as_mut()
+                    .expect("central message without a central daemon");
+                central.handle(msg, &mut net);
+            }
+            Dest::Finish(i) => setup.workers[i].on_task_finish(&mut net),
+            Dest::Submit(index) => {
+                let dist_count = setup.dists.len();
+                match submission_for(
+                    trace,
+                    index,
+                    &setup.classes,
+                    &setup.central_route,
+                    dist_count,
+                ) {
+                    Submission::Central(msg) => {
+                        let central = setup
+                            .central
+                            .as_mut()
+                            .expect("central route spawned a central daemon");
+                        central.handle(msg, &mut net);
+                    }
+                    Submission::Dist(sched, msg) => {
+                        setup.dists[sched].handle(msg, &mut net);
+                    }
+                }
+            }
+            Dest::Node(change) => {
+                // Fan the membership change out to every daemon, like the
+                // threaded feeder does.
+                let server = match change {
+                    NodeChange::Down(s) | NodeChange::Up(s) => s as usize,
+                };
+                setup.workers[server].handle(WorkerMsg::Node(change), &mut net);
+                for dist in &mut setup.dists {
+                    dist.handle(DistMsg::Node(change), &mut net);
+                }
+                if let Some(central) = &mut setup.central {
+                    central.handle(CentralMsg::Node(change), &mut net);
+                }
+            }
+        }
+    }
+
+    let totals = fold_stats(
+        setup.workers.iter().map(|w| w.stats),
+        setup
+            .dists
+            .iter()
+            .map(|d| d.stats)
+            .chain(setup.central.as_ref().map(|c| c.stats)),
+    );
+
+    let jobs = trace
+        .jobs()
+        .iter()
+        .map(|job| {
+            let i = job.id.index();
+            let done = net.completions[i].expect("all jobs completed");
+            ProtoJobResult {
+                job: job.id,
+                class: setup.classes[i],
+                num_tasks: job.num_tasks(),
+                submit_offset: std::time::Duration::from_micros(job.submission.as_micros()),
+                runtime: std::time::Duration::from_micros((done - job.submission).as_micros()),
+            }
+        })
+        .collect();
+    ProtoReport {
+        jobs,
+        utilization_samples: samples,
+        steals: totals.steals,
+        steal_attempts: totals.steal_attempts,
+        migrations: totals.migrations,
+        abandons: totals.abandons,
+        messages: totals.messages,
+    }
+}

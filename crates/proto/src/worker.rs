@@ -1,214 +1,324 @@
-//! The worker (node monitor) thread.
+//! The worker (node monitor) daemon.
 //!
-//! One thread per simulated node. The worker owns a FIFO queue of probes
-//! and tasks; "executing" a task means holding a real-time deadline while
-//! continuing to service messages — just like a Sparrow node monitor whose
-//! slot is occupied by a sleep task. This keeps the worker responsive to
-//! steal requests mid-execution, which the stealing protocol requires.
+//! One daemon per cluster node. Since the prototype became a backend for
+//! the shared policies, the worker is not a reimplementation of the
+//! simulator's server — it *embeds* one: each worker owns a real
+//! [`hawk_cluster::Server`] plus its private [`QueueSlab`], so the FIFO
+//! queue, the late-binding slot states, the packed stat word and the
+//! Figure 3 steal scan ([`hawk_cluster::steal`]) are byte-for-byte the
+//! same code both backends run. Policy decisions route through the shared
+//! [`Scheduler`] trait:
 //!
-//! Stealing is a non-blocking state machine: an idle worker sends a steal
-//! request to one victim at a time and keeps processing messages; an empty
-//! reply advances to the next victim, a non-empty one enqueues the loot.
+//! * steal victims come from [`Scheduler::pick_victims_into`] over the
+//!   real [`Partition`] (§3.6);
+//! * steal granularity comes from [`Scheduler::steal`];
+//! * probe bouncing asks [`Scheduler::bounce_probe`] against the worker's
+//!   own [`Server`] state (the Eagle-style avoidance extension).
+//!
+//! The daemon is transport- and clock-agnostic: it reacts to
+//! [`WorkerMsg`]s and emits effects through [`Net`], so the same state
+//! machine runs on an OS thread (wall clock, mpsc channels) and inside
+//! the deterministic virtual-clock router.
+//!
+//! Stealing is a non-blocking state machine, as in the paper's prototype:
+//! an idle worker contacts one victim at a time and keeps servicing
+//! messages; an empty reply advances to the next victim, a non-empty one
+//! enqueues the loot.
 
-use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
-use std::time::Instant;
+use std::sync::Arc;
 
+use hawk_cluster::steal::{steal_from_with_into, StealScratch};
+use hawk_cluster::{
+    Partition, QueueEntry, QueueSlab, Server, ServerAction, ServerId, StealGranularity,
+};
+use hawk_core::{Route, Scheduler, StealSpec};
 use hawk_simcore::SimRng;
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use hawk_workload::scenario::NodeChange;
+use hawk_workload::JobClass;
 
-use crate::msg::{CentralMsg, DistMsg, Entry, ProtoTask, TaskOrigin, WorkerMsg};
-use crate::runtime::Topology;
+use crate::msg::{CentralMsg, DistMsg, Net, WorkerMsg};
 
-/// In-flight steal attempt: the remaining victims to contact.
+/// In-flight steal attempt: remaining victims to contact, in order.
 struct StealAttempt {
-    victims: Vec<usize>,
+    victims: Vec<ServerId>,
     next: usize,
 }
 
+/// Per-worker counters folded into the [`ProtoReport`](crate::ProtoReport).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WorkerStats {
+    pub steals: u64,
+    pub steal_attempts: u64,
+    pub handled: u64,
+}
+
+/// The worker daemon state machine. See the module docs.
 pub(crate) struct Worker {
     index: usize,
-    rx: Receiver<WorkerMsg>,
-    topo: Topology,
-    queue: VecDeque<Entry>,
-    /// Deadline of the currently executing task, with its spec.
-    running: Option<(Instant, ProtoTask)>,
-    /// True while blocked on a bind round trip for the queue head.
-    awaiting_bind: bool,
+    /// The *simulator's* server state machine, embedded.
+    server: Server,
+    /// Private queue arena backing `server` (list `index`).
+    queues: QueueSlab,
+    scheduler: Arc<dyn Scheduler>,
+    partition: Partition,
+    steal_spec: Option<StealSpec>,
     steal: Option<StealAttempt>,
-    steal_cap: Option<usize>,
-    general_count: usize,
+    dist_count: usize,
     rng: SimRng,
+    /// True while out of service (scenario node-down).
+    down: bool,
+    /// Whether this worker currently counts toward usable capacity:
+    /// in service, or down but still draining a running task — the
+    /// simulator's utilization denominator (`Cluster::utilization`).
+    counts_as_capacity: bool,
+    victim_scratch: Vec<usize>,
+    steal_scratch: StealScratch,
+    steal_out: Vec<QueueEntry>,
+    drain_buf: Vec<QueueEntry>,
+    pub(crate) stats: WorkerStats,
 }
 
 impl Worker {
     pub(crate) fn new(
         index: usize,
-        rx: Receiver<WorkerMsg>,
-        topo: Topology,
-        steal_cap: Option<usize>,
-        general_count: usize,
-        seed: u64,
+        scheduler: Arc<dyn Scheduler>,
+        partition: Partition,
+        dist_count: usize,
+        speed: f64,
+        rng: SimRng,
     ) -> Self {
+        // The embedded server's id is *local*: it only selects the slab
+        // list, and this worker owns a single-list slab — so per-worker
+        // queue storage is O(live entries), not O(worker index). The
+        // worker's cluster-wide identity (`index`) is passed explicitly
+        // wherever policy code needs it (steal-victim picks, messages).
+        let mut server = Server::new(ServerId(0));
+        server.set_speed(speed);
         Worker {
             index,
-            rx,
-            topo,
-            queue: VecDeque::new(),
-            running: None,
-            awaiting_bind: false,
+            server,
+            queues: QueueSlab::new(1),
+            steal_spec: scheduler.steal(),
+            scheduler,
+            partition,
             steal: None,
-            steal_cap,
-            general_count,
-            rng: SimRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E37_79B9)),
+            dist_count,
+            rng,
+            down: false,
+            counts_as_capacity: true,
+            victim_scratch: Vec::new(),
+            steal_scratch: StealScratch::new(),
+            steal_out: Vec::new(),
+            drain_buf: Vec::new(),
+            stats: WorkerStats::default(),
         }
     }
 
-    /// The thread body: service messages and execution deadlines until
-    /// shutdown.
-    pub(crate) fn run(mut self) {
-        loop {
-            if let Some((deadline, _)) = self.running {
-                let now = Instant::now();
-                if now >= deadline {
-                    self.finish_running();
-                    continue;
-                }
-                match self.rx.recv_timeout(deadline - now) {
-                    Ok(msg) => {
-                        if self.handle(msg) {
-                            return;
-                        }
-                    }
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => return,
-                }
-            } else {
-                match self.rx.recv() {
-                    Ok(msg) => {
-                        if self.handle(msg) {
-                            return;
-                        }
-                    }
-                    Err(_) => return,
-                }
-            }
+    /// The distributed scheduler owning `job` (submission routing and all
+    /// per-job messages use the same mapping).
+    fn owner(&self, job: hawk_workload::JobId) -> usize {
+        job.index() % self.dist_count
+    }
+
+    /// Re-derives this worker's usable-capacity contribution (1 while in
+    /// service or draining a running task, else 0) and reports the delta.
+    /// Called after every transition that can change it: down, up, a bind
+    /// starting a task on a down worker, a draining task finishing.
+    fn sync_capacity(&mut self, net: &mut impl Net) {
+        let counts = !self.down || self.server.is_running();
+        if counts != self.counts_as_capacity {
+            self.counts_as_capacity = counts;
+            net.add_capacity(if counts { 1 } else { -1 });
         }
     }
 
-    /// Handles one message; returns true on shutdown.
-    fn handle(&mut self, msg: WorkerMsg) -> bool {
+    /// Handles one message; returns `true` on shutdown.
+    pub(crate) fn handle(&mut self, msg: WorkerMsg, net: &mut impl Net) -> bool {
+        self.stats.handled += 1;
         match msg {
-            WorkerMsg::Probe { job, sched, class } => {
-                self.queue.push_back(Entry::Probe { job, sched, class });
-                self.maybe_advance();
-            }
-            WorkerMsg::Assign(task) => {
-                self.queue.push_back(Entry::Task(task));
-                self.maybe_advance();
+            WorkerMsg::Probe {
+                job,
+                class,
+                bounces,
+            } => self.on_probe(job, class, bounces, net),
+            WorkerMsg::Assign(spec) => {
+                if self.down {
+                    // Arrived in flight while we failed: relocate like a
+                    // drained entry.
+                    self.relocate(QueueEntry::Task(spec), net);
+                    return false;
+                }
+                let action = self
+                    .server
+                    .enqueue(&mut self.queues, QueueEntry::Task(spec));
+                if let Some(action) = action {
+                    self.on_action(action, net);
+                }
             }
             WorkerMsg::BindReply { task } => {
-                self.awaiting_bind = false;
-                match task {
-                    Some(task) => self.start(task),
-                    None => self.maybe_advance(),
-                }
+                // A down worker may still be awaiting a bind: the response
+                // resolves normally and a bound task drains in place,
+                // exactly like the simulator's draining slots.
+                let action = self.server.on_bind_response(&mut self.queues, task);
+                self.on_action(action, net);
+                self.sync_capacity(net);
             }
             WorkerMsg::StealRequest { thief } => {
-                let entries = self.scan_steal_group();
-                // Losing the reply (thief already gone) is harmless only if
-                // nothing was stolen; entries must never be dropped.
-                let _ = self.topo.workers[thief].send(WorkerMsg::StealReply { entries });
+                let granularity = self
+                    .steal_spec
+                    .map(|s| s.granularity)
+                    .unwrap_or(StealGranularity::FirstBlockedGroup);
+                debug_assert!(self.steal_out.is_empty(), "stale steal batch");
+                steal_from_with_into(
+                    &mut self.server,
+                    &mut self.queues,
+                    granularity,
+                    &mut self.rng,
+                    &mut self.steal_scratch,
+                    &mut self.steal_out,
+                );
+                // Entries must never be dropped: the reply carries them
+                // even when the thief may have failed (the thief's handler
+                // relocates them in that case).
+                net.send_worker(
+                    thief,
+                    WorkerMsg::StealReply {
+                        entries: std::mem::take(&mut self.steal_out),
+                    },
+                );
             }
             WorkerMsg::StealReply { entries } => {
                 if entries.is_empty() {
-                    self.continue_steal();
+                    self.continue_steal(net);
                 } else {
                     self.steal = None;
-                    self.queue.extend(entries);
-                    self.maybe_advance();
+                    self.stats.steals += 1;
+                    if self.down {
+                        // Thief failed mid-steal: relocate the loot.
+                        for entry in entries {
+                            self.relocate(entry, net);
+                        }
+                        return false;
+                    }
+                    let action = self.server.enqueue_all(&mut self.queues, entries);
+                    if let Some(action) = action {
+                        self.on_action(action, net);
+                    }
                 }
+            }
+            WorkerMsg::Node(NodeChange::Down(_)) => self.on_down(net),
+            WorkerMsg::Node(NodeChange::Up(_)) => {
+                self.down = false;
+                self.server.set_down(false);
+                self.sync_capacity(net);
             }
             WorkerMsg::Shutdown => return true,
         }
         false
     }
 
-    /// Starts processing the queue head if the slot is free.
-    fn maybe_advance(&mut self) {
-        if self.running.is_some() || self.awaiting_bind {
+    fn on_probe(
+        &mut self,
+        job: hawk_workload::JobId,
+        class: JobClass,
+        bounces: u8,
+        net: &mut impl Net,
+    ) {
+        if self.down {
+            net.send_dist(self.owner(job), DistMsg::ReProbe { job, class });
             return;
         }
-        match self.queue.pop_front() {
-            Some(Entry::Task(task)) => self.start(task),
-            Some(Entry::Probe { job, sched, .. }) => {
-                self.awaiting_bind = true;
-                let _ = self.topo.dscheds[sched].send(DistMsg::TaskRequest {
+        if self.scheduler.bounce_probe(&self.server, class, bounces) {
+            // Long-aware probe avoidance: ask the owning scheduler to
+            // retry elsewhere (it holds the live membership view). Costs
+            // one extra hop relative to the simulator's direct re-probe.
+            net.send_dist(
+                self.owner(job),
+                DistMsg::Bounce {
                     job,
-                    worker: self.index,
-                });
-            }
-            None => self.begin_steal(),
-        }
-    }
-
-    fn start(&mut self, task: ProtoTask) {
-        self.topo.running_count.fetch_add(1, Ordering::Relaxed);
-        self.running = Some((Instant::now() + task.duration, task));
-    }
-
-    fn finish_running(&mut self) {
-        let (_, task) = self.running.take().expect("a task is running");
-        self.topo.running_count.fetch_sub(1, Ordering::Relaxed);
-        match task.origin {
-            TaskOrigin::Central => {
-                let _ = self.topo.central.send(CentralMsg::TaskDone {
-                    job: task.job,
-                    worker: self.index,
-                    estimate_us: task.estimate_us,
-                });
-            }
-            TaskOrigin::Distributed { index } => {
-                let _ = self.topo.dscheds[index].send(DistMsg::TaskDone { job: task.job });
-            }
-        }
-        self.maybe_advance();
-    }
-
-    /// Begins a steal attempt if stealing is enabled and none is running.
-    fn begin_steal(&mut self) {
-        let Some(cap) = self.steal_cap else { return };
-        if self.steal.is_some() || self.general_count == 0 {
+                    class,
+                    bounces: bounces + 1,
+                },
+            );
             return;
         }
-        // Distinct victims from the general partition, excluding self.
-        let candidates = if self.index < self.general_count {
-            self.general_count - 1
-        } else {
-            self.general_count
-        };
-        if candidates == 0 {
+        let action = self
+            .server
+            .enqueue(&mut self.queues, QueueEntry::Probe { job, class });
+        if let Some(action) = action {
+            self.on_action(action, net);
+        }
+    }
+
+    /// Converts a [`ServerAction`] into messages/timers — the prototype
+    /// analogue of the simulation driver's `on_action`.
+    fn on_action(&mut self, action: ServerAction, net: &mut impl Net) {
+        match action {
+            ServerAction::StartTask(spec) => {
+                net.add_running(1);
+                let occupancy = self.server.scale_duration(spec.duration);
+                net.schedule_finish(self.index, occupancy);
+            }
+            ServerAction::RequestBind { job } => {
+                net.send_dist(
+                    self.owner(job),
+                    DistMsg::TaskRequest {
+                        job,
+                        worker: self.index,
+                    },
+                );
+            }
+            ServerAction::BecameIdle => self.begin_steal(net),
+        }
+    }
+
+    /// The running task's deadline fired: complete it and advance.
+    pub(crate) fn on_task_finish(&mut self, net: &mut impl Net) {
+        net.add_running(-1);
+        let (spec, action) = self.server.on_task_finish(&mut self.queues);
+        // Completion reporting follows the policy's routing: the class
+        // determines which scheduler owns the bookkeeping, exactly as in
+        // the driver's `JobRun::central` flag.
+        match self.scheduler.route(spec.class) {
+            Route::Central(_) => net.send_central(CentralMsg::TaskDone {
+                job: spec.job,
+                worker: self.index,
+                estimate: spec.estimate,
+            }),
+            Route::Distributed(_) => {
+                net.send_dist(self.owner(spec.job), DistMsg::TaskDone { job: spec.job })
+            }
+        }
+        self.on_action(action, net);
+        self.sync_capacity(net);
+    }
+
+    /// Begins a steal attempt if the policy steals, we are live and no
+    /// attempt is in flight (§3.6). Victims come from the policy's
+    /// [`Scheduler::pick_victims_into`] over the real partition — the same
+    /// draw the simulation driver performs.
+    fn begin_steal(&mut self, net: &mut impl Net) {
+        if self.steal_spec.is_none() || self.down || self.steal.is_some() {
             return;
         }
-        let count = cap.min(candidates);
-        let victims: Vec<usize> = self
-            .rng
-            .sample_distinct(candidates, count)
-            .into_iter()
-            .map(|i| {
-                if self.index < self.general_count && i >= self.index {
-                    i + 1
-                } else {
-                    i
-                }
-            })
-            .collect();
+        self.stats.steal_attempts += 1;
+        let mut victims = Vec::new();
+        self.scheduler.pick_victims_into(
+            &self.partition,
+            ServerId(self.index as u32),
+            &mut self.rng,
+            &mut self.victim_scratch,
+            &mut victims,
+        );
+        if victims.is_empty() {
+            return;
+        }
         self.steal = Some(StealAttempt { victims, next: 0 });
-        self.continue_steal();
+        self.continue_steal(net);
     }
 
-    /// Contacts the next victim of the in-flight steal attempt, if any.
-    fn continue_steal(&mut self) {
+    /// Contacts the next victim of the in-flight attempt, if any.
+    fn continue_steal(&mut self, net: &mut impl Net) {
         let Some(attempt) = &mut self.steal else {
             return;
         };
@@ -216,38 +326,339 @@ impl Worker {
             self.steal = None;
             return;
         }
-        let victim = attempt.victims[attempt.next];
+        let victim = attempt.victims[attempt.next].index();
         attempt.next += 1;
-        let _ = self.topo.workers[victim].send(WorkerMsg::StealRequest { thief: self.index });
+        net.send_worker(victim, WorkerMsg::StealRequest { thief: self.index });
     }
 
-    /// The Figure 3 victim scan, over (slot, queue): the first run of
-    /// consecutive short entries after the first long element. Mirrors
-    /// `hawk_cluster::steal::eligible_group`.
-    fn scan_steal_group(&mut self) -> Vec<Entry> {
-        let slot_is_long = self
-            .running
-            .map(|(_, t)| t.class.is_long())
-            .unwrap_or(false);
-        let mut seen_long = slot_is_long;
-        let mut start = None;
-        let mut len = 0usize;
-        for (i, entry) in self.queue.iter().enumerate() {
-            if entry.is_long() {
-                if start.is_some() {
-                    break;
-                }
-                seen_long = true;
-            } else if seen_long {
-                if start.is_none() {
-                    start = Some(i);
-                }
-                len += 1;
+    /// Scenario node-down: stop accepting work, drain the queue and
+    /// relocate every entry (mirrors `Cluster::fail_server` + the driver's
+    /// `relocate`). A running task finishes on its own; a pending bind
+    /// resolves normally and drains in place.
+    fn on_down(&mut self, net: &mut impl Net) {
+        if self.down {
+            return; // duplicate script entry
+        }
+        self.down = true;
+        self.steal = None;
+        debug_assert!(self.drain_buf.is_empty(), "stale drain buffer");
+        let mut drained = std::mem::take(&mut self.drain_buf);
+        self.server.drain_queue_into(&mut self.queues, &mut drained);
+        self.server.set_down(true);
+        for entry in drained.drain(..) {
+            self.relocate(entry, net);
+        }
+        self.drain_buf = drained;
+        self.sync_capacity(net);
+    }
+
+    /// Sends one displaced queue entry to the scheduler that can re-place
+    /// it: tasks return to the centralized scheduler (waiting-time
+    /// bookkeeping follows), probes return to their owning distributed
+    /// scheduler, which re-probes or abandons.
+    fn relocate(&mut self, entry: QueueEntry, net: &mut impl Net) {
+        match entry {
+            QueueEntry::Task(spec) => {
+                debug_assert!(
+                    matches!(self.scheduler.route(spec.class), Route::Central(_)),
+                    "queued tasks are always centrally placed"
+                );
+                net.send_central(CentralMsg::Relocate {
+                    from: self.index,
+                    spec,
+                });
+            }
+            QueueEntry::Probe { job, class } => {
+                net.send_dist(self.owner(job), DistMsg::ReProbe { job, class });
             }
         }
-        match start {
-            Some(s) => self.queue.drain(s..s + len).collect(),
-            None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hawk_cluster::TaskSpec;
+    use hawk_core::scheduler::Hawk;
+    use hawk_simcore::SimDuration;
+    use hawk_workload::JobId;
+
+    /// A recording Net for unit-testing the state machine in isolation.
+    #[derive(Default)]
+    struct RecordingNet {
+        worker_msgs: Vec<(usize, WorkerMsg)>,
+        dist_msgs: Vec<(usize, DistMsg)>,
+        central_msgs: Vec<CentralMsg>,
+        finishes: Vec<(usize, SimDuration)>,
+        running: i64,
+        capacity: i64,
+        done: Vec<JobId>,
+    }
+
+    impl Net for RecordingNet {
+        fn send_worker(&mut self, to: usize, msg: WorkerMsg) {
+            self.worker_msgs.push((to, msg));
         }
+        fn send_dist(&mut self, to: usize, msg: DistMsg) {
+            self.dist_msgs.push((to, msg));
+        }
+        fn send_central(&mut self, msg: CentralMsg) {
+            self.central_msgs.push(msg);
+        }
+        fn schedule_finish(&mut self, worker: usize, occupancy: SimDuration) {
+            self.finishes.push((worker, occupancy));
+        }
+        fn job_done(&mut self, job: JobId) {
+            self.done.push(job);
+        }
+        fn add_running(&mut self, delta: i64) {
+            self.running += delta;
+        }
+        fn add_capacity(&mut self, delta: i64) {
+            self.capacity += delta;
+        }
+    }
+
+    fn hawk_worker(index: usize) -> Worker {
+        Worker::new(
+            index,
+            Arc::new(Hawk::new(0.2)),
+            Partition::new(10, 0.2),
+            2,
+            1.0,
+            SimRng::seed_from_u64(1),
+        )
+    }
+
+    fn task(job: u32, class: JobClass, secs: u64) -> TaskSpec {
+        TaskSpec {
+            job: JobId(job),
+            duration: SimDuration::from_secs(secs),
+            estimate: SimDuration::from_secs(secs),
+            class,
+        }
+    }
+
+    #[test]
+    fn probe_at_idle_worker_requests_bind_from_owner() {
+        let mut w = hawk_worker(0);
+        let mut net = RecordingNet::default();
+        w.handle(
+            WorkerMsg::Probe {
+                job: JobId(3),
+                class: JobClass::Short,
+                bounces: 0,
+            },
+            &mut net,
+        );
+        // Job 3 is owned by dist scheduler 3 % 2 = 1.
+        assert_eq!(
+            net.dist_msgs,
+            vec![(
+                1,
+                DistMsg::TaskRequest {
+                    job: JobId(3),
+                    worker: 0
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn assigned_task_starts_with_speed_scaled_occupancy() {
+        let mut w = Worker::new(
+            0,
+            Arc::new(Hawk::new(0.2)),
+            Partition::new(10, 0.2),
+            2,
+            0.5, // half speed
+            SimRng::seed_from_u64(1),
+        );
+        let mut net = RecordingNet::default();
+        w.handle(WorkerMsg::Assign(task(1, JobClass::Long, 10)), &mut net);
+        assert_eq!(net.finishes, vec![(0, SimDuration::from_secs(20))]);
+        assert_eq!(net.running, 1);
+    }
+
+    #[test]
+    fn central_task_completion_reports_to_central() {
+        let mut w = hawk_worker(0);
+        let mut net = RecordingNet::default();
+        w.handle(WorkerMsg::Assign(task(1, JobClass::Long, 10)), &mut net);
+        w.on_task_finish(&mut net);
+        assert_eq!(net.running, 0);
+        assert!(matches!(
+            net.central_msgs[0],
+            CentralMsg::TaskDone {
+                job: JobId(1),
+                worker: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn idle_transition_contacts_one_victim_at_a_time() {
+        let mut w = hawk_worker(9); // short-partition worker of the 10-node cell
+        let mut net = RecordingNet::default();
+        // A long task runs and finishes with an empty queue → idle → steal.
+        w.handle(WorkerMsg::Assign(task(1, JobClass::Long, 5)), &mut net);
+        w.on_task_finish(&mut net);
+        let requests: Vec<_> = net
+            .worker_msgs
+            .iter()
+            .filter(|(_, m)| matches!(m, WorkerMsg::StealRequest { .. }))
+            .collect();
+        assert_eq!(requests.len(), 1, "contacts exactly one victim at a time");
+        assert_eq!(w.stats.steal_attempts, 1);
+        // An empty reply advances to the next victim.
+        w.handle(WorkerMsg::StealReply { entries: vec![] }, &mut net);
+        let requests = net
+            .worker_msgs
+            .iter()
+            .filter(|(_, m)| matches!(m, WorkerMsg::StealRequest { .. }))
+            .count();
+        assert_eq!(requests, 2);
+    }
+
+    #[test]
+    fn steal_scan_is_the_shared_figure3_scan() {
+        // Victim: executing a long task with two shorts queued → the
+        // stolen group is both shorts, in order.
+        let mut victim = hawk_worker(1);
+        let mut net = RecordingNet::default();
+        victim.handle(WorkerMsg::Assign(task(1, JobClass::Long, 100)), &mut net);
+        for j in [2, 3] {
+            victim.handle(
+                WorkerMsg::Probe {
+                    job: JobId(j),
+                    class: JobClass::Short,
+                    bounces: 0,
+                },
+                &mut net,
+            );
+        }
+        net.worker_msgs.clear();
+        victim.handle(WorkerMsg::StealRequest { thief: 9 }, &mut net);
+        let (to, msg) = &net.worker_msgs[0];
+        assert_eq!(*to, 9);
+        match msg {
+            WorkerMsg::StealReply { entries } => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].job(), JobId(2));
+                assert_eq!(entries[1].job(), JobId(3));
+            }
+            other => panic!("expected StealReply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn down_worker_drains_and_relocates() {
+        let mut w = hawk_worker(0);
+        let mut net = RecordingNet::default();
+        // Occupy the slot, then queue a central task and a probe.
+        w.handle(WorkerMsg::Assign(task(1, JobClass::Long, 100)), &mut net);
+        w.handle(WorkerMsg::Assign(task(2, JobClass::Long, 100)), &mut net);
+        w.handle(
+            WorkerMsg::Probe {
+                job: JobId(3),
+                class: JobClass::Short,
+                bounces: 0,
+            },
+            &mut net,
+        );
+        net.central_msgs.clear();
+        net.dist_msgs.clear();
+        w.handle(WorkerMsg::Node(NodeChange::Down(0)), &mut net);
+        assert!(matches!(
+            net.central_msgs[0],
+            CentralMsg::Relocate { from: 0, .. }
+        ));
+        assert_eq!(
+            net.dist_msgs,
+            vec![(
+                1,
+                DistMsg::ReProbe {
+                    job: JobId(3),
+                    class: JobClass::Short
+                }
+            )]
+        );
+        // New probes arriving while down are sent back for re-probing.
+        net.dist_msgs.clear();
+        w.handle(
+            WorkerMsg::Probe {
+                job: JobId(5),
+                class: JobClass::Short,
+                bounces: 0,
+            },
+            &mut net,
+        );
+        assert!(matches!(net.dist_msgs[0].1, DistMsg::ReProbe { .. }));
+        // The running task still finishes and reports.
+        w.on_task_finish(&mut net);
+        assert!(net
+            .central_msgs
+            .iter()
+            .any(|m| matches!(m, CentralMsg::TaskDone { job: JobId(1), .. })));
+        // Up restores service.
+        w.handle(WorkerMsg::Node(NodeChange::Up(0)), &mut net);
+        net.dist_msgs.clear();
+        w.handle(
+            WorkerMsg::Probe {
+                job: JobId(6),
+                class: JobClass::Short,
+                bounces: 0,
+            },
+            &mut net,
+        );
+        assert!(matches!(net.dist_msgs[0].1, DistMsg::TaskRequest { .. }));
+    }
+
+    #[test]
+    fn bounce_goes_through_the_owning_scheduler() {
+        let mut w = Worker::new(
+            0,
+            Arc::new(Hawk::new(0.0).probe_avoidance(2)),
+            Partition::new(4, 0.0),
+            2,
+            1.0,
+            SimRng::seed_from_u64(4),
+        );
+        let mut net = RecordingNet::default();
+        // Occupy the slot with long work; a short probe must bounce.
+        w.handle(WorkerMsg::Assign(task(1, JobClass::Long, 100)), &mut net);
+        net.dist_msgs.clear();
+        w.handle(
+            WorkerMsg::Probe {
+                job: JobId(2),
+                class: JobClass::Short,
+                bounces: 0,
+            },
+            &mut net,
+        );
+        assert_eq!(
+            net.dist_msgs,
+            vec![(
+                0,
+                DistMsg::Bounce {
+                    job: JobId(2),
+                    class: JobClass::Short,
+                    bounces: 1
+                }
+            )]
+        );
+        // At the bounce limit the probe queues.
+        net.dist_msgs.clear();
+        w.handle(
+            WorkerMsg::Probe {
+                job: JobId(2),
+                class: JobClass::Short,
+                bounces: 2,
+            },
+            &mut net,
+        );
+        assert!(net.dist_msgs.is_empty(), "probe queued at the limit");
+        assert_eq!(w.server.queue_len(), 1);
     }
 }

@@ -33,7 +33,7 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchHandle(u32);
 
-/// A recycling store of value batches. See the [module docs](self).
+/// A recycling store of value batches. See the module docs.
 #[derive(Debug, Clone, Default)]
 pub struct BatchPool<T> {
     slots: Vec<Vec<T>>,

@@ -68,7 +68,7 @@ impl ListEnds {
 }
 
 /// A slab arena of entries threaded into per-owner intrusive FIFO lists
-/// with free-list recycling. See the [module docs](self) for the
+/// with free-list recycling. See the module docs for the
 /// invariants.
 #[derive(Debug, Clone)]
 pub struct EntrySlab<T> {

@@ -1,7 +1,7 @@
 //! Offline miniature stand-in for the `proptest` crate.
 //!
 //! Implements the subset of the proptest API this workspace uses:
-//! deterministic random case generation through the [`Strategy`] trait
+//! deterministic random case generation through the [`Strategy`](strategy::Strategy) trait
 //! (ranges, tuples, `vec`, [`Just`](strategy::Just), `prop_map`,
 //! `prop_oneof!`), the [`proptest!`] test macro with an optional
 //! `#![proptest_config(..)]` header, and panic-based `prop_assert*` macros.

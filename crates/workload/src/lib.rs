@@ -24,6 +24,28 @@
 //! * [`classify`] — estimated task runtime, the short/long cutoff, and the
 //!   misestimation model of §4.8.
 //! * [`stats`] — the Table 1 / Table 2 / Figure 4 workload statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use hawk_workload::classify::Cutoff;
+//! use hawk_workload::scenario::{ScenarioSpec, TraceFamily};
+//! use hawk_workload::JobClass;
+//!
+//! // A 10×-scaled Google-like workload, generated deterministically.
+//! let scenario = ScenarioSpec::new(TraceFamily::Google { scale: 10 }, 200);
+//! let trace = scenario.trace(42);
+//! assert_eq!(trace.len(), 200);
+//! assert_eq!(trace, scenario.trace(42)); // same seed, same trace
+//!
+//! // ~10 % of jobs classify long under the Google cutoff (§2.1).
+//! let long = trace
+//!     .jobs()
+//!     .iter()
+//!     .filter(|j| Cutoff::GOOGLE_DEFAULT.classify(j.mean_task_duration()) == JobClass::Long)
+//!     .count();
+//! assert!((10..=40).contains(&long), "{long} long jobs of 200");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

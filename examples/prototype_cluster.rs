@@ -2,15 +2,19 @@
 //! schedulers and the centralized scheduler as live threads exchanging
 //! messages, with tasks executing as wall-clock sleeps.
 //!
-//! Runs a scaled-down Google-trace sample under Hawk and Sparrow and
-//! prints the same comparison as the simulator — in a few seconds of real
-//! time.
+//! The prototype is a *backend* for the same `Scheduler` policies the
+//! simulator runs: the `Hawk::new(0.17)` and `Sparrow::new()` values
+//! below are exactly the ones every simulation example uses. Runs a
+//! scaled-down Google-trace sample under both and prints the same
+//! comparison as the simulator — in a few seconds of real time.
 //!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example prototype_cluster
 //! ```
+
+use std::sync::Arc;
 
 use hawk::prelude::*;
 use hawk::workload::sample::{arrivals_for_load_multiplier, PrototypeSampleConfig};
@@ -34,27 +38,15 @@ fn main() {
         trace.span().as_secs_f64()
     );
 
-    let base = ProtoConfig {
+    let cfg = ProtoConfig {
         cutoff: sample_cfg.cutoff(),
         ..ProtoConfig::default()
     };
 
     println!("running Hawk on 100 worker threads...");
-    let hawk = run_prototype(
-        &trace,
-        &ProtoConfig {
-            mode: ProtoMode::Hawk,
-            ..base
-        },
-    );
+    let hawk = run_prototype(&trace, Arc::new(Hawk::new(0.17)), &cfg);
     println!("running Sparrow on 100 worker threads...");
-    let sparrow = run_prototype(
-        &trace,
-        &ProtoConfig {
-            mode: ProtoMode::Sparrow,
-            ..base
-        },
-    );
+    let sparrow = run_prototype(&trace, Arc::new(Sparrow::new()), &cfg);
 
     for class in [JobClass::Short, JobClass::Long] {
         let hp = hawk.runtime_percentile(class, 90.0).unwrap_or(f64::NAN);
@@ -67,8 +59,9 @@ fn main() {
         );
     }
     println!(
-        "median utilization: Hawk {:.0}%, Sparrow {:.0}%",
+        "median utilization: Hawk {:.0}%, Sparrow {:.0}% ({} steals)",
         hawk.median_utilization().unwrap_or(0.0) * 100.0,
-        sparrow.median_utilization().unwrap_or(0.0) * 100.0
+        sparrow.median_utilization().unwrap_or(0.0) * 100.0,
+        hawk.steals
     );
 }

@@ -24,8 +24,11 @@
 //!   policy impls, the policy-agnostic simulation driver, the fluent
 //!   [`Experiment`](core::Experiment) builder and the parallel
 //!   [`Sweep`](core::Sweep) runner, and the paper's metrics.
-//! * [`proto`] — a real-time multi-threaded prototype (threads + channels
-//!   + sleep tasks), the stand-in for the paper's Spark deployment.
+//! * [`proto`] — the real-time prototype **backend**: the same
+//!   [`Scheduler`](core::Scheduler) policies running on live node
+//!   daemons (threads + channels + sleep tasks, or a deterministic
+//!   virtual clock), the stand-in for the paper's Spark deployment and
+//!   the second half of its §4.4 sim-vs-implementation cross-check.
 //!
 //! # Quick start
 //!
@@ -72,11 +75,11 @@ pub mod prelude {
     };
     pub use hawk_core::scheduler::{Centralized, Hawk, Sparrow, SplitCluster};
     pub use hawk_core::{
-        compare, CentralOverhead, CentralScheduler, Comparison, Experiment, ExperimentBuilder,
-        ExperimentConfig, JobResult, MetricsReport, PlacementView, Scheduler, SchedulerConfig,
-        SimConfig, StealSpec, Sweep, SweepResults,
+        compare, Backend, CentralOverhead, CentralScheduler, Comparison, Experiment,
+        ExperimentBuilder, ExperimentConfig, JobResult, MetricsReport, PlacementView, Scheduler,
+        SchedulerConfig, SimBackend, SimConfig, StealSpec, Sweep, SweepResults,
     };
-    pub use hawk_proto::{run_prototype, ProtoConfig, ProtoMode, ProtoReport};
+    pub use hawk_proto::{run_prototype, ExecutionMode, ProtoBackend, ProtoConfig, ProtoReport};
     pub use hawk_simcore::{SimDuration, SimRng, SimTime};
     pub use hawk_workload::classify::{Cutoff, JobEstimates, MisestimateRange};
     pub use hawk_workload::scenario::{

@@ -157,10 +157,10 @@ fn prototype_and_simulator_agree_on_an_idle_cluster() {
 
     let proto = run_prototype(
         &trace,
+        std::sync::Arc::new(Hawk::new(0.17)),
         &ProtoConfig {
             workers: 50,
             cutoff: sample.cutoff(),
-            mode: ProtoMode::Hawk,
             ..ProtoConfig::default()
         },
     );

@@ -1,0 +1,108 @@
+//! Deprecation contract for the PR 1 shims.
+//!
+//! `run_experiment` / `run_experiment_with_estimates` and the
+//! `SchedulerConfig::hawk_with_*` / `hawk_without_*` constructors are
+//! deprecated in favour of `Experiment::builder()` and the
+//! `scheduler::Hawk` builder methods, but they stay supported until
+//! removal (see the README's Migration section). This suite pins the
+//! contract that keeps them safe to hold on to: every legacy spelling
+//! produces **bit-identical** results to its documented replacement.
+#![allow(deprecated)]
+
+use hawk_cluster::StealGranularity;
+use hawk_core::scheduler::Hawk;
+use hawk_core::{run_experiment, run_experiment_with_estimates};
+use hawk_core::{Experiment, ExperimentConfig, Scheduler, SchedulerConfig};
+use hawk_workload::motivation::MotivationConfig;
+use hawk_workload::Trace;
+
+fn shim_trace() -> Trace {
+    MotivationConfig {
+        jobs: 120,
+        short_tasks: 8,
+        long_tasks: 30,
+        ..Default::default()
+    }
+    .generate(21)
+}
+
+fn legacy_cell(scheduler: SchedulerConfig) -> ExperimentConfig {
+    ExperimentConfig {
+        nodes: 150,
+        scheduler,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Runs one legacy config through `run_experiment` and the matching
+/// modern policy through the builder; asserts bit-identical reports.
+fn assert_shim_matches(legacy: SchedulerConfig, modern: impl Scheduler + 'static) {
+    let trace = shim_trace();
+    let name = legacy.name;
+    let old = run_experiment(&trace, &legacy_cell(legacy));
+    let new = Experiment::builder()
+        .nodes(150)
+        .scheduler(modern)
+        .trace(&trace)
+        .run();
+    assert_eq!(old.scheduler, new.scheduler, "{name}: names diverged");
+    assert_eq!(old.results, new.results, "{name}: results diverged");
+    assert_eq!(old.steals, new.steals, "{name}: steal counts diverged");
+    assert_eq!(old.events, new.events, "{name}: event counts diverged");
+}
+
+#[test]
+fn every_hawk_with_shim_matches_its_builder_replacement() {
+    assert_shim_matches(
+        SchedulerConfig::hawk_with_steal_cap(0.17, 4),
+        Hawk::new(0.17).steal_cap(4),
+    );
+    assert_shim_matches(
+        SchedulerConfig::hawk_with_granularity(0.17, StealGranularity::RandomBlockedEntry),
+        Hawk::new(0.17).steal_granularity(StealGranularity::RandomBlockedEntry),
+    );
+    assert_shim_matches(
+        SchedulerConfig::hawk_with_granularity(0.17, StealGranularity::AllBlockedShorts),
+        Hawk::new(0.17).steal_granularity(StealGranularity::AllBlockedShorts),
+    );
+    assert_shim_matches(
+        SchedulerConfig::hawk_with_probe_avoidance(0.17, 3),
+        Hawk::new(0.17).probe_avoidance(3),
+    );
+    assert_shim_matches(
+        SchedulerConfig::hawk_without_centralized(0.17),
+        Hawk::new(0.17).without_centralized(),
+    );
+    assert_shim_matches(SchedulerConfig::hawk_without_partition(), Hawk::new(0.0));
+    assert_shim_matches(
+        SchedulerConfig::hawk_without_stealing(0.17),
+        Hawk::new(0.17).without_stealing(),
+    );
+}
+
+#[test]
+fn run_experiment_with_estimates_matches_builder_equivalent() {
+    use hawk_workload::classify::MisestimateRange;
+    let trace = shim_trace();
+    let cfg = ExperimentConfig {
+        nodes: 150,
+        scheduler: SchedulerConfig::hawk(0.17),
+        misestimate: Some(MisestimateRange::symmetric(0.4)),
+        ..ExperimentConfig::default()
+    };
+    let (old_report, old_estimates) = run_experiment_with_estimates(&trace, &cfg);
+    let (new_report, new_estimates) = Experiment::builder()
+        .nodes(150)
+        .scheduler(Hawk::new(0.17))
+        .misestimate(MisestimateRange::symmetric(0.4))
+        .trace(&trace)
+        .build()
+        .run_with_estimates();
+    assert_eq!(old_report.results, new_report.results);
+    for job in trace.jobs() {
+        assert_eq!(
+            old_estimates.estimate(job.id),
+            new_estimates.estimate(job.id)
+        );
+    }
+}
