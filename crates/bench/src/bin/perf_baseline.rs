@@ -3,9 +3,10 @@
 //! Unlike the figure binaries (which reproduce the paper's *results*), this
 //! binary measures how fast the simulator itself runs: it times
 //! representative end-to-end cells — the 90 %-load Google-like workload at
-//! 1k / 5k / 15k / 50k nodes under Hawk and Sparrow — and writes
-//! `BENCH_perf.json` at the repository root so the engine's throughput
-//! trajectory is tracked across PRs. The 50k-node pair is the paper's
+//! 1k / 5k / 15k / 50k nodes under Hawk and Sparrow, plus a churning
+//! heterogeneous cell and a contended-fat-tree topology cell at 5k — and
+//! writes `BENCH_perf.json` at the repository root so the engine's
+//! throughput trajectory is tracked across PRs. The 50k-node pair is the paper's
 //! largest Figure 5 cluster: the slab-backed queue rework exists precisely
 //! so per-event throughput stays flat out to that scale.
 //!
@@ -26,7 +27,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hawk_core::scheduler::{Hawk, Scheduler, Sparrow};
-use hawk_core::{Experiment, MetricsReport};
+use hawk_core::{Experiment, FatTreeParams, MetricsReport, TopologySpec};
 use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
 use hawk_workload::scenario::{DynamicsScript, SpeedSpec};
@@ -44,6 +45,9 @@ const NODE_CELLS: [usize; 4] = [1_000, 5_000, 15_000, 50_000];
 
 /// Cluster size of the scenario-engine churn cell.
 const CHURN_NODES: usize = 5_000;
+
+/// Cluster size of the contended-fat-tree topology cell.
+const FAT_TREE_NODES: usize = 5_000;
 
 /// The churn cell's scenario: rolling failures (one of 50 spread-out
 /// servers down for 30 s every 60 s, from t = 500 s, effectively forever)
@@ -182,9 +186,11 @@ fn time_cell(
         repeats,
         DynamicsScript::none(),
         SpeedSpec::Uniform,
+        None,
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn time_cell_with(
     trace: &Arc<Trace>,
     scheduler: Arc<dyn Scheduler>,
@@ -192,14 +198,18 @@ fn time_cell_with(
     repeats: usize,
     dynamics: DynamicsScript,
     speeds: SpeedSpec,
+    topology: Option<TopologySpec>,
 ) -> (f64, MetricsReport) {
-    let cell = Experiment::builder()
+    let mut builder = Experiment::builder()
         .trace(trace)
         .scheduler_shared(scheduler)
         .nodes(nodes)
         .dynamics(dynamics)
-        .speeds(speeds)
-        .build();
+        .speeds(speeds);
+    if let Some(spec) = topology {
+        builder = builder.topology(spec);
+    }
+    let cell = builder.build();
     let mut best: Option<(f64, MetricsReport)> = None;
     for _ in 0..repeats {
         let start = Instant::now();
@@ -221,7 +231,8 @@ fn main() {
 
     eprintln!(
         "perf_baseline: {jobs} jobs, seed {:#x}, best of {} per cell, \
-         cells {NODE_CELLS:?} x {{hawk, sparrow}} + hawk-churn x {CHURN_NODES}",
+         cells {NODE_CELLS:?} x {{hawk, sparrow}} + hawk-churn x {CHURN_NODES} \
+         + hawk-fat-tree x {FAT_TREE_NODES}",
         opts.seed, opts.repeats
     );
 
@@ -275,6 +286,7 @@ fn main() {
             opts.repeats,
             churn_dynamics(),
             churn_speeds(),
+            None,
         );
         let events_per_sec = report.events as f64 / wall_s.max(1e-9);
         eprintln!(
@@ -285,6 +297,40 @@ fn main() {
         cells.push(CellTiming {
             scheduler: "hawk-churn".to_string(),
             nodes: CHURN_NODES,
+            jobs,
+            wall_s,
+            events: report.events,
+            events_per_sec,
+            steals: report.steals,
+            speedup_vs_pre_rework: None,
+        });
+    }
+
+    // The topology-engine cell: the same workload at 5k nodes on a
+    // contended fat tree — every message charged through per-link FIFO
+    // queues. Tracks the hawk-net contention path's cost next to the
+    // flat-network static cells.
+    {
+        let trace = Arc::new(trace_for(FAT_TREE_NODES, jobs, opts.seed));
+        let scheduler: Arc<dyn Scheduler> = Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION));
+        let (wall_s, report) = time_cell_with(
+            &trace,
+            scheduler,
+            FAT_TREE_NODES,
+            opts.repeats,
+            DynamicsScript::none(),
+            SpeedSpec::Uniform,
+            Some(TopologySpec::FatTreeContended(FatTreeParams::default())),
+        );
+        let events_per_sec = report.events as f64 / wall_s.max(1e-9);
+        eprintln!(
+            "  hawk-fat-tree x {FAT_TREE_NODES:>6} nodes: {wall_s:8.3} s  \
+             ({events_per_sec:.2e} events/s, {} msgs classified)",
+            report.network.total_msgs()
+        );
+        cells.push(CellTiming {
+            scheduler: "hawk-fat-tree".to_string(),
+            nodes: FAT_TREE_NODES,
             jobs,
             wall_s,
             events: report.events,

@@ -4,6 +4,14 @@
 //! message (probes, task requests/responses, task placements), with
 //! scheduling decisions and steal transfers themselves free (§4.1). This
 //! module centralizes those constants so experiments can vary them.
+//!
+//! [`NetworkModel`] is the *parameter block* of that flat model; the
+//! `hawk-net` crate's `Topology` trait generalizes it to placement- and
+//! load-aware delays (fat trees, per-link contention), with
+//! `TopologySpec::Constant(NetworkModel)` as the exact embedding of this
+//! model — the driver and the prototype router charge every message
+//! through that seam, and a `Constant` run is bit-identical to the
+//! historical scalar plumbing.
 
 use hawk_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -44,6 +52,12 @@ impl NetworkModel {
 
     /// A full request/response round trip (the late-binding cost a server
     /// pays when a probe reaches its queue head).
+    ///
+    /// This is the constant-delay projection of the topology seam's
+    /// default round trip — `Topology::round_trip(a, b)` is defined as
+    /// `delay(a, b) + delay(b, a)`, which for the `Constant` topology
+    /// collapses to exactly `2 × delay` regardless of endpoints (pinned
+    /// by the `hawk-net` crate's tests).
     pub fn round_trip(&self) -> SimDuration {
         self.delay + self.delay
     }

@@ -7,6 +7,7 @@
 //! policy the driver executes.
 
 use hawk_cluster::{NetworkModel, StealGranularity};
+use hawk_net::TopologySpec;
 use hawk_simcore::SimDuration;
 use hawk_workload::classify::{Cutoff, MisestimateRange};
 use hawk_workload::scenario::{DynamicsScript, SpeedSpec};
@@ -269,6 +270,12 @@ pub struct SimConfig {
     pub misestimate: Option<MisestimateRange>,
     /// Network delays.
     pub network: NetworkModel,
+    /// Placement-aware network topology. `None` (the default) means the
+    /// flat constant-delay network described by `network` — the paper's
+    /// §4.1 model — so every pre-topology configuration keeps its exact
+    /// behavior. `Some` selects a fat-tree (optionally contended) model
+    /// and makes `network` irrelevant except as documentation.
+    pub topology: Option<TopologySpec>,
     /// Centralized-scheduler decision cost (default: free, as in the
     /// paper's simulator).
     pub central_overhead: CentralOverhead,
@@ -291,12 +298,24 @@ impl Default for SimConfig {
             cutoff: Cutoff::GOOGLE_DEFAULT,
             misestimate: None,
             network: NetworkModel::paper_default(),
+            topology: None,
             central_overhead: CentralOverhead::FREE,
             util_interval: SimDuration::from_secs(100),
             dynamics: DynamicsScript::none(),
             speeds: SpeedSpec::Uniform,
             seed: DEFAULT_SEED,
         }
+    }
+}
+
+impl SimConfig {
+    /// The effective network topology of this configuration: the explicit
+    /// spec if one was set, otherwise the flat constant-delay network
+    /// built from `network`. Both backends construct their runtime
+    /// topology from this single seam.
+    pub fn topology_spec(&self) -> TopologySpec {
+        self.topology
+            .unwrap_or(TopologySpec::Constant(self.network))
     }
 }
 
@@ -335,6 +354,7 @@ impl ExperimentConfig {
             cutoff: self.cutoff,
             misestimate: self.misestimate,
             network: self.network,
+            topology: None,
             central_overhead: self.central_overhead,
             util_interval: self.util_interval,
             dynamics: DynamicsScript::none(),

@@ -16,14 +16,16 @@
 //! trait; adding a new scheduling policy requires no driver changes.
 //!
 //! Messages (probes, placements, bind requests/responses) incur the
-//! configured one-way network delay; scheduling decisions and steal
-//! transfers are free by default, matching §4.1.
+//! delay the configured network [`Topology`] charges for their endpoint
+//! pair; under the default constant topology that is the flat one-way
+//! delay of §4.1, and scheduling decisions and steal transfers stay free.
+//! Every message asks the topology exactly once, in event order, so
+//! contended topologies (per-link FIFO queueing) remain deterministic.
 
 use std::sync::Arc;
 
-use hawk_cluster::{
-    Cluster, NetworkModel, QueueEntry, ServerAction, ServerId, TaskSpec, UtilizationTracker,
-};
+use hawk_cluster::{Cluster, QueueEntry, ServerAction, ServerId, TaskSpec, UtilizationTracker};
+use hawk_net::{Endpoint, Topology};
 use hawk_simcore::{BatchHandle, BatchPool, Engine, SimRng, SimTime};
 use hawk_workload::classify::JobEstimates;
 use hawk_workload::scenario::NodeChange;
@@ -175,6 +177,10 @@ pub struct Driver<'t> {
     /// Time at which the centralized scheduler's serial processing queue
     /// drains (only advances under a non-free [`CentralOverhead`]).
     central_ready: SimTime,
+    /// The network topology every message delay is routed through. Built
+    /// from [`SimConfig::topology_spec`]; the default constant model
+    /// reproduces `network.one_way()` exactly.
+    topology: Box<dyn Topology>,
 }
 
 impl<'t> Driver<'t> {
@@ -320,6 +326,7 @@ impl<'t> Driver<'t> {
             probe_buf: Vec::with_capacity(4 * max_tasks + 8),
             place_buf: Vec::with_capacity(max_tasks),
             central_ready: SimTime::ZERO,
+            topology: sim.topology_spec().build(sim.nodes),
         }
     }
 
@@ -430,7 +437,11 @@ impl<'t> Driver<'t> {
                     let (start, len) = self.scope_range(scope);
                     let view = PlacementView::new(&self.cluster, start, len);
                     let retry = view.random_server(&mut self.probe_rng);
-                    let delay = self.network().one_way();
+                    let delay = self.topology.delay(
+                        self.engine.now(),
+                        Endpoint::Server(server),
+                        Endpoint::Server(retry),
+                    );
                     self.engine.schedule(
                         delay,
                         Event::ProbeArrive {
@@ -505,7 +516,6 @@ impl<'t> Driver<'t> {
         let class = self.estimates.class(job, self.sim.cutoff);
         self.jobs[job.index()].class = class;
         let route = self.scheduler.route(class);
-        let delay = self.network().one_way();
         match route {
             Route::Central(_) => {
                 self.jobs[job.index()].central = true;
@@ -530,7 +540,13 @@ impl<'t> Driver<'t> {
                     &mut self.probe_rng,
                     &mut self.probe_buf,
                 );
+                // The job's distributed scheduler is the probes' source
+                // endpoint; each probe is committed to the fabric
+                // individually, in target order.
+                let now = self.engine.now();
+                let src = Endpoint::Scheduler(job.0);
                 for &server in &self.probe_buf {
+                    let delay = self.topology.delay(now, src, Endpoint::Server(server));
                     self.engine.schedule(
                         delay,
                         Event::ProbeArrive {
@@ -550,12 +566,12 @@ impl<'t> Driver<'t> {
         let spec = self.trace.job(job);
         let class = self.jobs[job.index()].class;
         let estimate = self.estimates.estimate(job);
-        let delay = self.network().one_way();
         let central = self
             .central
             .as_mut()
             .expect("central route requires a central scheduler");
         central.assign_job_into(spec.num_tasks(), estimate, &mut self.place_buf);
+        let now = self.engine.now();
         for (i, &server) in self.place_buf.iter().enumerate() {
             let task = TaskSpec {
                 job,
@@ -563,6 +579,9 @@ impl<'t> Driver<'t> {
                 estimate,
                 class,
             };
+            let delay = self
+                .topology
+                .delay(now, Endpoint::Central, Endpoint::Server(server));
             self.engine
                 .schedule(delay, Event::TaskArrive { server, spec: task });
         }
@@ -602,7 +621,7 @@ impl<'t> Driver<'t> {
     ///
     /// Every relocation costs one network hop, like any other message.
     fn relocate(&mut self, from: ServerId, entry: QueueEntry) {
-        let delay = self.network().one_way();
+        let now = self.engine.now();
         match entry {
             QueueEntry::Task(spec) => {
                 let central = self
@@ -622,6 +641,9 @@ impl<'t> Driver<'t> {
                 );
                 central.reassign(from, target, spec.estimate);
                 self.migrations += 1;
+                let delay =
+                    self.topology
+                        .delay(now, Endpoint::Server(from), Endpoint::Server(target));
                 self.engine.schedule(
                     delay,
                     Event::TaskArrive {
@@ -644,6 +666,9 @@ impl<'t> Driver<'t> {
                 let (start, len) = self.scope_range(scope);
                 let view = PlacementView::new(&self.cluster, start, len);
                 let target = view.random_server(&mut self.scenario_rng);
+                let delay =
+                    self.topology
+                        .delay(now, Endpoint::Server(from), Endpoint::Server(target));
                 self.engine.schedule(
                     delay,
                     Event::ProbeArrive {
@@ -658,7 +683,13 @@ impl<'t> Driver<'t> {
     }
 
     fn on_bind_request(&mut self, server: ServerId, job: JobId) {
-        let delay = self.network().one_way();
+        // The response travels scheduler → server, the reverse of the
+        // request hop that produced this event.
+        let delay = self.topology.delay(
+            self.engine.now(),
+            Endpoint::Scheduler(job.0),
+            Endpoint::Server(server),
+        );
         let estimate = self.estimates.estimate(job);
         let spec = self.trace.job(job);
         let run = &mut self.jobs[job.index()];
@@ -707,7 +738,11 @@ impl<'t> Driver<'t> {
                     .schedule(occupancy, Event::TaskFinish { server });
             }
             ServerAction::RequestBind { job } => {
-                let delay = self.network().one_way();
+                let delay = self.topology.delay(
+                    self.engine.now(),
+                    Endpoint::Server(server),
+                    Endpoint::Scheduler(job.0),
+                );
                 self.engine
                     .schedule(delay, Event::BindRequest { server, job });
             }
@@ -749,6 +784,7 @@ impl<'t> Driver<'t> {
             return;
         }
         debug_assert!(self.steal_buf.is_empty(), "stale steal batch");
+        let mut robbed = None;
         for &victim in &victims {
             if !self.cluster.holds_long_work(victim) {
                 // One bitmap load instead of a cold walk of the victim's
@@ -762,15 +798,23 @@ impl<'t> Driver<'t> {
                 &mut self.steal_buf,
             );
             if !self.steal_buf.is_empty() {
+                robbed = Some(victim);
                 break;
             }
         }
         self.victim_buf = victims;
-        if self.steal_buf.is_empty() {
+        let Some(victim) = robbed else {
             return;
-        }
+        };
         self.steals += 1;
-        let transfer = self.network().steal_transfer_delay;
+        // The topology prices the transfer (free under the paper's model,
+        // §4.1) and records steal-locality counters for placement-aware
+        // fabrics.
+        let transfer = self.topology.steal_transfer(
+            self.engine.now(),
+            Endpoint::Server(victim),
+            Endpoint::Server(thief),
+        );
         if transfer.is_zero() {
             if let Some(action) = self.cluster.give_stolen_drain(thief, &mut self.steal_buf) {
                 self.on_action(thief, action);
@@ -787,10 +831,6 @@ impl<'t> Driver<'t> {
                 },
             );
         }
-    }
-
-    fn network(&self) -> NetworkModel {
-        self.sim.network
     }
 
     fn report(self) -> (MetricsReport, JobEstimates) {
@@ -828,6 +868,7 @@ impl<'t> Driver<'t> {
             steal_attempts: self.steal_attempts,
             migrations: self.migrations,
             abandons: self.abandons,
+            network: self.topology.stats(),
         };
         (report, self.estimates)
     }

@@ -33,6 +33,7 @@
 use std::sync::Arc;
 
 use hawk_cluster::NetworkModel;
+use hawk_net::TopologySpec;
 use hawk_simcore::SimDuration;
 use hawk_workload::classify::{Cutoff, JobEstimates, MisestimateRange};
 use hawk_workload::scenario::{DynamicsScript, ScenarioSpec, SpeedSpec};
@@ -229,6 +230,15 @@ impl ExperimentBuilder {
     /// Sets the network delay model.
     pub fn network(mut self, network: NetworkModel) -> Self {
         self.sim.network = network;
+        self
+    }
+
+    /// Sets a placement-aware network topology (fat-tree, optionally with
+    /// per-link contention). The default is the flat constant-delay
+    /// network described by [`ExperimentBuilder::network`];
+    /// `TopologySpec::Constant` spells that same default explicitly.
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.sim.topology = Some(topology);
         self
     }
 

@@ -87,6 +87,10 @@ pub use distributed::ProbePlanner;
 pub use driver::{Driver, Event};
 pub use experiment::{Experiment, ExperimentBuilder, IntoTrace};
 pub use metrics::{compare, ClassSummary, Comparison, JobResult, MetricsReport};
+// Convenience re-exports of the network-topology layer (the canonical home
+// is `hawk_net`): the selector every `SimConfig` carries plus the types a
+// topology-aware experiment touches.
+pub use hawk_net::{Endpoint, FatTreeParams, NetworkStats, Topology, TopologySpec};
 pub use scheduler::{PlacementView, Scheduler, StealSpec};
 pub use steal_policy::StealPolicy;
 pub use sweep::{CellResult, Sweep, SweepResults};

@@ -7,6 +7,7 @@
 //! which Hawk is better than or equal to the baseline, and the average
 //! job runtime ratio.
 
+use hawk_net::NetworkStats;
 use hawk_simcore::stats::{mean, percentile, percentile_of_sorted};
 use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::{JobClass, JobId};
@@ -70,6 +71,11 @@ pub struct MetricsReport {
     /// Reservations abandoned at node failure because their job had no
     /// unlaunched tasks left. Zero on static clusters.
     pub abandons: u64,
+    /// Per-link-class message counts and steal-locality counters from the
+    /// network topology. All-zero under the flat constant-delay network
+    /// (placement-blind models classify nothing). Not part of the golden
+    /// digests.
+    pub network: NetworkStats,
 }
 
 impl MetricsReport {
@@ -239,6 +245,7 @@ mod tests {
             steal_attempts: 0,
             migrations: 0,
             abandons: 0,
+            network: NetworkStats::default(),
         }
     }
 

@@ -17,8 +17,10 @@ use crate::runtime::{run_prototype, ExecutionMode, ProtoConfig};
 ///
 /// [`SimConfig`] maps onto the prototype as follows: `nodes` → worker
 /// daemons, `cutoff`/`seed`/`util_interval`/`dynamics`/`speeds` carry
-/// over directly, and `network.delay` becomes the virtual router's
-/// one-way message delay (ignored in real-time mode, where messaging
+/// over directly, and the config's network topology
+/// ([`SimConfig::topology_spec`] — the flat constant model unless
+/// `.topology(..)` selected a fat tree) becomes the virtual router's
+/// message-delay model (ignored in real-time mode, where messaging
 /// latency is whatever the machine provides). Fields the execution model
 /// cannot honour are rejected or ignored:
 ///
@@ -108,7 +110,7 @@ impl ProtoBackend {
                 ExecutionMode::RealTime
             } else {
                 ExecutionMode::Virtual {
-                    message_delay: sim.network.one_way(),
+                    topology: sim.topology_spec(),
                 }
             },
             dynamics: sim.dynamics.clone(),

@@ -12,6 +12,7 @@
 use std::time::Duration;
 
 use hawk_core::{ClassSummary, JobResult, MetricsReport};
+use hawk_net::NetworkStats;
 use hawk_simcore::stats::{mean, median, percentile_of_sorted};
 use hawk_simcore::SimTime;
 use hawk_workload::{JobClass, JobId};
@@ -52,6 +53,11 @@ pub struct ProtoReport {
     /// Messages processed across all daemons (the prototype's analogue of
     /// the simulator's event count).
     pub messages: u64,
+    /// Per-link-class message counts and steal-locality counters from the
+    /// virtual router's network topology. All-zero under the flat constant
+    /// model and in the threaded runtime (real channels have no modelled
+    /// topology).
+    pub network: NetworkStats,
 }
 
 impl ProtoReport {
@@ -156,6 +162,7 @@ impl ProtoReport {
             steal_attempts: self.steal_attempts,
             migrations: self.migrations,
             abandons: self.abandons,
+            network: self.network,
         }
     }
 }
@@ -183,6 +190,7 @@ mod tests {
             migrations: 0,
             abandons: 0,
             messages: 100,
+            network: NetworkStats::default(),
         }
     }
 
@@ -213,6 +221,7 @@ mod tests {
             migrations: 0,
             abandons: 0,
             messages: 0,
+            network: NetworkStats::default(),
         };
         assert_eq!(report.runtime_percentile(JobClass::Short, 50.0), None);
         assert_eq!(report.median_utilization(), None);
@@ -259,6 +268,7 @@ mod tests {
             steal_attempts: 0,
             migrations: 0,
             abandons: 0,
+            network: NetworkStats::default(),
         };
         for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
             assert_eq!(

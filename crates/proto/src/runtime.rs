@@ -14,7 +14,9 @@
 //!   bit-deterministic.
 //! * [`ExecutionMode::Virtual`] — the same daemons run single-threaded
 //!   under a deterministic router: messages are delivered in
-//!   `(virtual time, sequence)` order after a constant one-way delay, and
+//!   `(virtual time, sequence)` order after a delay charged by the
+//!   configured network [`TopologySpec`] (constant under the paper
+//!   default, placement- and load-dependent on a fat tree), and
 //!   "sleeping" advances a virtual clock. Two runs with the same seed are
 //!   byte-identical, which is what lets `tests/backend_conformance.rs`
 //!   cross-check the prototype against the simulator.
@@ -35,8 +37,9 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use hawk_cluster::Partition;
+use hawk_cluster::{NetworkModel, Partition};
 use hawk_core::{Route, Scheduler, Scope};
+use hawk_net::{NetworkStats, TopologySpec};
 use hawk_simcore::{SimDuration, SimRng, SimTime};
 use hawk_workload::classify::Cutoff;
 use hawk_workload::scenario::{DynamicsScript, NodeChange, SpeedSpec};
@@ -49,7 +52,7 @@ use crate::virt::run_virtual;
 use crate::worker::{Worker, WorkerStats};
 
 /// How the prototype cluster executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExecutionMode {
     /// Live OS threads on the wall clock: real concurrency, real
     /// messaging noise, non-deterministic results (the paper's §4.10
@@ -59,10 +62,33 @@ pub enum ExecutionMode {
     /// Single-threaded deterministic execution on a virtual clock:
     /// byte-identical results per seed, no wall time spent "sleeping".
     Virtual {
-        /// One-way message delay applied to every daemon-to-daemon
-        /// message (the simulator's network-delay analogue).
-        message_delay: SimDuration,
+        /// The network topology the virtual router charges every
+        /// daemon-to-daemon message against — the same
+        /// [`TopologySpec`] the simulation driver builds its
+        /// [`Topology`](hawk_net::Topology) from, so a conformance pair
+        /// runs both backends over identical network models.
+        /// [`TopologySpec::paper_default()`] reproduces the historical
+        /// constant 0.5 ms delay (§4.1).
+        topology: TopologySpec,
     },
+}
+
+impl ExecutionMode {
+    /// The virtual-clock mode with a flat constant one-way `message_delay`
+    /// — the pre-topology spelling, kept so existing callers keep
+    /// compiling (pinned by `tests/legacy_shims.rs`).
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `ExecutionMode::Virtual { topology: TopologySpec::Constant(..) }`"
+    )]
+    pub fn virtual_with_delay(message_delay: SimDuration) -> Self {
+        ExecutionMode::Virtual {
+            topology: TopologySpec::Constant(NetworkModel {
+                delay: message_delay,
+                steal_transfer_delay: SimDuration::ZERO,
+            }),
+        }
+    }
 }
 
 /// Prototype cluster configuration (paper defaults: 100 nodes, 10
@@ -335,14 +361,16 @@ pub fn run_prototype(
 ) -> ProtoReport {
     let setup = build_cluster(trace, &scheduler, cfg);
     match cfg.mode {
-        ExecutionMode::Virtual { message_delay } => run_virtual(trace, setup, cfg, message_delay),
+        ExecutionMode::Virtual { topology } => {
+            run_virtual(trace, setup, cfg, topology.build(cfg.workers))
+        }
         ExecutionMode::RealTime => run_threaded(trace, setup, cfg),
     }
 }
 
 /// Shared routing table handed to every thread of the real-time runtime.
 #[derive(Clone)]
-pub(crate) struct Topology {
+pub(crate) struct RoutingTable {
     workers: Arc<Vec<Sender<WorkerMsg>>>,
     dscheds: Arc<Vec<Sender<DistMsg>>>,
     central: Option<Sender<CentralMsg>>,
@@ -357,7 +385,7 @@ pub(crate) struct Topology {
 /// calling worker's task-finish deadline slot (always `None` for
 /// scheduler daemons, which never start tasks).
 struct ThreadNet<'a> {
-    topo: &'a Topology,
+    topo: &'a RoutingTable,
     deadline: &'a mut Option<Instant>,
 }
 
@@ -396,7 +424,7 @@ impl Net for ThreadNet<'_> {
 fn worker_thread(
     mut worker: Worker,
     rx: Receiver<WorkerMsg>,
-    topo: Topology,
+    topo: RoutingTable,
 ) -> crate::worker::WorkerStats {
     let mut deadline: Option<Instant> = None;
     loop {
@@ -446,7 +474,7 @@ fn worker_thread(
 /// daemons via the `handle` closure).
 fn sched_thread<M>(
     rx: Receiver<M>,
-    topo: Topology,
+    topo: RoutingTable,
     mut handle: impl FnMut(M, &mut ThreadNet<'_>) -> bool,
 ) {
     let mut deadline = None;
@@ -479,7 +507,7 @@ fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoR
     let central_channel = central.as_ref().map(|_| channel::<CentralMsg>());
     let (done_tx, done_rx) = channel::<(JobId, Instant)>();
 
-    let topo = Topology {
+    let topo = RoutingTable {
         workers: Arc::new(worker_txs),
         dscheds: Arc::new(dsched_txs),
         central: central_channel.as_ref().map(|(tx, _)| tx.clone()),
@@ -645,6 +673,9 @@ fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoR
         migrations: totals.migrations,
         abandons: totals.abandons,
         messages: totals.messages,
+        // The threaded runtime rides the machine's real network (in-process
+        // channels): there is no modelled topology to classify links.
+        network: NetworkStats::default(),
     }
 }
 
@@ -682,8 +713,10 @@ mod tests {
     }
 
     fn virtual_mode() -> ExecutionMode {
+        // The paper-default constant topology: 0.5 ms one-way, free steal
+        // transfers — exactly the pre-topology `message_delay: 500 µs`.
         ExecutionMode::Virtual {
-            message_delay: SimDuration::from_micros(500),
+            topology: TopologySpec::paper_default(),
         }
     }
 

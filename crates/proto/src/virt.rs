@@ -17,10 +17,19 @@
 //! binds round-trip through the owning scheduler, and steals cost a
 //! request/reply exchange. The conformance harness checks the two
 //! executions agree *qualitatively*, not that they are the same program.
+//!
+//! Every hop is charged by the configured [`Topology`]: the router tracks
+//! which daemon is currently executing (the `src` endpoint) and asks the
+//! topology for the delay to each recipient, exactly once per message in
+//! delivery order — the same discipline the simulation driver follows, so
+//! a contended fat tree observes an identical query protocol under both
+//! backends.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use hawk_cluster::ServerId;
+use hawk_net::{Endpoint, Topology};
 use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::scenario::NodeChange;
 use hawk_workload::{JobId, Trace};
@@ -72,12 +81,17 @@ impl Ord for Timed {
 
 /// [`Net`] over the router: sends enqueue deliveries at `now + delay`,
 /// timers at `now + occupancy`, completions are recorded on the virtual
-/// clock.
+/// clock. The delay of each send is charged by the topology from the
+/// daemon currently executing (`src`) to the recipient.
 struct VirtualNet {
     queue: BinaryHeap<Timed>,
     now: SimTime,
     seq: u64,
-    delay: SimDuration,
+    topology: Box<dyn Topology>,
+    /// Endpoint of the daemon whose handler is currently running — set by
+    /// the delivery loop before every dispatch, so sends made inside the
+    /// handler are charged from the right place.
+    src: Endpoint,
     running: i64,
     completions: Vec<Option<SimTime>>,
     completed: usize,
@@ -100,21 +114,37 @@ impl VirtualNet {
         self.queue.push(Timed { at, seq, dest });
     }
 
-    fn push_delayed(&mut self, dest: Dest) {
-        let at = self.now + self.delay;
+    /// Charges one message from the current `src` to `dst` and enqueues
+    /// its delivery. The topology is asked exactly once per message, in
+    /// send order — on a contended fat tree the query itself commits link
+    /// occupancy.
+    fn push_routed(&mut self, dst: Endpoint, dest: Dest) {
+        let delay = self.topology.delay(self.now, self.src, dst);
+        let at = self.now + delay;
         self.push_at(at, dest);
     }
 }
 
 impl Net for VirtualNet {
     fn send_worker(&mut self, to: usize, msg: WorkerMsg) {
-        self.push_delayed(Dest::Worker(to, msg));
+        let dst = Endpoint::Server(ServerId(to as u32));
+        let delay = self.topology.delay(self.now, self.src, dst);
+        // A successful steal reply also moves the stolen work itself:
+        // charge the victim→thief transfer (free under the paper's §4.1
+        // model, where only locality is recorded).
+        let transfer = match &msg {
+            WorkerMsg::StealReply { entries } if !entries.is_empty() => {
+                self.topology.steal_transfer(self.now, self.src, dst)
+            }
+            _ => SimDuration::ZERO,
+        };
+        self.push_at(self.now + delay + transfer, Dest::Worker(to, msg));
     }
     fn send_dist(&mut self, to: usize, msg: DistMsg) {
-        self.push_delayed(Dest::Dist(to, msg));
+        self.push_routed(Endpoint::Scheduler(to as u32), Dest::Dist(to, msg));
     }
     fn send_central(&mut self, msg: CentralMsg) {
-        self.push_delayed(Dest::Central(msg));
+        self.push_routed(Endpoint::Central, Dest::Central(msg));
     }
     fn schedule_finish(&mut self, worker: usize, occupancy: SimDuration) {
         let at = self.now + occupancy;
@@ -139,13 +169,16 @@ pub(crate) fn run_virtual(
     trace: &Trace,
     mut setup: ClusterSetup,
     cfg: &ProtoConfig,
-    message_delay: SimDuration,
+    topology: Box<dyn Topology>,
 ) -> ProtoReport {
     let mut net = VirtualNet {
         queue: BinaryHeap::with_capacity(trace.len() * 4),
         now: SimTime::ZERO,
         seq: 0,
-        delay: message_delay,
+        topology,
+        // Overwritten before every handler dispatch; Central is a safe
+        // placeholder for the pre-loop seeding (which sends nothing).
+        src: Endpoint::Central,
         running: 0,
         completions: vec![None; trace.len()],
         completed: 0,
@@ -192,20 +225,29 @@ pub(crate) fn run_virtual(
                 continue;
             }
             Dest::Worker(i, msg) => {
+                net.src = Endpoint::Server(ServerId(i as u32));
                 setup.workers[i].handle(msg, &mut net);
             }
             Dest::Dist(i, msg) => {
+                net.src = Endpoint::Scheduler(i as u32);
                 setup.dists[i].handle(msg, &mut net);
             }
             Dest::Central(msg) => {
+                net.src = Endpoint::Central;
                 let central = setup
                     .central
                     .as_mut()
                     .expect("central message without a central daemon");
                 central.handle(msg, &mut net);
             }
-            Dest::Finish(i) => setup.workers[i].on_task_finish(&mut net),
+            Dest::Finish(i) => {
+                net.src = Endpoint::Server(ServerId(i as u32));
+                setup.workers[i].on_task_finish(&mut net);
+            }
             Dest::Submit(index) => {
+                // A submission is handled in place by its owning scheduler
+                // daemon: sends made while processing it (probes, central
+                // assignments) originate there.
                 let dist_count = setup.dists.len();
                 match submission_for(
                     trace,
@@ -215,6 +257,7 @@ pub(crate) fn run_virtual(
                     dist_count,
                 ) {
                     Submission::Central(msg) => {
+                        net.src = Endpoint::Central;
                         let central = setup
                             .central
                             .as_mut()
@@ -222,21 +265,27 @@ pub(crate) fn run_virtual(
                         central.handle(msg, &mut net);
                     }
                     Submission::Dist(sched, msg) => {
+                        net.src = Endpoint::Scheduler(sched as u32);
                         setup.dists[sched].handle(msg, &mut net);
                     }
                 }
             }
             Dest::Node(change) => {
                 // Fan the membership change out to every daemon, like the
-                // threaded feeder does.
+                // threaded feeder does. Each notification is processed at
+                // its recipient, so follow-up traffic (migrations,
+                // re-probes) originates from the daemon reacting to it.
                 let server = match change {
                     NodeChange::Down(s) | NodeChange::Up(s) => s as usize,
                 };
+                net.src = Endpoint::Server(ServerId(server as u32));
                 setup.workers[server].handle(WorkerMsg::Node(change), &mut net);
-                for dist in &mut setup.dists {
+                for (i, dist) in setup.dists.iter_mut().enumerate() {
+                    net.src = Endpoint::Scheduler(i as u32);
                     dist.handle(DistMsg::Node(change), &mut net);
                 }
                 if let Some(central) = &mut setup.central {
+                    net.src = Endpoint::Central;
                     central.handle(CentralMsg::Node(change), &mut net);
                 }
             }
@@ -275,5 +324,6 @@ pub(crate) fn run_virtual(
         migrations: totals.migrations,
         abandons: totals.abandons,
         messages: totals.messages,
+        network: net.topology.stats(),
     }
 }

@@ -19,6 +19,10 @@
 //!   and the §2.3 motivating scenario).
 //! * [`cluster`] — the simulated cluster: single-slot FIFO servers, late
 //!   binding, partitions, and the Figure 3 steal scan.
+//! * [`net`] — the topology-aware network layer: the pluggable
+//!   [`Topology`](net::Topology) trait with the paper's flat constant
+//!   delay, a placement-aware fat-tree, and a contended fat-tree with
+//!   per-link FIFO queueing (§4.1, §4.8).
 //! * [`core`] — the pluggable [`Scheduler`](core::Scheduler) trait with
 //!   Hawk and the Sparrow / fully-centralized / split-cluster baselines as
 //!   policy impls, the policy-agnostic simulation driver, the fluent
@@ -64,6 +68,7 @@
 
 pub use hawk_cluster as cluster;
 pub use hawk_core as core;
+pub use hawk_net as net;
 pub use hawk_proto as proto;
 pub use hawk_simcore as simcore;
 pub use hawk_workload as workload;
@@ -79,6 +84,7 @@ pub mod prelude {
         ExperimentBuilder, ExperimentConfig, JobResult, MetricsReport, PlacementView, Scheduler,
         SchedulerConfig, SimBackend, SimConfig, StealSpec, Sweep, SweepResults,
     };
+    pub use hawk_net::{Endpoint, FatTreeParams, NetworkStats, Topology, TopologySpec};
     pub use hawk_proto::{run_prototype, ExecutionMode, ProtoBackend, ProtoConfig, ProtoReport};
     pub use hawk_simcore::{SimDuration, SimRng, SimTime};
     pub use hawk_workload::classify::{Cutoff, JobEstimates, MisestimateRange};

@@ -22,7 +22,7 @@ use std::cell::Cell;
 use std::sync::Arc;
 
 use hawk::core::scheduler::{Hawk, Scheduler, Sparrow};
-use hawk::core::{Driver, SimConfig};
+use hawk::core::{Driver, FatTreeParams, SimConfig, TopologySpec};
 use hawk::simcore::{SimDuration, SimTime};
 use hawk::workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
 use hawk::workload::scenario::{DynamicsScript, SpeedSpec};
@@ -78,7 +78,13 @@ const WARMUP_EVENTS: u64 = 60_000;
 const WINDOW_EVENTS: u64 = 10_000;
 
 fn steady_state_window(scheduler: Arc<dyn Scheduler>, name: &str) {
-    steady_state_window_with(scheduler, name, DynamicsScript::none(), SpeedSpec::Uniform);
+    steady_state_window_with(
+        scheduler,
+        name,
+        DynamicsScript::none(),
+        SpeedSpec::Uniform,
+        None,
+    );
 }
 
 fn steady_state_window_with(
@@ -86,6 +92,7 @@ fn steady_state_window_with(
     name: &str,
     dynamics: DynamicsScript,
     speeds: SpeedSpec,
+    topology: Option<TopologySpec>,
 ) {
     // ~1,500 jobs ≈ 180k events: the window sits mid-run, with arrivals,
     // completions and steals all still active.
@@ -97,6 +104,7 @@ fn steady_state_window_with(
         util_interval: SimDuration::from_secs(1_000_000),
         dynamics,
         speeds,
+        topology,
         ..SimConfig::default()
     };
     let mut driver = Driver::with_scheduler(&trace, scheduler, &sim);
@@ -166,5 +174,21 @@ fn hawk_churn_steady_state_event_loop_allocates_nothing() {
         "hawk-churn",
         dynamics,
         speeds,
+        None,
+    );
+}
+
+/// The contended fat tree charges every message through per-link FIFO
+/// queues (flat busy-until vectors preallocated at construction): the
+/// steady-state event loop must stay allocation-free with the full
+/// contention model turned on.
+#[test]
+fn hawk_contended_fat_tree_steady_state_allocates_nothing() {
+    steady_state_window_with(
+        Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)),
+        "hawk-fat-tree-contended",
+        DynamicsScript::none(),
+        SpeedSpec::Uniform,
+        Some(TopologySpec::FatTreeContended(FatTreeParams::default())),
     );
 }

@@ -163,6 +163,54 @@ fn backends_agree_quantitatively_on_headline_percentiles() {
 }
 
 #[test]
+fn backends_agree_on_a_fat_tree_cell() {
+    use hawk_core::{FatTreeParams, TopologySpec};
+
+    // The same conformance cell on a k-ary fat tree instead of the flat
+    // constant network: both backends charge every hop through the same
+    // `TopologySpec`, so the quantitative band must hold under
+    // placement-dependent delays too.
+    let trace = Arc::new(conformance_scenario().trace(TRACE_SEED));
+    let topology = TopologySpec::FatTree(FatTreeParams::default());
+    let build = |scheduler: Arc<dyn Scheduler>| {
+        Experiment::builder()
+            .nodes(NODES)
+            .trace(&trace)
+            .seed(SIM_SEED)
+            .topology(topology)
+            .scheduler_shared(scheduler)
+            .build()
+    };
+    let sim = build(Arc::new(Hawk::new(0.17))).run_on(&SimBackend);
+    let proto = build(Arc::new(Hawk::new(0.17))).run_on(&ProtoBackend::deterministic());
+    for class in [JobClass::Short, JobClass::Long] {
+        for p in [50.0, 90.0] {
+            let s = sim.runtime_percentile(class, p).expect("jobs of class");
+            let pr = proto.runtime_percentile(class, p).expect("jobs of class");
+            let ratio = pr / s;
+            assert!(
+                (0.7..=1.3).contains(&ratio),
+                "fat-tree {class:?} p{p}: proto {pr:.2}s vs sim {s:.2}s \
+                 (ratio {ratio:.3}) outside the conformance band"
+            );
+        }
+    }
+    // Both backends actually observed topology-classified traffic, and
+    // the steal-locality counters fire where stealing exists (Hawk).
+    for (name, report) in [("sim", &sim), ("proto", &proto)] {
+        assert!(
+            report.network.rack_local_msgs > 0 && report.network.cross_rack_msgs > 0,
+            "{name}: fat tree classified no traffic: {:?}",
+            report.network
+        );
+        assert!(
+            report.network.steal_transfers > 0,
+            "{name}: Hawk stole but no transfer was recorded"
+        );
+    }
+}
+
+#[test]
 fn virtual_prototype_is_byte_deterministic() {
     let trace = Arc::new(conformance_scenario().trace(TRACE_SEED));
     let backend = ProtoBackend::deterministic();

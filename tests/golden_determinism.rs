@@ -115,6 +115,7 @@ fn digest_function_is_stable() {
         steal_attempts: 4,
         migrations: 0,
         abandons: 0,
+        network: hawk_core::NetworkStats::default(),
     };
     assert_eq!(digest_report(&report), 5542435923394299797);
 }

@@ -80,6 +80,43 @@ fn every_hawk_with_shim_matches_its_builder_replacement() {
     );
 }
 
+/// The pre-topology `ExecutionMode::virtual_with_delay(d)` spelling is a
+/// constant-topology run with free steal transfers: bit-identical to the
+/// explicit `TopologySpec::Constant` replacement.
+#[test]
+fn virtual_with_delay_matches_constant_topology() {
+    use std::sync::Arc;
+
+    use hawk_cluster::NetworkModel;
+    use hawk_core::TopologySpec;
+    use hawk_proto::{run_prototype, ExecutionMode, ProtoConfig};
+    use hawk_simcore::SimDuration;
+
+    let trace = shim_trace();
+    let delay = SimDuration::from_micros(500);
+    let cfg = |mode| ProtoConfig {
+        workers: 60,
+        mode,
+        ..ProtoConfig::default()
+    };
+    let legacy = run_prototype(
+        &trace,
+        Arc::new(Hawk::new(0.17)),
+        &cfg(ExecutionMode::virtual_with_delay(delay)),
+    );
+    let modern = run_prototype(
+        &trace,
+        Arc::new(Hawk::new(0.17)),
+        &cfg(ExecutionMode::Virtual {
+            topology: TopologySpec::Constant(NetworkModel {
+                delay,
+                steal_transfer_delay: SimDuration::ZERO,
+            }),
+        }),
+    );
+    assert_eq!(legacy, modern, "virtual_with_delay diverged from Constant");
+}
+
 #[test]
 fn run_experiment_with_estimates_matches_builder_equivalent() {
     use hawk_workload::classify::MisestimateRange;

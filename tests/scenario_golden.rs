@@ -18,8 +18,9 @@
 
 use std::sync::Arc;
 
+use hawk_cluster::NetworkModel;
 use hawk_core::scheduler::{Centralized, Hawk, Scheduler, Sparrow, SplitCluster};
-use hawk_core::{Experiment, MetricsReport};
+use hawk_core::{Experiment, FatTreeParams, MetricsReport, TopologySpec};
 use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 use hawk_workload::scenario::{DynamicsScript, ScenarioSpec, SpeedSpec, TraceFamily};
@@ -38,12 +39,23 @@ fn golden_scenario() -> ScenarioSpec {
 }
 
 fn run_scenario(scenario: &ScenarioSpec, scheduler: Arc<dyn Scheduler>) -> MetricsReport {
-    Experiment::builder()
+    run_scenario_with(scenario, scheduler, None)
+}
+
+fn run_scenario_with(
+    scenario: &ScenarioSpec,
+    scheduler: Arc<dyn Scheduler>,
+    topology: Option<TopologySpec>,
+) -> MetricsReport {
+    let mut builder = Experiment::builder()
         .scenario(scenario, TRACE_SEED)
         .scheduler_shared(scheduler)
         .nodes(GOLDEN_NODES)
-        .seed(SIM_SEED)
-        .run()
+        .seed(SIM_SEED);
+    if let Some(spec) = topology {
+        builder = builder.topology(spec);
+    }
+    builder.run()
 }
 
 fn scheduler_and_pin(index: usize) -> (Arc<dyn Scheduler>, u64) {
@@ -76,31 +88,51 @@ fn identity_speeds(variant: usize) -> SpeedSpec {
     }
 }
 
+/// The distinct spellings of "the flat paper network": topology left
+/// unset (the driver defaults to `Constant` from `SimConfig::network`)
+/// or selected explicitly. Both must be byte-identical to the pins —
+/// the topology seam is pure plumbing until a fat tree turns it on.
+fn identity_topology(variant: usize) -> Option<TopologySpec> {
+    match variant {
+        0 => None,
+        1 => Some(TopologySpec::Constant(NetworkModel::paper_default())),
+        _ => unreachable!(),
+    }
+}
+
 /// One dynamics-off golden cell: must be byte-identical to the classic
 /// pinned digest and structurally churn-free.
-fn assert_identity_cell(scheduler_index: usize, speed_variant: usize) {
+fn assert_identity_cell(scheduler_index: usize, speed_variant: usize, topology_variant: usize) {
     let (scheduler, pinned) = scheduler_and_pin(scheduler_index);
     let scenario = golden_scenario()
         .speeds(identity_speeds(speed_variant))
         .dynamics(DynamicsScript::none());
-    let report = run_scenario(&scenario, scheduler);
+    let report = run_scenario_with(&scenario, scheduler, identity_topology(topology_variant));
     assert_eq!(report.migrations, 0);
     assert_eq!(report.abandons, 0);
+    assert_eq!(
+        report.network.total_msgs(),
+        0,
+        "the constant topology is placement-blind and must classify nothing"
+    );
     let digest = digest_report(&report);
     assert_eq!(
         digest, pinned,
         "scenario plumbing changed behavior: scheduler {scheduler_index} speeds \
-         {speed_variant} got {digest:#018x}, pinned {pinned:#018x}",
+         {speed_variant} topology {topology_variant} got {digest:#018x}, pinned {pinned:#018x}",
     );
 }
 
-/// Every (scheduler × identity-speed spelling) cell, exhaustively: a
-/// regression in any single combination cannot slip through sampling.
+/// Every (scheduler × identity-speed spelling × topology spelling) cell,
+/// exhaustively: a regression in any single combination cannot slip
+/// through sampling.
 #[test]
 fn dynamics_off_grid_matches_pinned_digests_exhaustively() {
     for scheduler_index in 0..4 {
         for speed_variant in 0..4 {
-            assert_identity_cell(scheduler_index, speed_variant);
+            for topology_variant in 0..2 {
+                assert_identity_cell(scheduler_index, speed_variant, topology_variant);
+            }
         }
     }
 }
@@ -112,14 +144,16 @@ proptest! {
     // test plan.
     #![proptest_config(ProptestConfig::with_cases(4))]
 
-    /// Dynamics off + unit speeds ⇒ byte-identical to the classic pinned
-    /// digests, regardless of scheduler or how the identity is spelled.
+    /// Dynamics off + unit speeds + a flat network ⇒ byte-identical to
+    /// the classic pinned digests, regardless of scheduler or how the
+    /// identity is spelled.
     #[test]
     fn dynamics_off_scenario_matches_pinned_digests(
         scheduler_index in 0usize..4,
         speed_variant in 0usize..4,
+        topology_variant in 0usize..2,
     ) {
-        assert_identity_cell(scheduler_index, speed_variant);
+        assert_identity_cell(scheduler_index, speed_variant, topology_variant);
     }
 }
 
@@ -175,6 +209,39 @@ fn churn_runs_are_bit_identical() {
     assert_eq!(digest_report(&a), digest_report(&b));
     assert_eq!(a.migrations, b.migrations);
     assert_eq!(a.abandons, b.abandons);
+}
+
+/// Pinned digest of the golden Hawk cell on the default uncontended fat
+/// tree (produced by the PR that introduced `hawk-net`; any later drift
+/// in placement mapping, link classification or hop costs fails here).
+const FAT_TREE_HAWK_DIGEST: u64 = 0x416829b65ce3bf51;
+
+/// A fat-tree Hawk run is pinned like the flat-network cells: the
+/// topology layer itself can never drift silently.
+#[test]
+fn fat_tree_hawk_digest_pinned() {
+    let report = run_scenario_with(
+        &golden_scenario(),
+        Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)),
+        Some(TopologySpec::FatTree(FatTreeParams::default())),
+    );
+    // The topology actually classified traffic: a 300-node cell spans
+    // multiple racks and pods under the default geometry.
+    assert!(report.network.rack_local_msgs > 0);
+    assert!(report.network.cross_rack_msgs > 0);
+    assert!(report.network.cross_pod_msgs > 0);
+    let digest = digest_report(&report);
+    if std::env::var_os("HAWK_PRINT_DIGESTS").is_some() {
+        println!("const FAT_TREE_HAWK_DIGEST: u64 = {digest:#018x};");
+    }
+    assert_ne!(
+        digest, HAWK_DIGEST,
+        "a fat tree must actually perturb message timing"
+    );
+    assert_eq!(
+        digest, FAT_TREE_HAWK_DIGEST,
+        "fat-tree run drifted: got {digest:#018x} — see module docs to re-pin intentionally"
+    );
 }
 
 /// Turning a knob must actually change behavior (guards against the
