@@ -20,6 +20,19 @@
 //! same seed); `speedup_vs_pre_rework` in the JSON is current-run speedup
 //! against that frozen baseline.
 //!
+//! Beyond tracking, the binary *enforces* a floor: every cell has a frozen
+//! per-cell `floor_events_per_sec` (the throughput measured when the cell
+//! was introduced, same machine class that produces `BENCH_perf.json`),
+//! and a comparable run (non-smoke, default jobs, default seed) exits
+//! nonzero if any cell drops below [`FLOOR_FRACTION`] of its floor — a
+//! perf regression fails the bench the way a broken digest fails the
+//! golden tests. Smoke and custom-parameter runs only report.
+//!
+//! The `hawk-sharded` cells run the same workload through the sharded
+//! driver (`shards = 4`) at 15k / 50k / 100k nodes — the 100k cell is the
+//! headline: twice the paper's largest cluster, beyond what the
+//! single-stream driver is tracked at.
+//!
 //! Usage: `perf_baseline [--smoke] [--jobs N] [--seed S] [--out PATH]`
 
 use std::fmt::Write as _;
@@ -42,6 +55,14 @@ const SMOKE_JOBS: usize = 2_000;
 /// The cluster sizes timed, largest last (the headline cell). 50,000 is
 /// the top of the paper's Figure 5 sweep.
 const NODE_CELLS: [usize; 4] = [1_000, 5_000, 15_000, 50_000];
+
+/// The cluster sizes timed through the sharded driver. 100,000 is twice
+/// the paper's largest cluster — the scale the sharded driver exists for.
+const SHARDED_NODE_CELLS: [usize; 3] = [15_000, 50_000, 100_000];
+
+/// Shard count of the `hawk-sharded` cells (worker threads are capped by
+/// the machine's parallelism; the results are worker-count-invariant).
+const SHARDED_SHARDS: usize = 4;
 
 /// Cluster size of the scenario-engine churn cell.
 const CHURN_NODES: usize = 5_000;
@@ -116,6 +137,42 @@ fn pre_rework_wall_s(scheduler: &str, nodes: usize) -> Option<f64> {
     }
 }
 
+/// A comparable run fails if any cell's throughput drops below this
+/// fraction of its frozen floor. 0.75 absorbs machine noise (the floors
+/// were single measurements, not distributions) while still catching any
+/// real regression — the engine reworks this guards were each >1.4x.
+const FLOOR_FRACTION: f64 = 0.75;
+
+/// Frozen events-per-second floors per `(scheduler, nodes)` cell at the
+/// default 30,000 jobs and default seed: the *minimum* throughput across
+/// repeated full runs on the single-core container that froze them (the
+/// machine class that produces `BENCH_perf.json`), rounded down to two
+/// significant digits. The min-of-observed statistic plus the
+/// `FLOOR_FRACTION` cushion absorbs that container's measured run-to-run
+/// noise (up to ~35 % on the fastest cells) while still catching the
+/// multi-x regressions the floors exist for. A comparable run must stay
+/// above `FLOOR_FRACTION x` these (see [`check_floors`]); re-freeze
+/// deliberately — with a sentence in the PR about what changed — never to
+/// make a red run green.
+fn floor_events_per_sec(scheduler: &str, nodes: usize) -> Option<f64> {
+    match (scheduler, nodes) {
+        ("hawk", 1_000) => Some(4_100_000.0),
+        ("hawk", 5_000) => Some(4_400_000.0),
+        ("hawk", 15_000) => Some(3_500_000.0),
+        ("hawk", 50_000) => Some(3_900_000.0),
+        ("sparrow", 1_000) => Some(7_700_000.0),
+        ("sparrow", 5_000) => Some(5_300_000.0),
+        ("sparrow", 15_000) => Some(5_000_000.0),
+        ("sparrow", 50_000) => Some(4_200_000.0),
+        ("hawk-churn", 5_000) => Some(3_800_000.0),
+        ("hawk-fat-tree", 5_000) => Some(3_700_000.0),
+        ("hawk-sharded", 15_000) => Some(1_200_000.0),
+        ("hawk-sharded", 50_000) => Some(1_100_000.0),
+        ("hawk-sharded", 100_000) => Some(1_100_000.0),
+        _ => None,
+    }
+}
+
 struct Opts {
     smoke: bool,
     jobs: Option<usize>,
@@ -163,11 +220,14 @@ struct CellTiming {
     scheduler: String,
     nodes: usize,
     jobs: usize,
+    shards: usize,
     wall_s: f64,
     events: u64,
     events_per_sec: f64,
     steals: u64,
     speedup_vs_pre_rework: Option<f64>,
+    floor: Option<f64>,
+    vs_floor: Option<f64>,
 }
 
 /// Times one cell `repeats` times and keeps the fastest run (standard
@@ -184,6 +244,7 @@ fn time_cell(
         scheduler,
         nodes,
         repeats,
+        1,
         DynamicsScript::none(),
         SpeedSpec::Uniform,
         None,
@@ -196,6 +257,7 @@ fn time_cell_with(
     scheduler: Arc<dyn Scheduler>,
     nodes: usize,
     repeats: usize,
+    shards: usize,
     dynamics: DynamicsScript,
     speeds: SpeedSpec,
     topology: Option<TopologySpec>,
@@ -204,6 +266,7 @@ fn time_cell_with(
         .trace(trace)
         .scheduler_shared(scheduler)
         .nodes(nodes)
+        .shards(shards)
         .dynamics(dynamics)
         .speeds(speeds);
     if let Some(spec) = topology {
@@ -232,7 +295,8 @@ fn main() {
     eprintln!(
         "perf_baseline: {jobs} jobs, seed {:#x}, best of {} per cell, \
          cells {NODE_CELLS:?} x {{hawk, sparrow}} + hawk-churn x {CHURN_NODES} \
-         + hawk-fat-tree x {FAT_TREE_NODES}",
+         + hawk-fat-tree x {FAT_TREE_NODES} \
+         + hawk-sharded ({SHARDED_SHARDS} shards) x {SHARDED_NODE_CELLS:?}",
         opts.seed, opts.repeats
     );
 
@@ -264,11 +328,14 @@ fn main() {
                 scheduler: name,
                 nodes,
                 jobs,
+                shards: 1,
                 wall_s,
                 events: report.events,
                 events_per_sec,
                 steals: report.steals,
                 speedup_vs_pre_rework: speedup,
+                floor: None,
+                vs_floor: None,
             });
         }
     }
@@ -284,6 +351,7 @@ fn main() {
             scheduler,
             CHURN_NODES,
             opts.repeats,
+            1,
             churn_dynamics(),
             churn_speeds(),
             None,
@@ -298,11 +366,14 @@ fn main() {
             scheduler: "hawk-churn".to_string(),
             nodes: CHURN_NODES,
             jobs,
+            shards: 1,
             wall_s,
             events: report.events,
             events_per_sec,
             steals: report.steals,
             speedup_vs_pre_rework: None,
+            floor: None,
+            vs_floor: None,
         });
     }
 
@@ -318,6 +389,7 @@ fn main() {
             scheduler,
             FAT_TREE_NODES,
             opts.repeats,
+            1,
             DynamicsScript::none(),
             SpeedSpec::Uniform,
             Some(TopologySpec::FatTreeContended(FatTreeParams::default())),
@@ -332,12 +404,58 @@ fn main() {
             scheduler: "hawk-fat-tree".to_string(),
             nodes: FAT_TREE_NODES,
             jobs,
+            shards: 1,
             wall_s,
             events: report.events,
             events_per_sec,
             steals: report.steals,
             speedup_vs_pre_rework: None,
+            floor: None,
+            vs_floor: None,
         });
+    }
+
+    // The sharded-driver cells: the same ~90 %-load Hawk workload pushed
+    // through `ShardedDriver` with a fixed shard count, up to 100k nodes —
+    // twice the paper's largest cluster. Tracks epoch-merge + wire-routing
+    // overhead and the scale the single-stream driver is never timed at.
+    for nodes in SHARDED_NODE_CELLS {
+        let trace = Arc::new(trace_for(nodes, jobs, opts.seed));
+        let scheduler: Arc<dyn Scheduler> = Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION));
+        let (wall_s, report) = time_cell_with(
+            &trace,
+            scheduler,
+            nodes,
+            opts.repeats,
+            SHARDED_SHARDS,
+            DynamicsScript::none(),
+            SpeedSpec::Uniform,
+            None,
+        );
+        let events_per_sec = report.events as f64 / wall_s.max(1e-9);
+        eprintln!(
+            "  hawk-sharded x {nodes:>6} nodes ({SHARDED_SHARDS} shards): {wall_s:8.3} s  \
+             ({events_per_sec:.2e} events/s, {} steals)",
+            report.steals
+        );
+        cells.push(CellTiming {
+            scheduler: "hawk-sharded".to_string(),
+            nodes,
+            jobs,
+            shards: SHARDED_SHARDS,
+            wall_s,
+            events: report.events,
+            events_per_sec,
+            steals: report.steals,
+            speedup_vs_pre_rework: None,
+            floor: None,
+            vs_floor: None,
+        });
+    }
+
+    for c in &mut cells {
+        c.floor = floor_events_per_sec(&c.scheduler, c.nodes);
+        c.vs_floor = c.floor.map(|f| c.events_per_sec / f);
     }
 
     let json = render_json(&opts, jobs, comparable, &cells);
@@ -346,6 +464,39 @@ fn main() {
         std::process::exit(1);
     });
     eprintln!("wrote {}", opts.out);
+
+    if !check_floors(comparable, &cells) {
+        std::process::exit(1);
+    }
+}
+
+/// Enforce the per-cell floors on comparable runs. Returns `false` (and
+/// reports every offender) if any cell ran below `FLOOR_FRACTION` of its
+/// frozen floor; smoke and custom-parameter runs always pass.
+fn check_floors(comparable: bool, cells: &[CellTiming]) -> bool {
+    if !comparable {
+        return true;
+    }
+    let mut ok = true;
+    for c in cells {
+        if let (Some(floor), Some(ratio)) = (c.floor, c.vs_floor) {
+            if ratio < FLOOR_FRACTION {
+                ok = false;
+                eprintln!(
+                    "perf_baseline: FLOOR VIOLATION: {}/{} ran at {:.2e} events/s, below \
+                     {FLOOR_FRACTION} x the frozen floor {floor:.2e} (ratio {ratio:.3})",
+                    c.scheduler, c.nodes, c.events_per_sec
+                );
+            }
+        }
+    }
+    if !ok {
+        eprintln!(
+            "perf_baseline: throughput floor violated — investigate the regression (or \
+             re-freeze the floors deliberately if the slowdown is an accepted trade)"
+        );
+    }
+    ok
 }
 
 fn render_json(opts: &Opts, jobs: usize, comparable: bool, cells: &[CellTiming]) -> String {
@@ -376,22 +527,35 @@ fn render_json(opts: &Opts, jobs: usize, comparable: bool, cells: &[CellTiming])
         }
     }
     out.push_str("\n    }\n  },\n");
+    let _ = writeln!(out, "  \"floor_fraction\": {FLOOR_FRACTION},");
+    let _ = writeln!(
+        out,
+        "  \"floors_enforced\": {},",
+        comparable && cells.iter().any(|c| c.floor.is_some())
+    );
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"scheduler\": \"{}\", \"nodes\": {}, \"jobs\": {}, \"wall_s\": {:.4}, \
-             \"events\": {}, \"events_per_sec\": {:.1}, \"steals\": {}, \
-             \"speedup_vs_pre_rework\": {}}}",
+            "    {{\"scheduler\": \"{}\", \"nodes\": {}, \"jobs\": {}, \"shards\": {}, \
+             \"wall_s\": {:.4}, \"events\": {}, \"events_per_sec\": {:.1}, \"steals\": {}, \
+             \"speedup_vs_pre_rework\": {}, \"floor_events_per_sec\": {}, \"vs_floor\": {}}}",
             c.scheduler,
             c.nodes,
             c.jobs,
+            c.shards,
             c.wall_s,
             c.events,
             c.events_per_sec,
             c.steals,
             c.speedup_vs_pre_rework
                 .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "null".to_string()),
+            c.floor
+                .map(|f| format!("{f:.1}"))
+                .unwrap_or_else(|| "null".to_string()),
+            c.vs_floor
+                .map(|r| format!("{r:.3}"))
                 .unwrap_or_else(|| "null".to_string()),
         );
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });

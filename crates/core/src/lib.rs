@@ -75,6 +75,7 @@ mod driver;
 mod experiment;
 pub mod metrics;
 pub mod scheduler;
+mod shard;
 mod steal_policy;
 mod sweep;
 
@@ -92,6 +93,7 @@ pub use metrics::{compare, ClassSummary, Comparison, JobResult, MetricsReport};
 // topology-aware experiment touches.
 pub use hawk_net::{Endpoint, FatTreeParams, NetworkStats, Topology, TopologySpec};
 pub use scheduler::{PlacementView, Scheduler, StealSpec};
+pub use shard::{worker_budget, ShardedDriver};
 pub use steal_policy::StealPolicy;
 pub use sweep::{CellResult, Sweep, SweepResults};
 

@@ -1,0 +1,1534 @@
+//! Sharded parallel driver: conservative discrete-event simulation for
+//! 100k+-node cells.
+//!
+//! [`ShardedDriver`] partitions the cluster into `K` contiguous shards.
+//! Each shard owns a slice of servers and runs its own [`Engine`], RNG
+//! streams, recycled buffers and topology instance; shards advance in
+//! lock-step *epochs* bounded by a conservative lookahead horizon and
+//! exchange messages only at epoch barriers, through a deterministic
+//! merge. The result is deterministic for a fixed shard count `K`
+//! regardless of how many OS threads execute the shards — worker count
+//! is a pure throughput knob.
+//!
+//! # Synchronization contract
+//!
+//! The lookahead Δ is [`TopologySpec::min_message_delay`]: no message
+//! between any two endpoints is ever cheaper than Δ. Each epoch:
+//!
+//! 1. every shard processes its local events strictly below the shared
+//!    horizon `H`, buffering cross-shard messages in an outbox;
+//! 2. at the barrier, one worker merges all outboxes, sorts the
+//!    envelopes by `(firing time, source shard, send sequence)` — a
+//!    total order independent of thread interleaving — and routes them
+//!    to the destination inboxes;
+//! 3. the next horizon is `H' = base + Δ` where `base` is the minimum
+//!    over all pending events and in-flight envelopes.
+//!
+//! An event processed at `t < H` satisfies `t ≥ base`, so any message it
+//! sends fires at `t + δ ≥ base + Δ = H'` — never inside the receiving
+//! shard's processed past. Inbox injection therefore uses
+//! [`Engine::try_schedule_at`], which turns any violation of this
+//! argument into a hard error in **both** build profiles instead of the
+//! release-mode clamp that would silently reorder causality.
+//!
+//! # Shadow clusters
+//!
+//! Every shard holds a *full-size* [`Cluster`] and replays the complete
+//! dynamics script, but only ever enqueues work on the servers it owns.
+//! Global server ids therefore need no translation, liveness-aware
+//! placement (`PlacementView`, victim filters) sees correct membership
+//! everywhere, and non-owned servers simply look idle. The built-in
+//! policies sample placement targets randomly, so an idle-looking
+//! remote server is indistinguishable from a real one; a future
+//! depth-aware policy would need shard-aware load views.
+//!
+//! # Divergences from the single-threaded [`Driver`]
+//!
+//! `shards = 1` run through [`ShardedDriver`] is event-for-event
+//! identical to [`Driver`] *except* for the bookkeeping-message timing
+//! below, which is why [`crate::Experiment::run`] routes `shards <= 1`
+//! to [`Driver`] (byte-identical to every pinned golden digest) and
+//! `K > 1` here. For `K > 1` the simulated system is the same, but:
+//!
+//! * task-completion bookkeeping travels server → scheduler as a
+//!   message, so a job's recorded completion time is one network delay
+//!   after its last task finished;
+//! * relocation off a failed server detours through the deciding
+//!   scheduler (central for tasks, the job's scheduler for probes)
+//!   instead of moving point-to-point;
+//! * an idle thief scans only shard-local victims synchronously and
+//!   asks at most *one* remote victim per idle transition;
+//! * each shard's topology instance tracks contention for the messages
+//!   it sends, so contended fat-trees approximate global link state;
+//! * per-shard RNG streams replace the global ones (split order below).
+//!
+//! Headline metrics stay within a few percent of the single-threaded
+//! driver (the conformance suite pins a bound); digests are comparable
+//! only between runs with the same `K`.
+//!
+//! [`Driver`]: crate::Driver
+//! [`TopologySpec::min_message_delay`]: hawk_net::TopologySpec::min_message_delay
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use hawk_cluster::{Cluster, QueueEntry, ServerAction, ServerId, TaskSpec, UtilizationTracker};
+use hawk_net::{Endpoint, NetworkStats, Topology};
+use hawk_simcore::{BatchHandle, BatchPool, Engine, SimDuration, SimRng, SimTime};
+use hawk_workload::classify::{Cutoff, JobEstimates};
+use hawk_workload::scenario::NodeChange;
+use hawk_workload::{JobClass, JobId, Trace};
+
+use crate::centralized::CentralScheduler;
+use crate::config::{Route, Scope, SimConfig};
+use crate::metrics::{JobResult, MetricsReport};
+use crate::scheduler::{PlacementView, Scheduler, StealSpec};
+
+/// The number of simulation worker threads the process should use, the
+/// budget the sharded driver and [`crate::Sweep`] divide between cells
+/// and shards.
+///
+/// Defaults to [`std::thread::available_parallelism`]; the
+/// `HAWK_WORKER_BUDGET` environment variable overrides it explicitly
+/// (clamped to at least 1). The override exists both to pin CI runners
+/// to a known width and to stop oversubscription when several
+/// simulations share a machine.
+pub fn worker_budget() -> usize {
+    if let Ok(raw) = std::env::var("HAWK_WORKER_BUDGET") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Contiguous-range shard map: shard `s` owns a run of server ids, with
+/// the first `nodes % shards` shards one server larger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShardMap {
+    nodes: usize,
+    shards: usize,
+}
+
+impl ShardMap {
+    fn new(nodes: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, nodes.max(1));
+        ShardMap { nodes, shards }
+    }
+
+    /// Owned id range of shard `s` as `[start, end)`.
+    fn range(&self, s: usize) -> (u32, u32) {
+        let q = self.nodes / self.shards;
+        let r = self.nodes % self.shards;
+        let start = s * q + s.min(r);
+        let len = q + usize::from(s < r);
+        (start as u32, (start + len) as u32)
+    }
+
+    /// The shard owning server `id`.
+    fn owner(&self, id: ServerId) -> usize {
+        let q = self.nodes / self.shards;
+        let r = self.nodes % self.shards;
+        let idx = id.index();
+        let wide = r * (q + 1);
+        if idx < wide {
+            idx / (q + 1)
+        } else {
+            r + (idx - wide) / q
+        }
+    }
+}
+
+/// A shard-local simulation event. Mirrors [`crate::driver::Event`] with
+/// the cross-shard bookkeeping messages the single-threaded driver
+/// performs as direct state access.
+#[derive(Debug, Clone, Copy)]
+enum SEvent {
+    /// A job was submitted (scheduled only in its home shard).
+    Arrival(JobId),
+    /// A probe reached an owned server.
+    Probe {
+        server: ServerId,
+        job: JobId,
+        class: JobClass,
+        bounces: u8,
+    },
+    /// A centrally-placed (or relocated) task reached an owned server.
+    Task { server: ServerId, spec: TaskSpec },
+    /// A server's task request reached the job's home shard.
+    BindRequest { server: ServerId, job: JobId },
+    /// The home shard's response reached the owned server.
+    BindResponse {
+        server: ServerId,
+        task: Option<TaskSpec>,
+    },
+    /// The running task on an owned server completed.
+    Finish { server: ServerId },
+    /// Stolen entries reached an owned thief (handle into the shard's
+    /// local batch pool; never crosses the wire as-is).
+    Stolen {
+        server: ServerId,
+        batch: BatchHandle,
+    },
+    /// A remote thief asks the victim's owner for one steal scan.
+    StealRequest { thief: ServerId, victim: ServerId },
+    /// A distributed job's task finished; counts down at the home shard.
+    TaskDone { job: JobId },
+    /// A central job's task finished; shard 0 updates the waiting-time
+    /// bookkeeping and the job's completion state in one message.
+    CentralTaskDone { job: JobId, server: ServerId },
+    /// A task drained off a failed server asks shard 0 for a new home.
+    TaskRelocate { from: ServerId, spec: TaskSpec },
+    /// A probe drained off a failed server asks the job's home shard to
+    /// re-probe or abandon it.
+    ProbeRelocate {
+        from: ServerId,
+        job: JobId,
+        class: JobClass,
+    },
+    /// The centralized scheduler's serial queue reaches this job.
+    CentralPlace(JobId),
+    /// Scripted dynamics, replayed in every shard's shadow cluster.
+    NodeDown(ServerId),
+    /// Scripted dynamics, replayed in every shard's shadow cluster.
+    NodeUp(ServerId),
+    /// Periodic utilization snapshot (every shard samples its own slice).
+    UtilSample,
+}
+
+/// A cross-shard message payload.
+#[derive(Debug)]
+enum WireMsg {
+    /// An ordinary event for the destination shard's engine.
+    Ev(SEvent),
+    /// A remote steal's stolen group. The only steady-state allocation
+    /// of the sharded driver: remote steals carry their entries in an
+    /// owned `Vec` (local steals stay in the recycled batch pool).
+    Stolen {
+        thief: ServerId,
+        entries: Vec<QueueEntry>,
+    },
+}
+
+/// A cross-shard message in flight between epochs.
+#[derive(Debug)]
+struct Envelope {
+    at: SimTime,
+    dest: u32,
+    src: u32,
+    /// Per-source send sequence; `(at, src, seq)` totally orders all
+    /// envelopes of a run independently of thread interleaving.
+    seq: u64,
+    msg: WireMsg,
+}
+
+/// Per-job dynamic state; only the entry in the job's *home* shard is
+/// authoritative.
+#[derive(Debug, Clone, Copy)]
+struct JobRun {
+    class: JobClass,
+    next_task: u32,
+    remaining: u32,
+    completion: Option<SimTime>,
+}
+
+/// One raw utilization sample of a shard's owned slice.
+#[derive(Debug, Clone, Copy)]
+struct UtilSampleRaw {
+    running: u32,
+    down_running: u32,
+    owned_down: u32,
+}
+
+/// Shared per-shard mailbox slots and the epoch synchronization state.
+struct SharedState {
+    slots: Vec<ShardSlot>,
+    barrier: Barrier,
+    /// Next horizon, in raw microseconds.
+    horizon: AtomicU64,
+    stop: AtomicBool,
+    lookahead_micros: u64,
+    /// Recycled merge buffer (only the barrier leader touches it).
+    scratch: Mutex<Vec<Envelope>>,
+}
+
+#[derive(Default)]
+struct ShardSlot {
+    outbox: Mutex<Vec<Envelope>>,
+    inbox: Mutex<Vec<Envelope>>,
+    /// Firing time of the shard's next pending event in raw
+    /// microseconds; `u64::MAX` when its queue is empty.
+    next_micros: AtomicU64,
+    unfinished: AtomicUsize,
+}
+
+/// One shard: a slice of owned servers with its own engine, shadow
+/// cluster, RNG streams and recycled buffers.
+struct Shard<'t> {
+    id: usize,
+    map: ShardMap,
+    own_start: u32,
+    own_end: u32,
+    trace: &'t Trace,
+    scheduler: Arc<dyn Scheduler>,
+    estimates: Arc<JobEstimates>,
+    engine: Engine<SEvent>,
+    cluster: Cluster,
+    jobs: Vec<JobRun>,
+    /// Present only on shard 0, which owns all centralized decisions.
+    central: Option<CentralScheduler>,
+    steal_spec: Option<StealSpec>,
+    probe_rng: SimRng,
+    steal_rng: SimRng,
+    scenario_rng: SimRng,
+    cutoff: Cutoff,
+    central_overhead: crate::config::CentralOverhead,
+    util_interval: SimDuration,
+    unfinished_home: usize,
+    steals: u64,
+    steal_attempts: u64,
+    migrations: u64,
+    abandons: u64,
+    /// Owned servers currently out of service (shadow failures of other
+    /// shards' servers are not counted here).
+    owned_down: usize,
+    samples: Vec<UtilSampleRaw>,
+    drain_buf: Vec<QueueEntry>,
+    victim_scratch: Vec<usize>,
+    victim_buf: Vec<ServerId>,
+    steal_buf: Vec<QueueEntry>,
+    stolen_pool: BatchPool<QueueEntry>,
+    probe_buf: Vec<ServerId>,
+    place_buf: Vec<ServerId>,
+    central_ready: SimTime,
+    topology: Box<dyn Topology>,
+    outbox: Vec<Envelope>,
+    out_seq: u64,
+}
+
+impl<'t> Shard<'t> {
+    fn owns(&self, server: ServerId) -> bool {
+        (self.own_start..self.own_end).contains(&(server.0))
+    }
+
+    /// Home shard of a *distributed* job: jobs are dealt round-robin so
+    /// scheduler-side work spreads evenly. Central jobs live on shard 0.
+    fn distributed_home(&self, job: JobId) -> usize {
+        job.index() % self.map.shards
+    }
+
+    fn scope_range(&self, scope: Scope) -> (u32, usize) {
+        let p = self.cluster.partition();
+        match scope {
+            Scope::Whole => (0, p.total()),
+            Scope::General => (0, p.general_count()),
+            Scope::ShortReserved => (p.general_count() as u32, p.short_count()),
+        }
+    }
+
+    /// Routes an event: scheduled directly when `dest` is this shard,
+    /// buffered in the outbox for the epoch merge otherwise.
+    fn send_ev(&mut self, delay: SimDuration, dest: usize, ev: SEvent) {
+        let at = self.engine.now() + delay;
+        if dest == self.id {
+            self.engine.schedule_at(at, ev);
+        } else {
+            self.out_seq += 1;
+            self.outbox.push(Envelope {
+                at,
+                dest: dest as u32,
+                src: self.id as u32,
+                seq: self.out_seq,
+                msg: WireMsg::Ev(ev),
+            });
+        }
+    }
+
+    /// Commits one epoch's merged inbox into the engine. Every envelope
+    /// must fire at or after the local clock — the epoch horizon
+    /// guarantees it, and `try_schedule_at` makes any violation a hard
+    /// error in both build profiles.
+    fn inject(&mut self, inbox: &mut Vec<Envelope>) {
+        for env in inbox.drain(..) {
+            let result = match env.msg {
+                WireMsg::Ev(ev) => self.engine.try_schedule_at(env.at, ev),
+                WireMsg::Stolen { thief, mut entries } => {
+                    let batch = self.stolen_pool.put(&mut entries);
+                    self.engine.try_schedule_at(
+                        env.at,
+                        SEvent::Stolen {
+                            server: thief,
+                            batch,
+                        },
+                    )
+                }
+            };
+            if let Err(err) = result {
+                panic!(
+                    "cross-shard event delivered in shard {}'s past \
+                     (epoch-horizon violation): {err}",
+                    self.id
+                );
+            }
+        }
+    }
+
+    /// Processes every local event strictly below `horizon`.
+    fn run_until(&mut self, horizon: SimTime) {
+        while self.engine.peek_time().is_some_and(|t| t < horizon) {
+            let (_, ev) = self.engine.pop().expect("peeked event vanished");
+            self.dispatch(ev);
+        }
+    }
+
+    fn dispatch(&mut self, event: SEvent) {
+        match event {
+            SEvent::Arrival(job) => self.on_job_arrival(job),
+            SEvent::Probe {
+                server,
+                job,
+                class,
+                bounces,
+            } => self.on_probe(server, job, class, bounces),
+            SEvent::Task { server, spec } => {
+                debug_assert!(self.owns(server));
+                if self.cluster.is_down(server) {
+                    self.relocate_task(server, spec);
+                    return;
+                }
+                if let Some(action) = self.cluster.enqueue(server, QueueEntry::Task(spec)) {
+                    self.on_action(server, action);
+                }
+            }
+            SEvent::BindRequest { server, job } => self.on_bind_request(server, job),
+            SEvent::BindResponse { server, task } => {
+                debug_assert!(self.owns(server));
+                let action = self.cluster.on_bind_response(server, task);
+                self.on_action(server, action);
+            }
+            SEvent::Finish { server } => self.on_task_finish(server),
+            SEvent::Stolen { server, batch } => self.on_stolen(server, batch),
+            SEvent::StealRequest { thief, victim } => self.on_steal_request(thief, victim),
+            SEvent::TaskDone { job } => self.on_task_done(job),
+            SEvent::CentralTaskDone { job, server } => {
+                let estimate = self.estimates.estimate(job);
+                self.central
+                    .as_mut()
+                    .expect("central bookkeeping lives on shard 0")
+                    .on_task_complete(server, estimate);
+                self.on_task_done(job);
+            }
+            SEvent::TaskRelocate { from, spec } => self.on_task_relocate(from, spec),
+            SEvent::ProbeRelocate { from, job, class } => self.on_probe_relocate(from, job, class),
+            SEvent::CentralPlace(job) => self.place_centrally(job),
+            SEvent::NodeDown(server) => self.on_node_down(server),
+            SEvent::NodeUp(server) => {
+                if self.cluster.revive_server(server) {
+                    if self.owns(server) {
+                        self.owned_down -= 1;
+                    }
+                    if let Some(central) = &mut self.central {
+                        if server.index() < central.scope() {
+                            central.revive(server);
+                        }
+                    }
+                }
+            }
+            SEvent::UtilSample => {
+                self.samples.push(UtilSampleRaw {
+                    running: self.cluster.running_count() as u32,
+                    down_running: self.cluster.down_running_count() as u32,
+                    owned_down: self.owned_down as u32,
+                });
+                self.engine.schedule(self.util_interval, SEvent::UtilSample);
+            }
+        }
+    }
+
+    fn on_job_arrival(&mut self, job: JobId) {
+        let spec = self.trace.job(job);
+        let class = self.estimates.class(job, self.cutoff);
+        self.jobs[job.index()].class = class;
+        match self.scheduler.route(class) {
+            Route::Central(_) => {
+                debug_assert_eq!(self.id, 0, "central jobs are homed on shard 0");
+                if self.central_overhead.is_free() {
+                    self.place_centrally(job);
+                } else {
+                    let now = self.engine.now();
+                    let ready =
+                        self.central_ready.max(now) + self.central_overhead.cost(spec.num_tasks());
+                    self.central_ready = ready;
+                    self.engine.schedule_at(ready, SEvent::CentralPlace(job));
+                }
+            }
+            Route::Distributed(scope) => {
+                let (start, len) = self.scope_range(scope);
+                let view = PlacementView::new(&self.cluster, start, len);
+                self.scheduler.probe_targets_into(
+                    &view,
+                    spec.num_tasks(),
+                    &mut self.probe_rng,
+                    &mut self.probe_buf,
+                );
+                let now = self.engine.now();
+                let src = Endpoint::Scheduler(job.0);
+                let targets = std::mem::take(&mut self.probe_buf);
+                for &server in &targets {
+                    let delay = self.topology.delay(now, src, Endpoint::Server(server));
+                    let dest = self.map.owner(server);
+                    self.send_ev(
+                        delay,
+                        dest,
+                        SEvent::Probe {
+                            server,
+                            job,
+                            class,
+                            bounces: 0,
+                        },
+                    );
+                }
+                self.probe_buf = targets;
+            }
+        }
+    }
+
+    fn on_probe(&mut self, server: ServerId, job: JobId, class: JobClass, bounces: u8) {
+        debug_assert!(self.owns(server));
+        if self.cluster.is_down(server) {
+            self.relocate_probe(server, job, class);
+            return;
+        }
+        if self
+            .scheduler
+            .bounce_probe(self.cluster.server(server), class, bounces)
+        {
+            let scope = match self.scheduler.route(class) {
+                Route::Distributed(scope) => scope,
+                Route::Central(_) => unreachable!("probes imply a distributed route"),
+            };
+            let (start, len) = self.scope_range(scope);
+            let retry =
+                PlacementView::new(&self.cluster, start, len).random_server(&mut self.probe_rng);
+            let delay = self.topology.delay(
+                self.engine.now(),
+                Endpoint::Server(server),
+                Endpoint::Server(retry),
+            );
+            let dest = self.map.owner(retry);
+            self.send_ev(
+                delay,
+                dest,
+                SEvent::Probe {
+                    server: retry,
+                    job,
+                    class,
+                    bounces: bounces + 1,
+                },
+            );
+            return;
+        }
+        if let Some(action) = self
+            .cluster
+            .enqueue(server, QueueEntry::Probe { job, class })
+        {
+            self.on_action(server, action);
+        }
+    }
+
+    /// Runs the §3.7 placement for `job` on shard 0 and sends the tasks
+    /// to their owners.
+    fn place_centrally(&mut self, job: JobId) {
+        let spec = self.trace.job(job);
+        let class = self.jobs[job.index()].class;
+        let estimate = self.estimates.estimate(job);
+        let central = self
+            .central
+            .as_mut()
+            .expect("central route requires a central scheduler");
+        central.assign_job_into(spec.num_tasks(), estimate, &mut self.place_buf);
+        let now = self.engine.now();
+        let placements = std::mem::take(&mut self.place_buf);
+        for (i, &server) in placements.iter().enumerate() {
+            let task = TaskSpec {
+                job,
+                duration: spec.tasks[i],
+                estimate,
+                class,
+            };
+            let delay = self
+                .topology
+                .delay(now, Endpoint::Central, Endpoint::Server(server));
+            let dest = self.map.owner(server);
+            self.send_ev(delay, dest, SEvent::Task { server, spec: task });
+        }
+        self.place_buf = placements;
+    }
+
+    /// A task stranded on a down server: ask shard 0's central scheduler
+    /// for a new placement (one hop to the scheduler, one hop out — the
+    /// single-threaded driver moves it point-to-point in one hop).
+    fn relocate_task(&mut self, from: ServerId, spec: TaskSpec) {
+        let delay =
+            self.topology
+                .delay(self.engine.now(), Endpoint::Server(from), Endpoint::Central);
+        self.send_ev(delay, 0, SEvent::TaskRelocate { from, spec });
+    }
+
+    /// A probe stranded on a down server: its re-probe (or abandon)
+    /// decision belongs to the job's home shard.
+    fn relocate_probe(&mut self, from: ServerId, job: JobId, class: JobClass) {
+        let home = self.distributed_home(job);
+        let delay = self.topology.delay(
+            self.engine.now(),
+            Endpoint::Server(from),
+            Endpoint::Scheduler(job.0),
+        );
+        self.send_ev(delay, home, SEvent::ProbeRelocate { from, job, class });
+    }
+
+    fn on_task_relocate(&mut self, from: ServerId, spec: TaskSpec) {
+        let central = self
+            .central
+            .as_mut()
+            .expect("directly-placed tasks imply a central scheduler");
+        let target = central.least_loaded();
+        assert!(
+            !self.cluster.is_down(target),
+            "central scope has no live servers to migrate a task to \
+             (the dynamics script took down the entire scope)"
+        );
+        central.reassign(from, target, spec.estimate);
+        self.migrations += 1;
+        let delay = self.topology.delay(
+            self.engine.now(),
+            Endpoint::Central,
+            Endpoint::Server(target),
+        );
+        let dest = self.map.owner(target);
+        self.send_ev(
+            delay,
+            dest,
+            SEvent::Task {
+                server: target,
+                spec,
+            },
+        );
+    }
+
+    fn on_probe_relocate(&mut self, from: ServerId, job: JobId, class: JobClass) {
+        let launched = self.jobs[job.index()].next_task as usize;
+        if launched >= self.trace.job(job).num_tasks() {
+            self.abandons += 1;
+            return;
+        }
+        self.migrations += 1;
+        let scope = match self.scheduler.route(class) {
+            Route::Distributed(scope) => scope,
+            Route::Central(_) => unreachable!("probes imply a distributed route"),
+        };
+        let (start, len) = self.scope_range(scope);
+        let target =
+            PlacementView::new(&self.cluster, start, len).random_server(&mut self.scenario_rng);
+        let delay = self.topology.delay(
+            self.engine.now(),
+            Endpoint::Server(from),
+            Endpoint::Server(target),
+        );
+        let dest = self.map.owner(target);
+        self.send_ev(
+            delay,
+            dest,
+            SEvent::Probe {
+                server: target,
+                job,
+                class,
+                bounces: 0,
+            },
+        );
+    }
+
+    fn on_bind_request(&mut self, server: ServerId, job: JobId) {
+        let delay = self.topology.delay(
+            self.engine.now(),
+            Endpoint::Scheduler(job.0),
+            Endpoint::Server(server),
+        );
+        let estimate = self.estimates.estimate(job);
+        let spec = self.trace.job(job);
+        let run = &mut self.jobs[job.index()];
+        let task = if (run.next_task as usize) < spec.num_tasks() {
+            let idx = run.next_task as usize;
+            run.next_task += 1;
+            Some(TaskSpec {
+                job,
+                duration: spec.tasks[idx],
+                estimate,
+                class: run.class,
+            })
+        } else {
+            None // all tasks given out: cancel (§3.5)
+        };
+        let dest = self.map.owner(server);
+        self.send_ev(delay, dest, SEvent::BindResponse { server, task });
+    }
+
+    fn on_task_finish(&mut self, server: ServerId) {
+        debug_assert!(self.owns(server));
+        let now = self.engine.now();
+        let (spec, action) = self.cluster.on_task_finish(server);
+        let job = spec.job;
+        if matches!(self.scheduler.route(spec.class), Route::Central(_)) {
+            // Central jobs are homed on shard 0, which also owns the
+            // waiting-time bookkeeping: one message covers both.
+            let delay = self
+                .topology
+                .delay(now, Endpoint::Server(server), Endpoint::Central);
+            self.send_ev(delay, 0, SEvent::CentralTaskDone { job, server });
+        } else {
+            let delay =
+                self.topology
+                    .delay(now, Endpoint::Server(server), Endpoint::Scheduler(job.0));
+            let home = self.distributed_home(job);
+            self.send_ev(delay, home, SEvent::TaskDone { job });
+        }
+        self.on_action(server, action);
+    }
+
+    fn on_task_done(&mut self, job: JobId) {
+        let run = &mut self.jobs[job.index()];
+        run.remaining -= 1;
+        if run.remaining == 0 {
+            run.completion = Some(self.engine.now());
+            self.unfinished_home -= 1;
+        }
+    }
+
+    fn on_action(&mut self, server: ServerId, action: ServerAction) {
+        match action {
+            ServerAction::StartTask(spec) => {
+                let occupancy = self.cluster.server(server).scale_duration(spec.duration);
+                self.engine.schedule(occupancy, SEvent::Finish { server });
+            }
+            ServerAction::RequestBind { job } => {
+                let delay = self.topology.delay(
+                    self.engine.now(),
+                    Endpoint::Server(server),
+                    Endpoint::Scheduler(job.0),
+                );
+                let home = self.distributed_home(job);
+                self.send_ev(delay, home, SEvent::BindRequest { server, job });
+            }
+            ServerAction::BecameIdle => self.try_steal(server),
+        }
+    }
+
+    /// One steal attempt for an idle owned thief (§3.6). Victim draws
+    /// use this shard's steal stream exactly like the single-threaded
+    /// driver uses its global one; shard-local victims are scanned
+    /// synchronously in pick order, and if none yields a group, the
+    /// first remote victim (if any) gets a single asynchronous
+    /// [`SEvent::StealRequest`] — at most one remote attempt per idle
+    /// transition.
+    fn try_steal(&mut self, thief: ServerId) {
+        let Some(spec) = self.steal_spec else { return };
+        if self.cluster.is_down(thief) {
+            return;
+        }
+        self.steal_attempts += 1;
+        let partition = self.cluster.partition();
+        let granularity = spec.granularity;
+        let mut victims = std::mem::take(&mut self.victim_buf);
+        self.scheduler.pick_victims_into(
+            &partition,
+            thief,
+            &mut self.steal_rng,
+            &mut self.victim_scratch,
+            &mut victims,
+        );
+        // The long-work index only covers owned servers faithfully (the
+        // shadow slices never enqueue), so it can short-circuit local
+        // scans but not the remote attempt.
+        let local_scan = self.cluster.long_holder_count() > 0;
+        debug_assert!(self.steal_buf.is_empty(), "stale steal batch");
+        let mut robbed = None;
+        let mut remote = None;
+        for &victim in &victims {
+            if !self.owns(victim) {
+                if remote.is_none() {
+                    remote = Some(victim);
+                }
+                continue;
+            }
+            if !local_scan || !self.cluster.holds_long_work(victim) {
+                continue;
+            }
+            self.cluster.steal_from_with_into(
+                victim,
+                granularity,
+                &mut self.steal_rng,
+                &mut self.steal_buf,
+            );
+            if !self.steal_buf.is_empty() {
+                robbed = Some(victim);
+                break;
+            }
+        }
+        self.victim_buf = victims;
+        if let Some(victim) = robbed {
+            self.steals += 1;
+            let transfer = self.topology.steal_transfer(
+                self.engine.now(),
+                Endpoint::Server(victim),
+                Endpoint::Server(thief),
+            );
+            if transfer.is_zero() {
+                if let Some(action) = self.cluster.give_stolen_drain(thief, &mut self.steal_buf) {
+                    self.on_action(thief, action);
+                }
+            } else {
+                let batch = self.stolen_pool.put(&mut self.steal_buf);
+                self.engine.schedule(
+                    transfer,
+                    SEvent::Stolen {
+                        server: thief,
+                        batch,
+                    },
+                );
+            }
+        } else if let Some(victim) = remote {
+            let delay = self.topology.delay(
+                self.engine.now(),
+                Endpoint::Server(thief),
+                Endpoint::Server(victim),
+            );
+            let dest = self.map.owner(victim);
+            self.send_ev(delay, dest, SEvent::StealRequest { thief, victim });
+        }
+    }
+
+    /// A remote thief's steal request against an owned victim. An empty
+    /// scan sends no reply, like an unsuccessful local scan.
+    fn on_steal_request(&mut self, thief: ServerId, victim: ServerId) {
+        debug_assert!(self.owns(victim));
+        let Some(spec) = self.steal_spec else { return };
+        if self.cluster.is_down(victim) || !self.cluster.holds_long_work(victim) {
+            return;
+        }
+        debug_assert!(self.steal_buf.is_empty(), "stale steal batch");
+        self.cluster.steal_from_with_into(
+            victim,
+            spec.granularity,
+            &mut self.steal_rng,
+            &mut self.steal_buf,
+        );
+        if self.steal_buf.is_empty() {
+            return;
+        }
+        self.steals += 1;
+        let now = self.engine.now();
+        let transfer =
+            self.topology
+                .steal_transfer(now, Endpoint::Server(victim), Endpoint::Server(thief));
+        let delay = self
+            .topology
+            .delay(now, Endpoint::Server(victim), Endpoint::Server(thief))
+            + transfer;
+        let entries: Vec<QueueEntry> = self.steal_buf.drain(..).collect();
+        self.out_seq += 1;
+        self.outbox.push(Envelope {
+            at: now + delay,
+            dest: self.map.owner(thief) as u32,
+            src: self.id as u32,
+            seq: self.out_seq,
+            msg: WireMsg::Stolen { thief, entries },
+        });
+    }
+
+    fn on_stolen(&mut self, server: ServerId, batch: BatchHandle) {
+        debug_assert!(self.owns(server));
+        self.stolen_pool.take_into(batch, &mut self.steal_buf);
+        if self.cluster.is_down(server) {
+            let mut group = std::mem::take(&mut self.steal_buf);
+            for entry in group.drain(..) {
+                match entry {
+                    QueueEntry::Task(spec) => self.relocate_task(server, spec),
+                    QueueEntry::Probe { job, class } => self.relocate_probe(server, job, class),
+                }
+            }
+            self.steal_buf = group;
+            return;
+        }
+        if let Some(action) = self.cluster.give_stolen_drain(server, &mut self.steal_buf) {
+            self.on_action(server, action);
+        }
+    }
+
+    fn on_node_down(&mut self, server: ServerId) {
+        debug_assert!(self.drain_buf.is_empty(), "stale drain buffer");
+        let mut drained = std::mem::take(&mut self.drain_buf);
+        if !self.cluster.fail_server(server, &mut drained) {
+            self.drain_buf = drained;
+            return; // already down: duplicate script entry
+        }
+        if self.owns(server) {
+            self.owned_down += 1;
+        } else {
+            debug_assert!(drained.is_empty(), "shadow server held queue entries");
+        }
+        if let Some(central) = &mut self.central {
+            if server.index() < central.scope() {
+                central.fail(server);
+            }
+        }
+        for entry in drained.drain(..) {
+            match entry {
+                QueueEntry::Task(spec) => self.relocate_task(server, spec),
+                QueueEntry::Probe { job, class } => self.relocate_probe(server, job, class),
+            }
+        }
+        self.drain_buf = drained;
+    }
+}
+
+/// The sharded parallel driver. Construct with [`ShardedDriver::new`],
+/// consume with [`ShardedDriver::run`]; see the module docs for the
+/// synchronization contract and the divergences from [`crate::Driver`].
+pub struct ShardedDriver<'t> {
+    shards: Vec<Shard<'t>>,
+    trace: &'t Trace,
+    scheduler: Arc<dyn Scheduler>,
+    /// Home shard of every job, by job index.
+    homes: Vec<u32>,
+    lookahead: SimDuration,
+    workers: usize,
+    nodes: usize,
+    cutoff: Cutoff,
+    util_interval: SimDuration,
+}
+
+impl<'t> ShardedDriver<'t> {
+    /// Builds a sharded driver for `sim.shards` shards (clamped to the
+    /// node count), defaulting the worker-thread count to
+    /// `min(shards, worker_budget())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration (like [`crate::Driver`]) and
+    /// when the topology's [`min_message_delay`] is zero — conservative
+    /// parallel execution requires a positive lookahead.
+    ///
+    /// [`min_message_delay`]: hawk_net::TopologySpec::min_message_delay
+    pub fn new(trace: &'t Trace, scheduler: Arc<dyn Scheduler>, sim: &SimConfig) -> Self {
+        let map = ShardMap::new(sim.nodes, sim.shards);
+        let shards = map.shards;
+        let lookahead = sim.topology_spec().min_message_delay();
+        assert!(
+            lookahead > SimDuration::ZERO,
+            "sharded execution requires a positive minimum network delay \
+             (the lookahead of conservative parallel simulation)"
+        );
+
+        // RNG split order (frozen, see ARCHITECTURE.md): root →
+        // estimate stream → per shard s in 0..K: (probe_s, steal_s,
+        // scenario_s). The estimate stream splits first so estimates
+        // match the single-threaded driver bit-for-bit.
+        let mut root = SimRng::seed_from_u64(sim.seed);
+        let mut estimate_rng = root.split();
+        let mut shard_rngs: Vec<(SimRng, SimRng, SimRng)> = (0..shards)
+            .map(|_| (root.split(), root.split(), root.split()))
+            .collect();
+
+        let estimates = Arc::new(match sim.misestimate {
+            Some(range) => JobEstimates::misestimated(trace, range, &mut estimate_rng),
+            None => JobEstimates::exact(trace),
+        });
+
+        let speeds = sim.speeds.resolve(sim.nodes);
+        let long_route = scheduler.route(JobClass::Long);
+        let short_route = scheduler.route(JobClass::Short);
+
+        // Home assignment is computable up front: class (and therefore
+        // route) depends only on the precomputed estimates.
+        let mut homes = Vec::with_capacity(trace.len());
+        for job in trace.jobs() {
+            let class = estimates.class(job.id, sim.cutoff);
+            let home = match scheduler.route(class) {
+                Route::Central(_) => 0,
+                Route::Distributed(_) => job.id.index() % shards,
+            };
+            homes.push(home as u32);
+        }
+
+        if let Some(max) = sim.dynamics.max_server() {
+            assert!(
+                (max as usize) < sim.nodes,
+                "dynamics script touches server {max} but the cluster has {} servers",
+                sim.nodes
+            );
+        }
+
+        let max_tasks = trace
+            .jobs()
+            .iter()
+            .map(|j| j.num_tasks())
+            .max()
+            .unwrap_or(0);
+
+        let mut built = Vec::with_capacity(shards);
+        for (s, rng_slot) in shard_rngs.iter_mut().enumerate() {
+            let cluster = match &speeds {
+                Some(speeds) => {
+                    Cluster::with_speeds(sim.nodes, scheduler.short_partition_fraction(), speeds)
+                }
+                None => Cluster::new(sim.nodes, scheduler.short_partition_fraction()),
+            };
+            let partition = cluster.partition();
+            for route in [long_route, short_route] {
+                if let Route::Distributed(Scope::ShortReserved)
+                | Route::Central(Scope::ShortReserved) = route
+                {
+                    assert!(
+                        partition.short_count() > 0,
+                        "route targets the short partition but none is reserved"
+                    );
+                }
+            }
+            // Centralized decisions (placement, waiting-time queue,
+            // migration targets) all live on shard 0.
+            let central = if s == 0 {
+                central_scope(&long_route, &short_route).map(|scope| {
+                    let len = match scope {
+                        Scope::Whole => partition.total(),
+                        Scope::General => partition.general_count(),
+                        Scope::ShortReserved => {
+                            unreachable!("central routes never target the short partition")
+                        }
+                    };
+                    assert!(len > 0, "centralized route over an empty scope");
+                    CentralScheduler::new(len)
+                })
+            } else {
+                None
+            };
+
+            let mut engine = Engine::with_capacity(trace.len() * 2 / shards + 64);
+            let mut unfinished_home = 0;
+            for job in trace.jobs() {
+                if homes[job.id.index()] as usize == s {
+                    engine.schedule_at(job.submission, SEvent::Arrival(job.id));
+                    unfinished_home += 1;
+                }
+            }
+            // Every shard replays the full dynamics script so shadow
+            // membership stays globally correct.
+            for scripted in sim.dynamics.events() {
+                let event = match scripted.change {
+                    NodeChange::Down(server) => SEvent::NodeDown(ServerId(server)),
+                    NodeChange::Up(server) => SEvent::NodeUp(ServerId(server)),
+                };
+                engine.schedule_at(scripted.at, event);
+            }
+            engine.schedule(sim.util_interval, SEvent::UtilSample);
+
+            let jobs = trace
+                .jobs()
+                .iter()
+                .map(|j| JobRun {
+                    class: JobClass::Short, // finalized at arrival
+                    next_task: 0,
+                    remaining: j.num_tasks() as u32,
+                    completion: None,
+                })
+                .collect();
+
+            let (probe_rng, steal_rng, scenario_rng) = (
+                std::mem::replace(&mut rng_slot.0, SimRng::seed_from_u64(0)),
+                std::mem::replace(&mut rng_slot.1, SimRng::seed_from_u64(0)),
+                std::mem::replace(&mut rng_slot.2, SimRng::seed_from_u64(0)),
+            );
+            let (own_start, own_end) = map.range(s);
+            built.push(Shard {
+                id: s,
+                map,
+                own_start,
+                own_end,
+                trace,
+                scheduler: Arc::clone(&scheduler),
+                estimates: Arc::clone(&estimates),
+                engine,
+                cluster,
+                jobs,
+                central,
+                steal_spec: scheduler.steal(),
+                probe_rng,
+                steal_rng,
+                scenario_rng,
+                cutoff: sim.cutoff,
+                central_overhead: sim.central_overhead,
+                util_interval: sim.util_interval,
+                unfinished_home,
+                steals: 0,
+                steal_attempts: 0,
+                migrations: 0,
+                abandons: 0,
+                owned_down: 0,
+                samples: Vec::with_capacity(256),
+                drain_buf: Vec::with_capacity(4 * max_tasks + 64),
+                victim_scratch: Vec::new(),
+                victim_buf: Vec::new(),
+                steal_buf: Vec::with_capacity(64),
+                stolen_pool: BatchPool::new(),
+                probe_buf: Vec::with_capacity(4 * max_tasks + 8),
+                place_buf: Vec::with_capacity(max_tasks),
+                central_ready: SimTime::ZERO,
+                topology: sim.topology_spec().build(sim.nodes),
+                outbox: Vec::new(),
+                out_seq: 0,
+            });
+        }
+
+        ShardedDriver {
+            shards: built,
+            trace,
+            scheduler,
+            homes,
+            lookahead,
+            workers: worker_budget().clamp(1, shards),
+            nodes: sim.nodes,
+            cutoff: sim.cutoff,
+            util_interval: sim.util_interval,
+        }
+    }
+
+    /// Overrides the number of OS worker threads (clamped to
+    /// `1..=shards`). Results are identical for every worker count; the
+    /// determinism suite pins it.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.clamp(1, self.shards.len());
+        self
+    }
+
+    /// The number of shards this driver was built with.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Runs the simulation to completion and reports merged metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every event queue drains before all jobs complete, or
+    /// if a cross-shard message violates the epoch-horizon contract.
+    pub fn run(mut self) -> MetricsReport {
+        let shard_count = self.shards.len();
+        let total_unfinished: usize = self.shards.iter().map(|s| s.unfinished_home).sum();
+        if total_unfinished > 0 {
+            let base = self
+                .shards
+                .iter()
+                .filter_map(|s| s.engine.peek_time())
+                .min()
+                .expect("unfinished jobs but no pending events");
+            let shared = SharedState {
+                slots: (0..shard_count).map(|_| ShardSlot::default()).collect(),
+                barrier: Barrier::new(self.workers),
+                horizon: AtomicU64::new((base + self.lookahead).as_micros()),
+                stop: AtomicBool::new(false),
+                lookahead_micros: self.lookahead.as_micros(),
+                scratch: Mutex::new(Vec::new()),
+            };
+            // Static shard → worker assignment: worker w runs shards
+            // w, w + W, w + 2W, … — the merge order is independent of
+            // the assignment, so any W yields identical results.
+            let workers = self.workers;
+            let mut lanes: Vec<Vec<Shard<'t>>> = (0..workers).map(|_| Vec::new()).collect();
+            for shard in self.shards.drain(..) {
+                lanes[shard.id % workers].push(shard);
+            }
+            let shared_ref = &shared;
+            let mut finished: Vec<Shard<'t>> = Vec::with_capacity(shard_count);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = lanes
+                    .into_iter()
+                    .map(|mut lane| {
+                        scope.spawn(move || {
+                            worker_loop(&mut lane, shared_ref);
+                            lane
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    finished.extend(handle.join().expect("shard worker panicked"));
+                }
+            });
+            finished.sort_by_key(|s| s.id);
+            self.shards = finished;
+        }
+        self.report()
+    }
+
+    fn report(self) -> MetricsReport {
+        let cutoff = self.cutoff;
+        let mut makespan = SimTime::ZERO;
+        let mut results: Vec<JobResult> = Vec::with_capacity(self.trace.len());
+        for job in self.trace.jobs() {
+            let home = self.homes[job.id.index()] as usize;
+            let run = &self.shards[home].jobs[job.id.index()];
+            let Some(completion) = run.completion else {
+                unreachable!("job {} unfinished at report time", job.id);
+            };
+            makespan = makespan.max(completion);
+            results.push(JobResult {
+                job: job.id,
+                true_class: cutoff.classify(job.mean_task_duration()),
+                scheduled_class: run.class,
+                submission: job.submission,
+                completion,
+                num_tasks: job.num_tasks(),
+            });
+        }
+
+        // Merge utilization: every shard samples on the same schedule,
+        // so sample i exists in all shards (truncate defensively) and
+        // the cluster-wide ratio is the summed numerator over the
+        // summed usable capacity of the owned slices.
+        let mut util = UtilizationTracker::new(self.util_interval);
+        let sample_count = self
+            .shards
+            .iter()
+            .map(|s| s.samples.len())
+            .min()
+            .unwrap_or(0);
+        for i in 0..sample_count {
+            let mut running = 0u64;
+            let mut usable = 0u64;
+            for shard in &self.shards {
+                let sample = shard.samples[i];
+                let own_len = (shard.own_end - shard.own_start) as u64;
+                running += sample.running as u64;
+                usable += own_len - sample.owned_down as u64 + sample.down_running as u64;
+            }
+            util.record(running as f64 / usable.max(1) as f64);
+        }
+
+        let mut network = NetworkStats::default();
+        for shard in &self.shards {
+            let stats = shard.topology.stats();
+            network.rack_local_msgs += stats.rack_local_msgs;
+            network.cross_rack_msgs += stats.cross_rack_msgs;
+            network.cross_pod_msgs += stats.cross_pod_msgs;
+            network.rack_local_steals += stats.rack_local_steals;
+            network.steal_transfers += stats.steal_transfers;
+        }
+
+        MetricsReport {
+            scheduler: self.scheduler.name(),
+            nodes: self.nodes,
+            results,
+            median_utilization: util.median().unwrap_or(0.0),
+            max_utilization: util.max().unwrap_or(0.0),
+            utilization_samples: util.samples().to_vec(),
+            makespan,
+            events: self.shards.iter().map(|s| s.engine.processed()).sum(),
+            steals: self.shards.iter().map(|s| s.steals).sum(),
+            steal_attempts: self.shards.iter().map(|s| s.steal_attempts).sum(),
+            migrations: self.shards.iter().map(|s| s.migrations).sum(),
+            abandons: self.shards.iter().map(|s| s.abandons).sum(),
+            network,
+        }
+    }
+}
+
+/// The single scope used by centralized routes, if any (mirrors the
+/// single-threaded driver's rule).
+fn central_scope(long: &Route, short: &Route) -> Option<Scope> {
+    match (long, short) {
+        (Route::Central(a), Route::Central(b)) => {
+            assert_eq!(a, b, "central routes must share a scope");
+            Some(*a)
+        }
+        (Route::Central(a), _) => Some(*a),
+        (_, Route::Central(b)) => Some(*b),
+        _ => None,
+    }
+}
+
+/// One worker's epoch loop over its statically assigned shards.
+fn worker_loop(lane: &mut [Shard<'_>], shared: &SharedState) {
+    loop {
+        shared.barrier.wait();
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let horizon = SimTime::from_micros(shared.horizon.load(Ordering::Acquire));
+        for shard in lane.iter_mut() {
+            let slot = &shared.slots[shard.id];
+            let mut inbox = std::mem::take(&mut *slot.inbox.lock().expect("inbox poisoned"));
+            shard.inject(&mut inbox);
+            // Hand the drained Vec back so the merge reuses its capacity.
+            *slot.inbox.lock().expect("inbox poisoned") = inbox;
+            shard.run_until(horizon);
+            {
+                let mut out = slot.outbox.lock().expect("outbox poisoned");
+                debug_assert!(out.is_empty(), "outbox not drained by the merge");
+                std::mem::swap(&mut *out, &mut shard.outbox);
+            }
+            slot.next_micros.store(
+                shard
+                    .engine
+                    .peek_time()
+                    .map_or(u64::MAX, SimTime::as_micros),
+                Ordering::Release,
+            );
+            slot.unfinished
+                .store(shard.unfinished_home, Ordering::Release);
+        }
+        if shared.barrier.wait().is_leader() {
+            merge(shared);
+        }
+    }
+}
+
+/// The barrier leader's epoch merge: collect every outbox, order the
+/// envelopes by `(firing time, source shard, send sequence)`, route them
+/// to the destination inboxes, and publish the next horizon (or stop).
+fn merge(shared: &SharedState) {
+    let mut scratch = shared.scratch.lock().expect("merge scratch poisoned");
+    let mut unfinished = 0usize;
+    let mut base = u64::MAX;
+    for slot in &shared.slots {
+        scratch.append(&mut slot.outbox.lock().expect("outbox poisoned"));
+        unfinished += slot.unfinished.load(Ordering::Acquire);
+        base = base.min(slot.next_micros.load(Ordering::Acquire));
+    }
+    if unfinished == 0 {
+        shared.stop.store(true, Ordering::Release);
+        return;
+    }
+    scratch.sort_unstable_by_key(|env| (env.at.as_micros(), env.src, env.seq));
+    for env in scratch.drain(..) {
+        base = base.min(env.at.as_micros());
+        shared.slots[env.dest as usize]
+            .inbox
+            .lock()
+            .expect("inbox poisoned")
+            .push(env);
+    }
+    assert!(
+        base != u64::MAX,
+        "event queues drained with {unfinished} unfinished jobs"
+    );
+    shared
+        .horizon
+        .store(base + shared.lookahead_micros, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{Centralized, Hawk, Sparrow, SplitCluster};
+    use hawk_workload::Job;
+
+    #[test]
+    fn shard_map_ranges_partition_every_cluster() {
+        for nodes in [1usize, 2, 3, 7, 10, 100, 101] {
+            for shards in [1usize, 2, 3, 4, 7, 16, 200] {
+                let map = ShardMap::new(nodes, shards);
+                assert!(map.shards >= 1 && map.shards <= nodes.max(1));
+                let mut next = 0u32;
+                for s in 0..map.shards {
+                    let (start, end) = map.range(s);
+                    assert_eq!(start, next, "nodes={nodes} shards={shards} s={s}");
+                    assert!(end > start, "empty shard: nodes={nodes} shards={shards}");
+                    for id in start..end {
+                        assert_eq!(
+                            map.owner(ServerId(id)),
+                            s,
+                            "nodes={nodes} shards={shards} id={id}"
+                        );
+                    }
+                    next = end;
+                }
+                assert_eq!(next as usize, nodes);
+            }
+        }
+    }
+
+    fn tiny_trace(jobs: Vec<(u64, Vec<u64>)>) -> Trace {
+        let jobs = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (at, tasks))| Job {
+                id: JobId(i as u32),
+                submission: SimTime::from_secs(at),
+                tasks: tasks.into_iter().map(SimDuration::from_secs).collect(),
+                generated_class: None,
+            })
+            .collect();
+        Trace::new(jobs).unwrap()
+    }
+
+    fn run_sharded(
+        trace: &Trace,
+        scheduler: Arc<dyn Scheduler>,
+        nodes: usize,
+        shards: usize,
+        workers: usize,
+    ) -> MetricsReport {
+        let sim = SimConfig {
+            nodes,
+            shards,
+            ..SimConfig::default()
+        };
+        ShardedDriver::new(trace, scheduler, &sim)
+            .with_workers(workers)
+            .run()
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_scheduler_and_shard_count() {
+        let trace = tiny_trace(vec![
+            (0, vec![5; 8]),
+            (1, vec![2000; 6]),
+            (2, vec![3, 4, 5]),
+            (4, vec![1500, 1600]),
+            (6, vec![1; 10]),
+        ]);
+        let schedulers: Vec<Arc<dyn Scheduler>> = vec![
+            Arc::new(Hawk::new(0.25)),
+            Arc::new(Sparrow::new()),
+            Arc::new(Centralized::new()),
+            Arc::new(SplitCluster::new(0.25)),
+        ];
+        for scheduler in schedulers {
+            for shards in [1, 2, 3, 4] {
+                let name = scheduler.name();
+                let report = run_sharded(&trace, Arc::clone(&scheduler), 8, shards, 2);
+                assert_eq!(report.results.len(), 5, "{name} shards={shards}");
+                for r in &report.results {
+                    assert!(r.completion >= r.submission, "{name} shards={shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let trace = tiny_trace(vec![
+            (0, vec![5; 12]),
+            (0, vec![2_000; 4]),
+            (1, vec![10, 20, 30]),
+            (3, vec![1_800, 1_900]),
+            (5, vec![2; 16]),
+        ]);
+        let hawk: Arc<dyn Scheduler> = Arc::new(Hawk::new(0.25));
+        let one = run_sharded(&trace, Arc::clone(&hawk), 12, 4, 1);
+        let four = run_sharded(&trace, hawk, 12, 4, 4);
+        assert_eq!(one.results, four.results);
+        assert_eq!(one.events, four.events);
+        assert_eq!(one.steals, four.steals);
+        assert_eq!(one.utilization_samples, four.utilization_samples);
+    }
+
+    #[test]
+    fn sharded_run_is_self_deterministic() {
+        let trace = tiny_trace(vec![
+            (0, vec![5_000u64; 8]),
+            (1, vec![20; 4]),
+            (2, vec![20; 4]),
+            (3, vec![20; 4]),
+        ]);
+        let hawk: Arc<dyn Scheduler> = Arc::new(Hawk::new(0.2));
+        let a = run_sharded(&trace, Arc::clone(&hawk), 10, 3, 2);
+        let b = run_sharded(&trace, hawk, 10, 3, 2);
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.steals, b.steals);
+        assert_eq!(a.migrations, b.migrations);
+    }
+
+    #[test]
+    fn remote_steals_rescue_blocked_shorts_across_shards() {
+        // The head-of-line scenario from the driver tests, but sharded
+        // so the short-partition servers (ids 8–9, last shard) must
+        // steal from general-partition victims in other shards.
+        let mut jobs = vec![(0, vec![5_000u64; 8])];
+        for i in 0..5 {
+            jobs.push((1 + i, vec![20u64; 4]));
+        }
+        let trace = tiny_trace(jobs);
+        let report = run_sharded(&trace, Arc::new(Hawk::new(0.2)), 10, 4, 2);
+        let worst_short = report.results[1..]
+            .iter()
+            .map(|r| r.runtime().as_secs_f64())
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst_short < 1_000.0,
+            "cross-shard stealing should rescue shorts: {worst_short}"
+        );
+        assert!(report.steals > 0);
+    }
+
+    #[test]
+    fn churn_under_sharding_keeps_every_job_completing() {
+        use hawk_workload::scenario::DynamicsScript;
+        let mut jobs = vec![(0, vec![3_000u64; 6])];
+        for i in 0..6 {
+            jobs.push((1 + i, vec![20u64; 4]));
+        }
+        let trace = tiny_trace(jobs);
+        let script = DynamicsScript::rolling(
+            &[0, 1, 2],
+            SimTime::from_secs(5),
+            SimDuration::from_secs(40),
+            SimDuration::from_secs(20),
+            8,
+        );
+        let sim = SimConfig {
+            nodes: 10,
+            shards: 3,
+            dynamics: script,
+            ..SimConfig::default()
+        };
+        let report = ShardedDriver::new(&trace, Arc::new(Hawk::new(0.2)), &sim)
+            .with_workers(3)
+            .run();
+        assert_eq!(report.results.len(), trace.len());
+        for r in &report.results {
+            assert!(r.completion >= r.submission);
+        }
+    }
+
+    #[test]
+    fn worker_budget_env_override_wins() {
+        // Serialize against other env-reading tests via a named lock.
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("HAWK_WORKER_BUDGET", "3");
+        assert_eq!(worker_budget(), 3);
+        std::env::set_var("HAWK_WORKER_BUDGET", "0");
+        assert_eq!(worker_budget(), 1, "zero clamps to one worker");
+        std::env::set_var("HAWK_WORKER_BUDGET", "nonsense");
+        let fallback = worker_budget();
+        assert!(fallback >= 1);
+        std::env::remove_var("HAWK_WORKER_BUDGET");
+    }
+
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn shards_clamp_to_node_count() {
+        let trace = tiny_trace(vec![(0, vec![10, 10])]);
+        let sim = SimConfig {
+            nodes: 2,
+            shards: 64,
+            ..SimConfig::default()
+        };
+        let driver = ShardedDriver::new(&trace, Arc::new(Sparrow::new()), &sim);
+        assert_eq!(driver.shard_count(), 2);
+        let report = driver.run();
+        assert_eq!(report.results.len(), 1);
+    }
+}

@@ -22,8 +22,8 @@
 //!    seeded runs produce identical reports, digest and all.
 
 // The shared digest helpers also carry the golden constants used by the
-// determinism suites; this binary only needs the digest function.
-#[allow(dead_code)]
+// determinism suites; this binary only needs the digest function (the
+// module allows dead_code internally for exactly this reason).
 mod support;
 
 use std::sync::Arc;

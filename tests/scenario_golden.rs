@@ -23,20 +23,16 @@ use hawk_core::scheduler::{Centralized, Hawk, Scheduler, Sparrow, SplitCluster};
 use hawk_core::{Experiment, FatTreeParams, MetricsReport, TopologySpec};
 use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
-use hawk_workload::scenario::{DynamicsScript, ScenarioSpec, SpeedSpec, TraceFamily};
+use hawk_workload::scenario::{DynamicsScript, ScenarioSpec, SpeedSpec};
 use proptest::prelude::*;
 use proptest::ProptestConfig;
 
 mod support;
 use support::{
-    digest_report, CENTRALIZED_DIGEST, GOLDEN_JOBS, GOLDEN_NODES, HAWK_DIGEST, SIM_SEED,
-    SPARROW_DIGEST, SPLIT_CLUSTER_DIGEST, TRACE_SEED,
+    churn_scenario, digest_report, golden_scenario, CENTRALIZED_DIGEST, CHURN_HETERO_HAWK_DIGEST,
+    FAT_TREE_HAWK_DIGEST, GOLDEN_NODES, HAWK_DIGEST, SIM_SEED, SPARROW_DIGEST,
+    SPLIT_CLUSTER_DIGEST, TRACE_SEED,
 };
-
-/// The golden cell, described through the scenario layer.
-fn golden_scenario() -> ScenarioSpec {
-    ScenarioSpec::new(TraceFamily::Google { scale: 10 }, GOLDEN_JOBS)
-}
 
 fn run_scenario(scenario: &ScenarioSpec, scheduler: Arc<dyn Scheduler>) -> MetricsReport {
     run_scenario_with(scenario, scheduler, None)
@@ -157,28 +153,6 @@ proptest! {
     }
 }
 
-/// The pinned churn + heterogeneous scenario: rolling failures across the
-/// general partition on a two-tier-speed cluster.
-fn churn_scenario() -> ScenarioSpec {
-    golden_scenario()
-        .speeds(SpeedSpec::TwoTier {
-            slow_fraction: 0.25,
-            slow_speed: 0.5,
-        })
-        .dynamics(DynamicsScript::rolling(
-            &[0, 10, 20, 30, 40, 50],
-            SimTime::from_secs(500),
-            SimDuration::from_secs(400),
-            SimDuration::from_secs(250),
-            24,
-        ))
-}
-
-/// Pinned digest of [`churn_scenario`] under Hawk (produced by this PR's
-/// scenario engine; any later drift in failure draining, migration
-/// targeting, revival or speed scaling fails here).
-const CHURN_HETERO_HAWK_DIGEST: u64 = 0x4f3fa286a0bcca5a;
-
 #[test]
 fn churn_heterogeneous_digest_pinned() {
     let report = run_scenario(
@@ -210,11 +184,6 @@ fn churn_runs_are_bit_identical() {
     assert_eq!(a.migrations, b.migrations);
     assert_eq!(a.abandons, b.abandons);
 }
-
-/// Pinned digest of the golden Hawk cell on the default uncontended fat
-/// tree (produced by the PR that introduced `hawk-net`; any later drift
-/// in placement mapping, link classification or hop costs fails here).
-const FAT_TREE_HAWK_DIGEST: u64 = 0x416829b65ce3bf51;
 
 /// A fat-tree Hawk run is pinned like the flat-network cells: the
 /// topology layer itself can never drift silently.

@@ -6,7 +6,13 @@
 //! hash reports with the same function against the same constants, so the
 //! two suites can never drift apart.
 
+// Each test binary compiles its own copy of this module and uses a
+// different subset of it.
+#![allow(dead_code)]
+
 use hawk_core::MetricsReport;
+use hawk_simcore::{SimDuration, SimTime};
+use hawk_workload::scenario::{DynamicsScript, ScenarioSpec, SpeedSpec, TraceFamily};
 
 /// Trace seed; arbitrary but frozen.
 pub const TRACE_SEED: u64 = 0xDE7E12;
@@ -30,6 +36,39 @@ pub const SPARROW_DIGEST: u64 = 0x01255b27da1012a9;
 pub const CENTRALIZED_DIGEST: u64 = 0x9048234f476f81f5;
 /// Pinned digest: the split-cluster baseline on the golden cell.
 pub const SPLIT_CLUSTER_DIGEST: u64 = 0x74d8c6fdcb839842;
+
+/// Pinned digest of [`churn_scenario`] under Hawk (produced by the
+/// scenario-engine PR; any later drift in failure draining, migration
+/// targeting, revival or speed scaling fails against it).
+pub const CHURN_HETERO_HAWK_DIGEST: u64 = 0x4f3fa286a0bcca5a;
+
+/// Pinned digest of the golden Hawk cell on the default uncontended fat
+/// tree (produced by the PR that introduced `hawk-net`; any later drift
+/// in placement mapping, link classification or hop costs fails against
+/// it).
+pub const FAT_TREE_HAWK_DIGEST: u64 = 0x416829b65ce3bf51;
+
+/// The golden cell, described through the scenario layer.
+pub fn golden_scenario() -> ScenarioSpec {
+    ScenarioSpec::new(TraceFamily::Google { scale: 10 }, GOLDEN_JOBS)
+}
+
+/// The pinned churn + heterogeneous scenario: rolling failures across the
+/// general partition on a two-tier-speed cluster.
+pub fn churn_scenario() -> ScenarioSpec {
+    golden_scenario()
+        .speeds(SpeedSpec::TwoTier {
+            slow_fraction: 0.25,
+            slow_speed: 0.5,
+        })
+        .dynamics(DynamicsScript::rolling(
+            &[0, 10, 20, 30, 40, 50],
+            SimTime::from_secs(500),
+            SimDuration::from_secs(400),
+            SimDuration::from_secs(250),
+            24,
+        ))
+}
 
 /// FNV-1a over a canonical little-endian serialization of the report.
 ///
