@@ -17,6 +17,8 @@ fn entry(long: bool, id: u32) -> QueueEntry {
             duration: SimDuration::from_secs(20_000),
             estimate: SimDuration::from_secs(20_000),
             class: JobClass::Long,
+            task: 0,
+            attempt: 0,
         })
     } else {
         QueueEntry::Probe {
@@ -63,6 +65,8 @@ fn bench_scan(c: &mut Criterion) {
                         duration: SimDuration::from_secs(1),
                         estimate: SimDuration::from_secs(1),
                         class: JobClass::Short,
+                        task: 0,
+                        attempt: 0,
                     }),
                 );
                 for i in 0..len {

@@ -12,14 +12,19 @@
 //! Columns: scheduler, backend, p50/p90 short, p50/p90 long, steals,
 //! wall-clock milliseconds, and (on proto rows) the p90-short proto/sim
 //! ratio — the Figure 16/17 agreement number.
+//!
+//! `--faults` adds a third row per scheduler: the virtual prototype under
+//! [`FaultSpec::chaos`] plus a mid-run partition, so the fault-free and
+//! faulty divergence from the simulator sit side by side.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use hawk_bench::{fmt4, parse_args, tsv_header, tsv_row, RunMode};
+use hawk_bench::{fmt4, parse_args_with, tsv_header, tsv_row, RunMode};
 use hawk_core::scheduler::{Hawk, Sparrow};
 use hawk_core::{Backend, Experiment, MetricsReport, Scheduler, SimBackend};
-use hawk_proto::ProtoBackend;
+use hawk_proto::{FaultSpec, ProtoBackend};
+use hawk_simcore::SimTime;
 use hawk_workload::scenario::{ScenarioSpec, TraceFamily};
 use hawk_workload::JobClass;
 
@@ -29,10 +34,16 @@ const NODES: usize = 100;
 const SCALE: u64 = 150;
 
 fn main() {
-    let opts = parse_args(
+    let (opts, flags) = parse_args_with(
         "proto_vs_sim",
         "one policy grid through the simulator and the prototype backend",
+        &[(
+            "--faults",
+            "add a faulty virtual-prototype row per scheduler \
+             (FaultSpec::chaos + a 1000 s ten-worker partition)",
+        )],
     );
+    let with_faults = flags.iter().any(|f| f == "--faults");
     let jobs = opts.jobs.unwrap_or(match opts.mode {
         RunMode::Quick => 200,
         RunMode::Paper => 1_000,
@@ -53,6 +64,13 @@ fn main() {
     ];
     let sim = SimBackend;
     let proto = ProtoBackend::deterministic();
+    // The faulty axis: the chaos cell plus a partition islanding ten
+    // workers (hosts 40–49 host no scheduler daemons) for 1000 s.
+    let faulty = ProtoBackend::deterministic().faults(FaultSpec::chaos().partition(
+        SimTime::from_secs(100),
+        SimTime::from_secs(1_100),
+        (40..50).collect(),
+    ));
 
     tsv_header(&[
         "scheduler",
@@ -67,7 +85,11 @@ fn main() {
     ]);
     for scheduler in schedulers {
         let mut sim_p90_short = None;
-        for (backend, name) in [(&sim as &dyn Backend, "sim"), (&proto, "proto")] {
+        let mut rows: Vec<(&dyn Backend, &str)> = vec![(&sim, "sim"), (&proto, "proto")];
+        if with_faults {
+            rows.push((&faulty, "proto-faulty"));
+        }
+        for (backend, name) in rows {
             let start = Instant::now();
             let report: MetricsReport = Experiment::builder()
                 .nodes(NODES)

@@ -95,7 +95,20 @@ impl HarnessOpts {
 /// Parses `std::env::args()` under the shared convention; exits with a
 /// usage message on unknown flags.
 pub fn parse_args(binary: &str, description: &str) -> HarnessOpts {
+    parse_args_with(binary, description, &[]).0
+}
+
+/// Like [`parse_args`], but a binary may declare extra boolean flags
+/// (`(flag, help)` pairs, e.g. `("--faults", "add faulty rows")`).
+/// Returns the shared options plus the extra flags that were present;
+/// anything undeclared still exits with the usage message.
+pub fn parse_args_with(
+    binary: &str,
+    description: &str,
+    extra: &[(&str, &str)],
+) -> (HarnessOpts, Vec<String>) {
     let mut opts = HarnessOpts::default();
+    let mut flags = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -103,22 +116,37 @@ pub fn parse_args(binary: &str, description: &str) -> HarnessOpts {
             "--full-trace" | "--paper-scale" => opts.mode = RunMode::FullTrace,
             "--jobs" => {
                 let v = args.next().unwrap_or_default();
-                opts.jobs = Some(v.parse().unwrap_or_else(|_| usage(binary, description)));
+                opts.jobs = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| usage(binary, description, extra)),
+                );
             }
             "--seed" => {
                 let v = args.next().unwrap_or_default();
-                opts.seed = v.parse().unwrap_or_else(|_| usage(binary, description));
+                opts.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage(binary, description, extra));
             }
-            "--help" | "-h" => usage(binary, description),
-            _ => usage(binary, description),
+            "--help" | "-h" => usage(binary, description, extra),
+            other => {
+                if extra.iter().any(|(flag, _)| *flag == other) {
+                    flags.push(other.to_string());
+                } else {
+                    usage(binary, description, extra);
+                }
+            }
         }
     }
-    opts
+    (opts, flags)
 }
 
-fn usage(binary: &str, description: &str) -> ! {
+fn usage(binary: &str, description: &str, extra: &[(&str, &str)]) -> ! {
     eprintln!("{binary}: {description}");
-    eprintln!("usage: {binary} [--quick | --full-trace] [--jobs N] [--seed S]");
+    let extras: String = extra.iter().map(|(flag, _)| format!(" [{flag}]")).collect();
+    eprintln!("usage: {binary} [--quick | --full-trace] [--jobs N] [--seed S]{extras}");
+    for (flag, help) in extra {
+        eprintln!("  {flag}: {help}");
+    }
     std::process::exit(2);
 }
 

@@ -74,6 +74,8 @@ impl ServerStat {
 ///     duration: SimDuration::from_secs(60),
 ///     estimate: SimDuration::from_secs(60),
 ///     class: JobClass::Long,
+///     task: 0,
+///     attempt: 0,
 /// };
 /// let action = cluster.enqueue(ServerId(0), QueueEntry::Task(spec));
 /// assert_eq!(action, Some(ServerAction::StartTask(spec)));
@@ -738,6 +740,8 @@ mod tests {
             duration: SimDuration::from_secs(secs),
             estimate: SimDuration::from_secs(secs),
             class,
+            task: 0,
+            attempt: 0,
         }
     }
 

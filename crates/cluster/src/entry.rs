@@ -16,6 +16,14 @@ pub struct TaskSpec {
     pub estimate: SimDuration,
     /// The job's scheduling class under the active cutoff.
     pub class: JobClass,
+    /// Index of this task within its job (`0..num_tasks`). Together with
+    /// `attempt` it forms the `(job, task, attempt)` idempotency key the
+    /// prototype's hardened protocol dedups launches and completions by;
+    /// the simulator fills it but never branches on it.
+    pub task: u32,
+    /// Launch attempt: 0 for the first launch, bumped each time the
+    /// hardened protocol relaunches a task presumed lost.
+    pub attempt: u32,
 }
 
 /// One entry in a server's FIFO queue.
@@ -79,6 +87,8 @@ mod tests {
             duration: SimDuration::from_secs(10),
             estimate: SimDuration::from_secs(12),
             class,
+            task: 0,
+            attempt: 0,
         }
     }
 

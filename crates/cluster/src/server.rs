@@ -468,6 +468,8 @@ mod tests {
             duration: SimDuration::from_secs(5),
             estimate: SimDuration::from_secs(5),
             class,
+            task: 0,
+            attempt: 0,
         }
     }
 

@@ -241,6 +241,8 @@ mod tests {
             duration: SimDuration::from_secs(1_000),
             estimate: SimDuration::from_secs(1_000),
             class: JobClass::Long,
+            task: 0,
+            attempt: 0,
         })
     }
 
@@ -277,6 +279,8 @@ mod tests {
                     duration: SimDuration::from_secs(10),
                     estimate: SimDuration::from_secs(10),
                     class,
+                    task: 0,
+                    attempt: 0,
                 }),
             );
         }

@@ -18,6 +18,8 @@ fn spec(job: u32, class: JobClass) -> TaskSpec {
         duration: SimDuration::from_secs(10),
         estimate: SimDuration::from_secs(10),
         class,
+        task: 0,
+        attempt: 0,
     }
 }
 

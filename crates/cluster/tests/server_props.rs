@@ -28,6 +28,8 @@ fn entry(long: bool, id: u32, probe: bool) -> QueueEntry {
             } else {
                 JobClass::Short
             },
+            task: 0,
+            attempt: 0,
         })
     }
 }
@@ -105,6 +107,8 @@ proptest! {
                             duration: SimDuration::from_secs(1),
                             estimate: SimDuration::from_secs(1),
                             class: JobClass::Short,
+                            task: 0,
+                            attempt: 0,
                         });
                         let was_cancel = task.is_none();
                         let action = server.on_bind_response(&mut queues, task);

@@ -25,6 +25,8 @@ fn entry(long: bool, id: u32) -> QueueEntry {
             duration: SimDuration::from_secs(1_000),
             estimate: SimDuration::from_secs(1_000),
             class: JobClass::Long,
+            task: 0,
+            attempt: 0,
         })
     } else {
         QueueEntry::Probe {

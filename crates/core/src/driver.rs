@@ -578,6 +578,8 @@ impl<'t> Driver<'t> {
                 duration: spec.tasks[i],
                 estimate,
                 class,
+                task: i as u32,
+                attempt: 0,
             };
             let delay = self
                 .topology
@@ -701,6 +703,8 @@ impl<'t> Driver<'t> {
                 duration: spec.tasks[idx],
                 estimate,
                 class: run.class,
+                task: idx as u32,
+                attempt: 0,
             })
         } else {
             None // all tasks given out: cancel (§3.5)

@@ -557,6 +557,8 @@ impl<'t> Shard<'t> {
                 duration: spec.tasks[i],
                 estimate,
                 class,
+                task: i as u32,
+                attempt: 0,
             };
             let delay = self
                 .topology
@@ -667,6 +669,8 @@ impl<'t> Shard<'t> {
                 duration: spec.tasks[idx],
                 estimate,
                 class: run.class,
+                task: idx as u32,
+                attempt: 0,
             })
         } else {
             None // all tasks given out: cancel (§3.5)

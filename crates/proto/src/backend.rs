@@ -11,6 +11,7 @@ use std::sync::Arc;
 use hawk_core::{Backend, MetricsReport, Scheduler, SimConfig};
 use hawk_workload::Trace;
 
+use crate::fault::FaultSpec;
 use crate::runtime::{run_prototype, ExecutionMode, ProtoConfig};
 
 /// Runs experiment cells on the prototype cluster.
@@ -66,6 +67,10 @@ pub struct ProtoBackend {
     /// `true` runs live threads on the wall clock; `false` runs the
     /// deterministic virtual-clock router.
     pub real_time: bool,
+    /// Fault injection for the virtual router (must stay
+    /// [`FaultSpec::none`] in real-time mode). [`FaultSpec::none`] leaves
+    /// runs byte-identical to a backend without the field.
+    pub faults: FaultSpec,
 }
 
 impl ProtoBackend {
@@ -75,6 +80,7 @@ impl ProtoBackend {
         ProtoBackend {
             dist_schedulers: 10,
             real_time: false,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -85,12 +91,21 @@ impl ProtoBackend {
         ProtoBackend {
             dist_schedulers: 10,
             real_time: true,
+            faults: FaultSpec::none(),
         }
     }
 
     /// Same backend with a different distributed-scheduler count.
     pub fn dist_schedulers(mut self, count: usize) -> Self {
         self.dist_schedulers = count;
+        self
+    }
+
+    /// Same backend with fault injection (virtual-clock mode only). A
+    /// lossy spec must also carry timeouts — see
+    /// [`FaultSpec::hardened`].
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -115,6 +130,7 @@ impl ProtoBackend {
             },
             dynamics: sim.dynamics.clone(),
             speeds: sim.speeds.clone(),
+            faults: self.faults.clone(),
         }
     }
 }

@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod fault;
 mod msg;
 mod report;
 mod runtime;
@@ -74,6 +75,7 @@ mod virt;
 mod worker;
 
 pub use backend::ProtoBackend;
+pub use fault::{DelaySpike, FaultSpec, PartitionWindow, TimeoutSpec};
 pub use msg::{CentralMsg, DistMsg, WorkerMsg};
 pub use report::{ProtoJobResult, ProtoReport};
 pub use runtime::{run_prototype, ExecutionMode, ProtoConfig};

@@ -17,7 +17,7 @@
 //! under both.
 
 use hawk_cluster::{QueueEntry, TaskSpec};
-use hawk_simcore::SimDuration;
+use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::scenario::NodeChange;
 use hawk_workload::{JobClass, JobId};
 
@@ -38,6 +38,10 @@ pub enum WorkerMsg {
     Assign(TaskSpec),
     /// Response to this worker's task request: a task or a cancel.
     BindReply {
+        /// The job the request was for — lets the hardened protocol match
+        /// a reply to the wait it answers (a duplicated or reordered
+        /// reply for a stale wait is discarded, not mis-bound).
+        job: JobId,
         /// `Some` launches, `None` cancels.
         task: Option<TaskSpec>,
     },
@@ -48,9 +52,42 @@ pub enum WorkerMsg {
     },
     /// Stolen entries arriving at the thief.
     StealReply {
+        /// The victim that granted (or refused) the steal — the address
+        /// the hardened protocol acks to.
+        from: usize,
+        /// Transfer nonce of a hardened non-empty grant (0 otherwise):
+        /// the thief's dedup/ack key, so a retransmitted grant is never
+        /// enqueued twice.
+        nonce: u64,
         /// The stolen group (possibly empty = steal failed), in the
         /// victim's queue order.
         entries: Vec<QueueEntry>,
+    },
+    /// Hardened protocol: the thief acknowledges receipt of a non-empty
+    /// steal grant, releasing the victim's pending-transfer buffer.
+    StealAck {
+        /// The grant's transfer nonce.
+        nonce: u64,
+    },
+    /// Hardened self-timer: the bind reply for the request tagged `epoch`
+    /// has not arrived — retransmit or resolve locally.
+    BindTimeout {
+        /// The bind epoch the timer was armed for (stale fires are
+        /// ignored).
+        epoch: u64,
+    },
+    /// Hardened self-timer: the steal request tagged `epoch` got no
+    /// reply — advance to the next victim.
+    StealTimeout {
+        /// The steal epoch the timer was armed for.
+        epoch: u64,
+    },
+    /// Hardened self-timer (victim side): the grant tagged `nonce` is
+    /// still unacked — retransmit it, or relocate the entries after the
+    /// retry budget.
+    StealRetransmit {
+        /// The pending grant's transfer nonce.
+        nonce: u64,
     },
     /// Scenario dynamics: the node leaves service (drains its queue) or
     /// rejoins empty.
@@ -85,6 +122,10 @@ pub enum DistMsg {
     TaskDone {
         /// The job.
         job: JobId,
+        /// The finished task's index within the job — the hardened
+        /// protocol's completion-dedup key (ignored fault-free, where
+        /// every completion is delivered exactly once).
+        task: u32,
     },
     /// A probe was displaced (drained off a failed worker, or arrived at a
     /// down one): re-probe a random live server if the job still has
@@ -105,6 +146,13 @@ pub enum DistMsg {
         class: JobClass,
         /// Hops taken including the bounce that produced this message.
         bounces: u8,
+    },
+    /// Hardened self-timer: the per-job retry chain fires — re-probe if
+    /// unlaunched tasks remain, relaunch handed-out tasks presumed lost,
+    /// and re-arm with backoff until the job completes.
+    JobTimeout {
+        /// The job whose chain fired.
+        job: JobId,
     },
     /// Scenario dynamics notification: keeps the scheduler's membership
     /// view (its shadow cluster) current.
@@ -135,6 +183,9 @@ pub enum CentralMsg {
         worker: usize,
         /// The estimate charged at assignment.
         estimate: SimDuration,
+        /// The finished task's index within the job — the hardened
+        /// protocol's completion-dedup key (ignored fault-free).
+        task: u32,
     },
     /// A centrally-placed task was displaced off a failed worker: re-place
     /// it on the least-loaded live server, moving the waiting-time
@@ -144,6 +195,13 @@ pub enum CentralMsg {
         from: usize,
         /// The displaced task.
         spec: TaskSpec,
+    },
+    /// Hardened self-timer: the per-job retry chain fires — relaunch
+    /// placed tasks presumed lost and re-arm with backoff until the job
+    /// completes.
+    JobTimeout {
+        /// The job whose chain fired.
+        job: JobId,
     },
     /// Scenario dynamics notification (fail/revive the server's
     /// waiting-time key).
@@ -176,6 +234,32 @@ pub(crate) trait Net {
     /// workers still draining a task — the simulator's utilization
     /// denominator under scenario dynamics (`Cluster::utilization`).
     fn add_capacity(&mut self, delta: i64);
+
+    /// The harness clock (virtual time under the router). The hardened
+    /// protocol stamps launch times with it; daemons never arm timers or
+    /// read the clock unless hardening is enabled, so the fault-free
+    /// router's delivery sequence is untouched.
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+    /// Arms a hardened self-timer at worker `to`, `after` from now. Timer
+    /// deliveries bypass the network entirely: they are local alarms,
+    /// immune to faults, and count as pending work for the liveness
+    /// watchdog.
+    fn self_timer_worker(&mut self, to: usize, after: SimDuration, msg: WorkerMsg) {
+        let _ = (to, after, msg);
+        unimplemented!("hardened timers require the virtual-clock router");
+    }
+    /// Arms a hardened self-timer at distributed scheduler `to`.
+    fn self_timer_dist(&mut self, to: usize, after: SimDuration, msg: DistMsg) {
+        let _ = (to, after, msg);
+        unimplemented!("hardened timers require the virtual-clock router");
+    }
+    /// Arms a hardened self-timer at the centralized scheduler.
+    fn self_timer_central(&mut self, after: SimDuration, msg: CentralMsg) {
+        let _ = (after, msg);
+        unimplemented!("hardened timers require the virtual-clock router");
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +275,8 @@ mod tests {
             duration: SimDuration::from_millis(5),
             estimate: SimDuration::from_millis(5),
             class: JobClass::Long,
+            task: 0,
+            attempt: 0,
         };
         let msg = WorkerMsg::Assign(spec);
         match msg {
@@ -198,13 +284,15 @@ mod tests {
             _ => unreachable!(),
         }
         let steal = WorkerMsg::StealReply {
+            from: 3,
+            nonce: 0,
             entries: vec![QueueEntry::Probe {
                 job: JobId(1),
                 class: JobClass::Short,
             }],
         };
         match steal {
-            WorkerMsg::StealReply { entries } => assert!(entries[0].is_short()),
+            WorkerMsg::StealReply { entries, .. } => assert!(entries[0].is_short()),
             _ => unreachable!(),
         }
     }

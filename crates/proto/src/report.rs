@@ -58,6 +58,23 @@ pub struct ProtoReport {
     /// model and in the threaded runtime (real channels have no modelled
     /// topology).
     pub network: NetworkStats,
+    /// Messages dropped by fault injection. Observability only: fault
+    /// counters are *not* mapped into [`MetricsReport`] by
+    /// [`Self::into_metrics`], so digests compare outcomes, not the fault
+    /// machinery that produced them.
+    pub drops: u64,
+    /// Messages duplicated by fault injection. Excluded from digests.
+    pub dups: u64,
+    /// Hardened-protocol retransmissions (probe re-sends, bind/steal
+    /// retries). Excluded from digests.
+    pub retries: u64,
+    /// Hardened timeouts that fired after exhausting their retry budget
+    /// (or, for job chains, that found overdue work). Excluded from
+    /// digests.
+    pub timeouts_fired: u64,
+    /// Tasks relaunched under a new attempt by the hardened job chains.
+    /// Excluded from digests.
+    pub relaunched: u64,
 }
 
 impl ProtoReport {
@@ -191,6 +208,11 @@ mod tests {
             abandons: 0,
             messages: 100,
             network: NetworkStats::default(),
+            drops: 0,
+            dups: 0,
+            retries: 0,
+            timeouts_fired: 0,
+            relaunched: 0,
         }
     }
 
@@ -222,6 +244,11 @@ mod tests {
             abandons: 0,
             messages: 0,
             network: NetworkStats::default(),
+            drops: 0,
+            dups: 0,
+            retries: 0,
+            timeouts_fired: 0,
+            relaunched: 0,
         };
         assert_eq!(report.runtime_percentile(JobClass::Short, 50.0), None);
         assert_eq!(report.median_utilization(), None);

@@ -45,6 +45,7 @@ use hawk_workload::classify::Cutoff;
 use hawk_workload::scenario::{DynamicsScript, NodeChange, SpeedSpec};
 use hawk_workload::{JobClass, JobId, Trace};
 
+use crate::fault::FaultSpec;
 use crate::msg::{CentralMsg, DistMsg, Net, WorkerMsg};
 use crate::report::{ProtoJobResult, ProtoReport};
 use crate::scheduler::{CentralDaemon, DistScheduler, SchedStats};
@@ -115,6 +116,12 @@ pub struct ProtoConfig {
     pub dynamics: DynamicsScript,
     /// Per-server execution-speed profile (scenario heterogeneity).
     pub speeds: SpeedSpec,
+    /// Network fault injection ([`ExecutionMode::Virtual`] only).
+    /// [`FaultSpec::none()`] — the default — takes the pre-fault code
+    /// path and is byte-identical to historical runs; a lossy spec must
+    /// also enable timeouts ([`FaultSpec::hardened`]) or liveness cannot
+    /// be guaranteed.
+    pub faults: FaultSpec,
 }
 
 impl Default for ProtoConfig {
@@ -129,6 +136,7 @@ impl Default for ProtoConfig {
             mode: ExecutionMode::RealTime,
             dynamics: DynamicsScript::none(),
             speeds: SpeedSpec::Uniform,
+            faults: FaultSpec::none(),
         }
     }
 }
@@ -156,6 +164,9 @@ pub(crate) struct FoldedStats {
     pub migrations: u64,
     pub abandons: u64,
     pub messages: u64,
+    pub retries: u64,
+    pub timeouts_fired: u64,
+    pub relaunched: u64,
 }
 
 pub(crate) fn fold_stats(
@@ -167,11 +178,16 @@ pub(crate) fn fold_stats(
         folded.steals += stats.steals;
         folded.steal_attempts += stats.steal_attempts;
         folded.messages += stats.handled;
+        folded.retries += stats.retries;
+        folded.timeouts_fired += stats.timeouts_fired;
     }
     for stats in scheds {
         folded.migrations += stats.migrations;
         folded.abandons += stats.abandons;
         folded.messages += stats.handled;
+        folded.retries += stats.retries;
+        folded.timeouts_fired += stats.timeouts_fired;
+        folded.relaunched += stats.relaunched;
     }
     folded
 }
@@ -257,7 +273,10 @@ pub(crate) fn build_cluster(
         .unwrap_or_else(|| vec![1.0; cfg.workers]);
 
     // Frozen stream order: workers first, then distributed schedulers.
+    // (The fault lanes split from `seed ^ FAULT_SALT`, a separate root,
+    // so enabling faults never shifts these streams.)
     let mut root = SimRng::seed_from_u64(cfg.seed);
+    let hardened = cfg.faults.timeouts;
     let workers: Vec<Worker> = (0..cfg.workers)
         .map(|i| {
             Worker::new(
@@ -267,11 +286,20 @@ pub(crate) fn build_cluster(
                 cfg.dist_schedulers,
                 speeds[i],
                 root.split(),
+                hardened,
             )
         })
         .collect();
     let dists: Vec<DistScheduler> = (0..cfg.dist_schedulers)
-        .map(|_| DistScheduler::new(Arc::clone(scheduler), cfg.workers, root.split()))
+        .map(|i| {
+            DistScheduler::new(
+                i,
+                Arc::clone(scheduler),
+                cfg.workers,
+                root.split(),
+                hardened,
+            )
+        })
         .collect();
 
     // The same central-scope rules the simulation driver enforces: both
@@ -298,7 +326,7 @@ pub(crate) fn build_cluster(
             }
         };
         assert!(len > 0, "centralized route over an empty scope");
-        CentralDaemon::new(len)
+        CentralDaemon::new(len, hardened)
     });
 
     let classes: Vec<JobClass> = trace
@@ -353,12 +381,23 @@ pub(crate) fn feed_timeline(trace: &Trace, dynamics: &DynamicsScript) -> Vec<(Si
 /// queue in virtual mode), which indicates a protocol-liveness bug. Also
 /// panics on configuration inconsistencies (empty cluster, a
 /// short-partition route with no reserved servers, a dynamics script
-/// addressing servers beyond the cluster).
+/// addressing servers beyond the cluster, fault injection outside the
+/// virtual mode, or a lossy [`FaultSpec`] without timeouts).
 pub fn run_prototype(
     trace: &Trace,
     scheduler: Arc<dyn Scheduler>,
     cfg: &ProtoConfig,
 ) -> ProtoReport {
+    if cfg.mode == ExecutionMode::RealTime {
+        assert!(
+            !cfg.faults.injects() && cfg.faults.timeouts.is_none(),
+            "fault injection and hardened timers require the virtual-clock mode"
+        );
+    }
+    assert!(
+        !cfg.faults.lossy() || cfg.faults.timeouts.is_some(),
+        "a lossy FaultSpec can strand work forever; enable timeouts (FaultSpec::hardened)"
+    );
     let setup = build_cluster(trace, &scheduler, cfg);
     match cfg.mode {
         ExecutionMode::Virtual { topology } => {
@@ -615,13 +654,38 @@ fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoR
         }
     }
 
-    // Collect the remaining completions.
+    // Collect the remaining completions under a liveness deadline: a
+    // lost message would otherwise wedge this loop (and CI) forever.
+    // Four consecutive quiet intervals with work still outstanding is a
+    // protocol-liveness bug — fail fast with the diagnostic gauges.
+    let quiet_interval = Duration::from_secs(15);
+    const MAX_QUIET: u32 = 4;
+    let mut quiet = 0u32;
     while received < trace.len() {
-        let (job, at) = done_rx
-            .recv_timeout(Duration::from_secs(60))
-            .expect("prototype made no progress for 60 s");
-        completions[job.index()] = Some(at);
-        received += 1;
+        match done_rx.recv_timeout(quiet_interval) {
+            Ok((job, at)) => {
+                quiet = 0;
+                completions[job.index()] = Some(at);
+                received += 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                quiet += 1;
+                assert!(
+                    quiet < MAX_QUIET,
+                    "prototype made no progress for {}s: {}/{} jobs complete, \
+                     {} tasks running, usable capacity {}",
+                    quiet_interval.as_secs() * u64::from(quiet),
+                    received,
+                    trace.len(),
+                    topo.running.load(Ordering::Relaxed),
+                    topo.capacity.load(Ordering::Relaxed),
+                );
+            }
+            Err(RecvTimeoutError::Disconnected) => panic!(
+                "completion channel closed with {received}/{} jobs complete",
+                trace.len()
+            ),
+        }
     }
 
     // Tear down and fold the counters.
@@ -676,6 +740,13 @@ fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoR
         // The threaded runtime rides the machine's real network (in-process
         // channels): there is no modelled topology to classify links.
         network: NetworkStats::default(),
+        // Fault injection is virtual-only; these stay zero here (the
+        // run_prototype mode assert enforces it).
+        drops: 0,
+        dups: 0,
+        retries: totals.retries,
+        timeouts_fired: totals.timeouts_fired,
+        relaunched: totals.relaunched,
     }
 }
 
@@ -1026,6 +1097,112 @@ mod tests {
         // Hawk's central scope — empty.
         let trace = fast_trace(vec![(0, vec![5])]);
         let _ = run_prototype(&trace, Arc::new(Hawk::new(1.0)), &fast_cfg(virtual_mode()));
+    }
+
+    /// A deliberately hostile network: 5 % drops, duplicates, 2 ms
+    /// reorder jitter, plus a scripted partition that islands workers
+    /// {0, 1} for 100 ms mid-run. `chaos()` carries the default
+    /// [`TimeoutSpec`](crate::fault::TimeoutSpec), so the hardened
+    /// protocol is armed.
+    fn chaos_faults() -> FaultSpec {
+        FaultSpec::chaos().drop_probability(0.05).partition(
+            SimTime::from_micros(20_000),
+            SimTime::from_micros(120_000),
+            vec![0, 1],
+        )
+    }
+
+    #[test]
+    fn chaotic_virtual_runs_complete_and_replay_byte_identically() {
+        let trace = fast_trace(vec![
+            (0, vec![300; 5]),
+            (1, vec![4, 4]),
+            (2, vec![2; 6]),
+            (5, vec![250, 250]),
+            (9, vec![3, 3, 3]),
+        ]);
+        let cfg = ProtoConfig {
+            faults: chaos_faults(),
+            ..fast_cfg(virtual_mode())
+        };
+        let a = run_prototype(&trace, hawk(), &cfg);
+        assert_eq!(a.jobs.len(), 5, "every job must complete under faults");
+        assert!(a.drops > 0, "the lossy spec must actually drop messages");
+        assert!(
+            a.retries + a.timeouts_fired + a.relaunched > 0,
+            "recovery machinery must have engaged: {} retries, {} timeouts, {} relaunches",
+            a.retries,
+            a.timeouts_fired,
+            a.relaunched
+        );
+        // Byte-identical replay, fault counters included: the fault lanes
+        // draw from their own salted streams in frozen order.
+        let b = run_prototype(&trace, hawk(), &cfg);
+        assert_eq!(a, b, "seeded faults must replay byte-identically");
+        // A different seed perturbs the fault pattern too.
+        let c = run_prototype(
+            &trace,
+            hawk(),
+            &ProtoConfig {
+                seed: cfg.seed + 1,
+                ..cfg
+            },
+        );
+        assert_ne!(
+            (a.drops, a.dups, &a.jobs),
+            (c.drops, c.dups, &c.jobs),
+            "a different seed must perturb the fault pattern"
+        );
+    }
+
+    #[test]
+    fn reprobe_chain_survives_churn_on_a_lossy_network() {
+        // The satellite's integration half: node churn (worker 1 fails
+        // mid-run with queued probes, rejoins later) *combined with* a
+        // lossy, reordering network. Displaced probes ride the ReProbe
+        // machinery, lost ones ride the hardened job chains — either way
+        // no task may strand and the run must stay deterministic.
+        let trace = fast_trace(vec![
+            (0, vec![400, 400]),
+            (1, vec![300, 300]),
+            (2, vec![5, 5, 5, 5]),
+            (30, vec![4, 4, 4]),
+        ]);
+        let dynamics = DynamicsScript::none()
+            .down_at(SimTime::from_micros(50_000), 1)
+            .up_at(SimTime::from_micros(700_000), 1);
+        let cfg = ProtoConfig {
+            workers: 4,
+            dynamics,
+            faults: chaos_faults(),
+            ..fast_cfg(virtual_mode())
+        };
+        let a = run_prototype(&trace, hawk(), &cfg);
+        assert_eq!(a.jobs.len(), 4, "churn plus faults must not strand jobs");
+        let b = run_prototype(&trace, hawk(), &cfg);
+        assert_eq!(a, b, "churn plus faults must replay byte-identically");
+    }
+
+    #[test]
+    #[should_panic(expected = "strand work forever")]
+    fn lossy_spec_without_timeouts_is_rejected() {
+        let trace = fast_trace(vec![(0, vec![5])]);
+        let cfg = ProtoConfig {
+            faults: FaultSpec::none().drop_probability(0.01),
+            ..fast_cfg(virtual_mode())
+        };
+        let _ = run_prototype(&trace, hawk(), &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual-clock mode")]
+    fn faults_in_real_time_mode_rejected() {
+        let trace = fast_trace(vec![(0, vec![5])]);
+        let cfg = ProtoConfig {
+            faults: chaos_faults(),
+            ..fast_cfg(ExecutionMode::RealTime)
+        };
+        let _ = run_prototype(&trace, hawk(), &cfg);
     }
 
     #[test]

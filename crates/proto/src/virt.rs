@@ -34,12 +34,13 @@ use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::scenario::NodeChange;
 use hawk_workload::{JobId, Trace};
 
+use crate::fault::FaultLanes;
 use crate::msg::{CentralMsg, DistMsg, Net, WorkerMsg};
 use crate::report::{ProtoJobResult, ProtoReport};
 use crate::runtime::{fold_stats, submission_for, ClusterSetup, ProtoConfig, Submission};
 
-/// A routed delivery.
-#[derive(Debug)]
+/// A routed delivery. `Clone` exists solely for the duplicate fault.
+#[derive(Debug, Clone)]
 enum Dest {
     Worker(usize, WorkerMsg),
     Dist(usize, DistMsg),
@@ -102,6 +103,8 @@ struct VirtualNet {
     /// Usable capacity: in-service workers + down workers draining a
     /// running task (the simulator's utilization denominator).
     capacity: i64,
+    /// The delivery-fault seam: spec, dedicated RNG lanes and counters.
+    faults: FaultLanes,
 }
 
 impl VirtualNet {
@@ -114,37 +117,75 @@ impl VirtualNet {
         self.queue.push(Timed { at, seq, dest });
     }
 
-    /// Charges one message from the current `src` to `dst` and enqueues
-    /// its delivery. The topology is asked exactly once per message, in
-    /// send order — on a contended fat tree the query itself commits link
-    /// occupancy.
-    fn push_routed(&mut self, dst: Endpoint, dest: Dest) {
-        let delay = self.topology.delay(self.now, self.src, dst);
-        let at = self.now + delay;
-        self.push_at(at, dest);
+    /// Charges one wire message from the current `src` to `dst`: the
+    /// topology is asked exactly once per message, in send order — on a
+    /// contended fat tree the query itself commits link occupancy. A
+    /// non-empty steal reply also moves the stolen work itself, so the
+    /// victim→thief transfer is charged on top (free under the paper's
+    /// §4.1 model, where only locality is recorded).
+    fn charge(&mut self, dst: Endpoint, dest: &Dest) -> SimDuration {
+        let mut delay = self.topology.delay(self.now, self.src, dst);
+        if let Dest::Worker(_, WorkerMsg::StealReply { entries, .. }) = dest {
+            if !entries.is_empty() {
+                delay += self.topology.steal_transfer(self.now, self.src, dst);
+            }
+        }
+        delay
+    }
+
+    /// The one seam every routed send passes through — `send_worker`,
+    /// `send_dist` and `send_central` all land here, so the topology
+    /// charge and the fault policy apply exactly once per message and
+    /// cannot be bypassed by a new send site. (Self-timers and the
+    /// task-finish alarm are *not* wire messages: they use `push_at`
+    /// directly and are immune to faults.)
+    ///
+    /// With no injection knobs active this is byte-identical to the
+    /// historical router: one topology charge, one enqueue, zero RNG
+    /// draws. Otherwise, per message and in frozen draw order: a
+    /// partition check (scripted, no draw) severs the route before any
+    /// charge; a delivered message draws drop, then jitter, then spike;
+    /// a delivered message may then duplicate, and the copy — a real
+    /// second message on the wire — gets its own topology charge and
+    /// jitter/spike draws but can neither drop nor duplicate itself.
+    fn commit(&mut self, dst: Endpoint, dest: Dest) {
+        if !self.faults.active() {
+            let at = self.now + self.charge(dst, &dest);
+            self.push_at(at, dest);
+            return;
+        }
+        if self.faults.partitioned(self.now, self.src, dst) {
+            self.faults.drops += 1;
+            return;
+        }
+        let delay = self.charge(dst, &dest);
+        let Some(extra) = self.faults.deliver() else {
+            // Lost in transit: the fabric was charged, nothing arrives.
+            return;
+        };
+        let at = self.now + delay + extra;
+        if self.faults.duplicate() {
+            let copy = dest.clone();
+            self.push_at(at, dest);
+            let extra2 = self.faults.perturb();
+            let delay2 = self.charge(dst, &copy);
+            let at2 = self.now + delay2 + extra2;
+            self.push_at(at2, copy);
+        } else {
+            self.push_at(at, dest);
+        }
     }
 }
 
 impl Net for VirtualNet {
     fn send_worker(&mut self, to: usize, msg: WorkerMsg) {
-        let dst = Endpoint::Server(ServerId(to as u32));
-        let delay = self.topology.delay(self.now, self.src, dst);
-        // A successful steal reply also moves the stolen work itself:
-        // charge the victim→thief transfer (free under the paper's §4.1
-        // model, where only locality is recorded).
-        let transfer = match &msg {
-            WorkerMsg::StealReply { entries } if !entries.is_empty() => {
-                self.topology.steal_transfer(self.now, self.src, dst)
-            }
-            _ => SimDuration::ZERO,
-        };
-        self.push_at(self.now + delay + transfer, Dest::Worker(to, msg));
+        self.commit(Endpoint::Server(ServerId(to as u32)), Dest::Worker(to, msg));
     }
     fn send_dist(&mut self, to: usize, msg: DistMsg) {
-        self.push_routed(Endpoint::Scheduler(to as u32), Dest::Dist(to, msg));
+        self.commit(Endpoint::Scheduler(to as u32), Dest::Dist(to, msg));
     }
     fn send_central(&mut self, msg: CentralMsg) {
-        self.push_routed(Endpoint::Central, Dest::Central(msg));
+        self.commit(Endpoint::Central, Dest::Central(msg));
     }
     fn schedule_finish(&mut self, worker: usize, occupancy: SimDuration) {
         let at = self.now + occupancy;
@@ -162,6 +203,22 @@ impl Net for VirtualNet {
     fn add_capacity(&mut self, delta: i64) {
         self.capacity += delta;
         debug_assert!(self.capacity >= 0, "capacity gauge went negative");
+    }
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn self_timer_worker(&mut self, to: usize, after: SimDuration, msg: WorkerMsg) {
+        // Local alarm, not a wire message: no topology charge, no faults.
+        let at = self.now + after;
+        self.push_at(at, Dest::Worker(to, msg));
+    }
+    fn self_timer_dist(&mut self, to: usize, after: SimDuration, msg: DistMsg) {
+        let at = self.now + after;
+        self.push_at(at, Dest::Dist(to, msg));
+    }
+    fn self_timer_central(&mut self, after: SimDuration, msg: CentralMsg) {
+        let at = self.now + after;
+        self.push_at(at, Dest::Central(msg));
     }
 }
 
@@ -184,6 +241,7 @@ pub(crate) fn run_virtual(
         completed: 0,
         pending_work: 0,
         capacity: cfg.workers as i64,
+        faults: FaultLanes::new(cfg.faults.clone(), cfg.seed, cfg.workers),
     };
 
     // Seed the timeline: submissions, scripted dynamics, sampling.
@@ -325,5 +383,10 @@ pub(crate) fn run_virtual(
         abandons: totals.abandons,
         messages: totals.messages,
         network: net.topology.stats(),
+        drops: net.faults.drops,
+        dups: net.faults.dups,
+        retries: totals.retries,
+        timeouts_fired: totals.timeouts_fired,
+        relaunched: totals.relaunched,
     }
 }

@@ -24,18 +24,46 @@
 //! an idle worker contacts one victim at a time and keeps servicing
 //! messages; an empty reply advances to the next victim, a non-empty one
 //! enqueues the loot.
+//!
+//! # The hardened protocol
+//!
+//! With a [`TimeoutSpec`] (the fault-injecting router's companion) the
+//! worker assumes messages can be dropped, duplicated or reordered:
+//!
+//! * **Binds** — each `TaskRequest` arms an epoch-tagged self-timer; on
+//!   expiry the request is retransmitted (bounded by the retry budget),
+//!   then the wait is resolved as a local cancel so the slot never
+//!   wedges — the owning scheduler's per-job chain recovers any task that
+//!   was actually handed out. Replies are matched to the wait by job and
+//!   discarded when stale.
+//! * **Steals** — each `StealRequest` arms an epoch-tagged timer that
+//!   advances to the next victim on silence. A non-empty grant carries a
+//!   transfer nonce: the victim buffers it and retransmits until the
+//!   thief acks, then gives up and relocates the entries through the
+//!   schedulers — stolen work is never lost in flight. The thief dedups
+//!   grants by `(victim, nonce)` and always acks.
+//! * **Launch idempotency** — accepted assignments are deduped by the
+//!   `(job, task, attempt)` key, so duplicated or relaunched-then-found
+//!   deliveries never double-run on the same worker.
+//!
+//! Without a `TimeoutSpec` every one of these paths is compiled around:
+//! the fault-free message sequence is byte-identical to the historical
+//! one.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use hawk_cluster::steal::{steal_from_with_into, StealScratch};
 use hawk_cluster::{
-    Partition, QueueEntry, QueueSlab, Server, ServerAction, ServerId, StealGranularity,
+    Partition, QueueEntry, QueueSlab, Server, ServerAction, ServerId, Slot, StealGranularity,
+    TaskSpec,
 };
 use hawk_core::{Route, Scheduler, StealSpec};
 use hawk_simcore::SimRng;
 use hawk_workload::scenario::NodeChange;
-use hawk_workload::JobClass;
+use hawk_workload::{JobClass, JobId};
 
+use crate::fault::TimeoutSpec;
 use crate::msg::{CentralMsg, DistMsg, Net, WorkerMsg};
 
 /// In-flight steal attempt: remaining victims to contact, in order.
@@ -44,12 +72,24 @@ struct StealAttempt {
     next: usize,
 }
 
+/// A non-empty steal grant awaiting the thief's ack (hardened protocol).
+struct PendingGrant {
+    thief: usize,
+    entries: Vec<QueueEntry>,
+    retries: u32,
+}
+
 /// Per-worker counters folded into the [`ProtoReport`](crate::ProtoReport).
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct WorkerStats {
     pub steals: u64,
     pub steal_attempts: u64,
     pub handled: u64,
+    /// Hardened protocol: retransmissions sent (bind requests, grants).
+    pub retries: u64,
+    /// Hardened protocol: retry budgets exhausted (bind resolved locally,
+    /// grant relocated).
+    pub timeouts_fired: u64,
 }
 
 /// The worker daemon state machine. See the module docs.
@@ -71,6 +111,23 @@ pub(crate) struct Worker {
     /// in service, or down but still draining a running task — the
     /// simulator's utilization denominator (`Cluster::utilization`).
     counts_as_capacity: bool,
+    /// `Some` enables the hardened protocol (see module docs).
+    hardened: Option<TimeoutSpec>,
+    /// Current bind wait's epoch; stale bind timers carry older values.
+    bind_epoch: u64,
+    /// Retransmissions used by the current bind wait.
+    bind_retries: u32,
+    /// Current steal request's epoch; stale steal timers carry older ones.
+    steal_epoch: u64,
+    /// Next transfer nonce handed to a non-empty steal grant (0 is the
+    /// unhardened marker and never allocated).
+    next_nonce: u64,
+    /// Victim side: grants sent but not yet acked, by nonce.
+    pending_grants: HashMap<u64, PendingGrant>,
+    /// Thief side: grants already banked, so retransmits are not re-run.
+    seen_grants: HashSet<(usize, u64)>,
+    /// Launch-idempotency keys of tasks this worker accepted.
+    launched: HashSet<(JobId, u32, u32)>,
     victim_scratch: Vec<usize>,
     steal_scratch: StealScratch,
     steal_out: Vec<QueueEntry>,
@@ -86,6 +143,7 @@ impl Worker {
         dist_count: usize,
         speed: f64,
         rng: SimRng,
+        hardened: Option<TimeoutSpec>,
     ) -> Self {
         // The embedded server's id is *local*: it only selects the slab
         // list, and this worker owns a single-list slab — so per-worker
@@ -106,6 +164,14 @@ impl Worker {
             rng,
             down: false,
             counts_as_capacity: true,
+            hardened,
+            bind_epoch: 0,
+            bind_retries: 0,
+            steal_epoch: 0,
+            next_nonce: 1,
+            pending_grants: HashMap::new(),
+            seen_grants: HashSet::new(),
+            launched: HashSet::new(),
             victim_scratch: Vec::new(),
             steal_scratch: StealScratch::new(),
             steal_out: Vec::new(),
@@ -116,7 +182,7 @@ impl Worker {
 
     /// The distributed scheduler owning `job` (submission routing and all
     /// per-job messages use the same mapping).
-    fn owner(&self, job: hawk_workload::JobId) -> usize {
+    fn owner(&self, job: JobId) -> usize {
         job.index() % self.dist_count
     }
 
@@ -148,6 +214,12 @@ impl Worker {
                     self.relocate(QueueEntry::Task(spec), net);
                     return false;
                 }
+                if self.hardened.is_some()
+                    && !self.launched.insert((spec.job, spec.task, spec.attempt))
+                {
+                    // Duplicate delivery of a task we already accepted.
+                    return false;
+                }
                 let action = self
                     .server
                     .enqueue(&mut self.queues, QueueEntry::Task(spec));
@@ -155,57 +227,29 @@ impl Worker {
                     self.on_action(action, net);
                 }
             }
-            WorkerMsg::BindReply { task } => {
-                // A down worker may still be awaiting a bind: the response
-                // resolves normally and a bound task drains in place,
-                // exactly like the simulator's draining slots.
-                let action = self.server.on_bind_response(&mut self.queues, task);
-                self.on_action(action, net);
-                self.sync_capacity(net);
+            WorkerMsg::BindReply { job, task } => self.on_bind_reply(job, task, net),
+            WorkerMsg::StealRequest { thief } => self.on_steal_request(thief, net),
+            WorkerMsg::StealReply {
+                from,
+                nonce,
+                entries,
+            } => self.on_steal_reply(from, nonce, entries, net),
+            WorkerMsg::StealAck { nonce } => {
+                // The grant arrived; release the retransmit buffer. A
+                // duplicated ack finds nothing and falls through.
+                self.pending_grants.remove(&nonce);
             }
-            WorkerMsg::StealRequest { thief } => {
-                let granularity = self
-                    .steal_spec
-                    .map(|s| s.granularity)
-                    .unwrap_or(StealGranularity::FirstBlockedGroup);
-                debug_assert!(self.steal_out.is_empty(), "stale steal batch");
-                steal_from_with_into(
-                    &mut self.server,
-                    &mut self.queues,
-                    granularity,
-                    &mut self.rng,
-                    &mut self.steal_scratch,
-                    &mut self.steal_out,
-                );
-                // Entries must never be dropped: the reply carries them
-                // even when the thief may have failed (the thief's handler
-                // relocates them in that case).
-                net.send_worker(
-                    thief,
-                    WorkerMsg::StealReply {
-                        entries: std::mem::take(&mut self.steal_out),
-                    },
-                );
-            }
-            WorkerMsg::StealReply { entries } => {
-                if entries.is_empty() {
+            WorkerMsg::BindTimeout { epoch } => self.on_bind_timeout(epoch, net),
+            WorkerMsg::StealTimeout { epoch } => {
+                // Stale once the request was answered (epoch moved on or
+                // the attempt resolved); live fires advance to the next
+                // victim — the silent one keeps its entries, nothing to
+                // recover.
+                if self.hardened.is_some() && epoch == self.steal_epoch && self.steal.is_some() {
                     self.continue_steal(net);
-                } else {
-                    self.steal = None;
-                    self.stats.steals += 1;
-                    if self.down {
-                        // Thief failed mid-steal: relocate the loot.
-                        for entry in entries {
-                            self.relocate(entry, net);
-                        }
-                        return false;
-                    }
-                    let action = self.server.enqueue_all(&mut self.queues, entries);
-                    if let Some(action) = action {
-                        self.on_action(action, net);
-                    }
                 }
             }
+            WorkerMsg::StealRetransmit { nonce } => self.on_steal_retransmit(nonce, net),
             WorkerMsg::Node(NodeChange::Down(_)) => self.on_down(net),
             WorkerMsg::Node(NodeChange::Up(_)) => {
                 self.down = false;
@@ -217,13 +261,7 @@ impl Worker {
         false
     }
 
-    fn on_probe(
-        &mut self,
-        job: hawk_workload::JobId,
-        class: JobClass,
-        bounces: u8,
-        net: &mut impl Net,
-    ) {
+    fn on_probe(&mut self, job: JobId, class: JobClass, bounces: u8, net: &mut impl Net) {
         if self.down {
             net.send_dist(self.owner(job), DistMsg::ReProbe { job, class });
             return;
@@ -250,6 +288,210 @@ impl Worker {
         }
     }
 
+    fn on_bind_reply(&mut self, job: JobId, task: Option<TaskSpec>, net: &mut impl Net) {
+        if self.hardened.is_some() {
+            // Accept only a reply for the wait in progress; anything else
+            // (duplicate, reply outliving a local cancel, reply crossing
+            // a newer wait) is discarded — the scheduler-side relaunch
+            // chain recovers any task the stale reply carried.
+            let awaiting =
+                matches!(self.server.slot(), Slot::AwaitingBind { job: j, .. } if j == job);
+            if !awaiting {
+                return;
+            }
+            if let Some(spec) = &task {
+                if !self.launched.insert((spec.job, spec.task, spec.attempt)) {
+                    // The same launch already ran here (duplicated reply
+                    // answering a retransmitted request): resolve the
+                    // wait as a cancel instead of double-running.
+                    self.resolve_bind(None, net);
+                    return;
+                }
+            }
+            self.resolve_bind(task, net);
+            return;
+        }
+        // Fault-free transport delivers exactly once, in order: resolve
+        // unconditionally. A down worker may still be awaiting a bind:
+        // the response resolves normally and a bound task drains in
+        // place, exactly like the simulator's draining slots.
+        let action = self.server.on_bind_response(&mut self.queues, task);
+        self.on_action(action, net);
+        self.sync_capacity(net);
+    }
+
+    /// Resolves the current bind wait (hardened path) and invalidates its
+    /// epoch so stale timers become no-ops.
+    fn resolve_bind(&mut self, task: Option<TaskSpec>, net: &mut impl Net) {
+        self.bind_epoch += 1;
+        self.bind_retries = 0;
+        let action = self.server.on_bind_response(&mut self.queues, task);
+        self.on_action(action, net);
+        self.sync_capacity(net);
+    }
+
+    fn on_bind_timeout(&mut self, epoch: u64, net: &mut impl Net) {
+        let Some(to) = self.hardened else { return };
+        if epoch != self.bind_epoch || !self.server.is_awaiting_bind() {
+            return; // the wait this timer covered already resolved
+        }
+        let Slot::AwaitingBind { job, .. } = self.server.slot() else {
+            unreachable!("guarded by is_awaiting_bind");
+        };
+        if self.bind_retries < to.retries {
+            self.bind_retries += 1;
+            self.stats.retries += 1;
+            net.send_dist(
+                self.owner(job),
+                DistMsg::TaskRequest {
+                    job,
+                    worker: self.index,
+                },
+            );
+            net.self_timer_worker(self.index, to.bind, WorkerMsg::BindTimeout { epoch });
+        } else {
+            // Budget exhausted: resolve as a local cancel so the slot
+            // never wedges. If the scheduler did hand out a task, its
+            // per-job chain relaunches it elsewhere.
+            self.stats.timeouts_fired += 1;
+            self.resolve_bind(None, net);
+        }
+    }
+
+    fn on_steal_request(&mut self, thief: usize, net: &mut impl Net) {
+        let granularity = self
+            .steal_spec
+            .map(|s| s.granularity)
+            .unwrap_or(StealGranularity::FirstBlockedGroup);
+        debug_assert!(self.steal_out.is_empty(), "stale steal batch");
+        steal_from_with_into(
+            &mut self.server,
+            &mut self.queues,
+            granularity,
+            &mut self.rng,
+            &mut self.steal_scratch,
+            &mut self.steal_out,
+        );
+        let entries = std::mem::take(&mut self.steal_out);
+        // Entries must never be dropped: the reply carries them even when
+        // the thief may have failed (the thief's handler relocates them
+        // in that case).
+        match self.hardened {
+            Some(to) if !entries.is_empty() => {
+                // The loot leaves this queue for good — release its
+                // launch-dedup keys so a relocation round trip can bring
+                // a task back here.
+                for entry in &entries {
+                    if let QueueEntry::Task(spec) = entry {
+                        self.launched.remove(&(spec.job, spec.task, spec.attempt));
+                    }
+                }
+                let nonce = self.next_nonce;
+                self.next_nonce += 1;
+                net.send_worker(
+                    thief,
+                    WorkerMsg::StealReply {
+                        from: self.index,
+                        nonce,
+                        entries: entries.clone(),
+                    },
+                );
+                self.pending_grants.insert(
+                    nonce,
+                    PendingGrant {
+                        thief,
+                        entries,
+                        retries: 0,
+                    },
+                );
+                net.self_timer_worker(self.index, to.steal, WorkerMsg::StealRetransmit { nonce });
+            }
+            _ => {
+                net.send_worker(
+                    thief,
+                    WorkerMsg::StealReply {
+                        from: self.index,
+                        nonce: 0,
+                        entries,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_steal_reply(
+        &mut self,
+        from: usize,
+        nonce: u64,
+        entries: Vec<QueueEntry>,
+        net: &mut impl Net,
+    ) {
+        if entries.is_empty() {
+            self.continue_steal(net);
+            return;
+        }
+        if self.hardened.is_some() && nonce != 0 {
+            // Always ack — the victim retransmits until we do — and bank
+            // each grant exactly once.
+            net.send_worker(from, WorkerMsg::StealAck { nonce });
+            if !self.seen_grants.insert((from, nonce)) {
+                return;
+            }
+        }
+        self.steal = None;
+        self.stats.steals += 1;
+        if self.down {
+            // Thief failed mid-steal: relocate the loot.
+            for entry in entries {
+                self.relocate(entry, net);
+            }
+            return;
+        }
+        if self.hardened.is_some() {
+            for entry in &entries {
+                if let QueueEntry::Task(spec) = entry {
+                    self.launched.insert((spec.job, spec.task, spec.attempt));
+                }
+            }
+        }
+        let action = self.server.enqueue_all(&mut self.queues, entries);
+        if let Some(action) = action {
+            self.on_action(action, net);
+        }
+    }
+
+    fn on_steal_retransmit(&mut self, nonce: u64, net: &mut impl Net) {
+        let Some(to) = self.hardened else { return };
+        let Some(grant) = self.pending_grants.get_mut(&nonce) else {
+            return; // acked in the meantime
+        };
+        if grant.retries < to.retries {
+            grant.retries += 1;
+            self.stats.retries += 1;
+            let (thief, entries) = (grant.thief, grant.entries.clone());
+            net.send_worker(
+                thief,
+                WorkerMsg::StealReply {
+                    from: self.index,
+                    nonce,
+                    entries,
+                },
+            );
+            net.self_timer_worker(self.index, to.steal, WorkerMsg::StealRetransmit { nonce });
+        } else {
+            // The thief is unreachable: hand the entries back to their
+            // schedulers so stolen work is never lost.
+            self.stats.timeouts_fired += 1;
+            let grant = self
+                .pending_grants
+                .remove(&nonce)
+                .expect("pending grant present");
+            for entry in grant.entries {
+                self.relocate(entry, net);
+            }
+        }
+    }
+
     /// Converts a [`ServerAction`] into messages/timers — the prototype
     /// analogue of the simulation driver's `on_action`.
     fn on_action(&mut self, action: ServerAction, net: &mut impl Net) {
@@ -267,6 +509,17 @@ impl Worker {
                         worker: self.index,
                     },
                 );
+                if let Some(to) = self.hardened {
+                    self.bind_epoch += 1;
+                    self.bind_retries = 0;
+                    net.self_timer_worker(
+                        self.index,
+                        to.bind,
+                        WorkerMsg::BindTimeout {
+                            epoch: self.bind_epoch,
+                        },
+                    );
+                }
             }
             ServerAction::BecameIdle => self.begin_steal(net),
         }
@@ -284,10 +537,15 @@ impl Worker {
                 job: spec.job,
                 worker: self.index,
                 estimate: spec.estimate,
+                task: spec.task,
             }),
-            Route::Distributed(_) => {
-                net.send_dist(self.owner(spec.job), DistMsg::TaskDone { job: spec.job })
-            }
+            Route::Distributed(_) => net.send_dist(
+                self.owner(spec.job),
+                DistMsg::TaskDone {
+                    job: spec.job,
+                    task: spec.task,
+                },
+            ),
         }
         self.on_action(action, net);
         self.sync_capacity(net);
@@ -329,6 +587,18 @@ impl Worker {
         let victim = attempt.victims[attempt.next].index();
         attempt.next += 1;
         net.send_worker(victim, WorkerMsg::StealRequest { thief: self.index });
+        if let Some(to) = self.hardened {
+            // A lost request or reply must not end the attempt: time out
+            // and move to the next victim.
+            self.steal_epoch += 1;
+            net.self_timer_worker(
+                self.index,
+                to.steal,
+                WorkerMsg::StealTimeout {
+                    epoch: self.steal_epoch,
+                },
+            );
+        }
     }
 
     /// Scenario node-down: stop accepting work, drain the queue and
@@ -346,6 +616,11 @@ impl Worker {
         self.server.drain_queue_into(&mut self.queues, &mut drained);
         self.server.set_down(true);
         for entry in drained.drain(..) {
+            if self.hardened.is_some() {
+                if let QueueEntry::Task(spec) = &entry {
+                    self.launched.remove(&(spec.job, spec.task, spec.attempt));
+                }
+            }
             self.relocate(entry, net);
         }
         self.drain_buf = drained;
@@ -380,7 +655,7 @@ mod tests {
     use super::*;
     use hawk_cluster::TaskSpec;
     use hawk_core::scheduler::Hawk;
-    use hawk_simcore::SimDuration;
+    use hawk_simcore::{SimDuration, SimTime};
     use hawk_workload::JobId;
 
     /// A recording Net for unit-testing the state machine in isolation.
@@ -389,6 +664,7 @@ mod tests {
         worker_msgs: Vec<(usize, WorkerMsg)>,
         dist_msgs: Vec<(usize, DistMsg)>,
         central_msgs: Vec<CentralMsg>,
+        timers: Vec<(usize, SimDuration, WorkerMsg)>,
         finishes: Vec<(usize, SimDuration)>,
         running: i64,
         capacity: i64,
@@ -417,6 +693,12 @@ mod tests {
         fn add_capacity(&mut self, delta: i64) {
             self.capacity += delta;
         }
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn self_timer_worker(&mut self, to: usize, after: SimDuration, msg: WorkerMsg) {
+            self.timers.push((to, after, msg));
+        }
     }
 
     fn hawk_worker(index: usize) -> Worker {
@@ -427,6 +709,24 @@ mod tests {
             2,
             1.0,
             SimRng::seed_from_u64(1),
+            None,
+        )
+    }
+
+    fn hardened_worker(index: usize) -> Worker {
+        Worker::new(
+            index,
+            Arc::new(Hawk::new(0.2)),
+            Partition::new(10, 0.2),
+            2,
+            1.0,
+            SimRng::seed_from_u64(1),
+            Some(TimeoutSpec {
+                probe: SimDuration::from_secs(30),
+                bind: SimDuration::from_secs(1),
+                steal: SimDuration::from_secs(1),
+                retries: 2,
+            }),
         )
     }
 
@@ -436,6 +736,8 @@ mod tests {
             duration: SimDuration::from_secs(secs),
             estimate: SimDuration::from_secs(secs),
             class,
+            task: 0,
+            attempt: 0,
         }
     }
 
@@ -462,6 +764,7 @@ mod tests {
                 }
             )]
         );
+        assert!(net.timers.is_empty(), "no timers unless hardened");
     }
 
     #[test]
@@ -473,6 +776,7 @@ mod tests {
             2,
             0.5, // half speed
             SimRng::seed_from_u64(1),
+            None,
         );
         let mut net = RecordingNet::default();
         w.handle(WorkerMsg::Assign(task(1, JobClass::Long, 10)), &mut net);
@@ -492,6 +796,7 @@ mod tests {
             CentralMsg::TaskDone {
                 job: JobId(1),
                 worker: 0,
+                task: 0,
                 ..
             }
         ));
@@ -512,7 +817,14 @@ mod tests {
         assert_eq!(requests.len(), 1, "contacts exactly one victim at a time");
         assert_eq!(w.stats.steal_attempts, 1);
         // An empty reply advances to the next victim.
-        w.handle(WorkerMsg::StealReply { entries: vec![] }, &mut net);
+        w.handle(
+            WorkerMsg::StealReply {
+                from: 1,
+                nonce: 0,
+                entries: vec![],
+            },
+            &mut net,
+        );
         let requests = net
             .worker_msgs
             .iter()
@@ -543,7 +855,13 @@ mod tests {
         let (to, msg) = &net.worker_msgs[0];
         assert_eq!(*to, 9);
         match msg {
-            WorkerMsg::StealReply { entries } => {
+            WorkerMsg::StealReply {
+                from,
+                nonce,
+                entries,
+            } => {
+                assert_eq!(*from, 1);
+                assert_eq!(*nonce, 0, "no transfer nonce unless hardened");
                 assert_eq!(entries.len(), 2);
                 assert_eq!(entries[0].job(), JobId(2));
                 assert_eq!(entries[1].job(), JobId(3));
@@ -616,6 +934,40 @@ mod tests {
     }
 
     #[test]
+    fn probe_for_down_worker_emits_exactly_one_reprobe() {
+        // The ReProbe-under-churn path: a probe reaching a down worker
+        // must bounce back to its owner exactly once — never strand the
+        // reservation, never duplicate it.
+        let mut w = hawk_worker(4);
+        let mut net = RecordingNet::default();
+        w.handle(WorkerMsg::Node(NodeChange::Down(4)), &mut net);
+        w.handle(
+            WorkerMsg::Probe {
+                job: JobId(7),
+                class: JobClass::Short,
+                bounces: 0,
+            },
+            &mut net,
+        );
+        assert_eq!(
+            net.dist_msgs,
+            vec![(
+                1,
+                DistMsg::ReProbe {
+                    job: JobId(7),
+                    class: JobClass::Short
+                }
+            )],
+            "exactly one ReProbe to the owning scheduler"
+        );
+        assert_eq!(
+            w.server.queue_len(),
+            0,
+            "the probe must not queue on a down worker"
+        );
+    }
+
+    #[test]
     fn bounce_goes_through_the_owning_scheduler() {
         let mut w = Worker::new(
             0,
@@ -624,6 +976,7 @@ mod tests {
             2,
             1.0,
             SimRng::seed_from_u64(4),
+            None,
         );
         let mut net = RecordingNet::default();
         // Occupy the slot with long work; a short probe must bounce.
@@ -660,5 +1013,179 @@ mod tests {
         );
         assert!(net.dist_msgs.is_empty(), "probe queued at the limit");
         assert_eq!(w.server.queue_len(), 1);
+    }
+
+    // --- Hardened-protocol units ---
+
+    #[test]
+    fn hardened_bind_retransmits_then_cancels_locally() {
+        let mut w = hardened_worker(0);
+        let mut net = RecordingNet::default();
+        w.handle(
+            WorkerMsg::Probe {
+                job: JobId(3),
+                class: JobClass::Short,
+                bounces: 0,
+            },
+            &mut net,
+        );
+        assert_eq!(net.dist_msgs.len(), 1, "initial TaskRequest");
+        let (_, _, timer) = net.timers[0].clone();
+        let WorkerMsg::BindTimeout { epoch } = timer else {
+            panic!("expected a bind timer, got {timer:?}");
+        };
+        // Two retransmissions within the budget...
+        for i in 1..=2u64 {
+            w.handle(WorkerMsg::BindTimeout { epoch }, &mut net);
+            assert_eq!(net.dist_msgs.len(), 1 + i as usize);
+            assert_eq!(w.stats.retries, i);
+        }
+        // ...then the wait resolves as a local cancel: the slot is free
+        // and the epoch is invalidated.
+        w.handle(WorkerMsg::BindTimeout { epoch }, &mut net);
+        assert_eq!(w.stats.timeouts_fired, 1);
+        assert!(!w.server.is_awaiting_bind());
+        // The late reply for the cancelled wait is discarded, not bound.
+        w.handle(
+            WorkerMsg::BindReply {
+                job: JobId(3),
+                task: Some(task(3, JobClass::Short, 5)),
+            },
+            &mut net,
+        );
+        assert!(!w.server.is_running(), "stale reply must not launch");
+        // And a stale timer fire after resolution is a no-op.
+        w.handle(WorkerMsg::BindTimeout { epoch }, &mut net);
+        assert_eq!(w.stats.timeouts_fired, 1);
+    }
+
+    #[test]
+    fn hardened_assign_dedups_by_job_task_attempt() {
+        let mut w = hardened_worker(0);
+        let mut net = RecordingNet::default();
+        let spec = task(1, JobClass::Long, 10);
+        w.handle(WorkerMsg::Assign(spec), &mut net);
+        w.handle(WorkerMsg::Assign(spec), &mut net);
+        assert_eq!(net.running, 1, "duplicate assign must not queue");
+        assert_eq!(w.server.queue_len(), 0);
+        // A relaunch (bumped attempt) is a distinct launch and queues.
+        let mut relaunch = spec;
+        relaunch.attempt = 1;
+        w.handle(WorkerMsg::Assign(relaunch), &mut net);
+        assert_eq!(w.server.queue_len(), 1);
+    }
+
+    #[test]
+    fn hardened_steal_grant_retransmits_until_acked() {
+        let mut victim = hardened_worker(1);
+        let mut net = RecordingNet::default();
+        victim.handle(WorkerMsg::Assign(task(1, JobClass::Long, 100)), &mut net);
+        victim.handle(
+            WorkerMsg::Probe {
+                job: JobId(2),
+                class: JobClass::Short,
+                bounces: 0,
+            },
+            &mut net,
+        );
+        net.worker_msgs.clear();
+        victim.handle(WorkerMsg::StealRequest { thief: 9 }, &mut net);
+        let WorkerMsg::StealReply { nonce, .. } = &net.worker_msgs[0].1 else {
+            panic!("expected a grant");
+        };
+        let nonce = *nonce;
+        assert_ne!(nonce, 0, "hardened non-empty grants carry a nonce");
+        // Unacked: the retransmit timer resends the same grant.
+        victim.handle(WorkerMsg::StealRetransmit { nonce }, &mut net);
+        assert_eq!(victim.stats.retries, 1);
+        let grants = net
+            .worker_msgs
+            .iter()
+            .filter(|(_, m)| matches!(m, WorkerMsg::StealReply { nonce: n, .. } if *n == nonce))
+            .count();
+        assert_eq!(grants, 2);
+        // Acked: the buffer clears and further fires are no-ops.
+        victim.handle(WorkerMsg::StealAck { nonce }, &mut net);
+        victim.handle(WorkerMsg::StealRetransmit { nonce }, &mut net);
+        assert_eq!(victim.stats.retries, 1);
+        assert_eq!(victim.stats.timeouts_fired, 0);
+    }
+
+    #[test]
+    fn hardened_steal_grant_gives_up_and_relocates() {
+        let mut victim = hardened_worker(1);
+        let mut net = RecordingNet::default();
+        victim.handle(WorkerMsg::Assign(task(1, JobClass::Long, 100)), &mut net);
+        victim.handle(
+            WorkerMsg::Probe {
+                job: JobId(2),
+                class: JobClass::Short,
+                bounces: 0,
+            },
+            &mut net,
+        );
+        victim.handle(WorkerMsg::StealRequest { thief: 9 }, &mut net);
+        let WorkerMsg::StealReply { nonce, .. } = net
+            .worker_msgs
+            .iter()
+            .rev()
+            .find(|(_, m)| matches!(m, WorkerMsg::StealReply { .. }))
+            .unwrap()
+            .1
+            .clone()
+        else {
+            unreachable!();
+        };
+        net.dist_msgs.clear();
+        // Exhaust the retry budget without an ack.
+        for _ in 0..3 {
+            victim.handle(WorkerMsg::StealRetransmit { nonce }, &mut net);
+        }
+        assert_eq!(victim.stats.timeouts_fired, 1);
+        assert_eq!(
+            net.dist_msgs,
+            vec![(
+                0,
+                DistMsg::ReProbe {
+                    job: JobId(2),
+                    class: JobClass::Short
+                }
+            )],
+            "an undeliverable stolen probe returns to its scheduler"
+        );
+    }
+
+    #[test]
+    fn hardened_thief_dedups_grants_and_always_acks() {
+        let mut thief = hardened_worker(9);
+        let mut net = RecordingNet::default();
+        // Make the thief idle so the loot starts immediately.
+        let entries = vec![QueueEntry::Probe {
+            job: JobId(2),
+            class: JobClass::Short,
+        }];
+        for _ in 0..2 {
+            thief.handle(
+                WorkerMsg::StealReply {
+                    from: 1,
+                    nonce: 42,
+                    entries: entries.clone(),
+                },
+                &mut net,
+            );
+        }
+        let acks = net
+            .worker_msgs
+            .iter()
+            .filter(|(to, m)| *to == 1 && matches!(m, WorkerMsg::StealAck { nonce: 42 }))
+            .count();
+        assert_eq!(acks, 2, "every delivery is acked");
+        assert_eq!(thief.stats.steals, 1, "the grant is banked exactly once");
+        let binds = net
+            .dist_msgs
+            .iter()
+            .filter(|(_, m)| matches!(m, DistMsg::TaskRequest { .. }))
+            .count();
+        assert_eq!(binds, 1, "the probe binds once, not per retransmit");
     }
 }

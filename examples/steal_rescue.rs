@@ -20,6 +20,8 @@ fn long_task(job: u32) -> QueueEntry {
         duration: SimDuration::from_secs(20_000),
         estimate: SimDuration::from_secs(20_000),
         class: JobClass::Long,
+        task: 0,
+        attempt: 0,
     })
 }
 
@@ -29,6 +31,8 @@ fn short_task(job: u32, secs: u64) -> QueueEntry {
         duration: SimDuration::from_secs(secs),
         estimate: SimDuration::from_secs(secs),
         class: JobClass::Short,
+        task: 0,
+        attempt: 0,
     })
 }
 

@@ -154,6 +154,8 @@ proptest! {
                 duration: SimDuration::from_secs(10),
                 estimate: SimDuration::from_secs(10),
                 class: if long { JobClass::Long } else { JobClass::Short },
+                task: 0,
+                attempt: 0,
             })
         };
 
