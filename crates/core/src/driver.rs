@@ -181,6 +181,9 @@ pub struct Driver<'t> {
     /// from [`SimConfig::topology_spec`]; the default constant model
     /// reproduces `network.one_way()` exactly.
     topology: Box<dyn Topology>,
+    /// Rack geometry for fabric-aware victim picking; `None` under
+    /// placement-blind topologies.
+    rack_geometry: Option<hawk_net::RackGeometry>,
 }
 
 impl<'t> Driver<'t> {
@@ -327,6 +330,7 @@ impl<'t> Driver<'t> {
             place_buf: Vec::with_capacity(max_tasks),
             central_ready: SimTime::ZERO,
             topology: sim.topology_spec().build(sim.nodes),
+            rack_geometry: sim.topology_spec().rack_geometry(),
         }
     }
 
@@ -774,9 +778,10 @@ impl<'t> Driver<'t> {
         let partition = self.cluster.partition();
         let granularity = spec.granularity;
         let mut victims = std::mem::take(&mut self.victim_buf);
-        self.scheduler.pick_victims_into(
+        self.scheduler.pick_victims_in_fabric_into(
             &partition,
             thief,
+            self.rack_geometry,
             &mut self.steal_rng,
             &mut self.victim_scratch,
             &mut victims,
@@ -873,6 +878,7 @@ impl<'t> Driver<'t> {
             migrations: self.migrations,
             abandons: self.abandons,
             network: self.topology.stats(),
+            sharded: None,
         };
         (report, self.estimates)
     }

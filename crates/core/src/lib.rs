@@ -87,11 +87,11 @@ pub use config::{
 pub use distributed::ProbePlanner;
 pub use driver::{Driver, Event};
 pub use experiment::{Experiment, ExperimentBuilder, IntoTrace};
-pub use metrics::{compare, ClassSummary, Comparison, JobResult, MetricsReport};
+pub use metrics::{compare, ClassSummary, Comparison, JobResult, MetricsReport, ShardedStats};
 // Convenience re-exports of the network-topology layer (the canonical home
 // is `hawk_net`): the selector every `SimConfig` carries plus the types a
 // topology-aware experiment touches.
-pub use hawk_net::{Endpoint, FatTreeParams, NetworkStats, Topology, TopologySpec};
+pub use hawk_net::{Endpoint, FatTreeParams, NetworkStats, RackGeometry, Topology, TopologySpec};
 pub use scheduler::{PlacementView, Scheduler, StealSpec};
 pub use shard::{worker_budget, ShardedDriver};
 pub use steal_policy::StealPolicy;

@@ -19,6 +19,7 @@
 //! power-of-d-choices scheduler written entirely against this trait.
 
 use hawk_cluster::{Cluster, Partition, Server, ServerId, StealGranularity};
+use hawk_net::RackGeometry;
 use hawk_simcore::SimRng;
 use hawk_workload::JobClass;
 
@@ -379,6 +380,27 @@ pub trait Scheduler: Send + Sync {
         out.append(&mut self.pick_victims(partition, thief, rng));
     }
 
+    /// Victim picking with knowledge of the network fabric: the drivers
+    /// call this (not [`Scheduler::pick_victims_into`]) on every idle
+    /// transition, passing the topology's rack geometry when it has
+    /// one. The default ignores the geometry and delegates, so every
+    /// existing policy (and every placement-blind topology, where
+    /// `racks` is `None`) behaves exactly as before; locality-aware
+    /// policies like [`Hawk::rack_first_stealing`] override it to draw
+    /// rack-local victims before cross-rack ones.
+    fn pick_victims_in_fabric_into(
+        &self,
+        partition: &Partition,
+        thief: ServerId,
+        racks: Option<RackGeometry>,
+        rng: &mut SimRng,
+        scratch: &mut Vec<usize>,
+        out: &mut Vec<ServerId>,
+    ) {
+        let _ = racks;
+        self.pick_victims_into(partition, thief, rng, scratch, out);
+    }
+
     /// Whether a probe for a `class` job should bounce off `server` to a
     /// fresh random server instead of queueing (the Eagle-style avoidance
     /// extension; each bounce costs one network hop). `bounces` counts the
@@ -412,6 +434,7 @@ pub struct Hawk {
     steal: Option<StealSpec>,
     centralized_longs: bool,
     bounce_limit: u8,
+    rack_first: bool,
 }
 
 impl Hawk {
@@ -423,6 +446,7 @@ impl Hawk {
             steal: Some(StealSpec::paper_default()),
             centralized_longs: true,
             bounce_limit: 0,
+            rack_first: false,
         }
     }
 
@@ -473,6 +497,18 @@ impl Hawk {
         self.bounce_limit = limit;
         self
     }
+
+    /// Extension: rack-first victim picking — an idle thief draws its
+    /// steal candidates from its own rack before falling back to the
+    /// rest of the general partition (enables stealing if it was
+    /// disabled). Only takes effect on topologies that expose rack
+    /// geometry; placement-blind topologies steal exactly like the
+    /// paper policy.
+    pub fn rack_first_stealing(mut self) -> Self {
+        self.steal = Some(self.steal.unwrap_or_default());
+        self.rack_first = true;
+        self
+    }
 }
 
 impl Scheduler for Hawk {
@@ -498,6 +534,9 @@ impl Scheduler for Hawk {
                 StealGranularity::RandomBlockedEntry => name.push_str("-steal-random-entry"),
                 StealGranularity::AllBlockedShorts => name.push_str("-steal-all-shorts"),
             },
+        }
+        if self.steal.is_some() && self.rack_first {
+            name.push_str("-steal-rack-first");
         }
         if self.bounce_limit > 0 {
             name.push_str("-probe-avoidance");
@@ -555,6 +594,26 @@ impl Scheduler for Hawk {
                 StealPolicy::new(spec.cap).pick_victims_into(partition, thief, rng, scratch, out)
             }
             None => out.clear(),
+        }
+    }
+
+    fn pick_victims_in_fabric_into(
+        &self,
+        partition: &Partition,
+        thief: ServerId,
+        racks: Option<RackGeometry>,
+        rng: &mut SimRng,
+        scratch: &mut Vec<usize>,
+        out: &mut Vec<ServerId>,
+    ) {
+        let geometry = if self.rack_first { racks } else { None };
+        match (self.steal, geometry) {
+            (Some(spec), Some(geo)) => StealPolicy::new(spec.cap)
+                .pick_victims_rack_first_into(partition, thief, geo, rng, scratch, out),
+            (Some(spec), None) => {
+                StealPolicy::new(spec.cap).pick_victims_into(partition, thief, rng, scratch, out)
+            }
+            (None, _) => out.clear(),
         }
     }
 

@@ -4,32 +4,73 @@
 //! [`ShardedDriver`] partitions the cluster into `K` contiguous shards.
 //! Each shard owns a slice of servers and runs its own [`Engine`], RNG
 //! streams, recycled buffers and topology instance; shards advance in
-//! lock-step *epochs* bounded by a conservative lookahead horizon and
-//! exchange messages only at epoch barriers, through a deterministic
-//! merge. The result is deterministic for a fixed shard count `K`
-//! regardless of how many OS threads execute the shards — worker count
-//! is a pure throughput knob.
+//! *epochs* bounded by a conservative lookahead horizon and exchange
+//! messages only between epochs, through a deterministic merge. Epochs
+//! are executed by a work-claiming pool: each epoch publishes the set
+//! of *runnable* shards (those with an event below their horizon),
+//! workers claim them one at a time from a shared queue, and whichever
+//! worker reports the last result merges inline and publishes the next
+//! epoch — no barrier, so an epoch that runs one shard costs one lock
+//! round-trip, not a K-thread rendezvous. The result is deterministic
+//! for a fixed shard count `K` regardless of how many OS threads
+//! execute the shards — worker count is a pure throughput knob.
 //!
 //! # Synchronization contract
 //!
-//! The lookahead Δ is [`TopologySpec::min_message_delay`]: no message
-//! between any two endpoints is ever cheaper than Δ. Each epoch:
+//! Lookahead is a per-shard-pair matrix `D`, not one global constant.
+//! The one-hop floor `Δ[i][j]` is the cheapest message any endpoint
+//! hosted in shard `i` can deliver to shard `j`: under a rack-aligned
+//! map on a fat tree this is [`TopologySpec::min_delay_between`] of the
+//! two owned ranges (cross-pod pairs are far "wider apart" than
+//! neighbours), otherwise the global
+//! [`TopologySpec::min_message_delay`]. `D` is the shortest-*walk*
+//! closure of `Δ` (Floyd–Warshall with an unreachable diagonal), so
+//! `D[i][j]` also lower-bounds multi-epoch relay chains `i → m → j`,
+//! and `D[j][j]` is the cheapest cycle by which shard `j`'s own
+//! emission can come back to haunt it. Each epoch:
 //!
-//! 1. every shard processes its local events strictly below the shared
-//!    horizon `H`, buffering cross-shard messages in an outbox;
-//! 2. at the barrier, one worker merges all outboxes, sorts the
-//!    envelopes by `(firing time, source shard, send sequence)` — a
-//!    total order independent of thread interleaving — and routes them
-//!    to the destination inboxes;
-//! 3. the next horizon is `H' = base + Δ` where `base` is the minimum
-//!    over all pending events and in-flight envelopes.
+//! 1. every *runnable* shard `j` (one with an event strictly below its
+//!    horizon `H[j]`) processes its local events up to `H[j]`,
+//!    buffering cross-shard messages in an outbox kept sorted by
+//!    `(firing time, send sequence)`; shards with nothing below their
+//!    horizon are skipped entirely;
+//! 2. once every runnable shard has reported, the finishing worker
+//!    k-way-merges the outbox streams in `(firing time, source shard,
+//!    send sequence)` order — a total order independent of thread
+//!    interleaving, and the exact order a concat-and-sort would
+//!    produce — injecting each envelope directly into its destination
+//!    engine without sorting or allocating;
+//! 3. the next horizons are `H'[j] = min over i of t[i] + D[i][j]`,
+//!    where `t[i]` is the firing time of shard `i`'s next pending event
+//!    (re-peeked after injection, so delivered envelopes are counted).
 //!
-//! An event processed at `t < H` satisfies `t ≥ base`, so any message it
-//! sends fires at `t + δ ≥ base + Δ = H'` — never inside the receiving
-//! shard's processed past. Inbox injection therefore uses
+//! Any event shard `i` processes fires at `≥ t[i]`, so any message it
+//! sends (or causes, transitively) into shard `j` arrives at
+//! `≥ t[i] + D[i][j] ≥ H'[j]` — never inside the receiving shard's
+//! processed past. Inbox injection therefore uses
 //! [`Engine::try_schedule_at`], which turns any violation of this
 //! argument into a hard error in **both** build profiles instead of the
 //! release-mode clamp that would silently reorder causality.
+//!
+//! **Quiescence fast-path:** when exactly one shard has a pending event
+//! (`t[i] = ∞` for every other `i`), no horizon can bind before that
+//! shard emits — the merge publishes `H[j] = ∞` and the sole active
+//! shard *free-runs*: it processes events without a horizon until it
+//! emits a cross-shard envelope, finishes its last home job, or
+//! exhausts a large event budget. Utilization sampling is lazy (see
+//! below) so an idle shard's queue really is empty rather than ticking
+//! a sampling clock, which is what lets the fast path fire.
+//!
+//! **Lazy utilization sampling:** the single-threaded driver schedules
+//! a `UtilSample` event every `util_interval`. Here that would keep
+//! every idle shard's `t[i]` finite forever (and a self-rescheduling
+//! event would livelock a free-run), so samples are not events: each
+//! shard records all sample points `≤ t` immediately before processing
+//! an event at `t`, and catches up to its horizon at epoch end —
+//! sound, because no arrival can land below the horizon, so the
+//! sampled state cannot change there. Sample *values* are identical to
+//! the eager scheme (cluster state only changes at events); sampled
+//! events are no longer counted in `events`.
 //!
 //! # Shadow clusters
 //!
@@ -41,6 +82,23 @@
 //! policies sample placement targets randomly, so an idle-looking
 //! remote server is indistinguishable from a real one; a future
 //! depth-aware policy would need shard-aware load views.
+//!
+//! # Rack-aligned partitioning
+//!
+//! When the topology exposes rack geometry
+//! ([`TopologySpec::rack_geometry`]), the shard map aligns shard
+//! boundaries to the largest geometry unit that still leaves at least
+//! one unit per shard — pods when the cluster has enough of them,
+//! racks otherwise, plain servers as the degenerate fallback. Racks are
+//! then never split across shards, every shard pair sits a full
+//! cross-rack (usually cross-pod) hop apart — which is exactly what
+//! makes the lookahead matrix wide — and under rack-first stealing a
+//! thief's rack-local victims are always shard-local. Distributed jobs
+//! are homed on the shard that owns the host of their scheduler
+//! endpoint (`job id mod nodes`) so every scheduler-source message
+//! originates in its home shard and the per-pair floors apply to
+//! scheduler traffic too; without geometry the home stays
+//! `job id mod K`.
 //!
 //! # Divergences from the single-threaded [`Driver`]
 //!
@@ -55,12 +113,17 @@
 //!   after its last task finished;
 //! * relocation off a failed server detours through the deciding
 //!   scheduler (central for tasks, the job's scheduler for probes)
-//!   instead of moving point-to-point;
-//! * an idle thief scans only shard-local victims synchronously and
-//!   asks at most *one* remote victim per idle transition;
+//!   instead of moving point-to-point — probe re-probes are sent from
+//!   the job's scheduler endpoint, not the failed server;
+//! * an idle thief scans only shard-local victims synchronously; the
+//!   remote victims from the same scan (up to four) are tried
+//!   asynchronously one at a time, each failed request forwarding to
+//!   the next candidate;
 //! * each shard's topology instance tracks contention for the messages
 //!   it sends, so contended fat-trees approximate global link state;
-//! * per-shard RNG streams replace the global ones (split order below).
+//! * per-shard RNG streams replace the global ones (split order below);
+//! * utilization samples are taken lazily (identical values, different
+//!   tail truncation at run end) and not counted as engine events.
 //!
 //! Headline metrics stay within a few percent of the single-threaded
 //! driver (the conformance suite pins a bound); digests are comparable
@@ -69,11 +132,10 @@
 //! [`Driver`]: crate::Driver
 //! [`TopologySpec::min_message_delay`]: hawk_net::TopologySpec::min_message_delay
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use hawk_cluster::{Cluster, QueueEntry, ServerAction, ServerId, TaskSpec, UtilizationTracker};
-use hawk_net::{Endpoint, NetworkStats, Topology};
+use hawk_net::{Endpoint, NetworkStats, RackGeometry, Topology, TopologySpec};
 use hawk_simcore::{BatchHandle, BatchPool, Engine, SimDuration, SimRng, SimTime};
 use hawk_workload::classify::{Cutoff, JobEstimates};
 use hawk_workload::scenario::NodeChange;
@@ -81,7 +143,7 @@ use hawk_workload::{JobClass, JobId, Trace};
 
 use crate::centralized::CentralScheduler;
 use crate::config::{Route, Scope, SimConfig};
-use crate::metrics::{JobResult, MetricsReport};
+use crate::metrics::{JobResult, MetricsReport, ShardedStats};
 use crate::scheduler::{PlacementView, Scheduler, StealSpec};
 
 /// The number of simulation worker threads the process should use, the
@@ -105,38 +167,86 @@ pub fn worker_budget() -> usize {
 }
 
 /// Contiguous-range shard map: shard `s` owns a run of server ids, with
-/// the first `nodes % shards` shards one server larger.
+/// boundaries aligned to multiples of `align` servers. With `align = 1`
+/// (no topology geometry) the first `nodes % shards` shards are one
+/// server larger — the original placement-blind map. With `align > 1`
+/// the cluster is split into `ceil(nodes / align)` alignment units
+/// (racks or pods) and whole units are dealt to shards the same way, so
+/// no unit is ever split across a shard boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ShardMap {
     nodes: usize,
     shards: usize,
+    align: usize,
 }
 
 impl ShardMap {
+    #[cfg(test)]
     fn new(nodes: usize, shards: usize) -> Self {
-        let shards = shards.clamp(1, nodes.max(1));
-        ShardMap { nodes, shards }
+        ShardMap::aligned(nodes, shards, 1)
+    }
+
+    fn aligned(nodes: usize, shards: usize, align: usize) -> Self {
+        let align = align.max(1);
+        let units = nodes.max(1).div_ceil(align);
+        let shards = shards.clamp(1, units);
+        ShardMap {
+            nodes,
+            shards,
+            align,
+        }
+    }
+
+    /// The alignment unit (servers per indivisible block) that keeps at
+    /// least one block per shard: pods when the cluster has enough,
+    /// racks otherwise, single servers as the degenerate fallback.
+    fn pick_align(nodes: usize, shards: usize, geometry: Option<RackGeometry>) -> usize {
+        let Some(geo) = geometry else { return 1 };
+        let rack = geo.hosts_per_rack.max(1);
+        let pod = rack * geo.racks_per_pod.max(1);
+        if nodes.div_ceil(pod) >= shards.max(1) {
+            pod
+        } else if nodes.div_ceil(rack) >= shards.max(1) {
+            rack
+        } else {
+            1
+        }
+    }
+
+    /// Whether shard boundaries are aligned to topology geometry (and
+    /// therefore scheduler endpoints are homed by owner, and the
+    /// lookahead matrix may use per-pair range floors).
+    fn rack_aligned(&self) -> bool {
+        self.align > 1
+    }
+
+    fn units(&self) -> usize {
+        self.nodes.max(1).div_ceil(self.align)
     }
 
     /// Owned id range of shard `s` as `[start, end)`.
     fn range(&self, s: usize) -> (u32, u32) {
-        let q = self.nodes / self.shards;
-        let r = self.nodes % self.shards;
-        let start = s * q + s.min(r);
-        let len = q + usize::from(s < r);
-        (start as u32, (start + len) as u32)
+        let units = self.units();
+        let q = units / self.shards;
+        let r = units % self.shards;
+        let start_u = s * q + s.min(r);
+        let len_u = q + usize::from(s < r);
+        let start = (start_u * self.align).min(self.nodes);
+        let end = ((start_u + len_u) * self.align).min(self.nodes);
+        (start as u32, end as u32)
     }
 
     /// The shard owning server `id`.
     fn owner(&self, id: ServerId) -> usize {
-        let q = self.nodes / self.shards;
-        let r = self.nodes % self.shards;
-        let idx = id.index();
+        let units = self.units();
+        let q = units / self.shards;
+        let r = units % self.shards;
+        let unit = (id.index() / self.align).min(units - 1);
         let wide = r * (q + 1);
-        if idx < wide {
-            idx / (q + 1)
+        if unit < wide {
+            unit / (q + 1)
         } else {
-            r + (idx - wide) / q
+            r + (unit - wide) / q
         }
     }
 }
@@ -173,7 +283,16 @@ enum SEvent {
         batch: BatchHandle,
     },
     /// A remote thief asks the victim's owner for one steal scan.
-    StealRequest { thief: ServerId, victim: ServerId },
+    /// `rest` holds the thief's remaining remote candidates from the
+    /// same victim scan (`u32::MAX`-padded): when the scan fails, the
+    /// victim's owner forwards the request to `rest[0]` so one idle
+    /// transition can try several remote victims without a round-trip
+    /// through the thief.
+    StealRequest {
+        thief: ServerId,
+        victim: ServerId,
+        rest: [u32; 3],
+    },
     /// A distributed job's task finished; counts down at the home shard.
     TaskDone { job: JobId },
     /// A central job's task finished; shard 0 updates the waiting-time
@@ -194,9 +313,10 @@ enum SEvent {
     NodeDown(ServerId),
     /// Scripted dynamics, replayed in every shard's shadow cluster.
     NodeUp(ServerId),
-    /// Periodic utilization snapshot (every shard samples its own slice).
-    UtilSample,
 }
+
+/// Sentinel padding for [`SEvent::StealRequest::rest`].
+const NO_VICTIM: u32 = u32::MAX;
 
 /// A cross-shard message payload.
 #[derive(Debug)]
@@ -242,26 +362,70 @@ struct UtilSampleRaw {
     owned_down: u32,
 }
 
-/// Shared per-shard mailbox slots and the epoch synchronization state.
-struct SharedState {
-    slots: Vec<ShardSlot>,
-    barrier: Barrier,
-    /// Next horizon, in raw microseconds.
-    horizon: AtomicU64,
-    stop: AtomicBool,
-    lookahead_micros: u64,
-    /// Recycled merge buffer (only the barrier leader touches it).
-    scratch: Mutex<Vec<Envelope>>,
+/// Shared state of one sharded run: the shards themselves (locked by
+/// whichever worker claims them each epoch), the work queue driving the
+/// epoch protocol, and the read-only lookahead matrix.
+struct SharedState<'t> {
+    shards: Vec<Mutex<Shard<'t>>>,
+    work: Mutex<WorkQueue>,
+    /// Parked workers wait here; signalled when an epoch with work for
+    /// more than one thread is published, and at stop.
+    available: Condvar,
+    /// Shortest-walk closure of the per-shard-pair one-hop delay
+    /// floors, row-major `[src * K + dst]`, raw microseconds. The
+    /// diagonal is the cheapest cycle back to the shard itself (never
+    /// zero), so a shard's own emissions bound its horizon too.
+    delta: Vec<u64>,
+    /// How many *peers* of the finishing worker are worth waking per
+    /// epoch: the machine's available parallelism minus the one thread
+    /// already running. Waking is purely a throughput heuristic (the
+    /// finishing worker claims from the fresh schedule itself), so on
+    /// a single-core host this is zero and surplus workers park for
+    /// the whole run instead of forcing a context switch per epoch.
+    wake_cap: usize,
 }
 
-#[derive(Default)]
-struct ShardSlot {
-    outbox: Mutex<Vec<Envelope>>,
-    inbox: Mutex<Vec<Envelope>>,
-    /// Firing time of the shard's next pending event in raw
-    /// microseconds; `u64::MAX` when its queue is empty.
-    next_micros: AtomicU64,
-    unfinished: AtomicUsize,
+/// The epoch scheduler. One mutex guards the whole epoch protocol:
+/// workers claim runnable shards from it, report back when a shard has
+/// run to its horizon, and the worker whose report completes the epoch
+/// merges and publishes the next one *while still holding the lock* —
+/// so in sparse phases (almost every epoch has exactly one runnable
+/// shard) a single thread runs claim → shard → report → merge → claim
+/// with two uncontended lock acquisitions per epoch and no barrier or
+/// cross-thread handoff at all. Workers that find nothing to claim
+/// park on the condvar and are only woken for epochs that actually
+/// have work for a second thread.
+struct WorkQueue {
+    /// Shard ids with work this epoch (`t[j] < H[j]`), ascending.
+    runnable: Vec<u32>,
+    /// Claim cursor into `runnable`.
+    next: usize,
+    /// Shards claimed but not yet reported back.
+    inflight: usize,
+    /// Per-shard horizons, raw microseconds; `u64::MAX` is the
+    /// free-run sentinel (quiescence fast-path).
+    horizons: Vec<u64>,
+    /// `t[i]`: shard `i`'s next pending event (`u64::MAX` = drained).
+    t: Vec<u64>,
+    /// Cached per-shard unfinished-home-job counts, plus their sum
+    /// (maintained incrementally from epoch reports).
+    unfinished: Vec<usize>,
+    total_unfinished: usize,
+    /// Shards whose outbox holds envelopes awaiting the merge.
+    outbox_full: Vec<bool>,
+    /// Per-source outbox streams, swapped in from the shards at merge.
+    streams: Vec<Vec<Envelope>>,
+    /// Read cursor per stream.
+    cursors: Vec<usize>,
+    /// Recycled per-destination delivery buffers.
+    inboxes: Vec<Vec<Envelope>>,
+    stopped: bool,
+    /// Workers currently waiting on [`SharedState::available`].
+    parked: usize,
+    epochs: u64,
+    merge_envelopes: u64,
+    span_accum: u64,
+    last_base: u64,
 }
 
 /// One shard: a slice of owned servers with its own engine, shadow
@@ -286,6 +450,11 @@ struct Shard<'t> {
     cutoff: Cutoff,
     central_overhead: crate::config::CentralOverhead,
     util_interval: SimDuration,
+    /// Next lazy utilization sample point (see the module docs).
+    next_sample: SimTime,
+    /// Topology geometry for rack-first victim picking; `None` under
+    /// placement-blind topologies.
+    rack_geometry: Option<RackGeometry>,
     unfinished_home: usize,
     steals: u64,
     steal_attempts: u64,
@@ -313,10 +482,15 @@ impl<'t> Shard<'t> {
         (self.own_start..self.own_end).contains(&(server.0))
     }
 
-    /// Home shard of a *distributed* job: jobs are dealt round-robin so
-    /// scheduler-side work spreads evenly. Central jobs live on shard 0.
+    /// Home shard of a *distributed* job. Under a rack-aligned map the
+    /// home is the shard owning the host of the job's scheduler
+    /// endpoint (`job id mod nodes`, see [`Endpoint::host`]), so every
+    /// scheduler-source message originates in its home shard and the
+    /// per-pair lookahead floors hold; otherwise jobs are dealt
+    /// round-robin so scheduler-side work spreads evenly. Central jobs
+    /// live on shard 0 (which owns host 0, the central endpoint).
     fn distributed_home(&self, job: JobId) -> usize {
-        job.index() % self.map.shards
+        distributed_home(&self.map, job)
     }
 
     fn scope_range(&self, scope: Scope) -> (u32, usize) {
@@ -375,11 +549,59 @@ impl<'t> Shard<'t> {
         }
     }
 
-    /// Processes every local event strictly below `horizon`.
+    /// Records every lazy utilization sample point at or before `limit`
+    /// with the *current* cluster state. Callers guarantee no event
+    /// below `limit` remains unprocessed, and state between events is
+    /// constant, so the values match the single-threaded driver's eager
+    /// `UtilSample` events (a sample coinciding with an event reads the
+    /// pre-event state).
+    fn sample_up_to(&mut self, limit: SimTime) {
+        while self.next_sample <= limit {
+            self.samples.push(UtilSampleRaw {
+                running: self.cluster.running_count() as u32,
+                down_running: self.cluster.down_running_count() as u32,
+                owned_down: self.owned_down as u32,
+            });
+            self.next_sample += self.util_interval;
+        }
+    }
+
+    /// Processes every local event strictly below `horizon`, then
+    /// catches utilization sampling up to the horizon (no cross-shard
+    /// arrival can land below it, so the state there is final).
     fn run_until(&mut self, horizon: SimTime) {
-        while self.engine.peek_time().is_some_and(|t| t < horizon) {
+        while let Some(t) = self.engine.peek_time() {
+            if t >= horizon {
+                break;
+            }
+            self.sample_up_to(t);
             let (_, ev) = self.engine.pop().expect("peeked event vanished");
             self.dispatch(ev);
+        }
+        self.sample_up_to(horizon);
+    }
+
+    /// The quiescence fast-path: this shard is the only one with a
+    /// pending event, so nothing can interfere before it emits. Process
+    /// events without a horizon until the first cross-shard envelope is
+    /// buffered, the last home job completes (its queue may still be
+    /// draining bookkeeping that another shard waits on), or a large
+    /// budget runs out (a backstop bounding epoch length).
+    fn run_free(&mut self) {
+        const FREE_RUN_EVENT_BUDGET: u32 = 1 << 22;
+        let entered_unfinished = self.unfinished_home > 0;
+        let mut budget = FREE_RUN_EVENT_BUDGET;
+        while let Some(t) = self.engine.peek_time() {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            self.sample_up_to(t);
+            let (_, ev) = self.engine.pop().expect("peeked event vanished");
+            self.dispatch(ev);
+            if !self.outbox.is_empty() || (entered_unfinished && self.unfinished_home == 0) {
+                break;
+            }
         }
     }
 
@@ -410,7 +632,11 @@ impl<'t> Shard<'t> {
             }
             SEvent::Finish { server } => self.on_task_finish(server),
             SEvent::Stolen { server, batch } => self.on_stolen(server, batch),
-            SEvent::StealRequest { thief, victim } => self.on_steal_request(thief, victim),
+            SEvent::StealRequest {
+                thief,
+                victim,
+                rest,
+            } => self.on_steal_request(thief, victim, rest),
             SEvent::TaskDone { job } => self.on_task_done(job),
             SEvent::CentralTaskDone { job, server } => {
                 let estimate = self.estimates.estimate(job);
@@ -435,14 +661,6 @@ impl<'t> Shard<'t> {
                         }
                     }
                 }
-            }
-            SEvent::UtilSample => {
-                self.samples.push(UtilSampleRaw {
-                    running: self.cluster.running_count() as u32,
-                    down_running: self.cluster.down_running_count() as u32,
-                    owned_down: self.owned_down as u32,
-                });
-                self.engine.schedule(self.util_interval, SEvent::UtilSample);
             }
         }
     }
@@ -620,7 +838,7 @@ impl<'t> Shard<'t> {
         );
     }
 
-    fn on_probe_relocate(&mut self, from: ServerId, job: JobId, class: JobClass) {
+    fn on_probe_relocate(&mut self, _from: ServerId, job: JobId, class: JobClass) {
         let launched = self.jobs[job.index()].next_task as usize;
         if launched >= self.trace.job(job).num_tasks() {
             self.abandons += 1;
@@ -634,9 +852,13 @@ impl<'t> Shard<'t> {
         let (start, len) = self.scope_range(scope);
         let target =
             PlacementView::new(&self.cluster, start, len).random_server(&mut self.scenario_rng);
+        // The re-probe is sent from the job's scheduler endpoint — this
+        // shard hosts it (the relocation already detoured here, see the
+        // module docs) — not from the failed server, which may live in
+        // a shard whose delay floors don't cover this send.
         let delay = self.topology.delay(
             self.engine.now(),
-            Endpoint::Server(from),
+            Endpoint::Scheduler(job.0),
             Endpoint::Server(target),
         );
         let dest = self.map.owner(target);
@@ -731,11 +953,12 @@ impl<'t> Shard<'t> {
 
     /// One steal attempt for an idle owned thief (§3.6). Victim draws
     /// use this shard's steal stream exactly like the single-threaded
-    /// driver uses its global one; shard-local victims are scanned
-    /// synchronously in pick order, and if none yields a group, the
-    /// first remote victim (if any) gets a single asynchronous
-    /// [`SEvent::StealRequest`] — at most one remote attempt per idle
-    /// transition.
+    /// driver uses its global one (rack-first when the scheduler says
+    /// so and the topology has geometry); shard-local victims are
+    /// scanned synchronously in pick order, and if none yields a group,
+    /// the remote victims from the same scan (up to four, in pick
+    /// order) are chained into one asynchronous
+    /// [`SEvent::StealRequest`] that each failed hop forwards onward.
     fn try_steal(&mut self, thief: ServerId) {
         let Some(spec) = self.steal_spec else { return };
         if self.cluster.is_down(thief) {
@@ -745,9 +968,10 @@ impl<'t> Shard<'t> {
         let partition = self.cluster.partition();
         let granularity = spec.granularity;
         let mut victims = std::mem::take(&mut self.victim_buf);
-        self.scheduler.pick_victims_into(
+        self.scheduler.pick_victims_in_fabric_into(
             &partition,
             thief,
+            self.rack_geometry,
             &mut self.steal_rng,
             &mut self.victim_scratch,
             &mut victims,
@@ -758,11 +982,13 @@ impl<'t> Shard<'t> {
         let local_scan = self.cluster.long_holder_count() > 0;
         debug_assert!(self.steal_buf.is_empty(), "stale steal batch");
         let mut robbed = None;
-        let mut remote = None;
+        let mut remotes = [NO_VICTIM; 4];
+        let mut remote_count = 0;
         for &victim in &victims {
             if !self.owns(victim) {
-                if remote.is_none() {
-                    remote = Some(victim);
+                if remote_count < remotes.len() {
+                    remotes[remote_count] = victim.0;
+                    remote_count += 1;
                 }
                 continue;
             }
@@ -802,33 +1028,63 @@ impl<'t> Shard<'t> {
                     },
                 );
             }
-        } else if let Some(victim) = remote {
+        } else if remote_count > 0 {
+            let victim = ServerId(remotes[0]);
             let delay = self.topology.delay(
                 self.engine.now(),
                 Endpoint::Server(thief),
                 Endpoint::Server(victim),
             );
             let dest = self.map.owner(victim);
-            self.send_ev(delay, dest, SEvent::StealRequest { thief, victim });
+            self.send_ev(
+                delay,
+                dest,
+                SEvent::StealRequest {
+                    thief,
+                    victim,
+                    rest: [remotes[1], remotes[2], remotes[3]],
+                },
+            );
         }
     }
 
-    /// A remote thief's steal request against an owned victim. An empty
-    /// scan sends no reply, like an unsuccessful local scan.
-    fn on_steal_request(&mut self, thief: ServerId, victim: ServerId) {
+    /// A remote thief's steal request against an owned victim. A failed
+    /// scan forwards the request to the next candidate in `rest` (sent
+    /// from the owned victim, so the per-pair delay floors hold); when
+    /// the chain is exhausted no reply is sent, like an unsuccessful
+    /// local scan.
+    fn on_steal_request(&mut self, thief: ServerId, victim: ServerId, rest: [u32; 3]) {
         debug_assert!(self.owns(victim));
         let Some(spec) = self.steal_spec else { return };
-        if self.cluster.is_down(victim) || !self.cluster.holds_long_work(victim) {
-            return;
+        let useless = self.cluster.is_down(victim) || !self.cluster.holds_long_work(victim);
+        if !useless {
+            debug_assert!(self.steal_buf.is_empty(), "stale steal batch");
+            self.cluster.steal_from_with_into(
+                victim,
+                spec.granularity,
+                &mut self.steal_rng,
+                &mut self.steal_buf,
+            );
         }
-        debug_assert!(self.steal_buf.is_empty(), "stale steal batch");
-        self.cluster.steal_from_with_into(
-            victim,
-            spec.granularity,
-            &mut self.steal_rng,
-            &mut self.steal_buf,
-        );
-        if self.steal_buf.is_empty() {
+        if useless || self.steal_buf.is_empty() {
+            if rest[0] != NO_VICTIM {
+                let next = ServerId(rest[0]);
+                let delay = self.topology.delay(
+                    self.engine.now(),
+                    Endpoint::Server(victim),
+                    Endpoint::Server(next),
+                );
+                let dest = self.map.owner(next);
+                self.send_ev(
+                    delay,
+                    dest,
+                    SEvent::StealRequest {
+                        thief,
+                        victim: next,
+                        rest: [rest[1], rest[2], NO_VICTIM],
+                    },
+                );
+            }
             return;
         }
         self.steals += 1;
@@ -906,34 +1162,34 @@ pub struct ShardedDriver<'t> {
     scheduler: Arc<dyn Scheduler>,
     /// Home shard of every job, by job index.
     homes: Vec<u32>,
-    lookahead: SimDuration,
+    /// Closure of the per-pair lookahead floors (see [`SharedState`]).
+    delta: Vec<u64>,
     workers: usize,
     nodes: usize,
     cutoff: Cutoff,
     util_interval: SimDuration,
+    stats: ShardedStats,
 }
 
 impl<'t> ShardedDriver<'t> {
     /// Builds a sharded driver for `sim.shards` shards (clamped to the
-    /// node count), defaulting the worker-thread count to
-    /// `min(shards, worker_budget())`.
+    /// node or alignment-unit count), defaulting the worker-thread
+    /// count to `min(shards, worker_budget())`. When the topology
+    /// exposes rack geometry the shard map aligns to it and the
+    /// lookahead matrix uses per-pair range floors (module docs).
     ///
     /// # Panics
     ///
     /// Panics on inconsistent configuration (like [`crate::Driver`]) and
-    /// when the topology's [`min_message_delay`] is zero — conservative
-    /// parallel execution requires a positive lookahead.
-    ///
-    /// [`min_message_delay`]: hawk_net::TopologySpec::min_message_delay
+    /// when any shard pair's minimum message delay is zero —
+    /// conservative parallel execution requires positive lookahead.
     pub fn new(trace: &'t Trace, scheduler: Arc<dyn Scheduler>, sim: &SimConfig) -> Self {
-        let map = ShardMap::new(sim.nodes, sim.shards);
+        let spec = sim.topology_spec();
+        let rack_geometry = spec.rack_geometry();
+        let align = ShardMap::pick_align(sim.nodes, sim.shards.max(1), rack_geometry);
+        let map = ShardMap::aligned(sim.nodes, sim.shards, align);
         let shards = map.shards;
-        let lookahead = sim.topology_spec().min_message_delay();
-        assert!(
-            lookahead > SimDuration::ZERO,
-            "sharded execution requires a positive minimum network delay \
-             (the lookahead of conservative parallel simulation)"
-        );
+        let delta = lookahead_closure(&spec, &map);
 
         // RNG split order (frozen, see ARCHITECTURE.md): root →
         // estimate stream → per shard s in 0..K: (probe_s, steal_s,
@@ -961,7 +1217,7 @@ impl<'t> ShardedDriver<'t> {
             let class = estimates.class(job.id, sim.cutoff);
             let home = match scheduler.route(class) {
                 Route::Central(_) => 0,
-                Route::Distributed(_) => job.id.index() % shards,
+                Route::Distributed(_) => distributed_home(&map, job.id),
             };
             homes.push(home as u32);
         }
@@ -1027,7 +1283,8 @@ impl<'t> ShardedDriver<'t> {
                 }
             }
             // Every shard replays the full dynamics script so shadow
-            // membership stays globally correct.
+            // membership stays globally correct. Utilization sampling
+            // is lazy, not an engine event (module docs).
             for scripted in sim.dynamics.events() {
                 let event = match scripted.change {
                     NodeChange::Down(server) => SEvent::NodeDown(ServerId(server)),
@@ -1035,7 +1292,6 @@ impl<'t> ShardedDriver<'t> {
                 };
                 engine.schedule_at(scripted.at, event);
             }
-            engine.schedule(sim.util_interval, SEvent::UtilSample);
 
             let jobs = trace
                 .jobs()
@@ -1073,6 +1329,8 @@ impl<'t> ShardedDriver<'t> {
                 cutoff: sim.cutoff,
                 central_overhead: sim.central_overhead,
                 util_interval: sim.util_interval,
+                next_sample: SimTime::ZERO + sim.util_interval,
+                rack_geometry,
                 unfinished_home,
                 steals: 0,
                 steal_attempts: 0,
@@ -1099,11 +1357,12 @@ impl<'t> ShardedDriver<'t> {
             trace,
             scheduler,
             homes,
-            lookahead,
+            delta,
             workers: worker_budget().clamp(1, shards),
             nodes: sim.nodes,
             cutoff: sim.cutoff,
             util_interval: sim.util_interval,
+            stats: ShardedStats::default(),
         }
     }
 
@@ -1130,46 +1389,67 @@ impl<'t> ShardedDriver<'t> {
         let shard_count = self.shards.len();
         let total_unfinished: usize = self.shards.iter().map(|s| s.unfinished_home).sum();
         if total_unfinished > 0 {
-            let base = self
+            let t: Vec<u64> = self
                 .shards
                 .iter()
-                .filter_map(|s| s.engine.peek_time())
-                .min()
-                .expect("unfinished jobs but no pending events");
-            let shared = SharedState {
-                slots: (0..shard_count).map(|_| ShardSlot::default()).collect(),
-                barrier: Barrier::new(self.workers),
-                horizon: AtomicU64::new((base + self.lookahead).as_micros()),
-                stop: AtomicBool::new(false),
-                lookahead_micros: self.lookahead.as_micros(),
-                scratch: Mutex::new(Vec::new()),
+                .map(|s| s.engine.peek_time().map_or(u64::MAX, SimTime::as_micros))
+                .collect();
+            let base = t.iter().copied().min().expect("at least one shard");
+            assert!(base != u64::MAX, "unfinished jobs but no pending events");
+            let mut wq = WorkQueue {
+                runnable: Vec::with_capacity(shard_count),
+                next: 0,
+                inflight: 0,
+                horizons: vec![0; shard_count],
+                unfinished: self.shards.iter().map(|s| s.unfinished_home).collect(),
+                total_unfinished,
+                outbox_full: vec![false; shard_count],
+                streams: (0..shard_count).map(|_| Vec::new()).collect(),
+                cursors: vec![0; shard_count],
+                inboxes: (0..shard_count).map(|_| Vec::new()).collect(),
+                t,
+                stopped: false,
+                parked: 0,
+                epochs: 0,
+                merge_envelopes: 0,
+                span_accum: 0,
+                last_base: base,
             };
-            // Static shard → worker assignment: worker w runs shards
-            // w, w + W, w + 2W, … — the merge order is independent of
-            // the assignment, so any W yields identical results.
-            let workers = self.workers;
-            let mut lanes: Vec<Vec<Shard<'t>>> = (0..workers).map(|_| Vec::new()).collect();
-            for shard in self.shards.drain(..) {
-                lanes[shard.id % workers].push(shard);
-            }
+            let delta = std::mem::take(&mut self.delta);
+            publish_schedule(&mut wq, &delta);
+            // Shards are claimed per epoch, not statically assigned:
+            // any worker may run any shard, and the merge order depends
+            // only on epoch content, so every worker count yields
+            // identical results.
+            let shared = SharedState {
+                shards: self.shards.drain(..).map(Mutex::new).collect(),
+                work: Mutex::new(wq),
+                available: Condvar::new(),
+                delta,
+                wake_cap: std::thread::available_parallelism()
+                    .map_or(1, std::num::NonZeroUsize::get)
+                    .saturating_sub(1),
+            };
             let shared_ref = &shared;
-            let mut finished: Vec<Shard<'t>> = Vec::with_capacity(shard_count);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = lanes
-                    .into_iter()
-                    .map(|mut lane| {
-                        scope.spawn(move || {
-                            worker_loop(&mut lane, shared_ref);
-                            lane
-                        })
-                    })
+                let handles: Vec<_> = (0..self.workers)
+                    .map(|_| scope.spawn(move || worker_loop(shared_ref)))
                     .collect();
                 for handle in handles {
-                    finished.extend(handle.join().expect("shard worker panicked"));
+                    handle.join().expect("shard worker panicked");
                 }
             });
-            finished.sort_by_key(|s| s.id);
-            self.shards = finished;
+            self.shards = shared
+                .shards
+                .into_iter()
+                .map(|m| m.into_inner().expect("shard poisoned"))
+                .collect();
+            let wq = shared.work.into_inner().expect("work queue poisoned");
+            self.stats = ShardedStats {
+                epochs: wq.epochs,
+                merge_envelopes: wq.merge_envelopes,
+                avg_epoch_span_micros: wq.span_accum / wq.epochs.max(1),
+            };
         }
         self.report()
     }
@@ -1242,6 +1522,107 @@ impl<'t> ShardedDriver<'t> {
             migrations: self.shards.iter().map(|s| s.migrations).sum(),
             abandons: self.shards.iter().map(|s| s.abandons).sum(),
             network,
+            sharded: Some(self.stats),
+        }
+    }
+}
+
+/// Home shard of a distributed job under `map`
+/// (see [`Shard::distributed_home`]).
+fn distributed_home(map: &ShardMap, job: JobId) -> usize {
+    if map.rack_aligned() {
+        map.owner(ServerId((job.index() % map.nodes.max(1)) as u32))
+    } else {
+        job.index() % map.shards
+    }
+}
+
+/// Builds the lookahead matrix: per-pair one-hop delay floors closed
+/// under shortest walks (Floyd–Warshall), row-major `[src * K + dst]`,
+/// raw microseconds. Under a rack-aligned map the one-hop floor of a
+/// pair is the minimum delay between the two owned host ranges (every
+/// endpoint hosted in shard `i` — servers by ownership, schedulers by
+/// the homing rule — maps to a host in `i`'s range); otherwise
+/// scheduler endpoints are scattered and only the global minimum is a
+/// valid floor. The closed diagonal is the cheapest cycle through each
+/// shard, bounding the feedback of a shard's own emissions.
+///
+/// # Panics
+///
+/// Panics when any one-hop floor is zero: conservative parallel
+/// execution requires positive lookahead.
+fn lookahead_closure(spec: &TopologySpec, map: &ShardMap) -> Vec<u64> {
+    let k = map.shards;
+    let global = spec.min_message_delay().as_micros();
+    let mut delta = vec![u64::MAX; k * k];
+    for i in 0..k {
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            let floor = if map.rack_aligned() {
+                let (a0, a1) = map.range(i);
+                let (b0, b1) = map.range(j);
+                spec.min_delay_between((a0 as usize, a1 as usize), (b0 as usize, b1 as usize))
+                    .as_micros()
+            } else {
+                global
+            };
+            assert!(
+                floor > 0,
+                "sharded execution requires a positive minimum network delay \
+                 between shards {i} and {j} (the lookahead of conservative \
+                 parallel simulation)"
+            );
+            delta[i * k + j] = floor;
+        }
+    }
+    for m in 0..k {
+        for i in 0..k {
+            let im = delta[i * k + m];
+            if im == u64::MAX {
+                continue;
+            }
+            for j in 0..k {
+                let mj = delta[m * k + j];
+                if mj == u64::MAX {
+                    continue;
+                }
+                let via = im.saturating_add(mj);
+                if via < delta[i * k + j] {
+                    delta[i * k + j] = via;
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// Publishes the next epoch's schedule from the merged `t` vector:
+/// horizon `H[j] = min over i of t[i] + D[i][j]`, or the `u64::MAX`
+/// free-run sentinel for everyone when at most one shard has anything
+/// pending (the quiescence fast-path — with no second actor, no bound
+/// binds before the sole active shard emits). Only shards with work
+/// strictly below their horizon enter the runnable list; the rest are
+/// skipped outright — their lazy utilization samples catch up with
+/// identical values once they do run, so skipping is invisible.
+fn publish_schedule(wq: &mut WorkQueue, delta: &[u64]) {
+    let k = wq.t.len();
+    let active = wq.t.iter().filter(|&&ti| ti != u64::MAX).count();
+    wq.runnable.clear();
+    wq.next = 0;
+    for j in 0..k {
+        let horizon = if active > 1 {
+            (0..k)
+                .map(|i| wq.t[i].saturating_add(delta[i * k + j]))
+                .min()
+                .expect("at least one shard")
+        } else {
+            u64::MAX
+        };
+        wq.horizons[j] = horizon;
+        if wq.t[j] < horizon {
+            wq.runnable.push(j as u32);
         }
     }
 }
@@ -1260,74 +1641,189 @@ fn central_scope(long: &Route, short: &Route) -> Option<Scope> {
     }
 }
 
-/// One worker's epoch loop over its statically assigned shards.
-fn worker_loop(lane: &mut [Shard<'_>], shared: &SharedState) {
+/// One worker's claim loop. All workers run the same loop: claim the
+/// next runnable shard under the work lock, run it to its horizon
+/// under its own shard lock, report back under the work lock. The
+/// worker whose report completes the epoch merges inline (still
+/// holding the work lock) and publishes the next schedule, then loops
+/// straight into claiming — so a sparse epoch (one runnable shard)
+/// costs one work-lock round and one shard-lock round, with every
+/// other worker parked on the condvar.
+///
+/// Lock order is always work → shard: the claim path drops the work
+/// lock before locking its shard, and the done-report drops the shard
+/// lock before re-taking the work lock; only the merge holds both,
+/// and it is the sole holder of the work lock at that moment.
+fn worker_loop(shared: &SharedState<'_>) {
+    let mut guard = shared.work.lock().expect("work queue poisoned");
     loop {
-        shared.barrier.wait();
-        if shared.stop.load(Ordering::Acquire) {
-            break;
+        if guard.stopped {
+            return;
         }
-        let horizon = SimTime::from_micros(shared.horizon.load(Ordering::Acquire));
-        for shard in lane.iter_mut() {
-            let slot = &shared.slots[shard.id];
-            let mut inbox = std::mem::take(&mut *slot.inbox.lock().expect("inbox poisoned"));
-            shard.inject(&mut inbox);
-            // Hand the drained Vec back so the merge reuses its capacity.
-            *slot.inbox.lock().expect("inbox poisoned") = inbox;
-            shard.run_until(horizon);
-            {
-                let mut out = slot.outbox.lock().expect("outbox poisoned");
-                debug_assert!(out.is_empty(), "outbox not drained by the merge");
-                std::mem::swap(&mut *out, &mut shard.outbox);
-            }
-            slot.next_micros.store(
+        if guard.next < guard.runnable.len() {
+            let id = guard.runnable[guard.next] as usize;
+            guard.next += 1;
+            guard.inflight += 1;
+            let horizon = guard.horizons[id];
+            drop(guard);
+            let (next_micros, unfinished, outbox_full) = {
+                let mut shard = shared.shards[id].lock().expect("shard poisoned");
+                if horizon == u64::MAX {
+                    shard.run_free();
+                } else {
+                    shard.run_until(SimTime::from_micros(horizon));
+                }
+                // Keep the outbox a sorted stream for the k-way merge.
+                // Under constant delays it already is (pdqsort detects
+                // the run in O(n)); topology delays can reorder.
                 shard
-                    .engine
-                    .peek_time()
-                    .map_or(u64::MAX, SimTime::as_micros),
-                Ordering::Release,
-            );
-            slot.unfinished
-                .store(shard.unfinished_home, Ordering::Release);
-        }
-        if shared.barrier.wait().is_leader() {
-            merge(shared);
+                    .outbox
+                    .sort_unstable_by_key(|env| (env.at.as_micros(), env.seq));
+                (
+                    shard
+                        .engine
+                        .peek_time()
+                        .map_or(u64::MAX, SimTime::as_micros),
+                    shard.unfinished_home,
+                    !shard.outbox.is_empty(),
+                )
+            };
+            guard = shared.work.lock().expect("work queue poisoned");
+            let wq = &mut *guard;
+            wq.t[id] = next_micros;
+            wq.total_unfinished += unfinished;
+            wq.total_unfinished -= wq.unfinished[id];
+            wq.unfinished[id] = unfinished;
+            wq.outbox_full[id] = outbox_full;
+            wq.inflight -= 1;
+            if wq.inflight == 0 && wq.next == wq.runnable.len() {
+                merge_epoch(shared, wq);
+                if wq.stopped {
+                    shared.available.notify_all();
+                    return;
+                }
+                // Waking peers is a throughput heuristic, never a
+                // correctness requirement: this worker claims from the
+                // fresh schedule itself on the next loop iteration.
+                let wake = shared
+                    .wake_cap
+                    .min(wq.parked)
+                    .min(wq.runnable.len().saturating_sub(1));
+                for _ in 0..wake {
+                    shared.available.notify_one();
+                }
+            }
+        } else {
+            guard.parked += 1;
+            guard = shared.available.wait(guard).expect("work queue poisoned");
+            guard.parked -= 1;
         }
     }
 }
 
-/// The barrier leader's epoch merge: collect every outbox, order the
-/// envelopes by `(firing time, source shard, send sequence)`, route them
-/// to the destination inboxes, and publish the next horizon (or stop).
-fn merge(shared: &SharedState) {
-    let mut scratch = shared.scratch.lock().expect("merge scratch poisoned");
-    let mut unfinished = 0usize;
-    let mut base = u64::MAX;
-    for slot in &shared.slots {
-        scratch.append(&mut slot.outbox.lock().expect("outbox poisoned"));
-        unfinished += slot.unfinished.load(Ordering::Acquire);
-        base = base.min(slot.next_micros.load(Ordering::Acquire));
+/// The zero-sort merge core: drains the per-source outbox `streams`
+/// (each already sorted by `(firing time, send sequence)`) into the
+/// per-destination `inboxes` in global `(firing time, source shard,
+/// send sequence)` order — exactly what concatenating every stream and
+/// sorting by that key would produce, without sorting or allocating.
+/// `cursors[src]` must be zeroed for every non-empty stream. Returns
+/// the number of envelopes moved.
+///
+/// Linear argmin over the stream heads: k is small (≤ tens), so this
+/// beats a binary heap and keeps the order trivially equal to the sort
+/// key. Consumed slots are back-filled with an inert placeholder
+/// instead of shifting the stream.
+fn kway_merge_streams(
+    streams: &mut [Vec<Envelope>],
+    cursors: &mut [usize],
+    inboxes: &mut [Vec<Envelope>],
+) -> u64 {
+    let mut moved = 0u64;
+    loop {
+        let mut best: Option<(usize, (u64, u32, u64))> = None;
+        for (src, stream) in streams.iter().enumerate() {
+            if let Some(env) = stream.get(cursors[src]) {
+                let key = (env.at.as_micros(), env.src, env.seq);
+                if best.is_none_or(|(_, bk)| key < bk) {
+                    best = Some((src, key));
+                }
+            }
+        }
+        let Some((src, _)) = best else { break };
+        let env = std::mem::replace(
+            &mut streams[src][cursors[src]],
+            Envelope {
+                at: SimTime::ZERO,
+                dest: 0,
+                src: 0,
+                seq: 0,
+                msg: WireMsg::Ev(SEvent::TaskDone { job: JobId(0) }),
+            },
+        );
+        cursors[src] += 1;
+        moved += 1;
+        inboxes[env.dest as usize].push(env);
     }
-    if unfinished == 0 {
-        shared.stop.store(true, Ordering::Release);
+    moved
+}
+
+/// The epoch merge, run inline by whichever worker finished the epoch
+/// (the work lock is held throughout). K-way-merges the sorted outbox
+/// streams in `(firing time, source shard, send sequence)` order —
+/// exactly the order the old concat-and-sort produced, so per-inbox
+/// envelope order is unchanged — injects them directly into the
+/// destination engines, then publishes the next schedule (or stops).
+/// Epochs that moved no envelopes skip the merge machinery entirely,
+/// which is the common case for sparse workloads.
+fn merge_epoch(shared: &SharedState<'_>, wq: &mut WorkQueue) {
+    if wq.total_unfinished == 0 {
+        wq.stopped = true;
         return;
     }
-    scratch.sort_unstable_by_key(|env| (env.at.as_micros(), env.src, env.seq));
-    for env in scratch.drain(..) {
-        base = base.min(env.at.as_micros());
-        shared.slots[env.dest as usize]
-            .inbox
-            .lock()
-            .expect("inbox poisoned")
-            .push(env);
+    let k = wq.t.len();
+    if wq.runnable.iter().any(|&id| wq.outbox_full[id as usize]) {
+        for r in 0..wq.runnable.len() {
+            let id = wq.runnable[r] as usize;
+            if !wq.outbox_full[id] {
+                continue;
+            }
+            wq.outbox_full[id] = false;
+            let mut shard = shared.shards[id].lock().expect("shard poisoned");
+            debug_assert!(wq.streams[id].is_empty(), "stale merge stream");
+            std::mem::swap(&mut wq.streams[id], &mut shard.outbox);
+            wq.cursors[id] = 0;
+        }
+        wq.merge_envelopes += kway_merge_streams(&mut wq.streams, &mut wq.cursors, &mut wq.inboxes);
+        for dest in 0..k {
+            if wq.inboxes[dest].is_empty() {
+                continue;
+            }
+            let mut shard = shared.shards[dest].lock().expect("shard poisoned");
+            let mut inbox = std::mem::take(&mut wq.inboxes[dest]);
+            shard.inject(&mut inbox);
+            // Hand the drained Vec back so the next epoch reuses its
+            // capacity, and re-peek: injected envelopes may precede
+            // the engine's previous head.
+            wq.inboxes[dest] = inbox;
+            wq.t[dest] = shard
+                .engine
+                .peek_time()
+                .map_or(u64::MAX, SimTime::as_micros);
+        }
+        for s in &mut wq.streams {
+            s.clear();
+        }
     }
+    let base = wq.t.iter().copied().min().expect("at least one shard");
     assert!(
         base != u64::MAX,
-        "event queues drained with {unfinished} unfinished jobs"
+        "event queues drained with {} unfinished jobs",
+        wq.total_unfinished
     );
-    shared
-        .horizon
-        .store(base + shared.lookahead_micros, Ordering::Release);
+    wq.epochs += 1;
+    wq.span_accum += base.saturating_sub(wq.last_base);
+    wq.last_base = base;
+    publish_schedule(wq, &shared.delta);
 }
 
 #[cfg(test)]
@@ -1357,6 +1853,138 @@ mod tests {
                     next = end;
                 }
                 assert_eq!(next as usize, nodes);
+            }
+        }
+    }
+
+    /// Exhaustive rack-alignment partition math: with `align > 1` no
+    /// alignment unit (rack or pod) is ever split across a shard
+    /// boundary — every boundary except the cluster end is a multiple
+    /// of `align` — the ranges still tile the cluster exactly, whole
+    /// units are dealt as evenly as possible (unit counts differ by at
+    /// most one), and the trailing partial unit (the remainder rack)
+    /// stays glued to the last shard.
+    #[test]
+    fn aligned_shard_map_never_splits_a_unit() {
+        for nodes in [1usize, 4, 15, 16, 17, 63, 64, 65, 100, 1000, 1001] {
+            for shards in [1usize, 2, 3, 4, 7, 16] {
+                for align in [1usize, 4, 16, 128] {
+                    let map = ShardMap::aligned(nodes, shards, align);
+                    let ctx = format!("nodes={nodes} shards={shards} align={align}");
+                    assert!(map.shards >= 1, "{ctx}");
+                    assert!(map.shards <= nodes.max(1).div_ceil(align), "{ctx}");
+                    let mut next = 0u32;
+                    let mut unit_counts = Vec::new();
+                    for s in 0..map.shards {
+                        let (start, end) = map.range(s);
+                        assert_eq!(start, next, "{ctx} s={s}: ranges must tile");
+                        assert!(end > start, "{ctx} s={s}: empty shard");
+                        assert_eq!(
+                            start as usize % align,
+                            0,
+                            "{ctx} s={s}: start splits a unit"
+                        );
+                        if (end as usize) < nodes {
+                            assert_eq!(
+                                end as usize % align,
+                                0,
+                                "{ctx} s={s}: boundary splits a unit"
+                            );
+                        }
+                        unit_counts.push((end as usize - start as usize).div_ceil(align));
+                        for id in start..end {
+                            assert_eq!(map.owner(ServerId(id)), s, "{ctx} id={id}");
+                        }
+                        next = end;
+                    }
+                    assert_eq!(next as usize, nodes, "{ctx}: ranges must cover");
+                    let lo = unit_counts.iter().min().unwrap();
+                    let hi = unit_counts.iter().max().unwrap();
+                    assert!(hi - lo <= 1, "{ctx}: uneven deal {unit_counts:?}");
+                }
+            }
+        }
+    }
+
+    /// The alignment-unit picker prefers the coarsest geometry that
+    /// still gives every shard at least one block: pods, then racks,
+    /// then single servers.
+    #[test]
+    fn pick_align_prefers_pods_then_racks() {
+        let geo = RackGeometry {
+            hosts_per_rack: 16,
+            racks_per_pod: 8,
+        };
+        // 1024 hosts = 8 pods: enough pods for 4 shards.
+        assert_eq!(ShardMap::pick_align(1024, 4, Some(geo)), 128);
+        // But not for 16 shards; 64 racks are plenty.
+        assert_eq!(ShardMap::pick_align(1024, 16, Some(geo)), 16);
+        // 48 hosts = 3 racks < 4 shards: degenerate to single servers.
+        assert_eq!(ShardMap::pick_align(48, 4, Some(geo)), 1);
+        // No geometry: always single servers.
+        assert_eq!(ShardMap::pick_align(1024, 4, None), 1);
+    }
+
+    fn env(at: u64, src: u32, seq: u64, dest: u32) -> Envelope {
+        Envelope {
+            at: SimTime::from_micros(at),
+            dest,
+            src,
+            seq,
+            msg: WireMsg::Ev(SEvent::TaskDone { job: JobId(0) }),
+        }
+    }
+
+    proptest::proptest! {
+        /// The zero-sort k-way merge against its model: concatenating
+        /// every outbox stream and sorting by `(firing time, source
+        /// shard, send sequence)` must route exactly the same envelopes
+        /// to each destination inbox, in exactly the same order.
+        #[test]
+        fn kway_merge_matches_sort_model(
+            raw in proptest::collection::vec(
+                proptest::collection::vec((0u64..200, 0u32..5), 0..40),
+                1..6,
+            ),
+        ) {
+            let k = raw.len() as u32;
+            let mut streams: Vec<Vec<Envelope>> = raw
+                .iter()
+                .enumerate()
+                .map(|(src, sends)| {
+                    // seq is assigned in send order, then the outbox is
+                    // sorted by (at, seq) — exactly what a shard does.
+                    let mut stream: Vec<Envelope> = sends
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(at, dest))| env(at, src as u32, i as u64, dest % k))
+                        .collect();
+                    stream.sort_unstable_by_key(|e| (e.at.as_micros(), e.seq));
+                    stream
+                })
+                .collect();
+            let mut model: Vec<(u64, u32, u64, u32)> = streams
+                .iter()
+                .flatten()
+                .map(|e| (e.at.as_micros(), e.src, e.seq, e.dest))
+                .collect();
+            model.sort_unstable();
+            let mut model_inboxes: Vec<Vec<(u64, u32, u64)>> = vec![Vec::new(); k as usize];
+            for (at, src, seq, dest) in &model {
+                model_inboxes[*dest as usize].push((*at, *src, *seq));
+            }
+
+            let mut cursors = vec![0usize; k as usize];
+            let mut inboxes: Vec<Vec<Envelope>> = (0..k).map(|_| Vec::new()).collect();
+            let moved = kway_merge_streams(&mut streams, &mut cursors, &mut inboxes);
+
+            proptest::prop_assert_eq!(moved as usize, model.len());
+            for dest in 0..k as usize {
+                let got: Vec<(u64, u32, u64)> = inboxes[dest]
+                    .iter()
+                    .map(|e| (e.at.as_micros(), e.src, e.seq))
+                    .collect();
+                proptest::prop_assert_eq!(&got, &model_inboxes[dest], "dest {}", dest);
             }
         }
     }

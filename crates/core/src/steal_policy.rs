@@ -12,6 +12,7 @@
 //! swept 1–250 in Figure 15), excluding the thief itself.
 
 use hawk_cluster::{Partition, ServerId};
+use hawk_net::RackGeometry;
 use hawk_simcore::SimRng;
 
 /// Victim selection for randomized work stealing.
@@ -82,6 +83,71 @@ impl StealPolicy {
                 ServerId(i)
             }
         }));
+    }
+
+    /// Rack-first variant of [`StealPolicy::pick_victims_into`]: the
+    /// thief's contact list starts with up to `cap` distinct victims
+    /// from the general-partition slice of its *own rack*, and any
+    /// remaining budget is filled with distinct victims from the rest
+    /// of the general partition. The victim *set* stays exactly the
+    /// paper's (distinct general-partition servers, never the thief) —
+    /// only the sampling is stratified by rack, so rack-local steals
+    /// dominate whenever the thief's rack has stealable work.
+    ///
+    /// Draws both strata from the same single RNG stream (one
+    /// [`SimRng::sample_distinct_into`] per non-empty stratum), keeping
+    /// the per-attempt draw discipline deterministic.
+    pub fn pick_victims_rack_first_into(
+        &self,
+        partition: &Partition,
+        thief: ServerId,
+        racks: RackGeometry,
+        rng: &mut SimRng,
+        scratch: &mut Vec<usize>,
+        out: &mut Vec<ServerId>,
+    ) {
+        out.clear();
+        let general = partition.general_count();
+        if general == 0 {
+            return;
+        }
+        // The thief's rack, clipped to the general partition (racks are
+        // contiguous id blocks; the general partition is the id prefix).
+        let hosts_per_rack = racks.hosts_per_rack.max(1);
+        let rack_start = (thief.index() / hosts_per_rack) * hosts_per_rack;
+        let block_lo = rack_start.min(general);
+        let block_hi = (rack_start + hosts_per_rack).min(general);
+        let block = block_hi - block_lo;
+        let thief_in_block = (block_lo..block_hi).contains(&thief.index());
+
+        let local_candidates = block - usize::from(thief_in_block);
+        let n_local = self.cap.min(local_candidates);
+        if n_local > 0 {
+            rng.sample_distinct_into(local_candidates, n_local, scratch);
+            out.extend(scratch.iter().map(|&i| {
+                let id = block_lo + i;
+                if thief_in_block && id >= thief.index() {
+                    ServerId(id as u32 + 1)
+                } else {
+                    ServerId(id as u32)
+                }
+            }));
+        }
+
+        // Fill the remaining budget from the general partition minus
+        // the whole rack block (which already covers the thief).
+        let remote_candidates = general - block;
+        let n_remote = (self.cap - n_local).min(remote_candidates);
+        if n_remote > 0 {
+            rng.sample_distinct_into(remote_candidates, n_remote, scratch);
+            out.extend(scratch.iter().map(|&i| {
+                if i < block_lo {
+                    ServerId(i as u32)
+                } else {
+                    ServerId((i + block) as u32)
+                }
+            }));
+        }
     }
 }
 
@@ -159,6 +225,97 @@ mod tests {
     #[test]
     fn cap_zero_becomes_one() {
         assert_eq!(StealPolicy::new(0).cap, 1);
+    }
+
+    fn rack_first(
+        partition: &Partition,
+        thief: ServerId,
+        racks: RackGeometry,
+        rng: &mut SimRng,
+    ) -> Vec<ServerId> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        StealPolicy::default().pick_victims_rack_first_into(
+            partition,
+            thief,
+            racks,
+            rng,
+            &mut scratch,
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn rack_first_front_loads_the_thiefs_rack() {
+        // 100 servers, 80 general, 4-host racks: a general thief's
+        // contact list starts with its 3 rack mates, then 7 distinct
+        // victims from outside the rack.
+        let partition = Partition::new(100, 0.2);
+        let racks = RackGeometry {
+            hosts_per_rack: 4,
+            racks_per_pod: 5,
+        };
+        let mut rng = SimRng::seed_from_u64(7);
+        for thief_raw in [0u32, 41, 43, 79] {
+            let thief = ServerId(thief_raw);
+            let rack = thief_raw as usize / 4;
+            for _ in 0..100 {
+                let victims = rack_first(&partition, thief, racks, &mut rng);
+                assert_eq!(victims.len(), 10);
+                let set: HashSet<_> = victims.iter().collect();
+                assert_eq!(set.len(), victims.len(), "victims must be distinct");
+                for (i, v) in victims.iter().enumerate() {
+                    assert!(partition.in_general(*v), "victim {v} not general");
+                    assert_ne!(*v, thief, "thief contacted itself");
+                    let local = v.index() / 4 == rack;
+                    assert_eq!(local, i < 3, "victim {v} at position {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rack_first_short_partition_thief_clips_to_general() {
+        // 4-host racks, 10 general servers: rack 2 is ids 8..12 but only
+        // 8 and 9 are general — a thief at 10 (short partition) gets
+        // exactly those two as its local stratum.
+        let partition = Partition::new(16, 0.375); // 10 general
+        let racks = RackGeometry {
+            hosts_per_rack: 4,
+            racks_per_pod: 2,
+        };
+        let mut rng = SimRng::seed_from_u64(8);
+        for _ in 0..50 {
+            let victims = rack_first(&partition, ServerId(10), racks, &mut rng);
+            assert_eq!(victims.len(), 10, "whole general partition reachable");
+            let set: HashSet<u32> = victims.iter().map(|v| v.0).collect();
+            assert_eq!(set, (0..10).collect::<HashSet<u32>>());
+            let locals: HashSet<u32> = victims[..2].iter().map(|v| v.0).collect();
+            assert_eq!(locals, HashSet::from([8, 9]), "rack block first");
+        }
+        // A thief entirely outside the general id range has no local
+        // stratum at all and degenerates to the uniform draw.
+        let victims = rack_first(&partition, ServerId(14), racks, &mut rng);
+        assert_eq!(victims.len(), 10);
+    }
+
+    #[test]
+    fn rack_first_reaches_every_general_server() {
+        let partition = Partition::new(40, 0.0);
+        let racks = RackGeometry {
+            hosts_per_rack: 8,
+            racks_per_pod: 5,
+        };
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            for v in rack_first(&partition, ServerId(13), racks, &mut rng) {
+                seen.insert(v.0);
+            }
+        }
+        let expected: HashSet<u32> = (0..40).filter(|&i| i != 13).collect();
+        assert_eq!(seen, expected);
     }
 
     #[test]

@@ -47,6 +47,33 @@ mod fat_tree;
 pub use constant::Constant;
 pub use fat_tree::{FatTree, FatTreeContended, FatTreeParams};
 
+/// Rack/pod placement divisors of a placement-aware topology, exposed so
+/// schedulers (rack-first victim picking) and the sharded driver
+/// (rack-aligned partitioning) can reason about the fabric without holding
+/// the built [`Topology`].
+///
+/// Placement follows the fat-tree rule: `rack = host / hosts_per_rack`,
+/// `pod = rack / racks_per_pod`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RackGeometry {
+    /// Hosts per rack (placement divisor, ≥ 1).
+    pub hosts_per_rack: usize,
+    /// Racks per pod (placement divisor, ≥ 1).
+    pub racks_per_pod: usize,
+}
+
+impl RackGeometry {
+    /// The rack a host sits in.
+    pub fn rack_of(&self, host: usize) -> usize {
+        host / self.hosts_per_rack.max(1)
+    }
+
+    /// The pod a rack sits in.
+    pub fn pod_of_rack(&self, rack: usize) -> usize {
+        rack / self.racks_per_pod.max(1)
+    }
+}
+
 use hawk_cluster::{NetworkModel, ServerId};
 use hawk_simcore::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -193,6 +220,45 @@ impl TopologySpec {
             TopologySpec::Constant(model) => model.one_way(),
             TopologySpec::FatTree(params) | TopologySpec::FatTreeContended(params) => {
                 params.rack_local
+            }
+        }
+    }
+
+    /// The rack/pod placement divisors of this spec, or `None` for models
+    /// without placement ([`Constant`]).
+    pub fn rack_geometry(&self) -> Option<RackGeometry> {
+        match *self {
+            TopologySpec::Constant(_) => None,
+            TopologySpec::FatTree(params) | TopologySpec::FatTreeContended(params) => {
+                Some(RackGeometry {
+                    hosts_per_rack: params.hosts_per_rack.max(1),
+                    racks_per_pod: params.racks_per_pod.max(1),
+                })
+            }
+        }
+    }
+
+    /// A lower bound on the delay this spec's model charges for any one-way
+    /// message whose source endpoint is hosted in `src_hosts` and whose
+    /// destination endpoint is hosted in `dst_hosts` (both half-open,
+    /// non-empty host ranges).
+    ///
+    /// This refines [`min_message_delay`](Self::min_message_delay) into the
+    /// *per-shard-pair* lookahead of the sharded driver: two shards that
+    /// can only reach each other across pods get the cross-pod floor, not
+    /// the global rack-local one. The bound holds for both fat-tree
+    /// variants because contention only ever adds queueing on top of the
+    /// class propagation, and store-and-forward traversal never undercuts
+    /// the uncontended per-link transmission sum.
+    pub fn min_delay_between(
+        &self,
+        src_hosts: (usize, usize),
+        dst_hosts: (usize, usize),
+    ) -> SimDuration {
+        match *self {
+            TopologySpec::Constant(model) => model.one_way(),
+            TopologySpec::FatTree(params) | TopologySpec::FatTreeContended(params) => {
+                params.min_delay_between(src_hosts, dst_hosts)
             }
         }
     }

@@ -180,6 +180,7 @@ impl ProtoReport {
             migrations: self.migrations,
             abandons: self.abandons,
             network: self.network,
+            sharded: None,
         }
     }
 }
@@ -296,6 +297,7 @@ mod tests {
             migrations: 0,
             abandons: 0,
             network: NetworkStats::default(),
+            sharded: None,
         };
         for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
             assert_eq!(

@@ -277,12 +277,20 @@ pub(crate) fn build_cluster(
     // so enabling faults never shifts these streams.)
     let mut root = SimRng::seed_from_u64(cfg.seed);
     let hardened = cfg.faults.timeouts;
+    // Rack geometry exists only when a modelled fabric does: real-time
+    // mode has no topology, so placement-aware policies fall back to the
+    // paper's uniform victim draw there.
+    let rack_geometry = match &cfg.mode {
+        ExecutionMode::Virtual { topology } => topology.rack_geometry(),
+        ExecutionMode::RealTime => None,
+    };
     let workers: Vec<Worker> = (0..cfg.workers)
         .map(|i| {
             Worker::new(
                 i,
                 Arc::clone(scheduler),
                 partition,
+                rack_geometry,
                 cfg.dist_schedulers,
                 speeds[i],
                 root.split(),

@@ -58,7 +58,7 @@ use hawk_cluster::{
     Partition, QueueEntry, QueueSlab, Server, ServerAction, ServerId, Slot, StealGranularity,
     TaskSpec,
 };
-use hawk_core::{Route, Scheduler, StealSpec};
+use hawk_core::{RackGeometry, Route, Scheduler, StealSpec};
 use hawk_simcore::SimRng;
 use hawk_workload::scenario::NodeChange;
 use hawk_workload::{JobClass, JobId};
@@ -101,6 +101,10 @@ pub(crate) struct Worker {
     queues: QueueSlab,
     scheduler: Arc<dyn Scheduler>,
     partition: Partition,
+    /// Rack geometry of the modelled fabric, when one exists (virtual
+    /// mode over a fat-tree); lets placement-aware policies stratify
+    /// their steal-victim picks exactly as the simulation driver does.
+    rack_geometry: Option<RackGeometry>,
     steal_spec: Option<StealSpec>,
     steal: Option<StealAttempt>,
     dist_count: usize,
@@ -136,10 +140,12 @@ pub(crate) struct Worker {
 }
 
 impl Worker {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         index: usize,
         scheduler: Arc<dyn Scheduler>,
         partition: Partition,
+        rack_geometry: Option<RackGeometry>,
         dist_count: usize,
         speed: f64,
         rng: SimRng,
@@ -159,6 +165,7 @@ impl Worker {
             steal_spec: scheduler.steal(),
             scheduler,
             partition,
+            rack_geometry,
             steal: None,
             dist_count,
             rng,
@@ -561,9 +568,10 @@ impl Worker {
         }
         self.stats.steal_attempts += 1;
         let mut victims = Vec::new();
-        self.scheduler.pick_victims_into(
+        self.scheduler.pick_victims_in_fabric_into(
             &self.partition,
             ServerId(self.index as u32),
+            self.rack_geometry,
             &mut self.rng,
             &mut self.victim_scratch,
             &mut victims,
@@ -706,6 +714,7 @@ mod tests {
             index,
             Arc::new(Hawk::new(0.2)),
             Partition::new(10, 0.2),
+            None,
             2,
             1.0,
             SimRng::seed_from_u64(1),
@@ -718,6 +727,7 @@ mod tests {
             index,
             Arc::new(Hawk::new(0.2)),
             Partition::new(10, 0.2),
+            None,
             2,
             1.0,
             SimRng::seed_from_u64(1),
@@ -773,6 +783,7 @@ mod tests {
             0,
             Arc::new(Hawk::new(0.2)),
             Partition::new(10, 0.2),
+            None,
             2,
             0.5, // half speed
             SimRng::seed_from_u64(1),
@@ -973,6 +984,7 @@ mod tests {
             0,
             Arc::new(Hawk::new(0.0).probe_avoidance(2)),
             Partition::new(4, 0.0),
+            None,
             2,
             1.0,
             SimRng::seed_from_u64(4),

@@ -116,6 +116,7 @@ fn digest_function_is_stable() {
         migrations: 0,
         abandons: 0,
         network: hawk_core::NetworkStats::default(),
+        sharded: None,
     };
     assert_eq!(digest_report(&report), 5542435923394299797);
 }

@@ -32,8 +32,8 @@ use hawk_workload::JobClass;
 mod support;
 use support::{
     churn_scenario, digest_report, golden_scenario, CENTRALIZED_DIGEST, CHURN_HETERO_HAWK_DIGEST,
-    FAT_TREE_HAWK_DIGEST, GOLDEN_JOBS, GOLDEN_NODES, HAWK_DIGEST, SIM_SEED, SPARROW_DIGEST,
-    SPLIT_CLUSTER_DIGEST, TRACE_SEED,
+    FAT_TREE_HAWK_DIGEST, GOLDEN_JOBS, GOLDEN_NODES, HAWK_DIGEST, RACK_ALIGNED_STEAL_HAWK_DIGEST,
+    SIM_SEED, SPARROW_DIGEST, SPLIT_CLUSTER_DIGEST, TRACE_SEED,
 };
 
 /// Shard count exercised by the `shards = N` tests: `HAWK_SHARDS` if set
@@ -170,6 +170,42 @@ fn worker_count_is_invariant_at_golden_scale() {
     let parallel = exp.run_with_workers(4);
     assert_eq!(digest_report(&serial), digest_report(&parallel));
     assert_eq!(serial.utilization_samples, parallel.utilization_samples);
+}
+
+/// The rack-aligned + locality-stealing fat-tree cell, pinned at a
+/// fixed 4 shards (sharded digests are only comparable per shard count,
+/// so `HAWK_SHARDS` deliberately does not apply here). On the golden
+/// 300-node cell the default 16-host racks give 19 alignment units, so
+/// the map is genuinely rack-aligned, the lookahead matrix uses
+/// per-pair range floors, and the rack-first policy reorders victim
+/// contact lists — all of which this digest freezes. The epoch/merge
+/// observability counters ride along outside the digest.
+#[test]
+fn rack_aligned_locality_fat_tree_digest_pinned() {
+    let report = run_sharded(
+        &golden_scenario(),
+        Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION).rack_first_stealing()),
+        4,
+        Some(TopologySpec::FatTree(FatTreeParams::default())),
+    );
+    let digest = digest_report(&report);
+    if std::env::var_os("HAWK_PRINT_DIGESTS").is_some() {
+        println!("const RACK_ALIGNED_STEAL_HAWK_DIGEST: u64 = {digest:#018x};");
+    }
+    assert_eq!(
+        digest, RACK_ALIGNED_STEAL_HAWK_DIGEST,
+        "rack-aligned locality cell drifted: got {digest:#018x}, pinned \
+         {RACK_ALIGNED_STEAL_HAWK_DIGEST:#018x} (see support/mod.rs to re-pin intentionally)"
+    );
+    let stats = report.sharded.expect("sharded run must report epoch stats");
+    assert!(
+        stats.epochs > 0 && stats.merge_envelopes > 0,
+        "observability counters dark: {stats:?}"
+    );
+    assert!(
+        report.network.rack_local_msgs > 0,
+        "fat tree classified no rack-local traffic"
+    );
 }
 
 /// Sharded execution conforms statistically to the single-shard run:
