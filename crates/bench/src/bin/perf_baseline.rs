@@ -40,6 +40,13 @@
 //! (`epochs`, `merge_envelopes`, `avg_epoch_span_micros`, rack-local
 //! steal rate); these are excluded from golden digests.
 //!
+//! Every row carries a `streaming_max_rel_err` column: the bounded-memory
+//! streaming percentiles cross-checked against the exact sorted reads on
+//! the same report, asserted under the sink's documented ε-rank budget
+//! (`StreamingQuantiles::RELATIVE_ERROR`). The `hawk-live` row runs the
+//! 5k cell with 60 s live windows and surfaces the windowed serving
+//! metrics; live sampling adds events, so that row has no frozen floor.
+//!
 //! Usage: `perf_baseline [--smoke] [--jobs N] [--seed S] [--out PATH]`
 
 use std::fmt::Write as _;
@@ -48,10 +55,11 @@ use std::time::Instant;
 
 use hawk_core::scheduler::{Hawk, Scheduler, Sparrow};
 use hawk_core::{Experiment, FatTreeParams, MetricsReport, TopologySpec};
+use hawk_simcore::stats::StreamingQuantiles;
 use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::google::{GoogleTraceConfig, GOOGLE_SHORT_PARTITION};
 use hawk_workload::scenario::{DynamicsScript, SpeedSpec};
-use hawk_workload::Trace;
+use hawk_workload::{JobClass, Trace};
 
 /// Default job count for the timed cells.
 const DEFAULT_JOBS: usize = 30_000;
@@ -241,6 +249,44 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Cross-checks the bounded-memory streaming percentiles against the
+/// exact sorted-runtime reads on one cell's report, returning the
+/// maximum relative error across both classes at p50/p90/p99.
+///
+/// Every bench cell runs admission-free, so the exact and streaming
+/// populations are identical and the sink's documented ε-rank bound
+/// ([`StreamingQuantiles::RELATIVE_ERROR`]) must hold — a violation
+/// aborts the bench the way a broken digest fails the golden tests.
+/// Sharded cells read merged shard-local sinks, so the column also
+/// guards merge transparency at scale.
+fn streaming_max_rel_err(name: &str, report: &MetricsReport) -> f64 {
+    let mut max_rel = 0.0f64;
+    for (class, summary) in [
+        (JobClass::Short, &report.streaming.short),
+        (JobClass::Long, &report.streaming.long),
+    ] {
+        for (p, streamed) in [
+            (50.0, summary.p50),
+            (90.0, summary.p90),
+            (99.0, summary.p99),
+        ] {
+            let exact = report.runtime_percentile(class, p);
+            let (Some(exact), Some(streamed)) = (exact, streamed) else {
+                continue;
+            };
+            let rel = (streamed - exact).abs() / exact.abs().max(1e-12);
+            assert!(
+                rel <= StreamingQuantiles::RELATIVE_ERROR + 1e-9,
+                "{name}: streaming {class:?} p{p} = {streamed:.6}s drifted \
+                 {rel:.2e} from the exact {exact:.6}s (budget {:.2e})",
+                StreamingQuantiles::RELATIVE_ERROR
+            );
+            max_rel = max_rel.max(rel);
+        }
+    }
+    max_rel
+}
+
 /// One timed cell result.
 struct CellTiming {
     scheduler: String,
@@ -260,6 +306,10 @@ struct CellTiming {
     /// Fraction of steal transfers that stayed rack-local, where the
     /// topology classifies racks and any transfer happened.
     rack_local_steal_rate: Option<f64>,
+    /// Max relative error of the streaming percentiles against the exact
+    /// sorted reads (see [`streaming_max_rel_err`]); asserted under the
+    /// sink's documented budget before the row is recorded.
+    streaming_max_rel_err: f64,
 }
 
 /// Times one cell `repeats` times and keeps the fastest run (standard
@@ -330,6 +380,7 @@ fn sharded_cell(
     report: MetricsReport,
 ) -> CellTiming {
     let events_per_sec = report.events as f64 / wall_s.max(1e-9);
+    let streaming_drift = streaming_max_rel_err(name, &report);
     let stats = report
         .sharded
         .expect("sharded cell must report epoch stats");
@@ -361,6 +412,7 @@ fn sharded_cell(
         vs_floor: None,
         sharded: Some(stats),
         rack_local_steal_rate: rack_rate,
+        streaming_max_rel_err: streaming_drift,
     }
 }
 
@@ -376,7 +428,8 @@ fn main() {
          cells {NODE_CELLS:?} x {{hawk, sparrow}} + hawk-churn x {CHURN_NODES} \
          + hawk-fat-tree x {FAT_TREE_NODES} \
          + hawk-sharded ({SHARDED_SHARDS} shards, workers {SHARDED_WORKER_CELLS:?}) \
-         x {SHARDED_NODE_CELLS:?} + hawk-sharded-rack x {SHARDED_RACK_NODES}",
+         x {SHARDED_NODE_CELLS:?} + hawk-sharded-rack x {SHARDED_RACK_NODES} \
+         + hawk-live x {CHURN_NODES}",
         opts.seed, opts.repeats
     );
 
@@ -392,13 +445,15 @@ fn main() {
             let name = scheduler.name();
             let (wall_s, report) = time_cell(&trace, scheduler, nodes, opts.repeats);
             let events_per_sec = report.events as f64 / wall_s.max(1e-9);
+            let streaming_drift = streaming_max_rel_err(&name, &report);
             let speedup = if comparable {
                 pre_rework_wall_s(&name, nodes).map(|before| before / wall_s.max(1e-9))
             } else {
                 None
             };
             eprintln!(
-                "  {name:>8} x {nodes:>6} nodes: {wall_s:8.3} s  ({:.2e} events/s{})",
+                "  {name:>8} x {nodes:>6} nodes: {wall_s:8.3} s  ({:.2e} events/s, \
+                 streaming drift {streaming_drift:.1e}{})",
                 events_per_sec,
                 speedup
                     .map(|s| format!(", {s:.2}x vs pre-rework"))
@@ -419,6 +474,7 @@ fn main() {
                 vs_floor: None,
                 sharded: None,
                 rack_local_steal_rate: None,
+                streaming_max_rel_err: streaming_drift,
             });
         }
     }
@@ -441,6 +497,7 @@ fn main() {
             None,
         );
         let events_per_sec = report.events as f64 / wall_s.max(1e-9);
+        let streaming_drift = streaming_max_rel_err("hawk-churn", &report);
         eprintln!(
             "  hawk-churn x {CHURN_NODES:>6} nodes: {wall_s:8.3} s  \
              ({events_per_sec:.2e} events/s, {} migrations, {} abandons)",
@@ -461,6 +518,7 @@ fn main() {
             vs_floor: None,
             sharded: None,
             rack_local_steal_rate: None,
+            streaming_max_rel_err: streaming_drift,
         });
     }
 
@@ -483,6 +541,7 @@ fn main() {
             Some(TopologySpec::FatTreeContended(FatTreeParams::default())),
         );
         let events_per_sec = report.events as f64 / wall_s.max(1e-9);
+        let streaming_drift = streaming_max_rel_err("hawk-fat-tree", &report);
         eprintln!(
             "  hawk-fat-tree x {FAT_TREE_NODES:>6} nodes: {wall_s:8.3} s  \
              ({events_per_sec:.2e} events/s, {} msgs classified)",
@@ -503,6 +562,7 @@ fn main() {
             vs_floor: None,
             sharded: None,
             rack_local_steal_rate: None,
+            streaming_max_rel_err: streaming_drift,
         });
     }
 
@@ -567,6 +627,65 @@ fn main() {
         }
     }
 
+    // The serving-mode cell: the 5k Hawk workload with 60 s live windows,
+    // surfacing the windowed metrics (arrival rate, backlog, occupancy,
+    // per-window streaming percentiles) next to the timings. Live
+    // sampling adds periodic events, so the row carries no frozen floor —
+    // it is reported and cross-checked, never floor-compared against the
+    // classic cells.
+    {
+        let trace = Arc::new(trace_for(CHURN_NODES, jobs, opts.seed));
+        let cell = Experiment::builder()
+            .trace(&trace)
+            .scheduler_shared(Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)) as Arc<dyn Scheduler>)
+            .nodes(CHURN_NODES)
+            .live_window(SimDuration::from_secs(60))
+            .build();
+        let mut best: Option<(f64, MetricsReport)> = None;
+        for _ in 0..opts.repeats {
+            let start = Instant::now();
+            let report = cell.run_with_workers(1);
+            let wall = start.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|(b, _)| wall < *b) {
+                best = Some((wall, report));
+            }
+        }
+        let (wall_s, report) = best.expect("repeats >= 1");
+        let events_per_sec = report.events as f64 / wall_s.max(1e-9);
+        let streaming_drift = streaming_max_rel_err("hawk-live", &report);
+        let live = report.live.as_ref().expect("live_window was set");
+        let last = live.windows.last().expect("the run closed no windows");
+        eprintln!(
+            "  hawk-live x {CHURN_NODES:>6} nodes: {wall_s:8.3} s  \
+             ({events_per_sec:.2e} events/s; last 60 s window: \
+             {:.1} arrivals/s, backlog {}, occupancy {:.2}, short p90 {})",
+            live.arrival_rate(last),
+            last.backlog,
+            last.occupancy,
+            last.short
+                .p90
+                .map(|p| format!("{p:.2}s"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+        cells.push(CellTiming {
+            scheduler: "hawk-live".to_string(),
+            nodes: CHURN_NODES,
+            jobs,
+            shards: 1,
+            workers: 1,
+            wall_s,
+            events: report.events,
+            events_per_sec,
+            steals: report.steals,
+            speedup_vs_pre_rework: None,
+            floor: None,
+            vs_floor: None,
+            sharded: None,
+            rack_local_steal_rate: None,
+            streaming_max_rel_err: streaming_drift,
+        });
+    }
+
     for c in &mut cells {
         c.floor = floor_events_per_sec(&c.scheduler, c.nodes, c.workers);
         c.vs_floor = c.floor.map(|f| c.events_per_sec / f);
@@ -618,7 +737,7 @@ fn render_json(opts: &Opts, jobs: usize, comparable: bool, cells: &[CellTiming])
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"benchmark\": \"perf_baseline\",\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     let _ = writeln!(out, "  \"smoke\": {},", opts.smoke);
     let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(out, "  \"seed\": {},", opts.seed);
@@ -674,6 +793,11 @@ fn render_json(opts: &Opts, jobs: usize, comparable: bool, cells: &[CellTiming])
             c.vs_floor
                 .map(|r| format!("{r:.3}"))
                 .unwrap_or_else(|| "null".to_string()),
+        );
+        let _ = write!(
+            out,
+            ", \"streaming_max_rel_err\": {:.3e}",
+            c.streaming_max_rel_err
         );
         if let Some(stats) = &c.sharded {
             let _ = write!(

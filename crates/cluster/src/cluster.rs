@@ -156,6 +156,15 @@ impl Cluster {
         }
     }
 
+    /// Pre-warms the shared queue arena to hold `nodes` entries, so runs
+    /// whose queue population only grows (sustained overload) never
+    /// double the slab mid-loop. Steady-state zero-allocation guarantees
+    /// rely on this: warm-up can bound recycled state but not a
+    /// monotonically growing arena.
+    pub fn reserve_queue_nodes(&mut self, nodes: usize) {
+        self.queues.reserve_nodes(nodes);
+    }
+
     /// Creates a cluster with per-server execution-speed factors
     /// (`speeds[i]` is server `i`'s factor; see [`Server::speed`]).
     ///

@@ -6,6 +6,7 @@
 //! switches), Sparrow, fully centralized, split cluster — into the routing
 //! policy the driver executes.
 
+use crate::admission::AdmissionPolicy;
 use hawk_cluster::{NetworkModel, StealGranularity};
 use hawk_net::TopologySpec;
 use hawk_simcore::SimDuration;
@@ -298,6 +299,18 @@ pub struct SimConfig {
     ///
     /// [`Driver`]: crate::Driver
     pub shards: usize,
+    /// Serving-mode admission control. `None` (the default) disables the
+    /// seam entirely — no plan is computed, no arrival is deferred or
+    /// shed, and runs are byte-identical to every pinned golden digest.
+    /// `Some` applies the precomputed
+    /// [`AdmissionPlan`](crate::AdmissionPlan) in every backend.
+    pub admission: Option<AdmissionPolicy>,
+    /// Live-metrics window length. `None` (the default) disables windowed
+    /// sampling — no extra events, no recorder — keeping runs
+    /// byte-identical to the classic digests; `Some(W)` fills
+    /// [`MetricsReport::live`](crate::MetricsReport) with the last
+    /// [`LIVE_RING`](crate::LIVE_RING) closed `W`-long windows.
+    pub live_window: Option<SimDuration>,
 }
 
 impl Default for SimConfig {
@@ -314,6 +327,8 @@ impl Default for SimConfig {
             speeds: SpeedSpec::Uniform,
             seed: DEFAULT_SEED,
             shards: 1,
+            admission: None,
+            live_window: None,
         }
     }
 }
@@ -371,6 +386,8 @@ impl ExperimentConfig {
             speeds: SpeedSpec::Uniform,
             seed: self.seed,
             shards: 1,
+            admission: None,
+            live_window: None,
         }
     }
 }

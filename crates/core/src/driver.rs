@@ -26,14 +26,17 @@ use std::sync::Arc;
 
 use hawk_cluster::{Cluster, QueueEntry, ServerAction, ServerId, TaskSpec, UtilizationTracker};
 use hawk_net::{Endpoint, Topology};
+use hawk_simcore::stats::StreamingQuantiles;
 use hawk_simcore::{BatchHandle, BatchPool, Engine, SimRng, SimTime};
 use hawk_workload::classify::JobEstimates;
 use hawk_workload::scenario::NodeChange;
 use hawk_workload::{JobClass, JobId, Trace};
 
+use crate::admission::{AdmissionDecision, AdmissionPlan};
 use crate::centralized::CentralScheduler;
 use crate::config::{ExperimentConfig, Route, Scope, SimConfig};
-use crate::metrics::{JobResult, MetricsReport};
+use crate::live::LiveRecorder;
+use crate::metrics::{JobResult, MetricsReport, StreamingStats, StreamingSummary};
 use crate::scheduler::{PlacementView, Scheduler, StealSpec};
 
 /// A simulation event.
@@ -109,6 +112,10 @@ pub enum Event {
     NodeUp(ServerId),
     /// Periodic utilization snapshot.
     UtilSample,
+    /// Periodic live-metrics window close (only scheduled when
+    /// [`SimConfig::live_window`] is set, so classic runs see no new
+    /// events).
+    LiveSample,
 }
 
 /// Per-job dynamic state (the job's "distributed scheduler" plus
@@ -184,6 +191,17 @@ pub struct Driver<'t> {
     /// Rack geometry for fabric-aware victim picking; `None` under
     /// placement-blind topologies.
     rack_geometry: Option<hawk_net::RackGeometry>,
+    /// Precomputed admission decisions; `None` admits everything (the
+    /// classic, digest-pinned behavior).
+    admission: Option<AdmissionPlan>,
+    /// Cumulative streaming runtime sinks by true class, always on: the
+    /// record path is allocation-free and draws no RNG, and the derived
+    /// report fields are digest-excluded.
+    short_sink: StreamingQuantiles,
+    long_sink: StreamingQuantiles,
+    /// Windowed live-metrics recorder, present only under
+    /// [`SimConfig::live_window`].
+    live: Option<LiveRecorder>,
 }
 
 impl<'t> Driver<'t> {
@@ -221,12 +239,20 @@ impl<'t> Driver<'t> {
             None => JobEstimates::exact(trace),
         };
 
-        let cluster = match sim.speeds.resolve(sim.nodes) {
+        let mut cluster = match sim.speeds.resolve(sim.nodes) {
             Some(speeds) => {
                 Cluster::with_speeds(sim.nodes, scheduler.short_partition_fraction(), &speeds)
             }
             None => Cluster::new(sim.nodes, scheduler.short_partition_fraction()),
         };
+        // Worst-case concurrent queue population: every task can occupy
+        // one entry (central placements, steal hand-offs, bound shorts)
+        // plus up to ceil(probe_ratio × tasks) outstanding probes per
+        // distributed job (ratio ≤ 2 for every built-in policy). Under
+        // sustained overload queues grow monotonically, so no warm-up
+        // bounds the arena's peak — reserve it up front to keep the
+        // steady-state loop allocation-free.
+        cluster.reserve_queue_nodes(trace.total_tasks() as usize * 3 + trace.len());
         let partition = cluster.partition();
 
         let long_route = scheduler.route(JobClass::Long);
@@ -255,7 +281,12 @@ impl<'t> Driver<'t> {
             CentralScheduler::new(len)
         });
 
-        let mut engine = Engine::with_capacity(trace.len() * 2);
+        // The +64 covers the driver's own periodic events (utilization
+        // snapshot, live-metrics close, deferred re-arrivals in flight):
+        // without the slack, enabling the live window pushes the pending
+        // population exactly one past the arena reserve and the wheel
+        // grows mid-run — breaking the zero-alloc steady-state guarantee.
+        let mut engine = Engine::with_capacity(trace.len() * 2 + 64);
         for job in trace.jobs() {
             engine.schedule_at(job.submission, Event::JobArrival(job.id));
         }
@@ -276,6 +307,12 @@ impl<'t> Driver<'t> {
         }
         let util = UtilizationTracker::new(sim.util_interval);
         engine.schedule(sim.util_interval, Event::UtilSample);
+        if let Some(window) = sim.live_window {
+            engine.schedule(window, Event::LiveSample);
+        }
+        let admission = sim.admission.map(|policy| {
+            AdmissionPlan::compute(trace, sim.nodes, sim.cutoff, &sim.dynamics, policy)
+        });
 
         let jobs = trace
             .jobs()
@@ -331,6 +368,10 @@ impl<'t> Driver<'t> {
             central_ready: SimTime::ZERO,
             topology: sim.topology_spec().build(sim.nodes),
             rack_geometry: sim.topology_spec().rack_geometry(),
+            admission,
+            short_sink: StreamingQuantiles::new(),
+            long_sink: StreamingQuantiles::new(),
+            live: sim.live_window.map(LiveRecorder::new),
         }
     }
 
@@ -512,10 +553,66 @@ impl<'t> Driver<'t> {
                 self.engine
                     .schedule(self.sim.util_interval, Event::UtilSample);
             }
+            Event::LiveSample => {
+                let occupancy = self.cluster.utilization();
+                let window = self
+                    .sim
+                    .live_window
+                    .expect("LiveSample implies a live window");
+                let live = self.live.as_mut().expect("LiveSample implies a recorder");
+                live.close_up_to(
+                    self.engine.now(),
+                    occupancy,
+                    self.steals,
+                    self.steal_attempts,
+                );
+                self.engine.schedule(window, Event::LiveSample);
+            }
         }
     }
 
     fn on_job_arrival(&mut self, job: JobId) {
+        if let Some(plan) = &self.admission {
+            let now = self.engine.now();
+            match plan.decision(job) {
+                AdmissionDecision::Admit => {
+                    if let Some(live) = &mut self.live {
+                        live.on_arrival();
+                    }
+                }
+                AdmissionDecision::Defer { until } if now < until => {
+                    // First firing: count the offer once, replay the
+                    // arrival at its admitted window. The job's estimates
+                    // were drawn at construction, so postponing perturbs
+                    // no RNG stream.
+                    if let Some(live) = &mut self.live {
+                        live.on_arrival();
+                        live.on_deferral();
+                    }
+                    self.engine.schedule_at(until, Event::JobArrival(job));
+                    return;
+                }
+                AdmissionDecision::Defer { .. } => {} // re-fired: admit now
+                AdmissionDecision::Shed => {
+                    if let Some(live) = &mut self.live {
+                        live.on_arrival();
+                        live.on_shed();
+                    }
+                    // The job completes instantly at submission with zero
+                    // runtime and never schedules. Shed jobs are excluded
+                    // from the streaming sinks (the exact summary still
+                    // carries their zero runtime).
+                    let class = self.estimates.class(job, self.sim.cutoff);
+                    let run = &mut self.jobs[job.index()];
+                    run.class = class;
+                    run.completion = Some(now);
+                    self.unfinished -= 1;
+                    return;
+                }
+            }
+        } else if let Some(live) = &mut self.live {
+            live.on_arrival();
+        }
         let spec = self.trace.job(job);
         let class = self.estimates.class(job, self.sim.cutoff);
         self.jobs[job.index()].class = class;
@@ -731,6 +828,16 @@ impl<'t> Driver<'t> {
         if run.remaining == 0 {
             run.completion = Some(now);
             self.unfinished -= 1;
+            let job = self.trace.job(spec.job);
+            let true_class = self.sim.cutoff.classify(job.mean_task_duration());
+            let micros = (now - job.submission).as_micros();
+            match true_class {
+                JobClass::Short => self.short_sink.record(micros),
+                JobClass::Long => self.long_sink.record(micros),
+            }
+            if let Some(live) = &mut self.live {
+                live.on_completion(true_class, micros);
+            }
         }
         self.on_action(server, action);
     }
@@ -879,6 +986,16 @@ impl<'t> Driver<'t> {
             abandons: self.abandons,
             network: self.topology.stats(),
             sharded: None,
+            streaming: StreamingStats {
+                short: StreamingSummary::from_sink(&self.short_sink),
+                long: StreamingSummary::from_sink(&self.long_sink),
+            },
+            live: self.live.as_ref().map(LiveRecorder::report),
+            admission: self
+                .admission
+                .as_ref()
+                .map(AdmissionPlan::stats)
+                .unwrap_or_default(),
         };
         (report, self.estimates)
     }

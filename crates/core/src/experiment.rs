@@ -291,6 +291,23 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Enables serving-mode admission control: arrivals are gated by the
+    /// precomputed [`AdmissionPlan`](crate::AdmissionPlan) (defer/shed
+    /// when offered work exceeds usable capacity). The `None` default
+    /// admits everything and stays byte-identical to the classic digests.
+    pub fn admission(mut self, policy: crate::AdmissionPolicy) -> Self {
+        self.sim.admission = Some(policy);
+        self
+    }
+
+    /// Enables windowed live metrics with the given window length; the
+    /// report's [`MetricsReport::live`](crate::MetricsReport) carries the
+    /// last [`LIVE_RING`](crate::LIVE_RING) closed windows.
+    pub fn live_window(mut self, window: SimDuration) -> Self {
+        self.sim.live_window = Some(window);
+        self
+    }
+
     /// The simulation parameters accumulated so far.
     pub fn sim(&self) -> &SimConfig {
         &self.sim

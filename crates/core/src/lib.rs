@@ -67,18 +67,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod backend;
 mod centralized;
 mod config;
 mod distributed;
 mod driver;
 mod experiment;
+pub mod live;
 pub mod metrics;
 pub mod scheduler;
 mod shard;
 mod steal_policy;
 mod sweep;
 
+pub use admission::{AdmissionDecision, AdmissionPlan, AdmissionPolicy};
 pub use backend::{Backend, SimBackend};
 pub use centralized::CentralScheduler;
 pub use config::{
@@ -87,7 +90,11 @@ pub use config::{
 pub use distributed::ProbePlanner;
 pub use driver::{Driver, Event};
 pub use experiment::{Experiment, ExperimentBuilder, IntoTrace};
-pub use metrics::{compare, ClassSummary, Comparison, JobResult, MetricsReport, ShardedStats};
+pub use live::{LiveMetrics, LiveWindow, WindowClassStats, LIVE_RING};
+pub use metrics::{
+    compare, AdmissionStats, ClassSummary, Comparison, JobResult, MetricsReport, ShardedStats,
+    StreamingStats, StreamingSummary,
+};
 // Convenience re-exports of the network-topology layer (the canonical home
 // is `hawk_net`): the selector every `SimConfig` carries plus the types a
 // topology-aware experiment touches.

@@ -7,8 +7,9 @@
 //! which Hawk is better than or equal to the baseline, and the average
 //! job runtime ratio.
 
+use crate::live::LiveMetrics;
 use hawk_net::NetworkStats;
-use hawk_simcore::stats::{mean, percentile, percentile_of_sorted};
+use hawk_simcore::stats::{mean, percentile, percentile_of_sorted, StreamingQuantiles};
 use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::{JobClass, JobId};
 use serde::{Deserialize, Serialize};
@@ -58,6 +59,92 @@ pub struct ShardedStats {
     pub avg_epoch_span_micros: u64,
 }
 
+/// Tail percentiles of one job class as estimated by the bounded-memory
+/// [`StreamingQuantiles`] sink, the serving-mode counterpart of the exact
+/// [`ClassSummary`]: each quantile is within
+/// [`StreamingQuantiles::RELATIVE_ERROR`] of the sort-based value, but
+/// computed without buffering per-job runtimes. Seconds, like
+/// `ClassSummary`. Excluded from the golden digests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct StreamingSummary {
+    /// Number of completed jobs the sink absorbed.
+    pub jobs: u64,
+    /// Streaming 50th percentile runtime, seconds.
+    pub p50: Option<f64>,
+    /// Streaming 90th percentile runtime, seconds.
+    pub p90: Option<f64>,
+    /// Streaming 99th percentile runtime, seconds.
+    pub p99: Option<f64>,
+}
+
+impl StreamingSummary {
+    /// Reads p50/p90/p99 out of a sink fed *microsecond* runtimes,
+    /// converting to seconds.
+    pub fn from_sink(sink: &StreamingQuantiles) -> StreamingSummary {
+        let secs = |p: f64| sink.quantile(p).map(|micros| micros / 1e6);
+        StreamingSummary {
+            jobs: sink.count(),
+            p50: secs(50.0),
+            p90: secs(90.0),
+            p99: secs(99.0),
+        }
+    }
+}
+
+/// Streaming runtime percentiles for both true classes, always collected
+/// (the sinks are fixed-size and allocation-free on the record path).
+/// Excluded from the golden digests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct StreamingStats {
+    /// Jobs truly short (exact-estimate classification).
+    pub short: StreamingSummary,
+    /// Jobs truly long.
+    pub long: StreamingSummary,
+}
+
+impl StreamingStats {
+    /// The summary for `class`.
+    pub fn class(&self, class: JobClass) -> StreamingSummary {
+        match class {
+            JobClass::Short => self.short,
+            JobClass::Long => self.long,
+        }
+    }
+}
+
+/// Admission-control outcome counters, derived once from the precomputed
+/// [`AdmissionPlan`](crate::AdmissionPlan) (so a job deferred across
+/// several gate windows still counts once). All-zero when no
+/// [`AdmissionPolicy`](crate::AdmissionPolicy) is configured. Unlike the
+/// proto fault counters, these *are* mapped across backends
+/// ([`ProtoReport::into_metrics`](../hawk_proto) keeps them), because the
+/// plan is a pure function of the trace and both backends must agree
+/// exactly. Excluded from the golden digests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct AdmissionStats {
+    /// Truly-short jobs shed (rejected outright, runtime recorded as 0).
+    pub sheds_short: u64,
+    /// Truly-long jobs shed.
+    pub sheds_long: u64,
+    /// Truly-short jobs admitted late (arrival postponed to a later gate
+    /// window).
+    pub deferrals_short: u64,
+    /// Truly-long jobs admitted late.
+    pub deferrals_long: u64,
+}
+
+impl AdmissionStats {
+    /// Total jobs shed across both classes.
+    pub fn sheds(&self) -> u64 {
+        self.sheds_short + self.sheds_long
+    }
+
+    /// Total jobs deferred (and eventually admitted) across both classes.
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals_short + self.deferrals_long
+    }
+}
+
 /// Everything measured in one experiment run.
 #[derive(Debug, Clone, Serialize)]
 pub struct MetricsReport {
@@ -96,6 +183,17 @@ pub struct MetricsReport {
     /// Epoch/merge counters when the run executed on the sharded driver;
     /// `None` single-stream. Not part of the golden digests.
     pub sharded: Option<ShardedStats>,
+    /// Streaming per-class runtime percentiles from the bounded-memory
+    /// sinks (always collected). Not part of the golden digests.
+    pub streaming: StreamingStats,
+    /// Windowed live metrics, `Some` only when
+    /// [`SimConfig::live_window`](crate::SimConfig) is set. Not part of
+    /// the golden digests.
+    pub live: Option<LiveMetrics>,
+    /// Admission-control shed/deferral counters; all-zero without an
+    /// [`AdmissionPolicy`](crate::AdmissionPolicy). Not part of the golden
+    /// digests.
+    pub admission: AdmissionStats,
 }
 
 impl MetricsReport {
@@ -267,6 +365,9 @@ mod tests {
             abandons: 0,
             network: NetworkStats::default(),
             sharded: None,
+            streaming: StreamingStats::default(),
+            live: None,
+            admission: AdmissionStats::default(),
         }
     }
 

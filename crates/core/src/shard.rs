@@ -136,14 +136,17 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use hawk_cluster::{Cluster, QueueEntry, ServerAction, ServerId, TaskSpec, UtilizationTracker};
 use hawk_net::{Endpoint, NetworkStats, RackGeometry, Topology, TopologySpec};
+use hawk_simcore::stats::StreamingQuantiles;
 use hawk_simcore::{BatchHandle, BatchPool, Engine, SimDuration, SimRng, SimTime};
 use hawk_workload::classify::{Cutoff, JobEstimates};
 use hawk_workload::scenario::NodeChange;
 use hawk_workload::{JobClass, JobId, Trace};
 
+use crate::admission::{AdmissionDecision, AdmissionPlan};
 use crate::centralized::CentralScheduler;
 use crate::config::{Route, Scope, SimConfig};
-use crate::metrics::{JobResult, MetricsReport, ShardedStats};
+use crate::live::LiveRecorder;
+use crate::metrics::{JobResult, MetricsReport, ShardedStats, StreamingStats, StreamingSummary};
 use crate::scheduler::{PlacementView, Scheduler, StealSpec};
 
 /// The number of simulation worker threads the process should use, the
@@ -455,6 +458,18 @@ struct Shard<'t> {
     /// Topology geometry for rack-first victim picking; `None` under
     /// placement-blind topologies.
     rack_geometry: Option<RackGeometry>,
+    /// Shared admission plan (computed once, applied at home-shard
+    /// arrivals); `None` runs byte-identically to the pre-admission
+    /// driver.
+    admission: Option<Arc<AdmissionPlan>>,
+    /// Streaming runtime sink for home jobs whose true class is short.
+    short_sink: StreamingQuantiles,
+    /// Streaming runtime sink for home jobs whose true class is long.
+    long_sink: StreamingQuantiles,
+    /// Per-shard live-metrics recorder, closed lazily alongside
+    /// utilization sampling (never an engine event — a self-rescheduling
+    /// sample would break the quiescence free-run).
+    live: Option<LiveRecorder>,
     unfinished_home: usize,
     steals: u64,
     steal_attempts: u64,
@@ -564,6 +579,18 @@ impl<'t> Shard<'t> {
             });
             self.next_sample += self.util_interval;
         }
+        // Live-metrics windows close on the same lazy schedule. The
+        // shadow cluster only ever runs owned tasks, so its utilization
+        // is this shard's *share* of the whole-cluster occupancy —
+        // [`LiveRecorder::merge`] sums the shares at report time.
+        if let Some(live) = &mut self.live {
+            live.close_up_to(
+                limit,
+                self.cluster.utilization(),
+                self.steals,
+                self.steal_attempts,
+            );
+        }
     }
 
     /// Processes every local event strictly below `horizon`, then
@@ -666,6 +693,46 @@ impl<'t> Shard<'t> {
     }
 
     fn on_job_arrival(&mut self, job: JobId) {
+        // Admission control, applied at the home shard (`Arrival` only
+        // ever fires there). The plan is a pure function of the
+        // experiment inputs, so no RNG stream advances on any path and
+        // admission-off runs are byte-identical to the classic digests.
+        if let Some(plan) = &self.admission {
+            match plan.decision(job) {
+                AdmissionDecision::Admit => {
+                    if let Some(live) = &mut self.live {
+                        live.on_arrival();
+                    }
+                }
+                AdmissionDecision::Defer { until } => {
+                    let now = self.engine.now();
+                    if now < until {
+                        // First firing: postpone locally. The re-fire at
+                        // `until` falls through without double-counting.
+                        if let Some(live) = &mut self.live {
+                            live.on_arrival();
+                            live.on_deferral();
+                        }
+                        self.engine.schedule_at(until, SEvent::Arrival(job));
+                        return;
+                    }
+                }
+                AdmissionDecision::Shed => {
+                    if let Some(live) = &mut self.live {
+                        live.on_arrival();
+                        live.on_shed();
+                    }
+                    let class = self.estimates.class(job, self.cutoff);
+                    let run = &mut self.jobs[job.index()];
+                    run.class = class;
+                    run.completion = Some(self.engine.now());
+                    self.unfinished_home -= 1;
+                    return;
+                }
+            }
+        } else if let Some(live) = &mut self.live {
+            live.on_arrival();
+        }
         let spec = self.trace.job(job);
         let class = self.estimates.class(job, self.cutoff);
         self.jobs[job.index()].class = class;
@@ -927,8 +994,21 @@ impl<'t> Shard<'t> {
         let run = &mut self.jobs[job.index()];
         run.remaining -= 1;
         if run.remaining == 0 {
-            run.completion = Some(self.engine.now());
+            let now = self.engine.now();
+            run.completion = Some(now);
             self.unfinished_home -= 1;
+            // Streaming runtime sinks, keyed by *true* class like the
+            // exact per-class summaries (digest-excluded, RNG-free).
+            let spec = self.trace.job(job);
+            let true_class = self.cutoff.classify(spec.mean_task_duration());
+            let micros = (now - spec.submission).as_micros();
+            match true_class {
+                JobClass::Short => self.short_sink.record(micros),
+                JobClass::Long => self.long_sink.record(micros),
+            }
+            if let Some(live) = &mut self.live {
+                live.on_completion(true_class, micros);
+            }
         }
     }
 
@@ -1169,6 +1249,9 @@ pub struct ShardedDriver<'t> {
     cutoff: Cutoff,
     util_interval: SimDuration,
     stats: ShardedStats,
+    /// Shared admission plan (also cloned into every shard); kept here
+    /// for the report-time outcome counters.
+    admission: Option<Arc<AdmissionPlan>>,
 }
 
 impl<'t> ShardedDriver<'t> {
@@ -1204,6 +1287,19 @@ impl<'t> ShardedDriver<'t> {
         let estimates = Arc::new(match sim.misestimate {
             Some(range) => JobEstimates::misestimated(trace, range, &mut estimate_rng),
             None => JobEstimates::exact(trace),
+        });
+
+        // One admission plan for the whole cell, shared by every shard:
+        // a pure function of the experiment inputs, so the shards agree
+        // on every decision without exchanging a single message.
+        let admission = sim.admission.map(|policy| {
+            Arc::new(AdmissionPlan::compute(
+                trace,
+                sim.nodes,
+                sim.cutoff,
+                &sim.dynamics,
+                policy,
+            ))
         });
 
         let speeds = sim.speeds.resolve(sim.nodes);
@@ -1331,6 +1427,10 @@ impl<'t> ShardedDriver<'t> {
                 util_interval: sim.util_interval,
                 next_sample: SimTime::ZERO + sim.util_interval,
                 rack_geometry,
+                admission: admission.clone(),
+                short_sink: StreamingQuantiles::new(),
+                long_sink: StreamingQuantiles::new(),
+                live: sim.live_window.map(LiveRecorder::new),
                 unfinished_home,
                 steals: 0,
                 steal_attempts: 0,
@@ -1363,6 +1463,7 @@ impl<'t> ShardedDriver<'t> {
             cutoff: sim.cutoff,
             util_interval: sim.util_interval,
             stats: ShardedStats::default(),
+            admission,
         }
     }
 
@@ -1508,6 +1609,19 @@ impl<'t> ShardedDriver<'t> {
             network.steal_transfers += stats.steal_transfers;
         }
 
+        // Merging the per-shard streaming sinks is exact: the merged
+        // histogram is bit-identical to one global sink fed the same
+        // runtimes, so the summary carries the same `1/128` guarantee.
+        let mut short_sink = StreamingQuantiles::new();
+        let mut long_sink = StreamingQuantiles::new();
+        for shard in &self.shards {
+            short_sink.merge(&shard.short_sink);
+            long_sink.merge(&shard.long_sink);
+        }
+        let recorders: Vec<&LiveRecorder> =
+            self.shards.iter().filter_map(|s| s.live.as_ref()).collect();
+        let live = (!recorders.is_empty()).then(|| LiveRecorder::merge(&recorders));
+
         MetricsReport {
             scheduler: self.scheduler.name(),
             nodes: self.nodes,
@@ -1523,6 +1637,16 @@ impl<'t> ShardedDriver<'t> {
             abandons: self.shards.iter().map(|s| s.abandons).sum(),
             network,
             sharded: Some(self.stats),
+            streaming: StreamingStats {
+                short: StreamingSummary::from_sink(&short_sink),
+                long: StreamingSummary::from_sink(&long_sink),
+            },
+            live,
+            admission: self
+                .admission
+                .as_ref()
+                .map(|plan| plan.stats())
+                .unwrap_or_default(),
         }
     }
 }

@@ -17,8 +17,8 @@ use crate::runtime::{run_prototype, ExecutionMode, ProtoConfig};
 /// Runs experiment cells on the prototype cluster.
 ///
 /// [`SimConfig`] maps onto the prototype as follows: `nodes` → worker
-/// daemons, `cutoff`/`seed`/`util_interval`/`dynamics`/`speeds` carry
-/// over directly, and the config's network topology
+/// daemons, `cutoff`/`seed`/`util_interval`/`dynamics`/`speeds`/
+/// `admission` carry over directly, and the config's network topology
 /// ([`SimConfig::topology_spec`] — the flat constant model unless
 /// `.topology(..)` selected a fat tree) becomes the virtual router's
 /// message-delay model (ignored in real-time mode, where messaging
@@ -131,6 +131,7 @@ impl ProtoBackend {
             dynamics: sim.dynamics.clone(),
             speeds: sim.speeds.clone(),
             faults: self.faults.clone(),
+            admission: sim.admission,
         }
     }
 }

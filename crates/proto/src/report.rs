@@ -11,7 +11,7 @@
 
 use std::time::Duration;
 
-use hawk_core::{ClassSummary, JobResult, MetricsReport};
+use hawk_core::{AdmissionStats, ClassSummary, JobResult, MetricsReport, StreamingStats};
 use hawk_net::NetworkStats;
 use hawk_simcore::stats::{mean, median, percentile_of_sorted};
 use hawk_simcore::SimTime;
@@ -75,6 +75,18 @@ pub struct ProtoReport {
     /// Tasks relaunched under a new attempt by the hardened job chains.
     /// Excluded from digests.
     pub relaunched: u64,
+    /// Streaming per-class runtime quantiles folded from the bounded
+    /// sinks both runtimes feed at job completion — the prototype's half
+    /// of the serving-mode conformance check. Shed jobs are excluded,
+    /// mirroring the simulator's sinks. Mapped into
+    /// [`MetricsReport::streaming`] by [`Self::into_metrics`].
+    pub streaming: StreamingStats,
+    /// Admission-control outcome counters from the shared
+    /// [`AdmissionPlan`](hawk_core::AdmissionPlan). Unlike the fault
+    /// counters these *are* mapped into [`MetricsReport::admission`]:
+    /// the plan is a pure function of the trace and config, so both
+    /// backends must report byte-identical counts per seed.
+    pub admission: AdmissionStats,
 }
 
 impl ProtoReport {
@@ -181,6 +193,9 @@ impl ProtoReport {
             abandons: self.abandons,
             network: self.network,
             sharded: None,
+            streaming: self.streaming,
+            live: None,
+            admission: self.admission,
         }
     }
 }
@@ -214,6 +229,8 @@ mod tests {
             retries: 0,
             timeouts_fired: 0,
             relaunched: 0,
+            streaming: StreamingStats::default(),
+            admission: AdmissionStats::default(),
         }
     }
 
@@ -250,6 +267,8 @@ mod tests {
             retries: 0,
             timeouts_fired: 0,
             relaunched: 0,
+            streaming: StreamingStats::default(),
+            admission: AdmissionStats::default(),
         };
         assert_eq!(report.runtime_percentile(JobClass::Short, 50.0), None);
         assert_eq!(report.median_utilization(), None);
@@ -298,6 +317,9 @@ mod tests {
             abandons: 0,
             network: NetworkStats::default(),
             sharded: None,
+            streaming: StreamingStats::default(),
+            live: None,
+            admission: AdmissionStats::default(),
         };
         for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
             assert_eq!(
@@ -316,7 +338,13 @@ mod tests {
     fn into_metrics_preserves_runtimes_and_counters() {
         let mut r0 = result(0, JobClass::Short, 100);
         r0.submit_offset = Duration::from_millis(50);
-        let proto = report(vec![r0, result(1, JobClass::Long, 2_000)]);
+        let mut proto = report(vec![r0, result(1, JobClass::Long, 2_000)]);
+        proto.admission = AdmissionStats {
+            sheds_short: 0,
+            sheds_long: 2,
+            deferrals_short: 0,
+            deferrals_long: 5,
+        };
         let m = proto.clone().into_metrics("hawk".into(), 8);
         assert_eq!(m.scheduler, "hawk");
         assert_eq!(m.nodes, 8);
@@ -327,6 +355,11 @@ mod tests {
         assert_eq!(m.steals, 3);
         assert_eq!(m.steal_attempts, 7);
         assert_eq!(m.events, 100);
+        // Admission counters map through — unlike the fault counters,
+        // which digests deliberately never see.
+        assert_eq!(m.admission, proto.admission);
+        assert_eq!(m.admission.sheds(), 2);
+        assert_eq!(m.admission.deferrals(), 5);
         // The percentile read through MetricsReport equals the proto one.
         assert_eq!(
             m.runtime_percentile(JobClass::Short, 90.0),

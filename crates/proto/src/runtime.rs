@@ -38,8 +38,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use hawk_cluster::{NetworkModel, Partition};
-use hawk_core::{Route, Scheduler, Scope};
+use hawk_core::{
+    AdmissionDecision, AdmissionPlan, AdmissionPolicy, Route, Scheduler, Scope, StreamingStats,
+    StreamingSummary,
+};
 use hawk_net::{NetworkStats, TopologySpec};
+use hawk_simcore::stats::StreamingQuantiles;
 use hawk_simcore::{SimDuration, SimRng, SimTime};
 use hawk_workload::classify::Cutoff;
 use hawk_workload::scenario::{DynamicsScript, NodeChange, SpeedSpec};
@@ -122,6 +126,12 @@ pub struct ProtoConfig {
     /// also enable timeouts ([`FaultSpec::hardened`]) or liveness cannot
     /// be guaranteed.
     pub faults: FaultSpec,
+    /// Overload admission control. `None` — the default — admits every
+    /// job and is byte-identical to a config without the field. `Some`
+    /// derives the same [`AdmissionPlan`] the simulator computes (a pure
+    /// function of trace, workers, cutoff and dynamics), so shed and
+    /// deferral counts agree exactly across backends per seed.
+    pub admission: Option<AdmissionPolicy>,
 }
 
 impl Default for ProtoConfig {
@@ -137,6 +147,7 @@ impl Default for ProtoConfig {
             dynamics: DynamicsScript::none(),
             speeds: SpeedSpec::Uniform,
             faults: FaultSpec::none(),
+            admission: None,
         }
     }
 }
@@ -190,6 +201,35 @@ pub(crate) fn fold_stats(
         folded.relaunched += stats.relaunched;
     }
     folded
+}
+
+/// Folds the per-job runtimes into the bounded streaming sinks, per true
+/// class (the prototype's exact estimates make scheduled == true class).
+/// Shed jobs never ran, so — like the simulator's sinks — they are
+/// excluded; admitted and deferred jobs record completion − submission,
+/// deferral wait included.
+pub(crate) fn fold_streaming(
+    jobs: &[ProtoJobResult],
+    plan: Option<&AdmissionPlan>,
+) -> StreamingStats {
+    let mut short = StreamingQuantiles::new();
+    let mut long = StreamingQuantiles::new();
+    for j in jobs {
+        if let Some(plan) = plan {
+            if plan.decision(j.job) == AdmissionDecision::Shed {
+                continue;
+            }
+        }
+        let micros = j.runtime.as_micros() as u64;
+        match j.class {
+            JobClass::Short => short.record(micros),
+            JobClass::Long => long.record(micros),
+        }
+    }
+    StreamingStats {
+        short: StreamingSummary::from_sink(&short),
+        long: StreamingSummary::from_sink(&long),
+    }
 }
 
 /// One item of the merged feed timeline (submissions × dynamics).
@@ -407,11 +447,16 @@ pub fn run_prototype(
         "a lossy FaultSpec can strand work forever; enable timeouts (FaultSpec::hardened)"
     );
     let setup = build_cluster(trace, &scheduler, cfg);
+    // One plan for both runtimes, computed exactly as the simulation
+    // drivers compute it — same pure inputs, same decisions per job.
+    let plan = cfg.admission.map(|policy| {
+        AdmissionPlan::compute(trace, cfg.workers, cfg.cutoff, &cfg.dynamics, policy)
+    });
     match cfg.mode {
         ExecutionMode::Virtual { topology } => {
-            run_virtual(trace, setup, cfg, topology.build(cfg.workers))
+            run_virtual(trace, setup, cfg, topology.build(cfg.workers), plan)
         }
-        ExecutionMode::RealTime => run_threaded(trace, setup, cfg),
+        ExecutionMode::RealTime => run_threaded(trace, setup, cfg, plan),
     }
 }
 
@@ -536,7 +581,12 @@ fn sched_thread<M>(
     }
 }
 
-fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoReport {
+fn run_threaded(
+    trace: &Trace,
+    setup: ClusterSetup,
+    cfg: &ProtoConfig,
+    plan: Option<AdmissionPlan>,
+) -> ProtoReport {
     let ClusterSetup {
         workers,
         dists,
@@ -609,17 +659,58 @@ fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoR
     // a dynamics script outlasting the workload must not keep the run
     // alive after every job has finished (remaining node events are
     // moot by then).
+    // The admission plan reshapes the feed: shed jobs are recorded as
+    // zero-runtime completions at their submission offset and never reach
+    // a scheduler daemon; deferred jobs are fed at the plan's retry
+    // window but keep their original submission instant, so the reported
+    // runtime includes the deferral wait (matching the simulator).
+    let timeline = match &plan {
+        None => feed_timeline(trace, &cfg.dynamics),
+        Some(plan) => {
+            let mut timeline: Vec<(SimTime, FeedItem)> = Vec::new();
+            for job in trace.jobs() {
+                match plan.decision(job.id) {
+                    AdmissionDecision::Admit => {
+                        timeline.push((job.submission, FeedItem::Submit(job.id.0)));
+                    }
+                    AdmissionDecision::Defer { until } => {
+                        timeline.push((until, FeedItem::Submit(job.id.0)));
+                    }
+                    AdmissionDecision::Shed => {}
+                }
+            }
+            timeline.extend(
+                cfg.dynamics
+                    .events()
+                    .iter()
+                    .map(|ev| (ev.at, FeedItem::Node(ev.change))),
+            );
+            timeline.sort_by_key(|&(at, _)| at);
+            timeline
+        }
+    };
+
     let start = Instant::now();
     let mut submit_instants = vec![start; trace.len()];
     let mut completions = vec![None; trace.len()];
     let mut received = 0usize;
+    if let Some(plan) = &plan {
+        for job in trace.jobs() {
+            if plan.decision(job.id) == AdmissionDecision::Shed {
+                let at = start + Duration::from_micros(job.submission.as_micros());
+                submit_instants[job.id.index()] = at;
+                completions[job.id.index()] = Some(at);
+                received += 1;
+            }
+        }
+    }
     let drain_done = |completions: &mut Vec<Option<Instant>>, received: &mut usize| {
         while let Ok((job, at)) = done_rx.try_recv() {
             completions[job.index()] = Some(at);
             *received += 1;
         }
     };
-    'feed: for (at, item) in feed_timeline(trace, &cfg.dynamics) {
+    'feed: for (at, item) in timeline {
         let target = start + Duration::from_micros(at.as_micros());
         // Sleep in bounded slices, polling completions between them, so
         // long quiet spans in the timeline notice an early drain.
@@ -636,7 +727,17 @@ fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoR
         }
         match item {
             FeedItem::Submit(index) => {
-                submit_instants[index as usize] = Instant::now();
+                let deferred = plan.as_ref().is_some_and(|p| {
+                    matches!(p.decision(JobId(index)), AdmissionDecision::Defer { .. })
+                });
+                submit_instants[index as usize] = if deferred {
+                    // Measure from the original submission, not the
+                    // deferred feed: the deferral wait is part of the
+                    // job's observed latency.
+                    start + Duration::from_micros(trace.job(JobId(index)).submission.as_micros())
+                } else {
+                    Instant::now()
+                };
                 match submission_for(trace, index, &classes, &central_route, cfg.dist_schedulers) {
                     Submission::Central(msg) => {
                         let central = topo.central.as_ref().expect("central route spawned daemon");
@@ -721,7 +822,7 @@ fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoR
     let totals = fold_stats(worker_stats, sched_stats);
     let _ = sampler.join();
 
-    let jobs = trace
+    let jobs: Vec<ProtoJobResult> = trace
         .jobs()
         .iter()
         .map(|job| {
@@ -737,6 +838,7 @@ fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoR
         })
         .collect();
     let utilization_samples = samples.lock().expect("sampler lock").clone();
+    let streaming = fold_streaming(&jobs, plan.as_ref());
     ProtoReport {
         jobs,
         utilization_samples,
@@ -755,6 +857,8 @@ fn run_threaded(trace: &Trace, setup: ClusterSetup, cfg: &ProtoConfig) -> ProtoR
         retries: totals.retries,
         timeouts_fired: totals.timeouts_fired,
         relaunched: totals.relaunched,
+        streaming,
+        admission: plan.as_ref().map(|p| p.stats()).unwrap_or_default(),
     }
 }
 
@@ -1211,6 +1315,58 @@ mod tests {
             ..fast_cfg(ExecutionMode::RealTime)
         };
         let _ = run_prototype(&trace, hawk(), &cfg);
+    }
+
+    #[test]
+    fn admission_sheds_overload_in_both_modes() {
+        // One worker, a 10 ms gate window with no headroom to spare: a
+        // burst of 200 ms long jobs at t=0 blows the per-window budget
+        // (10 ms of node-seconds), so most of the burst defers and then
+        // sheds, while the short job rides the protected lane. Shed and
+        // deferral counts come from the shared pure plan, so both modes
+        // must agree exactly; shed jobs must report zero runtime.
+        let trace = fast_trace(vec![
+            (0, vec![200]),
+            (0, vec![200]),
+            (0, vec![200]),
+            (0, vec![200]),
+            (1, vec![2]), // short: protected, always admitted
+        ]);
+        let policy = AdmissionPolicy {
+            window: SimDuration::from_millis(10),
+            headroom: 1.0,
+            max_defer_windows: 2,
+            protect_short: true,
+        };
+        let mut reports = Vec::new();
+        for mode in [virtual_mode(), ExecutionMode::RealTime] {
+            let cfg = ProtoConfig {
+                workers: 1,
+                dist_schedulers: 1,
+                admission: Some(policy),
+                ..fast_cfg(mode)
+            };
+            let report = run_prototype(&trace, hawk(), &cfg);
+            assert_eq!(report.jobs.len(), 5, "{mode:?}");
+            assert!(report.admission.sheds() > 0, "{mode:?}");
+            assert_eq!(report.admission.sheds_short, 0, "{mode:?}");
+            reports.push(report);
+        }
+        // Exact cross-mode counter parity: the plan is mode-independent.
+        assert_eq!(reports[0].admission, reports[1].admission);
+        // A shed long job reports zero runtime and is excluded from the
+        // streaming sinks; admitted jobs still land there.
+        let shed_longs = reports[0]
+            .jobs
+            .iter()
+            .filter(|j| j.class == JobClass::Long && j.runtime == Duration::ZERO)
+            .count() as u64;
+        assert_eq!(shed_longs, reports[0].admission.sheds_long);
+        assert_eq!(
+            reports[0].streaming.long.jobs + reports[0].admission.sheds_long,
+            4
+        );
+        assert_eq!(reports[0].streaming.short.jobs, 1);
     }
 
     #[test]

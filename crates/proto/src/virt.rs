@@ -34,10 +34,14 @@ use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::scenario::NodeChange;
 use hawk_workload::{JobId, Trace};
 
+use hawk_core::{AdmissionDecision, AdmissionPlan};
+
 use crate::fault::FaultLanes;
 use crate::msg::{CentralMsg, DistMsg, Net, WorkerMsg};
 use crate::report::{ProtoJobResult, ProtoReport};
-use crate::runtime::{fold_stats, submission_for, ClusterSetup, ProtoConfig, Submission};
+use crate::runtime::{
+    fold_stats, fold_streaming, submission_for, ClusterSetup, ProtoConfig, Submission,
+};
 
 /// A routed delivery. `Clone` exists solely for the duplicate fault.
 #[derive(Debug, Clone)]
@@ -227,6 +231,7 @@ pub(crate) fn run_virtual(
     mut setup: ClusterSetup,
     cfg: &ProtoConfig,
     topology: Box<dyn Topology>,
+    plan: Option<AdmissionPlan>,
 ) -> ProtoReport {
     let mut net = VirtualNet {
         queue: BinaryHeap::with_capacity(trace.len() * 4),
@@ -244,9 +249,24 @@ pub(crate) fn run_virtual(
         faults: FaultLanes::new(cfg.faults.clone(), cfg.seed, cfg.workers),
     };
 
-    // Seed the timeline: submissions, scripted dynamics, sampling.
+    // Seed the timeline: submissions, scripted dynamics, sampling. The
+    // admission plan applies here, before any message exists: shed jobs
+    // become zero-runtime completions at their submission time and never
+    // enter the router; deferred jobs are seeded at the plan's retry
+    // window but keep their trace submission as the latency origin.
     for job in trace.jobs() {
-        net.push_at(job.submission, Dest::Submit(job.id.0));
+        match plan.as_ref().map(|p| p.decision(job.id)) {
+            Some(AdmissionDecision::Shed) => {
+                net.completions[job.id.index()] = Some(job.submission);
+                net.completed += 1;
+            }
+            Some(AdmissionDecision::Defer { until }) => {
+                net.push_at(until, Dest::Submit(job.id.0));
+            }
+            Some(AdmissionDecision::Admit) | None => {
+                net.push_at(job.submission, Dest::Submit(job.id.0));
+            }
+        }
     }
     for ev in cfg.dynamics.events() {
         net.push_at(ev.at, Dest::Node(ev.change));
@@ -359,7 +379,7 @@ pub(crate) fn run_virtual(
             .chain(setup.central.as_ref().map(|c| c.stats)),
     );
 
-    let jobs = trace
+    let jobs: Vec<ProtoJobResult> = trace
         .jobs()
         .iter()
         .map(|job| {
@@ -374,6 +394,7 @@ pub(crate) fn run_virtual(
             }
         })
         .collect();
+    let streaming = fold_streaming(&jobs, plan.as_ref());
     ProtoReport {
         jobs,
         utilization_samples: samples,
@@ -388,5 +409,7 @@ pub(crate) fn run_virtual(
         retries: totals.retries,
         timeouts_fired: totals.timeouts_fired,
         relaunched: totals.relaunched,
+        streaming,
+        admission: plan.as_ref().map(|p| p.stats()).unwrap_or_default(),
     }
 }

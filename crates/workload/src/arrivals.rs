@@ -188,6 +188,70 @@ pub fn with_bursty_arrivals(
     crate::scenario::retime(trace, &mut process, rng)
 }
 
+/// A saturation ramp: Poisson arrivals whose rate steps past the
+/// cluster's capacity and back.
+///
+/// The stream is cut into thirds by job count: the first third arrives
+/// with mean gap `calm_mean` (calm), the middle third with mean gap
+/// `calm_mean / overload` (the overload plateau), and the final third
+/// calm again. With `overload` sized so the plateau's offered load
+/// exceeds usable capacity, the scenario drives a cell past 100 % and
+/// back — the admission-control stress test: a well-behaved serving mode
+/// sheds or defers the excess during the plateau (bounded backlog)
+/// instead of growing queues without bound, and recovers in the final
+/// third.
+#[derive(Debug, Clone)]
+pub struct SaturationArrivals {
+    calm_mean: SimDuration,
+    overload: f64,
+    total: usize,
+    drawn: usize,
+    now: SimTime,
+}
+
+impl SaturationArrivals {
+    /// Creates a saturation ramp over `total` jobs.
+    ///
+    /// * `calm_mean` — mean inter-arrival outside the plateau;
+    /// * `overload` — how much faster jobs arrive on the plateau (≥ 1;
+    ///   1.0 degenerates to plain Poisson);
+    /// * `total` — number of jobs the ramp is cut into thirds over.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero mean, an overload below 1, or zero jobs.
+    pub fn new(calm_mean: SimDuration, overload: f64, total: usize) -> Self {
+        assert!(!calm_mean.is_zero(), "calm mean must be positive");
+        assert!(overload >= 1.0, "overload factor must be >= 1");
+        assert!(total > 0, "saturation ramp needs at least one job");
+        SaturationArrivals {
+            calm_mean,
+            overload,
+            total,
+            drawn: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// True while the process is on the overload plateau (middle third).
+    pub fn in_overload(&self) -> bool {
+        let phase = self.drawn * 3 / self.total;
+        phase == 1
+    }
+
+    /// Draws the next arrival time.
+    pub fn next_arrival(&mut self, rng: &mut SimRng) -> SimTime {
+        let mean = if self.in_overload() {
+            self.calm_mean.as_secs_f64() / self.overload
+        } else {
+            self.calm_mean.as_secs_f64()
+        };
+        self.drawn += 1;
+        self.now += SimDuration::from_secs_f64(rng.exponential(mean));
+        self.now
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +367,39 @@ mod tests {
     #[should_panic(expected = "burst factor")]
     fn bursty_rejects_sub_one_factor() {
         BurstyArrivals::new(SimDuration::from_secs(10), 0.5, 10.0, 10.0);
+    }
+
+    #[test]
+    fn saturation_plateau_is_the_middle_third_and_much_faster() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let n = 9_000;
+        let mut p = SaturationArrivals::new(SimDuration::from_secs(30), 6.0, n);
+        let mut times = Vec::with_capacity(n);
+        for i in 0..n {
+            assert_eq!(p.in_overload(), (n / 3..2 * n / 3).contains(&i), "job {i}");
+            times.push(p.next_arrival(&mut rng));
+        }
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        let span = |range: std::ops::Range<usize>| {
+            (times[range.end - 1] - times[range.start]).as_secs_f64() / (range.len() - 1) as f64
+        };
+        let calm_gap = span(0..n / 3);
+        let plateau_gap = span(n / 3..2 * n / 3);
+        let recovery_gap = span(2 * n / 3..n);
+        assert!((calm_gap - 30.0).abs() < 3.0, "calm gap {calm_gap}");
+        assert!((plateau_gap - 5.0).abs() < 1.0, "plateau gap {plateau_gap}");
+        assert!(
+            (recovery_gap - 30.0).abs() < 3.0,
+            "recovery gap {recovery_gap}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overload factor")]
+    fn saturation_rejects_sub_one_overload() {
+        SaturationArrivals::new(SimDuration::from_secs(10), 0.9, 100);
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use hawk_simcore::{SimDuration, SimRng, SimTime};
 use serde::Serialize;
 
-use crate::arrivals::{with_bursty_arrivals, BurstyArrivals, PoissonArrivals};
+use crate::arrivals::{with_bursty_arrivals, BurstyArrivals, PoissonArrivals, SaturationArrivals};
 use crate::google::GoogleTraceConfig;
 use crate::job::Trace;
 use crate::kmeans::KmeansTraceConfig;
@@ -59,6 +59,12 @@ impl ArrivalProcess for PoissonArrivals {
 impl ArrivalProcess for BurstyArrivals {
     fn next_arrival(&mut self, rng: &mut SimRng) -> SimTime {
         BurstyArrivals::next_arrival(self, rng)
+    }
+}
+
+impl ArrivalProcess for SaturationArrivals {
+    fn next_arrival(&mut self, rng: &mut SimRng) -> SimTime {
+        SaturationArrivals::next_arrival(self, rng)
     }
 }
 
@@ -235,6 +241,17 @@ pub enum ArrivalSpec {
     Replay {
         /// Gap multiplier; must be positive.
         stretch: f64,
+    },
+    /// Rewrite submissions with a saturation ramp: Poisson arrivals whose
+    /// rate steps `overload`× past the calm rate for the middle third of
+    /// the jobs and back — drives a cell past 100 % usable capacity and
+    /// back, the admission-control stress test (see
+    /// [`SaturationArrivals`]).
+    Saturation {
+        /// Mean inter-arrival outside the overload plateau.
+        mean: SimDuration,
+        /// Plateau rate multiplier (≥ 1).
+        overload: f64,
     },
 }
 
@@ -546,6 +563,11 @@ impl ScenarioSpec {
                 let mut replay = TraceReplayArrivals::from_trace(&base).with_stretch(stretch);
                 retime(&base, &mut replay, &mut rng)
             }
+            ArrivalSpec::Saturation { mean, overload } => {
+                let mut rng = SimRng::seed_from_u64(seed ^ RETIME_SALT);
+                let mut ramp = SaturationArrivals::new(mean, overload, base.len());
+                retime(&base, &mut ramp, &mut rng)
+            }
         }
     }
 
@@ -559,6 +581,7 @@ impl ScenarioSpec {
             ArrivalSpec::Replay { stretch } => {
                 label.push_str(&format!("+replay{stretch}"));
             }
+            ArrivalSpec::Saturation { .. } => label.push_str("+saturation"),
         }
         if !self.dynamics.is_empty() {
             label.push_str("+churn");
@@ -665,6 +688,10 @@ mod tests {
                 mean_burst_run: 10.0,
             },
             ArrivalSpec::Replay { stretch: 0.5 },
+            ArrivalSpec::Saturation {
+                mean: SimDuration::from_secs(20),
+                overload: 4.0,
+            },
         ] {
             let spec = ScenarioSpec::new(TraceFamily::Facebook, 80).arrivals(arrivals);
             assert_eq!(spec.trace(11), spec.trace(11), "{arrivals:?}");
@@ -776,6 +803,12 @@ mod tests {
             .dynamics(DynamicsScript::none().down_at(SimTime::from_secs(1), 0));
         assert_eq!(spec.label(), "yahoo-2011+bursty+churn+hetero");
         assert_eq!(TraceSource::label(&spec), spec.label());
+        let saturated =
+            ScenarioSpec::new(TraceFamily::Yahoo, 10).arrivals(ArrivalSpec::Saturation {
+                mean: SimDuration::from_secs(20),
+                overload: 4.0,
+            });
+        assert_eq!(saturated.label(), "yahoo-2011+saturation");
     }
 
     #[test]

@@ -94,9 +94,6 @@ fn steady_state_window_with(
     speeds: SpeedSpec,
     topology: Option<TopologySpec>,
 ) {
-    // ~1,500 jobs ≈ 180k events: the window sits mid-run, with arrivals,
-    // completions and steals all still active.
-    let trace: Trace = GoogleTraceConfig::with_scale(10, 1_500).generate(0xA110C);
     let sim = SimConfig {
         nodes: 300,
         // Keep the periodic utilization snapshots out of the measured
@@ -107,6 +104,13 @@ fn steady_state_window_with(
         topology,
         ..SimConfig::default()
     };
+    steady_state_window_cfg(scheduler, name, sim);
+}
+
+fn steady_state_window_cfg(scheduler: Arc<dyn Scheduler>, name: &str, sim: SimConfig) {
+    // ~1,500 jobs ≈ 180k events: the window sits mid-run, with arrivals,
+    // completions and steals all still active.
+    let trace: Trace = GoogleTraceConfig::with_scale(10, 1_500).generate(0xA110C);
     let mut driver = Driver::with_scheduler(&trace, scheduler, &sim);
 
     let warmed = driver.step_events(WARMUP_EVENTS);
@@ -175,6 +179,33 @@ fn hawk_churn_steady_state_event_loop_allocates_nothing() {
         dynamics,
         speeds,
         None,
+    );
+}
+
+/// The serving-mode stack at full tilt: always-on streaming sinks fed at
+/// every job completion, 1 s windowed live sampling (thousands of window
+/// closes — histogram snapshot, reset and reuse — land inside the
+/// measured window), and the admission gate consulted on every arrival.
+/// All of it must run on state pre-allocated at construction.
+#[test]
+fn hawk_serving_mode_steady_state_allocates_nothing() {
+    use hawk::core::AdmissionPolicy;
+    let sim = SimConfig {
+        nodes: 300,
+        util_interval: SimDuration::from_secs(1_000_000),
+        live_window: Some(SimDuration::from_secs(1)),
+        // A budget that never binds: the gate (plan lookup + live
+        // counters) runs on every arrival without reshaping the run.
+        admission: Some(AdmissionPolicy {
+            headroom: 1e18,
+            ..AdmissionPolicy::default()
+        }),
+        ..SimConfig::default()
+    };
+    steady_state_window_cfg(
+        Arc::new(Hawk::new(GOOGLE_SHORT_PARTITION)),
+        "hawk-serving",
+        sim,
     );
 }
 

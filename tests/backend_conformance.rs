@@ -363,6 +363,86 @@ fn fault_axis_preserves_the_papers_claims() {
     }
 }
 
+/// The serving axis of the §4.4 cross-check: the pinned saturation
+/// scenario (bursty overload plateau) under admission control, run
+/// through both backends.
+///
+/// The admission plan is computed from pure pre-run inputs (trace,
+/// capacity, cutoff, dynamics, policy), so the two backends must agree
+/// on the shed/deferral counters **exactly**, not within a band — any
+/// divergence means one backend's gate drifted from the shared plan.
+/// The streaming percentiles over admitted jobs then get the usual
+/// quantitative conformance band.
+#[test]
+fn saturation_axis_sheds_exactly_and_streams_within_band() {
+    use hawk_workload::google::GOOGLE_SHORT_PARTITION;
+    use support::{saturation_policy, saturation_scenario, GOLDEN_JOBS, GOLDEN_NODES};
+
+    let trace = Arc::new(saturation_scenario().trace(TRACE_SEED));
+    let build = || {
+        Experiment::builder()
+            .nodes(GOLDEN_NODES)
+            .trace(&trace)
+            .seed(SIM_SEED)
+            .admission(saturation_policy())
+            .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+            .build()
+    };
+    let sim = build().run_on(&SimBackend);
+    let proto = build().run_on(&ProtoBackend::deterministic());
+
+    // Exact counter parity, and the cell genuinely overloaded: longs
+    // were both deferred and shed, shorts were never shed (protected).
+    assert_eq!(
+        sim.admission, proto.admission,
+        "backends disagree on admission counters"
+    );
+    assert!(sim.admission.sheds() > 0, "the saturation cell never shed");
+    assert!(
+        sim.admission.deferrals() > 0,
+        "the saturation cell never deferred"
+    );
+    assert_eq!(sim.admission.sheds_short, 0, "protected shorts were shed");
+
+    // Every job is accounted for in both reports; shed jobs appear as
+    // zero-runtime results (completion == submission) in equal numbers.
+    for (name, report) in [("sim", &sim), ("proto", &proto)] {
+        assert_eq!(report.results.len(), GOLDEN_JOBS, "{name} lost jobs");
+        let zero_runtime = report
+            .results
+            .iter()
+            .filter(|r| r.completion == r.submission)
+            .count() as u64;
+        assert_eq!(
+            zero_runtime,
+            report.admission.sheds(),
+            "{name}: shed bookkeeping does not match zero-runtime results"
+        );
+        let streamed = report.streaming.short.jobs + report.streaming.long.jobs;
+        assert_eq!(
+            streamed + report.admission.sheds(),
+            GOLDEN_JOBS as u64,
+            "{name}: streaming sinks saw the wrong admitted population"
+        );
+    }
+
+    // Streaming p90s over the admitted jobs track across backends within
+    // the standard conformance band.
+    for (class, s, pr) in [
+        ("short", sim.streaming.short.p90, proto.streaming.short.p90),
+        ("long", sim.streaming.long.p90, proto.streaming.long.p90),
+    ] {
+        let s = s.expect("sim streamed no jobs of class");
+        let pr = pr.expect("proto streamed no jobs of class");
+        let ratio = pr / s;
+        assert!(
+            (0.7..=1.3).contains(&ratio),
+            "{class} streaming p90: proto {pr:.2}s vs sim {s:.2}s \
+             (ratio {ratio:.3}) outside the conformance band"
+        );
+    }
+}
+
 #[test]
 fn virtual_prototype_is_byte_deterministic() {
     let trace = Arc::new(conformance_scenario().trace(TRACE_SEED));

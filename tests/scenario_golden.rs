@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use hawk_cluster::NetworkModel;
 use hawk_core::scheduler::{Centralized, Hawk, Scheduler, Sparrow, SplitCluster};
-use hawk_core::{Experiment, FatTreeParams, MetricsReport, TopologySpec};
+use hawk_core::{AdmissionPolicy, Experiment, FatTreeParams, MetricsReport, TopologySpec};
 use hawk_simcore::{SimDuration, SimTime};
 use hawk_workload::google::GOOGLE_SHORT_PARTITION;
 use hawk_workload::scenario::{DynamicsScript, ScenarioSpec, SpeedSpec};
@@ -29,9 +29,9 @@ use proptest::ProptestConfig;
 
 mod support;
 use support::{
-    churn_scenario, digest_report, golden_scenario, CENTRALIZED_DIGEST, CHURN_HETERO_HAWK_DIGEST,
-    FAT_TREE_HAWK_DIGEST, GOLDEN_NODES, HAWK_DIGEST, SIM_SEED, SPARROW_DIGEST,
-    SPLIT_CLUSTER_DIGEST, TRACE_SEED,
+    churn_scenario, digest_report, golden_scenario, saturation_policy, saturation_scenario,
+    CENTRALIZED_DIGEST, CHURN_HETERO_HAWK_DIGEST, FAT_TREE_HAWK_DIGEST, GOLDEN_NODES, HAWK_DIGEST,
+    SATURATION_ADMISSION_HAWK_DIGEST, SIM_SEED, SPARROW_DIGEST, SPLIT_CLUSTER_DIGEST, TRACE_SEED,
 };
 
 fn run_scenario(scenario: &ScenarioSpec, scheduler: Arc<dyn Scheduler>) -> MetricsReport {
@@ -151,6 +151,99 @@ proptest! {
     ) {
         assert_identity_cell(scheduler_index, speed_variant, topology_variant);
     }
+}
+
+/// The distinct spellings of "admission off": no policy at all, or a
+/// policy whose budget can never bind. Every spelling must be
+/// byte-identical to the classic pins — the admission seam (and the
+/// always-on streaming sinks riding the same report) is pure plumbing
+/// until a budget actually binds.
+fn identity_admission(variant: usize) -> Option<AdmissionPolicy> {
+    match variant {
+        0 => None,
+        1 => Some(AdmissionPolicy {
+            headroom: f64::INFINITY,
+            ..AdmissionPolicy::default()
+        }),
+        2 => Some(AdmissionPolicy {
+            window: SimDuration::from_secs(3_600),
+            headroom: 1e18,
+            max_defer_windows: 0,
+            protect_short: false,
+        }),
+        _ => unreachable!(),
+    }
+}
+
+/// Serving-mode identity: admission-off spellings across the full
+/// four-scheduler grid must reproduce the classic pinned digests, and
+/// the new report counters must stay structurally zero. (The streaming
+/// sinks are always on — this grid is also the proof they never perturb
+/// the digested fields.)
+#[test]
+fn admission_off_grid_matches_pinned_digests() {
+    for scheduler_index in 0..4 {
+        for admission_variant in 0..3 {
+            let (scheduler, pinned) = scheduler_and_pin(scheduler_index);
+            let mut builder = Experiment::builder()
+                .scenario(&golden_scenario(), TRACE_SEED)
+                .scheduler_shared(scheduler)
+                .nodes(GOLDEN_NODES)
+                .seed(SIM_SEED);
+            if let Some(policy) = identity_admission(admission_variant) {
+                builder = builder.admission(policy);
+            }
+            let report = builder.run();
+            assert_eq!(report.admission.sheds(), 0);
+            assert_eq!(report.admission.deferrals(), 0);
+            let digest = digest_report(&report);
+            assert_eq!(
+                digest, pinned,
+                "admission-off spelling {admission_variant} perturbed scheduler \
+                 {scheduler_index}: got {digest:#018x}, pinned {pinned:#018x}",
+            );
+        }
+    }
+}
+
+/// The serving-mode pin: the saturation scenario under admission control
+/// completes, sheds real work from the overload plateau while the
+/// protected short lane stays open, and digests deterministically.
+#[test]
+fn saturation_admission_digest_pinned() {
+    let report = Experiment::builder()
+        .scenario(&saturation_scenario(), TRACE_SEED)
+        .scheduler(Hawk::new(GOOGLE_SHORT_PARTITION))
+        .nodes(GOLDEN_NODES)
+        .seed(SIM_SEED)
+        .admission(saturation_policy())
+        .run();
+    assert_eq!(report.results.len(), support::GOLDEN_JOBS);
+    assert!(
+        report.admission.sheds() > 0,
+        "the plateau must overrun the admission budget"
+    );
+    assert_eq!(
+        report.admission.sheds_short, 0,
+        "protected shorts must never shed"
+    );
+    assert!(
+        report.admission.deferrals() > 0,
+        "overload must defer before it sheds"
+    );
+    // Streaming sinks exclude shed jobs; exact results include them as
+    // zero-runtime completions.
+    let shed = report.admission.sheds() as usize;
+    let streamed = (report.streaming.short.jobs + report.streaming.long.jobs) as usize;
+    assert_eq!(streamed + shed, support::GOLDEN_JOBS);
+    let digest = digest_report(&report);
+    if std::env::var_os("HAWK_PRINT_DIGESTS").is_some() {
+        println!("const SATURATION_ADMISSION_HAWK_DIGEST: u64 = {digest:#018x};");
+    }
+    assert_eq!(
+        digest, SATURATION_ADMISSION_HAWK_DIGEST,
+        "saturation/admission cell drifted: got {digest:#018x} — see module docs to re-pin"
+    );
 }
 
 #[test]

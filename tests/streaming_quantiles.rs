@@ -1,0 +1,145 @@
+//! Property tests: the streaming quantile sink against the exact sort
+//! model.
+//!
+//! Two properties, each over adversarial value distributions (uniform,
+//! duplicate-heavy, heavy-tailed, sorted, reversed) at sizes 0..10_000:
+//!
+//! 1. **ε-rank guarantee** — every quantile the sink reports is within
+//!    [`StreamingQuantiles::RELATIVE_ERROR`] (relative) of the exact
+//!    [`percentile_of_sorted`] read at the same percentile, because the
+//!    sink mirrors the exact reader's rank convention and its buckets
+//!    bound value error at half the documented budget.
+//! 2. **Merge transparency** — splitting a stream across shard-local
+//!    sinks and merging is *bitwise* identical to one global sink, at
+//!    every probed quantile (merge is element-wise histogram addition,
+//!    so this is exact equality, not a band).
+
+use hawk_simcore::stats::{percentile_of_sorted, StreamingQuantiles};
+use proptest::prelude::*;
+use proptest::ProptestConfig;
+
+/// The probed percentiles: extremes, the bench trio, and mid ranks.
+const PERCENTILES: [f64; 8] = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0];
+
+/// One adversarial value distribution, selected by `shape`, expanded
+/// deterministically from compact proptest inputs so shrinking stays
+/// meaningful.
+fn expand(shape: u8, len: usize, salt: u64) -> Vec<u64> {
+    let mut state = salt | 1;
+    let mut next = move || {
+        // SplitMix64: cheap, deterministic, well-distributed.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut values: Vec<u64> = (0..len)
+        .map(|i| match shape % 5 {
+            // Uniform over the realistic runtime range (0..50 M µs).
+            0 => next() % 50_000_000,
+            // Duplicate-heavy: 8 distinct values, many repeats.
+            1 => (next() % 8) * 1_234_567,
+            // Heavy-tailed: mostly small, occasional giants.
+            2 => {
+                let draw = next();
+                if draw % 50 == 0 {
+                    1_000_000_000 + draw % 4_000_000_000
+                } else {
+                    draw % 100_000
+                }
+            }
+            // Sorted ascending ramp (worst case for bucket boundaries).
+            3 => (i as u64) * 997,
+            // Reversed ramp.
+            _ => ((len - i) as u64) * 997,
+        })
+        .collect();
+    if shape % 5 == 3 {
+        values.sort_unstable();
+    }
+    if shape % 5 == 4 {
+        values.sort_unstable();
+        values.reverse();
+    }
+    values
+}
+
+/// Asserts one sink agrees with the exact sorted read on every probed
+/// percentile, within the documented relative budget.
+fn assert_within_budget(sink: &StreamingQuantiles, values: &[u64]) {
+    let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    if sorted.is_empty() {
+        for &p in &PERCENTILES {
+            assert_eq!(sink.quantile(p), None, "empty sink must report None");
+        }
+        return;
+    }
+    for &p in &PERCENTILES {
+        let exact = percentile_of_sorted(&sorted, p);
+        let streamed = sink.quantile(p).expect("non-empty sink");
+        let budget = exact * StreamingQuantiles::RELATIVE_ERROR + 1e-9;
+        assert!(
+            (streamed - exact).abs() <= budget,
+            "p{p}: streamed {streamed} vs exact {exact} exceeds budget {budget} \
+             over {} values",
+            values.len(),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property 1: the sink honours its ε-rank guarantee on every
+    /// distribution shape and size, zero included.
+    #[test]
+    fn streaming_quantiles_match_exact_model(
+        shape in 0u8..5,
+        len in 0usize..10_000,
+        salt in any::<u64>(),
+    ) {
+        let values = expand(shape, len, salt);
+        let mut sink = StreamingQuantiles::new();
+        for &v in &values {
+            sink.record(v);
+        }
+        prop_assert_eq!(sink.count(), values.len() as u64);
+        assert_within_budget(&sink, &values);
+    }
+
+    /// Property 2: merged shard-local sinks are bitwise identical to one
+    /// global sink — and therefore obey the same ε-rank bound as a
+    /// single-sink run over the concatenated stream.
+    #[test]
+    fn merged_shard_sinks_equal_one_global_sink(
+        shape in 0u8..5,
+        len in 0usize..10_000,
+        salt in any::<u64>(),
+        shards in 1usize..6,
+    ) {
+        let values = expand(shape, len, salt);
+        let mut global = StreamingQuantiles::new();
+        let mut locals = vec![StreamingQuantiles::new(); shards];
+        for (i, &v) in values.iter().enumerate() {
+            global.record(v);
+            locals[i % shards].record(v);
+        }
+        let mut merged = StreamingQuantiles::new();
+        for local in &locals {
+            merged.merge(local);
+        }
+        prop_assert_eq!(merged.count(), global.count());
+        for &p in &PERCENTILES {
+            // Bitwise: merge is element-wise addition over identical
+            // bucket boundaries, so the reads cannot differ at all.
+            prop_assert_eq!(
+                merged.quantile(p).map(f64::to_bits),
+                global.quantile(p).map(f64::to_bits),
+                "p{} diverged after merge across {} shards", p, shards
+            );
+        }
+        assert_within_budget(&merged, &values);
+    }
+}

@@ -10,9 +10,9 @@
 // different subset of it.
 #![allow(dead_code)]
 
-use hawk_core::MetricsReport;
+use hawk_core::{AdmissionPolicy, MetricsReport};
 use hawk_simcore::{SimDuration, SimTime};
-use hawk_workload::scenario::{DynamicsScript, ScenarioSpec, SpeedSpec, TraceFamily};
+use hawk_workload::scenario::{ArrivalSpec, DynamicsScript, ScenarioSpec, SpeedSpec, TraceFamily};
 
 /// Trace seed; arbitrary but frozen.
 pub const TRACE_SEED: u64 = 0xDE7E12;
@@ -57,9 +57,39 @@ pub const FAT_TREE_HAWK_DIGEST: u64 = 0x416829b65ce3bf51;
 /// against it.
 pub const RACK_ALIGNED_STEAL_HAWK_DIGEST: u64 = 0x3dd368431bb88ffd;
 
+/// Pinned digest of [`saturation_scenario`] under Hawk with
+/// [`saturation_policy`] admission control (produced by the serving-mode
+/// PR; any later drift in the saturation arrival process, the admission
+/// plan's window accounting or the shed/deferral semantics fails against
+/// it).
+pub const SATURATION_ADMISSION_HAWK_DIGEST: u64 = 0x3b19acf4efb8442e;
+
 /// The golden cell, described through the scenario layer.
 pub fn golden_scenario() -> ScenarioSpec {
     ScenarioSpec::new(TraceFamily::Google { scale: 10 }, GOLDEN_JOBS)
+}
+
+/// The pinned overload scenario: the golden trace retimed by the bursty
+/// saturation process — calm thirds arrive every ~150 s (under the
+/// admission budget for typical jobs), the middle-third plateau arrives
+/// 6× faster and drives the cell far past usable capacity.
+pub fn saturation_scenario() -> ScenarioSpec {
+    golden_scenario().arrivals(ArrivalSpec::Saturation {
+        mean: SimDuration::from_secs(150),
+        overload: 6.0,
+    })
+}
+
+/// The admission policy the saturation pin runs: 300 s gate windows at
+/// nominal headroom, shorts protected, longs deferred up to 4 windows
+/// before shedding.
+pub fn saturation_policy() -> AdmissionPolicy {
+    AdmissionPolicy {
+        window: SimDuration::from_secs(300),
+        headroom: 1.0,
+        max_defer_windows: 4,
+        protect_short: true,
+    }
 }
 
 /// The pinned churn + heterogeneous scenario: rolling failures across the
